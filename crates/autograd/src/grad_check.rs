@@ -1,0 +1,222 @@
+//! Finite-difference gradient verification.
+//!
+//! Used pervasively in tests: build the same scalar loss with perturbed
+//! inputs and compare the numerical slope against the tape's analytic
+//! gradient.
+
+use crate::tape::{Tape, Var};
+use muse_tensor::Tensor;
+
+/// Result of a gradient check: the largest absolute and relative errors seen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest `|analytic - numeric|` over all checked coordinates.
+    pub max_abs_err: f32,
+    /// Largest `|analytic - numeric| / max(1, |numeric|)`.
+    pub max_rel_err: f32,
+    /// Number of coordinates compared.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// True when either error measure is below `tol` (absolute error
+    /// dominates for small gradients, relative for large ones).
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_err <= tol || self.max_rel_err <= tol
+    }
+}
+
+/// Compare analytic gradients of `f` against central finite differences.
+///
+/// `f` receives a fresh tape and one leaf [`Var`] per `inputs` tensor, and
+/// must return a **scalar** loss variable. Every coordinate of every input is
+/// perturbed (keep the inputs small — cost is `2 * Σ len(input)` forward
+/// passes).
+pub fn check_gradients<F>(f: F, inputs: &[Tensor], eps: f32) -> GradCheckReport
+where
+    F: for<'t> Fn(&'t Tape, &[Var<'t>]) -> Var<'t>,
+{
+    // Analytic pass.
+    let tape = Tape::new();
+    let vars: Vec<Var<'_>> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+    let loss = f(&tape, &vars);
+    assert_eq!(loss.len(), 1, "gradient check requires a scalar loss");
+    let grads = tape.backward(loss);
+    let analytic: Vec<Tensor> = vars.iter().map(|v| grads.get_or_zeros(*v)).collect();
+
+    let eval = |ins: &[Tensor]| -> f32 {
+        let tape = Tape::new();
+        let vars: Vec<Var<'_>> = ins.iter().map(|t| tape.leaf(t.clone())).collect();
+        f(&tape, &vars).item()
+    };
+
+    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0, checked: 0 };
+    for which in 0..inputs.len() {
+        for i in 0..inputs[which].len() {
+            let mut plus = inputs.to_vec();
+            plus[which].as_mut_slice()[i] += eps;
+            let mut minus = inputs.to_vec();
+            minus[which].as_mut_slice()[i] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let a = analytic[which].as_slice()[i];
+            let abs = (a - numeric).abs();
+            report.max_abs_err = report.max_abs_err.max(abs);
+            report.max_rel_err = report.max_rel_err.max(abs / numeric.abs().max(1.0));
+            report.checked += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_tensor::init::SeededRng;
+    use muse_tensor::Conv2dSpec;
+
+    fn check<F>(f: F, inputs: &[Tensor]) -> GradCheckReport
+    where
+        F: for<'t> Fn(&'t Tape, &[Var<'t>]) -> Var<'t>,
+    {
+        check_gradients(f, inputs, 1e-2)
+    }
+
+    fn rand(rng: &mut SeededRng, dims: &[usize]) -> Tensor {
+        Tensor::rand_uniform(rng, dims, -1.0, 1.0)
+    }
+
+    #[test]
+    fn elementwise_chain() {
+        let mut rng = SeededRng::new(1);
+        let x = rand(&mut rng, &[2, 3]);
+        let r = check(|_t, v| v[0].tanh().square().add(&v[0].sigmoid()).sum(), &[x]);
+        assert!(r.passes(5e-3), "{r:?}");
+    }
+
+    #[test]
+    fn exp_ln_sqrt_chain() {
+        let mut rng = SeededRng::new(2);
+        // Keep inputs positive and away from 0 for ln/sqrt stability.
+        let x = Tensor::rand_uniform(&mut rng, &[5], 0.5, 2.0);
+        let r = check(|_t, v| v[0].ln().add(&v[0].sqrt()).add(&v[0].exp()).sum(), &[x]);
+        assert!(r.passes(2e-2), "{r:?}");
+    }
+
+    #[test]
+    fn softplus_grad() {
+        let mut rng = SeededRng::new(12);
+        let x = rand(&mut rng, &[6]);
+        let r = check(|_t, v| v[0].softplus().sum(), &[x]);
+        assert!(r.passes(5e-3), "{r:?}");
+    }
+
+    #[test]
+    fn matmul_two_operands() {
+        let mut rng = SeededRng::new(3);
+        let a = rand(&mut rng, &[3, 4]);
+        let b = rand(&mut rng, &[4, 2]);
+        let r = check(|_t, v| v[0].matmul(&v[1]).square().sum(), &[a, b]);
+        assert!(r.passes(2e-2), "{r:?}");
+    }
+
+    #[test]
+    fn broadcast_add_and_mul() {
+        let mut rng = SeededRng::new(4);
+        let x = rand(&mut rng, &[3, 4]);
+        let b = rand(&mut rng, &[4]);
+        let r = check(|_t, v| v[0].add(&v[1]).mul(&v[1]).sum(), &[x, b]);
+        assert!(r.passes(1e-2), "{r:?}");
+    }
+
+    #[test]
+    fn division_grads() {
+        let mut rng = SeededRng::new(5);
+        let a = rand(&mut rng, &[4]);
+        let b = Tensor::rand_uniform(&mut rng, &[4], 0.5, 2.0);
+        let r = check(|_t, v| v[0].div(&v[1]).sum(), &[a, b]);
+        assert!(r.passes(1e-2), "{r:?}");
+    }
+
+    #[test]
+    fn conv2d_full_gradient() {
+        let mut rng = SeededRng::new(6);
+        let spec = Conv2dSpec::same(2, 2, 3);
+        let x = rand(&mut rng, &[1, 2, 3, 4]);
+        let w = rand(&mut rng, &[2, 2, 3, 3]).mul_scalar(0.5);
+        let b = rand(&mut rng, &[2]);
+        let r = check(
+            move |_t, v| v[0].conv2d(&v[1], Some(&v[2]), spec).square().sum(),
+            &[x, w, b],
+        );
+        assert!(r.passes(5e-2), "{r:?}");
+    }
+
+    #[test]
+    fn softmax_composite() {
+        let mut rng = SeededRng::new(7);
+        let x = rand(&mut rng, &[2, 4]);
+        let r = check(|_t, v| v[0].softmax_last().square().sum(), &[x]);
+        assert!(r.passes(1e-2), "{r:?}");
+    }
+
+    #[test]
+    fn kl_standard_normal_gradcheck() {
+        let mut rng = SeededRng::new(8);
+        let mu = rand(&mut rng, &[2, 3]);
+        let lv = rand(&mut rng, &[2, 3]);
+        let r = check(
+            |_t, v| crate::vae_ops::kl_to_standard_normal(&v[0], &v[1]),
+            &[mu, lv],
+        );
+        assert!(r.passes(1e-2), "{r:?}");
+    }
+
+    #[test]
+    fn kl_between_gradcheck() {
+        let mut rng = SeededRng::new(9);
+        let inputs = [
+            rand(&mut rng, &[2, 3]),
+            rand(&mut rng, &[2, 3]),
+            rand(&mut rng, &[2, 3]),
+            rand(&mut rng, &[2, 3]),
+        ];
+        let r = check(
+            |_t, v| crate::vae_ops::kl_between(&v[0], &v[1], &v[2], &v[3]),
+            &inputs,
+        );
+        assert!(r.passes(2e-2), "{r:?}");
+    }
+
+    #[test]
+    fn reshape_concat_slice_chain() {
+        let mut rng = SeededRng::new(10);
+        let a = rand(&mut rng, &[2, 3]);
+        let b = rand(&mut rng, &[2, 2]);
+        let r = check(
+            |_t, v| {
+                let joined = Var::concat(&[v[0], v[1]], 1); // [2,5]
+                joined.reshape(&[5, 2]).slice_axis0(1, 4).square().sum()
+            },
+            &[a, b],
+        );
+        assert!(r.passes(1e-2), "{r:?}");
+    }
+
+    #[test]
+    fn sum_axis_and_mean_axis() {
+        let mut rng = SeededRng::new(11);
+        let x = rand(&mut rng, &[3, 4]);
+        let r = check(|_t, v| v[0].sum_axis(0).square().sum(), &[x.clone()]);
+        assert!(r.passes(1e-2), "{r:?}");
+        let r = check(|_t, v| v[0].mean_axis(1).square().sum(), &[x]);
+        assert!(r.passes(1e-2), "{r:?}");
+    }
+
+    #[test]
+    fn report_pass_logic() {
+        let ok = GradCheckReport { max_abs_err: 1e-4, max_rel_err: 0.5, checked: 10 };
+        assert!(ok.passes(1e-3));
+        let bad = GradCheckReport { max_abs_err: 1.0, max_rel_err: 1.0, checked: 10 };
+        assert!(!bad.passes(1e-3));
+    }
+}

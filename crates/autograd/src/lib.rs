@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # muse-autograd
+//!
+//! Tape-based reverse-mode automatic differentiation over [`muse_tensor`].
+//!
+//! A [`Tape`] records every operation applied to its [`Var`]s during a
+//! forward pass. Calling [`Tape::backward`] on a scalar loss walks the tape
+//! in reverse, accumulating gradients for every recorded node. Training code
+//! builds one tape per step and throws it away afterwards.
+//!
+//! Design notes:
+//! * Backward closures capture *clones* of the tensors they need. At the grid
+//!   sizes of this project the clones are cheap, and the design removes every
+//!   lifetime/borrow subtlety from the hot path.
+//! * Broadcasting ops fold gradients back with `Tensor::sum_to`, so `[B, D] +
+//!   [D]` bias additions "just work".
+//! * All VAE-specific quantities (reparameterization, Gaussian KLs) are
+//!   *compositions* of primitive ops (see [`vae_ops`]), so their gradients
+//!   come for free and are covered by the finite-difference checks in
+//!   [`grad_check`].
+//!
+//! ```
+//! use muse_autograd::Tape;
+//! use muse_tensor::Tensor;
+//!
+//! let tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_vec(vec![2.0], &[1]));
+//! let y = x.mul(&x).add_scalar(1.0); // y = x^2 + 1
+//! let loss = y.sum();
+//! let grads = tape.backward(loss);
+//! assert_eq!(grads.get(x).unwrap().as_slice(), &[4.0]); // dy/dx = 2x
+//! ```
+
+pub mod grad_check;
+pub mod ops;
+pub mod tape;
+pub mod vae_ops;
+
+pub use tape::{Gradients, Tape, Var};

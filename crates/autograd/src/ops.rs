@@ -1,0 +1,543 @@
+//! Differentiable primitive operations on [`Var`].
+//!
+//! Each op computes the forward value eagerly and records a closure that maps
+//! the upstream gradient to contributions for its parents. Broadcasting
+//! binary ops fold gradients back to operand shape with `Tensor::sum_to`.
+
+use crate::tape::Var;
+use muse_tensor::conv::{conv2d, conv2d_backward};
+use muse_tensor::{Conv2dSpec, Tensor};
+
+impl<'t> Var<'t> {
+    // ------------------------------------------------------------ binary ops
+
+    /// Elementwise (broadcasting) addition.
+    pub fn add(&self, rhs: &Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), rhs.value());
+        let out = a.add(&b);
+        let (la, lb) = (self.id(), rhs.id());
+        let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(la, g.sum_to(&da)), (lb, g.sum_to(&db))]
+            })),
+        )
+    }
+
+    /// Elementwise (broadcasting) subtraction.
+    pub fn sub(&self, rhs: &Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), rhs.value());
+        let out = a.sub(&b);
+        let (la, lb) = (self.id(), rhs.id());
+        let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(la, g.sum_to(&da)), (lb, g.neg().sum_to(&db))]
+            })),
+        )
+    }
+
+    /// Elementwise (broadcasting) multiplication.
+    pub fn mul(&self, rhs: &Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), rhs.value());
+        let out = a.mul(&b);
+        let (la, lb) = (self.id(), rhs.id());
+        let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(la, g.mul(&b).sum_to(&da)), (lb, g.mul(&a).sum_to(&db))]
+            })),
+        )
+    }
+
+    /// Elementwise (broadcasting) division.
+    pub fn div(&self, rhs: &Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), rhs.value());
+        let out = a.div(&b);
+        let (la, lb) = (self.id(), rhs.id());
+        let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                let ga = g.div(&b).sum_to(&da);
+                let gb = g.mul(&a).div(&b.square()).neg().sum_to(&db);
+                vec![(la, ga), (lb, gb)]
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------- unary ops
+
+    /// Negation.
+    pub fn neg(&self) -> Var<'t> {
+        let la = self.id();
+        self.tape().push(
+            self.value().neg(),
+            Some(Box::new(move |g| vec![(la, g.neg())])),
+        )
+    }
+
+    /// Add a scalar constant.
+    pub fn add_scalar(&self, s: f32) -> Var<'t> {
+        let la = self.id();
+        self.tape().push(
+            self.value().add_scalar(s),
+            Some(Box::new(move |g| vec![(la, g.clone())])),
+        )
+    }
+
+    /// Multiply by a scalar constant.
+    pub fn mul_scalar(&self, s: f32) -> Var<'t> {
+        let la = self.id();
+        self.tape().push(
+            self.value().mul_scalar(s),
+            Some(Box::new(move |g| vec![(la, g.mul_scalar(s))])),
+        )
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Var<'t> {
+        let la = self.id();
+        let out = self.value().exp();
+        let saved = out.clone();
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| vec![(la, g.mul(&saved))])),
+        )
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Var<'t> {
+        let la = self.id();
+        let x = self.value();
+        self.tape().push(
+            x.ln(),
+            Some(Box::new(move |g| vec![(la, g.div(&x))])),
+        )
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Var<'t> {
+        let la = self.id();
+        let x = self.value();
+        self.tape().push(
+            x.square(),
+            Some(Box::new(move |g| vec![(la, g.mul(&x).mul_scalar(2.0))])),
+        )
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Var<'t> {
+        let la = self.id();
+        let out = self.value().sqrt();
+        let saved = out.clone();
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(la, g.div(&saved.mul_scalar(2.0)))]
+            })),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var<'t> {
+        let la = self.id();
+        let out = self.value().tanh();
+        let saved = out.clone();
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                // d tanh = 1 - tanh^2
+                let one_minus = saved.square().neg().add_scalar(1.0);
+                vec![(la, g.mul(&one_minus))]
+            })),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var<'t> {
+        let la = self.id();
+        let out = self.value().sigmoid();
+        let saved = out.clone();
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                // d sigmoid = s (1 - s)
+                let ds = saved.mul(&saved.neg().add_scalar(1.0));
+                vec![(la, g.mul(&ds))]
+            })),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var<'t> {
+        let la = self.id();
+        let x = self.value();
+        let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        self.tape().push(
+            x.relu(),
+            Some(Box::new(move |g| vec![(la, g.mul(&mask))])),
+        )
+    }
+
+    /// Leaky rectified linear unit: `x` for `x > 0`, `slope·x` otherwise.
+    /// Avoids dead units on inputs with strongly negative mean (the scaled
+    /// traffic tensors concentrate near −1).
+    pub fn leaky_relu(&self, slope: f32) -> Var<'t> {
+        let la = self.id();
+        let x = self.value();
+        let mask = x.map(|v| if v > 0.0 { 1.0 } else { slope });
+        let out = x.map(|v| if v > 0.0 { v } else { slope * v });
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| vec![(la, g.mul(&mask))])),
+        )
+    }
+
+    /// Softplus `ln(1 + e^x)` — a smooth positive map used to keep standard
+    /// deviations positive in some encoders.
+    pub fn softplus(&self) -> Var<'t> {
+        let la = self.id();
+        let x = self.value();
+        let out = x.map(|v| {
+            // Numerically stable: max(v,0) + ln(1 + e^{-|v|}).
+            v.max(0.0) + (1.0 + (-v.abs()).exp()).ln()
+        });
+        let dsig = x.sigmoid();
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| vec![(la, g.mul(&dsig))])),
+        )
+    }
+
+    // ---------------------------------------------------------------- linalg
+
+    /// Matrix product of two rank-2 variables.
+    pub fn matmul(&self, rhs: &Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), rhs.value());
+        let out = a.matmul(&b);
+        let (la, lb) = (self.id(), rhs.id());
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                // dA = G B^T ; dB = A^T G
+                vec![(la, g.matmul_bt(&b)), (lb, a.matmul_at(g))]
+            })),
+        )
+    }
+
+    /// 2-D convolution with weight and optional bias variables.
+    pub fn conv2d(&self, weight: &Var<'t>, bias: Option<&Var<'t>>, spec: Conv2dSpec) -> Var<'t> {
+        let x = self.value();
+        let w = weight.value();
+        let b = bias.map(|b| b.value());
+        let out = conv2d(&x, &w, b.as_ref(), &spec);
+        let (lx, lw) = (self.id(), weight.id());
+        let lb = bias.map(|b| b.id());
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                let (gx, gw, gb) = conv2d_backward(&x, &w, g, &spec);
+                let mut contrib = vec![(lx, gx), (lw, gw)];
+                if let Some(lb) = lb {
+                    contrib.push((lb, gb));
+                }
+                contrib
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------ reductions
+
+    /// Sum of all elements, as a rank-0 variable.
+    pub fn sum(&self) -> Var<'t> {
+        let la = self.id();
+        let x = self.value();
+        let dims = x.dims().to_vec();
+        self.tape().push(
+            Tensor::scalar(x.sum()),
+            Some(Box::new(move |g| {
+                let s = g.item();
+                vec![(la, Tensor::full(&dims, s))]
+            })),
+        )
+    }
+
+    /// Mean of all elements, as a rank-0 variable.
+    pub fn mean(&self) -> Var<'t> {
+        let n = self.len() as f32;
+        self.sum().mul_scalar(1.0 / n)
+    }
+
+    /// Sum along `axis`, dropping it.
+    pub fn sum_axis(&self, axis: usize) -> Var<'t> {
+        let la = self.id();
+        let x = self.value();
+        let dims = x.dims().to_vec();
+        let out = x.sum_axis(axis);
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                // Broadcast the reduced gradient back across `axis`.
+                let expanded = g.unsqueeze(axis);
+                let grad = expanded.add(&Tensor::zeros(&dims));
+                vec![(la, grad)]
+            })),
+        )
+    }
+
+    /// Mean along `axis`, dropping it.
+    pub fn mean_axis(&self, axis: usize) -> Var<'t> {
+        let n = self.dims()[axis] as f32;
+        self.sum_axis(axis).mul_scalar(1.0 / n)
+    }
+
+    /// Softmax along the last axis.
+    pub fn softmax_last(&self) -> Var<'t> {
+        let la = self.id();
+        let out = self.value().softmax_last();
+        let saved = out.clone();
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                // dx = y * (g - sum(g * y, last, keepdim))
+                let dims = saved.dims();
+                let inner = dims[dims.len() - 1];
+                let outer = saved.len() / inner;
+                let gy = g.mul(&saved);
+                let mut grad = vec![0.0f32; saved.len()];
+                let (ys, gys, gs) = (saved.as_slice(), gy.as_slice(), g.as_slice());
+                for o in 0..outer {
+                    let dot: f32 = gys[o * inner..(o + 1) * inner].iter().sum();
+                    for i in 0..inner {
+                        let k = o * inner + i;
+                        grad[k] = ys[k] * (gs[k] - dot);
+                    }
+                }
+                vec![(la, Tensor::from_vec(grad, dims))]
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------- structure
+
+    /// Reshape to `dims` (element count must match).
+    pub fn reshape(&self, dims: &[usize]) -> Var<'t> {
+        let la = self.id();
+        let x = self.value();
+        let old = x.dims().to_vec();
+        let out = x.reshape(dims);
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| vec![(la, g.reshaped(&old))])),
+        )
+    }
+
+    /// Concatenate variables along `axis`.
+    pub fn concat(parts: &[Var<'t>], axis: usize) -> Var<'t> {
+        assert!(!parts.is_empty(), "concat of zero vars");
+        let tape = parts[0].tape();
+        let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let out = Tensor::concat(&refs, axis);
+        let ids: Vec<usize> = parts.iter().map(|p| p.id()).collect();
+        let sizes: Vec<usize> = values.iter().map(|v| v.dims()[axis]).collect();
+        tape.push(
+            out,
+            Some(Box::new(move |g| {
+                let pieces = g.split(axis, &sizes);
+                ids.iter().copied().zip(pieces).collect()
+            })),
+        )
+    }
+
+    /// Slice `[start, end)` along axis 0.
+    pub fn slice_axis0(&self, start: usize, end: usize) -> Var<'t> {
+        let la = self.id();
+        let x = self.value();
+        let dims = x.dims().to_vec();
+        let out = x.slice_axis0(start, end);
+        self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                let mut grad = Tensor::zeros(&dims);
+                let chunk: usize = dims[1..].iter().product();
+                grad.as_mut_slice()[start * chunk..end * chunk].copy_from_slice(g.as_slice());
+                vec![(la, grad)]
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tape::Tape;
+    use muse_tensor::{Conv2dSpec, Tensor};
+
+    #[test]
+    fn add_broadcast_bias_grad_folds() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[4, 3]));
+        let b = tape.leaf(Tensor::zeros(&[3]));
+        let y = x.add(&b);
+        let loss = y.sum();
+        let grads = tape.backward(loss);
+        // Bias gradient folds over the batch dimension.
+        assert_eq!(grads.get(b).unwrap().as_slice(), &[4.0, 4.0, 4.0]);
+        assert_eq!(grads.get(x).unwrap().dims(), &[4, 3]);
+    }
+
+    #[test]
+    fn mul_product_rule() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![2.0, 3.0], &[2]));
+        let b = tape.leaf(Tensor::from_vec(vec![5.0, 7.0], &[2]));
+        let loss = a.mul(&b).sum();
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(a).unwrap().as_slice(), &[5.0, 7.0]);
+        assert_eq!(grads.get(b).unwrap().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn div_quotient_rule() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![6.0], &[1]));
+        let b = tape.leaf(Tensor::from_vec(vec![3.0], &[1]));
+        let loss = a.div(&b).sum();
+        let grads = tape.backward(loss);
+        assert!((grads.get(a).unwrap().as_slice()[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((grads.get(b).unwrap().as_slice()[0] + 6.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_grads_have_right_shapes_and_values() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::arange(0.0, 6.0).reshape(&[2, 3]));
+        let b = tape.leaf(Tensor::arange(0.0, 12.0).reshape(&[3, 4]));
+        let loss = a.matmul(&b).sum();
+        let grads = tape.backward(loss);
+        // dA = ones(2,4) B^T → each row is the row sums of B.
+        let ga = grads.get(a).unwrap();
+        assert_eq!(ga.dims(), &[2, 3]);
+        assert_eq!(ga.at(&[0, 0]), 0.0 + 1.0 + 2.0 + 3.0);
+        assert_eq!(ga.at(&[1, 2]), 8.0 + 9.0 + 10.0 + 11.0);
+        // dB = A^T ones(2,4) → each row j is the column sums of A.
+        let gb = grads.get(b).unwrap();
+        assert_eq!(gb.dims(), &[3, 4]);
+        assert_eq!(gb.at(&[0, 0]), 0.0 + 3.0);
+        assert_eq!(gb.at(&[2, 3]), 2.0 + 5.0);
+    }
+
+    #[test]
+    fn tanh_grad_at_zero_is_one() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros(&[1]));
+        let loss = x.tanh().sum();
+        let grads = tape.backward(loss);
+        assert!((grads.get(x).unwrap().as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_kills_negative_grad() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        let loss = x.relu().sum();
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn chained_ops_accumulate() {
+        // loss = sum(x^2 + 3x) → grad = 2x + 3.
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, -2.0], &[2]));
+        let loss = x.square().add(&x.mul_scalar(3.0)).sum();
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[5.0, -1.0]);
+    }
+
+    #[test]
+    fn reused_var_accumulates_grad() {
+        // loss = sum(x * x) via two separate uses of x.
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![3.0], &[1]));
+        let loss = x.mul(&x).sum();
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[6.0]);
+    }
+
+    #[test]
+    fn conv2d_records_all_grads() {
+        let tape = Tape::new();
+        let spec = Conv2dSpec::same(1, 1, 3);
+        let x = tape.leaf(Tensor::ones(&[1, 1, 4, 4]));
+        let w = tape.leaf(Tensor::ones(&[1, 1, 3, 3]));
+        let b = tape.leaf(Tensor::zeros(&[1]));
+        let y = x.conv2d(&w, Some(&b), spec);
+        let loss = y.sum();
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().dims(), &[1, 1, 4, 4]);
+        assert_eq!(grads.get(w).unwrap().dims(), &[1, 1, 3, 3]);
+        assert_eq!(grads.get(b).unwrap().as_slice(), &[16.0]);
+    }
+
+    #[test]
+    fn concat_splits_gradient() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::zeros(&[2, 2]));
+        let b = tape.leaf(Tensor::zeros(&[2, 3]));
+        let c = crate::tape::Var::concat(&[a, b], 1);
+        assert_eq!(c.dims(), vec![2, 5]);
+        let loss = c.mul_scalar(2.0).sum();
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(a).unwrap().as_slice(), &[2.0; 4]);
+        assert_eq!(grads.get(b).unwrap().as_slice(), &[2.0; 6]);
+    }
+
+    #[test]
+    fn slice_axis0_scatter_grad() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::arange(0.0, 6.0).reshape(&[3, 2]));
+        let s = x.slice_axis0(1, 2);
+        let loss = s.sum();
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_grad_sums_to_zero() {
+        // Softmax gradient rows always sum to ~0 (shift invariance).
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.5, -1.0, 2.0], &[1, 3]));
+        let y = x.softmax_last();
+        // Weighted loss to get a non-trivial gradient.
+        let w = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]));
+        let loss = y.mul(&w).sum();
+        let grads = tape.backward(loss);
+        let gx = grads.get(x).unwrap();
+        assert!(gx.sum().abs() < 1e-5);
+    }
+
+    #[test]
+    fn sum_axis_backward_broadcasts() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::arange(0.0, 6.0).reshape(&[2, 3]));
+        let s = x.sum_axis(1);
+        assert_eq!(s.dims(), vec![2]);
+        let loss = s.mul_scalar(3.0).sum();
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[3.0; 6]);
+    }
+
+    #[test]
+    fn mean_grad_is_uniform() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros(&[4]));
+        let loss = x.mean();
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[0.25; 4]);
+    }
+}

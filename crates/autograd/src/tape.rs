@@ -1,0 +1,194 @@
+//! The gradient tape, its variables, and the reverse pass.
+
+use muse_tensor::Tensor;
+use std::cell::RefCell;
+
+/// Contribution of a node's backward function: `(parent_id, grad_piece)`.
+pub(crate) type GradContribution = Vec<(usize, Tensor)>;
+
+/// Backward closure: maps upstream gradient to parent contributions.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor) -> GradContribution>;
+
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    /// `None` for leaves and constants.
+    pub(crate) backward: Option<BackwardFn>,
+}
+
+/// A recording of a forward computation, enabling one reverse sweep.
+///
+/// `Tape` is single-threaded by design (the training loop is too); interior
+/// mutability lets `Var` methods push nodes through a shared reference.
+#[derive(Default)]
+pub struct Tape {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+}
+
+/// A handle to a value recorded on a [`Tape`].
+///
+/// Cheap to copy; all arithmetic lives on this type (see [`crate::ops`]).
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    pub(crate) tape: &'t Tape,
+    pub(crate) id: usize,
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by node id.
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. `var`, if the node influenced the loss.
+    pub fn get(&self, var: Var<'_>) -> Option<&Tensor> {
+        self.grads.get(var.id).and_then(|g| g.as_ref())
+    }
+
+    /// Gradient or a zero tensor of the variable's shape.
+    pub fn get_or_zeros(&self, var: Var<'_>) -> Tensor {
+        self.get(var).cloned().unwrap_or_else(|| Tensor::zeros(&var.dims()))
+    }
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: RefCell::new(Vec::new()) }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn push(&self, value: Tensor, backward: Option<BackwardFn>) -> Var<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        let id = nodes.len();
+        nodes.push(Node { value, backward });
+        Var { tape: self, id }
+    }
+
+    /// Record a differentiable leaf (e.g. a model parameter or an input that
+    /// needs gradients).
+    pub fn leaf(&self, value: Tensor) -> Var<'_> {
+        self.push(value, None)
+    }
+
+    /// Record a constant. Structurally identical to a leaf — the distinction
+    /// is for readers: constants never have their gradients read.
+    pub fn constant(&self, value: Tensor) -> Var<'_> {
+        self.push(value, None)
+    }
+
+    /// Reconstruct a [`Var`] handle from a node id previously obtained via
+    /// [`Var::id`]. Panics if the id is not on this tape.
+    pub fn var_by_id(&self, id: usize) -> Var<'_> {
+        assert!(id < self.len(), "var id {id} not on this tape (len {})", self.len());
+        Var { tape: self, id }
+    }
+
+    /// Clone the current value of `var`.
+    pub fn value(&self, var: Var<'_>) -> Tensor {
+        self.nodes.borrow()[var.id].value.clone()
+    }
+
+    /// Run the reverse sweep from a scalar (or any-shaped) `loss` node.
+    ///
+    /// The seed gradient is a tensor of ones shaped like the loss, so calling
+    /// this on a non-scalar computes the gradient of its element sum.
+    pub fn backward(&self, loss: Var<'_>) -> Gradients {
+        let nodes = self.nodes.borrow();
+        assert!(loss.id < nodes.len(), "loss var not on this tape");
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[loss.id] = Some(Tensor::ones(nodes[loss.id].value.dims()));
+        for id in (0..=loss.id).rev() {
+            let Some(grad) = grads[id].take() else { continue };
+            if let Some(back) = &nodes[id].backward {
+                for (pid, piece) in back(&grad) {
+                    debug_assert!(pid < id, "backward edge {pid} -> {id} not topologically ordered");
+                    match &mut grads[pid] {
+                        Some(acc) => acc.add_assign(&piece),
+                        slot @ None => *slot = Some(piece),
+                    }
+                }
+            }
+            grads[id] = Some(grad);
+        }
+        Gradients { grads }
+    }
+}
+
+impl<'t> Var<'t> {
+    /// The tape this variable is recorded on.
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// Node id (stable for the lifetime of the tape).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Clone the forward value.
+    pub fn value(&self) -> Tensor {
+        self.tape.value(*self)
+    }
+
+    /// Dimension extents of the forward value.
+    pub fn dims(&self) -> Vec<usize> {
+        self.tape.nodes.borrow()[self.id].value.dims().to_vec()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.tape.nodes.borrow()[self.id].value.len()
+    }
+
+    /// Whether the value holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The scalar value (panics if not a single element).
+    pub fn item(&self) -> f32 {
+        self.tape.nodes.borrow()[self.id].value.item()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_value_roundtrip() {
+        let tape = Tape::new();
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let v = tape.leaf(t.clone());
+        assert_eq!(v.value(), t);
+        assert_eq!(v.dims(), vec![2]);
+        assert_eq!(tape.len(), 1);
+    }
+
+    #[test]
+    fn backward_of_leaf_is_ones() {
+        let tape = Tape::new();
+        let v = tape.leaf(Tensor::zeros(&[3]));
+        let grads = tape.backward(v);
+        assert_eq!(grads.get(v).unwrap().as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn unrelated_node_has_no_grad() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::zeros(&[2]));
+        let b = tape.leaf(Tensor::zeros(&[2]));
+        let grads = tape.backward(b);
+        assert!(grads.get(a).is_none());
+        assert_eq!(grads.get_or_zeros(a).as_slice(), &[0.0, 0.0]);
+    }
+}

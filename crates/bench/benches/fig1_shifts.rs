@@ -1,0 +1,21 @@
+//! Fig. 1: detection of level and point shifts in generated traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_bench::bench_profile;
+use muse_eval::drivers::fig1;
+use muse_traffic::dataset::DatasetPreset;
+use std::hint::black_box;
+
+fn bench_shift_detection(c: &mut Criterion) {
+    let profile = bench_profile();
+    c.bench_function("fig1_shift_detection", |bch| {
+        bch.iter(|| black_box(fig1::run(DatasetPreset::NycBike, &profile)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_shift_detection
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Fig. 2: per-slot correlation sweep of future flow vs C/P/T.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_bench::bench_profile;
+use muse_eval::drivers::fig2;
+use muse_traffic::dataset::DatasetPreset;
+use std::hint::black_box;
+
+fn bench_interaction_sweep(c: &mut Criterion) {
+    let profile = bench_profile();
+    c.bench_function("fig2_interaction_sweep", |bch| {
+        bch.iter(|| black_box(fig2::run(DatasetPreset::NycBike, &profile)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_interaction_sweep
+}
+criterion_main!(benches);

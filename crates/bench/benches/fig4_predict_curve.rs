@@ -1,0 +1,23 @@
+//! Fig. 4: windowed prediction over consecutive test intervals.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_bench::{bench_dataset, bench_profile};
+use muse_eval::runner::{fit_model, ModelKind};
+use std::hint::black_box;
+
+fn bench_window_prediction(c: &mut Criterion) {
+    let profile = bench_profile();
+    let prepared = bench_dataset();
+    let model = fit_model(ModelKind::MuseNet(musenet::AblationVariant::Full), &prepared, &profile);
+    let window: Vec<usize> = prepared.split.test[..24.min(prepared.split.test.len())].to_vec();
+    c.bench_function("fig4_window24_prediction", |bch| {
+        bch.iter(|| black_box(model.predict_unscaled(&prepared, &window)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_window_prediction
+}
+criterion_main!(benches);

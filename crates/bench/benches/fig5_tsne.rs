@@ -1,0 +1,32 @@
+//! Fig. 5: representation extraction and t-SNE embedding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_metrics::tsne::Tsne;
+use muse_tensor::init::SeededRng;
+use muse_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_tsne(c: &mut Criterion) {
+    let mut rng = SeededRng::new(9);
+    // Two synthetic representation clusters, 80 rows of 32 dims (the shape
+    // the Fig. 5 driver feeds t-SNE at quick scale).
+    let mut data = Vec::new();
+    for i in 0..80 {
+        let center = if i < 40 { -2.0 } else { 2.0 };
+        for _ in 0..32 {
+            data.push(rng.normal_with(center, 0.5));
+        }
+    }
+    let x = Tensor::from_vec(data, &[80, 32]);
+    let tsne = Tsne { perplexity: 15.0, iterations: 100, ..Default::default() };
+    c.bench_function("fig5_tsne_80x32_100it", |bch| {
+        bch.iter(|| black_box(tsne.embed(&x)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tsne
+}
+criterion_main!(benches);

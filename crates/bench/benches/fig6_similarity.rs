@@ -1,0 +1,26 @@
+//! Figs. 6-8: cosine similarity matrices and RSA alignment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_metrics::similarity::{cosine_similarity_matrix, positive_fraction};
+use muse_tensor::init::SeededRng;
+use muse_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut rng = SeededRng::new(10);
+    let a = Tensor::rand_uniform(&mut rng, &[96, 64], -1.0, 1.0);
+    let b = Tensor::rand_uniform(&mut rng, &[96, 64], -1.0, 1.0);
+    c.bench_function("fig6_cosine_matrix_96x64", |bch| {
+        bch.iter(|| {
+            let m = cosine_similarity_matrix(&a, &b);
+            black_box(positive_fraction(&m))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_similarity
+}
+criterion_main!(benches);

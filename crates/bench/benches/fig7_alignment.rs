@@ -1,0 +1,27 @@
+//! Figs. 7: representation-to-future RSA alignment over a batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_eval::drivers::figutil::{alignment, self_similarity};
+use muse_tensor::init::SeededRng;
+use muse_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_alignment(c: &mut Criterion) {
+    let mut rng = SeededRng::new(11);
+    let rep = Tensor::rand_uniform(&mut rng, &[96, 16], -1.0, 1.0);
+    let fut = Tensor::rand_uniform(&mut rng, &[96, 160], -1.0, 1.0);
+    c.bench_function("fig7_rsa_alignment_96", |bch| {
+        bch.iter(|| {
+            let a = self_similarity(&rep);
+            let b = self_similarity(&fut);
+            black_box(alignment(&a, &b).mean())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_alignment
+}
+criterion_main!(benches);

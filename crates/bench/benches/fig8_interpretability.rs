@@ -1,0 +1,29 @@
+//! Fig. 8: per-sample row correlations across a time window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_eval::drivers::figutil::{row_correlation, self_similarity};
+use muse_tensor::init::SeededRng;
+use muse_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_row_correlations(c: &mut Criterion) {
+    let mut rng = SeededRng::new(12);
+    let a = self_similarity(&Tensor::rand_uniform(&mut rng, &[78, 16], -1.0, 1.0));
+    let b = self_similarity(&Tensor::rand_uniform(&mut rng, &[78, 160], -1.0, 1.0));
+    c.bench_function("fig8_row_correlations_78", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0f32;
+            for row in 0..78 {
+                acc += row_correlation(&a, &b, row);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_row_correlations
+}
+criterion_main!(benches);

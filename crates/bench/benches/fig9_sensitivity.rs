@@ -1,0 +1,34 @@
+//! Fig. 9: the cost of one sweep point — a short training epoch at a given
+//! lambda.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_bench::{bench_dataset, bench_profile};
+use musenet::{MuseNet, MuseNetConfig, Trainer, TrainerOptions};
+
+fn bench_sweep_point(c: &mut Criterion) {
+    let profile = bench_profile();
+    let prepared = bench_dataset();
+    for lambda in [0.1f32, 1.0, 10.0] {
+        let label = format!("fig9_epoch_lambda_{lambda}");
+        c.bench_function(&label, |bch| {
+            bch.iter(|| {
+                let mut cfg = MuseNetConfig::cpu_profile(prepared.dataset.grid(), prepared.spec);
+                cfg.d = profile.d;
+                cfg.k = profile.k;
+                cfg.lambda = lambda;
+                let mut t = Trainer::new(
+                    MuseNet::new(cfg),
+                    TrainerOptions { epochs: 1, max_batches_per_epoch: 2, ..Default::default() },
+                );
+                t.fit(&prepared.scaled, &prepared.spec, &prepared.split.train, &[]);
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweep_point
+}
+criterion_main!(benches);

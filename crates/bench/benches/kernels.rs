@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the hot computational kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_tensor::conv::{conv2d, Conv2dSpec};
+use muse_tensor::init::SeededRng;
+use muse_tensor::Tensor;
+use muse_traffic::{CityConfig, CitySimulator};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = SeededRng::new(1);
+    let a = Tensor::rand_uniform(&mut rng, &[64, 128], -1.0, 1.0);
+    let b = Tensor::rand_uniform(&mut rng, &[128, 64], -1.0, 1.0);
+    c.bench_function("matmul_64x128x64", |bch| {
+        bch.iter(|| black_box(a.matmul(&b)))
+    });
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut rng = SeededRng::new(2);
+    let spec = Conv2dSpec::same(16, 16, 3);
+    let x = Tensor::rand_uniform(&mut rng, &[8, 16, 8, 10], -1.0, 1.0);
+    let w = Tensor::rand_uniform(&mut rng, &[16, 16, 3, 3], -0.2, 0.2);
+    let b = Tensor::rand_uniform(&mut rng, &[16], -0.1, 0.1);
+    c.bench_function("conv2d_b8_c16_8x10", |bch| {
+        bch.iter(|| black_box(conv2d(&x, &w, Some(&b), &spec)))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut cfg = CityConfig::small(3);
+    cfg.days = 7;
+    c.bench_function("simulate_week_small_city", |bch| {
+        bch.iter(|| black_box(CitySimulator::new(cfg.clone()).run()))
+    });
+}
+
+fn bench_backward(c: &mut Criterion) {
+    use muse_autograd::Tape;
+    let mut rng = SeededRng::new(4);
+    let x = Tensor::rand_uniform(&mut rng, &[8, 64], -1.0, 1.0);
+    let w = Tensor::rand_uniform(&mut rng, &[64, 64], -0.2, 0.2);
+    c.bench_function("tape_forward_backward_mlp", |bch| {
+        bch.iter(|| {
+            let tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let wv = tape.leaf(w.clone());
+            let loss = xv.matmul(&wv).tanh().square().sum();
+            black_box(tape.backward(loss));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv2d, bench_simulator, bench_backward
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table II: the per-step cost of every method in the one-step comparison —
+//! one optimizer step and one inference batch each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_bench::{bench_dataset, bench_profile};
+use muse_eval::runner::{fit_model, FittedModel, ModelKind};
+use std::hint::black_box;
+
+fn bench_inference_per_method(c: &mut Criterion) {
+    let profile = bench_profile();
+    let prepared = bench_dataset();
+    let eval_idx: Vec<usize> = prepared.split.test[..8].to_vec();
+    for kind in ModelKind::table2_lineup() {
+        let model = fit_model(kind, &prepared, &profile);
+        let label = format!("table2_infer_{}", model.name().replace([' ', '(', ')', '+'], "_"));
+        c.bench_function(&label, |bch| {
+            bch.iter(|| black_box(model.predict(&prepared, &eval_idx)))
+        });
+    }
+}
+
+fn bench_train_step_musenet(c: &mut Criterion) {
+    use muse_nn::{Optimizer, Session};
+    let profile = bench_profile();
+    let prepared = bench_dataset();
+    let model = fit_model(ModelKind::MuseNet(musenet::AblationVariant::Full), &prepared, &profile);
+    let FittedModel::Muse(trainer) = &model else { unreachable!() };
+    let b = muse_traffic::subseries::batch(&prepared.scaled, &prepared.spec, &prepared.split.train[..8]);
+    let mut opt = muse_nn::Adam::with_defaults(trainer.model().params(), 1e-3);
+    c.bench_function("table2_train_step_musenet", |bch| {
+        bch.iter(|| {
+            let tape = muse_autograd::Tape::new();
+            let s = Session::new(&tape);
+            let pass = trainer.model().train_graph(&s, &b);
+            s.backward(pass.loss);
+            opt.step();
+            opt.zero_grad();
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inference_per_method, bench_train_step_musenet
+}
+criterion_main!(benches);

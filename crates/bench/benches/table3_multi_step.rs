@@ -1,0 +1,26 @@
+//! Table III: cost of the 3-horizon autoregressive rollout per method.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_bench::{bench_dataset, bench_profile};
+use muse_eval::runner::{fit_model, ModelKind};
+use std::hint::black_box;
+
+fn bench_rollout(c: &mut Criterion) {
+    let profile = bench_profile();
+    let prepared = bench_dataset();
+    let base: Vec<usize> = prepared.split.test[..4].to_vec();
+    for kind in ModelKind::multiperiodic_lineup() {
+        let model = fit_model(kind, &prepared, &profile);
+        let label = format!("table3_rollout3_{}", model.name().replace([' ', '(', ')', '+'], "_"));
+        c.bench_function(&label, |bch| {
+            bch.iter(|| black_box(model.predict_multi_step(&prepared, &base, 3)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rollout
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table IV: peak/non-peak masked metric evaluation over a large test set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_metrics::error::masked_errors;
+use muse_tensor::init::SeededRng;
+use muse_tensor::Tensor;
+use muse_traffic::masks::peak_mask;
+use std::hint::black_box;
+
+fn bench_masked_metrics(c: &mut Criterion) {
+    let mut rng = SeededRng::new(7);
+    let n = 480;
+    let pred = Tensor::rand_uniform(&mut rng, &[n, 1, 8, 10], 0.0, 30.0);
+    let truth = Tensor::rand_uniform(&mut rng, &[n, 1, 8, 10], 0.0, 30.0);
+    let indices: Vec<usize> = (0..n).collect();
+    let mask = peak_mask(&indices, 24);
+    c.bench_function("table4_masked_errors_480", |bch| {
+        bch.iter(|| black_box(masked_errors(&pred, &truth, &mask)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_masked_metrics
+}
+criterion_main!(benches);

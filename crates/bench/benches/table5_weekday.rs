@@ -1,0 +1,27 @@
+//! Table V: weekday/weekend masked metric evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_metrics::error::masked_errors;
+use muse_tensor::init::SeededRng;
+use muse_tensor::Tensor;
+use muse_traffic::masks::weekday_mask;
+use std::hint::black_box;
+
+fn bench_weekday_metrics(c: &mut Criterion) {
+    let mut rng = SeededRng::new(8);
+    let n = 480;
+    let pred = Tensor::rand_uniform(&mut rng, &[n, 1, 8, 10], 0.0, 30.0);
+    let truth = Tensor::rand_uniform(&mut rng, &[n, 1, 8, 10], 0.0, 30.0);
+    let indices: Vec<usize> = (0..n).collect();
+    let mask = weekday_mask(&indices, 24, 0);
+    c.bench_function("table5_weekday_errors_480", |bch| {
+        bch.iter(|| black_box(masked_errors(&pred, &truth, &mask)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_weekday_metrics
+}
+criterion_main!(benches);

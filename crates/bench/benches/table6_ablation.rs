@@ -1,0 +1,41 @@
+//! Table VI: objective construction + backward for every ablation variant —
+//! measures what each disentanglement component costs per step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_bench::{bench_dataset, bench_profile};
+use muse_nn::Session;
+use muse_autograd::Tape;
+use muse_traffic::subseries::batch;
+use musenet::{AblationVariant, MuseNet, MuseNetConfig};
+
+fn bench_variants(c: &mut Criterion) {
+    let profile = bench_profile();
+    let prepared = bench_dataset();
+    let b = batch(&prepared.scaled, &prepared.spec, &prepared.split.train[..8]);
+    for variant in AblationVariant::all() {
+        let mut cfg = MuseNetConfig::cpu_profile(prepared.dataset.grid(), prepared.spec);
+        cfg.d = profile.d;
+        cfg.k = profile.k;
+        cfg.variant = variant;
+        let model = MuseNet::new(cfg);
+        let label = format!(
+            "table6_step_{}",
+            variant.name().replace(['-', '/'], "_").to_lowercase()
+        );
+        c.bench_function(&label, |bch| {
+            bch.iter(|| {
+                let tape = Tape::new();
+                let s = Session::new(&tape);
+                let pass = model.train_graph(&s, &b);
+                s.backward(pass.loss);
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_variants
+}
+criterion_main!(benches);

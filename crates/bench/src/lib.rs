@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # muse-bench
+//!
+//! Shared fixtures for the Criterion benchmark suite. Each bench target
+//! (`benches/<name>.rs`) regenerates the computational core of one paper
+//! table or figure:
+//!
+//! | Bench | Paper artifact | Measured workload |
+//! |---|---|---|
+//! | `table1_complexity` | Table I | analytic complexity model + MUSE-Net forward at paper dims |
+//! | `table2_one_step` | Table II | one training step + one inference batch per method |
+//! | `table3_multi_step` | Table III | 3-horizon autoregressive rollout |
+//! | `table4_peak` | Table IV | masked metric evaluation (peak mask) |
+//! | `table5_weekday` | Table V | masked metric evaluation (weekday mask) |
+//! | `table6_ablation` | Table VI | train-graph build + backward per ablation variant |
+//! | `fig4_predict_curve` | Fig. 4 | windowed batched prediction |
+//! | `fig5_tsne` | Fig. 5 | representation extraction + t-SNE embedding |
+//! | `fig6_similarity` | Figs. 6–8 | similarity matrices + alignment |
+//! | `fig9_sensitivity` | Fig. 9 | one short training epoch per λ value |
+//! | `kernels` | — | matmul / conv2d / simulator micro-benches |
+//!
+//! Full-scale regeneration (with training to convergence) lives in the
+//! `muse-eval` binary; these benches keep `cargo bench` minutes-scale while
+//! still exercising every experiment's code path.
+
+use muse_eval::runner::{prepare, Prepared, Profile};
+use muse_traffic::dataset::DatasetPreset;
+
+/// The profile all benches share: very small but structurally complete.
+pub fn bench_profile() -> Profile {
+    Profile {
+        scale: 0.45,
+        epochs: 1,
+        max_batches: 2,
+        max_eval: 16,
+        d: 6,
+        k: 8,
+        hidden: 12,
+        channels: 6,
+        ..Profile::quick()
+    }
+}
+
+/// A prepared small dataset, generated once per bench process.
+pub fn bench_dataset() -> Prepared {
+    prepare(DatasetPreset::NycBike, &bench_profile())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let p = bench_dataset();
+        assert!(!p.scaled.is_empty());
+        assert!(!p.split.test.is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! The four ablation variants of §V-D (Table VI).
+
+use serde::{Deserialize, Serialize};
+
+/// Which parts of MUSE-Net to build/train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AblationVariant {
+    /// The full model.
+    Full,
+    /// `MUSE-Net-w/o-Spatial`: drop the ResPlus spatial module; the
+    /// prediction head becomes a per-cell 1×1 convolution (no spatial
+    /// mixing).
+    WithoutSpatial,
+    /// `MUSE-Net-w/o-MultiDisentangle`: replace the single interactive
+    /// representation `Z^S` with three pairwise cross-variate
+    /// representations `Z^{CP}, Z^{CT}, Z^{PT}` (bivariate disentanglement à
+    /// la IIAE), with no semantic-pulling term.
+    WithoutMultiDisentangle,
+    /// `MUSE-Net-w/o-SemanticPushing`: drop the semantic-pushing
+    /// regularizer (Eq. 9): the merged objective loses the `λ`-weighted
+    /// share of the KL and reconstruction terms (their coefficients fall
+    /// from `1+λ` to `1`).
+    WithoutSemanticPushing,
+    /// `MUSE-Net-w/o-SemanticPulling`: drop the semantic-pulling
+    /// regularizer (Eq. 16): no simplex/duplex variational encoders are
+    /// trained.
+    WithoutSemanticPulling,
+}
+
+impl AblationVariant {
+    /// All variants in the order of Table VI's columns.
+    pub fn all() -> [AblationVariant; 5] {
+        [
+            AblationVariant::WithoutSpatial,
+            AblationVariant::WithoutMultiDisentangle,
+            AblationVariant::WithoutSemanticPushing,
+            AblationVariant::WithoutSemanticPulling,
+            AblationVariant::Full,
+        ]
+    }
+
+    /// Display name matching the paper's column headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AblationVariant::Full => "MUSE-Net",
+            AblationVariant::WithoutSpatial => "MUSE-Net-w/o-Spatial",
+            AblationVariant::WithoutMultiDisentangle => "MUSE-Net-w/o-MultiDisentangle",
+            AblationVariant::WithoutSemanticPushing => "MUSE-Net-w/o-SemanticPushing",
+            AblationVariant::WithoutSemanticPulling => "MUSE-Net-w/o-SemanticPulling",
+        }
+    }
+
+    /// Whether this variant trains the simplex/duplex variational encoders.
+    pub fn uses_pulling(&self) -> bool {
+        matches!(self, AblationVariant::Full | AblationVariant::WithoutSpatial | AblationVariant::WithoutSemanticPushing)
+    }
+
+    /// Whether the single multivariate interactive representation is used
+    /// (vs. three pairwise ones).
+    pub fn uses_multivariate_interactive(&self) -> bool {
+        !matches!(self, AblationVariant::WithoutMultiDisentangle)
+    }
+
+    /// Whether the ResPlus spatial module is used.
+    pub fn uses_spatial(&self) -> bool {
+        !matches!(self, AblationVariant::WithoutSpatial)
+    }
+
+    /// Whether the `λ`-weighted pushing share applies (coefficient `1+λ` on
+    /// KL and reconstruction terms).
+    pub fn uses_pushing(&self) -> bool {
+        !matches!(self, AblationVariant::WithoutSemanticPushing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_model_uses_everything() {
+        let v = AblationVariant::Full;
+        assert!(v.uses_pulling() && v.uses_multivariate_interactive() && v.uses_spatial() && v.uses_pushing());
+        assert_eq!(v.name(), "MUSE-Net");
+    }
+
+    #[test]
+    fn each_ablation_disables_exactly_its_module() {
+        assert!(!AblationVariant::WithoutSpatial.uses_spatial());
+        assert!(AblationVariant::WithoutSpatial.uses_pulling());
+
+        assert!(!AblationVariant::WithoutMultiDisentangle.uses_multivariate_interactive());
+        assert!(!AblationVariant::WithoutMultiDisentangle.uses_pulling());
+
+        assert!(!AblationVariant::WithoutSemanticPushing.uses_pushing());
+        assert!(AblationVariant::WithoutSemanticPushing.uses_pulling());
+
+        assert!(!AblationVariant::WithoutSemanticPulling.uses_pulling());
+        assert!(AblationVariant::WithoutSemanticPulling.uses_pushing());
+    }
+
+    #[test]
+    fn all_lists_five_columns() {
+        let names: Vec<&str> = AblationVariant::all().iter().map(|v| v.name()).collect();
+        assert_eq!(names.len(), 5);
+        assert!(names.contains(&"MUSE-Net-w/o-SemanticPulling"));
+    }
+}

@@ -1,0 +1,148 @@
+//! MUSE-Net hyper-parameters.
+
+use crate::ablation::AblationVariant;
+use muse_traffic::{GridMap, SubSeriesSpec};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of MUSE-Net.
+///
+/// Paper settings (§IV-E, §V-B): `Lc,Lp,Lt = 3,4,4`, representation
+/// dimension `d = 64`, sampled distribution dimension `k = 128` (exclusive
+/// distributions use `k/4`), `λ = 1`, Adam at learning rate `2e-4`, batch 8.
+/// The constructor defaults reproduce those; tests and the CPU-profile
+/// harness shrink `d`/`k`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MuseNetConfig {
+    /// City grid the model predicts over.
+    pub grid: GridMap,
+    /// Multi-periodic interception spec (lengths + sampling frequency).
+    pub spec: SubSeriesSpec,
+    /// Representation dimension `d`: channels of the exclusive/interactive
+    /// feature maps.
+    pub d: usize,
+    /// Sampled distribution dimension `k`: the interactive posterior has `k`
+    /// dims; each exclusive posterior uses `k/4` (§IV-E).
+    pub k: usize,
+    /// Trade-off `λ` between exclusive and interactive information (Eq. 17).
+    pub lambda: f32,
+    /// Number of ResPlus residual blocks in the spatial module.
+    pub resplus_blocks: usize,
+    /// Channels routed through each block's long-range "plus" unit.
+    pub plus_channels: usize,
+    /// Stabilizing cap on the maximized `KL[r(z^s|c,p,t) ‖ d(z^s|i,j)]`
+    /// semantic-pulling term. The theoretical objective maximizes this KL
+    /// (a conditional-MI lower bound, Eq. 23); the bound is finite in theory
+    /// (≤ the data's interaction information) but unbounded for an
+    /// unconstrained network, so we saturate it — documented in DESIGN.md.
+    pub pull_cap: f32,
+    /// Which ablation variant to build ([`AblationVariant::Full`] = paper model).
+    pub variant: AblationVariant,
+    /// Weight-init / reparameterization seed.
+    pub seed: u64,
+}
+
+impl MuseNetConfig {
+    /// Paper-default hyper-parameters for a grid and interception spec.
+    pub fn paper(grid: GridMap, spec: SubSeriesSpec) -> Self {
+        MuseNetConfig {
+            grid,
+            spec,
+            d: 64,
+            k: 128,
+            lambda: 1.0,
+            resplus_blocks: 2,
+            plus_channels: 2,
+            pull_cap: 5.0,
+            variant: AblationVariant::Full,
+            seed: 0,
+        }
+    }
+
+    /// A small configuration that trains in seconds on one CPU core —
+    /// used by tests and the default harness profile.
+    pub fn cpu_profile(grid: GridMap, spec: SubSeriesSpec) -> Self {
+        MuseNetConfig { d: 16, k: 32, resplus_blocks: 1, ..Self::paper(grid, spec) }
+    }
+
+    /// Exclusive posterior dimension `k/4` (floored, min 1).
+    pub fn exclusive_dim(&self) -> usize {
+        (self.k / 4).max(1)
+    }
+
+    /// Interactive posterior dimension `k`.
+    pub fn interactive_dim(&self) -> usize {
+        self.k
+    }
+
+    /// Input channels of the closeness branch (`2·Lc`).
+    pub fn closeness_channels(&self) -> usize {
+        2 * self.spec.lc
+    }
+
+    /// Input channels of the period branch (`2·Lp`).
+    pub fn period_channels(&self) -> usize {
+        2 * self.spec.lp
+    }
+
+    /// Input channels of the trend branch (`2·Lt`).
+    pub fn trend_channels(&self) -> usize {
+        2 * self.spec.lt
+    }
+
+    /// Number of grid cells `M = H·W`.
+    pub fn cells(&self) -> usize {
+        self.grid.cells()
+    }
+
+    /// Sanity-check the configuration; panics with a descriptive message on
+    /// inconsistency.
+    pub fn validate(&self) {
+        assert!(self.d >= 1, "representation dim d must be >= 1");
+        assert!(self.k >= 4, "sampled dim k must be >= 4 (uses k/4 for exclusives)");
+        assert!(self.lambda >= 0.0, "lambda must be non-negative");
+        assert!(self.spec.lc >= 1 && self.spec.lp >= 1 && self.spec.lt >= 1, "sub-series lengths must be >= 1");
+        assert!(self.resplus_blocks >= 1 || matches!(self.variant, AblationVariant::WithoutSpatial),
+            "need at least one ResPlus block unless spatial module is ablated");
+        assert!(self.plus_channels >= 1, "plus unit needs at least one channel");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SubSeriesSpec {
+        SubSeriesSpec::paper_default(24)
+    }
+
+    #[test]
+    fn paper_defaults_match_section_iv_e() {
+        let cfg = MuseNetConfig::paper(GridMap::new(8, 10), spec());
+        assert_eq!(cfg.d, 64);
+        assert_eq!(cfg.k, 128);
+        assert_eq!(cfg.exclusive_dim(), 32);
+        assert_eq!(cfg.interactive_dim(), 128);
+        assert!((cfg.lambda - 1.0).abs() < 1e-9);
+        assert_eq!(cfg.spec.lc, 3);
+        assert_eq!(cfg.closeness_channels(), 6);
+        assert_eq!(cfg.period_channels(), 8);
+        assert_eq!(cfg.trend_channels(), 8);
+        cfg.validate();
+    }
+
+    #[test]
+    fn cpu_profile_is_smaller() {
+        let p = MuseNetConfig::paper(GridMap::new(6, 6), spec());
+        let c = MuseNetConfig::cpu_profile(GridMap::new(6, 6), spec());
+        assert!(c.d < p.d && c.k < p.k);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be >= 4")]
+    fn validate_rejects_tiny_k() {
+        let mut cfg = MuseNetConfig::paper(GridMap::new(4, 4), spec());
+        cfg.k = 2;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,210 @@
+//! Exclusive and interactive encoders (§IV-E, Eq. 27).
+//!
+//! Each encoder follows the paper's description: a convolutional layer
+//! produces the (spatial) representation, and a fully connected layer maps
+//! it to the mean / log-variance of the corresponding posterior:
+//!
+//! * exclusive encoder — one per sub-series, posterior `r_φ(z^i | i)` of
+//!   dimension `k/4`;
+//! * interactive encoder — consumes the convolutional features of all three
+//!   sub-series, posterior `r_φ(z^s | c, p, t)` of dimension `k`.
+
+use muse_nn::{Conv2dLayer, Linear, ParamRef, Session};
+use muse_autograd::Var;
+use muse_tensor::init::SeededRng;
+use muse_tensor::Conv2dSpec;
+
+/// Bound applied to raw log-variances: `logvar = 4·tanh(raw)`.
+///
+/// Keeps posterior variances in `[e^-4, e^4]`, which stabilizes the KL terms
+/// early in training without affecting the attainable optimum in practice.
+const LOGVAR_SCALE: f32 = 4.0;
+
+/// A fully connected distribution head: flattened features → `(μ, logσ²)`.
+#[derive(Debug)]
+pub struct DistributionHead {
+    mu: Linear,
+    logvar: Linear,
+    in_features: usize,
+}
+
+impl DistributionHead {
+    /// Head mapping `in_features` to a `dim`-dimensional Gaussian.
+    pub fn new(rng: &mut SeededRng, in_features: usize, dim: usize) -> Self {
+        DistributionHead {
+            mu: Linear::new(rng, in_features, dim),
+            logvar: Linear::new(rng, in_features, dim),
+            in_features,
+        }
+    }
+
+    /// Produce `(μ, logσ²)` from a `[B, in_features]` variable.
+    pub fn forward<'t>(&self, s: &Session<'t>, flat: Var<'t>) -> (Var<'t>, Var<'t>) {
+        debug_assert_eq!(flat.dims()[1], self.in_features, "distribution head width mismatch");
+        let mu = self.mu.forward(s, flat);
+        let logvar = self.logvar.forward(s, flat).tanh().mul_scalar(LOGVAR_SCALE);
+        (mu, logvar)
+    }
+
+    /// Parameters of both linear maps.
+    pub fn params(&self) -> Vec<ParamRef> {
+        let mut p = self.mu.params();
+        p.extend(self.logvar.params());
+        p
+    }
+}
+
+/// Output of an encoder: the spatial representation map plus the posterior.
+pub struct EncoderOutput<'t> {
+    /// Representation feature map `[B, d, H, W]`.
+    pub feature: Var<'t>,
+    /// Posterior mean `[B, dim]`.
+    pub mu: Var<'t>,
+    /// Posterior log-variance `[B, dim]`.
+    pub logvar: Var<'t>,
+}
+
+/// Spatially pool a `[B, d, H, W]` representation map to the `[B, d]`
+/// representation vector the distribution heads consume — the paper's
+/// `d`-dimensional representation with `k`-dimensional sampled posterior.
+pub fn spatial_pool<'t>(feature: Var<'t>) -> Var<'t> {
+    let dims = feature.dims();
+    let (b, d, cells) = (dims[0], dims[1], dims[2] * dims[3]);
+    feature.reshape(&[b, d, cells]).mean_axis(2)
+}
+
+/// Exclusive encoder for one sub-series (closeness, period, or trend).
+#[derive(Debug)]
+pub struct ExclusiveEncoder {
+    conv: Conv2dLayer,
+    head: DistributionHead,
+}
+
+impl ExclusiveEncoder {
+    /// Encoder from `in_channels` (= `2·L_i`) input maps to a `d`-channel
+    /// representation and a `dist_dim`-dimensional posterior.
+    pub fn new(rng: &mut SeededRng, in_channels: usize, d: usize, _grid_cells: usize, dist_dim: usize) -> Self {
+        ExclusiveEncoder {
+            conv: Conv2dLayer::new(rng, Conv2dSpec::same(in_channels, d, 3)),
+            head: DistributionHead::new(rng, d, dist_dim),
+        }
+    }
+
+    /// Encode a `[B, in_channels, H, W]` sub-series.
+    pub fn forward<'t>(&self, s: &Session<'t>, x: Var<'t>) -> EncoderOutput<'t> {
+        let feature = self.conv.forward(s, x).relu();
+        let (mu, logvar) = self.head.forward(s, spatial_pool(feature));
+        EncoderOutput { feature, mu, logvar }
+    }
+
+    /// All parameters.
+    pub fn params(&self) -> Vec<ParamRef> {
+        let mut p = self.conv.params();
+        p.extend(self.head.params());
+        p
+    }
+}
+
+/// Interactive encoder: consumes the concatenated convolutional features of
+/// all three sub-series and produces `Z^S` with posterior `r_φ(z^s|c,p,t)`.
+#[derive(Debug)]
+pub struct InteractiveEncoder {
+    conv: Conv2dLayer,
+    head: DistributionHead,
+}
+
+impl InteractiveEncoder {
+    /// Encoder over `n_branches · d` concatenated feature channels.
+    pub fn new(rng: &mut SeededRng, n_branches: usize, d: usize, _grid_cells: usize, dist_dim: usize) -> Self {
+        InteractiveEncoder {
+            conv: Conv2dLayer::new(rng, Conv2dSpec::same(n_branches * d, d, 3)),
+            head: DistributionHead::new(rng, d, dist_dim),
+        }
+    }
+
+    /// Encode concatenated branch features `[B, n·d, H, W]`.
+    pub fn forward<'t>(&self, s: &Session<'t>, features: Var<'t>) -> EncoderOutput<'t> {
+        let feature = self.conv.forward(s, features).relu();
+        let (mu, logvar) = self.head.forward(s, spatial_pool(feature));
+        EncoderOutput { feature, mu, logvar }
+    }
+
+    /// All parameters.
+    pub fn params(&self) -> Vec<ParamRef> {
+        let mut p = self.conv.params();
+        p.extend(self.head.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_autograd::Tape;
+    use muse_tensor::Tensor;
+
+    #[test]
+    fn exclusive_encoder_shapes() {
+        let mut rng = SeededRng::new(1);
+        let enc = ExclusiveEncoder::new(&mut rng, 6, 8, 12, 4);
+        let tape = Tape::new();
+        let s = Session::new(&tape);
+        let x = s.input(Tensor::ones(&[2, 6, 3, 4]));
+        let out = enc.forward(&s, x);
+        assert_eq!(out.feature.dims(), vec![2, 8, 3, 4]);
+        assert_eq!(out.mu.dims(), vec![2, 4]);
+        assert_eq!(out.logvar.dims(), vec![2, 4]);
+    }
+
+    #[test]
+    fn logvar_is_bounded() {
+        let mut rng = SeededRng::new(2);
+        let enc = ExclusiveEncoder::new(&mut rng, 2, 4, 6, 3);
+        let tape = Tape::new();
+        let s = Session::new(&tape);
+        // Extreme inputs cannot blow up the log-variance.
+        let x = s.input(Tensor::full(&[1, 2, 2, 3], 100.0));
+        let out = enc.forward(&s, x);
+        assert!(out.logvar.value().max() <= LOGVAR_SCALE + 1e-5);
+        assert!(out.logvar.value().min() >= -LOGVAR_SCALE - 1e-5);
+    }
+
+    #[test]
+    fn interactive_encoder_consumes_concat_features() {
+        let mut rng = SeededRng::new(3);
+        let d = 4;
+        let enc = InteractiveEncoder::new(&mut rng, 3, d, 6, 8);
+        let tape = Tape::new();
+        let s = Session::new(&tape);
+        let feats = s.input(Tensor::ones(&[2, 3 * d, 2, 3]));
+        let out = enc.forward(&s, feats);
+        assert_eq!(out.feature.dims(), vec![2, d, 2, 3]);
+        assert_eq!(out.mu.dims(), vec![2, 8]);
+    }
+
+    #[test]
+    fn gradients_reach_all_params() {
+        let mut rng = SeededRng::new(4);
+        let enc = ExclusiveEncoder::new(&mut rng, 2, 4, 4, 2);
+        let tape = Tape::new();
+        let s = Session::new(&tape);
+        let x = s.input(Tensor::rand_uniform(&mut rng, &[2, 2, 2, 2], -1.0, 1.0));
+        let out = enc.forward(&s, x);
+        let loss = out.mu.square().sum().add(&out.logvar.square().sum()).add(&out.feature.square().sum());
+        s.backward(loss);
+        for p in enc.params() {
+            assert!(p.grad().norm() > 0.0, "no gradient for {}", p.name());
+        }
+    }
+
+    #[test]
+    fn relu_feature_nonnegative() {
+        let mut rng = SeededRng::new(5);
+        let enc = ExclusiveEncoder::new(&mut rng, 2, 4, 4, 2);
+        let tape = Tape::new();
+        let s = Session::new(&tape);
+        let x = s.input(Tensor::rand_uniform(&mut rng, &[1, 2, 2, 2], -1.0, 1.0));
+        let out = enc.forward(&s, x);
+        assert!(out.feature.value().min() >= 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The merged objective of Eq. (26), assembled from the lower bounds of
+//! Eqs. (27)–(30).
+//!
+//! Everything is written in *minimization* form (the negation of the paper's
+//! maximization):
+//!
+//! ```text
+//! minimize   w_ex · Σ_i KL[r(z^i|i) ‖ N(0,I)]          (from Eq. 27)
+//!          +        KL[r(z^s|·) ‖ N(0,I)]
+//!          + w_ex · Σ_i MSE(decode(z^i, z^s), i)        (from Eq. 28)
+//!          + λ · Σ_pairs ( KL[d^{ij} ‖ g^i] + KL[d^{ij} ‖ g^j]
+//!                          − sat(KL[r(z^s|·) ‖ d^{ij}]) )   (from Eq. 29)
+//!          + MSE(Y_n, X_n)                              (Eq. 30)
+//! ```
+//!
+//! where `w_ex = 1 + λ` when semantic-pushing is active and `1` otherwise,
+//! and `sat(x) = cap · tanh(x / cap)` saturates the *maximized* KL term —
+//! the theoretical bound (conditional interaction information) is finite,
+//! but an unconstrained network could grow it without limit, so we cap it.
+
+use crate::ablation::AblationVariant;
+use muse_autograd::Var;
+use serde::{Deserialize, Serialize};
+
+/// Scalar values of each objective component for one forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossTerms {
+    /// KL of the three exclusive posteriors to the standard normal prior.
+    pub kl_exclusive: f32,
+    /// KL of the interactive posterior(s) to the standard normal prior.
+    pub kl_interactive: f32,
+    /// Reconstruction (semantic-pushing) term.
+    pub reconstruction: f32,
+    /// Semantic-pulling term (0 when ablated).
+    pub pulling: f32,
+    /// Forecast regression `L_Reg`.
+    pub regression: f32,
+    /// The weighted total that training minimizes.
+    pub total: f32,
+}
+
+impl LossTerms {
+    /// All components finite?
+    pub fn is_finite(&self) -> bool {
+        [self.kl_exclusive, self.kl_interactive, self.reconstruction, self.pulling, self.regression, self.total]
+            .iter()
+            .all(|v| v.is_finite())
+    }
+}
+
+/// Objective weights derived from the variant and `λ` (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectiveWeights {
+    /// Weight on exclusive KL and reconstruction terms (`1+λ` or `1`).
+    pub exclusive: f32,
+    /// Weight on the semantic-pulling block (`λ` or `0`).
+    pub pulling: f32,
+    /// Saturation cap for the maximized pulling KL.
+    pub pull_cap: f32,
+}
+
+impl ObjectiveWeights {
+    /// Derive weights for a variant.
+    pub fn for_variant(variant: AblationVariant, lambda: f32, pull_cap: f32) -> Self {
+        ObjectiveWeights {
+            exclusive: if variant.uses_pushing() { 1.0 + lambda } else { 1.0 },
+            pulling: if variant.uses_pulling() { lambda } else { 0.0 },
+            pull_cap,
+        }
+    }
+}
+
+/// Smoothly saturate a non-negative scalar variable at `cap`:
+/// `sat(x) = cap · tanh(x / cap)`.
+///
+/// Near zero this is ≈ identity (full gradient); as `x → ∞` it approaches
+/// `cap` (vanishing gradient), preventing the maximized KL from running
+/// away.
+pub fn saturate<'t>(x: Var<'t>, cap: f32) -> Var<'t> {
+    assert!(cap > 0.0, "saturation cap must be positive");
+    x.mul_scalar(1.0 / cap).tanh().mul_scalar(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_autograd::Tape;
+    use muse_tensor::Tensor;
+
+    #[test]
+    fn weights_follow_variant() {
+        let w = ObjectiveWeights::for_variant(AblationVariant::Full, 1.0, 5.0);
+        assert_eq!(w.exclusive, 2.0);
+        assert_eq!(w.pulling, 1.0);
+
+        let w = ObjectiveWeights::for_variant(AblationVariant::WithoutSemanticPushing, 1.0, 5.0);
+        assert_eq!(w.exclusive, 1.0);
+        assert_eq!(w.pulling, 1.0);
+
+        let w = ObjectiveWeights::for_variant(AblationVariant::WithoutSemanticPulling, 1.0, 5.0);
+        assert_eq!(w.exclusive, 2.0);
+        assert_eq!(w.pulling, 0.0);
+
+        let w = ObjectiveWeights::for_variant(AblationVariant::WithoutMultiDisentangle, 0.5, 5.0);
+        assert_eq!(w.exclusive, 1.5);
+        assert_eq!(w.pulling, 0.0);
+    }
+
+    #[test]
+    fn lambda_scales_weights() {
+        let w = ObjectiveWeights::for_variant(AblationVariant::Full, 0.1, 5.0);
+        assert!((w.exclusive - 1.1).abs() < 1e-6);
+        assert!((w.pulling - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn saturate_is_identity_near_zero_and_capped_far() {
+        let tape = Tape::new();
+        let small = tape.leaf(Tensor::scalar(0.01));
+        let sat = saturate(small, 5.0);
+        assert!((sat.item() - 0.01).abs() < 1e-4);
+        let big = tape.leaf(Tensor::scalar(100.0));
+        let sat = saturate(big, 5.0);
+        assert!(sat.item() <= 5.0 && sat.item() > 4.9);
+    }
+
+    #[test]
+    fn saturate_gradient_vanishes_at_cap() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::scalar(100.0));
+        let y = saturate(x, 5.0);
+        let grads = tape.backward(y);
+        assert!(grads.get(x).unwrap().item() < 1e-3);
+    }
+
+    #[test]
+    fn loss_terms_finite_check() {
+        let ok = LossTerms {
+            kl_exclusive: 1.0,
+            kl_interactive: 1.0,
+            reconstruction: 0.5,
+            pulling: -0.5,
+            regression: 0.1,
+            total: 2.1,
+        };
+        assert!(ok.is_finite());
+        let bad = LossTerms { total: f32::NAN, ..ok };
+        assert!(!bad.is_finite());
+    }
+}

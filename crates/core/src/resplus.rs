@@ -1,0 +1,342 @@
+//! The ResPlus spatial module, following DeepSTN+ (Feng et al.).
+//!
+//! Each block combines a local 3×3 convolution with a long-range "plus"
+//! unit: a bottlenecked fully connected map over the *whole* flattened grid,
+//! letting distant regions influence each other in one hop — the property
+//! DeepSTN+ introduces over plain residual CNNs. The block output is added
+//! back residually.
+//!
+//! The module fuses MUSE-Net's exclusive and interactive representation maps
+//! and emits the `[B, 2, H, W]` forecast through a tanh head (the data is
+//! min-max scaled to `[-1, 1]`).
+
+use muse_autograd::Var;
+use muse_nn::{Conv2dLayer, Linear, ParamRef, Session};
+use muse_tensor::init::SeededRng;
+use muse_tensor::Conv2dSpec;
+
+/// Long-range unit: 1×1-conv bottleneck to `plus_channels`, then a dense map
+/// across all grid cells.
+#[derive(Debug)]
+struct PlusUnit {
+    reduce: Conv2dLayer,
+    dense: Linear,
+    plus_channels: usize,
+    height: usize,
+    width: usize,
+}
+
+impl PlusUnit {
+    fn new(rng: &mut SeededRng, in_channels: usize, plus_channels: usize, height: usize, width: usize) -> Self {
+        let cells = height * width;
+        PlusUnit {
+            reduce: Conv2dLayer::new(rng, Conv2dSpec {
+                in_channels,
+                out_channels: plus_channels,
+                kernel: (1, 1),
+                stride: (1, 1),
+                padding: (0, 0),
+            }),
+            dense: Linear::new(rng, plus_channels * cells, plus_channels * cells),
+            plus_channels,
+            height,
+            width,
+        }
+    }
+
+    fn forward<'t>(&self, s: &Session<'t>, x: Var<'t>) -> Var<'t> {
+        let b = x.dims()[0];
+        let reduced = self.reduce.forward(s, x).relu();
+        let flat = reduced.reshape(&[b, self.plus_channels * self.height * self.width]);
+        self.dense
+            .forward(s, flat)
+            .relu()
+            .reshape(&[b, self.plus_channels, self.height, self.width])
+    }
+
+    fn params(&self) -> Vec<ParamRef> {
+        let mut p = self.reduce.params();
+        p.extend(self.dense.params());
+        p
+    }
+}
+
+/// One ResPlus block: `relu(x + concat[conv3x3(x), plus(x)])`.
+#[derive(Debug)]
+struct ResPlusBlock {
+    conv: Conv2dLayer,
+    plus: PlusUnit,
+}
+
+impl ResPlusBlock {
+    fn new(rng: &mut SeededRng, channels: usize, plus_channels: usize, height: usize, width: usize) -> Self {
+        assert!(channels > plus_channels, "block channels {channels} must exceed plus channels {plus_channels}");
+        ResPlusBlock {
+            conv: Conv2dLayer::new(rng, Conv2dSpec::same(channels, channels - plus_channels, 3)),
+            plus: PlusUnit::new(rng, channels, plus_channels, height, width),
+        }
+    }
+
+    fn forward<'t>(&self, s: &Session<'t>, x: Var<'t>) -> Var<'t> {
+        let local = self.conv.forward(s, x).relu();
+        let global = self.plus.forward(s, x);
+        let merged = Var::concat(&[local, global], 1);
+        x.add(&merged).relu()
+    }
+
+    fn params(&self) -> Vec<ParamRef> {
+        let mut p = self.conv.params();
+        p.extend(self.plus.params());
+        p
+    }
+}
+
+/// The full spatial head: entry 1×1 conv, `n` ResPlus blocks, a per-cell
+/// Hadamard fusion of recent frames (ST-ResNet / DeepSTN+ style
+/// `Σ W_i ∘ X_i`), and a tanh output.
+#[derive(Debug)]
+pub struct ResPlus {
+    entry: Conv2dLayer,
+    blocks: Vec<ResPlusBlock>,
+    head: Conv2dLayer,
+    /// One per-cell `[2, H, W]` Hadamard weight per skip frame.
+    hadamard: Vec<ParamRef>,
+}
+
+impl ResPlus {
+    /// Build the module.
+    ///
+    /// * `in_channels` — channels of the fused representation stack;
+    /// * `channels` — internal width (the paper's `d` works well);
+    /// * `blocks` — number of ResPlus blocks;
+    /// * `plus_channels` — bottleneck width of each long-range unit;
+    /// * `skip_frames` — number of `[B, 2, H, W]` recent frames fused into
+    ///   the output through per-cell Hadamard weights (ST-ResNet's fusion).
+    ///   The first weight starts near 1 (persistence prior), the rest near 0.
+    pub fn new(
+        rng: &mut SeededRng,
+        in_channels: usize,
+        channels: usize,
+        blocks: usize,
+        plus_channels: usize,
+        height: usize,
+        width: usize,
+        skip_frames: usize,
+    ) -> Self {
+        assert!(blocks >= 1, "ResPlus needs at least one block");
+        let _ = rng.uniform(0.0, 1.0); // keep the init stream position stable across variants
+        let hadamard = (0..skip_frames)
+            .map(|i| {
+                let init = if i == 0 { 0.8 } else { 0.1 };
+                muse_nn::Param::new(
+                    format!("resplus.hadamard[{i}]"),
+                    muse_tensor::Tensor::full(&[2, height, width], init),
+                )
+            })
+            .collect();
+        ResPlus {
+            entry: Conv2dLayer::new(rng, Conv2dSpec {
+                in_channels,
+                out_channels: channels,
+                kernel: (1, 1),
+                stride: (1, 1),
+                padding: (0, 0),
+            }),
+            blocks: (0..blocks)
+                .map(|_| ResPlusBlock::new(rng, channels, plus_channels, height, width))
+                .collect(),
+            head: Conv2dLayer::new(rng, Conv2dSpec::same(channels, 2, 3)),
+            hadamard,
+        }
+    }
+
+    /// Fused representation maps `[B, in_channels, H, W]` plus recent
+    /// frames (one per configured skip) → forecast `[B, 2, H, W]` in
+    /// `[-1, 1]`.
+    pub fn forward<'t>(&self, s: &Session<'t>, x: Var<'t>, skips: &[Var<'t>]) -> Var<'t> {
+        assert_eq!(skips.len(), self.hadamard.len(), "skip frame count mismatch");
+        let mut h = self.entry.forward(s, x).relu();
+        for block in &self.blocks {
+            h = block.forward(s, h);
+        }
+        let mut out = self.head.forward(s, h);
+        for (w, &frame) in self.hadamard.iter().zip(skips) {
+            let wv = s.param(w);
+            out = out.add(&frame.mul(&wv));
+        }
+        out.tanh()
+    }
+
+    /// All parameters.
+    pub fn params(&self) -> Vec<ParamRef> {
+        let mut p = self.entry.params();
+        for b in &self.blocks {
+            p.extend(b.params());
+        }
+        p.extend(self.head.params());
+        p.extend(self.hadamard.iter().cloned());
+        p
+    }
+}
+
+/// The `w/o-Spatial` ablation head: a per-cell 1×1 convolution with no
+/// spatial mixing at all (the Hadamard skip fusion, being per-cell, stays).
+#[derive(Debug)]
+pub struct PointwiseHead {
+    conv: Conv2dLayer,
+    hadamard: Vec<ParamRef>,
+}
+
+impl PointwiseHead {
+    /// Build the pointwise head.
+    pub fn new(rng: &mut SeededRng, in_channels: usize, height: usize, width: usize, skip_frames: usize) -> Self {
+        let hadamard = (0..skip_frames)
+            .map(|i| {
+                let init = if i == 0 { 0.8 } else { 0.1 };
+                muse_nn::Param::new(
+                    format!("pointwise.hadamard[{i}]"),
+                    muse_tensor::Tensor::full(&[2, height, width], init),
+                )
+            })
+            .collect();
+        PointwiseHead {
+            conv: Conv2dLayer::new(rng, Conv2dSpec {
+                in_channels,
+                out_channels: 2,
+                kernel: (1, 1),
+                stride: (1, 1),
+                padding: (0, 0),
+            }),
+            hadamard,
+        }
+    }
+
+    /// `[B, in_channels, H, W] → [B, 2, H, W]`.
+    pub fn forward<'t>(&self, s: &Session<'t>, x: Var<'t>, skips: &[Var<'t>]) -> Var<'t> {
+        assert_eq!(skips.len(), self.hadamard.len(), "skip frame count mismatch");
+        let mut out = self.conv.forward(s, x);
+        for (w, &frame) in self.hadamard.iter().zip(skips) {
+            let wv = s.param(w);
+            out = out.add(&frame.mul(&wv));
+        }
+        out.tanh()
+    }
+
+    /// All parameters.
+    pub fn params(&self) -> Vec<ParamRef> {
+        let mut p = self.conv.params();
+        p.extend(self.hadamard.iter().cloned());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_autograd::Tape;
+    use muse_tensor::Tensor;
+
+    #[test]
+    fn resplus_output_shape_and_range() {
+        let mut rng = SeededRng::new(1);
+        let rp = ResPlus::new(&mut rng, 12, 8, 2, 2, 3, 4, 0);
+        let tape = Tape::new();
+        let s = Session::new(&tape);
+        let x = s.input(Tensor::rand_uniform(&mut rng, &[2, 12, 3, 4], -1.0, 1.0));
+        let y = rp.forward(&s, x, &[]);
+        assert_eq!(y.dims(), vec![2, 2, 3, 4]);
+        assert!(y.value().max() <= 1.0 && y.value().min() >= -1.0);
+    }
+
+    #[test]
+    fn plus_unit_mixes_distant_cells() {
+        // Changing a far-away input cell must affect the output at (0,0) —
+        // impossible in a single 3×3 conv on a large grid, possible through
+        // the plus unit.
+        let mut rng = SeededRng::new(2);
+        let h = 1;
+        let w = 9; // 3×3 conv footprint cannot reach across 9 columns
+        let rp = ResPlus::new(&mut rng, 2, 6, 1, 2, h, w, 0);
+        // A non-zero base keeps the ReLU chains active so the long-range
+        // signal is observable.
+        let base = Tensor::full(&[1, 2, h, w], 0.3);
+        let mut poked = base.clone();
+        *poked.at_mut(&[0, 0, 0, 8]) = 1.5;
+
+        let tape = Tape::new();
+        let s = Session::new(&tape);
+        let y0 = rp.forward(&s, s.input(base), &[]);
+        let tape2 = Tape::new();
+        let s2 = Session::new(&tape2);
+        let y1 = rp.forward(&s2, s2.input(poked), &[]);
+        let delta = (y0.value().at(&[0, 0, 0, 0]) - y1.value().at(&[0, 0, 0, 0])).abs();
+        assert!(delta > 1e-7, "plus unit did not propagate long-range info (delta {delta})");
+    }
+
+    #[test]
+    fn pointwise_head_no_spatial_mixing() {
+        // The w/o-Spatial head must NOT propagate information between cells.
+        let mut rng = SeededRng::new(3);
+        let head = PointwiseHead::new(&mut rng, 3, 2, 2, 0);
+        let base = Tensor::zeros(&[1, 3, 2, 2]);
+        let mut poked = base.clone();
+        *poked.at_mut(&[0, 0, 1, 1]) = 1.0;
+        let tape = Tape::new();
+        let s = Session::new(&tape);
+        let y0 = head.forward(&s, s.input(base), &[]);
+        let tape2 = Tape::new();
+        let s2 = Session::new(&tape2);
+        let y1 = head.forward(&s2, s2.input(poked), &[]);
+        // Cell (0,0) unchanged; cell (1,1) changed.
+        assert!((y0.value().at(&[0, 0, 0, 0]) - y1.value().at(&[0, 0, 0, 0])).abs() < 1e-7);
+        assert!((y0.value().at(&[0, 0, 1, 1]) - y1.value().at(&[0, 0, 1, 1])).abs() > 1e-7);
+    }
+
+    #[test]
+    fn trainable_to_fit_target() {
+        let mut rng = SeededRng::new(4);
+        let rp = ResPlus::new(&mut rng, 4, 6, 1, 2, 2, 3, 0);
+        let x = Tensor::rand_uniform(&mut rng, &[2, 4, 2, 3], -1.0, 1.0);
+        let target = Tensor::rand_uniform(&mut rng, &[2, 2, 2, 3], -0.5, 0.5);
+        let mut opt = muse_nn::Adam::with_defaults(rp.params(), 0.01);
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            let tape = Tape::new();
+            let s = Session::new(&tape);
+            let out = rp.forward(&s, s.input(x.clone()), &[]);
+            let loss = muse_autograd::vae_ops::mse(&out, &target);
+            last = loss.item();
+            s.backward(loss);
+            use muse_nn::Optimizer;
+            opt.step();
+            opt.zero_grad();
+        }
+        assert!(last < 0.05, "ResPlus failed to fit: {last}");
+    }
+
+    #[test]
+    fn hadamard_skip_starts_near_persistence() {
+        // With skip weights initialized at (0.8, 0.1, 0.1) and a small
+        // random head, the initial prediction tracks the first skip frame.
+        let mut rng = SeededRng::new(9);
+        let rp = ResPlus::new(&mut rng, 4, 6, 1, 2, 2, 3, 3);
+        let tape = muse_autograd::Tape::new();
+        let s = Session::new(&tape);
+        let stack = s.input(muse_tensor::Tensor::zeros(&[1, 4, 2, 3]));
+        let frame = muse_tensor::Tensor::full(&[1, 2, 2, 3], 0.5);
+        let skips = [s.input(frame.clone()), s.input(muse_tensor::Tensor::zeros(&[1, 2, 2, 3])), s.input(muse_tensor::Tensor::zeros(&[1, 2, 2, 3]))];
+        let y = rp.forward(&s, stack, &skips);
+        // tanh(0.8*0.5 + head(0)) ≈ tanh(0.4) ≈ 0.38
+        let expected = (0.4f32).tanh();
+        assert!((y.value().mean() - expected).abs() < 0.15, "mean {}", y.value().mean());
+    }
+
+    #[test]
+    fn param_count_grows_with_blocks() {
+        let mut rng = SeededRng::new(5);
+        let one = ResPlus::new(&mut rng, 4, 6, 1, 2, 2, 2, 0);
+        let two = ResPlus::new(&mut rng, 4, 6, 2, 2, 2, 2, 0);
+        let count = |ps: &[ParamRef]| ps.iter().map(|p| p.len()).sum::<usize>();
+        assert!(count(&two.params()) > count(&one.params()));
+    }
+}

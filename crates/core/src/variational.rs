@@ -1,0 +1,153 @@
+//! Simplex and duplex variational encoders (Eq. 29).
+//!
+//! The semantic-pulling bound introduces auxiliary variational distributions
+//! over the interactive latent:
+//!
+//! * simplex `g_τ^i(z^s | i)` — conditioned on **one** sub-series' features;
+//! * duplex `d_ω^{i,j}(z^s | i, j)` — conditioned on a **pair**.
+//!
+//! Both are a convolutional layer followed by a distribution head, exactly
+//! like the main encoders but over already-extracted branch features.
+
+use crate::encoders::DistributionHead;
+use muse_autograd::Var;
+use muse_nn::{Conv2dLayer, ParamRef, Session};
+use muse_tensor::init::SeededRng;
+use muse_tensor::Conv2dSpec;
+
+/// Identifies a sub-series branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Branch {
+    /// Closeness (hourly) sub-series.
+    Closeness,
+    /// Period (daily) sub-series.
+    Period,
+    /// Trend (weekly) sub-series.
+    Trend,
+}
+
+impl Branch {
+    /// All branches in canonical order.
+    pub fn all() -> [Branch; 3] {
+        [Branch::Closeness, Branch::Period, Branch::Trend]
+    }
+
+    /// Canonical index (0, 1, 2).
+    pub fn index(&self) -> usize {
+        match self {
+            Branch::Closeness => 0,
+            Branch::Period => 1,
+            Branch::Trend => 2,
+        }
+    }
+
+    /// The three unordered branch pairs, in canonical order
+    /// `(C,P), (C,T), (P,T)`.
+    pub fn pairs() -> [(Branch, Branch); 3] {
+        [
+            (Branch::Closeness, Branch::Period),
+            (Branch::Closeness, Branch::Trend),
+            (Branch::Period, Branch::Trend),
+        ]
+    }
+
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Branch::Closeness => "C",
+            Branch::Period => "P",
+            Branch::Trend => "T",
+        }
+    }
+}
+
+/// A variational encoder over branch feature maps: conv → spatial pool →
+/// head (the same pooled-representation convention as the main encoders).
+#[derive(Debug)]
+pub struct VariationalEncoder {
+    conv: Conv2dLayer,
+    head: DistributionHead,
+}
+
+impl VariationalEncoder {
+    /// Simplex encoder (`n_inputs = 1`) or duplex encoder (`n_inputs = 2`)
+    /// over `d`-channel branch features.
+    pub fn new(rng: &mut SeededRng, n_inputs: usize, d: usize, _grid_cells: usize, dist_dim: usize) -> Self {
+        assert!(n_inputs == 1 || n_inputs == 2, "variational encoders are simplex or duplex");
+        VariationalEncoder {
+            conv: Conv2dLayer::new(rng, Conv2dSpec::same(n_inputs * d, d, 3)),
+            head: DistributionHead::new(rng, d, dist_dim),
+        }
+    }
+
+    /// Produce `(μ, logσ²)` of the approximated `z^s` posterior from branch
+    /// features `[B, n·d, H, W]`.
+    pub fn forward<'t>(&self, s: &Session<'t>, features: Var<'t>) -> (Var<'t>, Var<'t>) {
+        let h = self.conv.forward(s, features).relu();
+        self.head.forward(s, crate::encoders::spatial_pool(h))
+    }
+
+    /// All parameters.
+    pub fn params(&self) -> Vec<ParamRef> {
+        let mut p = self.conv.params();
+        p.extend(self.head.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_autograd::Tape;
+    use muse_tensor::Tensor;
+
+    #[test]
+    fn branch_enumeration() {
+        assert_eq!(Branch::all().len(), 3);
+        assert_eq!(Branch::pairs().len(), 3);
+        assert_eq!(Branch::Closeness.index(), 0);
+        assert_eq!(Branch::Trend.label(), "T");
+        // Pairs cover each unordered combination exactly once.
+        let pairs = Branch::pairs();
+        for (a, b) in pairs {
+            assert!(a.index() < b.index());
+        }
+    }
+
+    #[test]
+    fn simplex_and_duplex_shapes() {
+        let mut rng = SeededRng::new(1);
+        let d = 4;
+        let simplex = VariationalEncoder::new(&mut rng, 1, d, 6, 8);
+        let duplex = VariationalEncoder::new(&mut rng, 2, d, 6, 8);
+        let tape = Tape::new();
+        let s = Session::new(&tape);
+        let single = s.input(Tensor::ones(&[2, d, 2, 3]));
+        let (mu, lv) = simplex.forward(&s, single);
+        assert_eq!(mu.dims(), vec![2, 8]);
+        assert_eq!(lv.dims(), vec![2, 8]);
+        let pair = s.input(Tensor::ones(&[2, 2 * d, 2, 3]));
+        let (mu2, _) = duplex.forward(&s, pair);
+        assert_eq!(mu2.dims(), vec![2, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "simplex or duplex")]
+    fn triplex_rejected() {
+        let mut rng = SeededRng::new(2);
+        let _ = VariationalEncoder::new(&mut rng, 3, 4, 6, 8);
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let mut rng = SeededRng::new(3);
+        let enc = VariationalEncoder::new(&mut rng, 1, 3, 4, 5);
+        let tape = Tape::new();
+        let s = Session::new(&tape);
+        let x = s.input(Tensor::rand_uniform(&mut rng, &[1, 3, 2, 2], -1.0, 1.0));
+        let (mu, lv) = enc.forward(&s, x);
+        let loss = mu.square().sum().add(&lv.sum());
+        s.backward(loss);
+        assert!(enc.params().iter().any(|p| p.grad().norm() > 0.0));
+    }
+}

@@ -1,0 +1,175 @@
+//! Fig. 1 — evidence of the two distribution-shift modes in the generated
+//! data: **level shifts** (weather days damp the whole day's series) and
+//! **point shifts** (incidents create single-interval outliers).
+
+use crate::runner::{prepare, Profile};
+use muse_traffic::dataset::DatasetPreset;
+use muse_traffic::flow::INFLOW;
+use std::fmt;
+
+/// Evidence for one level-shift (rain) day.
+#[derive(Debug, Clone)]
+pub struct LevelShift {
+    /// Day index.
+    pub day: usize,
+    /// Mean citywide inflow on that day.
+    pub day_mean: f32,
+    /// Mean citywide inflow over all non-rain days of the same weekday kind.
+    pub reference_mean: f32,
+}
+
+impl LevelShift {
+    /// Damping ratio (`< 1` = suppressed traffic).
+    pub fn ratio(&self) -> f32 {
+        if self.reference_mean <= 0.0 {
+            1.0
+        } else {
+            self.day_mean / self.reference_mean
+        }
+    }
+}
+
+/// Evidence for one point-shift (incident) event.
+#[derive(Debug, Clone)]
+pub struct PointShift {
+    /// Global interval of the incident.
+    pub interval: usize,
+    /// Inflow at the affected cell at that interval.
+    pub value: f32,
+    /// Mean inflow of that cell at the same slot on other days.
+    pub slot_mean: f32,
+    /// Standard deviation of that cell/slot.
+    pub slot_std: f32,
+}
+
+impl PointShift {
+    /// Outlier z-score of the incident value.
+    pub fn z_score(&self) -> f32 {
+        (self.value - self.slot_mean) / self.slot_std.max(1e-6)
+    }
+}
+
+/// Fig. 1 driver result.
+#[derive(Debug, Clone)]
+pub struct Fig1Result {
+    /// Dataset analysed.
+    pub dataset: String,
+    /// One entry per rain day.
+    pub level_shifts: Vec<LevelShift>,
+    /// One entry per incident.
+    pub point_shifts: Vec<PointShift>,
+}
+
+impl Fig1Result {
+    /// Shape checks: rain days damp traffic on average; incidents are
+    /// strong outliers (median z-score above 3).
+    pub fn shifts_are_visible(&self) -> (bool, bool) {
+        let level_ok = !self.level_shifts.is_empty()
+            && mean(&self.level_shifts.iter().map(|l| l.ratio()).collect::<Vec<_>>()) < 0.9;
+        let mut zs: Vec<f32> = self.point_shifts.iter().map(|p| p.z_score()).collect();
+        zs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let point_ok = !zs.is_empty() && zs[zs.len() / 2] > 3.0;
+        (level_ok, point_ok)
+    }
+}
+
+/// Run the Fig. 1 driver on one preset.
+pub fn run(preset: DatasetPreset, profile: &Profile) -> Fig1Result {
+    let prepared = prepare(preset, profile);
+    let ds = &prepared.dataset;
+    let f = ds.intervals_per_day;
+    let days = ds.flows.len() / f;
+
+    // Daily citywide inflow means.
+    let day_mean = |day: usize| -> f32 {
+        let mut total = 0.0;
+        for slot in 0..f {
+            total += ds.flows.total_inflow(day * f + slot);
+        }
+        total / f as f32
+    };
+    let is_weekend = |day: usize| (ds.start_weekday + day) % 7 >= 5;
+
+    let level_shifts = ds
+        .rain_days
+        .iter()
+        .map(|&day| {
+            let same_kind: Vec<usize> = (0..days)
+                .filter(|&d| !ds.rain_days.contains(&d) && is_weekend(d) == is_weekend(day))
+                .collect();
+            let reference_mean = mean(&same_kind.iter().map(|&d| day_mean(d)).collect::<Vec<_>>());
+            LevelShift { day, day_mean: day_mean(day), reference_mean }
+        })
+        .collect();
+
+    let point_shifts = ds
+        .incidents
+        .iter()
+        .map(|&(interval, region)| {
+            let slot = interval % f;
+            let value = ds.flows.volume(interval, INFLOW, region.row, region.col);
+            let others: Vec<f32> = (0..days)
+                .map(|d| d * f + slot)
+                .filter(|&i| i != interval)
+                .map(|i| ds.flows.volume(i, INFLOW, region.row, region.col))
+                .collect();
+            let slot_mean = mean(&others);
+            let var = others.iter().map(|&x| (x - slot_mean) * (x - slot_mean)).sum::<f32>()
+                / others.len().max(1) as f32;
+            PointShift { interval, value, slot_mean, slot_std: var.sqrt() }
+        })
+        .collect();
+
+    Fig1Result { dataset: ds.name.clone(), level_shifts, point_shifts }
+}
+
+fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+impl fmt::Display for Fig1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 1 ({}): distribution shifts in the generated traffic", self.dataset)?;
+        writeln!(f, "Level shifts (weather days):")?;
+        for l in &self.level_shifts {
+            writeln!(
+                f,
+                "  day {:>3}: mean inflow {:>8.1} vs reference {:>8.1}  (ratio {:.2})",
+                l.day,
+                l.day_mean,
+                l.reference_mean,
+                l.ratio()
+            )?;
+        }
+        writeln!(f, "Point shifts (incidents):")?;
+        for p in &self.point_shifts {
+            writeln!(
+                f,
+                "  interval {:>5}: inflow {:>7.1} vs slot mean {:>6.1} ± {:>5.1}  (z = {:.1})",
+                p.interval,
+                p.value,
+                p.slot_mean,
+                p.slot_std,
+                p.z_score()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_zscore() {
+        let l = LevelShift { day: 0, day_mean: 40.0, reference_mean: 100.0 };
+        assert!((l.ratio() - 0.4).abs() < 1e-6);
+        let p = PointShift { interval: 5, value: 50.0, slot_mean: 10.0, slot_std: 5.0 };
+        assert!((p.z_score() - 8.0).abs() < 1e-5);
+    }
+}

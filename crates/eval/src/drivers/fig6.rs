@@ -1,0 +1,82 @@
+//! Fig. 6 — informativeness of the interactive representation: its
+//! similarity structure aligns positively with each original sub-series
+//! (see [`crate::drivers::figutil`] for the cross-space caveat).
+
+use crate::drivers::figutil::{alignment, flatten, self_similarity, train_and_represent};
+use crate::runner::Profile;
+use muse_metrics::similarity::positive_fraction;
+use muse_traffic::dataset::DatasetPreset;
+use std::fmt;
+
+/// Fig. 6 driver result: alignment of `Z^S` with C, P, and T.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// Dataset analysed.
+    pub dataset: String,
+    /// Fraction of positive entries in the alignment heatmap per sub-series.
+    pub positive_fraction: [f32; 3],
+    /// Mean alignment per sub-series.
+    pub mean_alignment: [f32; 3],
+}
+
+impl Fig6Result {
+    /// Shape check (the figure's observation): most heatmap entries are
+    /// positive for all three sub-series.
+    pub fn mostly_positive(&self) -> bool {
+        self.positive_fraction.iter().all(|&p| p > 0.5)
+    }
+}
+
+/// Run the Fig. 6 driver.
+pub fn run(preset: DatasetPreset, profile: &Profile, n_samples: usize) -> Fig6Result {
+    let analysis = train_and_represent(preset, profile, n_samples);
+    let s_inter = self_similarity(&analysis.reps.interactive);
+    let sources = [
+        flatten(&analysis.batch.closeness),
+        flatten(&analysis.batch.period),
+        flatten(&analysis.batch.trend),
+    ];
+    let mut positive = [0.0f32; 3];
+    let mut means = [0.0f32; 3];
+    for (i, src) in sources.iter().enumerate() {
+        let a = alignment(&s_inter, &self_similarity(src));
+        positive[i] = positive_fraction(&a);
+        means[i] = a.mean();
+    }
+    Fig6Result {
+        dataset: analysis.prepared.dataset.name.clone(),
+        positive_fraction: positive,
+        mean_alignment: means,
+    }
+}
+
+impl fmt::Display for Fig6Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 6 ({}): alignment of Z^S similarity with original sub-series", self.dataset)?;
+        for (i, name) in ["closeness", "period", "trend"].iter().enumerate() {
+            writeln!(
+                f,
+                "  vs {name:<9}: positive fraction {:.2}  mean alignment {:+.3}",
+                self.positive_fraction[i], self.mean_alignment[i]
+            )?;
+        }
+        writeln!(f, "  mostly positive (paper's observation): {}", self.mostly_positive())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positivity_check() {
+        let r = Fig6Result {
+            dataset: "x".into(),
+            positive_fraction: [0.8, 0.7, 0.9],
+            mean_alignment: [0.2, 0.1, 0.3],
+        };
+        assert!(r.mostly_positive());
+        let bad = Fig6Result { positive_fraction: [0.8, 0.4, 0.9], ..r };
+        assert!(!bad.mostly_positive());
+    }
+}

@@ -1,0 +1,94 @@
+//! Fig. 7 — complementarity: exclusive and interactive representations
+//! relate to the future flow in opposite ways, so together they cover it.
+
+use crate::drivers::figutil::{alignment, flatten, pearson, self_similarity, train_and_represent};
+use crate::runner::Profile;
+use muse_tensor::Tensor;
+use muse_traffic::dataset::DatasetPreset;
+use std::fmt;
+
+/// Fig. 7 driver result.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// Dataset analysed.
+    pub dataset: String,
+    /// Mean alignment with the future flow per exclusive representation
+    /// (C, P, T order).
+    pub exclusive_mean: [f32; 3],
+    /// Mean alignment of the interactive representation with the future.
+    pub interactive_mean: f32,
+    /// Correlation between the (averaged) exclusive alignment heatmap and
+    /// the interactive alignment heatmap, entry-wise.
+    pub exclusive_vs_interactive_corr: f32,
+}
+
+impl Fig7Result {
+    /// Shape check (the figure's claim): the interactive heatmap's
+    /// structure is complementary to the exclusive heatmaps' — their
+    /// entry-wise correlation is low or negative (well below +1 alignment).
+    pub fn complementary(&self) -> bool {
+        self.exclusive_vs_interactive_corr < 0.5
+    }
+}
+
+/// Run the Fig. 7 driver.
+pub fn run(preset: DatasetPreset, profile: &Profile, n_samples: usize) -> Fig7Result {
+    let analysis = train_and_represent(preset, profile, n_samples);
+    let s_future = self_similarity(&flatten(&analysis.batch.target));
+
+    let mut exclusive_mean = [0.0f32; 3];
+    let mut excl_sum: Option<Tensor> = None;
+    for (i, rep) in analysis.reps.exclusive.iter().enumerate() {
+        let a = alignment(&self_similarity(rep), &s_future);
+        exclusive_mean[i] = a.mean();
+        excl_sum = Some(match excl_sum {
+            Some(acc) => acc.add(&a),
+            None => a,
+        });
+    }
+    let excl_avg = excl_sum.expect("three exclusives").mul_scalar(1.0 / 3.0);
+    let inter = alignment(&self_similarity(&analysis.reps.interactive), &s_future);
+    let interactive_mean = inter.mean();
+    let corr = pearson(excl_avg.as_slice(), inter.as_slice());
+
+    Fig7Result {
+        dataset: analysis.prepared.dataset.name.clone(),
+        exclusive_mean,
+        interactive_mean,
+        exclusive_vs_interactive_corr: corr,
+    }
+}
+
+impl fmt::Display for Fig7Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 7 ({}): representation alignment with future flow", self.dataset)?;
+        for (i, name) in ["Z^C", "Z^P", "Z^T"].iter().enumerate() {
+            writeln!(f, "  {name}: mean alignment {:+.3}", self.exclusive_mean[i])?;
+        }
+        writeln!(f, "  Z^S: mean alignment {:+.3}", self.interactive_mean)?;
+        writeln!(
+            f,
+            "  corr(exclusive heatmap, interactive heatmap) = {:+.3}  → complementary: {}",
+            self.exclusive_vs_interactive_corr,
+            self.complementary()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complementarity_threshold() {
+        let mk = |c: f32| Fig7Result {
+            dataset: "x".into(),
+            exclusive_mean: [0.1; 3],
+            interactive_mean: -0.05,
+            exclusive_vs_interactive_corr: c,
+        };
+        assert!(mk(-0.4).complementary());
+        assert!(mk(0.2).complementary());
+        assert!(!mk(0.9).complementary());
+    }
+}

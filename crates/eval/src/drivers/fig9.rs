@@ -1,0 +1,176 @@
+//! Fig. 9 — parameter sensitivity: test RMSE of MUSE-Net as λ, k, and d
+//! sweep, with repeats for the fluctuation band.
+
+use crate::runner::{channel_errors, prepare, Prepared, Profile};
+use muse_traffic::dataset::DatasetPreset;
+use musenet::{MuseNet, MuseNetConfig, Trainer};
+use std::fmt;
+
+/// One sweep point: parameter value and its RMSE statistics over repeats.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Parameter value.
+    pub value: f32,
+    /// Mean outflow RMSE across repeats.
+    pub mean_rmse: f32,
+    /// Minimum across repeats.
+    pub min_rmse: f32,
+    /// Maximum across repeats.
+    pub max_rmse: f32,
+}
+
+impl SweepPoint {
+    /// Fluctuation range (max − min).
+    pub fn range(&self) -> f32 {
+        self.max_rmse - self.min_rmse
+    }
+}
+
+/// Fig. 9 driver result: the three sweeps.
+#[derive(Debug, Clone)]
+pub struct Fig9Result {
+    /// Dataset analysed.
+    pub dataset: String,
+    /// λ sweep.
+    pub lambda: Vec<SweepPoint>,
+    /// k sweep.
+    pub k: Vec<SweepPoint>,
+    /// d sweep.
+    pub d: Vec<SweepPoint>,
+}
+
+impl Fig9Result {
+    /// Shape check: λ = 1 is within 20% of the best λ (the paper picks it
+    /// as the stable default), and the k / d sweeps are flat (max mean ≤
+    /// 1.5 × min mean — "not sensitive").
+    pub fn shapes_hold(&self) -> (bool, bool, bool) {
+        let best_lambda = self.lambda.iter().map(|p| p.mean_rmse).fold(f32::INFINITY, f32::min);
+        let at_one = self
+            .lambda
+            .iter()
+            .find(|p| (p.value - 1.0).abs() < 1e-6)
+            .map_or(f32::INFINITY, |p| p.mean_rmse);
+        let lambda_ok = at_one <= best_lambda * 1.2;
+        let flat = |pts: &[SweepPoint]| {
+            let lo = pts.iter().map(|p| p.mean_rmse).fold(f32::INFINITY, f32::min);
+            let hi = pts.iter().map(|p| p.mean_rmse).fold(0.0f32, f32::max);
+            hi <= lo * 1.5
+        };
+        (lambda_ok, flat(&self.k), flat(&self.d))
+    }
+}
+
+/// The sweep grids (scaled-down versions of the paper's
+/// `λ ∈ 10^{-3}..10^3`, `k ∈ 16..1024`, `d ∈ 16..320`).
+pub fn default_grids() -> (Vec<f32>, Vec<usize>, Vec<usize>) {
+    (vec![1e-3, 1e-1, 1.0, 1e1, 1e3], vec![8, 16, 32, 64], vec![4, 8, 16, 32])
+}
+
+/// Run the Fig. 9 driver with `repeats` seeds per point.
+///
+/// The sweep trains `(5 + 4 + 4) × repeats` models, so each inner run uses
+/// a reduced budget (≈ a third of the profile's epochs) — the sweep's
+/// purpose is *relative* sensitivity, not absolute accuracy.
+pub fn run(preset: DatasetPreset, profile: &Profile, repeats: usize) -> Fig9Result {
+    let mut profile = profile.clone();
+    profile.epochs = (profile.epochs / 3).max(3);
+    profile.max_batches = if profile.max_batches == 0 { 40 } else { profile.max_batches.min(40) };
+    let profile = &profile;
+    let prepared = prepare(preset, profile);
+    let (lambdas, ks, ds) = default_grids();
+
+    let lambda = lambdas
+        .iter()
+        .map(|&l| sweep_point(&prepared, profile, repeats, l, |cfg, v| cfg.lambda = v))
+        .collect();
+    let k = ks
+        .iter()
+        .map(|&kv| sweep_point(&prepared, profile, repeats, kv as f32, |cfg, v| cfg.k = v as usize))
+        .collect();
+    let d = ds
+        .iter()
+        .map(|&dv| sweep_point(&prepared, profile, repeats, dv as f32, |cfg, v| cfg.d = v as usize))
+        .collect();
+
+    Fig9Result { dataset: prepared.dataset.name.clone(), lambda, k, d }
+}
+
+fn sweep_point(
+    prepared: &Prepared,
+    profile: &Profile,
+    repeats: usize,
+    value: f32,
+    apply: impl Fn(&mut MuseNetConfig, f32),
+) -> SweepPoint {
+    let eval_idx = prepared.eval_indices(profile);
+    let truth = prepared.truth(&eval_idx);
+    let mut rmses = Vec::with_capacity(repeats);
+    for rep in 0..repeats.max(1) {
+        let mut cfg = MuseNetConfig::cpu_profile(prepared.dataset.grid(), prepared.spec);
+        cfg.d = profile.d;
+        cfg.k = profile.k;
+        cfg.seed = profile.seed + 100 * rep as u64;
+        apply(&mut cfg, value);
+        cfg.validate();
+        let mut trainer = Trainer::new(MuseNet::new(cfg), profile.trainer_options());
+        trainer.fit(&prepared.scaled, &prepared.spec, &prepared.split.train, &prepared.split.val);
+        let pred = prepared.scaler.unscale(&trainer.predict_indices(&prepared.scaled, &prepared.spec, &eval_idx));
+        let (out, _) = channel_errors(&pred, &truth);
+        rmses.push(out.rmse);
+    }
+    SweepPoint {
+        value,
+        mean_rmse: rmses.iter().sum::<f32>() / rmses.len() as f32,
+        min_rmse: rmses.iter().copied().fold(f32::INFINITY, f32::min),
+        max_rmse: rmses.iter().copied().fold(0.0, f32::max),
+    }
+}
+
+impl fmt::Display for Fig9Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 9 ({}): parameter sensitivity (outflow RMSE, mean [min, max])", self.dataset)?;
+        let dump = |f: &mut fmt::Formatter<'_>, name: &str, pts: &[SweepPoint]| -> fmt::Result {
+            writeln!(f, "  {name}:")?;
+            for p in pts {
+                writeln!(
+                    f,
+                    "    {:>10.3} → {:>7.2}  [{:>7.2}, {:>7.2}]",
+                    p.value, p.mean_rmse, p.min_rmse, p.max_rmse
+                )?;
+            }
+            Ok(())
+        };
+        dump(f, "lambda", &self.lambda)?;
+        dump(f, "k", &self.k)?;
+        dump(f, "d", &self.d)?;
+        let (l, k, d) = self.shapes_hold();
+        writeln!(f, "  lambda=1 near-optimal: {l};  k-insensitive: {k};  d-insensitive: {d}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_logic() {
+        let pt = |v: f32, m: f32| SweepPoint { value: v, mean_rmse: m, min_rmse: m - 0.1, max_rmse: m + 0.1 };
+        let r = Fig9Result {
+            dataset: "x".into(),
+            lambda: vec![pt(0.001, 3.4), pt(1.0, 2.9), pt(1000.0, 3.6)],
+            k: vec![pt(8.0, 3.0), pt(64.0, 3.1)],
+            d: vec![pt(4.0, 3.0), pt(32.0, 3.2)],
+        };
+        let (l, k, d) = r.shapes_hold();
+        assert!(l && k && d);
+        assert!((r.lambda[0].range() - 0.2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grids_cover_paper_ranges_scaled() {
+        let (l, k, d) = default_grids();
+        assert!(l.contains(&1.0));
+        assert!(l.len() >= 5);
+        assert!(k.len() >= 4 && d.len() >= 4);
+    }
+}

@@ -1,0 +1,139 @@
+//! Shared machinery for the representation-analysis figures (5–8).
+//!
+//! Cross-space similarity caveat: the paper draws cosine-similarity heatmaps
+//! between *representations* (dimension `d`/`k`) and *sub-series / future
+//! flows* (dimension `2·L·H·W`). A direct cosine across two different vector
+//! spaces is not defined, so this reproduction uses second-order
+//! (representational-similarity-analysis) alignment: both objects are first
+//! turned into their `[B, B]` sample-similarity matrices, which live in the
+//! same space and can be compared entry-wise. Positive alignment ⇔ the
+//! representation orders samples the same way the data does — exactly the
+//! property the paper's heatmaps display. Documented in DESIGN.md.
+
+use crate::runner::{fit_model, prepare, FittedModel, ModelKind, Prepared, Profile};
+use muse_metrics::similarity::cosine_similarity_matrix;
+use muse_tensor::Tensor;
+use muse_traffic::dataset::DatasetPreset;
+use muse_traffic::subseries::batch;
+use muse_traffic::Batch;
+use musenet::model::Representations;
+use musenet::AblationVariant;
+
+/// `[B, D] → [B, B]` cosine self-similarity.
+pub fn self_similarity(x: &Tensor) -> Tensor {
+    cosine_similarity_matrix(x, x)
+}
+
+/// Entry-wise alignment of two `[B, B]` similarity matrices.
+pub fn alignment(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.dims(), b.dims(), "alignment shape mismatch");
+    a.mul(b)
+}
+
+/// Pearson correlation between the off-diagonal entries of row `i` in two
+/// `[B, B]` similarity matrices — "how much does representation similarity
+/// at sample `i` track data similarity at sample `i`".
+pub fn row_correlation(a: &Tensor, b: &Tensor, row: usize) -> f32 {
+    assert_eq!(a.dims(), b.dims());
+    let n = a.dims()[0];
+    let mut xs = Vec::with_capacity(n - 1);
+    let mut ys = Vec::with_capacity(n - 1);
+    for j in 0..n {
+        if j != row {
+            xs.push(a.at(&[row, j]));
+            ys.push(b.at(&[row, j]));
+        }
+    }
+    pearson(&xs, &ys)
+}
+
+/// Pearson correlation of two equal-length slices (0 on degenerate input).
+pub fn pearson(xs: &[f32], ys: &[f32]) -> f32 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f32;
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f32>() / n;
+    let my = ys.iter().sum::<f32>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx < 1e-12 || vy < 1e-12 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// A trained model plus the representations of a test batch — input to the
+/// figure drivers.
+pub struct RepAnalysis {
+    /// Prepared dataset.
+    pub prepared: Prepared,
+    /// Fitted MUSE-Net.
+    pub model: FittedModel,
+    /// The analysed test batch (scaled units).
+    pub batch: Batch,
+    /// Deterministic representations of the batch.
+    pub reps: Representations,
+    /// Target indices of the batch rows.
+    pub indices: Vec<usize>,
+}
+
+/// Train a quick MUSE-Net and extract representations on `n_samples`
+/// *consecutive* test targets (consecutiveness matters for Fig. 8's time
+/// axis).
+pub fn train_and_represent(preset: DatasetPreset, profile: &Profile, n_samples: usize) -> RepAnalysis {
+    let prepared = prepare(preset, profile);
+    let model = fit_model(ModelKind::MuseNet(AblationVariant::Full), &prepared, profile);
+    let take = n_samples.min(prepared.split.test.len());
+    let indices: Vec<usize> = prepared.split.test[..take].to_vec();
+    let b = batch(&prepared.scaled, &prepared.spec, &indices);
+    let reps = match &model {
+        FittedModel::Muse(t) => t.model().representations(&b),
+        _ => unreachable!("fit_model(MuseNet) returns Muse"),
+    };
+    RepAnalysis { prepared, model, batch: b, reps, indices }
+}
+
+/// Flatten a `[B, C, H, W]` batch tensor to `[B, C·H·W]`.
+pub fn flatten(x: &Tensor) -> Tensor {
+    let b = x.dims()[0];
+    x.reshaped(&[b, x.len() / b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_similarity_diag_is_one() {
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 2.0, 3.0, 3.0], &[3, 2]);
+        let s = self_similarity(&x);
+        for i in 0..3 {
+            assert!((s.at(&[i, i]) - 1.0).abs() < 1e-5);
+        }
+        // Symmetric.
+        assert!((s.at(&[0, 1]) - s.at(&[1, 0])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-5);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-5);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn row_correlation_perfect_match() {
+        let a = Tensor::from_vec(vec![1.0, 0.2, 0.8, 0.2, 1.0, 0.5, 0.8, 0.5, 1.0], &[3, 3]);
+        let r = row_correlation(&a, &a, 0);
+        assert!((r - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,20 @@
+//! One driver per paper table/figure. Every driver returns a structured
+//! result whose `Display` renders the artifact in the paper's layout, so the
+//! binary, the integration tests, and EXPERIMENTS.md all read the same
+//! numbers.
+
+pub mod fig1;
+pub mod figutil;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;

@@ -1,0 +1,150 @@
+//! Table II — one-step forecasting comparison across the three datasets:
+//! outflow/inflow RMSE, MAE, MAPE for every method plus the improvement row.
+
+use crate::runner::{channel_errors, fit_model, prepare, EvalSet, ModelKind, Profile};
+use muse_metrics::error::improvement_percent;
+use muse_metrics::Table;
+use std::fmt;
+
+/// Per-method metric row: `[out RMSE, out MAE, out MAPE, in RMSE, in MAE, in MAPE]`.
+#[derive(Debug, Clone)]
+pub struct MethodRow {
+    /// Method display name.
+    pub name: String,
+    /// The six metrics.
+    pub metrics: [f32; 6],
+    /// Whether this row is MUSE-Net.
+    pub is_ours: bool,
+}
+
+/// One dataset's table.
+#[derive(Debug, Clone)]
+pub struct DatasetTable {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method rows in lineup order (ours last).
+    pub rows: Vec<MethodRow>,
+    /// Improvement of ours over the best baseline, per metric (percent).
+    pub improvement: [f32; 6],
+}
+
+impl DatasetTable {
+    /// Our row.
+    pub fn ours(&self) -> &MethodRow {
+        self.rows.iter().find(|r| r.is_ours).expect("ours present")
+    }
+
+    /// Best (lowest) baseline value of metric `i`.
+    pub fn best_baseline(&self, i: usize) -> f32 {
+        self.rows
+            .iter()
+            .filter(|r| !r.is_ours)
+            .map(|r| r.metrics[i])
+            .fold(f32::INFINITY, f32::min)
+    }
+}
+
+/// Full Table II result.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// One table per dataset.
+    pub datasets: Vec<DatasetTable>,
+}
+
+impl Table2Result {
+    /// Shape check: MUSE-Net attains the best RMSE (both flows) everywhere.
+    pub fn muse_wins_rmse_everywhere(&self) -> bool {
+        self.datasets.iter().all(|d| {
+            let ours = d.ours();
+            ours.metrics[0] <= d.best_baseline(0) && ours.metrics[3] <= d.best_baseline(3)
+        })
+    }
+}
+
+/// Run one-step evaluation for a model lineup; shared with Tables IV/V.
+pub fn one_step_rows(
+    prepared: &crate::runner::Prepared,
+    profile: &Profile,
+    lineup: &[ModelKind],
+) -> Vec<MethodRow> {
+    let eval_idx = prepared.eval_indices(profile);
+    let truth = prepared.truth(&eval_idx);
+    lineup
+        .iter()
+        .map(|&kind| {
+            let model = fit_model(kind, prepared, profile);
+            let pred = model.predict_unscaled(prepared, &eval_idx);
+            let (out, inn) = channel_errors(&pred, &truth);
+            MethodRow {
+                name: model.name(),
+                metrics: [out.rmse, out.mae, out.mape, inn.rmse, inn.mae, inn.mape],
+                is_ours: kind.is_ours(),
+            }
+        })
+        .collect()
+}
+
+/// Run the full Table II driver.
+pub fn run(set: EvalSet, profile: &Profile) -> Table2Result {
+    let lineup = ModelKind::table2_lineup();
+    let datasets = set
+        .presets()
+        .into_iter()
+        .map(|preset| {
+            let prepared = prepare(preset, profile);
+            let rows = one_step_rows(&prepared, profile, &lineup);
+            let ours = rows.iter().find(|r| r.is_ours).expect("ours in lineup").clone();
+            let mut improvement = [0.0f32; 6];
+            for (i, slot) in improvement.iter_mut().enumerate() {
+                let best = rows
+                    .iter()
+                    .filter(|r| !r.is_ours)
+                    .map(|r| r.metrics[i])
+                    .fold(f32::INFINITY, f32::min);
+                *slot = improvement_percent(best, ours.metrics[i]);
+            }
+            DatasetTable { dataset: preset.name().to_string(), rows, improvement }
+        })
+        .collect();
+    Table2Result { datasets }
+}
+
+impl fmt::Display for Table2Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.datasets {
+            let mut t = Table::new(
+                format!("Table II ({}): one-step forecasting", d.dataset),
+                &["Method", "Out RMSE", "Out MAE", "Out MAPE%", "In RMSE", "In MAE", "In MAPE%"],
+            );
+            for r in &d.rows {
+                t.add_metric_row(&r.name, &r.metrics);
+            }
+            t.add_metric_row("Improvement %", &d.improvement);
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_helpers() {
+        let table = DatasetTable {
+            dataset: "x".into(),
+            rows: vec![
+                MethodRow { name: "a".into(), metrics: [3.0; 6], is_ours: false },
+                MethodRow { name: "b".into(), metrics: [2.0; 6], is_ours: false },
+                MethodRow { name: "ours".into(), metrics: [1.0; 6], is_ours: true },
+            ],
+            improvement: [50.0; 6],
+        };
+        assert_eq!(table.ours().name, "ours");
+        assert_eq!(table.best_baseline(0), 2.0);
+        let result = Table2Result { datasets: vec![table] };
+        assert!(result.muse_wins_rmse_everywhere());
+        assert!(result.to_string().contains("Improvement"));
+    }
+}

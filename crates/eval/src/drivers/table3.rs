@@ -1,0 +1,139 @@
+//! Table III — multi-step forecasting (3 horizons) for the multi-periodic
+//! methods, via autoregressive rollout.
+
+use crate::runner::{channel_errors, fit_model, prepare, EvalSet, ModelKind, Profile};
+use muse_metrics::Table;
+use std::fmt;
+
+/// Metrics of one method at one horizon.
+#[derive(Debug, Clone)]
+pub struct HorizonRow {
+    /// Method name.
+    pub name: String,
+    /// `[out RMSE, out MAE, out MAPE, in RMSE, in MAE, in MAPE]`.
+    pub metrics: [f32; 6],
+    /// Whether this is MUSE-Net.
+    pub is_ours: bool,
+}
+
+/// One dataset's multi-step block.
+#[derive(Debug, Clone)]
+pub struct DatasetMultiStep {
+    /// Dataset name.
+    pub dataset: String,
+    /// `horizons[h]` lists the rows at horizon `h+1`.
+    pub horizons: Vec<Vec<HorizonRow>>,
+}
+
+/// Full Table III result.
+#[derive(Debug, Clone)]
+pub struct Table3Result {
+    /// One block per dataset.
+    pub datasets: Vec<DatasetMultiStep>,
+    /// Number of horizons evaluated.
+    pub n_horizons: usize,
+}
+
+impl Table3Result {
+    /// Shape check: MUSE-Net best outflow RMSE at every horizon, and its
+    /// error grows (weakly) with the horizon.
+    pub fn muse_wins_and_error_grows(&self) -> (bool, bool) {
+        let mut wins = true;
+        let mut grows = true;
+        for d in &self.datasets {
+            let mut prev = 0.0f32;
+            for (h, rows) in d.horizons.iter().enumerate() {
+                let ours = rows.iter().find(|r| r.is_ours).expect("ours");
+                let best_other = rows
+                    .iter()
+                    .filter(|r| !r.is_ours)
+                    .map(|r| r.metrics[0])
+                    .fold(f32::INFINITY, f32::min);
+                if ours.metrics[0] > best_other {
+                    wins = false;
+                }
+                if h > 0 && ours.metrics[0] + 1e-6 < prev * 0.8 {
+                    // Allow mild non-monotonicity; flag only sharp drops.
+                    grows = false;
+                }
+                prev = ours.metrics[0];
+            }
+        }
+        (wins, grows)
+    }
+}
+
+/// Run the Table III driver.
+pub fn run(set: EvalSet, profile: &Profile, n_horizons: usize) -> Table3Result {
+    let lineup = ModelKind::multiperiodic_lineup();
+    let datasets = set
+        .presets()
+        .into_iter()
+        .map(|preset| {
+            let prepared = prepare(preset, profile);
+            // Multi-step needs n, n+1, n+2 in range — the split reserved them.
+            let eval_idx = prepared.eval_indices(profile);
+            let mut horizons: Vec<Vec<HorizonRow>> = vec![Vec::new(); n_horizons];
+            for &kind in &lineup {
+                let model = fit_model(kind, &prepared, profile);
+                let preds = model.predict_multi_step(&prepared, &eval_idx, n_horizons);
+                for (h, pred_scaled) in preds.into_iter().enumerate() {
+                    let pred = prepared.scaler.unscale(&pred_scaled);
+                    let truth_idx: Vec<usize> = eval_idx.iter().map(|&n| n + h).collect();
+                    let truth = prepared.truth(&truth_idx);
+                    let (out, inn) = channel_errors(&pred, &truth);
+                    horizons[h].push(HorizonRow {
+                        name: model.name(),
+                        metrics: [out.rmse, out.mae, out.mape, inn.rmse, inn.mae, inn.mape],
+                        is_ours: kind.is_ours(),
+                    });
+                }
+            }
+            DatasetMultiStep { dataset: preset.name().to_string(), horizons }
+        })
+        .collect();
+    Table3Result { datasets, n_horizons }
+}
+
+impl fmt::Display for Table3Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.datasets {
+            for (h, rows) in d.horizons.iter().enumerate() {
+                let mut t = Table::new(
+                    format!("Table III ({}, horizon {}): multi-step forecasting", d.dataset, h + 1),
+                    &["Method", "Out RMSE", "Out MAE", "Out MAPE%", "In RMSE", "In MAE", "In MAPE%"],
+                );
+                for r in rows {
+                    t.add_metric_row(&r.name, &r.metrics);
+                }
+                write!(f, "{t}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, rmse: f32, ours: bool) -> HorizonRow {
+        HorizonRow { name: name.into(), metrics: [rmse; 6], is_ours: ours }
+    }
+
+    #[test]
+    fn shape_checks() {
+        let d = DatasetMultiStep {
+            dataset: "x".into(),
+            horizons: vec![
+                vec![row("b", 2.0, false), row("ours", 1.0, true)],
+                vec![row("b", 2.5, false), row("ours", 1.4, true)],
+                vec![row("b", 3.0, false), row("ours", 2.0, true)],
+            ],
+        };
+        let r = Table3Result { datasets: vec![d], n_horizons: 3 };
+        let (wins, grows) = r.muse_wins_and_error_grows();
+        assert!(wins && grows);
+        assert!(r.to_string().contains("horizon 2"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Table VI — ablation study: the four variants of §V-D against the full
+//! model, RMSE and MAE per flow direction.
+
+use crate::runner::{channel_errors, fit_model, prepare, EvalSet, ModelKind, Profile};
+use muse_metrics::Table;
+use musenet::AblationVariant;
+use std::fmt;
+
+/// One variant's metrics on one dataset.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant name (paper column header).
+    pub name: String,
+    /// `[out RMSE, out MAE, in RMSE, in MAE]`.
+    pub metrics: [f32; 4],
+    /// Which variant this is.
+    pub variant: AblationVariant,
+}
+
+/// One dataset's ablation block.
+#[derive(Debug, Clone)]
+pub struct AblationTable {
+    /// Dataset name.
+    pub dataset: String,
+    /// Rows in Table VI column order (full model last).
+    pub rows: Vec<AblationRow>,
+}
+
+impl AblationTable {
+    /// The full model's row.
+    pub fn full(&self) -> &AblationRow {
+        self.rows.iter().find(|r| r.variant == AblationVariant::Full).expect("full present")
+    }
+
+    /// A specific variant's row.
+    pub fn variant(&self, v: AblationVariant) -> &AblationRow {
+        self.rows.iter().find(|r| r.variant == v).expect("variant present")
+    }
+}
+
+/// Full Table VI result.
+#[derive(Debug, Clone)]
+pub struct Table6Result {
+    /// One block per dataset.
+    pub datasets: Vec<AblationTable>,
+}
+
+impl Table6Result {
+    /// Shape check: every ablation degrades the full model's outflow RMSE.
+    pub fn every_ablation_degrades(&self) -> bool {
+        self.datasets.iter().all(|d| {
+            let full = d.full().metrics[0];
+            d.rows
+                .iter()
+                .filter(|r| r.variant != AblationVariant::Full)
+                .all(|r| r.metrics[0] >= full)
+        })
+    }
+
+    /// Shape check: dropping the spatial module hurts most (paper: worst
+    /// variant with 7–35% degradation).
+    pub fn spatial_ablation_is_worst(&self) -> bool {
+        self.datasets.iter().all(|d| {
+            let spatial = d.variant(AblationVariant::WithoutSpatial).metrics[0];
+            d.rows
+                .iter()
+                .filter(|r| r.variant != AblationVariant::WithoutSpatial)
+                .all(|r| spatial >= r.metrics[0])
+        })
+    }
+}
+
+/// Run the Table VI driver.
+pub fn run(set: EvalSet, profile: &Profile) -> Table6Result {
+    let datasets = set
+        .presets()
+        .into_iter()
+        .map(|preset| {
+            let prepared = prepare(preset, profile);
+            let eval_idx = prepared.eval_indices(profile);
+            let truth = prepared.truth(&eval_idx);
+            let rows = AblationVariant::all()
+                .into_iter()
+                .map(|variant| {
+                    let model = fit_model(ModelKind::MuseNet(variant), &prepared, profile);
+                    let pred = model.predict_unscaled(&prepared, &eval_idx);
+                    let (out, inn) = channel_errors(&pred, &truth);
+                    AblationRow {
+                        name: variant.name().to_string(),
+                        metrics: [out.rmse, out.mae, inn.rmse, inn.mae],
+                        variant,
+                    }
+                })
+                .collect();
+            AblationTable { dataset: preset.name().to_string(), rows }
+        })
+        .collect();
+    Table6Result { datasets }
+}
+
+impl fmt::Display for Table6Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.datasets {
+            let mut t = Table::new(
+                format!("Table VI ({}): ablation study", d.dataset),
+                &["Variant", "Out RMSE", "Out MAE", "In RMSE", "In MAE"],
+            );
+            for r in &d.rows {
+                t.add_metric_row(&r.name, &r.metrics);
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: AblationVariant, rmse: f32) -> AblationRow {
+        AblationRow { name: v.name().into(), metrics: [rmse; 4], variant: v }
+    }
+
+    #[test]
+    fn shape_checks() {
+        let block = AblationTable {
+            dataset: "x".into(),
+            rows: vec![
+                row(AblationVariant::WithoutSpatial, 3.4),
+                row(AblationVariant::WithoutMultiDisentangle, 3.1),
+                row(AblationVariant::WithoutSemanticPushing, 2.9),
+                row(AblationVariant::WithoutSemanticPulling, 2.95),
+                row(AblationVariant::Full, 2.85),
+            ],
+        };
+        let r = Table6Result { datasets: vec![block] };
+        assert!(r.every_ablation_degrades());
+        assert!(r.spatial_ablation_is_worst());
+        assert!(r.to_string().contains("w/o-Spatial"));
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # muse-eval
+//!
+//! The experiment harness: one driver per table and figure of the MUSE-Net
+//! paper's evaluation section. Each driver regenerates its artifact —
+//! workload generation, model training, parameter sweep, metric computation,
+//! and a text rendering in the paper's row/column layout.
+//!
+//! | Driver | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table I — time/space complexity comparison |
+//! | [`table2`] | Table II — one-step forecasting, 3 datasets × 12 methods |
+//! | [`table3`] | Table III — multi-step forecasting, 3 horizons |
+//! | [`table4`] | Table IV — peak vs non-peak |
+//! | [`table5`] | Table V — weekday vs weekend |
+//! | [`table6`] | Table VI — ablation study |
+//! | [`fig1`]   | Fig. 1 — level/point distribution shifts in the data |
+//! | [`fig2`]   | Fig. 2 — interaction shift |
+//! | [`fig4`]   | Fig. 4 — predicted vs ground-truth curves |
+//! | [`fig5`]   | Fig. 5 — t-SNE of disentangled representations |
+//! | [`fig6`]   | Fig. 6 — similarity of `Z^S` to C/P/T |
+//! | [`fig7`]   | Fig. 7 — representation similarity to future flow |
+//! | [`fig8`]   | Fig. 8 — peak/non-peak interpretability |
+//! | [`fig9`]   | Fig. 9 — sensitivity to λ, k, d |
+//!
+//! Run via the `muse-eval` binary, e.g. `muse-eval table2 --quick`.
+
+pub mod drivers;
+pub mod runner;
+
+pub use runner::{prepare, EvalSet, ModelKind, Prepared, Profile};

@@ -1,0 +1,147 @@
+//! `muse-eval` — regenerate any table or figure of the MUSE-Net paper.
+//!
+//! ```text
+//! muse-eval <experiment> [options]
+//!
+//! experiments:
+//!   table1 table2 table3 table4 table5 table6
+//!   fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig9
+//!   all            run everything
+//!
+//! options:
+//!   --quick        minutes-scale profile (default)
+//!   --standard     larger profile
+//!   --scale <f>    multiply the profile toward paper sizes
+//!   --dataset <n>  nyc-bike | nyc-taxi | taxibj (default: all for tables,
+//!                  nyc-bike for figures)
+//!   --epochs <n>   override training epochs
+//!   --seed <n>     override master seed
+//!   --out <dir>    also write each artifact to <dir>/<experiment>.txt
+//! ```
+
+use muse_eval::drivers;
+use muse_eval::runner::{EvalSet, Profile};
+use muse_traffic::dataset::DatasetPreset;
+use std::io::Write;
+use std::path::PathBuf;
+
+struct Args {
+    experiment: String,
+    profile: Profile,
+    dataset: Option<DatasetPreset>,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let experiment = argv.next().ok_or_else(usage)?;
+    let mut profile = Profile::quick();
+    let mut dataset = None;
+    let mut out = None;
+    let mut scale: Option<f32> = None;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--quick" => profile = Profile::quick(),
+            "--standard" => profile = Profile::standard(),
+            "--scale" => {
+                let v = argv.next().ok_or("--scale needs a value")?;
+                scale = Some(v.parse().map_err(|_| format!("bad scale {v}"))?);
+            }
+            "--dataset" => {
+                let v = argv.next().ok_or("--dataset needs a value")?;
+                dataset = Some(match v.as_str() {
+                    "nyc-bike" => DatasetPreset::NycBike,
+                    "nyc-taxi" => DatasetPreset::NycTaxi,
+                    "taxibj" => DatasetPreset::TaxiBj,
+                    other => return Err(format!("unknown dataset {other}")),
+                });
+            }
+            "--epochs" => {
+                let v = argv.next().ok_or("--epochs needs a value")?;
+                profile.epochs = v.parse().map_err(|_| format!("bad epochs {v}"))?;
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                profile.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a value")?;
+                out = Some(PathBuf::from(v));
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if let Some(s) = scale {
+        profile = profile.scaled(s);
+    }
+    Ok(Args { experiment, profile, dataset, out })
+}
+
+fn usage() -> String {
+    "usage: muse-eval <table1|table2|table3|table4|table5|table6|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|all> \
+     [--quick|--standard] [--scale f] [--dataset nyc-bike|nyc-taxi|taxibj] [--epochs n] [--seed n] [--out dir]"
+        .to_string()
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let experiments: Vec<String> = if args.experiment == "all" {
+        [
+            "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig4",
+            "fig5", "fig6", "fig7", "fig8", "fig9",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    } else {
+        vec![args.experiment.clone()]
+    };
+    for exp in experiments {
+        let started = std::time::Instant::now();
+        let output = run_experiment(&exp, &args);
+        println!("{output}");
+        eprintln!("[{exp}] finished in {:.1}s", started.elapsed().as_secs_f32());
+        if let Some(dir) = &args.out {
+            std::fs::create_dir_all(dir).expect("create output dir");
+            let path = dir.join(format!("{exp}.txt"));
+            let mut file = std::fs::File::create(&path).expect("create artifact file");
+            file.write_all(output.as_bytes()).expect("write artifact");
+            eprintln!("[{exp}] wrote {}", path.display());
+        }
+    }
+}
+
+fn run_experiment(exp: &str, args: &Args) -> String {
+    let profile = &args.profile;
+    let table_set = match args.dataset {
+        Some(p) => EvalSet::One(p),
+        None => EvalSet::All,
+    };
+    let fig_preset = args.dataset.unwrap_or(DatasetPreset::NycBike);
+    match exp {
+        "table1" => drivers::table1::run().to_string(),
+        "table2" => drivers::table2::run(table_set, profile).to_string(),
+        "table3" => drivers::table3::run(table_set, profile, 3).to_string(),
+        "table4" => drivers::table4::run(table_set, profile).to_string(),
+        "table5" => drivers::table5::run(table_set, profile).to_string(),
+        "table6" => drivers::table6::run(table_set, profile).to_string(),
+        "fig1" => drivers::fig1::run(fig_preset, profile).to_string(),
+        "fig2" => drivers::fig2::run(fig_preset, profile).to_string(),
+        "fig4" => drivers::fig4::run(fig_preset, profile, 48).to_string(),
+        "fig5" => drivers::fig5::run(fig_preset, profile, 48).to_string(),
+        "fig6" => drivers::fig6::run(fig_preset, profile, 48).to_string(),
+        "fig7" => drivers::fig7::run(fig_preset, profile, 48).to_string(),
+        "fig8" => drivers::fig8::run(fig_preset, profile, 78).to_string(),
+        "fig9" => drivers::fig9::run(fig_preset, profile, 3).to_string(),
+        other => {
+            eprintln!("unknown experiment {other}\n{}", usage());
+            std::process::exit(2);
+        }
+    }
+}

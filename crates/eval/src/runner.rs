@@ -1,0 +1,496 @@
+//! Shared experiment infrastructure: profiles, dataset preparation, the
+//! model zoo, evaluation, and the autoregressive multi-step rollout.
+
+use muse_baselines::{
+    BatchPredictor, DeepStnForecaster, FitOptions, Forecaster, HistoricalAverage, RnnForecaster,
+    SeasonalNaive, Seq2SeqForecaster, StNormLiteForecaster, StgspLiteForecaster,
+};
+use muse_metrics::error::ErrorStats;
+use muse_tensor::Tensor;
+use muse_traffic::dataset::{DatasetPreset, Scaler, Split, TrafficDataset};
+use muse_traffic::subseries::SubSeriesSpec;
+use muse_traffic::FlowSeries;
+use musenet::{AblationVariant, MuseNet, MuseNetConfig, Trainer, TrainerOptions};
+
+/// Compute/scale profile for an experiment run.
+///
+/// `quick` finishes each table in minutes on a single core; `standard`
+/// grows the simulation, model width, and epoch budget. `--scale`-style
+/// growth toward paper sizes goes through [`Profile::scaled`].
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Simulator scale multiplier (grid + agent population).
+    pub scale: f32,
+    /// Training epochs for every learned model.
+    pub epochs: usize,
+    /// Mini-batch size (paper: 8).
+    pub batch_size: usize,
+    /// MUSE-Net representation dim `d`.
+    pub d: usize,
+    /// MUSE-Net sampled dim `k`.
+    pub k: usize,
+    /// Hidden width for recurrent baselines.
+    pub hidden: usize,
+    /// Channel width for CNN baselines.
+    pub channels: usize,
+    /// Learning rate for MUSE-Net (paper: 2e-4; larger for short budgets).
+    pub musenet_lr: f32,
+    /// Learning rate for baselines.
+    pub baseline_lr: f32,
+    /// Cap on train batches per epoch (0 = all).
+    pub max_batches: usize,
+    /// Cap on evaluated test targets (0 = all) — keeps metric passes fast.
+    pub max_eval: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Profile {
+    /// Minutes-scale profile used by integration tests and `--quick`.
+    pub fn quick() -> Self {
+        Profile {
+            scale: 0.5,
+            epochs: 30,
+            batch_size: 8,
+            d: 16,
+            k: 32,
+            hidden: 32,
+            channels: 8,
+            musenet_lr: 3e-3,
+            baseline_lr: 5e-3,
+            max_batches: 60,
+            max_eval: 120,
+            seed: 42,
+        }
+    }
+
+    /// Default harness profile (tens of minutes for the full table set).
+    pub fn standard() -> Self {
+        Profile {
+            scale: 1.0,
+            epochs: 30,
+            batch_size: 8,
+            d: 16,
+            k: 32,
+            hidden: 64,
+            channels: 16,
+            musenet_lr: 2e-3,
+            baseline_lr: 3e-3,
+            max_batches: 80,
+            max_eval: 240,
+            seed: 42,
+        }
+    }
+
+    /// Scale the profile toward the paper's sizes (`factor` ≥ 1 grows the
+    /// grid, model widths, and epoch budget together).
+    pub fn scaled(mut self, factor: f32) -> Self {
+        self.scale *= factor;
+        self.d = ((self.d as f32 * factor) as usize).max(4);
+        self.k = ((self.k as f32 * factor) as usize).max(8);
+        self.hidden = ((self.hidden as f32 * factor) as usize).max(8);
+        self.channels = ((self.channels as f32 * factor) as usize).max(4);
+        self.epochs = ((self.epochs as f32 * factor) as usize).max(1);
+        self
+    }
+
+    /// Baseline training options derived from the profile.
+    pub fn fit_options(&self) -> FitOptions {
+        FitOptions {
+            epochs: self.epochs,
+            batch_size: self.batch_size,
+            learning_rate: self.baseline_lr,
+            max_batches_per_epoch: self.max_batches,
+            ..Default::default()
+        }
+    }
+
+    /// MUSE-Net trainer options derived from the profile.
+    pub fn trainer_options(&self) -> TrainerOptions {
+        TrainerOptions {
+            epochs: self.epochs,
+            batch_size: self.batch_size,
+            learning_rate: self.musenet_lr,
+            max_batches_per_epoch: self.max_batches,
+            ..Default::default()
+        }
+    }
+}
+
+/// A prepared dataset: generated, split, and scaled.
+pub struct Prepared {
+    /// The generated dataset with metadata.
+    pub dataset: TrafficDataset,
+    /// Interception spec (paper defaults at the dataset's frequency).
+    pub spec: SubSeriesSpec,
+    /// Chronological splits of target indices.
+    pub split: Split,
+    /// Min-max scaler fitted on the training region.
+    pub scaler: Scaler,
+    /// The full series in scaled `[-1, 1]` units.
+    pub scaled: FlowSeries,
+}
+
+/// Generate and prepare a dataset preset under a profile.
+pub fn prepare(preset: DatasetPreset, profile: &Profile) -> Prepared {
+    let dataset = preset.generate(profile.scale, profile.seed);
+    let spec = SubSeriesSpec::paper_default(dataset.intervals_per_day);
+    // Paper: last ~1/3 test (20 of 60 days), 10% of the rest validation;
+    // reserve 3 horizons for the multi-step experiment.
+    let split = dataset.split(&spec, 0.30, 0.10, 3);
+    let scaler = dataset.fit_scaler(&split);
+    let scaled = dataset.scaled_flows(&scaler);
+    Prepared { dataset, spec, split, scaler, scaled }
+}
+
+impl Prepared {
+    /// Test indices, subsampled evenly to the profile's evaluation cap.
+    pub fn eval_indices(&self, profile: &Profile) -> Vec<usize> {
+        subsample(&self.split.test, profile.max_eval)
+    }
+
+    /// Ground-truth frames (original units) for target indices: `[N,2,H,W]`.
+    pub fn truth(&self, indices: &[usize]) -> Tensor {
+        let frames: Vec<Tensor> = indices.iter().map(|&n| self.dataset.flows.frame(n)).collect();
+        let refs: Vec<&Tensor> = frames.iter().collect();
+        Tensor::stack(&refs)
+    }
+}
+
+/// Evenly subsample `indices` down to `cap` entries (0 = keep all).
+pub fn subsample(indices: &[usize], cap: usize) -> Vec<usize> {
+    if cap == 0 || indices.len() <= cap {
+        return indices.to_vec();
+    }
+    let step = indices.len() as f32 / cap as f32;
+    (0..cap).map(|i| indices[(i as f32 * step) as usize]).collect()
+}
+
+/// Which models an experiment trains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Historical average.
+    Ha,
+    /// Seasonal naive (daily lag).
+    SeasonalNaive,
+    /// Vanilla RNN.
+    Rnn,
+    /// GRU Seq2Seq.
+    Seq2Seq,
+    /// DeepSTN+-style entangled CNN.
+    DeepStn,
+    /// ST-GSP-lite attention model.
+    StgspLite,
+    /// ST-Norm-lite normalization model.
+    StNormLite,
+    /// MUSE-Net (full or an ablation variant).
+    MuseNet(AblationVariant),
+}
+
+impl ModelKind {
+    /// Table II's method list (ours last, as in the paper).
+    pub fn table2_lineup() -> Vec<ModelKind> {
+        vec![
+            ModelKind::Ha,
+            ModelKind::SeasonalNaive,
+            ModelKind::Rnn,
+            ModelKind::Seq2Seq,
+            ModelKind::StNormLite,
+            ModelKind::StgspLite,
+            ModelKind::DeepStn,
+            ModelKind::MuseNet(AblationVariant::Full),
+        ]
+    }
+
+    /// The multi-periodic methods compared in Tables III–V.
+    pub fn multiperiodic_lineup() -> Vec<ModelKind> {
+        vec![
+            ModelKind::StgspLite,
+            ModelKind::StNormLite,
+            ModelKind::DeepStn,
+            ModelKind::MuseNet(AblationVariant::Full),
+        ]
+    }
+
+    /// Whether this is our model.
+    pub fn is_ours(&self) -> bool {
+        matches!(self, ModelKind::MuseNet(_))
+    }
+}
+
+/// A neural baseline exposes both the index-based and the batch-based
+/// prediction interfaces (the latter enables multi-step rollout).
+pub trait NeuralForecaster: Forecaster + BatchPredictor {}
+impl<T: Forecaster + BatchPredictor> NeuralForecaster for T {}
+
+/// A fitted model, behind the unified interface the drivers use.
+pub enum FittedModel {
+    /// A naive baseline (HA, seasonal copy): index-based prediction only.
+    Naive(Box<dyn Forecaster>),
+    /// A neural baseline: also supports multi-step rollout.
+    Neural(Box<dyn NeuralForecaster>),
+    /// MUSE-Net with its trainer.
+    Muse(Box<Trainer>),
+}
+
+impl FittedModel {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            FittedModel::Naive(b) => b.name().to_string(),
+            FittedModel::Neural(b) => b.name().to_string(),
+            FittedModel::Muse(t) => t.model().config().variant.name().to_string(),
+        }
+    }
+
+    /// Predict (scaled units) for target indices.
+    pub fn predict(&self, prepared: &Prepared, indices: &[usize]) -> Tensor {
+        match self {
+            FittedModel::Naive(b) => b.predict(&prepared.scaled, &prepared.spec, indices),
+            FittedModel::Neural(b) => b.predict(&prepared.scaled, &prepared.spec, indices),
+            FittedModel::Muse(t) => t.predict_indices(&prepared.scaled, &prepared.spec, indices),
+        }
+    }
+
+    /// Predict in original units.
+    pub fn predict_unscaled(&self, prepared: &Prepared, indices: &[usize]) -> Tensor {
+        prepared.scaler.unscale(&self.predict(prepared, indices))
+    }
+
+    /// Autoregressive multi-step rollout (scaled units), one `[N, 2, H, W]`
+    /// tensor per horizon. Panics for the naive baselines (the multi-step
+    /// tables do not include them).
+    pub fn predict_multi_step(&self, prepared: &Prepared, indices: &[usize], horizons: usize) -> Vec<Tensor> {
+        match self {
+            FittedModel::Muse(t) => {
+                t.model().predict_multi_step(&prepared.scaled, &prepared.spec, indices, horizons)
+            }
+            FittedModel::Neural(b) => {
+                rollout(b.as_ref(), &prepared.scaled, &prepared.spec, indices, horizons)
+            }
+            FittedModel::Naive(_) => panic!("naive baselines have no multi-step rollout"),
+        }
+    }
+}
+
+/// Build and fit one model on a prepared dataset.
+pub fn fit_model(kind: ModelKind, prepared: &Prepared, profile: &Profile) -> FittedModel {
+    let grid = prepared.dataset.grid();
+    let spec = &prepared.spec;
+    let train = &prepared.split.train;
+    let val = &prepared.split.val;
+    let scaled = &prepared.scaled;
+    match kind {
+        ModelKind::Ha => {
+            let mut m = HistoricalAverage::new();
+            m.fit(scaled, spec, train, val);
+            FittedModel::Naive(Box::new(m))
+        }
+        ModelKind::SeasonalNaive => {
+            let mut m = SeasonalNaive::daily();
+            m.fit(scaled, spec, train, val);
+            FittedModel::Naive(Box::new(m))
+        }
+        ModelKind::Rnn => {
+            let mut m = RnnForecaster::new(grid, spec, profile.hidden, profile.seed + 1, profile.fit_options());
+            m.fit(scaled, spec, train, val);
+            FittedModel::Neural(Box::new(m))
+        }
+        ModelKind::Seq2Seq => {
+            let mut m = Seq2SeqForecaster::new(grid, spec, profile.hidden, profile.seed + 2, profile.fit_options());
+            m.fit(scaled, spec, train, val);
+            FittedModel::Neural(Box::new(m))
+        }
+        ModelKind::DeepStn => {
+            let mut m = DeepStnForecaster::new(grid, spec, profile.channels, 2, profile.seed + 3, profile.fit_options());
+            m.fit(scaled, spec, train, val);
+            FittedModel::Neural(Box::new(m))
+        }
+        ModelKind::StgspLite => {
+            let mut m = StgspLiteForecaster::new(grid, spec, profile.channels, profile.seed + 4, profile.fit_options());
+            m.fit(scaled, spec, train, val);
+            FittedModel::Neural(Box::new(m))
+        }
+        ModelKind::StNormLite => {
+            let mut m = StNormLiteForecaster::new(grid, spec, profile.channels, profile.seed + 5, profile.fit_options());
+            m.fit(scaled, spec, train, val);
+            FittedModel::Neural(Box::new(m))
+        }
+        ModelKind::MuseNet(variant) => {
+            let mut cfg = MuseNetConfig::cpu_profile(grid, *spec);
+            cfg.d = profile.d;
+            cfg.k = profile.k;
+            // Match the DeepSTN+ baseline's spatial depth.
+            cfg.resplus_blocks = 2;
+            cfg.variant = variant;
+            cfg.seed = profile.seed + 6;
+            let mut trainer = Trainer::new(MuseNet::new(cfg), profile.trainer_options());
+            trainer.fit(scaled, spec, train, val);
+            FittedModel::Muse(Box::new(trainer))
+        }
+    }
+}
+
+/// Generic autoregressive rollout for any [`BatchPredictor`]: predicted
+/// frames replace future frames inside the closeness window; period/trend
+/// stay ground truth (their lags exceed the horizon).
+pub fn rollout(
+    model: &dyn BatchPredictor,
+    flows: &FlowSeries,
+    spec: &SubSeriesSpec,
+    indices: &[usize],
+    horizons: usize,
+) -> Vec<Tensor> {
+    assert!(spec.intervals_per_day >= horizons, "rollout assumes sub-day horizons");
+    let mut per_horizon: Vec<Vec<Tensor>> = vec![Vec::with_capacity(indices.len()); horizons];
+    #[allow(clippy::needless_range_loop)]
+    for &n in indices {
+        let mut predicted: Vec<Tensor> = Vec::with_capacity(horizons);
+        for h in 0..horizons {
+            let target = n + h;
+            let mut c_frames = Vec::with_capacity(spec.lc);
+            for lag in spec.closeness_lags() {
+                let idx = target - lag;
+                if idx >= n {
+                    c_frames.push(predicted[idx - n].clone());
+                } else {
+                    c_frames.push(flows.frame(idx));
+                }
+            }
+            let c_refs: Vec<&Tensor> = c_frames.iter().collect();
+            let closeness = Tensor::concat(&c_refs, 0).unsqueeze(0);
+            let p_frames: Vec<Tensor> = spec.period_lags().iter().map(|&l| flows.frame(target - l)).collect();
+            let p_refs: Vec<&Tensor> = p_frames.iter().collect();
+            let period = Tensor::concat(&p_refs, 0).unsqueeze(0);
+            let t_frames: Vec<Tensor> = spec.trend_lags().iter().map(|&l| flows.frame(target - l)).collect();
+            let t_refs: Vec<&Tensor> = t_frames.iter().collect();
+            let trend = Tensor::concat(&t_refs, 0).unsqueeze(0);
+            let b = muse_traffic::Batch { closeness, period, trend, target: Tensor::zeros(&[1, 2, flows.grid().height, flows.grid().width]), indices: vec![target] };
+            let pred = model.predict_batch(&b);
+            let frame = pred.index_axis0(0);
+            predicted.push(frame.clone());
+            per_horizon[h].push(frame);
+        }
+    }
+    per_horizon
+        .into_iter()
+        .map(|frames| {
+            let refs: Vec<&Tensor> = frames.iter().collect();
+            Tensor::stack(&refs)
+        })
+        .collect()
+}
+
+/// Split `[N, 2, H, W]` predictions into (outflow, inflow) `[N, 1, H, W]`.
+pub fn split_channels(x: &Tensor) -> (Tensor, Tensor) {
+    let parts = x.split(1, &[1, 1]);
+    let mut it = parts.into_iter();
+    (it.next().unwrap(), it.next().unwrap())
+}
+
+/// Per-channel error stats (outflow, inflow) in the units of the inputs.
+pub fn channel_errors(pred: &Tensor, truth: &Tensor) -> (ErrorStats, ErrorStats) {
+    let (po, pi) = split_channels(pred);
+    let (to, ti) = split_channels(truth);
+    (ErrorStats::between(&po, &to), ErrorStats::between(&pi, &ti))
+}
+
+/// Which datasets an invocation covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalSet {
+    /// All three presets (the paper's setting).
+    All,
+    /// A single preset (quick runs / tests).
+    One(DatasetPreset),
+}
+
+impl EvalSet {
+    /// The presets to iterate.
+    pub fn presets(&self) -> Vec<DatasetPreset> {
+        match self {
+            EvalSet::All => DatasetPreset::all().to_vec(),
+            EvalSet::One(p) => vec![*p],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_profile() -> Profile {
+        Profile {
+            scale: 0.45,
+            epochs: 1,
+            max_batches: 4,
+            max_eval: 12,
+            d: 4,
+            k: 8,
+            hidden: 8,
+            channels: 4,
+            ..Profile::quick()
+        }
+    }
+
+    #[test]
+    fn prepare_builds_consistent_views() {
+        let profile = tiny_profile();
+        let prepared = prepare(DatasetPreset::NycBike, &profile);
+        assert_eq!(prepared.scaled.len(), prepared.dataset.flows.len());
+        assert!(!prepared.split.train.is_empty());
+        assert!(prepared.split.test.last().unwrap() + 3 <= prepared.scaled.len());
+        // Scaled training data is in [-1, 1].
+        assert!(prepared.scaled.tensor().min() >= -1.0 - 1e-5);
+    }
+
+    #[test]
+    fn subsample_even_and_capped() {
+        let idx: Vec<usize> = (0..100).collect();
+        let s = subsample(&idx, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 0);
+        assert!(s.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(subsample(&idx, 0).len(), 100);
+        assert_eq!(subsample(&idx[..5], 10).len(), 5);
+    }
+
+    #[test]
+    fn lineups_match_paper_structure() {
+        let t2 = ModelKind::table2_lineup();
+        assert!(t2.last().unwrap().is_ours());
+        assert_eq!(t2.len(), 8);
+        let mp = ModelKind::multiperiodic_lineup();
+        assert_eq!(mp.len(), 4);
+        assert!(mp.last().unwrap().is_ours());
+    }
+
+    #[test]
+    fn fit_and_evaluate_naive_models() {
+        let profile = tiny_profile();
+        let prepared = prepare(DatasetPreset::NycBike, &profile);
+        let eval_idx = prepared.eval_indices(&profile);
+        for kind in [ModelKind::Ha, ModelKind::SeasonalNaive] {
+            let m = fit_model(kind, &prepared, &profile);
+            let pred = m.predict_unscaled(&prepared, &eval_idx);
+            let truth = prepared.truth(&eval_idx);
+            let (out, inn) = channel_errors(&pred, &truth);
+            assert!(out.rmse.is_finite() && inn.rmse.is_finite());
+            assert!(out.rmse > 0.0, "synthetic data should not be exactly predictable");
+        }
+    }
+
+    #[test]
+    fn split_channels_roundtrip() {
+        let x = Tensor::arange(0.0, 16.0).reshape(&[2, 2, 2, 2]);
+        let (o, i) = split_channels(&x);
+        assert_eq!(o.dims(), &[2, 1, 2, 2]);
+        assert_eq!(o.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(i.at(&[0, 0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn eval_set_presets() {
+        assert_eq!(EvalSet::All.presets().len(), 3);
+        assert_eq!(EvalSet::One(DatasetPreset::TaxiBj).presets(), vec![DatasetPreset::TaxiBj]);
+    }
+}

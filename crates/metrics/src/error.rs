@@ -1,0 +1,180 @@
+//! Forecast error metrics: RMSE, MAE, MAPE, and masked variants.
+//!
+//! Following common traffic-forecasting practice (and the released code of
+//! several of the paper's baselines), MAPE ignores near-zero ground-truth
+//! entries — a percentage error against a zero count is undefined.
+
+use muse_tensor::Tensor;
+
+/// Ground-truth magnitude below which a cell is excluded from MAPE.
+pub const MAPE_THRESHOLD: f32 = 1.0;
+
+/// Summary of the three paper metrics over one prediction set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Root mean squared error.
+    pub rmse: f32,
+    /// Mean absolute error.
+    pub mae: f32,
+    /// Mean absolute percentage error, in percent (0–100+).
+    pub mape: f32,
+    /// Number of elements contributing to RMSE/MAE.
+    pub count: usize,
+}
+
+impl ErrorStats {
+    /// Compute all three metrics between prediction and truth.
+    pub fn between(pred: &Tensor, truth: &Tensor) -> Self {
+        ErrorStats {
+            rmse: rmse(pred, truth),
+            mae: mae(pred, truth),
+            mape: mape(pred, truth),
+            count: truth.len(),
+        }
+    }
+}
+
+fn check_shapes(pred: &Tensor, truth: &Tensor) {
+    assert_eq!(pred.dims(), truth.dims(), "metric shape mismatch: {:?} vs {:?}", pred.dims(), truth.dims());
+    assert!(!pred.is_empty(), "metric on empty tensors");
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &Tensor, truth: &Tensor) -> f32 {
+    check_shapes(pred, truth);
+    let mse: f32 = pred
+        .as_slice()
+        .iter()
+        .zip(truth.as_slice())
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f32>()
+        / pred.len() as f32;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &Tensor, truth: &Tensor) -> f32 {
+    check_shapes(pred, truth);
+    pred.as_slice()
+        .iter()
+        .zip(truth.as_slice())
+        .map(|(&p, &t)| (p - t).abs())
+        .sum::<f32>()
+        / pred.len() as f32
+}
+
+/// Mean absolute percentage error in percent, skipping ground-truth values
+/// below [`MAPE_THRESHOLD`]. Returns 0.0 if nothing passes the threshold.
+pub fn mape(pred: &Tensor, truth: &Tensor) -> f32 {
+    check_shapes(pred, truth);
+    let mut total = 0.0f32;
+    let mut n = 0usize;
+    for (&p, &t) in pred.as_slice().iter().zip(truth.as_slice()) {
+        if t.abs() >= MAPE_THRESHOLD {
+            total += ((p - t) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * total / n as f32
+    }
+}
+
+/// Metrics restricted to samples whose mask entry is `true`.
+///
+/// `pred`/`truth` are `[N, ...]` with one mask entry per leading-axis sample.
+/// Returns `None` if the mask selects nothing.
+pub fn masked_errors(pred: &Tensor, truth: &Tensor, mask: &[bool]) -> Option<ErrorStats> {
+    check_shapes(pred, truth);
+    let n = pred.dims()[0];
+    assert_eq!(mask.len(), n, "mask length {} != leading dim {n}", mask.len());
+    let selected: Vec<usize> = (0..n).filter(|&i| mask[i]).collect();
+    if selected.is_empty() {
+        return None;
+    }
+    let parts_p: Vec<Tensor> = selected.iter().map(|&i| pred.index_axis0(i)).collect();
+    let parts_t: Vec<Tensor> = selected.iter().map(|&i| truth.index_axis0(i)).collect();
+    let refs_p: Vec<&Tensor> = parts_p.iter().collect();
+    let refs_t: Vec<&Tensor> = parts_t.iter().collect();
+    let sp = Tensor::stack(&refs_p);
+    let st = Tensor::stack(&refs_t);
+    Some(ErrorStats::between(&sp, &st))
+}
+
+/// The paper's improvement formula:
+/// `(best_baseline - ours) / best_baseline × 100%`.
+pub fn improvement_percent(best_baseline: f32, ours: f32) -> f32 {
+    if best_baseline.abs() < 1e-12 {
+        return 0.0;
+    }
+    100.0 * (best_baseline - ours) / best_baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_zero_error() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let s = ErrorStats::between(&t, &t);
+        assert_eq!(s.rmse, 0.0);
+        assert_eq!(s.mae, 0.0);
+        assert_eq!(s.mape, 0.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn known_values() {
+        let pred = Tensor::from_vec(vec![2.0, 4.0], &[2]);
+        let truth = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert!((rmse(&pred, &truth) - (2.5f32).sqrt()).abs() < 1e-6);
+        assert!((mae(&pred, &truth) - 1.5).abs() < 1e-6);
+        // MAPE: |1/1| and |2/2| → 100%.
+        assert!((mape(&pred, &truth) - 100.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mape_skips_near_zero_truth() {
+        let pred = Tensor::from_vec(vec![5.0, 2.0], &[2]);
+        let truth = Tensor::from_vec(vec![0.0, 2.0], &[2]);
+        // Only the second entry counts → 0% error.
+        assert_eq!(mape(&pred, &truth), 0.0);
+        let all_zero = Tensor::zeros(&[2]);
+        assert_eq!(mape(&pred, &all_zero), 0.0);
+    }
+
+    #[test]
+    fn rmse_penalizes_outliers_more_than_mae() {
+        let pred = Tensor::from_vec(vec![0.0, 0.0, 10.0], &[3]);
+        let truth = Tensor::zeros(&[3]);
+        assert!(rmse(&pred, &truth) > mae(&pred, &truth));
+    }
+
+    #[test]
+    fn masked_errors_selects_rows() {
+        let pred = Tensor::from_vec(vec![1.0, 1.0, 5.0, 5.0], &[2, 2]);
+        let truth = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[2, 2]);
+        let only_first = masked_errors(&pred, &truth, &[true, false]).unwrap();
+        assert_eq!(only_first.rmse, 0.0);
+        let only_second = masked_errors(&pred, &truth, &[false, true]).unwrap();
+        assert!((only_second.mae - 4.0).abs() < 1e-6);
+        assert!(masked_errors(&pred, &truth, &[false, false]).is_none());
+    }
+
+    #[test]
+    fn improvement_formula_matches_paper() {
+        // Table II example: baseline 3.63, ours 2.89 → ~20%.
+        let imp = improvement_percent(3.63, 2.89);
+        assert!((imp - 20.385675).abs() < 1e-3);
+        assert_eq!(improvement_percent(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = rmse(&Tensor::zeros(&[2]), &Tensor::zeros(&[3]));
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # muse-metrics
+//!
+//! Evaluation machinery for the MUSE-Net reproduction:
+//!
+//! * [`error`] — RMSE / MAE / MAPE (Tables II–VI), with masked variants for
+//!   the peak/non-peak and weekday/weekend breakdowns.
+//! * [`similarity`] — cosine-similarity matrices (Figs. 6–8).
+//! * [`mi`] — Gaussian mutual-information estimates (quantifying RQ3).
+//! * [`pca`] / [`tsne`] — 2-D projections and a silhouette score for the
+//!   disentanglement visualization (Fig. 5).
+//! * [`report`] — plain-text table rendering for the experiment harness.
+
+pub mod error;
+pub mod mi;
+pub mod pca;
+pub mod report;
+pub mod similarity;
+pub mod tsne;
+
+pub use error::{mae, mape, masked_errors, rmse, ErrorStats};
+pub use mi::{gaussian_mi, MiEstimate};
+pub use report::Table;
+pub use similarity::{cosine_similarity, cosine_similarity_matrix};
+pub use tsne::{silhouette_score, Tsne};

@@ -1,0 +1,103 @@
+//! Principal component analysis via power iteration — used to initialize
+//! t-SNE and as a fast 2-D projection in its own right.
+
+use muse_tensor::init::SeededRng;
+use muse_tensor::Tensor;
+
+/// Project `[N, D]` data onto its top `k` principal components → `[N, k]`.
+///
+/// Components are extracted one at a time by power iteration with deflation;
+/// exact enough for visualization purposes.
+pub fn pca_project(data: &Tensor, k: usize, seed: u64) -> Tensor {
+    assert_eq!(data.rank(), 2, "pca expects [N, D]");
+    let (n, d) = (data.dims()[0], data.dims()[1]);
+    assert!(k <= d, "cannot extract {k} components from {d} dims");
+    let mut rng = SeededRng::new(seed);
+
+    // Center the data.
+    let mean = data.mean_axis(0); // [D]
+    let centered = data.sub(&mean.reshaped(&[1, d]));
+
+    // Covariance C = X^T X / (n - 1).
+    let cov = centered.matmul_at(&centered).mul_scalar(1.0 / (n.max(2) - 1) as f32);
+
+    let mut components: Vec<Tensor> = Vec::with_capacity(k);
+    let mut deflated = cov;
+    for _ in 0..k {
+        let mut v = Tensor::rand_normal(&mut rng, &[d], 0.0, 1.0);
+        normalize(&mut v);
+        for _ in 0..64 {
+            let next = deflated.matvec(&v);
+            let mut next = next;
+            if next.norm() < 1e-12 {
+                break;
+            }
+            normalize(&mut next);
+            let delta = next.max_abs_diff(&v);
+            v = next;
+            if delta < 1e-7 {
+                break;
+            }
+        }
+        // Deflate: C -= λ v v^T.
+        let lambda = v.dot(&deflated.matvec(&v));
+        let vv = v.reshaped(&[d, 1]).matmul(&v.reshaped(&[1, d])).mul_scalar(lambda);
+        deflated = deflated.sub(&vv);
+        components.push(v);
+    }
+
+    // Project: [N, D] x [D, k].
+    let comp_refs: Vec<&Tensor> = components.iter().collect();
+    let basis = Tensor::stack(&comp_refs).transpose2(); // [D, k]
+    centered.matmul(&basis)
+}
+
+fn normalize(v: &mut Tensor) {
+    let n = v.norm().max(1e-12);
+    v.scale_assign(1.0 / n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_axis() {
+        // Data stretched along a known direction: first PC should capture it.
+        let mut rng = SeededRng::new(1);
+        let n = 200;
+        let mut data = Vec::with_capacity(n * 2);
+        for _ in 0..n {
+            let t: f32 = rng.normal_with(0.0, 5.0);
+            let noise: f32 = rng.normal_with(0.0, 0.3);
+            // Points near the line y = x.
+            data.push(t + noise);
+            data.push(t - noise);
+        }
+        let x = Tensor::from_vec(data, &[n, 2]);
+        let proj = pca_project(&x, 2, 0);
+        assert_eq!(proj.dims(), &[n, 2]);
+        // Variance along PC1 must dominate PC2.
+        let pc1: Vec<f32> = (0..n).map(|i| proj.at(&[i, 0])).collect();
+        let pc2: Vec<f32> = (0..n).map(|i| proj.at(&[i, 1])).collect();
+        let var = |v: &[f32]| {
+            let m = v.iter().sum::<f32>() / v.len() as f32;
+            v.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / v.len() as f32
+        };
+        assert!(var(&pc1) > 20.0 * var(&pc2), "pc1 var {} pc2 var {}", var(&pc1), var(&pc2));
+    }
+
+    #[test]
+    fn projection_is_centered() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let proj = pca_project(&x, 1, 0);
+        assert!(proj.mean().abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "components")]
+    fn too_many_components_rejected() {
+        let x = Tensor::zeros(&[4, 2]);
+        let _ = pca_project(&x, 3, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Plain-text table rendering for the experiment harness — the `muse-eval`
+//! binary prints results in the same row/column layout as the paper's tables.
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width {} != header width {}", cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Append a row of formatted floats after a leading label.
+    pub fn add_metric_row(&mut self, label: &str, values: &[f32]) {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| format!("{v:.2}")));
+        self.add_row(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Access rows (for assertions in tests).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 3 * cols + 1;
+        writeln!(f, "{}", "=".repeat(total))?;
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{}", "-".repeat(total))?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {cell:>width$} |", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        writeln!(f, "{}", "=".repeat(total))
+    }
+}
+
+/// Format a float with two decimals (the paper's table precision).
+pub fn fmt2(v: f32) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a percentage with two decimals and a `%` sign.
+pub fn fmt_pct(v: f32) -> String {
+    format!("{v:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["Method", "RMSE", "MAE"]);
+        t.add_row(vec!["MUSE-Net".into(), "2.89".into(), "1.11".into()]);
+        t.add_metric_row("DeepSTN+", &[3.68, 1.35]);
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("MUSE-Net"));
+        assert!(s.contains("3.68"));
+        assert_eq!(t.len(), 2);
+        // Every rendered data line has the same width.
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt2(1.234), "1.23");
+        assert_eq!(fmt_pct(12.345), "12.35%");
+    }
+}

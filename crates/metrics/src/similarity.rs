@@ -1,0 +1,106 @@
+//! Cosine-similarity analysis used by the informativeness and
+//! interpretability experiments (Figs. 6–8).
+
+use muse_tensor::Tensor;
+
+/// Cosine similarity of two equal-length vectors (0.0 if either is zero).
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine_similarity length mismatch");
+    let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+    let na: f32 = a.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    if na < 1e-12 || nb < 1e-12 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Row-wise cosine-similarity matrix between `[N, D]` and `[M, D]`
+/// representations: output `[N, M]` with `out[i][j] = cos(a_i, b_j)`.
+pub fn cosine_similarity_matrix(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "cosine matrix lhs must be [N, D]");
+    assert_eq!(b.rank(), 2, "cosine matrix rhs must be [M, D]");
+    assert_eq!(a.dims()[1], b.dims()[1], "feature dims differ: {:?} vs {:?}", a.dims(), b.dims());
+    let (n, d) = (a.dims()[0], a.dims()[1]);
+    let m = b.dims()[0];
+    let mut out = Tensor::zeros(&[n, m]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    for i in 0..n {
+        let ra = &av[i * d..(i + 1) * d];
+        for j in 0..m {
+            let rb = &bv[j * d..(j + 1) * d];
+            *out.at_mut(&[i, j]) = cosine_similarity(ra, rb);
+        }
+    }
+    out
+}
+
+/// Diagonal of the pairwise cosine matrix: per-sample similarity between two
+/// aligned `[N, D]` representations (Fig. 8's diagonal read-out).
+pub fn cosine_similarity_diagonal(a: &Tensor, b: &Tensor) -> Vec<f32> {
+    assert_eq!(a.dims(), b.dims(), "diagonal similarity needs aligned shapes");
+    let (n, d) = (a.dims()[0], a.dims()[1]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    (0..n)
+        .map(|i| cosine_similarity(&av[i * d..(i + 1) * d], &bv[i * d..(i + 1) * d]))
+        .collect()
+}
+
+/// Fraction of entries in a similarity matrix that are positive — the
+/// "most points are greater than zero" observation of Fig. 6.
+pub fn positive_fraction(sim: &Tensor) -> f32 {
+    let n = sim.len();
+    if n == 0 {
+        return 0.0;
+    }
+    sim.as_slice().iter().filter(|&&x| x > 0.0).count() as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_similarity_one() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orthogonal_and_opposite() {
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vector_returns_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn matrix_shape_and_values() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        let m = cosine_similarity_matrix(&a, &b);
+        assert_eq!(m.dims(), &[2, 1]);
+        assert!((m.at(&[0, 0]) - 1.0).abs() < 1e-6);
+        assert!(m.at(&[1, 0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diagonal_matches_matrix_diag() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, -1.0, 0.5], &[2, 2]);
+        let b = Tensor::from_vec(vec![0.5, 1.0, 1.0, -0.5], &[2, 2]);
+        let diag = cosine_similarity_diagonal(&a, &b);
+        let full = cosine_similarity_matrix(&a, &b);
+        assert!((diag[0] - full.at(&[0, 0])).abs() < 1e-6);
+        assert!((diag[1] - full.at(&[1, 1])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn positive_fraction_counts() {
+        let m = Tensor::from_vec(vec![0.5, -0.5, 0.1, 0.0], &[2, 2]);
+        assert!((positive_fraction(&m) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,283 @@
+//! Exact (O(n²)) t-SNE (van der Maaten & Hinton, 2008) and a silhouette
+//! score — the projection and separation measure behind Fig. 5.
+
+use crate::pca::pca_project;
+use muse_tensor::init::SeededRng;
+use muse_tensor::Tensor;
+
+/// t-SNE configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Tsne {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f32,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f32,
+    /// RNG seed for the initial embedding jitter.
+    pub seed: u64,
+}
+
+impl Default for Tsne {
+    fn default() -> Self {
+        Tsne { perplexity: 20.0, iterations: 250, learning_rate: 100.0, exaggeration: 4.0, seed: 0 }
+    }
+}
+
+impl Tsne {
+    /// Embed `[N, D]` data into 2-D → `[N, 2]`.
+    pub fn embed(&self, data: &Tensor) -> Tensor {
+        assert_eq!(data.rank(), 2, "tsne expects [N, D]");
+        let n = data.dims()[0];
+        assert!(n >= 4, "tsne needs at least 4 points");
+        let p = joint_probabilities(data, self.perplexity);
+
+        // PCA initialization (scaled small) plus jitter.
+        let mut rng = SeededRng::new(self.seed);
+        let init = pca_project(data, 2.min(data.dims()[1]), self.seed);
+        let mut y: Vec<[f32; 2]> = (0..n)
+            .map(|i| {
+                let a = if init.dims()[1] > 0 { init.at(&[i, 0]) } else { 0.0 };
+                let b = if init.dims()[1] > 1 { init.at(&[i, 1]) } else { 0.0 };
+                [a * 1e-2 + rng.normal_with(0.0, 1e-3), b * 1e-2 + rng.normal_with(0.0, 1e-3)]
+            })
+            .collect();
+        let mut velocity = vec![[0.0f32; 2]; n];
+
+        let exaggerate_until = self.iterations / 4;
+        for iter in 0..self.iterations {
+            let ex = if iter < exaggerate_until { self.exaggeration } else { 1.0 };
+            // Low-dimensional affinities (Student-t kernel).
+            let mut q_num = vec![0.0f32; n * n];
+            let mut q_sum = 0.0f32;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let dx = y[i][0] - y[j][0];
+                    let dy = y[i][1] - y[j][1];
+                    let num = 1.0 / (1.0 + dx * dx + dy * dy);
+                    q_num[i * n + j] = num;
+                    q_num[j * n + i] = num;
+                    q_sum += 2.0 * num;
+                }
+            }
+            let q_sum = q_sum.max(1e-12);
+
+            // Gradient: 4 Σ_j (p_ij ex - q_ij) num_ij (y_i - y_j).
+            let momentum = if iter < 20 { 0.5 } else { 0.8 };
+            for i in 0..n {
+                let mut g = [0.0f32; 2];
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let num = q_num[i * n + j];
+                    let q = (num / q_sum).max(1e-12);
+                    let coeff = 4.0 * (ex * p[i * n + j] - q) * num;
+                    g[0] += coeff * (y[i][0] - y[j][0]);
+                    g[1] += coeff * (y[i][1] - y[j][1]);
+                }
+                for d in 0..2 {
+                    velocity[i][d] = momentum * velocity[i][d] - self.learning_rate * g[d];
+                }
+            }
+            for i in 0..n {
+                y[i][0] += velocity[i][0];
+                y[i][1] += velocity[i][1];
+            }
+        }
+
+        let flat: Vec<f32> = y.iter().flat_map(|p| p.iter().copied()).collect();
+        Tensor::from_vec(flat, &[n, 2])
+    }
+}
+
+/// Symmetrized joint probabilities `p_ij` with per-point bandwidths found by
+/// binary search to match the target perplexity.
+fn joint_probabilities(data: &Tensor, perplexity: f32) -> Vec<f32> {
+    let (n, d) = (data.dims()[0], data.dims()[1]);
+    let x = data.as_slice();
+    // Pairwise squared distances.
+    let mut dist = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut s = 0.0;
+            for k in 0..d {
+                let diff = x[i * d + k] - x[j * d + k];
+                s += diff * diff;
+            }
+            dist[i * n + j] = s;
+            dist[j * n + i] = s;
+        }
+    }
+    let target_entropy = perplexity.max(2.0).ln();
+    let mut p = vec![0.0f32; n * n];
+    for i in 0..n {
+        // Binary search beta = 1/(2σ²).
+        let (mut lo, mut hi) = (1e-12f32, 1e12f32);
+        let mut beta = 1.0f32;
+        for _ in 0..64 {
+            let mut sum = 0.0f32;
+            let mut weighted = 0.0f32;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let e = (-beta * dist[i * n + j]).exp();
+                sum += e;
+                weighted += beta * dist[i * n + j] * e;
+            }
+            let sum = sum.max(1e-12);
+            let entropy = sum.ln() + weighted / sum;
+            if (entropy - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+                beta = if hi >= 1e12 { beta * 2.0 } else { (beta + hi) / 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0f32;
+        for j in 0..n {
+            if i != j {
+                let e = (-beta * dist[i * n + j]).exp();
+                p[i * n + j] = e;
+                sum += e;
+            }
+        }
+        let sum = sum.max(1e-12);
+        for j in 0..n {
+            p[i * n + j] /= sum;
+        }
+    }
+    // Symmetrize and normalize.
+    let mut joint = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f32)).max(1e-12);
+        }
+    }
+    joint
+}
+
+/// Mean silhouette score of a labelled embedding (`[N, k]`, labels `[N]`).
+///
+/// +1 means tight, well-separated clusters; 0 means overlapping; negative
+/// means mis-assigned. Used to quantify Fig. 5's "disentangled
+/// representations form separated clusters".
+pub fn silhouette_score(embedding: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(embedding.rank(), 2, "silhouette expects [N, k]");
+    let (n, d) = (embedding.dims()[0], embedding.dims()[1]);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let x = embedding.as_slice();
+    let n_labels = labels.iter().copied().max().map_or(0, |m| m + 1);
+    assert!(n_labels >= 2, "silhouette needs at least 2 clusters");
+
+    let dist = |i: usize, j: usize| -> f32 {
+        let mut s = 0.0;
+        for k in 0..d {
+            let diff = x[i * d + k] - x[j * d + k];
+            s += diff * diff;
+        }
+        s.sqrt()
+    };
+
+    let mut total = 0.0f32;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let mut sums = vec![0.0f32; n_labels];
+        let mut counts = vec![0usize; n_labels];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += dist(i, j);
+                counts[labels[j]] += 1;
+            }
+        }
+        let own = labels[i];
+        if counts[own] == 0 {
+            continue; // singleton cluster
+        }
+        let a = sums[own] / counts[own] as f32;
+        let b = (0..n_labels)
+            .filter(|&l| l != own && counts[l] > 0)
+            .map(|l| sums[l] / counts[l] as f32)
+            .fold(f32::INFINITY, f32::min);
+        if !b.is_finite() {
+            continue;
+        }
+        total += (b - a) / a.max(b).max(1e-12);
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs in 5-D.
+    fn blobs(n_per: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = SeededRng::new(seed);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            let center = if c == 0 { -4.0 } else { 4.0 };
+            for _ in 0..n_per {
+                for _ in 0..5 {
+                    data.push(rng.normal_with(center, 0.5));
+                }
+                labels.push(c);
+            }
+        }
+        (Tensor::from_vec(data, &[2 * n_per, 5]), labels)
+    }
+
+    #[test]
+    fn tsne_separates_blobs() {
+        let (data, labels) = blobs(20, 1);
+        let emb = Tsne { perplexity: 10.0, iterations: 400, ..Default::default() }.embed(&data);
+        assert_eq!(emb.dims(), &[40, 2]);
+        assert!(emb.all_finite());
+        let score = silhouette_score(&emb, &labels);
+        assert!(score > 0.45, "blobs not separated, silhouette {score}");
+    }
+
+    #[test]
+    fn silhouette_perfect_separation_close_to_one() {
+        // Two far-apart point pairs.
+        let emb = Tensor::from_vec(vec![0.0, 0.0, 0.1, 0.0, 10.0, 0.0, 10.1, 0.0], &[4, 2]);
+        let s = silhouette_score(&emb, &[0, 0, 1, 1]);
+        assert!(s > 0.9, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_mixed_clusters_low() {
+        // Interleaved labels on identical points.
+        let emb = Tensor::from_vec(vec![0.0, 0.0, 0.1, 0.0, 0.0, 0.1, 0.1, 0.1], &[4, 2]);
+        let s = silhouette_score(&emb, &[0, 1, 0, 1]);
+        assert!(s < 0.3, "silhouette {s}");
+    }
+
+    #[test]
+    fn joint_probabilities_are_a_distribution() {
+        let (data, _) = blobs(8, 2);
+        let p = joint_probabilities(&data, 5.0);
+        let total: f32 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-2, "sum {total}");
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tsne_rejects_tiny_input() {
+        let _ = Tsne::default().embed(&Tensor::zeros(&[2, 3]));
+    }
+}

@@ -1,0 +1,53 @@
+//! Loss helpers shared by the forecasting models.
+
+use muse_autograd::Var;
+use muse_tensor::Tensor;
+
+/// Mean squared error against a constant target — the paper's regression
+/// loss `L_Reg = ||X_n - Y_n||²` (Eq. 30), averaged per element so batch
+/// size does not rescale the objective.
+pub fn mse_loss<'t>(pred: &Var<'t>, target: &Tensor) -> Var<'t> {
+    muse_autograd::vae_ops::mse(pred, target)
+}
+
+/// Mean absolute error against a constant target (used by some baselines'
+/// training and by diagnostics).
+pub fn l1_loss<'t>(pred: &Var<'t>, target: &Tensor) -> Var<'t> {
+    assert_eq!(pred.dims(), target.dims(), "l1_loss shape mismatch");
+    let t = pred.tape().constant(target.clone());
+    // |x| = sqrt(x^2 + eps) for differentiability at 0.
+    pred.sub(&t).square().add_scalar(1e-8).sqrt().mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_autograd::Tape;
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[2, 2]));
+        let loss = mse_loss(&x, &Tensor::ones(&[2, 2]));
+        assert!(loss.item().abs() < 1e-9);
+    }
+
+    #[test]
+    fn l1_matches_manual_value() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, -1.0], &[2]));
+        let loss = l1_loss(&x, &Tensor::zeros(&[2]));
+        assert!((loss.item() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn l1_gradient_is_sign() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![2.0, -3.0], &[2]));
+        let loss = l1_loss(&x, &Tensor::zeros(&[2]));
+        let grads = tape.backward(loss);
+        let g = grads.get(x).unwrap();
+        assert!((g.as_slice()[0] - 0.5).abs() < 1e-3); // +1/n
+        assert!((g.as_slice()[1] + 0.5).abs() < 1e-3); // -1/n
+    }
+}

@@ -1,0 +1,228 @@
+//! Parameters and the forward/backward [`Session`].
+
+use muse_autograd::{Tape, Var};
+use muse_tensor::Tensor;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A learnable tensor with its accumulated gradient.
+///
+/// Layers hold `Rc<Param>` ([`ParamRef`]) so the same parameter can be bound
+/// into any number of forward passes and shared with an optimizer.
+#[derive(Debug)]
+pub struct Param {
+    name: String,
+    value: RefCell<Tensor>,
+    grad: RefCell<Tensor>,
+}
+
+/// Shared handle to a [`Param`].
+pub type ParamRef = Rc<Param>;
+
+impl Param {
+    /// Create a named parameter with an initial value and zero gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> ParamRef {
+        let grad = Tensor::zeros(value.dims());
+        Rc::new(Param { name: name.into(), value: RefCell::new(value), grad: RefCell::new(grad) })
+    }
+
+    /// Human-readable name (used in diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Clone of the current value.
+    pub fn value(&self) -> Tensor {
+        self.value.borrow().clone()
+    }
+
+    /// Clone of the accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.grad.borrow().clone()
+    }
+
+    /// Dimension extents of the parameter.
+    pub fn dims(&self) -> Vec<usize> {
+        self.value.borrow().dims().to_vec()
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.value.borrow().len()
+    }
+
+    /// Whether the parameter holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Overwrite the value (e.g. optimizer update or checkpoint restore).
+    pub fn set_value(&self, value: Tensor) {
+        assert_eq!(value.dims(), self.value.borrow().dims(), "set_value shape mismatch for {}", self.name);
+        *self.value.borrow_mut() = value;
+    }
+
+    /// Add `delta` into the accumulated gradient.
+    pub fn accumulate_grad(&self, delta: &Tensor) {
+        self.grad.borrow_mut().add_assign(delta);
+    }
+
+    /// Reset the gradient to zero.
+    pub fn zero_grad(&self) {
+        let dims = self.value.borrow().dims().to_vec();
+        *self.grad.borrow_mut() = Tensor::zeros(&dims);
+    }
+
+    /// In-place SGD-style update: `value -= lr * update`.
+    pub fn apply_update(&self, update: &Tensor, lr: f32) {
+        let mut v = self.value.borrow_mut();
+        let scaled = update.mul_scalar(-lr);
+        v.add_assign(&scaled);
+    }
+}
+
+/// One forward/backward pass: a tape plus the parameter bindings created on
+/// it.
+///
+/// `Session::param` registers a parameter's current value as a leaf on the
+/// tape and remembers the node id; `Session::backward` then routes the tape's
+/// gradients into each bound parameter's `.grad`.
+pub struct Session<'t> {
+    tape: &'t Tape,
+    bindings: RefCell<Vec<(ParamRef, usize)>>,
+}
+
+impl<'t> Session<'t> {
+    /// Wrap a tape.
+    pub fn new(tape: &'t Tape) -> Self {
+        Session { tape, bindings: RefCell::new(Vec::new()) }
+    }
+
+    /// The underlying tape.
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// Bind a parameter into this pass, returning its tape variable.
+    pub fn param(&self, p: &ParamRef) -> Var<'t> {
+        let var = self.tape.leaf(p.value());
+        self.bindings.borrow_mut().push((Rc::clone(p), var.id()));
+        var
+    }
+
+    /// Record a constant input (no gradient routing).
+    pub fn input(&self, value: Tensor) -> Var<'t> {
+        self.tape.constant(value)
+    }
+
+    /// Run the reverse pass from `loss` and accumulate parameter gradients.
+    ///
+    /// Returns the raw [`muse_autograd::Gradients`] for callers that also
+    /// want gradients of non-parameter nodes.
+    pub fn backward(&self, loss: Var<'t>) -> muse_autograd::Gradients {
+        let grads = self.tape.backward(loss);
+        for (param, id) in self.bindings.borrow().iter() {
+            if let Some(g) = grads.get(self.tape.var_by_id(*id)) {
+                param.accumulate_grad(g);
+            }
+        }
+        grads
+    }
+
+    /// Number of parameters bound so far (a parameter bound twice counts
+    /// twice; gradients still accumulate correctly).
+    pub fn bound_params(&self) -> usize {
+        self.bindings.borrow().len()
+    }
+}
+
+/// Count the total number of scalar parameters in a set.
+pub fn total_params(params: &[ParamRef]) -> usize {
+    params.iter().map(|p| p.len()).sum()
+}
+
+/// Clone the current values of a parameter set (for best-epoch
+/// checkpointing).
+pub fn snapshot(params: &[ParamRef]) -> Vec<Tensor> {
+    params.iter().map(|p| p.value()).collect()
+}
+
+/// Restore values captured by [`snapshot`] (order and shapes must match).
+pub fn restore(params: &[ParamRef], snapshot: &[Tensor]) {
+    assert_eq!(params.len(), snapshot.len(), "snapshot length mismatch");
+    for (p, v) in params.iter().zip(snapshot) {
+        p.set_value(v.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_autograd::vae_ops::mse;
+
+    #[test]
+    fn param_value_grad_lifecycle() {
+        let p = Param::new("w", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        assert_eq!(p.name(), "w");
+        assert_eq!(p.grad().as_slice(), &[0.0, 0.0]);
+        p.accumulate_grad(&Tensor::from_vec(vec![0.5, 0.5], &[2]));
+        p.accumulate_grad(&Tensor::from_vec(vec![0.5, 0.5], &[2]));
+        assert_eq!(p.grad().as_slice(), &[1.0, 1.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().as_slice(), &[0.0, 0.0]);
+        p.apply_update(&Tensor::ones(&[2]), 0.1);
+        assert!((p.value().as_slice()[0] - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn session_routes_gradients_to_params() {
+        let p = Param::new("w", Tensor::from_vec(vec![3.0], &[1]));
+        let tape = Tape::new();
+        let s = Session::new(&tape);
+        let w = s.param(&p);
+        let loss = w.square().sum(); // d/dw w^2 = 2w = 6
+        s.backward(loss);
+        assert_eq!(p.grad().as_slice(), &[6.0]);
+    }
+
+    #[test]
+    fn same_param_bound_twice_accumulates() {
+        let p = Param::new("w", Tensor::from_vec(vec![2.0], &[1]));
+        let tape = Tape::new();
+        let s = Session::new(&tape);
+        let w1 = s.param(&p);
+        let w2 = s.param(&p);
+        let loss = w1.add(&w2).sum(); // dL/dw through both bindings = 1 + 1
+        s.backward(loss);
+        assert_eq!(p.grad().as_slice(), &[2.0]);
+        assert_eq!(s.bound_params(), 2);
+    }
+
+    #[test]
+    fn training_reduces_simple_loss() {
+        // One scalar parameter fit to target 5 by plain gradient steps.
+        let p = Param::new("w", Tensor::zeros(&[1, 1]));
+        let target = Tensor::full(&[1, 1], 5.0);
+        let mut last = f32::INFINITY;
+        for _ in 0..50 {
+            let tape = Tape::new();
+            let s = Session::new(&tape);
+            let w = s.param(&p);
+            let loss = mse(&w, &target);
+            let l = loss.item();
+            s.backward(loss);
+            p.apply_update(&p.grad(), 0.2);
+            p.zero_grad();
+            assert!(l <= last + 1e-4, "loss increased: {last} -> {l}");
+            last = l;
+        }
+        assert!(last < 1e-2, "did not converge: {last}");
+    }
+
+    #[test]
+    fn total_params_counts_scalars() {
+        let a = Param::new("a", Tensor::zeros(&[2, 3]));
+        let b = Param::new("b", Tensor::zeros(&[4]));
+        assert_eq!(total_params(&[a, b]), 10);
+    }
+}

@@ -1,0 +1,242 @@
+//! Checkpointing: save and load parameter sets.
+//!
+//! A deliberately simple, dependency-free binary format:
+//!
+//! ```text
+//! magic  "MUSE"            4 bytes
+//! version u32 LE           4 bytes
+//! count   u32 LE           4 bytes
+//! repeated count times:
+//!   name_len u32 LE, name bytes (UTF-8)
+//!   rank u32 LE, dims (u32 LE each)
+//!   data (f32 LE each)
+//! ```
+//!
+//! Parameters are matched **positionally** on load, with name and shape
+//! verified entry-by-entry — a checkpoint can only be restored into the
+//! same architecture, constructed in the same order, which is exactly the
+//! safe case. Layer constructors embed shapes into names, so most
+//! architecture drift is caught by the name check too.
+
+use crate::param::ParamRef;
+use muse_tensor::Tensor;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MUSE";
+const VERSION: u32 = 1;
+
+/// Error type for checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a checkpoint file, or an unsupported version.
+    Format(String),
+    /// Parameter set does not match the checkpoint contents.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Format(m) => write!(f, "bad checkpoint format: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Save a parameter set to `path`.
+pub fn save_params(path: &Path, params: &[ParamRef]) -> Result<(), CheckpointError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        let name = p.name().as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        let value = p.value();
+        let dims = value.dims();
+        w.write_all(&(dims.len() as u32).to_le_bytes())?;
+        for &d in dims {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &x in value.as_slice() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a checkpoint into `(name, tensor)` pairs.
+pub fn load_checkpoint(path: &Path) -> Result<Vec<(String, Tensor)>, CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("missing MUSE magic".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!("unsupported version {version}")));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 4096 {
+            return Err(CheckpointError::Format("implausible name length".into()));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| CheckpointError::Format("non-utf8 name".into()))?;
+        let rank = read_u32(&mut r)? as usize;
+        if rank > 8 {
+            return Err(CheckpointError::Format("implausible rank".into()));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u32(&mut r)? as usize);
+        }
+        let n: usize = dims.iter().product();
+        if n > 256 * 1024 * 1024 {
+            return Err(CheckpointError::Format("implausible tensor size".into()));
+        }
+        let mut data = Vec::with_capacity(n);
+        let mut buf = [0u8; 4];
+        for _ in 0..n {
+            r.read_exact(&mut buf)?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        out.push((name, Tensor::from_vec(data, &dims)));
+    }
+    Ok(out)
+}
+
+/// Load a checkpoint and write its values into a parameter set.
+///
+/// Matching is positional; each entry's name and shape must agree with the
+/// parameter at the same position (same architecture, same construction
+/// order).
+pub fn load_params(path: &Path, params: &[ParamRef]) -> Result<(), CheckpointError> {
+    let loaded = load_checkpoint(path)?;
+    if loaded.len() != params.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {} parameters, model has {}",
+            loaded.len(),
+            params.len()
+        )));
+    }
+    for (i, (p, (name, t))) in params.iter().zip(&loaded).enumerate() {
+        if p.name() != name {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter {i} name mismatch: checkpoint '{name}', model '{}'",
+                p.name()
+            )));
+        }
+        if t.dims() != p.dims() {
+            return Err(CheckpointError::Mismatch(format!(
+                "shape mismatch for {}: checkpoint {:?}, model {:?}",
+                p.name(),
+                t.dims(),
+                p.dims()
+            )));
+        }
+        p.set_value(t.clone());
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use muse_tensor::init::SeededRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("muse-ckpt-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut rng = SeededRng::new(1);
+        let params = vec![
+            Param::new("layer.w", Tensor::rand_uniform(&mut rng, &[3, 4], -1.0, 1.0)),
+            Param::new("layer.b", Tensor::rand_uniform(&mut rng, &[4], -1.0, 1.0)),
+        ];
+        let path = tmp("roundtrip");
+        save_params(&path, &params).unwrap();
+        let originals: Vec<Tensor> = params.iter().map(|p| p.value()).collect();
+        // Zero out and reload.
+        for p in &params {
+            p.set_value(Tensor::zeros(&p.dims()));
+        }
+        load_params(&path, &params).unwrap();
+        for (p, orig) in params.iter().zip(&originals) {
+            assert_eq!(&p.value(), orig);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_into_mismatched_shape_fails() {
+        let params = vec![Param::new("w", Tensor::ones(&[2, 2]))];
+        let path = tmp("mismatch");
+        save_params(&path, &params).unwrap();
+        let wrong = vec![Param::new("w", Tensor::ones(&[3]))];
+        let err = load_params(&path, &wrong).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_parameter_fails() {
+        let params = vec![Param::new("a", Tensor::ones(&[1]))];
+        let path = tmp("missing");
+        save_params(&path, &params).unwrap();
+        let other = vec![Param::new("b", Tensor::ones(&[1]))];
+        let err = load_params(&path, &other).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn wrong_count_rejected() {
+        let params = vec![Param::new("w", Tensor::ones(&[1]))];
+        let path = tmp("count");
+        save_params(&path, &params).unwrap();
+        let more = vec![Param::new("w", Tensor::ones(&[1])), Param::new("v", Tensor::ones(&[1]))];
+        let err = load_params(&path, &more).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn garbage_file_rejected() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        let err = load_checkpoint(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the NN layer: optimizer behaviour and layer
+//! gradients on random problems.
+
+use muse_autograd::Tape;
+use muse_nn::{Adam, Linear, Optimizer, Param, Session, Sgd};
+use muse_tensor::init::SeededRng;
+use muse_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// SGD on a convex quadratic converges for any target in range.
+    #[test]
+    fn sgd_converges_on_any_quadratic(t1 in -3.0f32..3.0, t2 in -3.0f32..3.0) {
+        let p = Param::new("w", Tensor::zeros(&[1, 2]));
+        let target = Tensor::from_vec(vec![t1, t2], &[1, 2]);
+        let mut opt = Sgd::new(vec![p.clone()], 0.3);
+        for _ in 0..120 {
+            let tape = Tape::new();
+            let s = Session::new(&tape);
+            let w = s.param(&p);
+            let loss = muse_autograd::vae_ops::mse(&w, &target);
+            s.backward(loss);
+            opt.step();
+            opt.zero_grad();
+        }
+        prop_assert!(p.value().max_abs_diff(&target) < 0.05);
+    }
+
+    /// Adam never produces non-finite parameters on bounded random
+    /// gradients.
+    #[test]
+    fn adam_stays_finite(seed in 0u64..10_000) {
+        let mut rng = SeededRng::new(seed);
+        let p = Param::new("w", Tensor::zeros(&[8]));
+        let mut opt = Adam::with_defaults(vec![p.clone()], 0.01);
+        for _ in 0..50 {
+            p.accumulate_grad(&Tensor::rand_uniform(&mut rng, &[8], -10.0, 10.0));
+            opt.step();
+            opt.zero_grad();
+        }
+        prop_assert!(p.value().all_finite());
+    }
+
+    /// A linear layer's gradient w.r.t. its weight equals x^T g.
+    #[test]
+    fn linear_weight_gradient_identity(seed in 0u64..10_000) {
+        let mut rng = SeededRng::new(seed);
+        let layer = Linear::new(&mut rng, 3, 2);
+        let x = Tensor::rand_uniform(&mut rng, &[4, 3], -1.0, 1.0);
+        let tape = Tape::new();
+        let s = Session::new(&tape);
+        let xv = s.input(x.clone());
+        let y = layer.forward(&s, xv);
+        let loss = y.sum();
+        s.backward(loss);
+        // dL/dW for sum-loss is x^T . ones(4,2).
+        let expected = x.transpose2().matmul(&Tensor::ones(&[4, 2]));
+        let got = layer.params()[0].grad();
+        prop_assert!(got.approx_eq(&expected, 1e-4));
+    }
+
+    /// Gradient clipping bounds the global norm and preserves direction.
+    #[test]
+    fn clipping_preserves_direction(seed in 0u64..10_000, max_norm in 0.1f32..3.0) {
+        let mut rng = SeededRng::new(seed);
+        let p = Param::new("w", Tensor::zeros(&[6]));
+        let g = Tensor::rand_uniform(&mut rng, &[6], -5.0, 5.0);
+        p.accumulate_grad(&g);
+        let before = p.grad();
+        muse_nn::clip_grad_norm(&[p.clone()], max_norm);
+        let after = p.grad();
+        prop_assert!(after.norm() <= max_norm + 1e-4);
+        // Direction preserved: after = c * before for some c > 0.
+        if before.norm() > 1e-6 {
+            let c = after.norm() / before.norm();
+            prop_assert!(after.approx_eq(&before.mul_scalar(c), 1e-4));
+        }
+    }
+
+    /// snapshot/restore round-trips parameter values exactly.
+    #[test]
+    fn snapshot_restore_roundtrip(seed in 0u64..10_000) {
+        let mut rng = SeededRng::new(seed);
+        let params = vec![
+            Param::new("a", Tensor::rand_uniform(&mut rng, &[3, 2], -1.0, 1.0)),
+            Param::new("b", Tensor::rand_uniform(&mut rng, &[4], -1.0, 1.0)),
+        ];
+        let snap = muse_nn::snapshot(&params);
+        for p in &params {
+            p.set_value(Tensor::zeros(&p.dims()));
+        }
+        muse_nn::restore(&params, &snap);
+        prop_assert_eq!(params[0].value(), snap[0].clone());
+        prop_assert_eq!(params[1].value(), snap[1].clone());
+    }
+}

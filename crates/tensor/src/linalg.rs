@@ -1,0 +1,170 @@
+//! Matrix multiplication kernels.
+//!
+//! A straightforward ikj-ordered triple loop with a transposed-B fast path is
+//! plenty for the matrix sizes in this project (≤ a few thousand per side).
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank-2, got {}", self.shape());
+        assert_eq!(rhs.rank(), 2, "matmul rhs must be rank-2, got {}", rhs.shape());
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        assert_eq!(k, k2, "matmul inner-dim mismatch: [{m},{k}] x [{k2},{n}]");
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        // ikj ordering keeps the inner loop streaming over contiguous rows of
+        // B and the output, which the guide's cache advice favours.
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self x rhs^T` without materializing the transpose: `[m,k] x [n,k]^T -> [m,n]`.
+    pub fn matmul_bt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_bt lhs must be rank-2");
+        assert_eq!(rhs.rank(), 2, "matmul_bt rhs must be rank-2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (rhs.dims()[0], rhs.dims()[1]);
+        assert_eq!(k, k2, "matmul_bt inner-dim mismatch: [{m},{k}] x [{n},{k2}]^T");
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (av, bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self^T x rhs` without materializing the transpose: `[k,m]^T x [k,n] -> [m,n]`.
+    pub fn matmul_at(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_at lhs must be rank-2");
+        assert_eq!(rhs.rank(), 2, "matmul_at rhs must be rank-2");
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        assert_eq!(k, k2, "matmul_at inner-dim mismatch: [{k},{m}]^T x [{k2},{n}]");
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix-vector product `[m,k] x [k] -> [m]`.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matvec lhs must be rank-2");
+        assert_eq!(v.rank(), 1, "matvec rhs must be rank-1");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        assert_eq!(k, v.len(), "matvec inner-dim mismatch");
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(x).map(|(&r, &xv)| r * xv).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+}
+
+/// Naive reference matmul used by tests to validate the optimized kernel.
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a.at(&[i, p]) * b.at(&[p, j]);
+            }
+            *out.at_mut(&[i, j]) = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::arange(0.0, 12.0).reshape(&[3, 4]);
+        assert!(Tensor::eye(3).matmul(&a).approx_eq(&a, 1e-6));
+        assert!(a.matmul(&Tensor::eye(4)).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let a = Tensor::from_vec((0..15).map(|i| (i as f32 * 0.7).sin()).collect(), &[3, 5]);
+        let b = Tensor::from_vec((0..20).map(|i| (i as f32 * 0.3).cos()).collect(), &[5, 4]);
+        assert!(a.matmul(&b).approx_eq(&matmul_reference(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn transposed_variants_match() {
+        let a = Tensor::from_vec((0..12).map(|i| i as f32 * 0.25 - 1.0).collect(), &[3, 4]);
+        let b = Tensor::from_vec((0..20).map(|i| i as f32 * 0.1).collect(), &[4, 5]);
+        let plain = a.matmul(&b);
+        assert!(a.matmul_bt(&b.transpose2()).approx_eq(&plain, 1e-5));
+        assert!(a.transpose2().matmul_at(&b).approx_eq(&plain, 1e-5));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::arange(0.0, 6.0).reshape(&[2, 3]);
+        let v = Tensor::from_vec(vec![1.0, 0.5, 2.0], &[3]);
+        let mv = a.matvec(&v);
+        let mm = a.matmul(&v.reshaped(&[3, 1]));
+        assert_eq!(mv.as_slice(), mm.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner-dim mismatch")]
+    fn matmul_bad_dims_panics() {
+        let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+}

@@ -1,0 +1,270 @@
+//! Elementwise and broadcasting arithmetic.
+
+use crate::shape::{broadcast_shapes, broadcast_strides, Shape};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Apply a binary op with numpy-style broadcasting.
+    ///
+    /// Fast path: identical shapes walk both buffers linearly. General path:
+    /// stride-0 reads over the broadcast shape.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        if self.dims() == other.dims() {
+            let data: Vec<f32> = self
+                .as_slice()
+                .iter()
+                .zip(other.as_slice())
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor::from_vec(data, self.dims());
+        }
+        let out_dims = broadcast_shapes(self.dims(), other.dims())
+            .unwrap_or_else(|e| panic!("{e}"));
+        let ls = broadcast_strides(self.dims(), &out_dims);
+        let rs = broadcast_strides(other.dims(), &out_dims);
+        let out_shape = Shape::new(&out_dims);
+        let n = out_shape.len();
+        let mut data = Vec::with_capacity(n);
+        let rank = out_dims.len();
+        let mut idx = vec![0usize; rank];
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut loff = 0usize;
+        let mut roff = 0usize;
+        for _ in 0..n {
+            data.push(f(a[loff], b[roff]));
+            // Increment the multi-index, updating offsets incrementally.
+            for axis in (0..rank).rev() {
+                idx[axis] += 1;
+                loff += ls[axis];
+                roff += rs[axis];
+                if idx[axis] < out_dims[axis] {
+                    break;
+                }
+                idx[axis] = 0;
+                loff -= ls[axis] * out_dims[axis];
+                roff -= rs[axis] * out_dims[axis];
+            }
+        }
+        Tensor::from_vec(data, &out_dims)
+    }
+
+    /// Elementwise (broadcasting) addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise (broadcasting) subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (broadcasting) multiplication.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Elementwise (broadcasting) division.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a / b)
+    }
+
+    /// Elementwise maximum of two tensors.
+    pub fn maximum(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, f32::max)
+    }
+
+    /// Elementwise minimum of two tensors.
+    pub fn minimum(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, f32::min)
+    }
+
+    /// Map every element through `f`.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data: Vec<f32> = self.as_slice().iter().map(|&x| f(x)).collect();
+        Tensor::from_vec(data, self.dims())
+    }
+
+    /// In-place map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.as_mut_slice() {
+            *x = f(*x);
+        }
+    }
+
+    /// Add a scalar.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Multiply by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Negate.
+    pub fn neg(&self) -> Tensor {
+        self.map(|x| -x)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        self.map(|x| x * x)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Clamp every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Accumulate `other` into `self` elementwise (shapes must match exactly).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.dims(), other.dims(), "add_assign shape mismatch: {:?} vs {:?}", self.dims(), other.dims());
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += b;
+        }
+    }
+
+    /// Scale in place.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in self.as_mut_slice() {
+            *a *= s;
+        }
+    }
+
+    /// True iff all elements are finite.
+    pub fn all_finite(&self) -> bool {
+        self.as_slice().iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.dims(), other.dims(), "max_abs_diff shape mismatch");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Approximate equality within `tol` (same shape required).
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.dims() == other.dims() && self.max_abs_diff(other) <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_shape_arithmetic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).as_slice(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn broadcast_row_and_col() {
+        let m = Tensor::arange(0.0, 6.0).reshape(&[2, 3]);
+        let row = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        let col = Tensor::from_vec(vec![100.0, 200.0], &[2, 1]);
+        let mr = m.add(&row);
+        assert_eq!(mr.as_slice(), &[10.0, 21.0, 32.0, 13.0, 24.0, 35.0]);
+        let mc = m.add(&col);
+        assert_eq!(mc.as_slice(), &[100.0, 101.0, 102.0, 203.0, 204.0, 205.0]);
+    }
+
+    #[test]
+    fn broadcast_both_sides() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[1, 3]);
+        let c = a.mul(&b);
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.as_slice(), &[10.0, 20.0, 30.0, 20.0, 40.0, 60.0]);
+    }
+
+    #[test]
+    fn broadcast_scalar_tensor() {
+        let a = Tensor::arange(0.0, 4.0).reshape(&[2, 2]);
+        let s = Tensor::scalar(2.0);
+        assert_eq!(a.mul(&s).as_slice(), &[0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast")]
+    fn incompatible_broadcast_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn unary_maps() {
+        let a = Tensor::from_vec(vec![-1.0, 0.0, 1.0], &[3]);
+        assert_eq!(a.relu().as_slice(), &[0.0, 0.0, 1.0]);
+        assert_eq!(a.abs().as_slice(), &[1.0, 0.0, 1.0]);
+        assert_eq!(a.neg().as_slice(), &[1.0, 0.0, -1.0]);
+        assert!((a.sigmoid().as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!((a.tanh().as_slice()[2] - 1.0f32.tanh()).abs() < 1e-6);
+        assert_eq!(a.clamp(-0.5, 0.5).as_slice(), &[-0.5, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let a = Tensor::from_vec(vec![0.5, 1.0, 2.0], &[3]);
+        assert!(a.exp().ln().approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Tensor::ones(&[2]);
+        a.add_assign(&Tensor::full(&[2], 2.0));
+        a.scale_assign(0.5);
+        assert_eq!(a.as_slice(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn finite_checks() {
+        assert!(Tensor::ones(&[3]).all_finite());
+        let bad = Tensor::from_vec(vec![1.0, f32::NAN], &[2]);
+        assert!(!bad.all_finite());
+    }
+}

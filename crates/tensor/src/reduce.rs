@@ -1,0 +1,297 @@
+//! Reductions: sums, means, extrema, and the `sum_to` used by broadcasting
+//! backward passes.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element. Panics on empty tensors.
+    pub fn max(&self) -> f32 {
+        assert!(!self.is_empty(), "max of empty tensor");
+        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element. Panics on empty tensors.
+    pub fn min(&self) -> f32 {
+        assert!(!self.is_empty(), "min of empty tensor");
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Population variance of all elements.
+    pub fn variance(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.as_slice().iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / self.len() as f32
+    }
+
+    /// Population standard deviation of all elements.
+    pub fn std(&self) -> f32 {
+        self.variance().sqrt()
+    }
+
+    /// Sum along `axis`, dropping that axis.
+    pub fn sum_axis(&self, axis: usize) -> Tensor {
+        assert!(axis < self.rank(), "sum_axis {axis} out of range for rank {}", self.rank());
+        let dims = self.dims();
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out = vec![0.0f32; outer * inner];
+        let src = self.as_slice();
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    out[obase + i] += src[base + i];
+                }
+            }
+        }
+        let mut out_dims = dims.to_vec();
+        out_dims.remove(axis);
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Mean along `axis`, dropping that axis.
+    pub fn mean_axis(&self, axis: usize) -> Tensor {
+        let n = self.dims()[axis] as f32;
+        self.sum_axis(axis).mul_scalar(1.0 / n)
+    }
+
+    /// Maximum along `axis`, dropping that axis.
+    pub fn max_axis(&self, axis: usize) -> Tensor {
+        assert!(axis < self.rank(), "max_axis {axis} out of range");
+        let dims = self.dims();
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        assert!(mid > 0, "max_axis over empty extent");
+        let mut out = vec![f32::NEG_INFINITY; outer * inner];
+        let src = self.as_slice();
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                for i in 0..inner {
+                    let v = src[base + i];
+                    let slot = &mut out[o * inner + i];
+                    if v > *slot {
+                        *slot = v;
+                    }
+                }
+            }
+        }
+        let mut out_dims = dims.to_vec();
+        out_dims.remove(axis);
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Reduce this tensor (by summation) to `target` dims, inverting a
+    /// broadcast. Used by autograd to fold gradients of broadcast operands.
+    ///
+    /// `target` must be broadcast-compatible with (and no larger than) the
+    /// current shape when right-aligned.
+    pub fn sum_to(&self, target: &[usize]) -> Tensor {
+        if self.dims() == target {
+            return self.clone();
+        }
+        let rank = self.rank();
+        let t_rank = target.len();
+        assert!(t_rank <= rank, "sum_to target rank {} exceeds source rank {}", t_rank, rank);
+        // Sum away leading extra axes.
+        let mut cur = self.clone();
+        for _ in 0..rank - t_rank {
+            cur = cur.sum_axis(0);
+        }
+        // Sum stretched axes back down to 1 (indexing two parallel arrays,
+        // so an index loop is clearer than zip here).
+        #[allow(clippy::needless_range_loop)]
+        for axis in 0..t_rank {
+            if target[axis] == 1 && cur.dims()[axis] != 1 {
+                cur = cur.sum_axis(axis).unsqueeze(axis);
+            } else {
+                assert_eq!(
+                    cur.dims()[axis],
+                    target[axis],
+                    "sum_to: axis {axis} extent {} not reducible to {}",
+                    cur.dims()[axis],
+                    target[axis]
+                );
+            }
+        }
+        cur
+    }
+
+    /// Index of the largest element in a rank-1 tensor.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        let s = self.as_slice();
+        for i in 1..s.len() {
+            if s[i] > s[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Softmax along the last axis.
+    pub fn softmax_last(&self) -> Tensor {
+        let dims = self.dims();
+        assert!(!dims.is_empty(), "softmax of scalar");
+        let inner = dims[dims.len() - 1];
+        let outer = self.len() / inner;
+        let mut out = vec![0.0f32; self.len()];
+        let src = self.as_slice();
+        for o in 0..outer {
+            let row = &src[o * inner..(o + 1) * inner];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for (i, &v) in row.iter().enumerate() {
+                let e = (v - m).exp();
+                out[o * inner + i] = e;
+                denom += e;
+            }
+            for i in 0..inner {
+                out[o * inner + i] /= denom;
+            }
+        }
+        Tensor::from_vec(out, dims)
+    }
+
+    /// Dot product of two rank-1 tensors of equal length.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.rank(), 1, "dot requires rank-1 lhs");
+        assert_eq!(other.rank(), 1, "dot requires rank-1 rhs");
+        assert_eq!(self.len(), other.len(), "dot length mismatch");
+        self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| a * b).sum()
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.as_slice().iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Sum over all axes except axis 0 — handy for per-sample reductions.
+    pub fn sum_per_row(&self) -> Tensor {
+        assert!(self.rank() >= 1, "sum_per_row on scalar");
+        let n = self.dims()[0];
+        let flat = self.reshaped(&[n, self.len() / n.max(1)]);
+        flat.sum_axis(1)
+    }
+}
+
+/// Mean of a slice of scalars; 0.0 when empty.
+pub fn mean_of(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Build a one-hot rank-1 tensor of length `n` with 1.0 at `index`.
+pub fn one_hot(n: usize, index: usize) -> Tensor {
+    assert!(index < n, "one_hot index {index} out of range {n}");
+    let mut t = Tensor::zeros(&[n]);
+    t.as_mut_slice()[index] = 1.0;
+    let _ = Shape::new(&[n]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_reductions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), 1.0);
+        assert!((t.variance() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let t = Tensor::arange(0.0, 6.0).reshape(&[2, 3]);
+        assert_eq!(t.sum_axis(0).as_slice(), &[3.0, 5.0, 7.0]);
+        assert_eq!(t.sum_axis(1).as_slice(), &[3.0, 12.0]);
+        assert_eq!(t.mean_axis(1).as_slice(), &[1.0, 4.0]);
+        assert_eq!(t.max_axis(0).as_slice(), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn sum_axis_middle() {
+        let t = Tensor::arange(0.0, 24.0).reshape(&[2, 3, 4]);
+        let s = t.sum_axis(1);
+        assert_eq!(s.dims(), &[2, 4]);
+        assert_eq!(s.at(&[0, 0]), 0.0 + 4.0 + 8.0);
+        assert_eq!(s.at(&[1, 3]), 15.0 + 19.0 + 23.0);
+    }
+
+    #[test]
+    fn sum_to_inverts_broadcast() {
+        // Broadcast [3] -> [2,3], gradient folds back to [3].
+        let g = Tensor::ones(&[2, 3]);
+        assert_eq!(g.sum_to(&[3]).as_slice(), &[2.0, 2.0, 2.0]);
+        // Broadcast [2,1] -> [2,3].
+        assert_eq!(g.sum_to(&[2, 1]).dims(), &[2, 1]);
+        assert_eq!(g.sum_to(&[2, 1]).as_slice(), &[3.0, 3.0]);
+        // No-op case.
+        assert_eq!(g.sum_to(&[2, 3]), g);
+        // Down to scalar shape.
+        assert_eq!(g.sum_to(&[]).item(), 6.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let s = t.softmax_last();
+        for r in 0..2 {
+            let row_sum: f32 = (0..3).map(|c| s.at(&[r, c])).sum();
+            assert!((row_sum - 1.0).abs() < 1e-6);
+        }
+        assert!((s.at(&[1, 0]) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_large_values_stable() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0], &[2]);
+        let s = t.softmax_last();
+        assert!(s.all_finite());
+        assert!((s.sum() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_norm_argmax() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.dot(&b), 32.0);
+        assert!((Tensor::from_vec(vec![3.0, 4.0], &[2]).norm() - 5.0).abs() < 1e-6);
+        assert_eq!(a.argmax(), 2);
+    }
+
+    #[test]
+    fn one_hot_and_sum_per_row() {
+        assert_eq!(one_hot(3, 1).as_slice(), &[0.0, 1.0, 0.0]);
+        let t = Tensor::arange(0.0, 6.0).reshape(&[2, 3]);
+        assert_eq!(t.sum_per_row().as_slice(), &[3.0, 12.0]);
+    }
+}

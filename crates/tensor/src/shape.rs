@@ -1,0 +1,258 @@
+//! Shape arithmetic: dimension bookkeeping, strides, and broadcasting rules.
+
+use std::fmt;
+
+/// Error produced by fallible shape operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// The requested reshape does not preserve the number of elements.
+    ElementCountMismatch {
+        /// Source dims.
+        from: Vec<usize>,
+        /// Requested dims.
+        to: Vec<usize>,
+    },
+    /// Two shapes cannot be broadcast together.
+    BroadcastIncompatible {
+        /// Left operand dims.
+        lhs: Vec<usize>,
+        /// Right operand dims.
+        rhs: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Offending axis.
+        axis: usize,
+        /// Tensor rank.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::ElementCountMismatch { from, to } => {
+                write!(f, "cannot reshape {from:?} ({} elems) to {to:?} ({} elems)",
+                    from.iter().product::<usize>(), to.iter().product::<usize>())
+            }
+            ShapeError::BroadcastIncompatible { lhs, rhs } => {
+                write!(f, "shapes {lhs:?} and {rhs:?} are not broadcast-compatible")
+            }
+            ShapeError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A tensor shape: an ordered list of dimension extents.
+///
+/// `Shape` is a thin wrapper over `Vec<usize>` adding stride computation and
+/// the flat-index helpers the kernels need.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Create a shape from dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Dimension extents as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar shape).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Whether the shape holds zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extent of dimension `axis`. Panics if out of range.
+    #[inline]
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major (C-order) strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-dimensional index.
+    ///
+    /// Panics in debug builds if `index` rank or extents mismatch.
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for axis in (0..self.rank()).rev() {
+            debug_assert!(index[axis] < self.0[axis], "index out of bounds");
+            off += index[axis] * stride;
+            stride *= self.0[axis];
+        }
+        off
+    }
+
+    /// Decompose a flat row-major offset into a multi-dimensional index.
+    pub fn unravel(&self, mut offset: usize) -> Vec<usize> {
+        let mut idx = vec![0usize; self.rank()];
+        for axis in (0..self.rank()).rev() {
+            let d = self.0[axis];
+            idx[axis] = offset % d;
+            offset /= d;
+        }
+        idx
+    }
+
+    /// Validate that `axis < rank`.
+    pub fn check_axis(&self, axis: usize) -> Result<(), ShapeError> {
+        if axis < self.rank() {
+            Ok(())
+        } else {
+            Err(ShapeError::AxisOutOfRange { axis, rank: self.rank() })
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+/// Compute the broadcast shape of two shapes under numpy rules.
+///
+/// Trailing dimensions are aligned; a dimension broadcasts if the extents are
+/// equal or either is 1.
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>, ShapeError> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let l = if i < rank - lhs.len() { 1 } else { lhs[i - (rank - lhs.len())] };
+        let r = if i < rank - rhs.len() { 1 } else { rhs[i - (rank - rhs.len())] };
+        out[i] = if l == r {
+            l
+        } else if l == 1 {
+            r
+        } else if r == 1 {
+            l
+        } else {
+            return Err(ShapeError::BroadcastIncompatible { lhs: lhs.to_vec(), rhs: rhs.to_vec() });
+        };
+    }
+    Ok(out)
+}
+
+/// Strides for reading a tensor of shape `src` as if broadcast to `dst`.
+///
+/// Broadcast dimensions get stride 0 so repeated reads hit the same element.
+/// `dst` must be a valid broadcast target of `src` (caller-checked).
+pub fn broadcast_strides(src: &[usize], dst: &[usize]) -> Vec<usize> {
+    let offset = dst.len() - src.len();
+    let src_strides = Shape::new(src).strides();
+    let mut out = vec![0usize; dst.len()];
+    for i in 0..src.len() {
+        out[offset + i] = if src[i] == 1 { 0 } else { src_strides[i] };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_and_unravel_roundtrip() {
+        let s = Shape::new(&[3, 4, 5]);
+        for flat in 0..s.len() {
+            let idx = s.unravel(flat);
+            assert_eq!(s.offset(&idx), flat);
+        }
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 4]).unwrap(), vec![2, 4]);
+        assert_eq!(broadcast_shapes(&[1], &[7]).unwrap(), vec![7]);
+        assert_eq!(broadcast_shapes(&[], &[7]).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        assert!(broadcast_shapes(&[2, 3], &[4]).is_err());
+        assert!(broadcast_shapes(&[2, 3], &[3, 2]).is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zeroes_stretched_dims() {
+        // src [3] into dst [2,3]: leading dim repeats.
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+        // src [2,1] into dst [2,4]: trailing dim repeats.
+        assert_eq!(broadcast_strides(&[2, 1], &[2, 4]), vec![1, 0]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    fn check_axis_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert!(s.check_axis(1).is_ok());
+        assert!(matches!(s.check_axis(2), Err(ShapeError::AxisOutOfRange { axis: 2, rank: 2 })));
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = ShapeError::ElementCountMismatch { from: vec![2, 3], to: vec![7] };
+        assert!(e.to_string().contains("reshape"));
+        let e = ShapeError::BroadcastIncompatible { lhs: vec![2], rhs: vec![3] };
+        assert!(e.to_string().contains("broadcast"));
+    }
+}

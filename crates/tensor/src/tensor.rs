@@ -1,0 +1,451 @@
+//! The dense tensor type and its structural operations.
+
+use crate::shape::{Shape, ShapeError};
+
+/// A dense, contiguous, row-major `f32` tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------- construction
+
+    /// Build a tensor from a flat row-major buffer.
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {} ({} elems)",
+            data.len(),
+            shape,
+            shape.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![0.0; shape.len()];
+        Tensor { shape, data }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![value; shape.len()];
+        Tensor { shape, data }
+    }
+
+    /// A rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::new(&[]), data: vec![value] }
+    }
+
+    /// Evenly spaced values in `[start, end)` with step 1, as a rank-1 tensor.
+    pub fn arange(start: f32, end: f32) -> Self {
+        let n = ((end - start).max(0.0)).ceil() as usize;
+        let data: Vec<f32> = (0..n).map(|i| start + i as f32).collect();
+        Tensor { shape: Shape::new(&[n]), data }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    // ---------------------------------------------------------------- accessors
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    #[inline]
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element at a multi-dimensional index.
+    #[inline]
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// The single value of a rank-0 or one-element tensor.
+    ///
+    /// Panics if the tensor holds more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() on tensor with {} elements (shape {})", self.len(), self.shape);
+        self.data[0]
+    }
+
+    // ---------------------------------------------------------------- structure
+
+    /// Reshape to `dims` (element count must match). Zero-copy move.
+    pub fn reshape(self, dims: &[usize]) -> Self {
+        self.try_reshape(dims).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible reshape.
+    pub fn try_reshape(self, dims: &[usize]) -> Result<Self, ShapeError> {
+        let new_shape = Shape::new(dims);
+        if new_shape.len() != self.shape.len() {
+            return Err(ShapeError::ElementCountMismatch {
+                from: self.shape.dims().to_vec(),
+                to: dims.to_vec(),
+            });
+        }
+        Ok(Tensor { shape: new_shape, data: self.data })
+    }
+
+    /// Reshape without consuming (clones the buffer handle).
+    pub fn reshaped(&self, dims: &[usize]) -> Self {
+        self.clone().reshape(dims)
+    }
+
+    /// Insert a size-1 axis at `axis`.
+    pub fn unsqueeze(&self, axis: usize) -> Self {
+        let mut dims = self.dims().to_vec();
+        assert!(axis <= dims.len(), "unsqueeze axis {axis} out of range");
+        dims.insert(axis, 1);
+        self.reshaped(&dims)
+    }
+
+    /// Remove a size-1 axis at `axis`. Panics if the extent is not 1.
+    pub fn squeeze(&self, axis: usize) -> Self {
+        let mut dims = self.dims().to_vec();
+        assert!(axis < dims.len() && dims[axis] == 1, "squeeze axis {axis} of {:?} must be 1", dims);
+        dims.remove(axis);
+        self.reshaped(&dims)
+    }
+
+    /// Transpose a rank-2 tensor.
+    pub fn transpose2(&self) -> Self {
+        assert_eq!(self.rank(), 2, "transpose2 requires rank-2, got {}", self.shape);
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor::from_vec(out, &[c, r])
+    }
+
+    /// Permute axes: output axis `i` takes input axis `perm[i]`. Materializes.
+    pub fn permute(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.rank(), "permute rank mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        let in_dims = self.dims();
+        let out_dims: Vec<usize> = perm.iter().map(|&p| in_dims[p]).collect();
+        let in_strides = self.shape.strides();
+        let out_shape = Shape::new(&out_dims);
+        let mut out = vec![0.0f32; self.len()];
+        let mut idx = vec![0usize; out_dims.len()];
+        for (flat, slot) in out.iter_mut().enumerate() {
+            // Decompose flat into out index, map to input offset.
+            let mut rem = flat;
+            for a in (0..out_dims.len()).rev() {
+                idx[a] = rem % out_dims[a];
+                rem /= out_dims[a];
+            }
+            let mut src = 0usize;
+            for (a, &p) in perm.iter().enumerate() {
+                src += idx[a] * in_strides[p];
+            }
+            *slot = self.data[src];
+        }
+        Tensor { shape: out_shape, data: out }
+    }
+
+    /// Extract the sub-tensor at `index` along axis 0 (reduces rank by one).
+    pub fn index_axis0(&self, index: usize) -> Self {
+        assert!(self.rank() >= 1, "index_axis0 on scalar");
+        let n = self.dims()[0];
+        assert!(index < n, "index {index} out of bounds for axis 0 extent {n}");
+        let chunk = self.len() / n;
+        let data = self.data[index * chunk..(index + 1) * chunk].to_vec();
+        Tensor::from_vec(data, &self.dims()[1..])
+    }
+
+    /// Slice `[start, end)` along axis 0, keeping rank.
+    pub fn slice_axis0(&self, start: usize, end: usize) -> Self {
+        assert!(self.rank() >= 1, "slice_axis0 on scalar");
+        let n = self.dims()[0];
+        assert!(start <= end && end <= n, "slice [{start}, {end}) out of bounds for extent {n}");
+        let chunk = self.len() / n.max(1);
+        let data = self.data[start * chunk..end * chunk].to_vec();
+        let mut dims = self.dims().to_vec();
+        dims[0] = end - start;
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Concatenate tensors along `axis`. All other extents must match.
+    pub fn concat(parts: &[&Tensor], axis: usize) -> Self {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let rank = parts[0].rank();
+        assert!(axis < rank, "concat axis {axis} out of range for rank {rank}");
+        for p in parts {
+            assert_eq!(p.rank(), rank, "concat rank mismatch");
+            for a in 0..rank {
+                if a != axis {
+                    assert_eq!(
+                        p.dims()[a],
+                        parts[0].dims()[a],
+                        "concat extent mismatch on axis {a}: {:?} vs {:?}",
+                        p.dims(),
+                        parts[0].dims()
+                    );
+                }
+            }
+        }
+        let mut out_dims = parts[0].dims().to_vec();
+        out_dims[axis] = parts.iter().map(|p| p.dims()[axis]).sum();
+
+        // outer = product of dims before `axis`; inner = product after.
+        let outer: usize = out_dims[..axis].iter().product();
+        let inner: usize = out_dims[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(out_dims.iter().product());
+        for o in 0..outer {
+            for p in parts {
+                let pa = p.dims()[axis];
+                let chunk = pa * inner;
+                data.extend_from_slice(&p.data[o * chunk..(o + 1) * chunk]);
+            }
+        }
+        Tensor::from_vec(data, &out_dims)
+    }
+
+    /// Stack rank-equal tensors along a new leading axis.
+    pub fn stack(parts: &[&Tensor]) -> Self {
+        assert!(!parts.is_empty(), "stack of zero tensors");
+        for p in parts {
+            assert_eq!(p.dims(), parts[0].dims(), "stack shape mismatch");
+        }
+        let mut dims = vec![parts.len()];
+        dims.extend_from_slice(parts[0].dims());
+        let mut data = Vec::with_capacity(parts.len() * parts[0].len());
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Split along `axis` into `sizes`-extent chunks (sizes must sum to extent).
+    pub fn split(&self, axis: usize, sizes: &[usize]) -> Vec<Tensor> {
+        assert!(axis < self.rank(), "split axis out of range");
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, self.dims()[axis], "split sizes {sizes:?} do not sum to extent {}", self.dims()[axis]);
+        let outer: usize = self.dims()[..axis].iter().product();
+        let inner: usize = self.dims()[axis + 1..].iter().product();
+        let full = self.dims()[axis] * inner;
+        let mut outs: Vec<Tensor> = sizes
+            .iter()
+            .map(|&s| {
+                let mut dims = self.dims().to_vec();
+                dims[axis] = s;
+                Tensor { shape: Shape::new(&dims), data: Vec::with_capacity(outer * s * inner) }
+            })
+            .collect();
+        for o in 0..outer {
+            let mut off = 0usize;
+            for (k, &s) in sizes.iter().enumerate() {
+                let from = o * full + off * inner;
+                outs[k].data.extend_from_slice(&self.data[from..from + s * inner]);
+                off += s;
+            }
+        }
+        outs
+    }
+
+    /// Repeat the tensor `n` times along a new leading axis.
+    pub fn repeat_leading(&self, n: usize) -> Self {
+        let mut dims = vec![n];
+        dims.extend_from_slice(self.dims());
+        let mut data = Vec::with_capacity(n * self.len());
+        for _ in 0..n {
+            data.extend_from_slice(&self.data);
+        }
+        Tensor::from_vec(data, &dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.dims(), &[2, 3]);
+        assert_eq!(Tensor::eye(3).at(&[2, 2]), 1.0);
+        assert_eq!(Tensor::eye(3).at(&[2, 1]), 0.0);
+        assert_eq!(Tensor::arange(0.0, 4.0).as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_mismatch_panics() {
+        Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn reshape_preserves_order() {
+        let t = Tensor::arange(0.0, 6.0).reshape(&[2, 3]);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+        let back = t.reshape(&[6]);
+        assert_eq!(back.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn try_reshape_rejects_bad_count() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert!(t.try_reshape(&[5]).is_err());
+    }
+
+    #[test]
+    fn transpose2_correct() {
+        let t = Tensor::arange(0.0, 6.0).reshape(&[2, 3]);
+        let tt = t.transpose2();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.at(&[0, 1]), 3.0);
+        assert_eq!(tt.at(&[2, 0]), 2.0);
+    }
+
+    #[test]
+    fn permute_matches_transpose() {
+        let t = Tensor::arange(0.0, 24.0).reshape(&[2, 3, 4]);
+        let p = t.permute(&[2, 0, 1]);
+        assert_eq!(p.dims(), &[4, 2, 3]);
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    assert_eq!(p.at(&[k, i, j]), t.at(&[i, j, k]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_and_slice_axis0() {
+        let t = Tensor::arange(0.0, 12.0).reshape(&[3, 4]);
+        let row = t.index_axis0(1);
+        assert_eq!(row.dims(), &[4]);
+        assert_eq!(row.as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+        let s = t.slice_axis0(1, 3);
+        assert_eq!(s.dims(), &[2, 4]);
+        assert_eq!(s.at(&[0, 0]), 4.0);
+    }
+
+    #[test]
+    fn concat_axis0_and_axis1() {
+        let a = Tensor::arange(0.0, 4.0).reshape(&[2, 2]);
+        let b = Tensor::arange(4.0, 8.0).reshape(&[2, 2]);
+        let c0 = Tensor::concat(&[&a, &b], 0);
+        assert_eq!(c0.dims(), &[4, 2]);
+        assert_eq!(c0.at(&[2, 0]), 4.0);
+        let c1 = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c1.dims(), &[2, 4]);
+        assert_eq!(c1.at(&[0, 2]), 4.0);
+        assert_eq!(c1.at(&[1, 3]), 7.0);
+    }
+
+    #[test]
+    fn split_inverts_concat() {
+        let a = Tensor::arange(0.0, 6.0).reshape(&[2, 3]);
+        let b = Tensor::arange(6.0, 10.0).reshape(&[2, 2]);
+        let c = Tensor::concat(&[&a, &b], 1);
+        let parts = c.split(1, &[3, 2]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn stack_and_repeat() {
+        let a = Tensor::ones(&[2]);
+        let b = Tensor::zeros(&[2]);
+        let s = Tensor::stack(&[&a, &b]);
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[1.0, 1.0, 0.0, 0.0]);
+        let r = a.repeat_leading(3);
+        assert_eq!(r.dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn squeeze_unsqueeze_roundtrip() {
+        let t = Tensor::zeros(&[2, 3]);
+        let u = t.unsqueeze(1);
+        assert_eq!(u.dims(), &[2, 1, 3]);
+        assert_eq!(u.squeeze(1).dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn item_scalar() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+}

@@ -1,0 +1,368 @@
+//! Named dataset presets (synthetic stand-ins for NYC-Bike, NYC-Taxi and
+//! TaxiBJ), min-max scaling, and chronological train/val/test splits.
+
+use crate::flow::FlowSeries;
+use crate::grid::{GridMap, Region};
+use crate::sim::{CityConfig, CitySimulator};
+use crate::subseries::SubSeriesSpec;
+use muse_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Synthetic counterparts of the paper's three benchmark datasets.
+///
+/// The presets differ the way the real corpora differ: the bike dataset is
+/// sparse and low-volume, the taxi dataset is dense with more outliers, and
+/// the TaxiBJ stand-in uses a larger grid over a longer horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetPreset {
+    /// Low-volume bike-share-like city (paper: NYC-Bike, 10×20 grid).
+    NycBike,
+    /// High-volume taxi-like city (paper: NYC-Taxi, 10×20 grid).
+    NycTaxi,
+    /// Larger, longer-horizon city (paper: TaxiBJ, 32×32 grid).
+    TaxiBj,
+}
+
+impl DatasetPreset {
+    /// All presets, in the order the paper's tables list them.
+    pub fn all() -> [DatasetPreset; 3] {
+        [DatasetPreset::NycBike, DatasetPreset::NycTaxi, DatasetPreset::TaxiBj]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetPreset::NycBike => "NYC-Bike",
+            DatasetPreset::NycTaxi => "NYC-Taxi",
+            DatasetPreset::TaxiBj => "TaxiBJ",
+        }
+    }
+
+    /// Simulator configuration at unit scale.
+    ///
+    /// `scale` ≥ 1.0 grows the grid and agent population toward the paper's
+    /// sizes; the defaults are CPU-friendly.
+    pub fn config(&self, scale: f32, seed: u64) -> CityConfig {
+        let s = scale.max(0.25);
+        let dim = |base: usize| ((base as f32 * s).round() as usize).max(4);
+        match self {
+            DatasetPreset::NycBike => CityConfig {
+                grid: GridMap::new(dim(8), dim(10)),
+                intervals_per_day: 24,
+                days: 63,
+                agents: (9000.0 * s * s) as usize,
+                seed,
+                start_weekday: 4, // 2016-07-01 was a Friday
+                weekday_commute_prob: 0.55,
+                weekend_commute_prob: 0.12,
+                leisure_weekend: 0.9,
+                leisure_weekday: 0.2,
+                weather_prob: 0.10,
+                weather_damping: 0.40,
+                incident_prob: 0.06,
+                incident_magnitude: 180,
+                background_rate: 14.0,
+            },
+            DatasetPreset::NycTaxi => CityConfig {
+                grid: GridMap::new(dim(8), dim(10)),
+                intervals_per_day: 24,
+                days: 63,
+                agents: (20000.0 * s * s) as usize,
+                seed: seed.wrapping_add(101),
+                start_weekday: 3, // 2015-01-01 was a Thursday
+                weekday_commute_prob: 0.75,
+                weekend_commute_prob: 0.25,
+                leisure_weekend: 1.4,
+                leisure_weekday: 0.5,
+                weather_prob: 0.12,
+                weather_damping: 0.55,
+                incident_prob: 0.15,
+                incident_magnitude: 400,
+                background_rate: 28.0,
+            },
+            DatasetPreset::TaxiBj => CityConfig {
+                grid: GridMap::new(dim(12), dim(12)),
+                intervals_per_day: 24,
+                days: 91,
+                agents: (26000.0 * s * s) as usize,
+                seed: seed.wrapping_add(202),
+                start_weekday: 1, // 2013-01-01 was a Tuesday
+                weekday_commute_prob: 0.80,
+                weekend_commute_prob: 0.30,
+                leisure_weekend: 1.2,
+                leisure_weekday: 0.4,
+                weather_prob: 0.15,
+                weather_damping: 0.50,
+                incident_prob: 0.10,
+                incident_magnitude: 320,
+                background_rate: 26.0,
+            },
+        }
+    }
+
+    /// Generate the dataset by running the simulator.
+    pub fn generate(&self, scale: f32, seed: u64) -> TrafficDataset {
+        let cfg = self.config(scale, seed);
+        let sim = CitySimulator::new(cfg.clone());
+        let out = sim.run();
+        TrafficDataset {
+            name: self.name().to_string(),
+            flows: out.flows,
+            intervals_per_day: cfg.intervals_per_day,
+            start_weekday: cfg.start_weekday,
+            rain_days: out.rain_days,
+            incidents: out.incidents,
+        }
+    }
+}
+
+/// Min-max scaler for the tanh output head.
+///
+/// The paper scales raw counts to `[-1, 1]`. Raw traffic counts are
+/// heavy-tailed (most cells are near zero, incident peaks are huge), which
+/// parks almost all scaled mass at −1 — exactly where tanh saturates and
+/// gradients die. Two numerical-conditioning adjustments (documented in
+/// DESIGN.md) keep the paper's setup trainable at CPU epoch budgets:
+///
+/// * an optional variance-stabilizing `sqrt` transform before min-max
+///   (exactly invertible for the non-negative count data), and
+/// * a target span of `±SPAN` (0.9) instead of ±1, so the data never sits
+///   on the tanh asymptote.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    /// Minimum of the fitted (possibly sqrt-transformed) data.
+    pub min: f32,
+    /// Maximum of the fitted (possibly sqrt-transformed) data.
+    pub max: f32,
+    /// Whether the sqrt transform is applied before min-max.
+    pub sqrt: bool,
+}
+
+/// Scaled data spans `[-SPAN, SPAN]` (see [`Scaler`]).
+pub const SPAN: f32 = 0.9;
+
+impl Scaler {
+    /// Fit a plain min-max scaler (no sqrt).
+    pub fn fit(data: &Tensor) -> Self {
+        Self::fit_with(data, false)
+    }
+
+    /// Fit with the variance-stabilizing sqrt transform (requires
+    /// non-negative data; the default for count-valued flows).
+    pub fn fit_sqrt(data: &Tensor) -> Self {
+        Self::fit_with(data, true)
+    }
+
+    fn fit_with(data: &Tensor, sqrt: bool) -> Self {
+        assert!(!data.is_empty(), "cannot fit scaler on empty data");
+        if sqrt {
+            assert!(data.min() >= 0.0, "sqrt scaler requires non-negative data");
+        }
+        let t = if sqrt { data.sqrt() } else { data.clone() };
+        let (min, max) = (t.min(), t.max());
+        assert!(max >= min, "degenerate data");
+        Scaler { min, max, sqrt }
+    }
+
+    /// Scale into `[-SPAN, SPAN]` (values outside the fitted range
+    /// extrapolate linearly in transformed space).
+    pub fn scale(&self, data: &Tensor) -> Tensor {
+        let range = (self.max - self.min).max(1e-6);
+        let t = if self.sqrt { data.sqrt() } else { data.clone() };
+        t.map(|x| 2.0 * SPAN * (x - self.min) / range - SPAN)
+    }
+
+    /// Invert back to the original units.
+    pub fn unscale(&self, data: &Tensor) -> Tensor {
+        let range = (self.max - self.min).max(1e-6);
+        let t = data.map(|x| (x + SPAN) / (2.0 * SPAN) * range + self.min);
+        if self.sqrt {
+            t.map(|x| (x.max(0.0)) * (x.max(0.0)))
+        } else {
+            t
+        }
+    }
+}
+
+/// Chronological index split of valid forecast targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Training target indices.
+    pub train: Vec<usize>,
+    /// Validation target indices.
+    pub val: Vec<usize>,
+    /// Test target indices.
+    pub test: Vec<usize>,
+}
+
+/// A generated dataset with its metadata.
+#[derive(Debug, Clone)]
+pub struct TrafficDataset {
+    /// Display name.
+    pub name: String,
+    /// The flow series `[T, 2, H, W]`.
+    pub flows: FlowSeries,
+    /// Sampling frequency `f`.
+    pub intervals_per_day: usize,
+    /// Weekday of day 0 (0 = Monday).
+    pub start_weekday: usize,
+    /// Simulated level-shift days.
+    pub rain_days: Vec<usize>,
+    /// Simulated point-shift events.
+    pub incidents: Vec<(usize, Region)>,
+}
+
+impl TrafficDataset {
+    /// The grid.
+    pub fn grid(&self) -> GridMap {
+        self.flows.grid()
+    }
+
+    /// Paper-style chronological split of valid targets: the last
+    /// `test_fraction` is the test set, and `val_fraction` of the remainder
+    /// (taken from its tail) is validation.
+    ///
+    /// `reserve_horizons` keeps the last few targets out of every split so
+    /// multi-step batches stay in bounds.
+    pub fn split(&self, spec: &SubSeriesSpec, test_fraction: f32, val_fraction: f32, reserve_horizons: usize) -> Split {
+        let first = spec.min_target();
+        let last = self.flows.len().saturating_sub(reserve_horizons);
+        assert!(last > first, "dataset too short: {} targets", self.flows.len());
+        let all: Vec<usize> = (first..last).collect();
+        let n = all.len();
+        let n_test = ((n as f32 * test_fraction).round() as usize).clamp(1, n - 2);
+        let n_trainval = n - n_test;
+        let n_val = ((n_trainval as f32 * val_fraction).round() as usize).clamp(1, n_trainval - 1);
+        let n_train = n_trainval - n_val;
+        Split {
+            train: all[..n_train].to_vec(),
+            val: all[n_train..n_trainval].to_vec(),
+            test: all[n_trainval..].to_vec(),
+        }
+    }
+
+    /// Fit a scaler on the frames covered by the training targets (history
+    /// included, i.e. everything before the first validation target).
+    pub fn fit_scaler(&self, split: &Split) -> Scaler {
+        let end = split.val.first().copied().unwrap_or(self.flows.len());
+        let train_part = self.flows.tensor().slice_axis0(0, end.min(self.flows.len()));
+        Scaler::fit_sqrt(&train_part)
+    }
+
+    /// A scaled copy of the whole flow series.
+    pub fn scaled_flows(&self, scaler: &Scaler) -> FlowSeries {
+        FlowSeries::from_tensor(self.grid(), scaler.scale(self.flows.tensor()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> TrafficDataset {
+        // Use the smallest preset geometry but a much smaller sim for speed.
+        let mut cfg = DatasetPreset::NycBike.config(0.5, 9);
+        cfg.days = 30;
+        cfg.agents = 120;
+        let out = CitySimulator::new(cfg.clone()).run();
+        TrafficDataset {
+            name: "tiny".into(),
+            flows: out.flows,
+            intervals_per_day: cfg.intervals_per_day,
+            start_weekday: cfg.start_weekday,
+            rain_days: out.rain_days,
+            incidents: out.incidents,
+        }
+    }
+
+    #[test]
+    fn presets_have_distinct_characters() {
+        let bike = DatasetPreset::NycBike.config(1.0, 0);
+        let taxi = DatasetPreset::NycTaxi.config(1.0, 0);
+        let bj = DatasetPreset::TaxiBj.config(1.0, 0);
+        assert!(taxi.agents > 2 * bike.agents, "taxi should be denser than bike");
+        assert!(bj.grid.cells() > bike.grid.cells());
+        assert!(bj.days > bike.days);
+        assert_eq!(DatasetPreset::NycBike.name(), "NYC-Bike");
+        assert_eq!(DatasetPreset::all().len(), 3);
+    }
+
+    #[test]
+    fn scale_parameter_grows_grid() {
+        let small = DatasetPreset::TaxiBj.config(0.5, 0);
+        let big = DatasetPreset::TaxiBj.config(1.5, 0);
+        assert!(big.grid.cells() > small.grid.cells());
+        assert!(big.agents > small.agents);
+    }
+
+    #[test]
+    fn scaler_roundtrip_and_range() {
+        let data = Tensor::from_vec(vec![0.0, 5.0, 10.0], &[3]);
+        let sc = Scaler::fit(&data);
+        let scaled = sc.scale(&data);
+        assert_eq!(scaled.as_slice(), &[-SPAN, 0.0, SPAN]);
+        let back = sc.unscale(&scaled);
+        assert!(back.approx_eq(&data, 1e-5));
+    }
+
+    #[test]
+    fn sqrt_scaler_roundtrip_and_spread() {
+        // Heavy-tailed counts: sqrt spreads the bulk away from -SPAN.
+        let data = Tensor::from_vec(vec![0.0, 1.0, 4.0, 9.0, 100.0], &[5]);
+        let sc = Scaler::fit_sqrt(&data);
+        let scaled = sc.scale(&data);
+        assert!((scaled.min() + SPAN).abs() < 1e-6);
+        assert!((scaled.max() - SPAN).abs() < 1e-6);
+        // Under plain scaling, 9.0 maps to 2*S*9/100 - S = -0.738; under
+        // sqrt it maps to 2*S*3/10 - S = -0.36: much better spread.
+        assert!(scaled.as_slice()[3] > -0.45);
+        let back = sc.unscale(&scaled);
+        assert!(back.approx_eq(&data, 1e-3), "roundtrip diff {}", back.max_abs_diff(&data));
+    }
+
+    #[test]
+    fn scaler_handles_constant_data() {
+        let data = Tensor::full(&[4], 3.0);
+        let sc = Scaler::fit(&data);
+        let scaled = sc.scale(&data);
+        assert!(scaled.all_finite());
+        let back = sc.unscale(&scaled);
+        assert!(back.approx_eq(&data, 1e-3));
+    }
+
+    #[test]
+    fn split_is_chronological_and_disjoint() {
+        let ds = tiny_dataset();
+        let spec = SubSeriesSpec { lc: 3, lp: 4, lt: 2, intervals_per_day: ds.intervals_per_day };
+        let split = ds.split(&spec, 0.2, 0.1, 3);
+        assert!(!split.train.is_empty() && !split.val.is_empty() && !split.test.is_empty());
+        assert!(split.train.last().unwrap() < split.val.first().unwrap());
+        assert!(split.val.last().unwrap() < split.test.first().unwrap());
+        assert!(*split.train.first().unwrap() >= spec.min_target());
+        // Reserve keeps multi-step batches in range.
+        assert!(split.test.last().unwrap() + 3 <= ds.flows.len());
+    }
+
+    #[test]
+    fn fit_scaler_uses_training_region_only() {
+        let ds = tiny_dataset();
+        let spec = SubSeriesSpec { lc: 3, lp: 4, lt: 2, intervals_per_day: ds.intervals_per_day };
+        let split = ds.split(&spec, 0.2, 0.1, 1);
+        let sc = ds.fit_scaler(&split);
+        // The fitted max cannot exceed the global max.
+        assert!(sc.max <= ds.flows.tensor().max());
+        assert!(sc.min >= 0.0);
+        // Scaled training region is within [-1, 1].
+        let scaled = ds.scaled_flows(&sc);
+        let end = split.val[0];
+        let train_scaled = scaled.tensor().slice_axis0(0, end);
+        assert!(train_scaled.min() >= -1.0 - 1e-5 && train_scaled.max() <= 1.0 + 1e-5);
+    }
+
+    #[test]
+    fn generated_dataset_smoke() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.flows.len(), 30 * 24);
+        assert!(ds.flows.tensor().sum() > 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Definition 1: the city as an `H × W` grid of equally sized regions.
+
+use serde::{Deserialize, Serialize};
+
+/// A single grid cell `r_{h,w}` (row-major coordinates, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Region {
+    /// Row index in `[0, H)`.
+    pub row: usize,
+    /// Column index in `[0, W)`.
+    pub col: usize,
+}
+
+impl Region {
+    /// Construct a region coordinate.
+    pub fn new(row: usize, col: usize) -> Self {
+        Region { row, col }
+    }
+
+    /// Manhattan distance between two regions.
+    pub fn manhattan(&self, other: &Region) -> usize {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+}
+
+/// A grid partition of a city into `H × W` regions (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridMap {
+    /// Number of rows (`H`).
+    pub height: usize,
+    /// Number of columns (`W`).
+    pub width: usize,
+}
+
+impl GridMap {
+    /// Construct a grid; both extents must be non-zero.
+    pub fn new(height: usize, width: usize) -> Self {
+        assert!(height > 0 && width > 0, "grid must be non-empty, got {height}x{width}");
+        GridMap { height, width }
+    }
+
+    /// Number of regions `M = H × W`.
+    pub fn cells(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Whether a region lies inside the grid.
+    pub fn contains(&self, r: Region) -> bool {
+        r.row < self.height && r.col < self.width
+    }
+
+    /// Flat row-major index of a region.
+    pub fn index_of(&self, r: Region) -> usize {
+        debug_assert!(self.contains(r), "region {r:?} outside {self:?}");
+        r.row * self.width + r.col
+    }
+
+    /// Region at a flat row-major index.
+    pub fn region_at(&self, index: usize) -> Region {
+        debug_assert!(index < self.cells(), "index {index} outside grid");
+        Region::new(index / self.width, index % self.width)
+    }
+
+    /// Iterate over all regions in row-major order.
+    pub fn regions(&self) -> impl Iterator<Item = Region> + '_ {
+        (0..self.cells()).map(move |i| self.region_at(i))
+    }
+
+    /// The central region (used by the simulator's business district).
+    pub fn center(&self) -> Region {
+        Region::new(self.height / 2, self.width / 2)
+    }
+
+    /// Clamp an unbounded (row, col) onto the grid.
+    pub fn clamp(&self, row: isize, col: isize) -> Region {
+        Region::new(
+            row.clamp(0, self.height as isize - 1) as usize,
+            col.clamp(0, self.width as isize - 1) as usize,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let g = GridMap::new(3, 5);
+        for i in 0..g.cells() {
+            assert_eq!(g.index_of(g.region_at(i)), i);
+        }
+        assert_eq!(g.cells(), 15);
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let g = GridMap::new(3, 4);
+        assert!(g.contains(Region::new(2, 3)));
+        assert!(!g.contains(Region::new(3, 0)));
+        assert_eq!(g.clamp(-2, 10), Region::new(0, 3));
+        assert_eq!(g.clamp(1, 1), Region::new(1, 1));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Region::new(0, 0).manhattan(&Region::new(2, 3)), 5);
+        assert_eq!(Region::new(4, 4).manhattan(&Region::new(4, 4)), 0);
+    }
+
+    #[test]
+    fn regions_iterates_all_cells() {
+        let g = GridMap::new(2, 2);
+        let all: Vec<Region> = g.regions().collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0], Region::new(0, 0));
+        assert_eq!(all[3], Region::new(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_grid_rejected() {
+        GridMap::new(0, 5);
+    }
+}

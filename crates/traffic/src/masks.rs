@@ -1,0 +1,94 @@
+//! Peak / non-peak and weekday / weekend masks for the Table IV and Table V
+//! evaluations.
+//!
+//! The paper defines peak periods as 7:00–9:00 am and 5:00–7:00 pm, weekdays
+//! as Monday–Friday.
+
+/// Weekday/weekend classification of a day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DayKind {
+    /// Monday through Friday.
+    Weekday,
+    /// Saturday or Sunday.
+    Weekend,
+}
+
+/// Hour-of-day (fractional) of an interval slot.
+fn slot_hour(slot_in_day: usize, intervals_per_day: usize) -> f32 {
+    slot_in_day as f32 * 24.0 / intervals_per_day as f32
+}
+
+/// Whether a slot-of-day falls into the paper's peak windows
+/// (7–9 am, 5–7 pm).
+pub fn is_peak_slot(slot_in_day: usize, intervals_per_day: usize) -> bool {
+    let h = slot_hour(slot_in_day, intervals_per_day);
+    (7.0..9.0).contains(&h) || (17.0..19.0).contains(&h)
+}
+
+/// Day kind of a global interval index, given the weekday of day 0
+/// (0 = Monday).
+pub fn day_kind(interval: usize, intervals_per_day: usize, start_weekday: usize) -> DayKind {
+    let day = interval / intervals_per_day;
+    if (start_weekday + day) % 7 >= 5 {
+        DayKind::Weekend
+    } else {
+        DayKind::Weekday
+    }
+}
+
+/// Peak mask over a list of global interval indices.
+pub fn peak_mask(intervals: &[usize], intervals_per_day: usize) -> Vec<bool> {
+    intervals
+        .iter()
+        .map(|&i| is_peak_slot(i % intervals_per_day, intervals_per_day))
+        .collect()
+}
+
+/// Weekday mask (`true` = weekday) over a list of global interval indices.
+pub fn weekday_mask(intervals: &[usize], intervals_per_day: usize, start_weekday: usize) -> Vec<bool> {
+    intervals
+        .iter()
+        .map(|&i| day_kind(i, intervals_per_day, start_weekday) == DayKind::Weekday)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hourly_peak_slots() {
+        // f = 24: slots 7, 8 (morning) and 17, 18 (evening) are peak.
+        let peaks: Vec<usize> = (0..24).filter(|&s| is_peak_slot(s, 24)).collect();
+        assert_eq!(peaks, vec![7, 8, 17, 18]);
+    }
+
+    #[test]
+    fn half_hourly_peak_slots() {
+        // f = 48 (30-minute intervals, as in the paper): 7:00–8:30 → slots
+        // 14..=17, 17:00–18:30 → slots 34..=37.
+        let peaks: Vec<usize> = (0..48).filter(|&s| is_peak_slot(s, 48)).collect();
+        assert_eq!(peaks, vec![14, 15, 16, 17, 34, 35, 36, 37]);
+    }
+
+    #[test]
+    fn day_kind_rolls_over_weeks() {
+        // Start Monday: day 5 (Saturday) and 6 (Sunday) weekend, day 7 Monday.
+        let f = 24;
+        assert_eq!(day_kind(0, f, 0), DayKind::Weekday);
+        assert_eq!(day_kind(5 * f, f, 0), DayKind::Weekend);
+        assert_eq!(day_kind(6 * f + 3, f, 0), DayKind::Weekend);
+        assert_eq!(day_kind(7 * f, f, 0), DayKind::Weekday);
+        // Start Saturday.
+        assert_eq!(day_kind(0, f, 5), DayKind::Weekend);
+        assert_eq!(day_kind(2 * f, f, 5), DayKind::Weekday);
+    }
+
+    #[test]
+    fn masks_align_with_indices() {
+        let f = 24;
+        let idx = vec![7, 12, 17, 24 * 5 + 8];
+        assert_eq!(peak_mask(&idx, f), vec![true, false, true, true]);
+        assert_eq!(weekday_mask(&idx, f, 0), vec![true, true, true, false]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Definition 3: intercepting a flow series into closeness / period / trend
+//! sub-series (Eqs. 3–5), and assembling training batches from them.
+
+use crate::flow::FlowSeries;
+use muse_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Lengths and resolution of the multi-periodic interception.
+///
+/// Following DeepSTN+ and §IV-E of the paper, the defaults are
+/// `Lc = 3, Lp = 4, Lt = 4` with hourly / daily / weekly resolutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubSeriesSpec {
+    /// Closeness length `Lc` (most recent intervals).
+    pub lc: usize,
+    /// Period length `Lp` (daily lags).
+    pub lp: usize,
+    /// Trend length `Lt` (weekly lags).
+    pub lt: usize,
+    /// Sampling frequency `f`: intervals per day.
+    pub intervals_per_day: usize,
+}
+
+impl SubSeriesSpec {
+    /// Paper defaults: `Lc=3, Lp=4, Lt=4`.
+    pub fn paper_default(intervals_per_day: usize) -> Self {
+        SubSeriesSpec { lc: 3, lp: 4, lt: 4, intervals_per_day }
+    }
+
+    /// Smallest target index `n` with full history available
+    /// (`Lt` weeks back).
+    pub fn min_target(&self) -> usize {
+        self.lt * self.intervals_per_day * 7
+    }
+
+    /// Closeness lag offsets (from target `n`): `n-Lc .. n-1`.
+    pub fn closeness_lags(&self) -> Vec<usize> {
+        (1..=self.lc).rev().collect()
+    }
+
+    /// Period lag offsets: `n - k·f` for `k = Lp .. 1`.
+    pub fn period_lags(&self) -> Vec<usize> {
+        (1..=self.lp).rev().map(|k| k * self.intervals_per_day).collect()
+    }
+
+    /// Trend lag offsets: `n - k·f·7` for `k = Lt .. 1`.
+    pub fn trend_lags(&self) -> Vec<usize> {
+        (1..=self.lt).rev().map(|k| k * self.intervals_per_day * 7).collect()
+    }
+
+    /// Total sub-series length `L = Lc + Lp + Lt` (used in Table I).
+    pub fn total_frames(&self) -> usize {
+        self.lc + self.lp + self.lt
+    }
+}
+
+/// One training sample: channel-stacked sub-series plus the target frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Closeness `[2·Lc, H, W]`.
+    pub closeness: Tensor,
+    /// Period `[2·Lp, H, W]`.
+    pub period: Tensor,
+    /// Trend `[2·Lt, H, W]`.
+    pub trend: Tensor,
+    /// Target flow `X_n`, `[2, H, W]`.
+    pub target: Tensor,
+    /// Global target interval index `n`.
+    pub index: usize,
+}
+
+/// A batch of samples with the sub-series stacked along the channel axis:
+/// closeness `[B, 2·Lc, H, W]`, period `[B, 2·Lp, H, W]`,
+/// trend `[B, 2·Lt, H, W]`, target `[B, 2, H, W]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Closeness sub-series.
+    pub closeness: Tensor,
+    /// Period sub-series.
+    pub period: Tensor,
+    /// Trend sub-series.
+    pub trend: Tensor,
+    /// Target frames.
+    pub target: Tensor,
+    /// Target interval indices (length `B`).
+    pub indices: Vec<usize>,
+}
+
+impl Batch {
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// A multi-horizon batch: shared inputs, one target frame per horizon
+/// (`targets[h]` is `X_{n+h}` stacked over the batch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiStepBatch {
+    /// Shared input sub-series (as in [`Batch`]).
+    pub closeness: Tensor,
+    /// Period sub-series.
+    pub period: Tensor,
+    /// Trend sub-series.
+    pub trend: Tensor,
+    /// Per-horizon targets, each `[B, 2, H, W]`.
+    pub targets: Vec<Tensor>,
+    /// Base target indices `n` (horizon 0).
+    pub indices: Vec<usize>,
+}
+
+/// Stack `frames` (each `[2, H, W]` at `n - lag`) along the channel axis.
+fn gather_lagged(flows: &FlowSeries, n: usize, lags: &[usize]) -> Tensor {
+    let frames: Vec<Tensor> = lags.iter().map(|&lag| flows.frame(n - lag)).collect();
+    let refs: Vec<&Tensor> = frames.iter().collect();
+    Tensor::concat(&refs, 0)
+}
+
+/// Extract the sample with target index `n` (Eqs. 3–5 with `i = n`).
+///
+/// Panics if `n < spec.min_target()` or `n >= flows.len()`.
+pub fn sample(flows: &FlowSeries, spec: &SubSeriesSpec, n: usize) -> Sample {
+    assert!(n >= spec.min_target(), "target {n} lacks history (min {})", spec.min_target());
+    assert!(n < flows.len(), "target {n} beyond series length {}", flows.len());
+    Sample {
+        closeness: gather_lagged(flows, n, &spec.closeness_lags()),
+        period: gather_lagged(flows, n, &spec.period_lags()),
+        trend: gather_lagged(flows, n, &spec.trend_lags()),
+        target: flows.frame(n),
+        index: n,
+    }
+}
+
+/// Assemble a batch for the given target indices.
+pub fn batch(flows: &FlowSeries, spec: &SubSeriesSpec, indices: &[usize]) -> Batch {
+    assert!(!indices.is_empty(), "empty batch");
+    let samples: Vec<Sample> = indices.iter().map(|&n| sample(flows, spec, n)).collect();
+    let stack = |f: fn(&Sample) -> &Tensor| -> Tensor {
+        let parts: Vec<&Tensor> = samples.iter().map(f).collect();
+        Tensor::stack(&parts)
+    };
+    Batch {
+        closeness: stack(|s| &s.closeness),
+        period: stack(|s| &s.period),
+        trend: stack(|s| &s.trend),
+        target: stack(|s| &s.target),
+        indices: indices.to_vec(),
+    }
+}
+
+/// Assemble a multi-horizon batch: inputs at base index `n`, targets
+/// `X_n, X_{n+1}, …, X_{n+horizons-1}`.
+pub fn multi_step_batch(
+    flows: &FlowSeries,
+    spec: &SubSeriesSpec,
+    indices: &[usize],
+    horizons: usize,
+) -> MultiStepBatch {
+    assert!(horizons >= 1, "need at least one horizon");
+    for &n in indices {
+        assert!(n + horizons <= flows.len(), "horizon window exceeds series at {n}");
+    }
+    let base = batch(flows, spec, indices);
+    let targets = (0..horizons)
+        .map(|h| {
+            let frames: Vec<Tensor> = indices.iter().map(|&n| flows.frame(n + h)).collect();
+            let refs: Vec<&Tensor> = frames.iter().collect();
+            Tensor::stack(&refs)
+        })
+        .collect();
+    MultiStepBatch {
+        closeness: base.closeness,
+        period: base.period,
+        trend: base.trend,
+        targets,
+        indices: indices.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridMap;
+
+    /// A flow series whose every element equals its interval index, so lag
+    /// arithmetic is directly observable.
+    fn indexed_series(t: usize) -> FlowSeries {
+        let grid = GridMap::new(2, 2);
+        let mut data = Vec::with_capacity(t * 8);
+        for i in 0..t {
+            data.extend(std::iter::repeat_n(i as f32, 8));
+        }
+        FlowSeries::from_tensor(grid, Tensor::from_vec(data, &[t, 2, 2, 2]))
+    }
+
+    fn spec4() -> SubSeriesSpec {
+        SubSeriesSpec { lc: 3, lp: 2, lt: 1, intervals_per_day: 4 }
+    }
+
+    #[test]
+    fn min_target_needs_full_trend_history() {
+        let s = spec4();
+        assert_eq!(s.min_target(), 28);
+        let paper = SubSeriesSpec::paper_default(48);
+        assert_eq!(paper.min_target(), 4 * 48 * 7);
+        assert_eq!(paper.total_frames(), 11);
+    }
+
+    #[test]
+    fn lags_match_equations() {
+        let s = spec4();
+        assert_eq!(s.closeness_lags(), vec![3, 2, 1]); // X_{n-3}..X_{n-1}
+        assert_eq!(s.period_lags(), vec![8, 4]); // X_{n-2f}, X_{n-f}
+        assert_eq!(s.trend_lags(), vec![28]); // X_{n-7f}
+    }
+
+    #[test]
+    fn sample_gathers_correct_frames() {
+        let s = spec4();
+        let flows = indexed_series(40);
+        let n = 30;
+        let smp = sample(&flows, &s, n);
+        // Closeness channels: frames 27, 28, 29, each contributing 2 channels.
+        assert_eq!(smp.closeness.dims(), &[6, 2, 2]);
+        assert_eq!(smp.closeness.at(&[0, 0, 0]), 27.0);
+        assert_eq!(smp.closeness.at(&[2, 0, 0]), 28.0);
+        assert_eq!(smp.closeness.at(&[4, 1, 1]), 29.0);
+        // Period: frames 22, 26.
+        assert_eq!(smp.period.dims(), &[4, 2, 2]);
+        assert_eq!(smp.period.at(&[0, 0, 0]), 22.0);
+        assert_eq!(smp.period.at(&[2, 0, 0]), 26.0);
+        // Trend: frame 2.
+        assert_eq!(smp.trend.dims(), &[2, 2, 2]);
+        assert_eq!(smp.trend.at(&[0, 0, 0]), 2.0);
+        // Target: frame 30.
+        assert_eq!(smp.target.at(&[0, 0, 0]), 30.0);
+        assert_eq!(smp.index, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks history")]
+    fn sample_rejects_early_target() {
+        let s = spec4();
+        let flows = indexed_series(40);
+        let _ = sample(&flows, &s, 10);
+    }
+
+    #[test]
+    fn batch_stacks_samples() {
+        let s = spec4();
+        let flows = indexed_series(40);
+        let b = batch(&flows, &s, &[28, 30, 35]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.closeness.dims(), &[3, 6, 2, 2]);
+        assert_eq!(b.period.dims(), &[3, 4, 2, 2]);
+        assert_eq!(b.trend.dims(), &[3, 2, 2, 2]);
+        assert_eq!(b.target.dims(), &[3, 2, 2, 2]);
+        assert_eq!(b.target.at(&[1, 0, 0, 0]), 30.0);
+    }
+
+    #[test]
+    fn multi_step_targets_shift() {
+        let s = spec4();
+        let flows = indexed_series(40);
+        let mb = multi_step_batch(&flows, &s, &[30, 31], 3);
+        assert_eq!(mb.targets.len(), 3);
+        assert_eq!(mb.targets[0].at(&[0, 0, 0, 0]), 30.0);
+        assert_eq!(mb.targets[1].at(&[0, 0, 0, 0]), 31.0);
+        assert_eq!(mb.targets[2].at(&[1, 0, 0, 0]), 33.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds series")]
+    fn multi_step_bounds_checked() {
+        let s = spec4();
+        let flows = indexed_series(40);
+        let _ = multi_step_batch(&flows, &s, &[39], 3);
+    }
+}

@@ -1,0 +1,128 @@
+//! Trajectories: time-stamped region sequences, the raw input of
+//! Definition 2.
+
+use crate::grid::Region;
+use serde::{Deserialize, Serialize};
+
+/// One observation of a moving object: which region it was in at which time
+/// interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Time-interval index (global, 0-based).
+    pub interval: usize,
+    /// Region the object occupied during that interval.
+    pub region: Region,
+}
+
+/// A trajectory `M_r : u_1 -> u_2 -> ... -> u_{|M_r|}` — an ordered sequence
+/// of region observations for one moving object.
+///
+/// Points must be in non-decreasing interval order; [`Trajectory::push`]
+/// enforces this.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<TrajectoryPoint>,
+}
+
+impl Trajectory {
+    /// Empty trajectory.
+    pub fn new() -> Self {
+        Trajectory { points: Vec::new() }
+    }
+
+    /// Trajectory from pre-ordered points (panics if out of order).
+    pub fn from_points(points: Vec<TrajectoryPoint>) -> Self {
+        for w in points.windows(2) {
+            assert!(
+                w[0].interval <= w[1].interval,
+                "trajectory points out of order: {} after {}",
+                w[1].interval,
+                w[0].interval
+            );
+        }
+        Trajectory { points }
+    }
+
+    /// Append an observation; must not precede the last one.
+    pub fn push(&mut self, interval: usize, region: Region) {
+        if let Some(last) = self.points.last() {
+            assert!(
+                interval >= last.interval,
+                "trajectory point at interval {interval} precedes last at {}",
+                last.interval
+            );
+        }
+        self.points.push(TrajectoryPoint { interval, region });
+    }
+
+    /// The ordered observations.
+    pub fn points(&self) -> &[TrajectoryPoint] {
+        &self.points
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trajectory has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterate over consecutive observation pairs `(u_{i-1}, u_i)` — the
+    /// transitions that Definition 2 counts.
+    pub fn transitions(&self) -> impl Iterator<Item = (TrajectoryPoint, TrajectoryPoint)> + '_ {
+        self.points.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Largest interval index touched, if any.
+    pub fn last_interval(&self) -> Option<usize> {
+        self.points.last().map(|p| p.interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_transitions() {
+        let mut t = Trajectory::new();
+        t.push(0, Region::new(0, 0));
+        t.push(1, Region::new(0, 1));
+        t.push(3, Region::new(1, 1));
+        assert_eq!(t.len(), 3);
+        let trans: Vec<_> = t.transitions().collect();
+        assert_eq!(trans.len(), 2);
+        assert_eq!(trans[0].0.region, Region::new(0, 0));
+        assert_eq!(trans[1].1.interval, 3);
+        assert_eq!(t.last_interval(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn out_of_order_push_rejected() {
+        let mut t = Trajectory::new();
+        t.push(5, Region::new(0, 0));
+        t.push(2, Region::new(0, 1));
+    }
+
+    #[test]
+    fn from_points_validates_order() {
+        let pts = vec![
+            TrajectoryPoint { interval: 0, region: Region::new(0, 0) },
+            TrajectoryPoint { interval: 0, region: Region::new(0, 1) },
+        ];
+        let t = Trajectory::from_points(pts);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_trajectory() {
+        let t = Trajectory::new();
+        assert!(t.is_empty());
+        assert_eq!(t.transitions().count(), 0);
+        assert_eq!(t.last_interval(), None);
+    }
+}

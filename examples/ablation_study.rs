@@ -1,0 +1,49 @@
+//! Ablation study (Table VI): train the full MUSE-Net and its four §V-D
+//! variants on the same dataset and compare.
+//!
+//! ```text
+//! cargo run --release --example ablation_study
+//! ```
+
+use muse_net_repro::prelude::*;
+
+fn main() {
+    let mut profile = Profile::quick();
+    profile.epochs = 10;
+    profile.max_batches = 40;
+
+    println!("generating synthetic city…");
+    let prepared = prepare(DatasetPreset::NycBike, &profile);
+    let test_idx = prepared.eval_indices(&profile);
+    let truth = prepared.truth(&test_idx);
+
+    println!("training 5 variants (this is 5 full training runs)…\n");
+    println!("{:<32} {:>9} {:>9} {:>9} {:>9}", "variant", "out RMSE", "out MAE", "in RMSE", "in MAE");
+    let mut rows = Vec::new();
+    for variant in AblationVariant::all() {
+        let model = fit_model(ModelKind::MuseNet(variant), &prepared, &profile);
+        let pred = model.predict_unscaled(&prepared, &test_idx);
+        let (out, inn) = channel_errors(&pred, &truth);
+        println!(
+            "{:<32} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            variant.name(),
+            out.rmse,
+            out.mae,
+            inn.rmse,
+            inn.mae
+        );
+        rows.push((variant, out.rmse));
+    }
+
+    let full = rows
+        .iter()
+        .find(|(v, _)| *v == AblationVariant::Full)
+        .map(|&(_, r)| r)
+        .expect("full model present");
+    println!("\ndegradation vs full model (outflow RMSE):");
+    for (v, r) in &rows {
+        if *v != AblationVariant::Full {
+            println!("  {:<32} {:+.1}%", v.name(), 100.0 * (r - full) / full);
+        }
+    }
+}

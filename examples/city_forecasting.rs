@@ -1,0 +1,68 @@
+//! City-scale forecasting scenario: multi-step forecasts with peak /
+//! non-peak and weekday / weekend breakdowns — the operating view a traffic
+//! control centre would actually use.
+//!
+//! ```text
+//! cargo run --release --example city_forecasting
+//! ```
+
+use muse_net_repro::prelude::*;
+use muse_net_repro::metrics::error::masked_errors;
+use muse_net_repro::traffic::masks::{peak_mask, weekday_mask};
+
+fn main() {
+    let mut profile = Profile::quick();
+    profile.epochs = 10;
+    profile.max_batches = 40;
+
+    println!("generating synthetic taxi city…");
+    let prepared = prepare(DatasetPreset::NycTaxi, &profile);
+
+    println!("training MUSE-Net…");
+    let model = fit_model(ModelKind::MuseNet(AblationVariant::Full), &prepared, &profile);
+
+    // --- Multi-step forecast: 3 horizons by autoregressive rollout. ------
+    let base_idx: Vec<usize> = prepared.split.test.iter().copied().take(24).collect();
+    let horizons = 3;
+    println!("\nmulti-step forecast ({} base intervals, {horizons} horizons):", base_idx.len());
+    let per_horizon = model.predict_multi_step(&prepared, &base_idx, horizons);
+    for (h, scaled_pred) in per_horizon.iter().enumerate() {
+        let pred = prepared.scaler.unscale(scaled_pred);
+        let truth_idx: Vec<usize> = base_idx.iter().map(|&n| n + h).collect();
+        let truth = prepared.truth(&truth_idx);
+        let (out, inn) = channel_errors(&pred, &truth);
+        println!("  horizon {}: outflow RMSE {:6.2}  inflow RMSE {:6.2}", h + 1, out.rmse, inn.rmse);
+    }
+
+    // --- Regime breakdowns on one-step forecasts. ------------------------
+    let test_idx = prepared.eval_indices(&profile);
+    let pred = model.predict_unscaled(&prepared, &test_idx);
+    let truth = prepared.truth(&test_idx);
+    let f = prepared.dataset.intervals_per_day;
+
+    let peaks = peak_mask(&test_idx, f);
+    let weekdays = weekday_mask(&test_idx, f, prepared.dataset.start_weekday);
+    let report = |label: &str, mask: &[bool]| {
+        if let Some(stats) = masked_errors(&pred, &truth, mask) {
+            println!("  {label:<9} RMSE {:6.2}  MAPE {:5.1}%  (n={})", stats.rmse, stats.mape, mask.iter().filter(|&&b| b).count());
+        }
+    };
+    println!("\none-step breakdown over {} test intervals:", test_idx.len());
+    report("peak", &peaks);
+    report("non-peak", &peaks.iter().map(|&b| !b).collect::<Vec<_>>());
+    report("weekday", &weekdays);
+    report("weekend", &weekdays.iter().map(|&b| !b).collect::<Vec<_>>());
+
+    // --- Busiest cells: where should dispatch focus? ---------------------
+    let mean_inflow = prepared.dataset.flows.temporal_mean(muse_net_repro::traffic::flow::INFLOW);
+    let grid = prepared.dataset.grid();
+    let mut cells: Vec<(f32, usize, usize)> = grid
+        .regions()
+        .map(|r| (mean_inflow.at(&[r.row, r.col]), r.row, r.col))
+        .collect();
+    cells.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    println!("\nbusiest regions (mean inflow/interval):");
+    for (v, r, c) in cells.iter().take(5) {
+        println!("  region ({r:>2}, {c:>2}): {v:6.1}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Disentanglement analysis: reproduce the paper's RQ3–RQ5 measurements on
+//! a freshly trained model — cluster separation of the learned
+//! representations (Fig. 5), informativeness of the interactive
+//! representation (Fig. 6), and peak/non-peak interpretability (Fig. 8).
+//!
+//! ```text
+//! cargo run --release --example disentanglement_analysis
+//! ```
+
+use muse_net_repro::eval::drivers::{fig5, fig6, fig8, figutil};
+use muse_net_repro::metrics::gaussian_mi;
+use muse_net_repro::prelude::*;
+
+fn main() {
+    let mut profile = Profile::quick();
+    profile.epochs = 10;
+    profile.max_batches = 40;
+
+    println!("=== Fig. 5: t-SNE cluster separation =========================");
+    let r5 = fig5::run(DatasetPreset::NycBike, &profile, 42);
+    println!("{r5}");
+
+    println!("=== Fig. 6: interactive representation informativeness ======");
+    let r6 = fig6::run(DatasetPreset::NycBike, &profile, 42);
+    println!("{r6}");
+
+    println!("=== Fig. 8: peak vs non-peak interpretability ================");
+    let r8 = fig8::run(DatasetPreset::NycBike, &profile, 72);
+    println!("{r8}");
+
+    println!("=== RQ3 quantified: Gaussian MI between representations ======");
+    // Independence of Z^i from Z^S should give lower MI than Z^i with
+    // itself-like signals; report the pairwise estimates.
+    let analysis = figutil::train_and_represent(DatasetPreset::NycBike, &profile, 64);
+    for (name, rep) in [("Z^C", &analysis.reps.exclusive[0]), ("Z^P", &analysis.reps.exclusive[1]), ("Z^T", &analysis.reps.exclusive[2])] {
+        let est = gaussian_mi(rep, &analysis.reps.interactive, 0.05, 0);
+        println!("  I({name}; Z^S) ≈ {:.3} nats (rho {:.2})", est.mi_nats, est.canonical_correlation);
+    }
+    let cc = gaussian_mi(&analysis.reps.exclusive[0], &analysis.reps.exclusive[0], 0.05, 0);
+    println!("  reference I(Z^C; Z^C) ≈ {:.3} nats (rho {:.2})", cc.mi_nats, cc.canonical_correlation);
+
+    println!("summary:");
+    println!(
+        "  disentangled clusters separate better than originals: {}",
+        r5.disentangled_separates_better()
+    );
+    println!("  Z^S aligns positively with C/P/T: {}", r6.mostly_positive());
+    println!(
+        "  exclusive↔peak / interactive↔non-peak split: {}",
+        r8.exclusive_peaks_interactive_offpeaks()
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: generate a synthetic city, train MUSE-Net, and forecast.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use muse_net_repro::prelude::*;
+
+fn main() {
+    // 1. A compact profile that trains in about a minute on one core.
+    let mut profile = Profile::quick();
+    profile.epochs = 16;
+    profile.max_batches = 60;
+
+    // 2. Generate the synthetic NYC-Taxi stand-in (agent-based simulator),
+    //    split chronologically, and fit the [-1, 1] scaler on train data.
+    println!("generating synthetic city…");
+    let prepared = prepare(DatasetPreset::NycTaxi, &profile);
+    println!(
+        "  dataset {}: {} intervals on a {}x{} grid, {} rain days, {} incidents",
+        prepared.dataset.name,
+        prepared.dataset.flows.len(),
+        prepared.dataset.grid().height,
+        prepared.dataset.grid().width,
+        prepared.dataset.rain_days.len(),
+        prepared.dataset.incidents.len(),
+    );
+
+    // 3. Train MUSE-Net (full model) on closeness/period/trend sub-series.
+    println!("training MUSE-Net…");
+    let model = fit_model(ModelKind::MuseNet(AblationVariant::Full), &prepared, &profile);
+
+    // 4. Forecast the held-out test period and score in original units.
+    let test_idx = prepared.eval_indices(&profile);
+    let forecast = model.predict_unscaled(&prepared, &test_idx);
+    let truth = prepared.truth(&test_idx);
+    let (outflow, inflow) = channel_errors(&forecast, &truth);
+    println!("test results over {} intervals:", test_idx.len());
+    println!("  outflow  RMSE {:6.2}  MAE {:6.2}  MAPE {:5.1}%", outflow.rmse, outflow.mae, outflow.mape);
+    println!("  inflow   RMSE {:6.2}  MAE {:6.2}  MAPE {:5.1}%", inflow.rmse, inflow.mae, inflow.mape);
+
+    // 5. Compare against the no-learning historical average.
+    let ha = fit_model(ModelKind::Ha, &prepared, &profile);
+    let ha_pred = ha.predict_unscaled(&prepared, &test_idx);
+    let (ha_out, _) = channel_errors(&ha_pred, &truth);
+    println!("  historical-average outflow RMSE {:6.2}", ha_out.rmse);
+    if outflow.rmse < ha_out.rmse {
+        println!("MUSE-Net beats the historical average ✓");
+    } else {
+        println!("(short quickstart budget — train longer via Profile::standard())");
+    }
+}

@@ -1,0 +1,67 @@
+//! Integration: the experiment drivers produce well-formed artifacts with
+//! the paper's qualitative shape on data-only experiments (training-based
+//! shape checks run in the full harness, recorded in EXPERIMENTS.md).
+
+use muse_net_repro::eval::drivers::{fig1, fig2, table1};
+use muse_net_repro::prelude::*;
+
+fn tiny_profile() -> Profile {
+    Profile {
+        scale: 0.45,
+        epochs: 1,
+        max_batches: 2,
+        max_eval: 12,
+        d: 4,
+        k: 8,
+        hidden: 8,
+        channels: 4,
+        ..Profile::quick()
+    }
+}
+
+#[test]
+fn table1_complexity_shape() {
+    let r = table1::run();
+    assert!(r.beats_gman, "MUSE-Net must be faster than GMAN when L,d << M");
+    assert!(r.beats_dmstgcn_dense);
+    let text = r.to_string();
+    assert!(text.contains("DeepSTN+") && text.contains("DMSTGCN") && text.contains("GMAN"));
+}
+
+#[test]
+fn fig1_distribution_shifts_present_in_data() {
+    let r = fig1::run(DatasetPreset::NycBike, &tiny_profile());
+    let (level_ok, point_ok) = r.shifts_are_visible();
+    assert!(level_ok, "weather days should damp traffic: {r}");
+    assert!(point_ok, "incidents should be strong outliers: {r}");
+    // The rendered artifact mentions both shift kinds.
+    let text = r.to_string();
+    assert!(text.contains("Level shifts"));
+    assert!(text.contains("Point shifts"));
+}
+
+#[test]
+fn fig2_interaction_shift_present_in_data() {
+    let r = fig2::run(DatasetPreset::NycBike, &tiny_profile());
+    assert_eq!(r.slots.len(), 24);
+    assert!(r.interaction_shifts(), "dominant sub-series should vary over the day:\n{r}");
+    // Correlations are proper cosine values.
+    for s in &r.slots {
+        for v in [s.closeness, s.period, s.trend] {
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+}
+
+#[test]
+fn table_drivers_render_row_layout() {
+    // Structure-only check on a one-dataset, near-zero-training run of the
+    // cheapest trained table (Table VI with 1 epoch).
+    let profile = tiny_profile();
+    let r = muse_net_repro::eval::drivers::table6::run(EvalSet::One(DatasetPreset::NycBike), &profile);
+    assert_eq!(r.datasets.len(), 1);
+    assert_eq!(r.datasets[0].rows.len(), 5, "five Table VI columns");
+    let text = r.to_string();
+    assert!(text.contains("MUSE-Net-w/o-Spatial"));
+    assert!(text.contains("ablation study"));
+}
