@@ -144,10 +144,7 @@ mod tests {
         let x = rand(&mut rng, &[1, 2, 3, 4]);
         let w = rand(&mut rng, &[2, 2, 3, 3]).mul_scalar(0.5);
         let b = rand(&mut rng, &[2]);
-        let r = check(
-            move |_t, v| v[0].conv2d(&v[1], Some(&v[2]), spec).square().sum(),
-            &[x, w, b],
-        );
+        let r = check(move |_t, v| v[0].conv2d(&v[1], Some(&v[2]), spec).square().sum(), &[x, w, b]);
         assert!(r.passes(5e-2), "{r:?}");
     }
 
@@ -164,10 +161,7 @@ mod tests {
         let mut rng = SeededRng::new(8);
         let mu = rand(&mut rng, &[2, 3]);
         let lv = rand(&mut rng, &[2, 3]);
-        let r = check(
-            |_t, v| crate::vae_ops::kl_to_standard_normal(&v[0], &v[1]),
-            &[mu, lv],
-        );
+        let r = check(|_t, v| crate::vae_ops::kl_to_standard_normal(&v[0], &v[1]), &[mu, lv]);
         assert!(r.passes(1e-2), "{r:?}");
     }
 
@@ -180,10 +174,7 @@ mod tests {
             rand(&mut rng, &[2, 3]),
             rand(&mut rng, &[2, 3]),
         ];
-        let r = check(
-            |_t, v| crate::vae_ops::kl_between(&v[0], &v[1], &v[2], &v[3]),
-            &inputs,
-        );
+        let r = check(|_t, v| crate::vae_ops::kl_between(&v[0], &v[1], &v[2], &v[3]), &inputs);
         assert!(r.passes(2e-2), "{r:?}");
     }
 
@@ -206,7 +197,7 @@ mod tests {
     fn sum_axis_and_mean_axis() {
         let mut rng = SeededRng::new(11);
         let x = rand(&mut rng, &[3, 4]);
-        let r = check(|_t, v| v[0].sum_axis(0).square().sum(), &[x.clone()]);
+        let r = check(|_t, v| v[0].sum_axis(0).square().sum(), std::slice::from_ref(&x));
         assert!(r.passes(1e-2), "{r:?}");
         let r = check(|_t, v| v[0].mean_axis(1).square().sum(), &[x]);
         assert!(r.passes(1e-2), "{r:?}");

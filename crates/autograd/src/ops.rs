@@ -17,12 +17,7 @@ impl<'t> Var<'t> {
         let out = a.add(&b);
         let (la, lb) = (self.id(), rhs.id());
         let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
-        self.tape().push(
-            out,
-            Some(Box::new(move |g| {
-                vec![(la, g.sum_to(&da)), (lb, g.sum_to(&db))]
-            })),
-        )
+        self.tape().push("add", out, Some(Box::new(move |g| vec![(la, g.sum_to(&da)), (lb, g.sum_to(&db))])))
     }
 
     /// Elementwise (broadcasting) subtraction.
@@ -32,10 +27,9 @@ impl<'t> Var<'t> {
         let (la, lb) = (self.id(), rhs.id());
         let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
         self.tape().push(
+            "sub",
             out,
-            Some(Box::new(move |g| {
-                vec![(la, g.sum_to(&da)), (lb, g.neg().sum_to(&db))]
-            })),
+            Some(Box::new(move |g| vec![(la, g.sum_to(&da)), (lb, g.neg().sum_to(&db))])),
         )
     }
 
@@ -46,10 +40,9 @@ impl<'t> Var<'t> {
         let (la, lb) = (self.id(), rhs.id());
         let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
         self.tape().push(
+            "mul",
             out,
-            Some(Box::new(move |g| {
-                vec![(la, g.mul(&b).sum_to(&da)), (lb, g.mul(&a).sum_to(&db))]
-            })),
+            Some(Box::new(move |g| vec![(la, g.mul(&b).sum_to(&da)), (lb, g.mul(&a).sum_to(&db))])),
         )
     }
 
@@ -60,6 +53,7 @@ impl<'t> Var<'t> {
         let (la, lb) = (self.id(), rhs.id());
         let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
         self.tape().push(
+            "div",
             out,
             Some(Box::new(move |g| {
                 let ga = g.div(&b).sum_to(&da);
@@ -74,16 +68,14 @@ impl<'t> Var<'t> {
     /// Negation.
     pub fn neg(&self) -> Var<'t> {
         let la = self.id();
-        self.tape().push(
-            self.value().neg(),
-            Some(Box::new(move |g| vec![(la, g.neg())])),
-        )
+        self.tape().push("neg", self.value().neg(), Some(Box::new(move |g| vec![(la, g.neg())])))
     }
 
     /// Add a scalar constant.
     pub fn add_scalar(&self, s: f32) -> Var<'t> {
         let la = self.id();
         self.tape().push(
+            "add_scalar",
             self.value().add_scalar(s),
             Some(Box::new(move |g| vec![(la, g.clone())])),
         )
@@ -93,6 +85,7 @@ impl<'t> Var<'t> {
     pub fn mul_scalar(&self, s: f32) -> Var<'t> {
         let la = self.id();
         self.tape().push(
+            "mul_scalar",
             self.value().mul_scalar(s),
             Some(Box::new(move |g| vec![(la, g.mul_scalar(s))])),
         )
@@ -103,30 +96,21 @@ impl<'t> Var<'t> {
         let la = self.id();
         let out = self.value().exp();
         let saved = out.clone();
-        self.tape().push(
-            out,
-            Some(Box::new(move |g| vec![(la, g.mul(&saved))])),
-        )
+        self.tape().push("exp", out, Some(Box::new(move |g| vec![(la, g.mul(&saved))])))
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&self) -> Var<'t> {
         let la = self.id();
         let x = self.value();
-        self.tape().push(
-            x.ln(),
-            Some(Box::new(move |g| vec![(la, g.div(&x))])),
-        )
+        self.tape().push("ln", x.ln(), Some(Box::new(move |g| vec![(la, g.div(&x))])))
     }
 
     /// Elementwise square.
     pub fn square(&self) -> Var<'t> {
         let la = self.id();
         let x = self.value();
-        self.tape().push(
-            x.square(),
-            Some(Box::new(move |g| vec![(la, g.mul(&x).mul_scalar(2.0))])),
-        )
+        self.tape().push("square", x.square(), Some(Box::new(move |g| vec![(la, g.mul(&x).mul_scalar(2.0))])))
     }
 
     /// Elementwise square root.
@@ -134,12 +118,7 @@ impl<'t> Var<'t> {
         let la = self.id();
         let out = self.value().sqrt();
         let saved = out.clone();
-        self.tape().push(
-            out,
-            Some(Box::new(move |g| {
-                vec![(la, g.div(&saved.mul_scalar(2.0)))]
-            })),
-        )
+        self.tape().push("sqrt", out, Some(Box::new(move |g| vec![(la, g.div(&saved.mul_scalar(2.0)))])))
     }
 
     /// Hyperbolic tangent.
@@ -148,6 +127,7 @@ impl<'t> Var<'t> {
         let out = self.value().tanh();
         let saved = out.clone();
         self.tape().push(
+            "tanh",
             out,
             Some(Box::new(move |g| {
                 // d tanh = 1 - tanh^2
@@ -163,6 +143,7 @@ impl<'t> Var<'t> {
         let out = self.value().sigmoid();
         let saved = out.clone();
         self.tape().push(
+            "sigmoid",
             out,
             Some(Box::new(move |g| {
                 // d sigmoid = s (1 - s)
@@ -177,10 +158,7 @@ impl<'t> Var<'t> {
         let la = self.id();
         let x = self.value();
         let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-        self.tape().push(
-            x.relu(),
-            Some(Box::new(move |g| vec![(la, g.mul(&mask))])),
-        )
+        self.tape().push("relu", x.relu(), Some(Box::new(move |g| vec![(la, g.mul(&mask))])))
     }
 
     /// Leaky rectified linear unit: `x` for `x > 0`, `slope·x` otherwise.
@@ -191,10 +169,7 @@ impl<'t> Var<'t> {
         let x = self.value();
         let mask = x.map(|v| if v > 0.0 { 1.0 } else { slope });
         let out = x.map(|v| if v > 0.0 { v } else { slope * v });
-        self.tape().push(
-            out,
-            Some(Box::new(move |g| vec![(la, g.mul(&mask))])),
-        )
+        self.tape().push("leaky_relu", out, Some(Box::new(move |g| vec![(la, g.mul(&mask))])))
     }
 
     /// Softplus `ln(1 + e^x)` — a smooth positive map used to keep standard
@@ -207,10 +182,7 @@ impl<'t> Var<'t> {
             v.max(0.0) + (1.0 + (-v.abs()).exp()).ln()
         });
         let dsig = x.sigmoid();
-        self.tape().push(
-            out,
-            Some(Box::new(move |g| vec![(la, g.mul(&dsig))])),
-        )
+        self.tape().push("softplus", out, Some(Box::new(move |g| vec![(la, g.mul(&dsig))])))
     }
 
     // ---------------------------------------------------------------- linalg
@@ -221,6 +193,7 @@ impl<'t> Var<'t> {
         let out = a.matmul(&b);
         let (la, lb) = (self.id(), rhs.id());
         self.tape().push(
+            "matmul",
             out,
             Some(Box::new(move |g| {
                 // dA = G B^T ; dB = A^T G
@@ -238,6 +211,7 @@ impl<'t> Var<'t> {
         let (lx, lw) = (self.id(), weight.id());
         let lb = bias.map(|b| b.id());
         self.tape().push(
+            "conv2d",
             out,
             Some(Box::new(move |g| {
                 let (gx, gw, gb) = conv2d_backward(&x, &w, g, &spec);
@@ -258,6 +232,7 @@ impl<'t> Var<'t> {
         let x = self.value();
         let dims = x.dims().to_vec();
         self.tape().push(
+            "sum",
             Tensor::scalar(x.sum()),
             Some(Box::new(move |g| {
                 let s = g.item();
@@ -279,6 +254,7 @@ impl<'t> Var<'t> {
         let dims = x.dims().to_vec();
         let out = x.sum_axis(axis);
         self.tape().push(
+            "sum_axis",
             out,
             Some(Box::new(move |g| {
                 // Broadcast the reduced gradient back across `axis`.
@@ -301,6 +277,7 @@ impl<'t> Var<'t> {
         let out = self.value().softmax_last();
         let saved = out.clone();
         self.tape().push(
+            "softmax_last",
             out,
             Some(Box::new(move |g| {
                 // dx = y * (g - sum(g * y, last, keepdim))
@@ -330,10 +307,7 @@ impl<'t> Var<'t> {
         let x = self.value();
         let old = x.dims().to_vec();
         let out = x.reshape(dims);
-        self.tape().push(
-            out,
-            Some(Box::new(move |g| vec![(la, g.reshaped(&old))])),
-        )
+        self.tape().push("reshape", out, Some(Box::new(move |g| vec![(la, g.reshaped(&old))])))
     }
 
     /// Concatenate variables along `axis`.
@@ -346,6 +320,7 @@ impl<'t> Var<'t> {
         let ids: Vec<usize> = parts.iter().map(|p| p.id()).collect();
         let sizes: Vec<usize> = values.iter().map(|v| v.dims()[axis]).collect();
         tape.push(
+            "concat",
             out,
             Some(Box::new(move |g| {
                 let pieces = g.split(axis, &sizes);
@@ -361,6 +336,7 @@ impl<'t> Var<'t> {
         let dims = x.dims().to_vec();
         let out = x.slice_axis0(start, end);
         self.tape().push(
+            "slice_axis0",
             out,
             Some(Box::new(move |g| {
                 let mut grad = Tensor::zeros(&dims);

@@ -1,5 +1,6 @@
 //! The gradient tape, its variables, and the reverse pass.
 
+use muse_obs as obs;
 use muse_tensor::Tensor;
 use std::cell::RefCell;
 
@@ -10,6 +11,8 @@ pub(crate) type GradContribution = Vec<(usize, Tensor)>;
 pub(crate) type BackwardFn = Box<dyn Fn(&Tensor) -> GradContribution>;
 
 pub(crate) struct Node {
+    /// Short op name ("add", "matmul", …) for backward-time attribution.
+    pub(crate) op: &'static str,
     pub(crate) value: Tensor,
     /// `None` for leaves and constants.
     pub(crate) backward: Option<BackwardFn>,
@@ -66,23 +69,23 @@ impl Tape {
         self.len() == 0
     }
 
-    pub(crate) fn push(&self, value: Tensor, backward: Option<BackwardFn>) -> Var<'_> {
+    pub(crate) fn push(&self, op: &'static str, value: Tensor, backward: Option<BackwardFn>) -> Var<'_> {
         let mut nodes = self.nodes.borrow_mut();
         let id = nodes.len();
-        nodes.push(Node { value, backward });
+        nodes.push(Node { op, value, backward });
         Var { tape: self, id }
     }
 
     /// Record a differentiable leaf (e.g. a model parameter or an input that
     /// needs gradients).
     pub fn leaf(&self, value: Tensor) -> Var<'_> {
-        self.push(value, None)
+        self.push("leaf", value, None)
     }
 
     /// Record a constant. Structurally identical to a leaf — the distinction
     /// is for readers: constants never have their gradients read.
     pub fn constant(&self, value: Tensor) -> Var<'_> {
-        self.push(value, None)
+        self.push("const", value, None)
     }
 
     /// Reconstruct a [`Var`] handle from a node id previously obtained via
@@ -104,12 +107,25 @@ impl Tape {
     pub fn backward(&self, loss: Var<'_>) -> Gradients {
         let nodes = self.nodes.borrow();
         assert!(loss.id < nodes.len(), "loss var not on this tape");
+        let telemetry = obs::enabled();
+        if telemetry {
+            obs::gauge("autograd.tape_len").set(nodes.len() as f64);
+        }
+        let _sweep = obs::span("autograd.backward");
         let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
         grads[loss.id] = Some(Tensor::ones(nodes[loss.id].value.dims()));
         for id in (0..=loss.id).rev() {
             let Some(grad) = grads[id].take() else { continue };
             if let Some(back) = &nodes[id].backward {
-                for (pid, piece) in back(&grad) {
+                let t0 = telemetry.then(std::time::Instant::now);
+                let contributions = back(&grad);
+                if let Some(t0) = t0 {
+                    obs::record_duration(
+                        &format!("autograd.backward.{}", nodes[id].op),
+                        t0.elapsed().as_nanos() as u64,
+                    );
+                }
+                for (pid, piece) in contributions {
                     debug_assert!(pid < id, "backward edge {pid} -> {id} not topologically ordered");
                     match &mut grads[pid] {
                         Some(acc) => acc.add_assign(&piece),

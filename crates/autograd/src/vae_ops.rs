@@ -35,10 +35,7 @@ pub fn reparameterize_mean<'t>(mu: &Var<'t>, _logvar: &Var<'t>) -> Var<'t> {
 pub fn kl_to_standard_normal<'t>(mu: &Var<'t>, logvar: &Var<'t>) -> Var<'t> {
     assert_eq!(mu.dims(), logvar.dims(), "kl_to_standard_normal shape mismatch");
     let batch = mu.dims()[0] as f32;
-    let inner = logvar
-        .add_scalar(1.0)
-        .sub(&mu.square())
-        .sub(&logvar.exp());
+    let inner = logvar.add_scalar(1.0).sub(&mu.square()).sub(&logvar.exp());
     inner.sum().mul_scalar(-0.5 / batch)
 }
 
@@ -46,12 +43,7 @@ pub fn kl_to_standard_normal<'t>(mu: &Var<'t>, logvar: &Var<'t>) -> Var<'t> {
 /// latent dims and averaged over the batch.
 ///
 /// Closed form: `0.5 * Σ ( lv2 - lv1 + (e^lv1 + (mu1-mu2)²) / e^lv2 - 1 )`.
-pub fn kl_between<'t>(
-    mu1: &Var<'t>,
-    lv1: &Var<'t>,
-    mu2: &Var<'t>,
-    lv2: &Var<'t>,
-) -> Var<'t> {
+pub fn kl_between<'t>(mu1: &Var<'t>, lv1: &Var<'t>, mu2: &Var<'t>, lv2: &Var<'t>) -> Var<'t> {
     assert_eq!(mu1.dims(), mu2.dims(), "kl_between mu shape mismatch");
     assert_eq!(lv1.dims(), lv2.dims(), "kl_between logvar shape mismatch");
     let batch = mu1.dims()[0] as f32;

@@ -185,12 +185,7 @@ pub(crate) fn mean(xs: &[f32]) -> f32 {
 }
 
 pub(crate) fn rmse(pred: &Tensor, truth: &Tensor) -> f32 {
-    let se: f32 = pred
-        .as_slice()
-        .iter()
-        .zip(truth.as_slice())
-        .map(|(&p, &t)| (p - t) * (p - t))
-        .sum();
+    let se: f32 = pred.as_slice().iter().zip(truth.as_slice()).map(|(&p, &t)| (p - t) * (p - t)).sum();
     (se / pred.len() as f32).sqrt()
 }
 

@@ -32,13 +32,16 @@ impl PlusBlock {
         let cells = height * width;
         PlusBlock {
             conv: Conv2dLayer::new(rng, Conv2dSpec::same(channels, channels - plus_channels, 3)),
-            reduce: Conv2dLayer::new(rng, Conv2dSpec {
-                in_channels: channels,
-                out_channels: plus_channels,
-                kernel: (1, 1),
-                stride: (1, 1),
-                padding: (0, 0),
-            }),
+            reduce: Conv2dLayer::new(
+                rng,
+                Conv2dSpec {
+                    in_channels: channels,
+                    out_channels: plus_channels,
+                    kernel: (1, 1),
+                    stride: (1, 1),
+                    padding: (0, 0),
+                },
+            ),
             dense: Linear::new(rng, plus_channels * cells, plus_channels * cells),
             channels,
             plus_channels,
@@ -99,13 +102,16 @@ impl DeepStnForecaster {
             Param::new(format!("deepstn.hadamard[{i}]"), Tensor::full(&[2, grid.height, grid.width], init))
         };
         DeepStnForecaster {
-            entry: Conv2dLayer::new(&mut rng, Conv2dSpec {
-                in_channels,
-                out_channels: channels,
-                kernel: (1, 1),
-                stride: (1, 1),
-                padding: (0, 0),
-            }),
+            entry: Conv2dLayer::new(
+                &mut rng,
+                Conv2dSpec {
+                    in_channels,
+                    out_channels: channels,
+                    kernel: (1, 1),
+                    stride: (1, 1),
+                    padding: (0, 0),
+                },
+            ),
             blocks: (0..blocks.max(1))
                 .map(|_| PlusBlock::new(&mut rng, channels, plus, grid.height, grid.width))
                 .collect(),
@@ -141,11 +147,7 @@ impl BatchGraph for DeepStnForecaster {
             let ch = x.dims()[1];
             x.split(1, &[ch - 2, 2]).pop().expect("two chunks")
         };
-        let frames = [
-            last_frame(&batch.closeness),
-            last_frame(&batch.period),
-            last_frame(&batch.trend),
-        ];
+        let frames = [last_frame(&batch.closeness), last_frame(&batch.period), last_frame(&batch.trend)];
         for (w, frame) in self.hadamard.iter().zip(frames) {
             let wv = s.param(w);
             let fv = s.input(frame);

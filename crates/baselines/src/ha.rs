@@ -30,7 +30,13 @@ impl Forecaster for HistoricalAverage {
         "HA"
     }
 
-    fn fit(&mut self, flows: &FlowSeries, spec: &SubSeriesSpec, train: &[usize], _val: &[usize]) -> FitReport {
+    fn fit(
+        &mut self,
+        flows: &FlowSeries,
+        spec: &SubSeriesSpec,
+        train: &[usize],
+        _val: &[usize],
+    ) -> FitReport {
         let f = spec.intervals_per_day;
         let dims = flows.frame(0).dims().to_vec();
         let mut sums: Vec<Tensor> = (0..f).map(|_| Tensor::zeros(&dims)).collect();
@@ -43,11 +49,8 @@ impl Forecaster for HistoricalAverage {
             sums[slot].add_assign(&flows.frame(i));
             counts[slot] += 1;
         }
-        self.slot_means = sums
-            .into_iter()
-            .zip(counts)
-            .map(|(s, c)| s.mul_scalar(1.0 / c.max(1) as f32))
-            .collect();
+        self.slot_means =
+            sums.into_iter().zip(counts).map(|(s, c)| s.mul_scalar(1.0 / c.max(1) as f32)).collect();
         let _ = FitOptions::default();
         FitReport::default()
     }

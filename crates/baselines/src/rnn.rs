@@ -18,11 +18,7 @@ pub(crate) fn frame_sequence<'t>(s: &Session<'t>, stacked: &Tensor, l: usize) ->
     assert_eq!(c, 2 * l, "expected {l} frames x 2 channels, got {c} channels");
     // Split along the channel axis into L chunks of 2 channels each.
     let sizes = vec![2usize; l];
-    stacked
-        .split(1, &sizes)
-        .into_iter()
-        .map(|frame| s.input(frame.reshape(&[b, 2 * h * w])))
-        .collect()
+    stacked.split(1, &sizes).into_iter().map(|frame| s.input(frame.reshape(&[b, 2 * h * w]))).collect()
 }
 
 /// Vanilla-RNN forecaster.
@@ -60,10 +56,7 @@ impl BatchGraph for RnnForecaster {
         let b = batch.closeness.dims()[0];
         let seq = frame_sequence(s, &batch.closeness, self.lc);
         let h = self.cell.run(s, &seq, b);
-        self.head
-            .forward(s, h)
-            .tanh()
-            .reshape(&[b, 2, self.grid.height, self.grid.width])
+        self.head.forward(s, h).tanh().reshape(&[b, 2, self.grid.height, self.grid.width])
     }
 }
 

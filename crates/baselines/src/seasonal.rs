@@ -47,7 +47,13 @@ impl Forecaster for SeasonalNaive {
         }
     }
 
-    fn fit(&mut self, _flows: &FlowSeries, _spec: &SubSeriesSpec, _train: &[usize], _val: &[usize]) -> FitReport {
+    fn fit(
+        &mut self,
+        _flows: &FlowSeries,
+        _spec: &SubSeriesSpec,
+        _train: &[usize],
+        _val: &[usize],
+    ) -> FitReport {
         FitReport::default()
     }
 

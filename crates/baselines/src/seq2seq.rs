@@ -65,10 +65,7 @@ impl BatchGraph for Seq2SeqForecaster {
         // One decoder step fed with the most recent frame.
         let dec_in = last.expect("non-empty sequence");
         let h = self.decoder.step(s, dec_in, h);
-        self.head
-            .forward(s, h)
-            .tanh()
-            .reshape(&[b, 2, self.grid.height, self.grid.width])
+        self.head.forward(s, h).tanh().reshape(&[b, 2, self.grid.height, self.grid.width])
     }
 }
 

@@ -99,13 +99,13 @@ impl BatchGraph for StgspLiteForecaster {
         for &tok in &tokens {
             let k = self.key_map.forward(s, tok); // [B, D]
             let v = self.value_map.forward(s, tok); // [B, D]
-            // (k * q) summed over D → [B, 1]
+                                                    // (k * q) summed over D → [B, 1]
             let score = k.mul(&q).sum_axis(1).mul_scalar(scale).reshape(&[b, 1]);
             score_cols.push(score);
             values.push(v);
         }
         let scores = Var::concat(&score_cols, 1).softmax_last(); // [B, L]
-        // Weighted sum of values: Σ_l w_l v_l.
+                                                                 // Weighted sum of values: Σ_l w_l v_l.
         let mut context: Option<Var<'t>> = None;
         for (l, v) in values.iter().enumerate() {
             let w = scores.slice_cols(s, l, b, tokens.len());
@@ -116,10 +116,7 @@ impl BatchGraph for StgspLiteForecaster {
             });
         }
         let context = context.expect("non-empty token list");
-        self.head
-            .forward(s, context)
-            .tanh()
-            .reshape(&[b, 2, self.grid.height, self.grid.width])
+        self.head.forward(s, context).tanh().reshape(&[b, 2, self.grid.height, self.grid.width])
     }
 }
 

@@ -1,7 +1,7 @@
 //! Fig. 1: detection of level and point shifts in generated traffic.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use muse_bench::bench_profile;
+use muse_bench::{criterion_group, criterion_main, Criterion};
 use muse_eval::drivers::fig1;
 use muse_traffic::dataset::DatasetPreset;
 use std::hint::black_box;

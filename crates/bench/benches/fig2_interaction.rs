@@ -1,7 +1,7 @@
 //! Fig. 2: per-slot correlation sweep of future flow vs C/P/T.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use muse_bench::bench_profile;
+use muse_bench::{criterion_group, criterion_main, Criterion};
 use muse_eval::drivers::fig2;
 use muse_traffic::dataset::DatasetPreset;
 use std::hint::black_box;

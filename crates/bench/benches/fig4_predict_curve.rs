@@ -1,7 +1,7 @@
 //! Fig. 4: windowed prediction over consecutive test intervals.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use muse_bench::{bench_dataset, bench_profile};
+use muse_bench::{criterion_group, criterion_main, Criterion};
 use muse_eval::runner::{fit_model, ModelKind};
 use std::hint::black_box;
 

@@ -1,6 +1,6 @@
 //! Fig. 5: representation extraction and t-SNE embedding.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use muse_bench::{criterion_group, criterion_main, Criterion};
 use muse_metrics::tsne::Tsne;
 use muse_tensor::init::SeededRng;
 use muse_tensor::Tensor;
@@ -19,9 +19,7 @@ fn bench_tsne(c: &mut Criterion) {
     }
     let x = Tensor::from_vec(data, &[80, 32]);
     let tsne = Tsne { perplexity: 15.0, iterations: 100, ..Default::default() };
-    c.bench_function("fig5_tsne_80x32_100it", |bch| {
-        bch.iter(|| black_box(tsne.embed(&x)))
-    });
+    c.bench_function("fig5_tsne_80x32_100it", |bch| bch.iter(|| black_box(tsne.embed(&x))));
 }
 
 criterion_group! {

@@ -1,6 +1,6 @@
 //! Figs. 6-8: cosine similarity matrices and RSA alignment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use muse_bench::{criterion_group, criterion_main, Criterion};
 use muse_metrics::similarity::{cosine_similarity_matrix, positive_fraction};
 use muse_tensor::init::SeededRng;
 use muse_tensor::Tensor;

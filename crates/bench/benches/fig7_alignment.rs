@@ -1,6 +1,6 @@
 //! Figs. 7: representation-to-future RSA alignment over a batch.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use muse_bench::{criterion_group, criterion_main, Criterion};
 use muse_eval::drivers::figutil::{alignment, self_similarity};
 use muse_tensor::init::SeededRng;
 use muse_tensor::Tensor;

@@ -1,6 +1,6 @@
 //! Fig. 8: per-sample row correlations across a time window.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use muse_bench::{criterion_group, criterion_main, Criterion};
 use muse_eval::drivers::figutil::{row_correlation, self_similarity};
 use muse_tensor::init::SeededRng;
 use muse_tensor::Tensor;

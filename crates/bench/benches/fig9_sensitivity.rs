@@ -1,8 +1,8 @@
 //! Fig. 9: the cost of one sweep point — a short training epoch at a given
 //! lambda.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use muse_bench::{bench_dataset, bench_profile};
+use muse_bench::{criterion_group, criterion_main, Criterion};
 use musenet::{MuseNet, MuseNetConfig, Trainer, TrainerOptions};
 
 fn bench_sweep_point(c: &mut Criterion) {

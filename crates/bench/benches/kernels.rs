@@ -1,6 +1,6 @@
 //! Micro-benchmarks of the hot computational kernels.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use muse_bench::{criterion_group, criterion_main, Criterion};
 use muse_tensor::conv::{conv2d, Conv2dSpec};
 use muse_tensor::init::SeededRng;
 use muse_tensor::Tensor;
@@ -11,9 +11,7 @@ fn bench_matmul(c: &mut Criterion) {
     let mut rng = SeededRng::new(1);
     let a = Tensor::rand_uniform(&mut rng, &[64, 128], -1.0, 1.0);
     let b = Tensor::rand_uniform(&mut rng, &[128, 64], -1.0, 1.0);
-    c.bench_function("matmul_64x128x64", |bch| {
-        bch.iter(|| black_box(a.matmul(&b)))
-    });
+    c.bench_function("matmul_64x128x64", |bch| bch.iter(|| black_box(a.matmul(&b))));
 }
 
 fn bench_conv2d(c: &mut Criterion) {
@@ -22,9 +20,7 @@ fn bench_conv2d(c: &mut Criterion) {
     let x = Tensor::rand_uniform(&mut rng, &[8, 16, 8, 10], -1.0, 1.0);
     let w = Tensor::rand_uniform(&mut rng, &[16, 16, 3, 3], -0.2, 0.2);
     let b = Tensor::rand_uniform(&mut rng, &[16], -0.1, 0.1);
-    c.bench_function("conv2d_b8_c16_8x10", |bch| {
-        bch.iter(|| black_box(conv2d(&x, &w, Some(&b), &spec)))
-    });
+    c.bench_function("conv2d_b8_c16_8x10", |bch| bch.iter(|| black_box(conv2d(&x, &w, Some(&b), &spec))));
 }
 
 fn bench_simulator(c: &mut Criterion) {

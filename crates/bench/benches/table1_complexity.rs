@@ -1,9 +1,9 @@
 //! Table I: the analytic complexity model, plus a real MUSE-Net forward at
 //! the paper's hyper-parameters (d=64, k=128 on a 8x10 grid slice).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use muse_nn::Session;
 use muse_autograd::Tape;
+use muse_bench::{criterion_group, criterion_main, Criterion};
+use muse_nn::Session;
 use muse_traffic::subseries::batch;
 use muse_traffic::SubSeriesSpec;
 use musenet::analysis::estimate;

@@ -1,8 +1,8 @@
 //! Table II: the per-step cost of every method in the one-step comparison —
 //! one optimizer step and one inference batch each.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use muse_bench::{bench_dataset, bench_profile};
+use muse_bench::{criterion_group, criterion_main, Criterion};
 use muse_eval::runner::{fit_model, FittedModel, ModelKind};
 use std::hint::black_box;
 
@@ -13,9 +13,7 @@ fn bench_inference_per_method(c: &mut Criterion) {
     for kind in ModelKind::table2_lineup() {
         let model = fit_model(kind, &prepared, &profile);
         let label = format!("table2_infer_{}", model.name().replace([' ', '(', ')', '+'], "_"));
-        c.bench_function(&label, |bch| {
-            bch.iter(|| black_box(model.predict(&prepared, &eval_idx)))
-        });
+        c.bench_function(&label, |bch| bch.iter(|| black_box(model.predict(&prepared, &eval_idx))));
     }
 }
 

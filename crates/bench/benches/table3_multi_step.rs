@@ -1,7 +1,7 @@
 //! Table III: cost of the 3-horizon autoregressive rollout per method.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use muse_bench::{bench_dataset, bench_profile};
+use muse_bench::{criterion_group, criterion_main, Criterion};
 use muse_eval::runner::{fit_model, ModelKind};
 use std::hint::black_box;
 
@@ -12,9 +12,7 @@ fn bench_rollout(c: &mut Criterion) {
     for kind in ModelKind::multiperiodic_lineup() {
         let model = fit_model(kind, &prepared, &profile);
         let label = format!("table3_rollout3_{}", model.name().replace([' ', '(', ')', '+'], "_"));
-        c.bench_function(&label, |bch| {
-            bch.iter(|| black_box(model.predict_multi_step(&prepared, &base, 3)))
-        });
+        c.bench_function(&label, |bch| bch.iter(|| black_box(model.predict_multi_step(&prepared, &base, 3))));
     }
 }
 

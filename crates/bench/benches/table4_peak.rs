@@ -1,6 +1,6 @@
 //! Table IV: peak/non-peak masked metric evaluation over a large test set.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use muse_bench::{criterion_group, criterion_main, Criterion};
 use muse_metrics::error::masked_errors;
 use muse_tensor::init::SeededRng;
 use muse_tensor::Tensor;

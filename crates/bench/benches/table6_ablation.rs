@@ -1,10 +1,10 @@
 //! Table VI: objective construction + backward for every ablation variant —
 //! measures what each disentanglement component costs per step.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use muse_bench::{bench_dataset, bench_profile};
-use muse_nn::Session;
 use muse_autograd::Tape;
+use muse_bench::{bench_dataset, bench_profile};
+use muse_bench::{criterion_group, criterion_main, Criterion};
+use muse_nn::Session;
 use muse_traffic::subseries::batch;
 use musenet::{AblationVariant, MuseNet, MuseNetConfig};
 
@@ -18,10 +18,7 @@ fn bench_variants(c: &mut Criterion) {
         cfg.k = profile.k;
         cfg.variant = variant;
         let model = MuseNet::new(cfg);
-        let label = format!(
-            "table6_step_{}",
-            variant.name().replace(['-', '/'], "_").to_lowercase()
-        );
+        let label = format!("table6_step_{}", variant.name().replace(['-', '/'], "_").to_lowercase());
         c.bench_function(&label, |bch| {
             bch.iter(|| {
                 let tape = Tape::new();

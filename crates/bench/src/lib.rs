@@ -24,6 +24,10 @@
 //! `muse-eval` binary; these benches keep `cargo bench` minutes-scale while
 //! still exercising every experiment's code path.
 
+pub mod harness;
+
+pub use harness::Criterion;
+
 use muse_eval::runner::{prepare, Prepared, Profile};
 use muse_traffic::dataset::DatasetPreset;
 

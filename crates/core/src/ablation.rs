@@ -1,9 +1,7 @@
 //! The four ablation variants of §V-D (Table VI).
 
-use serde::{Deserialize, Serialize};
-
 /// Which parts of MUSE-Net to build/train.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AblationVariant {
     /// The full model.
     Full,
@@ -52,7 +50,10 @@ impl AblationVariant {
 
     /// Whether this variant trains the simplex/duplex variational encoders.
     pub fn uses_pulling(&self) -> bool {
-        matches!(self, AblationVariant::Full | AblationVariant::WithoutSpatial | AblationVariant::WithoutSemanticPushing)
+        matches!(
+            self,
+            AblationVariant::Full | AblationVariant::WithoutSpatial | AblationVariant::WithoutSemanticPushing
+        )
     }
 
     /// Whether the single multivariate interactive representation is used
@@ -80,7 +81,9 @@ mod tests {
     #[test]
     fn full_model_uses_everything() {
         let v = AblationVariant::Full;
-        assert!(v.uses_pulling() && v.uses_multivariate_interactive() && v.uses_spatial() && v.uses_pushing());
+        assert!(
+            v.uses_pulling() && v.uses_multivariate_interactive() && v.uses_spatial() && v.uses_pushing()
+        );
         assert_eq!(v.name(), "MUSE-Net");
     }
 

@@ -2,7 +2,6 @@
 
 use crate::ablation::AblationVariant;
 use muse_traffic::{GridMap, SubSeriesSpec};
-use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of MUSE-Net.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// distributions use `k/4`), `λ = 1`, Adam at learning rate `2e-4`, batch 8.
 /// The constructor defaults reproduce those; tests and the CPU-profile
 /// harness shrink `d`/`k`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MuseNetConfig {
     /// City grid the model predicts over.
     pub grid: GridMap,
@@ -100,9 +99,14 @@ impl MuseNetConfig {
         assert!(self.d >= 1, "representation dim d must be >= 1");
         assert!(self.k >= 4, "sampled dim k must be >= 4 (uses k/4 for exclusives)");
         assert!(self.lambda >= 0.0, "lambda must be non-negative");
-        assert!(self.spec.lc >= 1 && self.spec.lp >= 1 && self.spec.lt >= 1, "sub-series lengths must be >= 1");
-        assert!(self.resplus_blocks >= 1 || matches!(self.variant, AblationVariant::WithoutSpatial),
-            "need at least one ResPlus block unless spatial module is ablated");
+        assert!(
+            self.spec.lc >= 1 && self.spec.lp >= 1 && self.spec.lt >= 1,
+            "sub-series lengths must be >= 1"
+        );
+        assert!(
+            self.resplus_blocks >= 1 || matches!(self.variant, AblationVariant::WithoutSpatial),
+            "need at least one ResPlus block unless spatial module is ablated"
+        );
         assert!(self.plus_channels >= 1, "plus unit needs at least one channel");
     }
 }

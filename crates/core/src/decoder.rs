@@ -33,10 +33,7 @@ impl ReconstructedDecoder {
     /// Decode concatenated latents `[B, z_dim]` into `[B, C, H, W]`.
     pub fn forward<'t>(&self, s: &Session<'t>, z: Var<'t>) -> Var<'t> {
         let b = z.dims()[0];
-        self.fc
-            .forward(s, z)
-            .tanh()
-            .reshape(&[b, self.out_channels, self.height, self.width])
+        self.fc.forward(s, z).tanh().reshape(&[b, self.out_channels, self.height, self.width])
     }
 
     /// Decode from separate exclusive and interactive samples.

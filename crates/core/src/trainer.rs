@@ -2,20 +2,21 @@
 
 use crate::loss::LossTerms;
 use crate::model::MuseNet;
-use muse_nn::{clip_grad_norm, Adam, Optimizer, Session};
 use muse_autograd::Tape;
+use muse_nn::{clip_grad_norm, Adam, Optimizer, Session};
+use muse_obs::{self as obs, Json, ToJson};
 use muse_tensor::init::SeededRng;
 use muse_tensor::Tensor;
 use muse_traffic::subseries::{batch, SubSeriesSpec};
 use muse_traffic::FlowSeries;
-use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Training options.
 ///
 /// Paper settings: Adam, learning rate `2e-4`, batch 8, up to 350 epochs.
 /// The defaults here shorten the epoch budget to CPU scale; everything is
 /// overridable.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainerOptions {
     /// Number of passes over the training indices.
     pub epochs: usize,
@@ -50,20 +51,35 @@ impl Default for TrainerOptions {
 }
 
 /// Per-epoch training record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EpochRecord {
     /// Epoch index (0-based).
     pub epoch: usize,
-    /// Mean total loss over the epoch's batches.
+    /// Mean total loss over the epoch's *finite* batches.
     pub train_loss: f32,
     /// Mean regression component.
     pub train_regression: f32,
     /// Validation RMSE in scaled units (if a validation set was given).
     pub val_rmse: Option<f32>,
+    /// Batches skipped this epoch because the forward pass diverged
+    /// (non-finite loss). These do not contribute to the means above.
+    pub skipped_batches: usize,
+}
+
+impl ToJson for EpochRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("epoch", self.epoch.to_json()),
+            ("train_loss", self.train_loss.to_json()),
+            ("train_regression", self.train_regression.to_json()),
+            ("val_rmse", self.val_rmse.to_json()),
+            ("skipped_batches", self.skipped_batches.to_json()),
+        ])
+    }
 }
 
 /// Result of a training run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainReport {
     /// One record per completed epoch.
     pub epochs: Vec<EpochRecord>,
@@ -82,6 +98,22 @@ impl TrainReport {
     /// Mean training loss of the last epoch.
     pub fn last_loss(&self) -> f32 {
         self.epochs.last().map_or(f32::NAN, |e| e.train_loss)
+    }
+
+    /// Total diverged batches skipped across all epochs.
+    pub fn total_skipped_batches(&self) -> usize {
+        self.epochs.iter().map(|e| e.skipped_batches).sum()
+    }
+}
+
+impl ToJson for TrainReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("epochs", self.epochs.to_json()),
+            ("best_val_rmse", self.best_val_rmse.to_json()),
+            ("final_terms", self.final_terms.to_json()),
+            ("skipped_batches", self.total_skipped_batches().to_json()),
+        ])
     }
 }
 
@@ -130,29 +162,65 @@ impl Trainer {
         let mut since_best = 0usize;
         let mut best_snapshot: Option<Vec<Tensor>> = None;
 
+        let run = obs::next_run_id();
+        let opts = &self.options;
+        obs::emit_with("train.start", || {
+            vec![
+                ("run", run.to_json()),
+                ("epochs", opts.epochs.to_json()),
+                ("batch_size", opts.batch_size.to_json()),
+                ("learning_rate", opts.learning_rate.to_json()),
+                ("clip_norm", opts.clip_norm.to_json()),
+                ("shuffle_seed", opts.shuffle_seed.to_json()),
+                ("patience", opts.patience.to_json()),
+                ("max_batches_per_epoch", opts.max_batches_per_epoch.to_json()),
+                ("train_size", train_idx.len().to_json()),
+                ("val_size", val_idx.len().to_json()),
+            ]
+        });
+        let fit_start = Instant::now();
+
         for epoch in 0..self.options.epochs {
+            let epoch_start = Instant::now();
             let order = shuffle_rng.permutation(train_idx.len());
             let mut losses = Vec::new();
             let mut regs = Vec::new();
+            let mut term_sums = [0.0f64; 4]; // kl_ex, kl_in, reconstruction, pulling
+            let mut skipped = 0usize;
+            let mut samples = 0usize;
             let mut batch_count = 0usize;
             for chunk in order.chunks(self.options.batch_size) {
-                if self.options.max_batches_per_epoch > 0 && batch_count >= self.options.max_batches_per_epoch {
+                if self.options.max_batches_per_epoch > 0 && batch_count >= self.options.max_batches_per_epoch
+                {
                     break;
                 }
+                let batch_start = Instant::now();
                 let indices: Vec<usize> = chunk.iter().map(|&i| train_idx[i]).collect();
                 let b = batch(flows, spec, &indices);
                 let tape = Tape::new();
                 let s = Session::new(&tape);
                 let pass = self.model.train_graph(&s, &b);
                 if !pass.terms.is_finite() {
-                    // Skip a diverged batch rather than poisoning the run;
-                    // with clipping this should not occur, so surface it in
-                    // the record by recording an infinite loss.
-                    losses.push(f32::INFINITY);
+                    // Skip a diverged batch rather than poisoning the run:
+                    // it contributes to `skipped_batches`, never to the
+                    // epoch's loss means.
+                    skipped += 1;
+                    obs::emit_with("train.batch_skipped", || {
+                        vec![
+                            ("run", run.to_json()),
+                            ("epoch", epoch.to_json()),
+                            ("batch", batch_count.to_json()),
+                            ("terms", pass.terms.to_json()),
+                        ]
+                    });
                     continue;
                 }
                 losses.push(pass.terms.total);
                 regs.push(pass.terms.regression);
+                term_sums[0] += pass.terms.kl_exclusive as f64;
+                term_sums[1] += pass.terms.kl_interactive as f64;
+                term_sums[2] += pass.terms.reconstruction as f64;
+                term_sums[3] += pass.terms.pulling as f64;
                 report.final_terms = Some(pass.terms);
                 s.backward(pass.loss);
                 if self.options.clip_norm > 0.0 {
@@ -160,16 +228,43 @@ impl Trainer {
                 }
                 self.optimizer.step();
                 self.optimizer.zero_grad();
+                samples += indices.len();
+                obs::emit_with("train.batch", || {
+                    let secs = batch_start.elapsed().as_secs_f64().max(1e-9);
+                    vec![
+                        ("run", run.to_json()),
+                        ("epoch", epoch.to_json()),
+                        ("batch", batch_count.to_json()),
+                        ("size", indices.len().to_json()),
+                        ("terms", pass.terms.to_json()),
+                        ("duration_ms", (secs * 1e3).to_json()),
+                        ("samples_per_sec", (indices.len() as f64 / secs).to_json()),
+                    ]
+                });
                 batch_count += 1;
             }
             let train_loss = mean(&losses);
             let train_regression = mean(&regs);
-            let val_rmse = if val_idx.is_empty() {
-                None
-            } else {
-                Some(self.validation_rmse(flows, spec, val_idx))
-            };
-            report.epochs.push(EpochRecord { epoch, train_loss, train_regression, val_rmse });
+            let val_rmse =
+                if val_idx.is_empty() { None } else { Some(self.validation_rmse(flows, spec, val_idx)) };
+            let record =
+                EpochRecord { epoch, train_loss, train_regression, val_rmse, skipped_batches: skipped };
+            obs::emit_with("train.epoch", || {
+                let n = losses.len().max(1) as f64;
+                let secs = epoch_start.elapsed().as_secs_f64().max(1e-9);
+                vec![
+                    ("run", run.to_json()),
+                    ("record", record.to_json()),
+                    ("kl_exclusive", (term_sums[0] / n).to_json()),
+                    ("kl_interactive", (term_sums[1] / n).to_json()),
+                    ("reconstruction", (term_sums[2] / n).to_json()),
+                    ("pulling", (term_sums[3] / n).to_json()),
+                    ("batches", batch_count.to_json()),
+                    ("duration_ms", (secs * 1e3).to_json()),
+                    ("samples_per_sec", (samples as f64 / secs).to_json()),
+                ]
+            });
+            report.epochs.push(record);
 
             if let Some(v) = val_rmse {
                 if v < best {
@@ -179,6 +274,14 @@ impl Trainer {
                 } else {
                     since_best += 1;
                     if self.options.patience > 0 && since_best >= self.options.patience {
+                        obs::emit_with("train.early_stop", || {
+                            vec![
+                                ("run", run.to_json()),
+                                ("epoch", epoch.to_json()),
+                                ("best_val_rmse", best.to_json()),
+                                ("epochs_since_best", since_best.to_json()),
+                            ]
+                        });
                         break;
                     }
                 }
@@ -191,6 +294,16 @@ impl Trainer {
         if let Some(snap) = best_snapshot {
             muse_nn::restore(self.optimizer.params(), &snap);
         }
+        obs::emit_with("train.end", || {
+            vec![
+                ("run", run.to_json()),
+                ("epochs_run", report.epochs.len().to_json()),
+                ("best_val_rmse", report.best_val_rmse.to_json()),
+                ("skipped_batches", report.total_skipped_batches().to_json()),
+                ("final_terms", report.final_terms.to_json()),
+                ("duration_ms", (fit_start.elapsed().as_secs_f64() * 1e3).to_json()),
+            ]
+        });
         report
     }
 
@@ -234,13 +347,9 @@ fn mean(xs: &[f32]) -> f32 {
 // Local RMSE to avoid a dependency edge on muse-metrics from the core crate.
 fn muse_metrics_rmse(pred: &Tensor, truth: &Tensor) -> f32 {
     assert_eq!(pred.dims(), truth.dims(), "rmse shape mismatch");
-    let mse: f32 = pred
-        .as_slice()
-        .iter()
-        .zip(truth.as_slice())
-        .map(|(&p, &t)| (p - t) * (p - t))
-        .sum::<f32>()
-        / pred.len() as f32;
+    let mse: f32 =
+        pred.as_slice().iter().zip(truth.as_slice()).map(|(&p, &t)| (p - t) * (p - t)).sum::<f32>()
+            / pred.len() as f32;
     mse.sqrt()
 }
 
@@ -293,7 +402,12 @@ mod tests {
         );
         let report = trainer.fit(&flows, &cfg.spec, &train, &val);
         assert_eq!(report.epochs.len(), 6);
-        assert!(report.last_loss() < report.first_loss(), "{} -> {}", report.first_loss(), report.last_loss());
+        assert!(
+            report.last_loss() < report.first_loss(),
+            "{} -> {}",
+            report.first_loss(),
+            report.last_loss()
+        );
         assert!(report.best_val_rmse.is_some());
         assert!(report.final_terms.unwrap().is_finite());
     }
@@ -339,7 +453,8 @@ mod tests {
     #[test]
     fn predict_indices_matches_batched_shapes() {
         let (cfg, flows, train, _) = tiny_setup();
-        let trainer = Trainer::new(MuseNet::new(cfg.clone()), TrainerOptions { batch_size: 3, ..Default::default() });
+        let trainer =
+            Trainer::new(MuseNet::new(cfg.clone()), TrainerOptions { batch_size: 3, ..Default::default() });
         let preds = trainer.predict_indices(&flows, &cfg.spec, &train[..7]);
         assert_eq!(preds.dims(), &[7, 2, 3, 3]);
         let truths = stack_frames(&flows, &train[..7]);

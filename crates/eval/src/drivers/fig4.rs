@@ -60,11 +60,7 @@ pub fn run(preset: DatasetPreset, profile: &Profile, window: usize) -> Fig4Resul
             let model = fit_model(kind, &prepared, profile);
             let pred = model.predict_unscaled(&prepared, &indices);
             let values = citywide(&pred);
-            let curve_rmse = (values
-                .iter()
-                .zip(&truth)
-                .map(|(&p, &t)| (p - t) * (p - t))
-                .sum::<f32>()
+            let curve_rmse = (values.iter().zip(&truth).map(|(&p, &t)| (p - t) * (p - t)).sum::<f32>()
                 / truth.len() as f32)
                 .sqrt();
             Curve { name: model.name(), values, curve_rmse, is_ours: kind.is_ours() }

@@ -40,7 +40,8 @@ pub fn run(preset: DatasetPreset, profile: &Profile, n_samples: usize) -> Fig5Re
         &analysis.batch.trend,
         &analysis.reps,
     );
-    let tsne = Tsne { perplexity: (n_samples as f32 / 2.0).clamp(5.0, 30.0), iterations: 300, ..Default::default() };
+    let tsne =
+        Tsne { perplexity: (n_samples as f32 / 2.0).clamp(5.0, 30.0), iterations: 300, ..Default::default() };
     let emb = tsne.embed(&rows);
 
     // Silhouette of original groups: rows with label < 3, labels as-is.
@@ -84,13 +85,8 @@ impl fmt::Display for Fig5Result {
         writeln!(f, "  rows embedded: {}", self.embedding.len())?;
         let names = ["orig-C", "orig-P", "orig-T", "Z^C", "Z^P", "Z^T", "Z^S"];
         for (g, name) in names.iter().enumerate() {
-            let pts: Vec<&(f32, f32)> = self
-                .embedding
-                .iter()
-                .zip(&self.labels)
-                .filter(|(_, &l)| l == g)
-                .map(|(p, _)| p)
-                .collect();
+            let pts: Vec<&(f32, f32)> =
+                self.embedding.iter().zip(&self.labels).filter(|(_, &l)| l == g).map(|(p, _)| p).collect();
             if pts.is_empty() {
                 continue;
             }

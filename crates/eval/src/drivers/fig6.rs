@@ -31,11 +31,8 @@ impl Fig6Result {
 pub fn run(preset: DatasetPreset, profile: &Profile, n_samples: usize) -> Fig6Result {
     let analysis = train_and_represent(preset, profile, n_samples);
     let s_inter = self_similarity(&analysis.reps.interactive);
-    let sources = [
-        flatten(&analysis.batch.closeness),
-        flatten(&analysis.batch.period),
-        flatten(&analysis.batch.trend),
-    ];
+    let sources =
+        [flatten(&analysis.batch.closeness), flatten(&analysis.batch.period), flatten(&analysis.batch.trend)];
     let mut positive = [0.0f32; 3];
     let mut means = [0.0f32; 3];
     for (i, src) in sources.iter().enumerate() {

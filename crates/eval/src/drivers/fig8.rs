@@ -70,11 +70,7 @@ pub fn run(preset: DatasetPreset, profile: &Profile, window: usize) -> Fig8Resul
         .iter()
         .enumerate()
         .map(|(row, &interval)| {
-            let ex = s_excl
-                .iter()
-                .map(|s| row_correlation(s, &s_future, row))
-                .sum::<f32>()
-                / 3.0;
+            let ex = s_excl.iter().map(|s| row_correlation(s, &s_future, row)).sum::<f32>() / 3.0;
             let inter = row_correlation(&s_inter, &s_future, row);
             TimePoint { interval, peak: is_peak_slot(interval % f, f), exclusive: ex, interactive: inter }
         })

@@ -45,11 +45,8 @@ impl Fig9Result {
     /// 1.5 × min mean — "not sensitive").
     pub fn shapes_hold(&self) -> (bool, bool, bool) {
         let best_lambda = self.lambda.iter().map(|p| p.mean_rmse).fold(f32::INFINITY, f32::min);
-        let at_one = self
-            .lambda
-            .iter()
-            .find(|p| (p.value - 1.0).abs() < 1e-6)
-            .map_or(f32::INFINITY, |p| p.mean_rmse);
+        let at_one =
+            self.lambda.iter().find(|p| (p.value - 1.0).abs() < 1e-6).map_or(f32::INFINITY, |p| p.mean_rmse);
         let lambda_ok = at_one <= best_lambda * 1.2;
         let flat = |pts: &[SweepPoint]| {
             let lo = pts.iter().map(|p| p.mean_rmse).fold(f32::INFINITY, f32::min);
@@ -114,7 +111,8 @@ fn sweep_point(
         cfg.validate();
         let mut trainer = Trainer::new(MuseNet::new(cfg), profile.trainer_options());
         trainer.fit(&prepared.scaled, &prepared.spec, &prepared.split.train, &prepared.split.val);
-        let pred = prepared.scaler.unscale(&trainer.predict_indices(&prepared.scaled, &prepared.spec, &eval_idx));
+        let pred =
+            prepared.scaler.unscale(&trainer.predict_indices(&prepared.scaled, &prepared.spec, &eval_idx));
         let (out, _) = channel_errors(&pred, &truth);
         rmses.push(out.rmse);
     }

@@ -4,7 +4,6 @@
 //! numbers.
 
 pub mod fig1;
-pub mod figutil;
 pub mod fig2;
 pub mod fig4;
 pub mod fig5;
@@ -12,6 +11,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod figutil;
 pub mod table1;
 pub mod table2;
 pub mod table3;

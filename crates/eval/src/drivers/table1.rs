@@ -33,10 +33,8 @@ pub fn run() -> Table1Result {
         .iter()
         .map(|e| (e.method.to_string(), e.class.to_string(), e.time.to_string(), e.space.to_string()))
         .collect();
-    let estimates = entries
-        .iter()
-        .map(|e| (e.method.to_string(), estimate(e.method, L, D, M, M * M).time_ops))
-        .collect();
+    let estimates =
+        entries.iter().map(|e| (e.method.to_string(), estimate(e.method, L, D, M, M * M).time_ops)).collect();
     let (beats_gman, beats_dmstgcn_dense) = muse_wins_against(L, D, M, M * M);
     Table1Result { rows, estimates, beats_gman, beats_dmstgcn_dense }
 }

@@ -36,11 +36,7 @@ impl DatasetTable {
 
     /// Best (lowest) baseline value of metric `i`.
     pub fn best_baseline(&self, i: usize) -> f32 {
-        self.rows
-            .iter()
-            .filter(|r| !r.is_ours)
-            .map(|r| r.metrics[i])
-            .fold(f32::INFINITY, f32::min)
+        self.rows.iter().filter(|r| !r.is_ours).map(|r| r.metrics[i]).fold(f32::INFINITY, f32::min)
     }
 }
 
@@ -96,11 +92,8 @@ pub fn run(set: EvalSet, profile: &Profile) -> Table2Result {
             let ours = rows.iter().find(|r| r.is_ours).expect("ours in lineup").clone();
             let mut improvement = [0.0f32; 6];
             for (i, slot) in improvement.iter_mut().enumerate() {
-                let best = rows
-                    .iter()
-                    .filter(|r| !r.is_ours)
-                    .map(|r| r.metrics[i])
-                    .fold(f32::INFINITY, f32::min);
+                let best =
+                    rows.iter().filter(|r| !r.is_ours).map(|r| r.metrics[i]).fold(f32::INFINITY, f32::min);
                 *slot = improvement_percent(best, ours.metrics[i]);
             }
             DatasetTable { dataset: preset.name().to_string(), rows, improvement }

@@ -44,11 +44,8 @@ impl Table3Result {
             let mut prev = 0.0f32;
             for (h, rows) in d.horizons.iter().enumerate() {
                 let ours = rows.iter().find(|r| r.is_ours).expect("ours");
-                let best_other = rows
-                    .iter()
-                    .filter(|r| !r.is_ours)
-                    .map(|r| r.metrics[0])
-                    .fold(f32::INFINITY, f32::min);
+                let best_other =
+                    rows.iter().filter(|r| !r.is_ours).map(|r| r.metrics[0]).fold(f32::INFINITY, f32::min);
                 if ours.metrics[0] > best_other {
                     wins = false;
                 }

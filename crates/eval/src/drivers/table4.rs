@@ -63,7 +63,12 @@ pub fn masked_comparison(
                     _ => [f32::NAN; 4],
                 }
             };
-            MaskedRow { name: model.name(), masked: stats(mask), unmasked: stats(&inverse), is_ours: kind.is_ours() }
+            MaskedRow {
+                name: model.name(),
+                masked: stats(mask),
+                unmasked: stats(&inverse),
+                is_ours: kind.is_ours(),
+            }
         })
         .collect()
 }
@@ -84,8 +89,10 @@ impl Table4Result {
         for d in &self.datasets {
             let ours = d.rows.iter().find(|r| r.is_ours).expect("ours");
             for i in [0usize, 2] {
-                let best_m = d.rows.iter().filter(|r| !r.is_ours).map(|r| r.masked[i]).fold(f32::INFINITY, f32::min);
-                let best_u = d.rows.iter().filter(|r| !r.is_ours).map(|r| r.unmasked[i]).fold(f32::INFINITY, f32::min);
+                let best_m =
+                    d.rows.iter().filter(|r| !r.is_ours).map(|r| r.masked[i]).fold(f32::INFINITY, f32::min);
+                let best_u =
+                    d.rows.iter().filter(|r| !r.is_ours).map(|r| r.unmasked[i]).fold(f32::INFINITY, f32::min);
                 if ours.masked[i] > best_m || ours.unmasked[i] > best_u {
                     wins = false;
                 }

@@ -19,8 +19,10 @@ impl Table5Result {
         self.datasets.iter().all(|d| {
             let ours = d.rows.iter().find(|r| r.is_ours).expect("ours");
             [0usize, 2].iter().all(|&i| {
-                let best_m = d.rows.iter().filter(|r| !r.is_ours).map(|r| r.masked[i]).fold(f32::INFINITY, f32::min);
-                let best_u = d.rows.iter().filter(|r| !r.is_ours).map(|r| r.unmasked[i]).fold(f32::INFINITY, f32::min);
+                let best_m =
+                    d.rows.iter().filter(|r| !r.is_ours).map(|r| r.masked[i]).fold(f32::INFINITY, f32::min);
+                let best_u =
+                    d.rows.iter().filter(|r| !r.is_ours).map(|r| r.unmasked[i]).fold(f32::INFINITY, f32::min);
                 ours.masked[i] <= best_m && ours.unmasked[i] <= best_u
             })
         })
@@ -35,11 +37,8 @@ pub fn run(set: EvalSet, profile: &Profile) -> Table5Result {
         .map(|preset| {
             let prepared = prepare(preset, profile);
             let eval_idx = prepared.eval_indices(profile);
-            let mask = weekday_mask(
-                &eval_idx,
-                prepared.dataset.intervals_per_day,
-                prepared.dataset.start_weekday,
-            );
+            let mask =
+                weekday_mask(&eval_idx, prepared.dataset.intervals_per_day, prepared.dataset.start_weekday);
             let rows = masked_comparison(&prepared, profile, &mask, ("Weekday", "Weekend"));
             MaskedTable {
                 dataset: preset.name().to_string(),

@@ -50,10 +50,7 @@ impl Table6Result {
     pub fn every_ablation_degrades(&self) -> bool {
         self.datasets.iter().all(|d| {
             let full = d.full().metrics[0];
-            d.rows
-                .iter()
-                .filter(|r| r.variant != AblationVariant::Full)
-                .all(|r| r.metrics[0] >= full)
+            d.rows.iter().filter(|r| r.variant != AblationVariant::Full).all(|r| r.metrics[0] >= full)
         })
     }
 

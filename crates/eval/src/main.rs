@@ -17,10 +17,12 @@
 //!   --epochs <n>   override training epochs
 //!   --seed <n>     override master seed
 //!   --out <dir>    also write each artifact to <dir>/<experiment>.txt
+//!   --trace <p>    write a JSONL telemetry trace to <p> (same as MUSE_OBS=<p>)
 //! ```
 
 use muse_eval::drivers;
 use muse_eval::runner::{EvalSet, Profile};
+use muse_obs::{self as obs, Json, ToJson};
 use muse_traffic::dataset::DatasetPreset;
 use std::io::Write;
 use std::path::PathBuf;
@@ -30,6 +32,7 @@ struct Args {
     profile: Profile,
     dataset: Option<DatasetPreset>,
     out: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
     let mut profile = Profile::quick();
     let mut dataset = None;
     let mut out = None;
+    let mut trace = None;
     let mut scale: Option<f32> = None;
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -68,18 +72,23 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--out needs a value")?;
                 out = Some(PathBuf::from(v));
             }
+            "--trace" => {
+                let v = argv.next().ok_or("--trace needs a value")?;
+                trace = Some(PathBuf::from(v));
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
     if let Some(s) = scale {
         profile = profile.scaled(s);
     }
-    Ok(Args { experiment, profile, dataset, out })
+    Ok(Args { experiment, profile, dataset, out, trace })
 }
 
 fn usage() -> String {
     "usage: muse-eval <table1|table2|table3|table4|table5|table6|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|all> \
-     [--quick|--standard] [--scale f] [--dataset nyc-bike|nyc-taxi|taxibj] [--epochs n] [--seed n] [--out dir]"
+     [--quick|--standard] [--scale f] [--dataset nyc-bike|nyc-taxi|taxibj] [--epochs n] [--seed n] [--out dir] \
+     [--trace path.jsonl]"
         .to_string()
 }
 
@@ -91,10 +100,20 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let tracing = match &args.trace {
+        Some(path) => match obs::open_trace(path) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("cannot open trace {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        },
+        None => obs::init_from_env(),
+    };
     let experiments: Vec<String> = if args.experiment == "all" {
         [
-            "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig4",
-            "fig5", "fig6", "fig7", "fig8", "fig9",
+            "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig4", "fig5",
+            "fig6", "fig7", "fig8", "fig9",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -102,11 +121,30 @@ fn main() {
     } else {
         vec![args.experiment.clone()]
     };
+    if tracing {
+        obs::emit(
+            "run.manifest",
+            vec![
+                ("experiments", Json::Arr(experiments.iter().map(|e| e.to_json()).collect())),
+                ("profile", profile_json(&args.profile)),
+                ("dataset", args.dataset.map(|p| format!("{p:?}")).as_deref().unwrap_or("all").to_json()),
+            ],
+        );
+    }
     for exp in experiments {
         let started = std::time::Instant::now();
         let output = run_experiment(&exp, &args);
         println!("{output}");
         eprintln!("[{exp}] finished in {:.1}s", started.elapsed().as_secs_f32());
+        if tracing {
+            obs::emit(
+                "eval.experiment",
+                vec![
+                    ("experiment", exp.to_json()),
+                    ("duration_s", f64::from(started.elapsed().as_secs_f32()).to_json()),
+                ],
+            );
+        }
         if let Some(dir) = &args.out {
             std::fs::create_dir_all(dir).expect("create output dir");
             let path = dir.join(format!("{exp}.txt"));
@@ -115,6 +153,30 @@ fn main() {
             eprintln!("[{exp}] wrote {}", path.display());
         }
     }
+    if tracing {
+        obs::emit("kernel.summary", vec![("metrics", obs::snapshot())]);
+        if let Some(path) = obs::close_trace() {
+            eprintln!("[trace] wrote {}", path.display());
+        }
+    }
+}
+
+/// Serialize the eval profile for the `run.manifest` trace event.
+fn profile_json(p: &Profile) -> Json {
+    Json::obj([
+        ("scale", f64::from(p.scale).to_json()),
+        ("epochs", p.epochs.to_json()),
+        ("batch_size", p.batch_size.to_json()),
+        ("d", p.d.to_json()),
+        ("k", p.k.to_json()),
+        ("hidden", p.hidden.to_json()),
+        ("channels", p.channels.to_json()),
+        ("musenet_lr", f64::from(p.musenet_lr).to_json()),
+        ("baseline_lr", f64::from(p.baseline_lr).to_json()),
+        ("max_batches", p.max_batches.to_json()),
+        ("max_eval", p.max_eval.to_json()),
+        ("seed", p.seed.to_json()),
+    ])
 }
 
 fn run_experiment(exp: &str, args: &Args) -> String {

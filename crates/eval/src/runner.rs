@@ -292,27 +292,48 @@ pub fn fit_model(kind: ModelKind, prepared: &Prepared, profile: &Profile) -> Fit
             FittedModel::Naive(Box::new(m))
         }
         ModelKind::Rnn => {
-            let mut m = RnnForecaster::new(grid, spec, profile.hidden, profile.seed + 1, profile.fit_options());
+            let mut m =
+                RnnForecaster::new(grid, spec, profile.hidden, profile.seed + 1, profile.fit_options());
             m.fit(scaled, spec, train, val);
             FittedModel::Neural(Box::new(m))
         }
         ModelKind::Seq2Seq => {
-            let mut m = Seq2SeqForecaster::new(grid, spec, profile.hidden, profile.seed + 2, profile.fit_options());
+            let mut m =
+                Seq2SeqForecaster::new(grid, spec, profile.hidden, profile.seed + 2, profile.fit_options());
             m.fit(scaled, spec, train, val);
             FittedModel::Neural(Box::new(m))
         }
         ModelKind::DeepStn => {
-            let mut m = DeepStnForecaster::new(grid, spec, profile.channels, 2, profile.seed + 3, profile.fit_options());
+            let mut m = DeepStnForecaster::new(
+                grid,
+                spec,
+                profile.channels,
+                2,
+                profile.seed + 3,
+                profile.fit_options(),
+            );
             m.fit(scaled, spec, train, val);
             FittedModel::Neural(Box::new(m))
         }
         ModelKind::StgspLite => {
-            let mut m = StgspLiteForecaster::new(grid, spec, profile.channels, profile.seed + 4, profile.fit_options());
+            let mut m = StgspLiteForecaster::new(
+                grid,
+                spec,
+                profile.channels,
+                profile.seed + 4,
+                profile.fit_options(),
+            );
             m.fit(scaled, spec, train, val);
             FittedModel::Neural(Box::new(m))
         }
         ModelKind::StNormLite => {
-            let mut m = StNormLiteForecaster::new(grid, spec, profile.channels, profile.seed + 5, profile.fit_options());
+            let mut m = StNormLiteForecaster::new(
+                grid,
+                spec,
+                profile.channels,
+                profile.seed + 5,
+                profile.fit_options(),
+            );
             m.fit(scaled, spec, train, val);
             FittedModel::Neural(Box::new(m))
         }
@@ -365,7 +386,13 @@ pub fn rollout(
             let t_frames: Vec<Tensor> = spec.trend_lags().iter().map(|&l| flows.frame(target - l)).collect();
             let t_refs: Vec<&Tensor> = t_frames.iter().collect();
             let trend = Tensor::concat(&t_refs, 0).unsqueeze(0);
-            let b = muse_traffic::Batch { closeness, period, trend, target: Tensor::zeros(&[1, 2, flows.grid().height, flows.grid().width]), indices: vec![target] };
+            let b = muse_traffic::Batch {
+                closeness,
+                period,
+                trend,
+                target: Tensor::zeros(&[1, 2, flows.grid().height, flows.grid().width]),
+                indices: vec![target],
+            };
             let pred = model.predict_batch(&b);
             let frame = pred.index_axis0(0);
             predicted.push(frame.clone());

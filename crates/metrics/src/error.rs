@@ -42,24 +42,16 @@ fn check_shapes(pred: &Tensor, truth: &Tensor) {
 /// Root mean squared error.
 pub fn rmse(pred: &Tensor, truth: &Tensor) -> f32 {
     check_shapes(pred, truth);
-    let mse: f32 = pred
-        .as_slice()
-        .iter()
-        .zip(truth.as_slice())
-        .map(|(&p, &t)| (p - t) * (p - t))
-        .sum::<f32>()
-        / pred.len() as f32;
+    let mse: f32 =
+        pred.as_slice().iter().zip(truth.as_slice()).map(|(&p, &t)| (p - t) * (p - t)).sum::<f32>()
+            / pred.len() as f32;
     mse.sqrt()
 }
 
 /// Mean absolute error.
 pub fn mae(pred: &Tensor, truth: &Tensor) -> f32 {
     check_shapes(pred, truth);
-    pred.as_slice()
-        .iter()
-        .zip(truth.as_slice())
-        .map(|(&p, &t)| (p - t).abs())
-        .sum::<f32>()
+    pred.as_slice().iter().zip(truth.as_slice()).map(|(&p, &t)| (p - t).abs()).sum::<f32>()
         / pred.len() as f32
 }
 

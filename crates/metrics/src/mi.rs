@@ -41,12 +41,13 @@ pub fn gaussian_mi(x: &Tensor, y: &Tensor, ridge: f32, seed: u64) -> MiEstimate 
     // maximal correlation. Each half-step is a ridge regression of the
     // current partner score onto the other view.
     let mut rng = SeededRng::new(seed);
-    let mut bx = Tensor::rand_normal(&mut rng, &[x.dims()[1]], 0.0, 1.0);
+    // Only `by` needs a random starting direction; `bx` is derived from it
+    // in the first half-step.
     let mut by = Tensor::rand_normal(&mut rng, &[y.dims()[1]], 0.0, 1.0);
     let mut rho = 0.0f32;
     for _ in 0..30 {
         let sy = normalize_scores(&yc.matvec(&by));
-        bx = ridge_regress(&xc, &sy, ridge);
+        let bx = ridge_regress(&xc, &sy, ridge);
         let sx = normalize_scores(&xc.matvec(&bx));
         by = ridge_regress(&yc, &sx, ridge);
         let sy2 = normalize_scores(&yc.matvec(&by));
@@ -171,9 +172,8 @@ mod tests {
             let s = rng.normal();
             (vec![s, rng.normal()], vec![0.4 * s + rng.normal(), rng.normal()])
         });
-        let none = samples(5, 300, |rng| {
-            (vec![rng.normal(), rng.normal()], vec![rng.normal(), rng.normal()])
-        });
+        let none =
+            samples(5, 300, |rng| (vec![rng.normal(), rng.normal()], vec![rng.normal(), rng.normal()]));
         let mi = |p: &(Tensor, Tensor)| gaussian_mi(&p.0, &p.1, 0.05, 0).mi_nats;
         let (s, w, z) = (mi(&strong), mi(&weak), mi(&none));
         assert!(s > w && w > z, "ranking broken: strong {s}, weak {w}, none {z}");

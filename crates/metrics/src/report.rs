@@ -23,7 +23,13 @@ impl Table {
 
     /// Append a row (must match the header width).
     pub fn add_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.header.len(), "row width {} != header width {}", cells.len(), self.header.len());
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
         self.rows.push(cells);
     }
 

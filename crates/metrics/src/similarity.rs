@@ -42,9 +42,7 @@ pub fn cosine_similarity_diagonal(a: &Tensor, b: &Tensor) -> Vec<f32> {
     assert_eq!(a.dims(), b.dims(), "diagonal similarity needs aligned shapes");
     let (n, d) = (a.dims()[0], a.dims()[1]);
     let (av, bv) = (a.as_slice(), b.as_slice());
-    (0..n)
-        .map(|i| cosine_similarity(&av[i * d..(i + 1) * d], &bv[i * d..(i + 1) * d]))
-        .collect()
+    (0..n).map(|i| cosine_similarity(&av[i * d..(i + 1) * d], &bv[i * d..(i + 1) * d])).collect()
 }
 
 /// Fraction of entries in a similarity matrix that are positive — the

@@ -1,99 +1,117 @@
-//! Property tests for the metrics crate.
+//! Property-style tests for the metrics crate, swept deterministically with
+//! the in-tree [`SeededRng`].
 
 use muse_metrics::error::{improvement_percent, mae, mape, rmse};
 use muse_metrics::similarity::{cosine_similarity, cosine_similarity_matrix};
 use muse_metrics::tsne::silhouette_score;
 use muse_tensor::init::SeededRng;
 use muse_tensor::Tensor;
-use proptest::prelude::*;
 
 fn rand_pair(seed: u64, n: usize) -> (Tensor, Tensor) {
     let mut rng = SeededRng::new(seed);
-    (
-        Tensor::rand_uniform(&mut rng, &[n], 0.0, 20.0),
-        Tensor::rand_uniform(&mut rng, &[n], 0.0, 20.0),
-    )
+    (Tensor::rand_uniform(&mut rng, &[n], 0.0, 20.0), Tensor::rand_uniform(&mut rng, &[n], 0.0, 20.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// RMSE dominates MAE (Jensen) and both are non-negative.
-    #[test]
-    fn rmse_ge_mae(seed in 0u64..10_000, n in 1usize..40) {
+/// RMSE dominates MAE (Jensen) and both are non-negative.
+#[test]
+fn rmse_ge_mae() {
+    for seed in 0..48u64 {
+        let n = 1 + SeededRng::new(seed ^ 0xAB).index(39);
         let (p, t) = rand_pair(seed, n);
         let r = rmse(&p, &t);
         let m = mae(&p, &t);
-        prop_assert!(r >= m - 1e-5, "rmse {r} < mae {m}");
-        prop_assert!(m >= 0.0);
+        assert!(r >= m - 1e-5, "seed {seed}: rmse {r} < mae {m}");
+        assert!(m >= 0.0, "seed {seed}");
     }
+}
 
-    /// Metrics are symmetric in (pred, truth) for RMSE/MAE.
-    #[test]
-    fn rmse_mae_symmetric(seed in 0u64..10_000, n in 1usize..40) {
+/// Metrics are symmetric in (pred, truth) for RMSE/MAE.
+#[test]
+fn rmse_mae_symmetric() {
+    for seed in 0..48u64 {
+        let n = 1 + SeededRng::new(seed ^ 0xCD).index(39);
         let (p, t) = rand_pair(seed, n);
-        prop_assert!((rmse(&p, &t) - rmse(&t, &p)).abs() < 1e-5);
-        prop_assert!((mae(&p, &t) - mae(&t, &p)).abs() < 1e-5);
+        assert!((rmse(&p, &t) - rmse(&t, &p)).abs() < 1e-5, "seed {seed}");
+        assert!((mae(&p, &t) - mae(&t, &p)).abs() < 1e-5, "seed {seed}");
     }
+}
 
-    /// Scaling both prediction and truth scales RMSE/MAE linearly.
-    #[test]
-    fn metric_scale_equivariance(seed in 0u64..10_000, c in 0.1f32..5.0) {
+/// Scaling both prediction and truth scales RMSE/MAE linearly.
+#[test]
+fn metric_scale_equivariance() {
+    for seed in 0..48u64 {
+        let c = SeededRng::new(seed ^ 0xEF).uniform(0.1, 5.0);
         let (p, t) = rand_pair(seed, 20);
         let r1 = rmse(&p, &t) * c;
         let r2 = rmse(&p.mul_scalar(c), &t.mul_scalar(c));
-        prop_assert!((r1 - r2).abs() < 1e-3 * r1.max(1.0));
+        assert!((r1 - r2).abs() < 1e-3 * r1.max(1.0), "seed {seed} c={c}");
     }
+}
 
-    /// MAPE is scale-invariant (per-element relative error).
-    #[test]
-    fn mape_scale_invariance(seed in 0u64..10_000, c in 0.5f32..5.0) {
+/// MAPE is scale-invariant (per-element relative error).
+#[test]
+fn mape_scale_invariance() {
+    for seed in 0..48u64 {
         let mut rng = SeededRng::new(seed);
+        let c = rng.uniform(0.5, 5.0);
         // Keep truth above the threshold so scaling doesn't change the mask.
         let t = Tensor::rand_uniform(&mut rng, &[20], 2.0, 20.0);
         let p = Tensor::rand_uniform(&mut rng, &[20], 2.0, 20.0);
         let m1 = mape(&p, &t);
         let m2 = mape(&p.mul_scalar(c), &t.mul_scalar(c));
-        prop_assert!((m1 - m2).abs() < 1e-2, "{m1} vs {m2}");
+        assert!((m1 - m2).abs() < 1e-2, "seed {seed}: {m1} vs {m2}");
     }
+}
 
-    /// Cosine similarity is bounded and symmetric.
-    #[test]
-    fn cosine_bounded_symmetric(seed in 0u64..10_000, n in 1usize..20) {
+/// Cosine similarity is bounded and symmetric.
+#[test]
+fn cosine_bounded_symmetric() {
+    for seed in 0..48u64 {
         let mut rng = SeededRng::new(seed);
+        let n = 1 + rng.index(19);
         let a: Vec<f32> = (0..n).map(|_| rng.uniform(-3.0, 3.0)).collect();
         let b: Vec<f32> = (0..n).map(|_| rng.uniform(-3.0, 3.0)).collect();
         let s = cosine_similarity(&a, &b);
-        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&s));
-        prop_assert!((s - cosine_similarity(&b, &a)).abs() < 1e-6);
+        assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&s), "seed {seed}: {s}");
+        assert!((s - cosine_similarity(&b, &a)).abs() < 1e-6, "seed {seed}");
     }
+}
 
-    /// The cosine matrix diagonal of self-similarity is 1 for non-zero rows.
-    #[test]
-    fn cosine_matrix_diag(seed in 0u64..10_000) {
+/// The cosine matrix diagonal of self-similarity is 1 for non-zero rows.
+#[test]
+fn cosine_matrix_diag() {
+    for seed in 0..48u64 {
         let mut rng = SeededRng::new(seed);
         let x = Tensor::rand_uniform(&mut rng, &[5, 4], 0.5, 2.0);
         let m = cosine_similarity_matrix(&x, &x);
         for i in 0..5 {
-            prop_assert!((m.at(&[i, i]) - 1.0).abs() < 1e-5);
+            assert!((m.at(&[i, i]) - 1.0).abs() < 1e-5, "seed {seed} row {i}");
         }
     }
+}
 
-    /// Improvement percent is positive iff ours < baseline.
-    #[test]
-    fn improvement_sign(baseline in 0.1f32..100.0, ours in 0.1f32..100.0) {
-        let imp = improvement_percent(baseline, ours);
-        prop_assert_eq!(imp > 0.0, ours < baseline);
-    }
-
-    /// Silhouette is bounded in [-1, 1] for random labelled points.
-    #[test]
-    fn silhouette_bounded(seed in 0u64..10_000, n_per in 2usize..8) {
+/// Improvement percent is positive iff ours < baseline.
+#[test]
+fn improvement_sign() {
+    for seed in 0..96u64 {
         let mut rng = SeededRng::new(seed);
+        let baseline = rng.uniform(0.1, 100.0);
+        let ours = rng.uniform(0.1, 100.0);
+        let imp = improvement_percent(baseline, ours);
+        assert_eq!(imp > 0.0, ours < baseline, "seed {seed}: base {baseline} ours {ours}");
+    }
+}
+
+/// Silhouette is bounded in [-1, 1] for random labelled points.
+#[test]
+fn silhouette_bounded() {
+    for seed in 0..48u64 {
+        let mut rng = SeededRng::new(seed);
+        let n_per = 2 + rng.index(6);
         let n = 2 * n_per;
         let emb = Tensor::rand_uniform(&mut rng, &[n, 2], -5.0, 5.0);
         let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
         let s = silhouette_score(&emb, &labels);
-        prop_assert!((-1.0..=1.0).contains(&s), "silhouette {s}");
+        assert!((-1.0..=1.0).contains(&s), "seed {seed}: silhouette {s}");
     }
 }

@@ -92,7 +92,11 @@ impl Conv2dLayer {
         let fan_in = spec.in_channels * spec.kernel.0 * spec.kernel.1;
         let weight = Param::new(
             format!("conv.w[{}x{}x{}x{}]", spec.out_channels, spec.in_channels, spec.kernel.0, spec.kernel.1),
-            Tensor::he_normal(rng, &[spec.out_channels, spec.in_channels, spec.kernel.0, spec.kernel.1], fan_in),
+            Tensor::he_normal(
+                rng,
+                &[spec.out_channels, spec.in_channels, spec.kernel.0, spec.kernel.1],
+                fan_in,
+            ),
         );
         let bias = Param::new(format!("conv.b[{}]", spec.out_channels), Tensor::zeros(&[spec.out_channels]));
         Conv2dLayer { spec, weight, bias }
@@ -140,10 +144,7 @@ impl Mlp {
         output_activation: Activation,
     ) -> Self {
         assert!(widths.len() >= 2, "Mlp needs at least [in, out] widths");
-        let layers = widths
-            .windows(2)
-            .map(|w| Linear::new(rng, w[0], w[1]))
-            .collect();
+        let layers = widths.windows(2).map(|w| Linear::new(rng, w[0], w[1])).collect();
         Mlp { layers, hidden_activation, output_activation }
     }
 
@@ -152,11 +153,7 @@ impl Mlp {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             x = layer.forward(s, x);
-            x = if i == last {
-                self.output_activation.apply(x)
-            } else {
-                self.hidden_activation.apply(x)
-            };
+            x = if i == last { self.output_activation.apply(x) } else { self.hidden_activation.apply(x) };
         }
         x
     }

@@ -2,6 +2,7 @@
 //! clipping.
 
 use crate::param::ParamRef;
+use muse_obs as obs;
 use muse_tensor::Tensor;
 
 /// Common optimizer interface: owns its parameter list and per-parameter
@@ -109,11 +110,8 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, m), v) in self
-            .params
-            .iter()
-            .zip(self.first_moment.iter_mut())
-            .zip(self.second_moment.iter_mut())
+        for ((p, m), v) in
+            self.params.iter().zip(self.first_moment.iter_mut()).zip(self.second_moment.iter_mut())
         {
             let g = p.grad();
             // m = b1 m + (1-b1) g
@@ -159,12 +157,23 @@ pub fn clip_grad_norm(params: &[ParamRef], max_norm: f32) -> f32 {
         total += g.as_slice().iter().map(|&x| x * x).sum::<f32>();
     }
     let norm = total.sqrt();
-    if norm > max_norm && norm > 0.0 {
+    let clipped_norm = if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params {
             let clipped = p.grad().mul_scalar(scale);
             p.zero_grad();
             p.accumulate_grad(&clipped);
+        }
+        max_norm
+    } else {
+        norm
+    };
+    if obs::enabled() {
+        obs::gauge("nn.grad_norm.pre_clip").set(norm as f64);
+        obs::gauge("nn.grad_norm.post_clip").set(clipped_norm as f64);
+        obs::histogram("nn.grad_norm").record(norm as f64);
+        if norm > max_norm {
+            obs::counter("nn.grad_clip.clipped").add(1);
         }
     }
     norm
@@ -241,13 +250,13 @@ mod tests {
     fn clip_grad_norm_scales_down() {
         let p = Param::new("w", Tensor::zeros(&[2]));
         p.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0], &[2])); // norm 5
-        let before = clip_grad_norm(&[p.clone()], 1.0);
+        let before = clip_grad_norm(std::slice::from_ref(&p), 1.0);
         assert!((before - 5.0).abs() < 1e-5);
         assert!((p.grad().norm() - 1.0).abs() < 1e-5);
         // Already-small gradients untouched.
         let q = Param::new("q", Tensor::zeros(&[2]));
         q.accumulate_grad(&Tensor::from_vec(vec![0.1, 0.1], &[2]));
-        let n = clip_grad_norm(&[q.clone()], 1.0);
+        let n = clip_grad_norm(std::slice::from_ref(&q), 1.0);
         assert!(n < 1.0);
         assert!((q.grad().as_slice()[0] - 0.1).abs() < 1e-6);
     }

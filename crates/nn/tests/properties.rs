@@ -1,18 +1,19 @@
-//! Property tests for the NN layer: optimizer behaviour and layer
-//! gradients on random problems.
+//! Property-style tests for the NN layer, swept deterministically with the
+//! in-tree [`SeededRng`]: optimizer behaviour and layer gradients on random
+//! problems.
 
 use muse_autograd::Tape;
 use muse_nn::{Adam, Linear, Optimizer, Param, Session, Sgd};
 use muse_tensor::init::SeededRng;
 use muse_tensor::Tensor;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// SGD on a convex quadratic converges for any target in range.
-    #[test]
-    fn sgd_converges_on_any_quadratic(t1 in -3.0f32..3.0, t2 in -3.0f32..3.0) {
+/// SGD on a convex quadratic converges for any target in range.
+#[test]
+fn sgd_converges_on_any_quadratic() {
+    for seed in 0..16u64 {
+        let mut rng = SeededRng::new(seed);
+        let t1 = rng.uniform(-3.0, 3.0);
+        let t2 = rng.uniform(-3.0, 3.0);
         let p = Param::new("w", Tensor::zeros(&[1, 2]));
         let target = Tensor::from_vec(vec![t1, t2], &[1, 2]);
         let mut opt = Sgd::new(vec![p.clone()], 0.3);
@@ -25,13 +26,14 @@ proptest! {
             opt.step();
             opt.zero_grad();
         }
-        prop_assert!(p.value().max_abs_diff(&target) < 0.05);
+        assert!(p.value().max_abs_diff(&target) < 0.05, "seed {seed} target ({t1},{t2})");
     }
+}
 
-    /// Adam never produces non-finite parameters on bounded random
-    /// gradients.
-    #[test]
-    fn adam_stays_finite(seed in 0u64..10_000) {
+/// Adam never produces non-finite parameters on bounded random gradients.
+#[test]
+fn adam_stays_finite() {
+    for seed in 0..16u64 {
         let mut rng = SeededRng::new(seed);
         let p = Param::new("w", Tensor::zeros(&[8]));
         let mut opt = Adam::with_defaults(vec![p.clone()], 0.01);
@@ -40,12 +42,14 @@ proptest! {
             opt.step();
             opt.zero_grad();
         }
-        prop_assert!(p.value().all_finite());
+        assert!(p.value().all_finite(), "seed {seed}");
     }
+}
 
-    /// A linear layer's gradient w.r.t. its weight equals x^T g.
-    #[test]
-    fn linear_weight_gradient_identity(seed in 0u64..10_000) {
+/// A linear layer's gradient w.r.t. its weight equals x^T g.
+#[test]
+fn linear_weight_gradient_identity() {
+    for seed in 0..16u64 {
         let mut rng = SeededRng::new(seed);
         let layer = Linear::new(&mut rng, 3, 2);
         let x = Tensor::rand_uniform(&mut rng, &[4, 3], -1.0, 1.0);
@@ -58,30 +62,35 @@ proptest! {
         // dL/dW for sum-loss is x^T . ones(4,2).
         let expected = x.transpose2().matmul(&Tensor::ones(&[4, 2]));
         let got = layer.params()[0].grad();
-        prop_assert!(got.approx_eq(&expected, 1e-4));
+        assert!(got.approx_eq(&expected, 1e-4), "seed {seed}");
     }
+}
 
-    /// Gradient clipping bounds the global norm and preserves direction.
-    #[test]
-    fn clipping_preserves_direction(seed in 0u64..10_000, max_norm in 0.1f32..3.0) {
+/// Gradient clipping bounds the global norm and preserves direction.
+#[test]
+fn clipping_preserves_direction() {
+    for seed in 0..16u64 {
         let mut rng = SeededRng::new(seed);
+        let max_norm = rng.uniform(0.1, 3.0);
         let p = Param::new("w", Tensor::zeros(&[6]));
         let g = Tensor::rand_uniform(&mut rng, &[6], -5.0, 5.0);
         p.accumulate_grad(&g);
         let before = p.grad();
-        muse_nn::clip_grad_norm(&[p.clone()], max_norm);
+        muse_nn::clip_grad_norm(std::slice::from_ref(&p), max_norm);
         let after = p.grad();
-        prop_assert!(after.norm() <= max_norm + 1e-4);
+        assert!(after.norm() <= max_norm + 1e-4, "seed {seed}");
         // Direction preserved: after = c * before for some c > 0.
         if before.norm() > 1e-6 {
             let c = after.norm() / before.norm();
-            prop_assert!(after.approx_eq(&before.mul_scalar(c), 1e-4));
+            assert!(after.approx_eq(&before.mul_scalar(c), 1e-4), "seed {seed}");
         }
     }
+}
 
-    /// snapshot/restore round-trips parameter values exactly.
-    #[test]
-    fn snapshot_restore_roundtrip(seed in 0u64..10_000) {
+/// snapshot/restore round-trips parameter values exactly.
+#[test]
+fn snapshot_restore_roundtrip() {
+    for seed in 0..16u64 {
         let mut rng = SeededRng::new(seed);
         let params = vec![
             Param::new("a", Tensor::rand_uniform(&mut rng, &[3, 2], -1.0, 1.0)),
@@ -92,7 +101,7 @@ proptest! {
             p.set_value(Tensor::zeros(&p.dims()));
         }
         muse_nn::restore(&params, &snap);
-        prop_assert_eq!(params[0].value(), snap[0].clone());
-        prop_assert_eq!(params[1].value(), snap[1].clone());
+        assert_eq!(params[0].value(), snap[0].clone(), "seed {seed}");
+        assert_eq!(params[1].value(), snap[1].clone(), "seed {seed}");
     }
 }

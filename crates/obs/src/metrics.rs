@@ -1,0 +1,432 @@
+//! Atomic counters, gauges, value histograms, kernel stats, and the global
+//! registry backing the console summary and the `kernel.summary` trace
+//! event.
+//!
+//! Handles are `&'static`: first lookup interns the metric (a mutex + map
+//! probe), after which callers may cache the reference and update it with
+//! plain atomic ops. Instrumentation sites are expected to check
+//! [`crate::enabled`] before touching the clock or building values.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Number of power-of-two histogram buckets (`2^0` ns .. `2^63`).
+const BUCKETS: usize = 64;
+
+/// A lock-free histogram over non-negative values with power-of-two
+/// buckets, tracking count/sum/min/max exactly.
+pub struct Histogram {
+    count: AtomicU64,
+    /// Sum stored as f64 bits, updated by CAS loop.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count()).field("sum", &self.sum()).finish()
+    }
+}
+
+impl Histogram {
+    /// Record a value (negative values clamp to bucket 0 but keep exact
+    /// min/sum accounting).
+    pub fn record(&self, v: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS-add into the f64 sum.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        update_extreme(&self.min_bits, v, |new, old| new < old);
+        update_extreme(&self.max_bits, v, |new, old| new > old);
+        let idx = if v < 1.0 { 0 } else { (v.log2() as usize).min(BUCKETS - 1) };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Smallest recorded value (+inf if empty).
+    pub fn min(&self) -> f64 {
+        f64::from_bits(self.min_bits.load(Ordering::Relaxed))
+    }
+
+    /// Largest recorded value (-inf if empty).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Non-empty `(bucket_floor, count)` pairs, bucket floor = `2^i`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        (0..BUCKETS)
+            .filter_map(|i| {
+                let c = self.buckets[i].load(Ordering::Relaxed);
+                (c > 0).then(|| (1u64 << i.min(63), c))
+            })
+            .collect()
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits.store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits.store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::Num(self.count() as f64)),
+            ("sum", Json::Num(self.sum())),
+            ("mean", Json::Num(self.mean())),
+            ("min", if self.count() == 0 { Json::Null } else { Json::Num(self.min()) }),
+            ("max", if self.count() == 0 { Json::Null } else { Json::Num(self.max()) }),
+        ])
+    }
+}
+
+fn update_extreme(slot: &AtomicU64, v: f64, better: impl Fn(f64, f64) -> bool) {
+    let mut cur = slot.load(Ordering::Relaxed);
+    while better(v, f64::from_bits(cur)) {
+        match slot.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Cumulative statistics for one computational kernel.
+#[derive(Debug, Default)]
+pub struct KernelStat {
+    /// Invocations.
+    pub calls: Counter,
+    /// Cumulative wall-clock nanoseconds.
+    pub nanos: Counter,
+    /// Cumulative bytes moved (inputs + outputs).
+    pub bytes: Counter,
+}
+
+impl KernelStat {
+    fn reset(&self) {
+        self.calls.reset();
+        self.nanos.reset();
+        self.bytes.reset();
+    }
+}
+
+/// RAII timer for one kernel invocation; see [`crate::kernel_timer`].
+pub struct KernelTimer {
+    run: Option<(&'static KernelStat, u64, Instant)>,
+}
+
+impl KernelTimer {
+    pub(crate) fn running(stat: &'static KernelStat, bytes: u64) -> Self {
+        KernelTimer { run: Some((stat, bytes, Instant::now())) }
+    }
+
+    pub(crate) fn inert() -> Self {
+        KernelTimer { run: None }
+    }
+}
+
+impl Drop for KernelTimer {
+    fn drop(&mut self) {
+        if let Some((stat, bytes, start)) = self.run.take() {
+            stat.calls.add(1);
+            stat.bytes.add(bytes);
+            stat.nanos.add(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- registry
+
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    /// Histogram names are composed at runtime (span paths, op names).
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+    kernels: Mutex<BTreeMap<&'static str, &'static KernelStat>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+        kernels: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Telemetry must never take the process down with it: a panic while a
+    // registry lock was held leaves the data usable (plain atomics).
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Interned counter handle.
+pub fn counter(name: &'static str) -> &'static Counter {
+    lock(&registry().counters).entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Interned gauge handle.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    lock(&registry().gauges).entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Interned histogram handle.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    histogram_owned(name)
+}
+
+/// Interned histogram handle for a runtime-composed name.
+pub fn histogram_owned(name: &str) -> &'static Histogram {
+    let mut map = lock(&registry().histograms);
+    if let Some(h) = map.get(name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::default());
+    map.insert(name.to_string(), h);
+    h
+}
+
+/// Interned kernel-stat handle.
+pub fn kernel(name: &'static str) -> &'static KernelStat {
+    lock(&registry().kernels).entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+pub(crate) fn reset() {
+    for c in lock(&registry().counters).values() {
+        c.reset();
+    }
+    for g in lock(&registry().gauges).values() {
+        g.reset();
+    }
+    for h in lock(&registry().histograms).values() {
+        h.reset();
+    }
+    for k in lock(&registry().kernels).values() {
+        k.reset();
+    }
+}
+
+pub(crate) fn snapshot_json() -> Json {
+    let counters = Json::Obj(
+        lock(&registry().counters).iter().map(|(k, c)| (k.to_string(), Json::Num(c.get() as f64))).collect(),
+    );
+    let gauges = Json::Obj(
+        lock(&registry().gauges).iter().map(|(k, g)| (k.to_string(), Json::Num(g.get()))).collect(),
+    );
+    let histograms =
+        Json::Obj(lock(&registry().histograms).iter().map(|(k, h)| (k.clone(), h.to_json())).collect());
+    let kernels = Json::Obj(
+        lock(&registry().kernels)
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.to_string(),
+                    Json::obj([
+                        ("calls", Json::Num(s.calls.get() as f64)),
+                        ("nanos", Json::Num(s.nanos.get() as f64)),
+                        ("bytes", Json::Num(s.bytes.get() as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj([("counters", counters), ("gauges", gauges), ("histograms", histograms), ("kernels", kernels)])
+}
+
+pub(crate) fn render_summary() -> String {
+    let mut out = String::new();
+    let kernels = lock(&registry().kernels);
+    if !kernels.is_empty() {
+        out.push_str("kernels (by cumulative time):\n");
+        let mut rows: Vec<_> = kernels.iter().collect();
+        rows.sort_by_key(|(_, s)| std::cmp::Reverse(s.nanos.get()));
+        for (name, s) in rows {
+            out.push_str(&format!(
+                "  {:<28} {:>10} calls  {:>10.3} ms  {:>10.1} MiB\n",
+                name,
+                s.calls.get(),
+                s.nanos.get() as f64 / 1e6,
+                s.bytes.get() as f64 / (1024.0 * 1024.0),
+            ));
+        }
+    }
+    drop(kernels);
+    let counters = lock(&registry().counters);
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, c) in counters.iter() {
+            out.push_str(&format!("  {:<28} {}\n", name, c.get()));
+        }
+    }
+    drop(counters);
+    let gauges = lock(&registry().gauges);
+    if !gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, g) in gauges.iter() {
+            out.push_str(&format!("  {:<28} {:.6}\n", name, g.get()));
+        }
+    }
+    drop(gauges);
+    let histograms = lock(&registry().histograms);
+    if !histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, h) in histograms.iter() {
+            if h.count() == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<28} n={:<8} mean={:<12.3} min={:<12.3} max={:.3}\n",
+                name,
+                h.count(),
+                h.mean(),
+                h.min(),
+                h.max(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = counter("test.metrics.counter");
+        let before = c.get();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), before + 7);
+    }
+
+    #[test]
+    fn gauge_last_wins() {
+        let g = gauge("test.metrics.gauge");
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let h = Histogram::default();
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 16.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 10.0);
+        assert_eq!(h.mean(), 4.0);
+        assert!(!h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn interning_returns_same_handle() {
+        let a = counter("test.metrics.same") as *const Counter;
+        let b = counter("test.metrics.same") as *const Counter;
+        assert_eq!(a, b);
+        let ha = histogram_owned("test.metrics.h") as *const Histogram;
+        let hb = histogram_owned("test.metrics.h") as *const Histogram;
+        assert_eq!(ha, hb);
+    }
+}

@@ -1,0 +1,94 @@
+//! RAII span timers with thread-local nesting.
+//!
+//! A span measures one region of code; nested spans record under a
+//! `outer/inner` path so the console summary shows where time goes at each
+//! level. When telemetry is disabled a span is a single flag check — no
+//! clock read, no allocation.
+
+use crate::metrics::histogram_owned;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Open a timed span. Drop closes it and records its duration (in
+/// nanoseconds) into the `span.<path>` histogram.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { run: None };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    SpanGuard { run: Some(Instant::now()) }
+}
+
+/// Current nesting depth of this thread's span stack.
+pub fn span_depth() -> usize {
+    if !crate::enabled() {
+        return 0;
+    }
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// Guard returned by [`span`]; records on drop.
+pub struct SpanGuard {
+    run: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Nanoseconds since the span opened (0 when telemetry is disabled).
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.run.map_or(0, |t| t.elapsed().as_nanos() as u64)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.run.take() else { return };
+        let nanos = start.elapsed().as_nanos() as u64;
+        let path = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        histogram_owned(&format!("span.{path}")).record(nanos as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_paths_and_depth() {
+        let _g = crate::test_lock();
+        crate::enable();
+        assert_eq!(span_depth(), 0);
+        {
+            let _a = span("outer_test");
+            assert_eq!(span_depth(), 1);
+            {
+                let _b = span("inner_test");
+                assert_eq!(span_depth(), 2);
+            }
+            assert_eq!(span_depth(), 1);
+        }
+        assert_eq!(span_depth(), 0);
+        assert!(histogram_owned("span.outer_test").count() >= 1);
+        assert!(histogram_owned("span.outer_test/inner_test").count() >= 1);
+        crate::disable();
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = crate::test_lock();
+        crate::disable();
+        let g = span("never_recorded");
+        assert_eq!(g.elapsed_nanos(), 0);
+        drop(g);
+        assert_eq!(histogram_owned("span.never_recorded").count(), 0);
+    }
+}

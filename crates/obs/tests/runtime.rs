@@ -1,0 +1,111 @@
+//! Cross-thread and timing behaviour of the telemetry runtime.
+//!
+//! These run as an integration test so they exercise the crate exactly the
+//! way instrumented crates do: through the public API, with the registry
+//! shared across threads.
+
+use muse_obs as obs;
+use std::thread;
+use std::time::Duration;
+
+#[test]
+fn counters_accumulate_across_threads() {
+    let _guard = obs::test_lock();
+    obs::reset_metrics();
+    obs::enable();
+    let threads = 8;
+    let per_thread = 1000u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            thread::spawn(move || {
+                for _ in 0..per_thread {
+                    obs::counter("test.concurrent").add(1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(obs::counter("test.concurrent").get(), threads * per_thread);
+    obs::disable();
+    obs::reset_metrics();
+}
+
+#[test]
+fn concurrent_histograms_lose_no_samples() {
+    let _guard = obs::test_lock();
+    obs::reset_metrics();
+    obs::enable();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            thread::spawn(move || {
+                for i in 0..500 {
+                    obs::histogram("test.hist_concurrent").record((t * 500 + i) as f64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let h = obs::histogram("test.hist_concurrent");
+    assert_eq!(h.count(), 2000);
+    assert_eq!(h.min(), 0.0);
+    assert_eq!(h.max(), 1999.0);
+    obs::disable();
+    obs::reset_metrics();
+}
+
+#[test]
+fn span_timing_is_monotonic() {
+    let _guard = obs::test_lock();
+    obs::reset_metrics();
+    obs::enable();
+    {
+        let outer = obs::span("timing_outer");
+        thread::sleep(Duration::from_millis(4));
+        let inner_nanos;
+        {
+            let inner = obs::span("timing_inner");
+            thread::sleep(Duration::from_millis(4));
+            inner_nanos = inner.elapsed_nanos();
+        }
+        // The outer span has been running at least as long as the inner one,
+        // and both cover their sleeps.
+        assert!(inner_nanos >= 4_000_000, "inner span under-measured: {inner_nanos}ns");
+        assert!(
+            outer.elapsed_nanos() >= inner_nanos,
+            "outer span ({}) shorter than inner ({})",
+            outer.elapsed_nanos(),
+            inner_nanos
+        );
+    }
+    // Recorded durations land in per-path histograms and respect nesting.
+    let outer_hist = obs::histogram("span.timing_outer");
+    let inner_hist = obs::histogram("span.timing_outer/timing_inner");
+    assert_eq!(outer_hist.count(), 1);
+    assert_eq!(inner_hist.count(), 1);
+    assert!(outer_hist.max() >= inner_hist.max());
+    assert!(inner_hist.min() >= 4_000_000.0);
+    obs::disable();
+    obs::reset_metrics();
+}
+
+#[test]
+fn kernel_timer_accumulates_bytes_and_calls() {
+    let _guard = obs::test_lock();
+    obs::reset_metrics();
+    obs::enable();
+    for _ in 0..3 {
+        let _t = obs::kernel_timer("test.kernel", 128);
+        thread::sleep(Duration::from_millis(1));
+    }
+    let snap = obs::snapshot();
+    let k = snap.get("kernels").and_then(|k| k.get("test.kernel")).expect("kernel entry");
+    assert_eq!(k.get("calls").and_then(|v| v.as_f64()), Some(3.0));
+    assert_eq!(k.get("bytes").and_then(|v| v.as_f64()), Some(384.0));
+    assert!(k.get("nanos").and_then(|v| v.as_f64()).unwrap() >= 3_000_000.0);
+    obs::disable();
+    obs::reset_metrics();
+}

@@ -9,6 +9,7 @@
 //! * output `[N, OC, OH, OW]`
 
 use crate::tensor::Tensor;
+use muse_obs as obs;
 
 /// Static description of a conv2d: geometry only, no parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +144,10 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: &Con
         assert_eq!(b.dims(), &[spec.out_channels], "conv2d bias shape mismatch");
     }
     let (oh, ow) = spec.output_hw(h, w);
+    let _t = obs::kernel_timer(
+        "tensor.conv2d",
+        ((input.len() + weight.len() + n * spec.out_channels * oh * ow) * std::mem::size_of::<f32>()) as u64,
+    );
     let ksize = c * spec.kernel.0 * spec.kernel.1;
     let wmat = weight.reshaped(&[spec.out_channels, ksize]);
     let mut out = Vec::with_capacity(n * spec.out_channels * oh * ow);
@@ -178,6 +183,10 @@ pub fn conv2d_backward(
     let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
     let (oh, ow) = spec.output_hw(h, w);
     assert_eq!(grad_out.dims(), &[n, spec.out_channels, oh, ow], "conv2d_backward grad shape mismatch");
+    let _t = obs::kernel_timer(
+        "tensor.conv2d_backward",
+        ((input.len() + weight.len() + grad_out.len()) * std::mem::size_of::<f32>()) as u64,
+    );
     let ksize = c * spec.kernel.0 * spec.kernel.1;
     let wmat = weight.reshaped(&[spec.out_channels, ksize]);
     let mut grad_input = Vec::with_capacity(input.len());
@@ -187,7 +196,8 @@ pub fn conv2d_backward(
         let img = &input.as_slice()[s * c * h * w..(s + 1) * c * h * w];
         let cols = im2col(img, c, h, w, spec);
         let go = Tensor::from_vec(
-            grad_out.as_slice()[s * spec.out_channels * oh * ow..(s + 1) * spec.out_channels * oh * ow].to_vec(),
+            grad_out.as_slice()[s * spec.out_channels * oh * ow..(s + 1) * spec.out_channels * oh * ow]
+                .to_vec(),
             &[spec.out_channels, oh * ow],
         );
         // dW += go x cols^T
@@ -249,7 +259,8 @@ mod tests {
     fn output_geometry() {
         let spec = Conv2dSpec::same(3, 8, 3);
         assert_eq!(spec.output_hw(10, 20), (10, 20));
-        let strided = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: (3, 3), stride: (2, 2), padding: (1, 1) };
+        let strided =
+            Conv2dSpec { in_channels: 1, out_channels: 1, kernel: (3, 3), stride: (2, 2), padding: (1, 1) };
         assert_eq!(strided.output_hw(8, 8), (4, 4));
         assert_eq!(spec.param_count(), 8 * 3 * 9 + 8);
         assert!(spec.macs(10, 20) > 0);
@@ -270,7 +281,8 @@ mod tests {
     #[test]
     fn conv_strided_matches_reference() {
         let mut rng = SeededRng::new(11);
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 2, kernel: (3, 2), stride: (2, 1), padding: (1, 0) };
+        let spec =
+            Conv2dSpec { in_channels: 1, out_channels: 2, kernel: (3, 2), stride: (2, 1), padding: (1, 0) };
         let x = rand_tensor(&mut rng, &[1, 1, 7, 5]);
         let w = rand_tensor(&mut rng, &[2, 1, 3, 2]);
         let fast = conv2d(&x, &w, None, &spec);
@@ -281,7 +293,8 @@ mod tests {
     #[test]
     fn identity_kernel_preserves_input() {
         // 1x1 kernel with weight 1 is the identity map.
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: (1, 1), stride: (1, 1), padding: (0, 0) };
+        let spec =
+            Conv2dSpec { in_channels: 1, out_channels: 1, kernel: (1, 1), stride: (1, 1), padding: (0, 0) };
         let x = Tensor::arange(0.0, 12.0).reshape(&[1, 1, 3, 4]);
         let w = Tensor::ones(&[1, 1, 1, 1]);
         let y = conv2d(&x, &w, None, &spec);
@@ -323,7 +336,8 @@ mod tests {
             xp.as_mut_slice()[i] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[i] -= eps;
-            let num = (conv2d(&xp, &w, Some(&b), &spec).sum() - conv2d(&xm, &w, Some(&b), &spec).sum()) / (2.0 * eps);
+            let num = (conv2d(&xp, &w, Some(&b), &spec).sum() - conv2d(&xm, &w, Some(&b), &spec).sum())
+                / (2.0 * eps);
             assert!((num - gx.as_slice()[i]).abs() < 1e-2, "input grad {i}: {num} vs {}", gx.as_slice()[i]);
         }
         for &i in &[0usize, 4, 9, 17] {
@@ -331,7 +345,8 @@ mod tests {
             wp.as_mut_slice()[i] += eps;
             let mut wm = w.clone();
             wm.as_mut_slice()[i] -= eps;
-            let num = (conv2d(&x, &wp, Some(&b), &spec).sum() - conv2d(&x, &wm, Some(&b), &spec).sum()) / (2.0 * eps);
+            let num = (conv2d(&x, &wp, Some(&b), &spec).sum() - conv2d(&x, &wm, Some(&b), &spec).sum())
+                / (2.0 * eps);
             assert!((num - gw.as_slice()[i]).abs() < 1e-2, "weight grad {i}: {num} vs {}", gw.as_slice()[i]);
         }
         // Bias gradient of a sum-loss is the number of output positions.

@@ -5,19 +5,43 @@
 //! so experiments are exactly reproducible.
 
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-/// A seedable RNG wrapper with the sampling helpers the project needs.
+/// A seedable RNG with the sampling helpers the project needs.
+///
+/// The core generator is SplitMix64 (Steele, Lea & Flood 2014): one 64-bit
+/// state word advanced by a Weyl increment and scrambled by two xor-shift
+/// multiplies. It passes BigCrush, is trivially seedable from any 64-bit
+/// value (including 0), and every draw is a constant-time pure function of
+/// the state — exactly what reproducible experiments need, with no
+/// external dependency.
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: u64,
 }
 
 impl SeededRng {
     /// Deterministic generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SeededRng { inner: StdRng::seed_from_u64(seed) }
+        SeededRng { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f32` in `[0, 1)` using the top 24 bits.
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -25,14 +49,14 @@ impl SeededRng {
         if lo == hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        lo + (hi - lo) * self.next_f32()
     }
 
-    /// Standard normal sample via Box–Muller (avoids a rand_distr dependency).
+    /// Standard normal sample via Box–Muller.
     pub fn normal(&mut self) -> f32 {
         // Draw u1 in (0,1] to keep ln() finite.
-        let u1: f32 = 1.0 - self.inner.gen::<f32>();
-        let u2: f32 = self.inner.gen::<f32>();
+        let u1: f32 = 1.0 - self.next_f32();
+        let u2: f32 = self.next_f32();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
     }
 
@@ -41,22 +65,29 @@ impl SeededRng {
         mean + std * self.normal()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (Lemire's multiply-shift; bias is at
+    /// most 2^-64 and irrelevant at this project's `n`).
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index(0)");
-        self.inner.gen_range(0..n)
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Bernoulli draw with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        if p >= 1.0 {
+            // next_f64 is in [0, 1): guarantee `chance(1.0)` is always true.
+            self.next_f64();
+            return true;
+        }
+        self.next_f64() < p
     }
 
     /// Fisher–Yates shuffle of indices `0..n`.
     pub fn permutation(&mut self, n: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..n).collect();
         for i in (1..n).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.index(i + 1);
             idx.swap(i, j);
         }
         idx
@@ -64,7 +95,7 @@ impl SeededRng {
 
     /// Split off an independent child generator (for parallel-safe seeding).
     pub fn fork(&mut self) -> SeededRng {
-        SeededRng::new(self.inner.gen::<u64>())
+        SeededRng::new(self.next_u64())
     }
 }
 
@@ -137,7 +168,7 @@ mod tests {
     #[test]
     fn glorot_limit() {
         let mut rng = SeededRng::new(4);
-        let t = Tensor::glorot_uniform(&mut rng, &[10, 10], 10, 10, );
+        let t = Tensor::glorot_uniform(&mut rng, &[10, 10], 10, 10);
         let limit = (6.0f32 / 20.0).sqrt();
         assert!(t.max() <= limit && t.min() >= -limit);
     }

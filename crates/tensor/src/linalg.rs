@@ -4,6 +4,12 @@
 //! plenty for the matrix sizes in this project (≤ a few thousand per side).
 
 use crate::tensor::Tensor;
+use muse_obs as obs;
+
+/// Bytes moved by a kernel touching `elems` f32 values.
+fn f32_bytes(elems: usize) -> u64 {
+    (elems * std::mem::size_of::<f32>()) as u64
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
@@ -13,6 +19,7 @@ impl Tensor {
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
         assert_eq!(k, k2, "matmul inner-dim mismatch: [{m},{k}] x [{k2},{n}]");
+        let _t = obs::kernel_timer("tensor.matmul", f32_bytes(m * k + k * n + m * n));
         let a = self.as_slice();
         let b = rhs.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -41,6 +48,7 @@ impl Tensor {
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (n, k2) = (rhs.dims()[0], rhs.dims()[1]);
         assert_eq!(k, k2, "matmul_bt inner-dim mismatch: [{m},{k}] x [{n},{k2}]^T");
+        let _t = obs::kernel_timer("tensor.matmul_bt", f32_bytes(m * k + k * n + m * n));
         let a = self.as_slice();
         let b = rhs.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -65,6 +73,7 @@ impl Tensor {
         let (k, m) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
         assert_eq!(k, k2, "matmul_at inner-dim mismatch: [{k},{m}]^T x [{k2},{n}]");
+        let _t = obs::kernel_timer("tensor.matmul_at", f32_bytes(m * k + k * n + m * n));
         let a = self.as_slice();
         let b = rhs.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -90,6 +99,7 @@ impl Tensor {
         assert_eq!(v.rank(), 1, "matvec rhs must be rank-1");
         let (m, k) = (self.dims()[0], self.dims()[1]);
         assert_eq!(k, v.len(), "matvec inner-dim mismatch");
+        let _t = obs::kernel_timer("tensor.matvec", f32_bytes(m * k + k + m));
         let a = self.as_slice();
         let x = v.as_slice();
         let mut out = vec![0.0f32; m];

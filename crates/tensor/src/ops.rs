@@ -2,6 +2,7 @@
 
 use crate::shape::{broadcast_shapes, broadcast_strides, Shape};
 use crate::tensor::Tensor;
+use muse_obs as obs;
 
 impl Tensor {
     /// Apply a binary op with numpy-style broadcasting.
@@ -10,16 +11,18 @@ impl Tensor {
     /// stride-0 reads over the broadcast shape.
     pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         if self.dims() == other.dims() {
-            let data: Vec<f32> = self
-                .as_slice()
-                .iter()
-                .zip(other.as_slice())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            let _t =
+                obs::kernel_timer("tensor.zip_same", (3 * self.len() * std::mem::size_of::<f32>()) as u64);
+            let data: Vec<f32> =
+                self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| f(a, b)).collect();
             return Tensor::from_vec(data, self.dims());
         }
-        let out_dims = broadcast_shapes(self.dims(), other.dims())
-            .unwrap_or_else(|e| panic!("{e}"));
+        let out_dims = broadcast_shapes(self.dims(), other.dims()).unwrap_or_else(|e| panic!("{e}"));
+        let _t = obs::kernel_timer(
+            "tensor.zip_broadcast",
+            ((self.len() + other.len() + out_dims.iter().product::<usize>()) * std::mem::size_of::<f32>())
+                as u64,
+        );
         let ls = broadcast_strides(self.dims(), &out_dims);
         let rs = broadcast_strides(other.dims(), &out_dims);
         let out_shape = Shape::new(&out_dims);
@@ -153,7 +156,13 @@ impl Tensor {
 
     /// Accumulate `other` into `self` elementwise (shapes must match exactly).
     pub fn add_assign(&mut self, other: &Tensor) {
-        assert_eq!(self.dims(), other.dims(), "add_assign shape mismatch: {:?} vs {:?}", self.dims(), other.dims());
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "add_assign shape mismatch: {:?} vs {:?}",
+            self.dims(),
+            other.dims()
+        );
         for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
             *a += b;
         }
@@ -174,11 +183,7 @@ impl Tensor {
     /// Maximum absolute difference to another tensor of the same shape.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.dims(), other.dims(), "max_abs_diff shape mismatch");
-        self.as_slice()
-            .iter()
-            .zip(other.as_slice())
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| (a - b).abs()).fold(0.0, f32::max)
     }
 
     /// Approximate equality within `tol` (same shape required).

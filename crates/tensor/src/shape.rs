@@ -32,8 +32,12 @@ impl fmt::Display for ShapeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ShapeError::ElementCountMismatch { from, to } => {
-                write!(f, "cannot reshape {from:?} ({} elems) to {to:?} ({} elems)",
-                    from.iter().product::<usize>(), to.iter().product::<usize>())
+                write!(
+                    f,
+                    "cannot reshape {from:?} ({} elems) to {to:?} ({} elems)",
+                    from.iter().product::<usize>(),
+                    to.iter().product::<usize>()
+                )
             }
             ShapeError::BroadcastIncompatible { lhs, rhs } => {
                 write!(f, "shapes {lhs:?} and {rhs:?} are not broadcast-compatible")

@@ -298,7 +298,12 @@ impl Tensor {
     pub fn split(&self, axis: usize, sizes: &[usize]) -> Vec<Tensor> {
         assert!(axis < self.rank(), "split axis out of range");
         let total: usize = sizes.iter().sum();
-        assert_eq!(total, self.dims()[axis], "split sizes {sizes:?} do not sum to extent {}", self.dims()[axis]);
+        assert_eq!(
+            total,
+            self.dims()[axis],
+            "split sizes {sizes:?} do not sum to extent {}",
+            self.dims()[axis]
+        );
         let outer: usize = self.dims()[..axis].iter().product();
         let inner: usize = self.dims()[axis + 1..].iter().product();
         let full = self.dims()[axis] * inner;

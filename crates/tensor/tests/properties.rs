@@ -1,162 +1,185 @@
-//! Property-based tests for the tensor substrate.
+//! Property-style tests for the tensor substrate, driven by the in-tree
+//! [`SeededRng`] instead of an external property-testing framework: each
+//! test sweeps a deterministic family of random shapes/values, so failures
+//! reproduce exactly from the printed seed.
 
 use muse_tensor::conv::{conv2d, conv2d_reference, Conv2dSpec};
 use muse_tensor::init::SeededRng;
 use muse_tensor::linalg::matmul_reference;
 use muse_tensor::{broadcast_shapes, Tensor};
-use proptest::prelude::*;
 
-fn small_dims() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..5, 1..4)
+/// Random dims: 1..=3 axes, each of extent 1..=4.
+fn small_dims(rng: &mut SeededRng) -> Vec<usize> {
+    let rank = 1 + rng.index(3);
+    (0..rank).map(|_| 1 + rng.index(4)).collect()
 }
 
-fn tensor_of(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
-    let n: usize = dims.iter().product();
-    prop::collection::vec(-10.0f32..10.0, n).prop_map(move |data| Tensor::from_vec(data, &dims))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// a + b == b + a under broadcasting.
-    #[test]
-    fn add_commutes(dims in small_dims(), seed in 0u64..1000) {
+#[test]
+fn add_commutes() {
+    for seed in 0..64u64 {
         let mut rng = SeededRng::new(seed);
+        let dims = small_dims(&mut rng);
         let a = Tensor::rand_uniform(&mut rng, &dims, -5.0, 5.0);
         let b = Tensor::rand_uniform(&mut rng, &dims, -5.0, 5.0);
-        prop_assert!(a.add(&b).approx_eq(&b.add(&a), 1e-6));
+        assert!(a.add(&b).approx_eq(&b.add(&a), 1e-6), "seed {seed}");
     }
+}
 
-    /// Broadcasting a row vector equals manual tiling.
-    #[test]
-    fn broadcast_row_matches_tiling(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+#[test]
+fn broadcast_row_matches_tiling() {
+    for seed in 0..64u64 {
         let mut rng = SeededRng::new(seed);
+        let (rows, cols) = (1 + rng.index(5), 1 + rng.index(5));
         let m = Tensor::rand_uniform(&mut rng, &[rows, cols], -2.0, 2.0);
         let v = Tensor::rand_uniform(&mut rng, &[cols], -2.0, 2.0);
         let fast = m.add(&v);
         for r in 0..rows {
             for c in 0..cols {
-                prop_assert!((fast.at(&[r, c]) - (m.at(&[r, c]) + v.at(&[c]))).abs() < 1e-6);
+                assert!(
+                    (fast.at(&[r, c]) - (m.at(&[r, c]) + v.at(&[c]))).abs() < 1e-6,
+                    "seed {seed} at ({r},{c})"
+                );
             }
         }
     }
+}
 
-    /// broadcast_shapes is symmetric.
-    #[test]
-    fn broadcast_shapes_symmetric(a in small_dims(), b in small_dims()) {
+#[test]
+fn broadcast_shapes_symmetric() {
+    for seed in 0..128u64 {
+        let mut rng = SeededRng::new(seed);
+        let a = small_dims(&mut rng);
+        let b = small_dims(&mut rng);
         let ab = broadcast_shapes(&a, &b);
         let ba = broadcast_shapes(&b, &a);
         match (ab, ba) {
-            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Ok(x), Ok(y)) => assert_eq!(x, y, "seed {seed}"),
             (Err(_), Err(_)) => {}
-            _ => prop_assert!(false, "asymmetric broadcast outcome"),
+            _ => panic!("asymmetric broadcast outcome for seed {seed}: {a:?} vs {b:?}"),
         }
     }
+}
 
-    /// reshape round-trips and preserves data.
-    #[test]
-    fn reshape_roundtrip(t in small_dims().prop_flat_map(tensor_of)) {
-        let dims = t.dims().to_vec();
+#[test]
+fn reshape_roundtrip() {
+    for seed in 0..64u64 {
+        let mut rng = SeededRng::new(seed);
+        let dims = small_dims(&mut rng);
+        let t = Tensor::rand_uniform(&mut rng, &dims, -10.0, 10.0);
         let n = t.len();
         let flat = t.clone().reshape(&[n]);
         let back = flat.reshape(&dims);
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t, "seed {seed}");
     }
+}
 
-    /// matmul against the naive reference on random sizes.
-    #[test]
-    fn matmul_matches_reference(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000) {
+#[test]
+fn matmul_matches_reference() {
+    for seed in 0..64u64 {
         let mut rng = SeededRng::new(seed);
+        let (m, k, n) = (1 + rng.index(5), 1 + rng.index(5), 1 + rng.index(5));
         let a = Tensor::rand_uniform(&mut rng, &[m, k], -3.0, 3.0);
         let b = Tensor::rand_uniform(&mut rng, &[k, n], -3.0, 3.0);
-        prop_assert!(a.matmul(&b).approx_eq(&matmul_reference(&a, &b), 1e-3));
+        assert!(a.matmul(&b).approx_eq(&matmul_reference(&a, &b), 1e-3), "seed {seed} [{m},{k}]x[{k},{n}]");
     }
+}
 
-    /// (A B) C == A (B C) within tolerance.
-    #[test]
-    fn matmul_associative(seed in 0u64..1000) {
+#[test]
+fn matmul_associative() {
+    for seed in 0..64u64 {
         let mut rng = SeededRng::new(seed);
         let a = Tensor::rand_uniform(&mut rng, &[3, 4], -1.0, 1.0);
         let b = Tensor::rand_uniform(&mut rng, &[4, 5], -1.0, 1.0);
         let c = Tensor::rand_uniform(&mut rng, &[5, 2], -1.0, 1.0);
         let lhs = a.matmul(&b).matmul(&c);
         let rhs = a.matmul(&b.matmul(&c));
-        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+        assert!(lhs.approx_eq(&rhs, 1e-3), "seed {seed}");
     }
+}
 
-    /// sum_to after broadcasting preserves total mass:
-    /// sum(broadcast(x)) == sum(sum_to(broadcast(x), dims(x))).
-    #[test]
-    fn sum_to_preserves_mass(rows in 1usize..5, cols in 1usize..5, seed in 0u64..1000) {
+#[test]
+fn sum_to_preserves_mass() {
+    for seed in 0..64u64 {
         let mut rng = SeededRng::new(seed);
+        let (rows, cols) = (1 + rng.index(4), 1 + rng.index(4));
         let v = Tensor::rand_uniform(&mut rng, &[cols], -2.0, 2.0);
         let big = v.add(&Tensor::zeros(&[rows, cols])); // broadcast up
         let folded = big.sum_to(&[cols]);
-        prop_assert!((big.sum() - folded.sum()).abs() < 1e-4);
+        assert!((big.sum() - folded.sum()).abs() < 1e-4, "seed {seed}");
     }
+}
 
-    /// Convolution is linear: conv(ax + by) == a conv(x) + b conv(y).
-    #[test]
-    fn conv_is_linear(seed in 0u64..500, alpha in -2.0f32..2.0, beta in -2.0f32..2.0) {
+#[test]
+fn conv_is_linear() {
+    for seed in 0..32u64 {
         let mut rng = SeededRng::new(seed);
+        let alpha = rng.uniform(-2.0, 2.0);
+        let beta = rng.uniform(-2.0, 2.0);
         let spec = Conv2dSpec::same(1, 2, 3);
         let x = Tensor::rand_uniform(&mut rng, &[1, 1, 4, 4], -1.0, 1.0);
         let y = Tensor::rand_uniform(&mut rng, &[1, 1, 4, 4], -1.0, 1.0);
         let w = Tensor::rand_uniform(&mut rng, &[2, 1, 3, 3], -1.0, 1.0);
         let mixed = conv2d(&x.mul_scalar(alpha).add(&y.mul_scalar(beta)), &w, None, &spec);
-        let separate = conv2d(&x, &w, None, &spec).mul_scalar(alpha)
-            .add(&conv2d(&y, &w, None, &spec).mul_scalar(beta));
-        prop_assert!(mixed.approx_eq(&separate, 1e-3));
+        let separate =
+            conv2d(&x, &w, None, &spec).mul_scalar(alpha).add(&conv2d(&y, &w, None, &spec).mul_scalar(beta));
+        assert!(mixed.approx_eq(&separate, 1e-3), "seed {seed}");
     }
+}
 
-    /// im2col-based conv equals the direct reference on random geometry.
-    #[test]
-    fn conv_matches_reference_random_geometry(
-        h in 3usize..7, w in 3usize..7, cin in 1usize..3, cout in 1usize..3, seed in 0u64..500,
-    ) {
+#[test]
+fn conv_matches_reference_random_geometry() {
+    for seed in 0..32u64 {
         let mut rng = SeededRng::new(seed);
+        let (h, w) = (3 + rng.index(4), 3 + rng.index(4));
+        let (cin, cout) = (1 + rng.index(2), 1 + rng.index(2));
         let spec = Conv2dSpec::same(cin, cout, 3);
         let x = Tensor::rand_uniform(&mut rng, &[1, cin, h, w], -1.0, 1.0);
         let wt = Tensor::rand_uniform(&mut rng, &[cout, cin, 3, 3], -1.0, 1.0);
         let b = Tensor::rand_uniform(&mut rng, &[cout], -1.0, 1.0);
         let fast = conv2d(&x, &wt, Some(&b), &spec);
         let slow = conv2d_reference(&x, &wt, Some(&b), &spec);
-        prop_assert!(fast.approx_eq(&slow, 1e-3));
+        assert!(fast.approx_eq(&slow, 1e-3), "seed {seed} geom {h}x{w} {cin}->{cout}");
     }
+}
 
-    /// concat/split round-trip along axis 0 and 1.
-    #[test]
-    fn concat_split_roundtrip(rows in 1usize..4, c1 in 1usize..4, c2 in 1usize..4, seed in 0u64..1000) {
+#[test]
+fn concat_split_roundtrip() {
+    for seed in 0..64u64 {
         let mut rng = SeededRng::new(seed);
+        let (rows, c1, c2) = (1 + rng.index(3), 1 + rng.index(3), 1 + rng.index(3));
         let a = Tensor::rand_uniform(&mut rng, &[rows, c1], -1.0, 1.0);
         let b = Tensor::rand_uniform(&mut rng, &[rows, c2], -1.0, 1.0);
         let joined = Tensor::concat(&[&a, &b], 1);
         let parts = joined.split(1, &[c1, c2]);
-        prop_assert_eq!(&parts[0], &a);
-        prop_assert_eq!(&parts[1], &b);
+        assert_eq!(&parts[0], &a, "seed {seed}");
+        assert_eq!(&parts[1], &b, "seed {seed}");
     }
+}
 
-    /// Softmax output is a probability distribution for any input.
-    #[test]
-    fn softmax_is_distribution(t in tensor_of(vec![3, 5])) {
+#[test]
+fn softmax_is_distribution() {
+    for seed in 0..64u64 {
+        let mut rng = SeededRng::new(seed);
+        let t = Tensor::rand_uniform(&mut rng, &[3, 5], -10.0, 10.0);
         let s = t.softmax_last();
-        prop_assert!(s.all_finite());
-        prop_assert!(s.min() >= 0.0);
+        assert!(s.all_finite(), "seed {seed}");
+        assert!(s.min() >= 0.0, "seed {seed}");
         for r in 0..3 {
             let total: f32 = (0..5).map(|c| s.at(&[r, c])).sum();
-            prop_assert!((total - 1.0).abs() < 1e-5);
+            assert!((total - 1.0).abs() < 1e-5, "seed {seed} row {r}: {total}");
         }
     }
+}
 
-    /// permute twice with inverse permutation is identity.
-    #[test]
-    fn permute_inverse_identity(seed in 0u64..1000) {
+#[test]
+fn permute_inverse_identity() {
+    for seed in 0..64u64 {
         let mut rng = SeededRng::new(seed);
         let t = Tensor::rand_uniform(&mut rng, &[2, 3, 4], -1.0, 1.0);
         let perm = [2usize, 0, 1];
         // inverse of [2,0,1] is [1,2,0]
         let inv = [1usize, 2, 0];
         let back = t.permute(&perm).permute(&inv);
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t, "seed {seed}");
     }
 }

@@ -6,14 +6,13 @@ use crate::grid::{GridMap, Region};
 use crate::sim::{CityConfig, CitySimulator};
 use crate::subseries::SubSeriesSpec;
 use muse_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// Synthetic counterparts of the paper's three benchmark datasets.
 ///
 /// The presets differ the way the real corpora differ: the bike dataset is
 /// sparse and low-volume, the taxi dataset is dense with more outliers, and
 /// the TaxiBJ stand-in uses a larger grid over a longer horizon.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetPreset {
     /// Low-volume bike-share-like city (paper: NYC-Bike, 10×20 grid).
     NycBike,
@@ -128,7 +127,7 @@ impl DatasetPreset {
 ///   (exactly invertible for the non-negative count data), and
 /// * a target span of `±SPAN` (0.9) instead of ±1, so the data never sits
 ///   on the tanh asymptote.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scaler {
     /// Minimum of the fitted (possibly sqrt-transformed) data.
     pub min: f32,
@@ -224,7 +223,13 @@ impl TrafficDataset {
     ///
     /// `reserve_horizons` keeps the last few targets out of every split so
     /// multi-step batches stay in bounds.
-    pub fn split(&self, spec: &SubSeriesSpec, test_fraction: f32, val_fraction: f32, reserve_horizons: usize) -> Split {
+    pub fn split(
+        &self,
+        spec: &SubSeriesSpec,
+        test_fraction: f32,
+        val_fraction: f32,
+        reserve_horizons: usize,
+    ) -> Split {
         let first = spec.min_target();
         let last = self.flows.len().saturating_sub(reserve_horizons);
         assert!(last > first, "dataset too short: {} targets", self.flows.len());

@@ -19,10 +19,9 @@ use crate::flow::FlowSeries;
 use crate::grid::GridMap;
 use muse_tensor::init::SeededRng;
 use muse_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// Configuration for the energy-demand generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EnergyConfig {
     /// Neighbourhood grid.
     pub grid: GridMap,

@@ -152,11 +152,8 @@ mod tests {
     #[test]
     fn multiple_trajectories_accumulate() {
         let grid = GridMap::new(2, 2);
-        let trajs = vec![
-            traj(&[(0, 0, 0), (1, 1, 1)]),
-            traj(&[(0, 0, 1), (1, 1, 1)]),
-            traj(&[(1, 1, 1), (2, 0, 0)]),
-        ];
+        let trajs =
+            vec![traj(&[(0, 0, 0), (1, 1, 1)]), traj(&[(0, 0, 1), (1, 1, 1)]), traj(&[(1, 1, 1), (2, 0, 0)])];
         let flows = flows_from_trajectories(grid, &trajs, 3);
         assert_eq!(flows.volume(1, INFLOW, 1, 1), 2.0);
         assert_eq!(flows.volume(2, OUTFLOW, 1, 1), 1.0);
@@ -168,10 +165,7 @@ mod tests {
         // Each counted transition adds exactly one inflow and one outflow,
         // so totals match per interval.
         let grid = GridMap::new(3, 3);
-        let trajs = vec![
-            traj(&[(0, 0, 0), (1, 1, 1), (2, 2, 2), (3, 2, 2)]),
-            traj(&[(0, 2, 0), (2, 0, 2)]),
-        ];
+        let trajs = vec![traj(&[(0, 0, 0), (1, 1, 1), (2, 2, 2), (3, 2, 2)]), traj(&[(0, 2, 0), (2, 0, 2)])];
         let flows = flows_from_trajectories(grid, &trajs, 4);
         for i in 0..4 {
             assert_eq!(flows.total_inflow(i), flows.total_outflow(i), "interval {i}");

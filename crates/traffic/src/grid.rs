@@ -1,9 +1,7 @@
 //! Definition 1: the city as an `H × W` grid of equally sized regions.
 
-use serde::{Deserialize, Serialize};
-
 /// A single grid cell `r_{h,w}` (row-major coordinates, 0-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Region {
     /// Row index in `[0, H)`.
     pub row: usize,
@@ -24,7 +22,7 @@ impl Region {
 }
 
 /// A grid partition of a city into `H × W` regions (Definition 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GridMap {
     /// Number of rows (`H`).
     pub height: usize,

@@ -38,18 +38,12 @@ pub fn day_kind(interval: usize, intervals_per_day: usize, start_weekday: usize)
 
 /// Peak mask over a list of global interval indices.
 pub fn peak_mask(intervals: &[usize], intervals_per_day: usize) -> Vec<bool> {
-    intervals
-        .iter()
-        .map(|&i| is_peak_slot(i % intervals_per_day, intervals_per_day))
-        .collect()
+    intervals.iter().map(|&i| is_peak_slot(i % intervals_per_day, intervals_per_day)).collect()
 }
 
 /// Weekday mask (`true` = weekday) over a list of global interval indices.
 pub fn weekday_mask(intervals: &[usize], intervals_per_day: usize, start_weekday: usize) -> Vec<bool> {
-    intervals
-        .iter()
-        .map(|&i| day_kind(i, intervals_per_day, start_weekday) == DayKind::Weekday)
-        .collect()
+    intervals.iter().map(|&i| day_kind(i, intervals_per_day, start_weekday) == DayKind::Weekday).collect()
 }
 
 #[cfg(test)]

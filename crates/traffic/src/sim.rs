@@ -21,10 +21,9 @@ use crate::flow::{flows_from_trajectories, FlowSeries};
 use crate::grid::{GridMap, Region};
 use crate::trajectory::Trajectory;
 use muse_tensor::init::SeededRng;
-use serde::{Deserialize, Serialize};
 
 /// Simulator configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CityConfig {
     /// City partition.
     pub grid: GridMap,
@@ -295,7 +294,9 @@ impl CitySimulator {
         }
         let mut traj = Trajectory::new();
         traj.push(depart, from);
-        if from.manhattan(&to) > (self.config.grid.width + self.config.grid.height) / 3 && depart + 2 < t_total {
+        if from.manhattan(&to) > (self.config.grid.width + self.config.grid.height) / 3
+            && depart + 2 < t_total
+        {
             let mid = Region::new((from.row + to.row) / 2, (from.col + to.col) / 2);
             if mid != from && mid != to {
                 traj.push(depart + 1, mid);

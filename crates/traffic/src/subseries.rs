@@ -3,13 +3,12 @@
 
 use crate::flow::FlowSeries;
 use muse_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// Lengths and resolution of the multi-periodic interception.
 ///
 /// Following DeepSTN+ and §IV-E of the paper, the defaults are
 /// `Lc = 3, Lp = 4, Lt = 4` with hourly / daily / weekly resolutions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SubSeriesSpec {
     /// Closeness length `Lc` (most recent intervals).
     pub lc: usize,

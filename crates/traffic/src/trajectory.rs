@@ -2,11 +2,10 @@
 //! Definition 2.
 
 use crate::grid::Region;
-use serde::{Deserialize, Serialize};
 
 /// One observation of a moving object: which region it was in at which time
 /// interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrajectoryPoint {
     /// Time-interval index (global, 0-based).
     pub interval: usize,
@@ -19,7 +18,7 @@ pub struct TrajectoryPoint {
 ///
 /// Points must be in non-decreasing interval order; [`Trajectory::push`]
 /// enforces this.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trajectory {
     points: Vec<TrajectoryPoint>,
 }

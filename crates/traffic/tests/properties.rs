@@ -1,13 +1,13 @@
-//! Property tests for the traffic substrate: flow-counting invariants,
-//! interception index algebra, scaling round-trips.
+//! Property-style tests for the traffic substrate, swept deterministically
+//! with the in-tree [`SeededRng`]: flow-counting invariants, interception
+//! index algebra, scaling round-trips.
 
+use muse_tensor::init::SeededRng;
+use muse_tensor::Tensor;
 use muse_traffic::dataset::Scaler;
 use muse_traffic::flow::{flows_from_trajectories, INFLOW, OUTFLOW};
 use muse_traffic::subseries::{sample, SubSeriesSpec};
 use muse_traffic::{FlowSeries, GridMap, Region, Trajectory};
-use muse_tensor::init::SeededRng;
-use muse_tensor::Tensor;
-use proptest::prelude::*;
 
 /// Random trajectory collection on a small grid.
 fn random_trajectories(seed: u64, n: usize, t_max: usize, grid: GridMap) -> Vec<Trajectory> {
@@ -27,93 +27,112 @@ fn random_trajectories(seed: u64, n: usize, t_max: usize, grid: GridMap) -> Vec<
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Per-interval inflow mass always equals outflow mass (each counted
-    /// transition contributes one of each).
-    #[test]
-    fn flow_conservation(seed in 0u64..10_000, n in 1usize..40) {
+/// Per-interval inflow mass always equals outflow mass (each counted
+/// transition contributes one of each).
+#[test]
+fn flow_conservation() {
+    for seed in 0..32u64 {
+        let n = 1 + SeededRng::new(seed ^ 0xF1).index(39);
         let grid = GridMap::new(4, 4);
         let t_total = 20;
         let trajs = random_trajectories(seed, n, t_total, grid);
         let flows = flows_from_trajectories(grid, &trajs, t_total);
         for i in 0..t_total {
-            prop_assert_eq!(flows.total_inflow(i), flows.total_outflow(i));
+            assert_eq!(flows.total_inflow(i), flows.total_outflow(i), "seed {seed} interval {i}");
         }
     }
+}
 
-    /// Total counted transitions never exceed total trajectory transitions.
-    #[test]
-    fn transition_count_bound(seed in 0u64..10_000, n in 1usize..40) {
+/// Total counted transitions never exceed total trajectory transitions.
+#[test]
+fn transition_count_bound() {
+    for seed in 0..32u64 {
+        let n = 1 + SeededRng::new(seed ^ 0xF2).index(39);
         let grid = GridMap::new(4, 4);
         let t_total = 20;
         let trajs = random_trajectories(seed, n, t_total, grid);
         let flows = flows_from_trajectories(grid, &trajs, t_total);
         let max_transitions: usize = trajs.iter().map(|t| t.len().saturating_sub(1)).sum();
         // Each counted transition adds 2 (one inflow + one outflow).
-        prop_assert!(flows.tensor().sum() <= 2.0 * max_transitions as f32);
-        prop_assert!(flows.tensor().min() >= 0.0);
+        assert!(flows.tensor().sum() <= 2.0 * max_transitions as f32, "seed {seed}");
+        assert!(flows.tensor().min() >= 0.0, "seed {seed}");
     }
+}
 
-    /// Sub-series lag structure: every gathered frame index is strictly
-    /// before the target and within range.
-    #[test]
-    fn interception_indices_in_range(
-        lc in 1usize..4, lp in 1usize..4, lt in 1usize..3, f in 2usize..6,
-    ) {
-        let spec = SubSeriesSpec { lc, lp, lt, intervals_per_day: f };
+/// Sub-series lag structure: every gathered frame index is strictly before
+/// the target and within range.
+#[test]
+fn interception_indices_in_range() {
+    for seed in 0..32u64 {
+        let mut rng = SeededRng::new(seed);
+        let spec = SubSeriesSpec {
+            lc: 1 + rng.index(3),
+            lp: 1 + rng.index(3),
+            lt: 1 + rng.index(2),
+            intervals_per_day: 2 + rng.index(4),
+        };
         let min = spec.min_target();
-        prop_assert_eq!(min, lt * f * 7);
-        for lag in spec.closeness_lags().iter().chain(spec.period_lags().iter()).chain(spec.trend_lags().iter()) {
-            prop_assert!(*lag >= 1);
-            prop_assert!(*lag <= min);
+        assert_eq!(min, spec.lt * spec.intervals_per_day * 7, "seed {seed}");
+        for lag in
+            spec.closeness_lags().iter().chain(spec.period_lags().iter()).chain(spec.trend_lags().iter())
+        {
+            assert!(*lag >= 1, "seed {seed}");
+            assert!(*lag <= min, "seed {seed}");
         }
         // Lags are strictly decreasing within each sub-series (oldest first).
         let c = spec.closeness_lags();
-        prop_assert!(c.windows(2).all(|w| w[0] > w[1]));
+        assert!(c.windows(2).all(|w| w[0] > w[1]), "seed {seed}");
         let p = spec.period_lags();
-        prop_assert!(p.windows(2).all(|w| w[0] > w[1]));
+        assert!(p.windows(2).all(|w| w[0] > w[1]), "seed {seed}");
     }
+}
 
-    /// Sampling at the minimum target index works; one below panics (checked
-    /// through explicit bound arithmetic rather than catch_unwind).
-    #[test]
-    fn sample_at_min_target_valid(f in 2usize..5) {
+/// Sampling at the minimum target index works; one below panics (checked
+/// through explicit bound arithmetic rather than catch_unwind).
+#[test]
+fn sample_at_min_target_valid() {
+    for f in 2usize..5 {
         let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: f };
         let grid = GridMap::new(2, 2);
         let t = spec.min_target() + 4;
         let mut rng = SeededRng::new(f as u64);
         let flows = FlowSeries::from_tensor(grid, Tensor::rand_uniform(&mut rng, &[t, 2, 2, 2], 0.0, 5.0));
         let smp = sample(&flows, &spec, spec.min_target());
-        prop_assert_eq!(smp.closeness.dims()[0], 2 * spec.lc);
-        prop_assert_eq!(smp.index, spec.min_target());
+        assert_eq!(smp.closeness.dims()[0], 2 * spec.lc, "f={f}");
+        assert_eq!(smp.index, spec.min_target(), "f={f}");
     }
+}
 
-    /// Scaler round-trips arbitrary non-negative data (sqrt mode).
-    #[test]
-    fn sqrt_scaler_roundtrip(seed in 0u64..10_000, hi in 1.0f32..500.0) {
+/// Scaler round-trips arbitrary non-negative data (sqrt mode).
+#[test]
+fn sqrt_scaler_roundtrip() {
+    for seed in 0..32u64 {
         let mut rng = SeededRng::new(seed);
+        let hi = rng.uniform(1.0, 500.0);
         let data = Tensor::rand_uniform(&mut rng, &[50], 0.0, hi);
         let sc = Scaler::fit_sqrt(&data);
         let back = sc.unscale(&sc.scale(&data));
-        prop_assert!(back.approx_eq(&data, hi.max(1.0) * 2e-3), "diff {}", back.max_abs_diff(&data));
+        assert!(back.approx_eq(&data, hi.max(1.0) * 2e-3), "seed {seed} diff {}", back.max_abs_diff(&data));
     }
+}
 
-    /// Scaled data never leaves [-SPAN, SPAN] for in-range inputs.
-    #[test]
-    fn scale_bounds(seed in 0u64..10_000) {
+/// Scaled data never leaves [-SPAN, SPAN] for in-range inputs.
+#[test]
+fn scale_bounds() {
+    for seed in 0..32u64 {
         let mut rng = SeededRng::new(seed);
         let data = Tensor::rand_uniform(&mut rng, &[60], 0.0, 40.0);
         let sc = Scaler::fit_sqrt(&data);
         let scaled = sc.scale(&data);
-        prop_assert!(scaled.min() >= -muse_traffic::dataset::SPAN - 1e-5);
-        prop_assert!(scaled.max() <= muse_traffic::dataset::SPAN + 1e-5);
+        assert!(scaled.min() >= -muse_traffic::dataset::SPAN - 1e-5, "seed {seed}");
+        assert!(scaled.max() <= muse_traffic::dataset::SPAN + 1e-5, "seed {seed}");
     }
+}
 
-    /// Flow volumes are readable both through `volume` and `frame`.
-    #[test]
-    fn volume_frame_consistency(seed in 0u64..10_000) {
+/// Flow volumes are readable both through `volume` and `frame`.
+#[test]
+fn volume_frame_consistency() {
+    for seed in 0..32u64 {
         let grid = GridMap::new(3, 3);
         let trajs = random_trajectories(seed, 20, 12, grid);
         let flows = flows_from_trajectories(grid, &trajs, 12);
@@ -121,8 +140,8 @@ proptest! {
             let frame = flows.frame(i);
             for r in 0..3 {
                 for c in 0..3 {
-                    prop_assert_eq!(flows.volume(i, INFLOW, r, c), frame.at(&[INFLOW, r, c]));
-                    prop_assert_eq!(flows.volume(i, OUTFLOW, r, c), frame.at(&[OUTFLOW, r, c]));
+                    assert_eq!(flows.volume(i, INFLOW, r, c), frame.at(&[INFLOW, r, c]), "seed {seed}");
+                    assert_eq!(flows.volume(i, OUTFLOW, r, c), frame.at(&[OUTFLOW, r, c]), "seed {seed}");
                 }
             }
         }

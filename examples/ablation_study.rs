@@ -35,11 +35,8 @@ fn main() {
         rows.push((variant, out.rmse));
     }
 
-    let full = rows
-        .iter()
-        .find(|(v, _)| *v == AblationVariant::Full)
-        .map(|&(_, r)| r)
-        .expect("full model present");
+    let full =
+        rows.iter().find(|(v, _)| *v == AblationVariant::Full).map(|&(_, r)| r).expect("full model present");
     println!("\ndegradation vs full model (outflow RMSE):");
     for (v, r) in &rows {
         if *v != AblationVariant::Full {

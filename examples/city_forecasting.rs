@@ -6,8 +6,8 @@
 //! cargo run --release --example city_forecasting
 //! ```
 
-use muse_net_repro::prelude::*;
 use muse_net_repro::metrics::error::masked_errors;
+use muse_net_repro::prelude::*;
 use muse_net_repro::traffic::masks::{peak_mask, weekday_mask};
 
 fn main() {
@@ -44,7 +44,12 @@ fn main() {
     let weekdays = weekday_mask(&test_idx, f, prepared.dataset.start_weekday);
     let report = |label: &str, mask: &[bool]| {
         if let Some(stats) = masked_errors(&pred, &truth, mask) {
-            println!("  {label:<9} RMSE {:6.2}  MAPE {:5.1}%  (n={})", stats.rmse, stats.mape, mask.iter().filter(|&&b| b).count());
+            println!(
+                "  {label:<9} RMSE {:6.2}  MAPE {:5.1}%  (n={})",
+                stats.rmse,
+                stats.mape,
+                mask.iter().filter(|&&b| b).count()
+            );
         }
     };
     println!("\none-step breakdown over {} test intervals:", test_idx.len());
@@ -56,10 +61,8 @@ fn main() {
     // --- Busiest cells: where should dispatch focus? ---------------------
     let mean_inflow = prepared.dataset.flows.temporal_mean(muse_net_repro::traffic::flow::INFLOW);
     let grid = prepared.dataset.grid();
-    let mut cells: Vec<(f32, usize, usize)> = grid
-        .regions()
-        .map(|r| (mean_inflow.at(&[r.row, r.col]), r.row, r.col))
-        .collect();
+    let mut cells: Vec<(f32, usize, usize)> =
+        grid.regions().map(|r| (mean_inflow.at(&[r.row, r.col]), r.row, r.col)).collect();
     cells.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
     println!("\nbusiest regions (mean inflow/interval):");
     for (v, r, c) in cells.iter().take(5) {

@@ -32,7 +32,11 @@ fn main() {
     // Independence of Z^i from Z^S should give lower MI than Z^i with
     // itself-like signals; report the pairwise estimates.
     let analysis = figutil::train_and_represent(DatasetPreset::NycBike, &profile, 64);
-    for (name, rep) in [("Z^C", &analysis.reps.exclusive[0]), ("Z^P", &analysis.reps.exclusive[1]), ("Z^T", &analysis.reps.exclusive[2])] {
+    for (name, rep) in [
+        ("Z^C", &analysis.reps.exclusive[0]),
+        ("Z^P", &analysis.reps.exclusive[1]),
+        ("Z^T", &analysis.reps.exclusive[2]),
+    ] {
         let est = gaussian_mi(rep, &analysis.reps.interactive, 0.05, 0);
         println!("  I({name}; Z^S) ≈ {:.3} nats (rho {:.2})", est.mi_nats, est.canonical_correlation);
     }
@@ -45,8 +49,5 @@ fn main() {
         r5.disentangled_separates_better()
     );
     println!("  Z^S aligns positively with C/P/T: {}", r6.mostly_positive());
-    println!(
-        "  exclusive↔peak / interactive↔non-peak split: {}",
-        r8.exclusive_peaks_interactive_offpeaks()
-    );
+    println!("  exclusive↔peak / interactive↔non-peak split: {}", r8.exclusive_peaks_interactive_offpeaks());
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full offline CI gate: formatting, lints, tier-1 build + tests.
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> benches compile"
+cargo bench --workspace --no-run
+
+echo "CI gate passed."

@@ -92,9 +92,7 @@ fn representations_extractable_after_training() {
     let model = fit_model(ModelKind::MuseNet(AblationVariant::Full), &prepared, &profile);
     let idx = &prepared.split.test[..8];
     let b = batch(&prepared.scaled, &prepared.spec, idx);
-    let FittedModel::Muse(trainer) = &model else {
-        panic!("expected MUSE-Net")
-    };
+    let FittedModel::Muse(trainer) = &model else { panic!("expected MUSE-Net") };
     let reps = trainer.model().representations(&b);
     assert_eq!(reps.interactive.dims()[0], idx.len());
     for e in &reps.exclusive {

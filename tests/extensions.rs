@@ -50,11 +50,7 @@ fn energy_generator_feeds_the_full_pipeline() {
         .collect();
     for &row in &night_idx {
         let pred_gen = preds.index_axis0(row).index_axis0(GENERATION);
-        assert!(
-            pred_gen.mean() < 6.0,
-            "night generation prediction too high: {}",
-            pred_gen.mean()
-        );
+        assert!(pred_gen.mean() < 6.0, "night generation prediction too high: {}", pred_gen.mean());
     }
 }
 
