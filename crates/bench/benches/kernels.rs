@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the hot computational kernels.
 
 use muse_bench::{criterion_group, criterion_main, Criterion};
-use muse_tensor::conv::{conv2d, Conv2dSpec};
+use muse_tensor::conv::{conv2d, conv2d_backward, Conv2dSpec};
 use muse_tensor::init::SeededRng;
 use muse_tensor::Tensor;
 use muse_traffic::{CityConfig, CitySimulator};
@@ -12,6 +12,11 @@ fn bench_matmul(c: &mut Criterion) {
     let a = Tensor::rand_uniform(&mut rng, &[64, 128], -1.0, 1.0);
     let b = Tensor::rand_uniform(&mut rng, &[128, 64], -1.0, 1.0);
     c.bench_function("matmul_64x128x64", |bch| bch.iter(|| black_box(a.matmul(&b))));
+    let a2 = Tensor::rand_uniform(&mut rng, &[256, 256], -1.0, 1.0);
+    let b2 = Tensor::rand_uniform(&mut rng, &[256, 256], -1.0, 1.0);
+    c.bench_function("matmul_256x256x256", |bch| bch.iter(|| black_box(a2.matmul(&b2))));
+    c.bench_function("matmul_bt_256x256x256", |bch| bch.iter(|| black_box(a2.matmul_bt(&b2))));
+    c.bench_function("matmul_at_256x256x256", |bch| bch.iter(|| black_box(a2.matmul_at(&b2))));
 }
 
 fn bench_conv2d(c: &mut Criterion) {
@@ -21,6 +26,11 @@ fn bench_conv2d(c: &mut Criterion) {
     let w = Tensor::rand_uniform(&mut rng, &[16, 16, 3, 3], -0.2, 0.2);
     let b = Tensor::rand_uniform(&mut rng, &[16], -0.1, 0.1);
     c.bench_function("conv2d_b8_c16_8x10", |bch| bch.iter(|| black_box(conv2d(&x, &w, Some(&b), &spec))));
+    let y = conv2d(&x, &w, Some(&b), &spec);
+    let go = Tensor::rand_uniform(&mut rng, y.dims(), -1.0, 1.0);
+    c.bench_function("conv2d_backward_b8_c16_8x10", |bch| {
+        bch.iter(|| black_box(conv2d_backward(&x, &w, &go, &spec)))
+    });
 }
 
 fn bench_simulator(c: &mut Criterion) {

@@ -1,0 +1,291 @@
+//! Trace-driven performance regression gate.
+//!
+//! Replays a `MUSE_OBS` JSONL trace produced by the kernels bench and
+//! compares it against a committed baseline (`BENCH_kernels.json`):
+//!
+//! * per-bench **min_ns** (the per-iteration minimum, robust to scheduler
+//!   noise) must stay within a relative tolerance band of the baseline;
+//! * per-kernel **bytes per call** from the `kernel.summary` event must
+//!   stay within the same band. Per-call traffic for a fixed shape is
+//!   deterministic, but the summary aggregates every bench that touches a
+//!   kernel and the harness calibrates iteration counts per run, so the
+//!   shape mix (and with it the average) jitters; the band still catches a
+//!   kernel whose data movement genuinely changed.
+//!
+//! Raw `kernel.summary` nano totals are *not* compared: the harness
+//! calibrates iteration counts per run, so totals are not comparable
+//! across runs; only per-iteration statistics are.
+//!
+//! ```text
+//! perf_gate record <trace.jsonl> <baseline.json>       write a new baseline
+//! perf_gate check  <trace.jsonl> <baseline.json> [tol] fail on regressions
+//! perf_gate doctor <baseline.json> <out.json>          corrupt a copy of the
+//!                                                      baseline (CI negative test)
+//! ```
+//!
+//! Exit codes: 0 pass, 1 regression or malformed input, 2 usage error.
+
+use muse_obs::{json, read_trace, Json};
+use std::process::ExitCode;
+
+/// Default relative slowdown tolerance: a bench may be up to this much
+/// slower than baseline before the gate fails. Generous because CI
+/// machines are noisy; tighten via the CLI argument or `MUSE_PERF_TOL`.
+const DEFAULT_TOLERANCE: f64 = 0.75;
+
+/// How much `doctor` shrinks baseline timings: makes any honest run look
+/// at least this many times slower than "baseline", guaranteeing failure.
+const DOCTOR_SHRINK: f64 = 10.0;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [mode, trace, baseline] if mode == "record" => record(trace, baseline),
+        [mode, trace, baseline] if mode == "check" => check(trace, baseline, tolerance_arg(None)),
+        [mode, trace, baseline, tol] if mode == "check" => check(trace, baseline, tolerance_arg(Some(tol))),
+        [mode, baseline, out] if mode == "doctor" => doctor(baseline, out),
+        _ => {
+            eprintln!(
+                "usage: perf_gate record <trace.jsonl> <baseline.json>\n       \
+                 perf_gate check  <trace.jsonl> <baseline.json> [tolerance]\n       \
+                 perf_gate doctor <baseline.json> <doctored.json>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn tolerance_arg(cli: Option<&String>) -> f64 {
+    let from_env = std::env::var("MUSE_PERF_TOL").ok();
+    let raw = cli.map(|s| s.as_str()).or(from_env.as_deref());
+    match raw.map(str::parse::<f64>) {
+        Some(Ok(t)) if t > 0.0 => t,
+        Some(_) => {
+            eprintln!("perf_gate: ignoring invalid tolerance {raw:?}");
+            DEFAULT_TOLERANCE
+        }
+        None => DEFAULT_TOLERANCE,
+    }
+}
+
+/// Per-bench timing and per-kernel traffic extracted from one trace.
+struct TraceStats {
+    /// `(name, min_ns, mean_ns)` per `bench.result` event, in order.
+    benches: Vec<(String, f64, f64)>,
+    /// `(kernel, bytes_per_call)` from the final `kernel.summary` event.
+    kernels: Vec<(String, f64)>,
+}
+
+fn load_trace(path: &str) -> Result<TraceStats, String> {
+    let events = read_trace(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+    let mut benches = Vec::new();
+    let mut kernels = Vec::new();
+    for ev in &events {
+        match ev.get("ev").and_then(Json::as_str) {
+            Some("bench.result") => {
+                let name = ev.get("name").and_then(Json::as_str).unwrap_or_default().to_string();
+                let min = ev.get("min_ns").and_then(Json::as_f64).unwrap_or(0.0);
+                let mean = ev.get("mean_ns").and_then(Json::as_f64).unwrap_or(0.0);
+                if name.is_empty() || min <= 0.0 {
+                    return Err(format!("malformed bench.result in {path}: {}", ev.render()));
+                }
+                benches.push((name, min, mean));
+            }
+            Some("kernel.summary") => {
+                // Later summaries replace earlier ones: only the final
+                // totals cover the whole bench run.
+                kernels.clear();
+                let Some(Json::Obj(ks)) = ev.get("metrics").and_then(|m| m.get("kernels")).cloned() else {
+                    continue;
+                };
+                for (kname, stat) in ks {
+                    let calls = stat.get("calls").and_then(Json::as_f64).unwrap_or(0.0);
+                    let bytes = stat.get("bytes").and_then(Json::as_f64).unwrap_or(0.0);
+                    if calls > 0.0 {
+                        kernels.push((kname, bytes / calls));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if benches.is_empty() {
+        return Err(format!("trace {path} contains no bench.result events"));
+    }
+    Ok(TraceStats { benches, kernels })
+}
+
+fn baseline_json(stats: &TraceStats, tolerance: f64) -> Json {
+    Json::obj([
+        ("tolerance", Json::Num(tolerance)),
+        (
+            "benches",
+            Json::Obj(
+                stats
+                    .benches
+                    .iter()
+                    .map(|(name, min, mean)| {
+                        (
+                            name.clone(),
+                            Json::obj([("min_ns", Json::Num(*min)), ("mean_ns", Json::Num(*mean))]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "kernels",
+            Json::Obj(
+                stats
+                    .kernels
+                    .iter()
+                    .map(|(name, bpc)| (name.clone(), Json::obj([("bytes_per_call", Json::Num(*bpc))])))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn record(trace: &str, baseline: &str) -> Result<(), String> {
+    let stats = load_trace(trace)?;
+    let json = baseline_json(&stats, DEFAULT_TOLERANCE);
+    std::fs::write(baseline, json.render() + "\n")
+        .map_err(|e| format!("cannot write baseline {baseline}: {e}"))?;
+    println!(
+        "perf_gate: recorded {} benches and {} kernels into {baseline}",
+        stats.benches.len(),
+        stats.kernels.len()
+    );
+    Ok(())
+}
+
+fn load_baseline(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("baseline {path} is not valid JSON: {e:?}"))
+}
+
+fn check(trace: &str, baseline_path: &str, cli_tolerance: f64) -> Result<(), String> {
+    let stats = load_trace(trace)?;
+    let baseline = load_baseline(baseline_path)?;
+    // Precedence: CLI/env tolerance, else the tolerance the baseline was
+    // recorded with (the CLI default doubles as "not set" — record always
+    // writes an explicit value).
+    let tolerance = if (cli_tolerance - DEFAULT_TOLERANCE).abs() > f64::EPSILON {
+        cli_tolerance
+    } else {
+        baseline.get("tolerance").and_then(Json::as_f64).unwrap_or(DEFAULT_TOLERANCE)
+    };
+    let mut failures = Vec::new();
+    println!("perf_gate: tolerance +{:.0}% vs {baseline_path}", tolerance * 100.0);
+
+    let empty = Vec::new();
+    let base_benches = match baseline.get("benches") {
+        Some(Json::Obj(fields)) => fields,
+        _ => &empty,
+    };
+    for (name, want) in base_benches {
+        let want_min = want.get("min_ns").and_then(Json::as_f64).unwrap_or(0.0);
+        match stats.benches.iter().find(|(n, _, _)| n == name) {
+            None => failures.push(format!("bench `{name}` missing from trace")),
+            Some((_, got_min, _)) => {
+                let ratio = got_min / want_min;
+                let verdict = if ratio > 1.0 + tolerance { "FAIL" } else { "ok" };
+                println!(
+                    "  {verdict:<4} {name:<40} baseline {want_min:>12.0} ns  current {got_min:>12.0} ns  ({:+.1}%)",
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio > 1.0 + tolerance {
+                    failures.push(format!(
+                        "bench `{name}` regressed: {got_min:.0} ns vs baseline {want_min:.0} ns \
+                         (+{:.1}%, tolerance +{:.0}%)",
+                        (ratio - 1.0) * 100.0,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    for (name, _, _) in &stats.benches {
+        if !base_benches.iter().any(|(n, _)| n == name) {
+            println!("  new  {name:<40} (not in baseline; re-record to start gating it)");
+        }
+    }
+
+    let base_kernels = match baseline.get("kernels") {
+        Some(Json::Obj(fields)) => fields,
+        _ => &empty,
+    };
+    for (name, want) in base_kernels {
+        let want_bpc = want.get("bytes_per_call").and_then(Json::as_f64).unwrap_or(0.0);
+        match stats.kernels.iter().find(|(n, _)| n == name) {
+            None => failures.push(format!("kernel `{name}` missing from kernel.summary")),
+            Some((_, got_bpc)) => {
+                let drift = (got_bpc - want_bpc).abs() / want_bpc.max(1.0);
+                if drift > tolerance {
+                    failures.push(format!(
+                        "kernel `{name}` bytes-per-call drifted: {got_bpc:.1} vs baseline {want_bpc:.1}"
+                    ));
+                }
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("perf_gate: PASS ({} benches, {} kernels)", base_benches.len(), base_kernels.len());
+        Ok(())
+    } else {
+        Err(format!("{} regression(s):\n  {}", failures.len(), failures.join("\n  ")))
+    }
+}
+
+/// Shrink every baseline timing so a subsequent `check` against the
+/// doctored file must fail — CI uses this to prove the gate has teeth.
+fn doctor(baseline_path: &str, out: &str) -> Result<(), String> {
+    let baseline = load_baseline(baseline_path)?;
+    let doctored = match baseline {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| if k == "benches" { (k, shrink_benches(v)) } else { (k, v) })
+                .collect(),
+        ),
+        other => other,
+    };
+    std::fs::write(out, doctored.render() + "\n")
+        .map_err(|e| format!("cannot write doctored baseline {out}: {e}"))?;
+    println!("perf_gate: wrote doctored baseline (timings /{DOCTOR_SHRINK}) to {out}");
+    Ok(())
+}
+
+fn shrink_benches(benches: Json) -> Json {
+    match benches {
+        Json::Obj(entries) => Json::Obj(
+            entries
+                .into_iter()
+                .map(|(name, stat)| {
+                    let shrunk = match stat {
+                        Json::Obj(fields) => Json::Obj(
+                            fields
+                                .into_iter()
+                                .map(|(k, v)| match v {
+                                    Json::Num(n) if k.ends_with("_ns") => (k, Json::Num(n / DOCTOR_SHRINK)),
+                                    other => (k, other),
+                                })
+                                .collect(),
+                        ),
+                        other => other,
+                    };
+                    (name, shrunk)
+                })
+                .collect(),
+        ),
+        other => other,
+    }
+}

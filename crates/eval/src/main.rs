@@ -128,6 +128,7 @@ fn main() {
                 ("experiments", Json::Arr(experiments.iter().map(|e| e.to_json()).collect())),
                 ("profile", profile_json(&args.profile)),
                 ("dataset", args.dataset.map(|p| format!("{p:?}")).as_deref().unwrap_or("all").to_json()),
+                ("threads", Json::Num(muse_parallel::current_threads() as f64)),
             ],
         );
     }

@@ -7,9 +7,19 @@
 //! * weight `[OC, C, KH, KW]`
 //! * bias `[OC]`
 //! * output `[N, OC, OH, OW]`
+//!
+//! Both `conv2d` and `conv2d_backward` fan out **per sample** across the
+//! `muse-parallel` pool: each sample's column buffer comes from the shared
+//! scratch pool and its output lands in a disjoint slice, so no floats are
+//! shared between jobs and results are bit-identical for any thread count.
+//! The backward pass writes per-sample weight/bias partials into
+//! per-sample slots and folds them sequentially in sample order afterward,
+//! which keeps the accumulation association fixed.
 
+use crate::linalg::{gemm_at_rows, gemm_bt_rows, gemm_rows};
 use crate::tensor::Tensor;
 use muse_obs as obs;
+use muse_parallel::take_zeroed;
 
 /// Static description of a conv2d: geometry only, no parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,51 +69,72 @@ impl Conv2dSpec {
     }
 }
 
-/// Unfold one `[C, H, W]` image into columns `[C*KH*KW, OH*OW]`.
-pub fn im2col(img: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
+/// Unfold one `[C, H, W]` image into columns `[C*KH*KW, OH*OW]`, writing
+/// every element of `out` (padding positions get explicit zeros, so `out`
+/// may hold garbage from a recycled scratch buffer).
+pub fn im2col_into(img: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, out: &mut [f32]) {
     let (kh, kw) = spec.kernel;
     let (sh, sw) = spec.stride;
     let (ph, pw) = spec.padding;
     let (oh, ow) = spec.output_hw(h, w);
-    let rows = c * kh * kw;
     let cols = oh * ow;
-    let mut out = vec![0.0f32; rows * cols];
+    assert_eq!(out.len(), c * kh * kw * cols, "im2col_into buffer size mismatch");
     for ch in 0..c {
         for ki in 0..kh {
             for kj in 0..kw {
                 let row = (ch * kh + ki) * kw + kj;
                 let base = row * cols;
                 for oi in 0..oh {
+                    let dst = &mut out[base + oi * ow..base + (oi + 1) * ow];
                     let ii = (oi * sh + ki) as isize - ph as isize;
                     if ii < 0 || ii >= h as isize {
-                        continue; // zero padding: leave zeros
+                        dst.fill(0.0);
+                        continue;
                     }
-                    let src_row = ch * h * w + ii as usize * w;
-                    for oj in 0..ow {
-                        let jj = (oj * sw + kj) as isize - pw as isize;
-                        if jj < 0 || jj >= w as isize {
-                            continue;
+                    let src_row = &img[ch * h * w + ii as usize * w..][..w];
+                    if sw == 1 {
+                        // jj = oj + kj - pw; the valid oj range is contiguous,
+                        // so the interior is one memcpy between zero fringes.
+                        let lo = (pw as isize - kj as isize).clamp(0, ow as isize) as usize;
+                        let hi = ((w + pw) as isize - kj as isize).clamp(lo as isize, ow as isize) as usize;
+                        dst[..lo].fill(0.0);
+                        dst[hi..].fill(0.0);
+                        let off = lo + kj - pw;
+                        dst[lo..hi].copy_from_slice(&src_row[off..off + (hi - lo)]);
+                    } else {
+                        for (oj, d) in dst.iter_mut().enumerate() {
+                            let jj = (oj * sw + kj) as isize - pw as isize;
+                            *d = if jj < 0 || jj >= w as isize { 0.0 } else { src_row[jj as usize] };
                         }
-                        out[base + oi * ow + oj] = img[src_row + jj as usize];
                     }
                 }
             }
         }
     }
+}
+
+/// Unfold one `[C, H, W]` image into columns `[C*KH*KW, OH*OW]`.
+pub fn im2col(img: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
+    let (kh, kw) = spec.kernel;
+    let (oh, ow) = spec.output_hw(h, w);
+    let rows = c * kh * kw;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    im2col_into(img, c, h, w, spec, &mut out);
     Tensor::from_vec(out, &[rows, cols])
 }
 
-/// Fold columns `[C*KH*KW, OH*OW]` back into an image `[C, H, W]`,
-/// accumulating overlapping contributions (adjoint of [`im2col`]).
-pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Vec<f32> {
+/// Fold columns `[C*KH*KW, OH*OW]` back into a `[C, H, W]` image slice,
+/// **accumulating** overlapping contributions (adjoint of [`im2col`]).
+/// `img` must be zeroed by the caller if a plain fold is wanted.
+pub fn col2im_into(cols: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, img: &mut [f32]) {
     let (kh, kw) = spec.kernel;
     let (sh, sw) = spec.stride;
     let (ph, pw) = spec.padding;
     let (oh, ow) = spec.output_hw(h, w);
     let ncols = oh * ow;
-    assert_eq!(cols.dims(), &[c * kh * kw, ncols], "col2im shape mismatch");
-    let src = cols.as_slice();
-    let mut img = vec![0.0f32; c * h * w];
+    assert_eq!(cols.len(), c * kh * kw * ncols, "col2im_into column size mismatch");
+    assert_eq!(img.len(), c * h * w, "col2im_into image size mismatch");
     for ch in 0..c {
         for ki in 0..kh {
             for kj in 0..kw {
@@ -120,12 +151,22 @@ pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: &Conv2dSpec) ->
                         if jj < 0 || jj >= w as isize {
                             continue;
                         }
-                        img[dst_row + jj as usize] += src[base + oi * ow + oj];
+                        img[dst_row + jj as usize] += cols[base + oi * ow + oj];
                     }
                 }
             }
         }
     }
+}
+
+/// Fold columns `[C*KH*KW, OH*OW]` back into an image `[C, H, W]`,
+/// accumulating overlapping contributions (adjoint of [`im2col`]).
+pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Vec<f32> {
+    let (kh, kw) = spec.kernel;
+    let (oh, ow) = spec.output_hw(h, w);
+    assert_eq!(cols.dims(), &[c * kh * kw, oh * ow], "col2im shape mismatch");
+    let mut img = vec![0.0f32; c * h * w];
+    col2im_into(cols.as_slice(), c, h, w, spec, &mut img);
     img
 }
 
@@ -148,26 +189,31 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: &Con
         "tensor.conv2d",
         ((input.len() + weight.len() + n * spec.out_channels * oh * ow) * std::mem::size_of::<f32>()) as u64,
     );
+    let oc = spec.out_channels;
     let ksize = c * spec.kernel.0 * spec.kernel.1;
-    let wmat = weight.reshaped(&[spec.out_channels, ksize]);
-    let mut out = Vec::with_capacity(n * spec.out_channels * oh * ow);
-    for s in 0..n {
-        let img = &input.as_slice()[s * c * h * w..(s + 1) * c * h * w];
-        let cols = im2col(img, c, h, w, spec);
-        let mut res = wmat.matmul(&cols); // [OC, OH*OW]
-        if let Some(b) = bias {
-            let bs = b.as_slice();
-            let r = res.as_mut_slice();
-            for oc in 0..spec.out_channels {
-                let bias_v = bs[oc];
-                for v in &mut r[oc * oh * ow..(oc + 1) * oh * ow] {
-                    *v += bias_v;
+    let (chw, ohw) = (c * h * w, oh * ow);
+    // Weight layout [OC, C, KH, KW] is already the [OC, ksize] GEMM operand.
+    let wmat = weight.as_slice();
+    let bias_s = bias.map(|b| b.as_slice());
+    let input_s = input.as_slice();
+    let mut out = vec![0.0f32; n * oc * ohw];
+    muse_parallel::parallel_for_rows(&mut out, oc * ohw, 1, |s0, chunk| {
+        let mut cols = take_zeroed(ksize * ohw);
+        for (ds, so) in chunk.chunks_mut(oc * ohw).enumerate() {
+            let img = &input_s[(s0 + ds) * chw..][..chw];
+            im2col_into(img, c, h, w, spec, &mut cols);
+            gemm_rows(wmat, &cols, so, 0, ksize, ohw); // so is zeroed
+            if let Some(bs) = bias_s {
+                for (ocx, orow) in so.chunks_mut(ohw).enumerate() {
+                    let bv = bs[ocx];
+                    for v in orow {
+                        *v += bv;
+                    }
                 }
             }
         }
-        out.extend_from_slice(res.as_slice());
-    }
-    Tensor::from_vec(out, &[n, spec.out_channels, oh, ow])
+    });
+    Tensor::from_vec(out, &[n, oc, oh, ow])
 }
 
 /// Gradients of conv2d given upstream `grad_out [N,OC,OH,OW]`.
@@ -187,31 +233,59 @@ pub fn conv2d_backward(
         "tensor.conv2d_backward",
         ((input.len() + weight.len() + grad_out.len()) * std::mem::size_of::<f32>()) as u64,
     );
+    let oc = spec.out_channels;
     let ksize = c * spec.kernel.0 * spec.kernel.1;
-    let wmat = weight.reshaped(&[spec.out_channels, ksize]);
-    let mut grad_input = Vec::with_capacity(input.len());
-    let mut grad_wmat = Tensor::zeros(&[spec.out_channels, ksize]);
-    let mut grad_bias = Tensor::zeros(&[spec.out_channels]);
-    for s in 0..n {
-        let img = &input.as_slice()[s * c * h * w..(s + 1) * c * h * w];
-        let cols = im2col(img, c, h, w, spec);
-        let go = Tensor::from_vec(
-            grad_out.as_slice()[s * spec.out_channels * oh * ow..(s + 1) * spec.out_channels * oh * ow]
-                .to_vec(),
-            &[spec.out_channels, oh * ow],
-        );
-        // dW += go x cols^T
-        grad_wmat.add_assign(&go.matmul_bt(&cols));
-        // db += rowsum(go)
-        grad_bias.add_assign(&go.sum_axis(1));
-        // dX = col2im(W^T x go)
-        let dcols = wmat.matmul_at(&go); // [ksize, OH*OW]
-        grad_input.extend_from_slice(&col2im(&dcols, c, h, w, spec));
+    let (chw, ohw) = (c * h * w, oh * ow);
+    let wmat = weight.as_slice();
+    let input_s = input.as_slice();
+    let go_all = grad_out.as_slice();
+    let mut grad_input = vec![0.0f32; n * chw];
+    // Per-sample partials: each job owns one slot, the fold below walks the
+    // slots in sample order so the accumulation association never depends
+    // on how jobs were scheduled.
+    let mut dw_all = vec![0.0f32; n * oc * ksize];
+    let mut db_all = vec![0.0f32; n * oc];
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = grad_input
+        .chunks_mut(chw)
+        .zip(dw_all.chunks_mut(oc * ksize))
+        .zip(db_all.chunks_mut(oc))
+        .enumerate()
+        .map(|(s, ((gi, dw), db))| {
+            Box::new(move || {
+                let img = &input_s[s * chw..][..chw];
+                let go = &go_all[s * oc * ohw..][..oc * ohw];
+                let mut cols = take_zeroed(ksize * ohw);
+                im2col_into(img, c, h, w, spec, &mut cols);
+                // dW_s = go x cols^T
+                gemm_bt_rows(go, &cols, dw, 0, ohw, ksize);
+                // db_s = rowsum(go)
+                for (ocx, d) in db.iter_mut().enumerate() {
+                    *d = go[ocx * ohw..][..ohw].iter().sum();
+                }
+                // dX_s = col2im(W^T x go)
+                let mut dcols = take_zeroed(ksize * ohw);
+                gemm_at_rows(wmat, go, &mut dcols, 0, oc, ksize, ohw);
+                col2im_into(&dcols, c, h, w, spec, gi);
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    muse_parallel::join_all(jobs);
+    let mut grad_wmat = vec![0.0f32; oc * ksize];
+    for dw in dw_all.chunks(oc * ksize) {
+        for (g, &v) in grad_wmat.iter_mut().zip(dw) {
+            *g += v;
+        }
+    }
+    let mut grad_bias = vec![0.0f32; oc];
+    for db in db_all.chunks(oc) {
+        for (g, &v) in grad_bias.iter_mut().zip(db) {
+            *g += v;
+        }
     }
     (
         Tensor::from_vec(grad_input, dims),
-        grad_wmat.reshape(&[spec.out_channels, spec.in_channels, spec.kernel.0, spec.kernel.1]),
-        grad_bias,
+        Tensor::from_vec(grad_wmat, &[oc, spec.in_channels, spec.kernel.0, spec.kernel.1]),
+        Tensor::from_vec(grad_bias, &[oc]),
     )
 }
 
@@ -291,6 +365,20 @@ mod tests {
     }
 
     #[test]
+    fn im2col_overwrites_dirty_buffers() {
+        // Scratch buffers come back dirty; im2col_into must be a total
+        // overwrite including the zero-padding fringe.
+        let mut rng = SeededRng::new(13);
+        let spec = Conv2dSpec::same(2, 1, 3);
+        let (c, h, w) = (2, 4, 5);
+        let x = rand_tensor(&mut rng, &[c, h, w]);
+        let clean = im2col(x.as_slice(), c, h, w, &spec);
+        let mut dirty = vec![f32::NAN; clean.len()];
+        im2col_into(x.as_slice(), c, h, w, &spec, &mut dirty);
+        assert_eq!(clean.as_slice(), &dirty[..]);
+    }
+
+    #[test]
     fn identity_kernel_preserves_input() {
         // 1x1 kernel with weight 1 is the identity map.
         let spec =
@@ -351,5 +439,32 @@ mod tests {
         }
         // Bias gradient of a sum-loss is the number of output positions.
         assert!((gb.as_slice()[0] - 16.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn multi_sample_backward_matches_per_sample() {
+        // Batched backward (parallel per-sample jobs + ordered fold) must
+        // agree with summing per-sample single-batch calls in order.
+        let mut rng = SeededRng::new(17);
+        let spec = Conv2dSpec::same(2, 3, 3);
+        let (n, c, h, w) = (5, 2, 4, 6);
+        let x = rand_tensor(&mut rng, &[n, c, h, w]);
+        let wt = rand_tensor(&mut rng, &[3, c, 3, 3]);
+        let go = rand_tensor(&mut rng, &[n, 3, h, w]);
+        let (gx, gw, gb) = conv2d_backward(&x, &wt, &go, &spec);
+        let mut gw_sum = Tensor::zeros(gw.dims());
+        let mut gb_sum = Tensor::zeros(gb.dims());
+        for s in 0..n {
+            let xs =
+                Tensor::from_vec(x.as_slice()[s * c * h * w..(s + 1) * c * h * w].to_vec(), &[1, c, h, w]);
+            let gos =
+                Tensor::from_vec(go.as_slice()[s * 3 * h * w..(s + 1) * 3 * h * w].to_vec(), &[1, 3, h, w]);
+            let (gxs, gws, gbs) = conv2d_backward(&xs, &wt, &gos, &spec);
+            assert_eq!(&gx.as_slice()[s * c * h * w..(s + 1) * c * h * w], gxs.as_slice());
+            gw_sum.add_assign(&gws);
+            gb_sum.add_assign(&gbs);
+        }
+        assert!(gw.approx_eq(&gw_sum, 1e-5));
+        assert!(gb.approx_eq(&gb_sum, 1e-5));
     }
 }

@@ -1,7 +1,19 @@
 //! Matrix multiplication kernels.
 //!
-//! A straightforward ikj-ordered triple loop with a transposed-B fast path is
-//! plenty for the matrix sizes in this project (≤ a few thousand per side).
+//! The public `matmul` family partitions the output matrix into disjoint
+//! row ranges and hands each range to `muse-parallel`; every row range is
+//! computed by a cache-blocked micro-kernel ([`gemm_rows`],
+//! [`gemm_bt_rows`], [`gemm_at_rows`]). The micro-kernels process output
+//! rows in register tiles of four (one read of each B row feeds four
+//! output rows) and block the shared `k` dimension so the streamed operand
+//! stays in cache.
+//!
+//! **Determinism:** each output element is accumulated left-to-right over
+//! ascending `p` (the shared dimension) no matter how rows are tiled or
+//! partitioned across threads, so results are bit-identical for any
+//! `MUSE_THREADS` value — and identical to the single-threaded kernel.
+//! There is no `x == 0.0` skip anywhere: IEEE edge cases (`0.0 * INF` is
+//! `NaN`) propagate exactly as in [`matmul_reference`].
 
 use crate::tensor::Tensor;
 use muse_obs as obs;
@@ -9,6 +21,176 @@ use muse_obs as obs;
 /// Bytes moved by a kernel touching `elems` f32 values.
 fn f32_bytes(elems: usize) -> u64 {
     (elems * std::mem::size_of::<f32>()) as u64
+}
+
+/// Output rows per register tile: four accumulator rows share one read of
+/// each B row.
+const MR: usize = 4;
+
+/// Cache block along the shared `k` dimension. Per block a tile touches
+/// `KC * n` floats of B (`256 * n ≤ L2` for every shape in this project)
+/// while the four output rows stay resident.
+const KC: usize = 256;
+
+/// Multiply–add count below which dispatching to the pool costs more than
+/// the kernel itself; such products always run inline.
+const PAR_MIN_FLOPS: usize = 1 << 15;
+
+/// Compute output rows `[i0, i0 + out.len()/n)` of `C = A·B` into `out`,
+/// which must be zeroed. `a` is `[m,k]` row-major, `b` is `[k,n]`.
+///
+/// Accumulation order over `p` is ascending within each [`KC`] block and
+/// blocks are visited in order, so every element sees the same
+/// left-to-right sum regardless of row tiling.
+pub fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    debug_assert_eq!(out.len(), rows * n);
+    for p0 in (0..k).step_by(KC) {
+        let p1 = (p0 + KC).min(k);
+        let mut r = 0;
+        // Four-row register tile: one pass over B rows feeds four output rows.
+        while r + MR <= rows {
+            let (block, _) = out[r * n..].split_at_mut(MR * n);
+            let (o0, rest) = block.split_at_mut(n);
+            let (o1, rest) = rest.split_at_mut(n);
+            let (o2, o3) = rest.split_at_mut(n);
+            let a0 = &a[(i0 + r) * k..][..k];
+            let a1 = &a[(i0 + r + 1) * k..][..k];
+            let a2 = &a[(i0 + r + 2) * k..][..k];
+            let a3 = &a[(i0 + r + 3) * k..][..k];
+            for p in p0..p1 {
+                let brow = &b[p * n..][..n];
+                let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+                for ((((x0, x1), x2), x3), &bv) in
+                    o0.iter_mut().zip(o1.iter_mut()).zip(o2.iter_mut()).zip(o3.iter_mut()).zip(brow)
+                {
+                    *x0 += v0 * bv;
+                    *x1 += v1 * bv;
+                    *x2 += v2 * bv;
+                    *x3 += v3 * bv;
+                }
+            }
+            r += MR;
+        }
+        // Remainder rows run the same ikj loop one row at a time; per
+        // element the accumulation order is identical to the tiled path.
+        for rr in r..rows {
+            let orow = &mut out[rr * n..(rr + 1) * n];
+            let arow = &a[(i0 + rr) * k..][..k];
+            for p in p0..p1 {
+                let v = arow[p];
+                let brow = &b[p * n..][..n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += v * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Compute output rows `[i0, i0 + out.len()/n)` of `C = A·Bᵀ` into `out`.
+/// `a` is `[m,k]` row-major, `b` is `[n,k]` (so C's column `j` dots A rows
+/// with B row `j`). Four independent dot products run interleaved for
+/// instruction-level parallelism; each is a plain ascending-`p` sum.
+pub fn gemm_bt_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    debug_assert_eq!(out.len(), rows * n);
+    for r in 0..rows {
+        let arow = &a[(i0 + r) * k..][..k];
+        let orow = &mut out[r * n..(r + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..][..k];
+            let b1 = &b[(j + 1) * k..][..k];
+            let b2 = &b[(j + 2) * k..][..k];
+            let b3 = &b[(j + 3) * k..][..k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for ((((&av, &v0), &v1), &v2), &v3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+                s0 += av * v0;
+                s1 += av * v1;
+                s2 += av * v2;
+                s3 += av * v3;
+            }
+            orow[j] = s0;
+            orow[j + 1] = s1;
+            orow[j + 2] = s2;
+            orow[j + 3] = s3;
+            j += 4;
+        }
+        for (jj, o) in orow.iter_mut().enumerate().skip(j) {
+            let brow = &b[jj * k..][..k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Compute output rows `[i0, i0 + out.len()/n)` of `C = Aᵀ·B` into `out`,
+/// which must be zeroed. `a` is `[k,m]` row-major (so C row `i` gathers
+/// A column `i`), `b` is `[k,n]`. Same four-row tile as [`gemm_rows`],
+/// reading A column-wise.
+pub fn gemm_at_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, m: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    debug_assert_eq!(out.len(), rows * n);
+    for p0 in (0..k).step_by(KC) {
+        let p1 = (p0 + KC).min(k);
+        let mut r = 0;
+        while r + MR <= rows {
+            let (block, _) = out[r * n..].split_at_mut(MR * n);
+            let (o0, rest) = block.split_at_mut(n);
+            let (o1, rest) = rest.split_at_mut(n);
+            let (o2, o3) = rest.split_at_mut(n);
+            for p in p0..p1 {
+                let acol = &a[p * m + i0 + r..][..MR];
+                let brow = &b[p * n..][..n];
+                let (v0, v1, v2, v3) = (acol[0], acol[1], acol[2], acol[3]);
+                for ((((x0, x1), x2), x3), &bv) in
+                    o0.iter_mut().zip(o1.iter_mut()).zip(o2.iter_mut()).zip(o3.iter_mut()).zip(brow)
+                {
+                    *x0 += v0 * bv;
+                    *x1 += v1 * bv;
+                    *x2 += v2 * bv;
+                    *x3 += v3 * bv;
+                }
+            }
+            r += MR;
+        }
+        for rr in r..rows {
+            let orow = &mut out[rr * n..(rr + 1) * n];
+            for p in p0..p1 {
+                let v = a[p * m + i0 + rr];
+                let brow = &b[p * n..][..n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += v * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Partition `out` (an `[m,n]` matrix) into row ranges across the pool and
+/// run `f(first_row, row_chunk)` on each; inline when the product is small.
+fn dispatch_rows<F>(out: &mut [f32], n: usize, flops: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if flops < PAR_MIN_FLOPS {
+        f(0, out);
+    } else {
+        muse_parallel::parallel_for_rows(out, n, MR, f);
+    }
 }
 
 impl Tensor {
@@ -23,21 +205,7 @@ impl Tensor {
         let a = self.as_slice();
         let b = rhs.as_slice();
         let mut out = vec![0.0f32; m * n];
-        // ikj ordering keeps the inner loop streaming over contiguous rows of
-        // B and the output, which the guide's cache advice favours.
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        dispatch_rows(&mut out, n, m * k * n, |i0, chunk| gemm_rows(a, b, chunk, i0, k, n));
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -52,17 +220,7 @@ impl Tensor {
         let a = self.as_slice();
         let b = rhs.as_slice();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (av, bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                out[i * n + j] = acc;
-            }
-        }
+        dispatch_rows(&mut out, n, m * k * n, |i0, chunk| gemm_bt_rows(a, b, chunk, i0, k, n));
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -77,19 +235,7 @@ impl Tensor {
         let a = self.as_slice();
         let b = rhs.as_slice();
         let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        dispatch_rows(&mut out, n, m * k * n, |i0, chunk| gemm_at_rows(a, b, chunk, i0, k, m, n));
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -155,12 +301,67 @@ mod tests {
     }
 
     #[test]
+    fn matmul_matches_reference_above_parallel_threshold() {
+        // Big enough that dispatch_rows actually fans out (and the row
+        // count is not a multiple of the register tile).
+        let (m, k, n) = (37, 41, 43);
+        let a = Tensor::from_vec((0..m * k).map(|i| (i as f32 * 0.11).sin()).collect(), &[m, k]);
+        let b = Tensor::from_vec((0..k * n).map(|i| (i as f32 * 0.07).cos()).collect(), &[k, n]);
+        assert!(a.matmul(&b).approx_eq(&matmul_reference(&a, &b), 1e-3));
+    }
+
+    #[test]
     fn transposed_variants_match() {
         let a = Tensor::from_vec((0..12).map(|i| i as f32 * 0.25 - 1.0).collect(), &[3, 4]);
         let b = Tensor::from_vec((0..20).map(|i| i as f32 * 0.1).collect(), &[4, 5]);
         let plain = a.matmul(&b);
         assert!(a.matmul_bt(&b.transpose2()).approx_eq(&plain, 1e-5));
         assert!(a.transpose2().matmul_at(&b).approx_eq(&plain, 1e-5));
+    }
+
+    #[test]
+    fn transposed_variants_match_reference_non_square() {
+        // Non-square shapes with every dimension distinct, sized past the
+        // register tile in both rows and columns.
+        let (m, k, n) = (7, 9, 11);
+        let data_a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.31).sin()).collect();
+        let data_b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.17).cos()).collect();
+        let a = Tensor::from_vec(data_a, &[m, k]);
+        let b = Tensor::from_vec(data_b, &[k, n]);
+        let want = matmul_reference(&a, &b);
+        assert!(a.matmul_bt(&b.transpose2()).approx_eq(&want, 1e-5));
+        assert!(a.transpose2().matmul_at(&b).approx_eq(&want, 1e-5));
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf() {
+        // IEEE semantics: 0 * inf = NaN, and NaN poisons its row/column.
+        // A zero-skip "optimization" would wrongly produce finite values.
+        let a = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![f32::INFINITY, 5.0, 6.0, 7.0], &[2, 2]);
+        let c = a.matmul(&b);
+        let want = matmul_reference(&a, &b);
+        assert!(c.as_slice()[0].is_nan(), "0*inf + 1*6 must be NaN, got {}", c.as_slice()[0]);
+        for (got, expect) in c.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(got.is_nan(), expect.is_nan());
+            if !expect.is_nan() {
+                assert_eq!(got, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_at_propagates_nan_and_inf() {
+        let a = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![f32::INFINITY, 5.0, 6.0, 7.0], &[2, 2]);
+        let got = a.transpose2().matmul_at(&b);
+        let want = matmul_reference(&a, &b);
+        for (g, e) in got.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(g.is_nan(), e.is_nan());
+            if !e.is_nan() {
+                assert_eq!(g, e);
+            }
+        }
     }
 
     #[test]

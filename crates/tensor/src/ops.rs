@@ -4,17 +4,38 @@ use crate::shape::{broadcast_shapes, broadcast_strides, Shape};
 use crate::tensor::Tensor;
 use muse_obs as obs;
 
+/// Element count above which same-shape elementwise kernels fan out across
+/// the pool. Elementwise results are per-element pure functions, so the
+/// partition cannot change any bit of the output.
+pub(crate) const PAR_MIN_ELEMS: usize = 1 << 15;
+
+/// Minimum elements per parallel chunk so tiny jobs never reach the queue.
+const PAR_MIN_CHUNK: usize = 1 << 13;
+
 impl Tensor {
     /// Apply a binary op with numpy-style broadcasting.
     ///
-    /// Fast path: identical shapes walk both buffers linearly. General path:
-    /// stride-0 reads over the broadcast shape.
-    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    /// Fast path: identical shapes walk both buffers linearly (in parallel
+    /// above [`PAR_MIN_ELEMS`]). General path: stride-0 reads over the
+    /// broadcast shape.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         if self.dims() == other.dims() {
             let _t =
                 obs::kernel_timer("tensor.zip_same", (3 * self.len() * std::mem::size_of::<f32>()) as u64);
-            let data: Vec<f32> =
-                self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| f(a, b)).collect();
+            let (a, b) = (self.as_slice(), other.as_slice());
+            let mut data = vec![0.0f32; self.len()];
+            if data.len() >= PAR_MIN_ELEMS {
+                muse_parallel::parallel_for_mut(&mut data, PAR_MIN_CHUNK, |off, chunk| {
+                    let (ac, bc) = (&a[off..off + chunk.len()], &b[off..off + chunk.len()]);
+                    for ((d, &x), &y) in chunk.iter_mut().zip(ac).zip(bc) {
+                        *d = f(x, y);
+                    }
+                });
+            } else {
+                for ((d, &x), &y) in data.iter_mut().zip(a).zip(b) {
+                    *d = f(x, y);
+                }
+            }
             return Tensor::from_vec(data, self.dims());
         }
         let out_dims = broadcast_shapes(self.dims(), other.dims()).unwrap_or_else(|e| panic!("{e}"));
@@ -81,16 +102,38 @@ impl Tensor {
         self.zip_with(other, f32::min)
     }
 
-    /// Map every element through `f`.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let data: Vec<f32> = self.as_slice().iter().map(|&x| f(x)).collect();
+    /// Map every element through `f` (in parallel above [`PAR_MIN_ELEMS`]).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let src = self.as_slice();
+        let mut data = vec![0.0f32; self.len()];
+        if data.len() >= PAR_MIN_ELEMS {
+            muse_parallel::parallel_for_mut(&mut data, PAR_MIN_CHUNK, |off, chunk| {
+                let sc = &src[off..off + chunk.len()];
+                for (d, &x) in chunk.iter_mut().zip(sc) {
+                    *d = f(x);
+                }
+            });
+        } else {
+            for (d, &x) in data.iter_mut().zip(src) {
+                *d = f(x);
+            }
+        }
         Tensor::from_vec(data, self.dims())
     }
 
     /// In-place map.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in self.as_mut_slice() {
-            *x = f(*x);
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let data = self.as_mut_slice();
+        if data.len() >= PAR_MIN_ELEMS {
+            muse_parallel::parallel_for_mut(data, PAR_MIN_CHUNK, |_, chunk| {
+                for x in chunk {
+                    *x = f(*x);
+                }
+            });
+        } else {
+            for x in data {
+                *x = f(*x);
+            }
         }
     }
 
@@ -163,16 +206,25 @@ impl Tensor {
             self.dims(),
             other.dims()
         );
-        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
-            *a += b;
+        let src = other.as_slice();
+        let dst = self.as_mut_slice();
+        if dst.len() >= PAR_MIN_ELEMS {
+            muse_parallel::parallel_for_mut(dst, PAR_MIN_CHUNK, |off, chunk| {
+                let sc = &src[off..off + chunk.len()];
+                for (a, &b) in chunk.iter_mut().zip(sc) {
+                    *a += b;
+                }
+            });
+        } else {
+            for (a, &b) in dst.iter_mut().zip(src) {
+                *a += b;
+            }
         }
     }
 
     /// Scale in place.
     pub fn scale_assign(&mut self, s: f32) {
-        for a in self.as_mut_slice() {
-            *a *= s;
-        }
+        self.map_inplace(|a| a * s);
     }
 
     /// True iff all elements are finite.

@@ -1,13 +1,29 @@
 //! Reductions: sums, means, extrema, and the `sum_to` used by broadcasting
 //! backward passes.
 
+use crate::ops::PAR_MIN_ELEMS;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+
+/// Fixed chunk size for parallel reductions. Partials are computed per
+/// chunk and folded **in chunk order**, so the association — and therefore
+/// the result bits — depend only on the data length, never on the thread
+/// count. Slices at or below one chunk take the plain sequential sum.
+const REDUCE_CHUNK: usize = 1 << 15;
+
+/// Sum of `f(x)` over a slice, chunk-parallel but thread-count-invariant.
+fn chunked_sum(s: &[f32], f: impl Fn(f32) -> f32 + Sync) -> f32 {
+    if s.len() <= REDUCE_CHUNK {
+        s.iter().map(|&x| f(x)).sum()
+    } else {
+        muse_parallel::map_chunks(s, REDUCE_CHUNK, |c| c.iter().map(|&x| f(x)).sum::<f32>()).into_iter().sum()
+    }
+}
 
 impl Tensor {
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.as_slice().iter().sum()
+        chunked_sum(self.as_slice(), |x| x)
     }
 
     /// Mean of all elements (0.0 for empty tensors).
@@ -37,7 +53,7 @@ impl Tensor {
             return 0.0;
         }
         let m = self.mean();
-        self.as_slice().iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / self.len() as f32
+        chunked_sum(self.as_slice(), |x| (x - m) * (x - m)) / self.len() as f32
     }
 
     /// Population standard deviation of all elements.
@@ -54,14 +70,23 @@ impl Tensor {
         let inner: usize = dims[axis + 1..].iter().product();
         let mut out = vec![0.0f32; outer * inner];
         let src = self.as_slice();
-        for o in 0..outer {
-            for m in 0..mid {
-                let base = (o * mid + m) * inner;
-                let obase = o * inner;
-                for i in 0..inner {
-                    out[obase + i] += src[base + i];
+        // Each output row `o` accumulates over ascending `m` no matter
+        // which job owns it, so partitioning rows cannot change the bits.
+        let reduce_rows = |o0: usize, chunk: &mut [f32]| {
+            for (d, orow) in chunk.chunks_mut(inner).enumerate() {
+                let o = o0 + d;
+                for m in 0..mid {
+                    let base = (o * mid + m) * inner;
+                    for (acc, &v) in orow.iter_mut().zip(&src[base..base + inner]) {
+                        *acc += v;
+                    }
                 }
             }
+        };
+        if inner > 0 && self.len() >= PAR_MIN_ELEMS {
+            muse_parallel::parallel_for_rows(&mut out, inner, 1, reduce_rows);
+        } else if inner > 0 {
+            reduce_rows(0, &mut out);
         }
         let mut out_dims = dims.to_vec();
         out_dims.remove(axis);
@@ -155,21 +180,27 @@ impl Tensor {
         let dims = self.dims();
         assert!(!dims.is_empty(), "softmax of scalar");
         let inner = dims[dims.len() - 1];
-        let outer = self.len() / inner;
         let mut out = vec![0.0f32; self.len()];
         let src = self.as_slice();
-        for o in 0..outer {
-            let row = &src[o * inner..(o + 1) * inner];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0;
-            for (i, &v) in row.iter().enumerate() {
-                let e = (v - m).exp();
-                out[o * inner + i] = e;
-                denom += e;
+        // Rows are independent; parallel partitioning is per whole row.
+        let softmax_rows = |o0: usize, chunk: &mut [f32]| {
+            for (d, orow) in chunk.chunks_mut(inner).enumerate() {
+                let row = &src[(o0 + d) * inner..(o0 + d + 1) * inner];
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut denom = 0.0;
+                for (e, &v) in orow.iter_mut().zip(row) {
+                    *e = (v - m).exp();
+                    denom += *e;
+                }
+                for e in orow.iter_mut() {
+                    *e /= denom;
+                }
             }
-            for i in 0..inner {
-                out[o * inner + i] /= denom;
-            }
+        };
+        if inner > 0 && self.len() >= PAR_MIN_ELEMS {
+            muse_parallel::parallel_for_rows(&mut out, inner, 1, softmax_rows);
+        } else if inner > 0 {
+            softmax_rows(0, &mut out);
         }
         Tensor::from_vec(out, dims)
     }
@@ -184,7 +215,7 @@ impl Tensor {
 
     /// Euclidean (L2) norm of the flattened tensor.
     pub fn norm(&self) -> f32 {
-        self.as_slice().iter().map(|&x| x * x).sum::<f32>().sqrt()
+        chunked_sum(self.as_slice(), |x| x * x).sqrt()
     }
 
     /// Sum over all axes except axis 0 — handy for per-sample reductions.

@@ -1,0 +1,136 @@
+//! Thread-count determinism sweep: every parallel kernel must produce
+//! **bit-identical** results for any pool size. Each case computes a
+//! reference result on a single-threaded pool via
+//! [`muse_parallel::with_threads`], then re-runs on pools of 2, 4, and 7
+//! threads (including a count that does not divide the row counts evenly)
+//! and compares exact f32 bits, swept over deterministic seed families in
+//! the style of `crates/autograd/tests/properties.rs`.
+
+use muse_parallel::with_threads;
+use muse_tensor::conv::{conv2d, conv2d_backward, Conv2dSpec};
+use muse_tensor::init::SeededRng;
+use muse_tensor::Tensor;
+
+const THREAD_SWEEP: [usize; 3] = [2, 4, 7];
+
+fn rand_tensor(seed: u64, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    let mut rng = SeededRng::new(seed);
+    Tensor::rand_uniform(&mut rng, dims, lo, hi)
+}
+
+/// Assert exact bit equality, with a useful message on first divergence.
+fn assert_bits_eq(got: &Tensor, want: &Tensor, what: &str, threads: usize) {
+    assert_eq!(got.dims(), want.dims(), "{what}: shape drift at {threads} threads");
+    for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: bit mismatch at element {i} with {threads} threads: {g} vs {w}"
+        );
+    }
+}
+
+/// Run `f` once per pool size and demand bit-identical outputs.
+fn sweep(what: &str, f: impl Fn() -> Tensor) {
+    let want = with_threads(1, &f);
+    for &t in &THREAD_SWEEP {
+        let got = with_threads(t, &f);
+        assert_bits_eq(&got, &want, what, t);
+    }
+}
+
+#[test]
+fn matmul_family_is_thread_invariant() {
+    for seed in [3u64, 17, 91] {
+        // 48*96*64 multiply-adds — far past the parallel dispatch threshold,
+        // with row counts that don't divide evenly by 4 or 7.
+        let a = rand_tensor(seed, &[48, 96], -1.0, 1.0);
+        let b = rand_tensor(seed + 1, &[96, 64], -1.0, 1.0);
+        sweep("matmul", || a.matmul(&b));
+        let bt = rand_tensor(seed + 2, &[64, 96], -1.0, 1.0);
+        sweep("matmul_bt", || a.matmul_bt(&bt));
+        let at = rand_tensor(seed + 3, &[96, 48], -1.0, 1.0);
+        sweep("matmul_at", || at.matmul_at(&b));
+    }
+}
+
+#[test]
+fn conv2d_forward_is_thread_invariant() {
+    for seed in [5u64, 23] {
+        let spec = Conv2dSpec::same(2, 6, 3);
+        let x = rand_tensor(seed, &[5, 2, 8, 10], -1.0, 1.0);
+        let w = rand_tensor(seed + 1, &[6, 2, 3, 3], -1.0, 1.0);
+        let b = rand_tensor(seed + 2, &[6], -0.5, 0.5);
+        sweep("conv2d", || conv2d(&x, &w, Some(&b), &spec));
+    }
+}
+
+#[test]
+fn conv2d_backward_is_thread_invariant() {
+    for seed in [7u64, 29] {
+        let spec = Conv2dSpec::same(2, 6, 3);
+        let x = rand_tensor(seed, &[5, 2, 8, 10], -1.0, 1.0);
+        let w = rand_tensor(seed + 1, &[6, 2, 3, 3], -1.0, 1.0);
+        let go = rand_tensor(seed + 2, &[5, 6, 8, 10], -1.0, 1.0);
+        // The three gradients are separate accumulations; check each.
+        for pick in 0..3 {
+            sweep("conv2d_backward", || {
+                let (gx, gw, gb) = conv2d_backward(&x, &w, &go, &spec);
+                match pick {
+                    0 => gx,
+                    1 => gw,
+                    _ => gb,
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn elementwise_ops_are_thread_invariant() {
+    // Past the elementwise parallel threshold (1 << 15 elements).
+    let n = (1 << 15) + 117;
+    let a = rand_tensor(41, &[n], -2.0, 2.0);
+    let b = rand_tensor(43, &[n], -2.0, 2.0);
+    sweep("add", || a.add(&b));
+    sweep("mul", || a.mul(&b));
+    sweep("tanh", || a.tanh());
+    sweep("sigmoid", || a.sigmoid());
+    sweep("add_assign", || {
+        let mut c = a.clone();
+        c.add_assign(&b);
+        c
+    });
+    sweep("scale_assign", || {
+        let mut c = a.clone();
+        c.scale_assign(0.37);
+        c
+    });
+}
+
+#[test]
+fn reductions_are_thread_invariant() {
+    let n = 3 * (1 << 15) + 1031; // several reduce chunks plus a ragged tail
+    let a = rand_tensor(53, &[n], -1.0, 1.0);
+    sweep("sum", || Tensor::scalar(a.sum()));
+    sweep("norm", || Tensor::scalar(a.norm()));
+    sweep("variance", || Tensor::scalar(a.variance()));
+    let m = rand_tensor(59, &[129, 7, 41], -1.0, 1.0);
+    sweep("sum_axis0", || m.sum_axis(0));
+    sweep("sum_axis1", || m.sum_axis(1));
+    sweep("sum_axis2", || m.sum_axis(2));
+    sweep("softmax_last", || m.softmax_last());
+}
+
+#[test]
+fn parallel_matches_plain_sequential_reference() {
+    // The single-threaded pool is not a special case: the parallel kernels
+    // at 7 threads must match the plain reference implementation too (up to
+    // f32 tolerance — the tiled kernel shares its accumulation order with
+    // the reference, but `matmul_reference` works elementwise).
+    let a = rand_tensor(71, &[37, 53], -1.0, 1.0);
+    let b = rand_tensor(73, &[53, 29], -1.0, 1.0);
+    let want = muse_tensor::linalg::matmul_reference(&a, &b);
+    let got = with_threads(7, || a.matmul(&b));
+    assert!(got.approx_eq(&want, 1e-4), "max diff {}", got.max_abs_diff(&want));
+}

@@ -16,7 +16,21 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> workspace tests, single-threaded pool (MUSE_THREADS=1)"
+MUSE_THREADS=1 cargo test -q --workspace
+
 echo "==> benches compile"
 cargo bench --workspace --no-run
+
+echo "==> perf gate: kernels bench vs committed baseline"
+scripts/perf_gate.sh check
+
+echo "==> perf gate negative test: doctored baseline must fail"
+cargo run -q --release -p muse-bench --bin perf_gate -- doctor BENCH_kernels.json target/doctored_baseline.json
+if cargo run -q --release -p muse-bench --bin perf_gate -- check target/perf_gate_trace.jsonl target/doctored_baseline.json >/dev/null 2>&1; then
+    echo "perf gate FAILED to reject a doctored baseline" >&2
+    exit 1
+fi
+echo "    doctored baseline rejected, gate has teeth"
 
 echo "CI gate passed."
