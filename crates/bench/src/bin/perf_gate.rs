@@ -26,12 +26,8 @@
 //! Exit codes: 0 pass, 1 regression or malformed input, 2 usage error.
 
 use muse_obs::{json, read_trace, Json};
+use muse_trace::tolerance::{self, DEFAULT_TOLERANCE};
 use std::process::ExitCode;
-
-/// Default relative slowdown tolerance: a bench may be up to this much
-/// slower than baseline before the gate fails. Generous because CI
-/// machines are noisy; tighten via the CLI argument or `MUSE_PERF_TOL`.
-const DEFAULT_TOLERANCE: f64 = 0.75;
 
 /// How much `doctor` shrinks baseline timings: makes any honest run look
 /// at least this many times slower than "baseline", guaranteeing failure.
@@ -41,8 +37,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
         [mode, trace, baseline] if mode == "record" => record(trace, baseline),
-        [mode, trace, baseline] if mode == "check" => check(trace, baseline, tolerance_arg(None)),
-        [mode, trace, baseline, tol] if mode == "check" => check(trace, baseline, tolerance_arg(Some(tol))),
+        [mode, trace, baseline] if mode == "check" => check(trace, baseline, None),
+        [mode, trace, baseline, tol] if mode == "check" => check(trace, baseline, Some(tol)),
         [mode, baseline, out] if mode == "doctor" => doctor(baseline, out),
         _ => {
             eprintln!(
@@ -59,19 +55,6 @@ fn main() -> ExitCode {
             eprintln!("perf_gate: {e}");
             ExitCode::FAILURE
         }
-    }
-}
-
-fn tolerance_arg(cli: Option<&String>) -> f64 {
-    let from_env = std::env::var("MUSE_PERF_TOL").ok();
-    let raw = cli.map(|s| s.as_str()).or(from_env.as_deref());
-    match raw.map(str::parse::<f64>) {
-        Some(Ok(t)) if t > 0.0 => t,
-        Some(_) => {
-            eprintln!("perf_gate: ignoring invalid tolerance {raw:?}");
-            DEFAULT_TOLERANCE
-        }
-        None => DEFAULT_TOLERANCE,
     }
 }
 
@@ -171,17 +154,13 @@ fn load_baseline(path: &str) -> Result<Json, String> {
     json::parse(&text).map_err(|e| format!("baseline {path} is not valid JSON: {e:?}"))
 }
 
-fn check(trace: &str, baseline_path: &str, cli_tolerance: f64) -> Result<(), String> {
+fn check(trace: &str, baseline_path: &str, cli_tolerance: Option<&String>) -> Result<(), String> {
     let stats = load_trace(trace)?;
     let baseline = load_baseline(baseline_path)?;
-    // Precedence: CLI/env tolerance, else the tolerance the baseline was
-    // recorded with (the CLI default doubles as "not set" — record always
-    // writes an explicit value).
-    let tolerance = if (cli_tolerance - DEFAULT_TOLERANCE).abs() > f64::EPSILON {
-        cli_tolerance
-    } else {
-        baseline.get("tolerance").and_then(Json::as_f64).unwrap_or(DEFAULT_TOLERANCE)
-    };
+    // Precedence: CLI arg, then MUSE_PERF_TOL (both via the shared
+    // resolver), then the tolerance the baseline was recorded with.
+    let tolerance = tolerance::resolve(cli_tolerance.map(String::as_str))
+        .unwrap_or_else(|| baseline.get("tolerance").and_then(Json::as_f64).unwrap_or(DEFAULT_TOLERANCE));
     let mut failures = Vec::new();
     println!("perf_gate: tolerance +{:.0}% vs {baseline_path}", tolerance * 100.0);
 
@@ -195,17 +174,18 @@ fn check(trace: &str, baseline_path: &str, cli_tolerance: f64) -> Result<(), Str
         match stats.benches.iter().find(|(n, _, _)| n == name) {
             None => failures.push(format!("bench `{name}` missing from trace")),
             Some((_, got_min, _)) => {
-                let ratio = got_min / want_min;
-                let verdict = if ratio > 1.0 + tolerance { "FAIL" } else { "ok" };
+                let change = tolerance::rel_change(want_min, *got_min);
+                let fail = tolerance::exceeds(want_min, *got_min, tolerance);
+                let verdict = if fail { "FAIL" } else { "ok" };
                 println!(
                     "  {verdict:<4} {name:<40} baseline {want_min:>12.0} ns  current {got_min:>12.0} ns  ({:+.1}%)",
-                    (ratio - 1.0) * 100.0
+                    change * 100.0
                 );
-                if ratio > 1.0 + tolerance {
+                if fail {
                     failures.push(format!(
                         "bench `{name}` regressed: {got_min:.0} ns vs baseline {want_min:.0} ns \
                          (+{:.1}%, tolerance +{:.0}%)",
-                        (ratio - 1.0) * 100.0,
+                        change * 100.0,
                         tolerance * 100.0
                     ));
                 }
@@ -227,8 +207,7 @@ fn check(trace: &str, baseline_path: &str, cli_tolerance: f64) -> Result<(), Str
         match stats.kernels.iter().find(|(n, _)| n == name) {
             None => failures.push(format!("kernel `{name}` missing from kernel.summary")),
             Some((_, got_bpc)) => {
-                let drift = (got_bpc - want_bpc).abs() / want_bpc.max(1.0);
-                if drift > tolerance {
+                if tolerance::drifted(want_bpc, *got_bpc, tolerance) {
                     failures.push(format!(
                         "kernel `{name}` bytes-per-call drifted: {got_bpc:.1} vs baseline {want_bpc:.1}"
                     ));

@@ -10,6 +10,7 @@ use crate::variational::{Branch, VariationalEncoder};
 use muse_autograd::vae_ops::{kl_between, kl_to_standard_normal, reparameterize, sse_per_sample};
 use muse_autograd::{Tape, Var};
 use muse_nn::{ParamRef, Session};
+use muse_obs as obs;
 use muse_tensor::init::SeededRng;
 use muse_tensor::Tensor;
 use muse_traffic::subseries::SubSeriesSpec;
@@ -258,11 +259,23 @@ impl MuseNet {
         let skips = [s.input(last_frame(closeness)), s.input(last_frame(period)), s.input(last_frame(trend))];
 
         // Exclusive branches.
-        let enc: Vec<EncoderOutput<'t>> = vec![
-            self.exclusive[0].forward(s, c),
-            self.exclusive[1].forward(s, p),
-            self.exclusive[2].forward(s, t),
-        ];
+        let enc: Vec<EncoderOutput<'t>> = {
+            let _span = obs::span("model.encode");
+            vec![
+                {
+                    let _b = obs::span("closeness");
+                    self.exclusive[0].forward(s, c)
+                },
+                {
+                    let _b = obs::span("period");
+                    self.exclusive[1].forward(s, p)
+                },
+                {
+                    let _b = obs::span("trend");
+                    self.exclusive[2].forward(s, t)
+                },
+            ]
+        };
 
         let mut rng = self.noise.borrow_mut();
         let sample_z = |mu: &Var<'t>, lv: &Var<'t>, rng: &mut SeededRng| -> Var<'t> {
@@ -281,22 +294,29 @@ impl MuseNet {
         // Interactive pathway, reconstruction inputs, spatial stack, pulling.
         let (kl_interactive_var, recon_var, spatial_stack, pull_var) = match &self.interactive {
             InteractivePath::Multivariate { encoder, simplex, duplex } => {
-                let feats = Var::concat(&[enc[0].feature, enc[1].feature, enc[2].feature], 1);
-                let inter = encoder.forward(s, feats);
-                let z_s = sample_z(&inter.mu, &inter.logvar, &mut rng);
-                let kl_s = kl_to_standard_normal(&inter.mu, &inter.logvar);
+                let (inter, z_s, kl_s) = {
+                    let _span = obs::span("model.interactive");
+                    let feats = Var::concat(&[enc[0].feature, enc[1].feature, enc[2].feature], 1);
+                    let inter = encoder.forward(s, feats);
+                    let z_s = sample_z(&inter.mu, &inter.logvar, &mut rng);
+                    let kl_s = kl_to_standard_normal(&inter.mu, &inter.logvar);
+                    (inter, z_s, kl_s)
+                };
 
                 // Reconstruction (semantic-pushing, Eq. 28).
+                let _recon_span = obs::span("model.reconstruct");
                 let mut recon =
                     sse_per_sample(&self.decoders[0].forward_pair(s, z_exclusive[0], z_s), inputs[0]);
                 recon = recon
                     .add(&sse_per_sample(&self.decoders[1].forward_pair(s, z_exclusive[1], z_s), inputs[1]));
                 recon = recon
                     .add(&sse_per_sample(&self.decoders[2].forward_pair(s, z_exclusive[2], z_s), inputs[2]));
+                drop(_recon_span);
 
                 let stack = Var::concat(&[enc[0].feature, enc[1].feature, enc[2].feature, inter.feature], 1);
 
                 // Semantic-pulling (Eq. 29).
+                let _pull_span = obs::span("model.pulling");
                 let pull = match (simplex, duplex) {
                     (Some(sx), Some(dx)) => {
                         let mut acc: Option<Var<'t>> = None;
@@ -322,9 +342,11 @@ impl MuseNet {
                     }
                     _ => None,
                 };
+                drop(_pull_span);
                 (kl_s, recon, stack, pull)
             }
             InteractivePath::Pairwise { encoders } => {
+                let _span = obs::span("model.interactive");
                 // w/o-MultiDisentangle: three pairwise interactive paths.
                 let mut pair_out = Vec::with_capacity(3);
                 for (pair_idx, (bi, bj)) in Branch::pairs().iter().enumerate() {
@@ -374,9 +396,12 @@ impl MuseNet {
         drop(rng);
 
         // Spatial head with Hadamard-fused recent frames.
-        let prediction = match &self.spatial {
-            SpatialHead::ResPlus(r) => r.forward(s, spatial_stack, &skips),
-            SpatialHead::Pointwise(h) => h.forward(s, spatial_stack, &skips),
+        let prediction = {
+            let _span = obs::span("model.spatial");
+            match &self.spatial {
+                SpatialHead::ResPlus(r) => r.forward(s, spatial_stack, &skips),
+                SpatialHead::Pointwise(h) => h.forward(s, spatial_stack, &skips),
+            }
         };
 
         // Regression (Eq. 30).

@@ -179,6 +179,7 @@ impl Trainer {
             ]
         });
         let fit_start = Instant::now();
+        let _fit_span = obs::span("train.fit");
 
         for epoch in 0..self.options.epochs {
             let epoch_start = Instant::now();
@@ -196,10 +197,16 @@ impl Trainer {
                 }
                 let batch_start = Instant::now();
                 let indices: Vec<usize> = chunk.iter().map(|&i| train_idx[i]).collect();
-                let b = batch(flows, spec, &indices);
+                let b = {
+                    let _span = obs::span("train.data");
+                    batch(flows, spec, &indices)
+                };
                 let tape = Tape::new();
                 let s = Session::new(&tape);
-                let pass = self.model.train_graph(&s, &b);
+                let pass = {
+                    let _span = obs::span("train.forward");
+                    self.model.train_graph(&s, &b)
+                };
                 if !pass.terms.is_finite() {
                     // Skip a diverged batch rather than poisoning the run:
                     // it contributes to `skipped_batches`, never to the
@@ -222,12 +229,18 @@ impl Trainer {
                 term_sums[2] += pass.terms.reconstruction as f64;
                 term_sums[3] += pass.terms.pulling as f64;
                 report.final_terms = Some(pass.terms);
-                s.backward(pass.loss);
-                if self.options.clip_norm > 0.0 {
-                    clip_grad_norm(self.optimizer.params(), self.options.clip_norm);
+                {
+                    let _span = obs::span("train.backward");
+                    s.backward(pass.loss);
+                    if self.options.clip_norm > 0.0 {
+                        clip_grad_norm(self.optimizer.params(), self.options.clip_norm);
+                    }
                 }
-                self.optimizer.step();
-                self.optimizer.zero_grad();
+                {
+                    let _span = obs::span("train.optim");
+                    self.optimizer.step();
+                    self.optimizer.zero_grad();
+                }
                 samples += indices.len();
                 obs::emit_with("train.batch", || {
                     let secs = batch_start.elapsed().as_secs_f64().max(1e-9);
@@ -245,8 +258,12 @@ impl Trainer {
             }
             let train_loss = mean(&losses);
             let train_regression = mean(&regs);
-            let val_rmse =
-                if val_idx.is_empty() { None } else { Some(self.validation_rmse(flows, spec, val_idx)) };
+            let val_rmse = if val_idx.is_empty() {
+                None
+            } else {
+                let _span = obs::span("train.validate");
+                Some(self.validation_rmse(flows, spec, val_idx))
+            };
             let record =
                 EpochRecord { epoch, train_loss, train_regression, val_rmse, skipped_batches: skipped };
             obs::emit_with("train.epoch", || {

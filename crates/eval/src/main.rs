@@ -18,6 +18,13 @@
 //!   --seed <n>     override master seed
 //!   --out <dir>    also write each artifact to <dir>/<experiment>.txt
 //!   --trace <p>    write a JSONL telemetry trace to <p> (same as MUSE_OBS=<p>)
+//!   --serve-metrics <addr>
+//!                  serve /metrics (Prometheus) and /status (JSON) on <addr>
+//!                  while the run is live (same as MUSE_OBS_ADDR=<addr>)
+//!   --linger-ms <n>
+//!                  keep the process (and the metrics endpoint) alive for
+//!                  <n> ms after the last experiment — lets scrapers catch
+//!                  the final state
 //! ```
 
 use muse_eval::drivers;
@@ -33,6 +40,8 @@ struct Args {
     dataset: Option<DatasetPreset>,
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
+    serve_metrics: Option<String>,
+    linger_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +51,8 @@ fn parse_args() -> Result<Args, String> {
     let mut dataset = None;
     let mut out = None;
     let mut trace = None;
+    let mut serve_metrics = None;
+    let mut linger_ms = 0u64;
     let mut scale: Option<f32> = None;
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -76,19 +87,27 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--trace needs a value")?;
                 trace = Some(PathBuf::from(v));
             }
+            "--serve-metrics" => {
+                let v = argv.next().ok_or("--serve-metrics needs an address")?;
+                serve_metrics = Some(v);
+            }
+            "--linger-ms" => {
+                let v = argv.next().ok_or("--linger-ms needs a value")?;
+                linger_ms = v.parse().map_err(|_| format!("bad linger-ms {v}"))?;
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
     if let Some(s) = scale {
         profile = profile.scaled(s);
     }
-    Ok(Args { experiment, profile, dataset, out, trace })
+    Ok(Args { experiment, profile, dataset, out, trace, serve_metrics, linger_ms })
 }
 
 fn usage() -> String {
     "usage: muse-eval <table1|table2|table3|table4|table5|table6|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|all> \
      [--quick|--standard] [--scale f] [--dataset nyc-bike|nyc-taxi|taxibj] [--epochs n] [--seed n] [--out dir] \
-     [--trace path.jsonl]"
+     [--trace path.jsonl] [--serve-metrics host:port] [--linger-ms n]"
         .to_string()
 }
 
@@ -110,6 +129,29 @@ fn main() {
         },
         None => obs::init_from_env(),
     };
+    // A live exporter implies telemetry: enable collection so /metrics has
+    // counters to show even without a trace file.
+    let server = match &args.serve_metrics {
+        Some(addr) => match obs::MetricsServer::start(addr.as_str()) {
+            Ok(server) => {
+                obs::enable();
+                eprintln!("[metrics] serving http://{}/metrics", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("cannot serve metrics on {addr}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let server = obs::MetricsServer::start_from_env();
+            if let Some(s) = &server {
+                obs::enable();
+                eprintln!("[metrics] serving http://{}/metrics", s.addr());
+            }
+            server
+        }
+    };
     let experiments: Vec<String> = if args.experiment == "all" {
         [
             "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig4", "fig5",
@@ -129,6 +171,7 @@ fn main() {
                 ("profile", profile_json(&args.profile)),
                 ("dataset", args.dataset.map(|p| format!("{p:?}")).as_deref().unwrap_or("all").to_json()),
                 ("threads", Json::Num(muse_parallel::current_threads() as f64)),
+                ("metrics_addr", server.as_ref().map_or(Json::Null, |s| Json::Str(s.addr().to_string()))),
             ],
         );
     }
@@ -160,6 +203,11 @@ fn main() {
             eprintln!("[trace] wrote {}", path.display());
         }
     }
+    if args.linger_ms > 0 && server.is_some() {
+        eprintln!("[metrics] lingering {} ms for scrapers", args.linger_ms);
+        std::thread::sleep(std::time::Duration::from_millis(args.linger_ms));
+    }
+    drop(server);
 }
 
 /// Serialize the eval profile for the `run.manifest` trace event.

@@ -111,6 +111,9 @@ impl fmt::Display for Json {
 fn write_number(n: f64, out: &mut String) {
     if !n.is_finite() {
         out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        // `-0.0 as i64` is 0; keep the sign so parse(render(v)) is bit-exact.
+        out.push_str("-0");
     } else if n == n.trunc() && n.abs() < 9.0e15 {
         // Integer-valued: no fractional part, so u64 counters stay exact.
         out.push_str(&format!("{}", n as i64));

@@ -41,16 +41,18 @@
 
 pub mod json;
 pub mod metrics;
+pub mod serve;
 pub mod sink;
 pub mod span;
 
 pub use json::{Json, ToJson};
 pub use metrics::{counter, gauge, histogram, kernel, Counter, Gauge, Histogram, KernelStat};
+pub use serve::{render_prometheus, MetricsServer};
 pub use sink::{
-    close_trace, emit, emit_with, init_from_env, next_run_id, open_trace, read_trace, trace_enabled,
-    trace_path,
+    close_trace, emit, emit_with, emitted_events, init_from_env, next_run_id, now_ns, open_trace, read_trace,
+    trace_enabled, trace_path,
 };
-pub use span::{span, span_depth, SpanGuard};
+pub use span::{span, span_depth, thread_ordinal, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -331,6 +331,33 @@ pub(crate) fn snapshot_json() -> Json {
     Json::obj([("counters", counters), ("gauges", gauges), ("histograms", histograms), ("kernels", kernels)])
 }
 
+/// One exported histogram: `(name, count, sum, nonzero (bucket_floor, count) pairs)`.
+pub(crate) type HistogramExport = (String, u64, f64, Vec<(u64, u64)>);
+
+/// Structured registry snapshot for exporters (Prometheus rendering).
+pub(crate) struct Export {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<HistogramExport>,
+    /// `(name, calls, nanos, bytes)`.
+    pub kernels: Vec<(String, u64, u64, u64)>,
+}
+
+pub(crate) fn export_snapshot() -> Export {
+    Export {
+        counters: lock(&registry().counters).iter().map(|(k, c)| (k.to_string(), c.get())).collect(),
+        gauges: lock(&registry().gauges).iter().map(|(k, g)| (k.to_string(), g.get())).collect(),
+        histograms: lock(&registry().histograms)
+            .iter()
+            .map(|(k, h)| (k.clone(), h.count(), h.sum(), h.nonzero_buckets()))
+            .collect(),
+        kernels: lock(&registry().kernels)
+            .iter()
+            .map(|(k, s)| (k.to_string(), s.calls.get(), s.nanos.get(), s.bytes.get()))
+            .collect(),
+    }
+}
+
 pub(crate) fn render_summary() -> String {
     let mut out = String::new();
     let kernels = lock(&registry().kernels);

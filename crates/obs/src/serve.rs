@@ -1,0 +1,299 @@
+//! Live metrics exporter: a tiny blocking HTTP listener.
+//!
+//! [`MetricsServer::start`] binds a TCP listener and serves two routes from
+//! a background thread:
+//!
+//! * `GET /metrics` — the full registry in Prometheus text exposition
+//!   format (version 0.0.4): counters as `muse_<name>_total`, gauges as
+//!   `muse_<name>`, histograms with cumulative power-of-two `le` buckets,
+//!   kernel stats as three labelled counter families.
+//! * `GET /status`  — a JSON snapshot of the run: uptime, scrape count,
+//!   whether a trace is open and where, and the global event watermark.
+//!
+//! The server is deliberately minimal — one thread, blocking I/O, no
+//! keep-alive — because its job is to let `curl`/Prometheus watch a long
+//! `Trainer::fit` without adding a dependency or a runtime. Dropping the
+//! handle (or calling [`MetricsServer::shutdown`]) stops the listener.
+
+use crate::json::Json;
+use crate::metrics;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Prometheus content type for text exposition format 0.0.4.
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Handle to a running exporter; dropping it shuts the listener down.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9464`, port 0 for ephemeral) and start
+    /// serving `/metrics` and `/status` from a background thread.
+    pub fn start(addr: impl ToSocketAddrs) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let started = Instant::now();
+        let scrapes = Arc::new(AtomicU64::new(0));
+        let handle = std::thread::Builder::new()
+            .name("muse-obs-serve".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // A stuck client must not wedge the exporter forever.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                    let _ = handle_connection(stream, started, &scrapes);
+                }
+            })
+            .expect("spawn muse-obs-serve thread");
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// Honour the `MUSE_OBS_ADDR` environment variable: when set to a bind
+    /// address, start an exporter there. Returns the running server, or
+    /// `None` when the variable is unset/empty (bind errors are reported to
+    /// stderr, not fatal).
+    pub fn start_from_env() -> Option<MetricsServer> {
+        match std::env::var("MUSE_OBS_ADDR") {
+            Ok(addr) if !addr.is_empty() => match MetricsServer::start(addr.as_str()) {
+                Ok(server) => Some(server),
+                Err(e) => {
+                    eprintln!("muse-obs: cannot serve metrics on {addr}: {e}");
+                    None
+                }
+            },
+            _ => None,
+        }
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else { return };
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, started: Instant, scrapes: &AtomicU64) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers; the routes take no body and no parameters.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
+    } else {
+        match path {
+            "/metrics" => {
+                scrapes.fetch_add(1, Ordering::Relaxed);
+                ("200 OK", METRICS_CONTENT_TYPE, render_prometheus())
+            }
+            "/status" => {
+                ("200 OK", "application/json; charset=utf-8", status_json(started, scrapes).render())
+            }
+            _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+        }
+    };
+    let stream = reader.get_mut();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+fn status_json(started: Instant, scrapes: &AtomicU64) -> Json {
+    Json::obj([
+        ("uptime_s", Json::Num(started.elapsed().as_secs_f64())),
+        ("enabled", Json::Bool(crate::enabled())),
+        ("trace_open", Json::Bool(crate::trace_enabled())),
+        ("trace_path", crate::trace_path().map_or(Json::Null, |p| Json::Str(p.display().to_string()))),
+        ("events_emitted", Json::Num(crate::sink::emitted_events() as f64)),
+        ("scrapes", Json::Num(scrapes.load(Ordering::Relaxed) as f64)),
+    ])
+}
+
+/// Render every registered metric in Prometheus text exposition format
+/// (0.0.4). Metric names are prefixed with `muse_` and sanitized to
+/// `[a-zA-Z0-9_:]`; kernel stats become labelled counter families.
+pub fn render_prometheus() -> String {
+    let snap = metrics::export_snapshot();
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let name = format!("muse_{}_total", sanitize(name));
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let name = format!("muse_{}", sanitize(name));
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", num(*value)));
+    }
+    for (name, count, sum, buckets) in &snap.histograms {
+        let name = format!("muse_{}", sanitize(name));
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (floor, bucket_count) in buckets {
+            cumulative += bucket_count;
+            // Bucket with floor 2^i holds values in [2^i, 2^(i+1)), except
+            // bucket 0 which also absorbs everything below 1.
+            let le = (*floor as f64) * 2.0;
+            out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {cumulative}\n", num(le)));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
+        out.push_str(&format!("{name}_sum {}\n", num(*sum)));
+        out.push_str(&format!("{name}_count {count}\n"));
+    }
+    if !snap.kernels.is_empty() {
+        for (metric, idx) in [
+            ("muse_kernel_calls_total", 1usize),
+            ("muse_kernel_nanos_total", 2),
+            ("muse_kernel_bytes_total", 3),
+        ] {
+            out.push_str(&format!("# TYPE {metric} counter\n"));
+            for row in &snap.kernels {
+                let value = match idx {
+                    1 => row.1,
+                    2 => row.2,
+                    _ => row.3,
+                };
+                out.push_str(&format!("{metric}{{kernel=\"{}\"}} {value}\n", escape_label(&row.0)));
+            }
+        }
+    }
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' }).collect()
+}
+
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Prometheus float formatting: integral values render without an exponent
+/// or trailing `.0`; everything else uses shortest-roundtrip `Display`.
+fn num(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        io::Read::read_to_string(&mut stream, &mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn render_covers_all_metric_kinds() {
+        let _g = crate::test_lock();
+        crate::reset_metrics();
+        crate::metrics::counter("serve.test.counter").add(7);
+        crate::metrics::gauge("serve.test.gauge").set(2.5);
+        let h = crate::metrics::histogram("serve.test.hist");
+        h.record(3.0);
+        h.record(700.0);
+        let k = crate::metrics::kernel("serve.test.kernel");
+        k.calls.add(2);
+        k.nanos.add(900);
+        k.bytes.add(4096);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE muse_serve_test_counter_total counter"));
+        assert!(text.contains("muse_serve_test_counter_total 7"));
+        assert!(text.contains("muse_serve_test_gauge 2.5"));
+        assert!(text.contains("# TYPE muse_serve_test_hist histogram"));
+        // 3.0 lands in the [2,4) bucket → le="4"; cumulative +Inf == count.
+        assert!(text.contains("muse_serve_test_hist_bucket{le=\"4\"} 1"));
+        assert!(text.contains("muse_serve_test_hist_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("muse_serve_test_hist_sum 703"));
+        assert!(text.contains("muse_serve_test_hist_count 2"));
+        assert!(text.contains("muse_kernel_calls_total{kernel=\"serve.test.kernel\"} 2"));
+        assert!(text.contains("muse_kernel_nanos_total{kernel=\"serve.test.kernel\"} 900"));
+        assert!(text.contains("muse_kernel_bytes_total{kernel=\"serve.test.kernel\"} 4096"));
+        crate::reset_metrics();
+    }
+
+    #[test]
+    fn server_serves_metrics_status_and_404() {
+        let _g = crate::test_lock();
+        crate::metrics::counter("serve.test.live").add(1);
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "head: {head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("muse_serve_test_live_total"));
+
+        let (head, body) = http_get(addr, "/status");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        let status = crate::json::parse(&body).unwrap();
+        assert!(status.get("uptime_s").unwrap().as_f64().unwrap() >= 0.0);
+        assert_eq!(status.get("scrapes").unwrap().as_f64(), Some(1.0));
+
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+        // The port is released: a fresh bind to the same address succeeds.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok());
+    }
+}

@@ -27,6 +27,28 @@ struct Trace {
 static TRACE_OPEN: AtomicBool = AtomicBool::new(false);
 static SEQ: AtomicU64 = AtomicU64::new(0);
 static RUN_ID: AtomicU64 = AtomicU64::new(0);
+/// Nanoseconds from the process epoch to the moment the trace was opened;
+/// lets [`now_ns`] report trace-relative time without taking the trace lock.
+static OPEN_OFFSET_NS: AtomicU64 = AtomicU64::new(0);
+
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the trace was opened (or since first use,
+/// when no trace has been opened). Span enter/exit events timestamp with
+/// this clock, so trace post-processing never sees time move backwards and
+/// span times line up with the `t_ms` field of ordinary events.
+pub fn now_ns() -> u64 {
+    let abs = process_epoch().elapsed().as_nanos() as u64;
+    abs.saturating_sub(OPEN_OFFSET_NS.load(Ordering::Relaxed))
+}
+
+/// Total events emitted to traces so far (the global `seq` watermark).
+pub fn emitted_events() -> u64 {
+    SEQ.load(Ordering::Relaxed)
+}
 
 fn trace_slot() -> &'static Mutex<Option<Trace>> {
     static SLOT: OnceLock<Mutex<Option<Trace>>> = OnceLock::new();
@@ -54,6 +76,7 @@ pub fn open_trace(path: impl AsRef<Path>) -> io::Result<()> {
     }
     let file = File::create(&path)?;
     let mut slot = lock_trace();
+    OPEN_OFFSET_NS.store(process_epoch().elapsed().as_nanos() as u64, Ordering::Relaxed);
     *slot = Some(Trace { writer: BufWriter::new(file), path, opened: Instant::now() });
     TRACE_OPEN.store(true, Ordering::Relaxed);
     crate::enable();
@@ -137,12 +160,28 @@ fn write_event(event: &str, fields: Vec<(&str, Json)>) {
 }
 
 /// Read a JSONL trace back as parsed events (test/analysis helper).
+///
+/// A run killed mid-`emit` leaves exactly one casualty: a partially
+/// written final line. That line is skipped with a warning so a truncated
+/// trace stays analyzable; a malformed line anywhere *else* is genuine
+/// corruption and still errors.
 pub fn read_trace(path: impl AsRef<Path>) -> io::Result<Vec<Json>> {
-    let text = std::fs::read_to_string(path)?;
-    text.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|l| crate::json::parse(l).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())))
-        .collect::<Result<Vec<_>, _>>()
+    let text = std::fs::read_to_string(&path)?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut events = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match crate::json::parse(line) {
+            Ok(v) => events.push(v),
+            Err(e) if i + 1 == lines.len() => {
+                eprintln!(
+                    "muse-obs: skipping truncated final trace line in {}: {e}",
+                    path.as_ref().display()
+                );
+            }
+            Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        }
+    }
+    Ok(events)
 }
 
 #[cfg(test)]
@@ -186,5 +225,37 @@ mod tests {
         let a = next_run_id();
         let b = next_run_id();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn read_trace_skips_truncated_final_line() {
+        let _g = crate::test_lock();
+        let dir = std::env::temp_dir().join("muse-obs-test");
+        let path = dir.join("sink_truncated.jsonl");
+        open_trace(&path).unwrap();
+        emit("test.first", vec![("n", Json::Num(1.0))]);
+        emit("test.second", vec![("n", Json::Num(2.0))]);
+        emit("test.third", vec![("n", Json::Num(3.0))]);
+        close_trace().unwrap();
+        crate::disable();
+        // Simulate a crash mid-`emit`: cut the file mid-way through the
+        // final JSON object.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.trim_end().len() - 9;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let events = read_trace(&path).unwrap();
+        assert_eq!(events.len(), 2, "intact lines survive, the torn one is dropped");
+        assert_eq!(events[1].get("ev").unwrap().as_str(), Some("test.second"));
+        // Corruption in the *middle* of a trace is still an error.
+        std::fs::write(&path, "{\"ev\":\"ok\"}\n{broken\n{\"ev\":\"ok2\"}\n").unwrap();
+        assert!(read_trace(&path).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -16,15 +16,31 @@
 //! the code the sequential path would run — no atomics on floats, no
 //! thread-count-dependent accumulation order.
 
+use muse_obs as obs;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// A type-erased, lifetime-erased unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Jobs sitting in queues, process-wide (pools share the telemetry so the
+/// gauges describe total utilization, which is what `/metrics` wants).
+static QUEUED: AtomicU64 = AtomicU64::new(0);
+/// Threads currently executing a pool job, process-wide.
+static ACTIVE: AtomicU64 = AtomicU64::new(0);
+
+/// Publish queue/worker occupancy to the gauge registry. The atomics are
+/// always kept accurate so the first enabled read is already correct.
+fn publish_pool_gauges() {
+    if obs::enabled() {
+        obs::gauge("parallel.queue_depth").set(QUEUED.load(Ordering::Relaxed) as f64);
+        obs::gauge("parallel.active_workers").set(ACTIVE.load(Ordering::Relaxed) as f64);
+    }
+}
 
 thread_local! {
     /// Set while a pool worker (or a caller draining the queue) executes a
@@ -63,17 +79,30 @@ impl JobQueue {
         let mut state = self.jobs.lock().unwrap_or_else(|p| p.into_inner());
         state.queue.push_back(job);
         drop(state);
+        QUEUED.fetch_add(1, Ordering::Relaxed);
+        if obs::enabled() {
+            obs::counter("parallel.jobs_submitted").add(1);
+        }
+        publish_pool_gauges();
         self.available.notify_one();
     }
 
     fn try_pop(&self) -> Option<Job> {
-        self.jobs.lock().unwrap_or_else(|p| p.into_inner()).queue.pop_front()
+        let job = self.jobs.lock().unwrap_or_else(|p| p.into_inner()).queue.pop_front();
+        if job.is_some() {
+            QUEUED.fetch_sub(1, Ordering::Relaxed);
+            publish_pool_gauges();
+        }
+        job
     }
 
     fn pop_blocking(&self) -> Option<Job> {
         let mut state = self.jobs.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if let Some(job) = state.queue.pop_front() {
+                drop(state);
+                QUEUED.fetch_sub(1, Ordering::Relaxed);
+                publish_pool_gauges();
                 return Some(job);
             }
             if state.closed {
@@ -311,7 +340,14 @@ impl Drop for ThreadPool {
 /// already wrapped in `catch_unwind` by `join_all`, but be defensive).
 fn run_marked(job: Job) {
     IN_WORKER.with(|w| w.set(true));
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
+    publish_pool_gauges();
     let result = catch_unwind(AssertUnwindSafe(job));
+    ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    if obs::enabled() {
+        obs::counter("parallel.jobs_completed").add(1);
+    }
+    publish_pool_gauges();
     IN_WORKER.with(|w| w.set(false));
     if let Err(p) = result {
         resume_unwind(p);
@@ -429,6 +465,26 @@ mod tests {
         });
         assert_eq!(outer[0], 3);
         assert_eq!(outer[7], 10);
+    }
+
+    #[test]
+    fn job_counters_accumulate_when_enabled() {
+        let _g = obs::test_lock();
+        obs::enable();
+        let submitted = obs::counter("parallel.jobs_submitted").get();
+        let completed = obs::counter("parallel.jobs_completed").get();
+        let pool = ThreadPool::new(2);
+        let mut data = vec![0u32; 64];
+        pool.parallel_for_mut(&mut data, 1, |off, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (off + i) as u32;
+            }
+        });
+        assert!(obs::counter("parallel.jobs_submitted").get() > submitted);
+        assert!(obs::counter("parallel.jobs_completed").get() > completed);
+        // After join_all, nothing from this scope is queued or running.
+        assert_eq!(data[63], 63);
+        obs::disable();
     }
 
     #[test]

@@ -10,10 +10,29 @@
 //! [`MAX_POOLED`] buffers, drops simply free memory.
 
 use muse_obs as obs;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// Maximum number of buffers retained for reuse.
 const MAX_POOLED: usize = 64;
+
+/// Buffers currently checked out of the pool.
+static OUTSTANDING: AtomicU64 = AtomicU64::new(0);
+/// Bytes held by outstanding buffers.
+static OUT_BYTES: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`OUT_BYTES`].
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Publish scratch occupancy to the gauge registry (`/metrics`,
+/// `muse-trace report`). The atomics above are always kept accurate so the
+/// gauges are right from the first enabled read.
+fn publish(outstanding: u64, bytes: u64) {
+    if obs::enabled() {
+        obs::gauge("parallel.scratch_outstanding").set(outstanding as f64);
+        obs::gauge("parallel.scratch_bytes").set(bytes as f64);
+        obs::gauge("parallel.scratch_bytes_peak").set(PEAK_BYTES.load(Ordering::Relaxed) as f64);
+    }
+}
 
 fn pool() -> &'static Mutex<Vec<Vec<f32>>> {
     static POOL: OnceLock<Mutex<Vec<Vec<f32>>>> = OnceLock::new();
@@ -54,10 +73,16 @@ impl std::ops::DerefMut for Scratch {
 
 impl Drop for Scratch {
     fn drop(&mut self) {
-        let mut pool = pool().lock().unwrap_or_else(|p| p.into_inner());
-        if pool.len() < MAX_POOLED {
-            pool.push(std::mem::take(&mut self.buf));
+        let bytes = (self.buf.len() * std::mem::size_of::<f32>()) as u64;
+        {
+            let mut pool = pool().lock().unwrap_or_else(|p| p.into_inner());
+            if pool.len() < MAX_POOLED {
+                pool.push(std::mem::take(&mut self.buf));
+            }
         }
+        let outstanding = OUTSTANDING.fetch_sub(1, Ordering::Relaxed) - 1;
+        let out_bytes = OUT_BYTES.fetch_sub(bytes, Ordering::Relaxed) - bytes;
+        publish(outstanding, out_bytes);
     }
 }
 
@@ -78,6 +103,11 @@ pub fn take_zeroed(len: usize) -> Scratch {
     let mut buf = recycled.unwrap_or_default();
     buf.clear();
     buf.resize(len, 0.0);
+    let bytes = (len * std::mem::size_of::<f32>()) as u64;
+    let outstanding = OUTSTANDING.fetch_add(1, Ordering::Relaxed) + 1;
+    let out_bytes = OUT_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK_BYTES.fetch_max(out_bytes, Ordering::Relaxed);
+    publish(outstanding, out_bytes);
     Scratch { buf }
 }
 
@@ -96,6 +126,19 @@ mod tests {
         let s2 = take_zeroed(50);
         assert_eq!(s2.len(), 50);
         assert!(s2.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn occupancy_gauges_track_checkouts() {
+        let _g = obs::test_lock();
+        obs::enable();
+        let bytes = 256 * std::mem::size_of::<f32>() as u64;
+        let s = take_zeroed(256);
+        assert!(obs::gauge("parallel.scratch_outstanding").get() >= 1.0);
+        assert!(obs::gauge("parallel.scratch_bytes").get() >= bytes as f64);
+        assert!(obs::gauge("parallel.scratch_bytes_peak").get() >= bytes as f64);
+        drop(s);
+        obs::disable();
     }
 
     #[test]

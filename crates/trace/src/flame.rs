@@ -1,0 +1,147 @@
+//! Fold span exit events into collapsed-stack flame profiles.
+//!
+//! Each `span.exit` event carries its full slash-joined path and duration,
+//! so folding is pure aggregation: total time per path, self time = total
+//! minus the totals of *direct* children. The collapsed output
+//! (`a;b;c <self_ns>` per line) is the format `flamegraph.pl` and
+//! speedscope consume directly.
+
+use crate::ingest::SpanExit;
+use std::collections::BTreeMap;
+
+/// Aggregated times for one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldedSpan {
+    /// Slash-joined path (`train.fit/train.forward/model.encode`).
+    pub path: String,
+    /// Times this span path was closed.
+    pub count: u64,
+    /// Cumulative nanoseconds, including children.
+    pub total_ns: u64,
+    /// Cumulative nanoseconds minus direct children's totals (clamped at
+    /// zero — clock jitter can make children appear to outlast parents by
+    /// nanoseconds).
+    pub self_ns: u64,
+}
+
+/// Aggregate span exits into per-path totals with self time, sorted by
+/// path for determinism.
+pub fn fold(exits: &[SpanExit]) -> Vec<FoldedSpan> {
+    let mut totals: BTreeMap<&str, (u64, u64)> = BTreeMap::new(); // path → (count, total)
+    for e in exits {
+        let slot = totals.entry(e.path.as_str()).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += e.dur_ns;
+    }
+    totals
+        .iter()
+        .map(|(path, &(count, total_ns))| {
+            let children_ns: u64 = totals
+                .range::<str, _>((std::ops::Bound::Excluded(*path), std::ops::Bound::Unbounded))
+                .take_while(|(p, _)| p.starts_with(*path))
+                .filter(|(p, _)| is_direct_child(path, p))
+                .map(|(_, &(_, t))| t)
+                .sum();
+            FoldedSpan {
+                path: path.to_string(),
+                count,
+                total_ns,
+                self_ns: total_ns.saturating_sub(children_ns),
+            }
+        })
+        .collect()
+}
+
+/// Is `candidate` exactly one segment below `parent`?
+fn is_direct_child(parent: &str, candidate: &str) -> bool {
+    candidate
+        .strip_prefix(parent)
+        .and_then(|rest| rest.strip_prefix('/'))
+        .is_some_and(|tail| !tail.is_empty() && !tail.contains('/'))
+}
+
+/// Render folded spans as collapsed stacks: one `seg;seg;seg self_ns` line
+/// per path with non-zero self time, sorted by path.
+pub fn collapsed(folded: &[FoldedSpan]) -> String {
+    let mut out = String::new();
+    for span in folded {
+        if span.self_ns == 0 {
+            continue;
+        }
+        out.push_str(&span.path.replace('/', ";"));
+        out.push(' ');
+        out.push_str(&span.self_ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Folded spans ranked by self time, descending (path as tie-break).
+pub fn by_self_time(folded: &[FoldedSpan]) -> Vec<&FoldedSpan> {
+    let mut rows: Vec<&FoldedSpan> = folded.iter().collect();
+    rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.path.cmp(&b.path)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exit(path: &str, dur_ns: u64) -> SpanExit {
+        SpanExit { path: path.to_string(), tid: 1, t_ns: 0, dur_ns }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let exits = vec![
+            exit("a", 1000),
+            exit("a/b", 600),
+            exit("a/b/c", 100),
+            exit("a/d", 150),
+            // Not a child of "a": shares the prefix string but not the path.
+            exit("ax", 42),
+        ];
+        let folded = fold(&exits);
+        let get = |p: &str| folded.iter().find(|f| f.path == p).unwrap();
+        assert_eq!(get("a").total_ns, 1000);
+        // a's direct children are a/b and a/d — NOT a/b/c, not ax.
+        assert_eq!(get("a").self_ns, 1000 - 600 - 150);
+        assert_eq!(get("a/b").self_ns, 500);
+        assert_eq!(get("a/b/c").self_ns, 100);
+        assert_eq!(get("ax").self_ns, 42);
+    }
+
+    #[test]
+    fn repeated_paths_accumulate() {
+        let exits = vec![exit("x", 10), exit("x", 30), exit("x/y", 5)];
+        let folded = fold(&exits);
+        let x = folded.iter().find(|f| f.path == "x").unwrap();
+        assert_eq!(x.count, 2);
+        assert_eq!(x.total_ns, 40);
+        assert_eq!(x.self_ns, 35);
+    }
+
+    #[test]
+    fn child_outlasting_parent_clamps_to_zero() {
+        let exits = vec![exit("p", 100), exit("p/q", 120)];
+        let folded = fold(&exits);
+        assert_eq!(folded.iter().find(|f| f.path == "p").unwrap().self_ns, 0);
+    }
+
+    #[test]
+    fn collapsed_format_is_semicolon_separated() {
+        let exits = vec![exit("a", 100), exit("a/b", 100)];
+        let text = collapsed(&fold(&exits));
+        // "a" has zero self time and is omitted; a/b keeps its 100.
+        assert_eq!(text, "a;b 100\n");
+    }
+
+    #[test]
+    fn ranking_is_by_self_time() {
+        let exits = vec![exit("slow", 900), exit("fast", 10), exit("mid", 50)];
+        let folded = fold(&exits);
+        let ranked = by_self_time(&folded);
+        assert_eq!(ranked[0].path, "slow");
+        assert_eq!(ranked[2].path, "fast");
+    }
+}

@@ -1,0 +1,424 @@
+//! Parse a muse-obs JSONL trace into typed run records.
+//!
+//! [`TraceData::load`] reads every event (tolerating a truncated final
+//! line via [`muse_obs::read_trace`]) and folds the stream into:
+//!
+//! * training runs keyed by their `run` id — options from `train.start`,
+//!   one [`EpochRow`] per `train.epoch`, divergence/early-stop markers,
+//!   totals from `train.end`;
+//! * per-bench results (`bench.result`) and the final `kernel.summary`
+//!   (kernel totals plus counter/gauge snapshots);
+//! * span exit events for flame folding.
+//!
+//! Unknown events are kept in [`TraceData::events`] but otherwise ignored,
+//! so traces from newer writers stay loadable.
+
+use muse_obs::Json;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One `train.epoch` event, flattened.
+#[derive(Debug, Clone)]
+pub struct EpochRow {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean total loss over the epoch's finite batches.
+    pub train_loss: f64,
+    /// Mean regression component.
+    pub train_regression: f64,
+    /// Validation RMSE, when a validation set was given.
+    pub val_rmse: Option<f64>,
+    /// Diverged batches skipped this epoch.
+    pub skipped_batches: usize,
+    /// Batches that contributed to the means.
+    pub batches: usize,
+    /// Wall-clock of the epoch in milliseconds.
+    pub duration_ms: f64,
+    /// Training throughput.
+    pub samples_per_sec: f64,
+    /// Mean exclusive-KL term.
+    pub kl_exclusive: f64,
+    /// Mean interactive-KL term.
+    pub kl_interactive: f64,
+    /// Mean reconstruction (semantic-pushing) term.
+    pub reconstruction: f64,
+    /// Mean semantic-pulling term.
+    pub pulling: f64,
+}
+
+/// One training run (`train.start` .. `train.end`), keyed by run id.
+#[derive(Debug, Clone, Default)]
+pub struct TrainRun {
+    /// The `run` id tagging this run's events.
+    pub run: u64,
+    /// Planned epochs from the options.
+    pub epochs_planned: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Training-set size.
+    pub train_size: usize,
+    /// Validation-set size.
+    pub val_size: usize,
+    /// One row per completed epoch.
+    pub epochs: Vec<EpochRow>,
+    /// Total `train.batch` events seen.
+    pub batches: usize,
+    /// Total diverged batches skipped.
+    pub skipped_batches: usize,
+    /// Epoch at which early stopping fired, if it did.
+    pub early_stop_epoch: Option<usize>,
+    /// Best validation RMSE, from `train.end`.
+    pub best_val_rmse: Option<f64>,
+    /// Whole-fit wall clock, from `train.end`.
+    pub duration_ms: Option<f64>,
+}
+
+impl TrainRun {
+    /// Mean training loss of the first epoch.
+    pub fn first_loss(&self) -> Option<f64> {
+        self.epochs.first().map(|e| e.train_loss)
+    }
+
+    /// Mean training loss of the last epoch.
+    pub fn last_loss(&self) -> Option<f64> {
+        self.epochs.last().map(|e| e.train_loss)
+    }
+
+    /// Mean throughput over all epochs (samples per second).
+    pub fn mean_samples_per_sec(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().map(|e| e.samples_per_sec).sum::<f64>() / self.epochs.len() as f64
+    }
+}
+
+/// One `bench.result` event.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Minimum per-iteration nanoseconds (the gated statistic).
+    pub min_ns: f64,
+    /// Mean per-iteration nanoseconds.
+    pub mean_ns: f64,
+    /// Maximum per-iteration nanoseconds.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// One kernel row from the final `kernel.summary` event.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Kernel name.
+    pub name: String,
+    /// Total invocations.
+    pub calls: f64,
+    /// Cumulative wall-clock nanoseconds.
+    pub nanos: f64,
+    /// Cumulative bytes moved.
+    pub bytes: f64,
+}
+
+impl KernelRow {
+    /// Nanoseconds per call (0 when never called).
+    pub fn nanos_per_call(&self) -> f64 {
+        if self.calls > 0.0 {
+            self.nanos / self.calls
+        } else {
+            0.0
+        }
+    }
+
+    /// Bytes per call (0 when never called).
+    pub fn bytes_per_call(&self) -> f64 {
+        if self.calls > 0.0 {
+            self.bytes / self.calls
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One `span.exit` event.
+#[derive(Debug, Clone)]
+pub struct SpanExit {
+    /// Slash-joined span path (e.g. `train.fit/train.forward/model.encode`).
+    pub path: String,
+    /// Per-thread ordinal the span ran on.
+    pub tid: u64,
+    /// Exit timestamp, trace-relative monotonic nanoseconds.
+    pub t_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A fully parsed trace.
+#[derive(Debug, Default)]
+pub struct TraceData {
+    /// Where the trace was read from.
+    pub path: PathBuf,
+    /// Every event, in order (including kinds this parser ignores).
+    pub events: Vec<Json>,
+    /// The `run.manifest` event, if present.
+    pub manifest: Option<Json>,
+    /// Training runs in first-seen order.
+    pub runs: Vec<TrainRun>,
+    /// `(experiment, duration_s)` per `eval.experiment` event.
+    pub experiments: Vec<(String, f64)>,
+    /// `bench.result` events in order.
+    pub benches: Vec<BenchResult>,
+    /// Kernel totals from the *final* `kernel.summary` (earlier summaries
+    /// are superseded — only the last covers the whole run).
+    pub kernels: Vec<KernelRow>,
+    /// Counter snapshot from the final `kernel.summary`.
+    pub counters: BTreeMap<String, f64>,
+    /// Gauge snapshot from the final `kernel.summary`.
+    pub gauges: BTreeMap<String, f64>,
+    /// `span.exit` events in order (the input to flame folding).
+    pub span_exits: Vec<SpanExit>,
+}
+
+fn num(ev: &Json, key: &str) -> f64 {
+    ev.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn unum(ev: &Json, key: &str) -> u64 {
+    num(ev, key).max(0.0) as u64
+}
+
+impl TraceData {
+    /// Read and fold a JSONL trace. Errors only on I/O failure or
+    /// corruption before the final line; a truncated final line (killed
+    /// run) is skipped by the reader.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<TraceData> {
+        let path = path.as_ref().to_path_buf();
+        let events = muse_obs::read_trace(&path)?;
+        let mut data = TraceData { path, ..TraceData::default() };
+        // Run-id → index into data.runs, preserving first-seen order.
+        let mut run_index: BTreeMap<u64, usize> = BTreeMap::new();
+        for ev in &events {
+            let Some(kind) = ev.get("ev").and_then(Json::as_str) else { continue };
+            match kind {
+                "run.manifest" => data.manifest = Some(ev.clone()),
+                "train.start" => {
+                    let run = unum(ev, "run");
+                    let idx = *run_index.entry(run).or_insert_with(|| {
+                        data.runs.push(TrainRun { run, ..TrainRun::default() });
+                        data.runs.len() - 1
+                    });
+                    let r = &mut data.runs[idx];
+                    r.epochs_planned = unum(ev, "epochs") as usize;
+                    r.batch_size = unum(ev, "batch_size") as usize;
+                    r.learning_rate = num(ev, "learning_rate");
+                    r.train_size = unum(ev, "train_size") as usize;
+                    r.val_size = unum(ev, "val_size") as usize;
+                }
+                "train.batch" | "train.batch_skipped" | "train.epoch" | "train.early_stop" | "train.end" => {
+                    let run = unum(ev, "run");
+                    let idx = *run_index.entry(run).or_insert_with(|| {
+                        data.runs.push(TrainRun { run, ..TrainRun::default() });
+                        data.runs.len() - 1
+                    });
+                    let r = &mut data.runs[idx];
+                    match kind {
+                        "train.batch" => r.batches += 1,
+                        "train.batch_skipped" => r.skipped_batches += 1,
+                        "train.epoch" => {
+                            let record = ev.get("record").cloned().unwrap_or(Json::Null);
+                            r.epochs.push(EpochRow {
+                                epoch: unum(&record, "epoch") as usize,
+                                train_loss: num(&record, "train_loss"),
+                                train_regression: num(&record, "train_regression"),
+                                val_rmse: record.get("val_rmse").and_then(Json::as_f64),
+                                skipped_batches: unum(&record, "skipped_batches") as usize,
+                                batches: unum(ev, "batches") as usize,
+                                duration_ms: num(ev, "duration_ms"),
+                                samples_per_sec: num(ev, "samples_per_sec"),
+                                kl_exclusive: num(ev, "kl_exclusive"),
+                                kl_interactive: num(ev, "kl_interactive"),
+                                reconstruction: num(ev, "reconstruction"),
+                                pulling: num(ev, "pulling"),
+                            });
+                        }
+                        "train.early_stop" => r.early_stop_epoch = Some(unum(ev, "epoch") as usize),
+                        _ => {
+                            // train.end
+                            r.best_val_rmse = ev.get("best_val_rmse").and_then(Json::as_f64);
+                            r.duration_ms = ev.get("duration_ms").and_then(Json::as_f64);
+                        }
+                    }
+                }
+                "eval.experiment" => {
+                    let name = ev.get("experiment").and_then(Json::as_str).unwrap_or("?").to_string();
+                    data.experiments.push((name, num(ev, "duration_s")));
+                }
+                "bench.result" => {
+                    data.benches.push(BenchResult {
+                        name: ev.get("name").and_then(Json::as_str).unwrap_or("?").to_string(),
+                        min_ns: num(ev, "min_ns"),
+                        mean_ns: num(ev, "mean_ns"),
+                        max_ns: num(ev, "max_ns"),
+                        samples: unum(ev, "samples") as usize,
+                    });
+                }
+                "kernel.summary" => {
+                    data.kernels.clear();
+                    data.counters.clear();
+                    data.gauges.clear();
+                    let Some(metrics) = ev.get("metrics") else { continue };
+                    if let Some(Json::Obj(ks)) = metrics.get("kernels") {
+                        for (name, stat) in ks {
+                            data.kernels.push(KernelRow {
+                                name: name.clone(),
+                                calls: num(stat, "calls"),
+                                nanos: num(stat, "nanos"),
+                                bytes: num(stat, "bytes"),
+                            });
+                        }
+                    }
+                    if let Some(Json::Obj(cs)) = metrics.get("counters") {
+                        for (name, v) in cs {
+                            if let Some(v) = v.as_f64() {
+                                data.counters.insert(name.clone(), v);
+                            }
+                        }
+                    }
+                    if let Some(Json::Obj(gs)) = metrics.get("gauges") {
+                        for (name, v) in gs {
+                            if let Some(v) = v.as_f64() {
+                                data.gauges.insert(name.clone(), v);
+                            }
+                        }
+                    }
+                }
+                "span.exit" => {
+                    data.span_exits.push(SpanExit {
+                        path: ev.get("path").and_then(Json::as_str).unwrap_or("?").to_string(),
+                        tid: unum(ev, "tid"),
+                        t_ns: unum(ev, "t_ns"),
+                        dur_ns: unum(ev, "dur_ns"),
+                    });
+                }
+                _ => {}
+            }
+        }
+        data.events = events;
+        Ok(data)
+    }
+
+    /// Kernels sorted by cumulative time, descending.
+    pub fn kernels_by_time(&self) -> Vec<&KernelRow> {
+        let mut rows: Vec<&KernelRow> = self.kernels.iter().collect();
+        rows.sort_by(|a, b| b.nanos.total_cmp(&a.nanos));
+        rows
+    }
+
+    /// Kernels sorted by cumulative bytes moved, descending.
+    pub fn kernels_by_bytes(&self) -> Vec<&KernelRow> {
+        let mut rows: Vec<&KernelRow> = self.kernels.iter().collect();
+        rows.sort_by(|a, b| b.bytes.total_cmp(&a.bytes));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_lines(name: &str, lines: &[&str]) -> PathBuf {
+        let dir = std::env::temp_dir().join("muse-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path).unwrap();
+        for l in lines {
+            writeln!(f, "{l}").unwrap();
+        }
+        path
+    }
+
+    #[test]
+    fn folds_a_synthetic_run() {
+        let path = write_lines(
+            "ingest_run.jsonl",
+            &[
+                r#"{"ev":"run.manifest","seq":0,"experiments":["fig4"],"threads":1}"#,
+                r#"{"ev":"train.start","seq":1,"run":1,"epochs":2,"batch_size":4,"learning_rate":0.001,"train_size":12,"val_size":4}"#,
+                r#"{"ev":"train.batch","seq":2,"run":1,"epoch":0,"batch":0}"#,
+                r#"{"ev":"train.batch_skipped","seq":3,"run":1,"epoch":0,"batch":1,"terms":{}}"#,
+                r#"{"ev":"train.epoch","seq":4,"run":1,"record":{"epoch":0,"train_loss":5.0,"train_regression":2.0,"val_rmse":0.4,"skipped_batches":1},"batches":1,"duration_ms":10.0,"samples_per_sec":400.0,"kl_exclusive":1.0,"kl_interactive":0.5,"reconstruction":2.5,"pulling":0.1}"#,
+                r#"{"ev":"train.epoch","seq":5,"run":1,"record":{"epoch":1,"train_loss":3.0,"train_regression":1.0,"val_rmse":0.3,"skipped_batches":0},"batches":2,"duration_ms":9.0,"samples_per_sec":440.0,"kl_exclusive":0.9,"kl_interactive":0.4,"reconstruction":1.5,"pulling":0.1}"#,
+                r#"{"ev":"train.end","seq":6,"run":1,"epochs_run":2,"best_val_rmse":0.3,"skipped_batches":1,"duration_ms":19.5}"#,
+                r#"{"ev":"eval.experiment","seq":7,"experiment":"fig4","duration_s":1.25}"#,
+                r#"{"ev":"bench.result","seq":8,"name":"gemm","min_ns":100.0,"mean_ns":120.0,"max_ns":150.0,"samples":10}"#,
+                r#"{"ev":"span.exit","seq":9,"path":"train.fit","tid":1,"t_ns":500,"dur_ns":400}"#,
+                r#"{"ev":"kernel.summary","seq":10,"metrics":{"counters":{"parallel.jobs_submitted":8},"gauges":{"parallel.pool_size":1},"kernels":{"tensor.matmul":{"calls":4,"nanos":2000,"bytes":800}}}}"#,
+            ],
+        );
+        let data = TraceData::load(&path).unwrap();
+        assert!(data.manifest.is_some());
+        assert_eq!(data.runs.len(), 1);
+        let run = &data.runs[0];
+        assert_eq!(run.run, 1);
+        assert_eq!(run.epochs_planned, 2);
+        assert_eq!(run.epochs.len(), 2);
+        assert_eq!(run.batches, 1);
+        assert_eq!(run.skipped_batches, 1);
+        assert_eq!(run.first_loss(), Some(5.0));
+        assert_eq!(run.last_loss(), Some(3.0));
+        assert_eq!(run.best_val_rmse, Some(0.3));
+        assert_eq!(run.epochs[0].val_rmse, Some(0.4));
+        assert_eq!(run.epochs[1].kl_exclusive, 0.9);
+        assert_eq!(data.experiments, vec![("fig4".to_string(), 1.25)]);
+        assert_eq!(data.benches.len(), 1);
+        assert_eq!(data.benches[0].min_ns, 100.0);
+        assert_eq!(data.kernels.len(), 1);
+        assert_eq!(data.kernels[0].nanos_per_call(), 500.0);
+        assert_eq!(data.kernels[0].bytes_per_call(), 200.0);
+        assert_eq!(data.counters.get("parallel.jobs_submitted"), Some(&8.0));
+        assert_eq!(data.span_exits.len(), 1);
+        assert_eq!(data.span_exits[0].dur_ns, 400);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_final_line_is_tolerated() {
+        let path = write_lines(
+            "ingest_truncated.jsonl",
+            &[
+                r#"{"ev":"train.start","seq":0,"run":3,"epochs":1,"batch_size":2,"learning_rate":0.01,"train_size":4,"val_size":0}"#,
+                r#"{"ev":"train.epoch","seq":1,"run":3,"record":{"epoch":0,"train_loss":1.0,"train_regression":0.5,"val_rmse":null,"skipped_batches":0},"batches":2,"duration_ms":5.0,"samples_per_sec":800.0}"#,
+                r#"{"ev":"train.end","seq":2,"run":3,"best_val"#, // torn mid-emit
+            ],
+        );
+        let data = TraceData::load(&path).unwrap();
+        assert_eq!(data.runs.len(), 1);
+        assert_eq!(data.runs[0].epochs.len(), 1);
+        // The torn train.end never folded: totals stay None.
+        assert_eq!(data.runs[0].duration_ms, None);
+        assert_eq!(data.runs[0].epochs[0].val_rmse, None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn later_kernel_summary_supersedes_earlier() {
+        let path = write_lines(
+            "ingest_summary.jsonl",
+            &[
+                r#"{"ev":"kernel.summary","seq":0,"metrics":{"kernels":{"a":{"calls":1,"nanos":10,"bytes":1}}}}"#,
+                r#"{"ev":"kernel.summary","seq":1,"metrics":{"kernels":{"b":{"calls":2,"nanos":20,"bytes":2},"c":{"calls":3,"nanos":5,"bytes":9}}}}"#,
+            ],
+        );
+        let data = TraceData::load(&path).unwrap();
+        assert_eq!(data.kernels.len(), 2);
+        let by_time = data.kernels_by_time();
+        assert_eq!(by_time[0].name, "b");
+        let by_bytes = data.kernels_by_bytes();
+        assert_eq!(by_bytes[0].name, "c");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,272 @@
+//! A small parser/validator for Prometheus text exposition format 0.0.4.
+//!
+//! Used by the `promcheck` subcommand (CI curls `/metrics` and pipes the
+//! body here) and by tests that assert the exporter's output is
+//! well-formed without any network dependency.
+
+use std::collections::BTreeMap;
+
+/// One sample line: `name{label="v",...} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Labels in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value (`+Inf`/`-Inf`/`NaN` accepted per the format).
+    pub value: f64,
+}
+
+/// A parsed exposition: samples plus `# TYPE` declarations.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    /// All samples, in order.
+    pub samples: Vec<Sample>,
+    /// `# TYPE <name> <kind>` declarations.
+    pub types: BTreeMap<String, String>,
+}
+
+impl Exposition {
+    /// Samples with exactly this metric name.
+    pub fn with_name(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Validate structural invariants beyond line-level syntax:
+    ///
+    /// * every sample's name (modulo histogram suffixes) has a `# TYPE`;
+    /// * counters are non-negative and end in `_total`;
+    /// * histograms have `_sum`/`_count` and a `+Inf` bucket whose
+    ///   cumulative count equals `_count`;
+    /// * bucket counts are monotonically non-decreasing in `le` order.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.samples.is_empty() {
+            return Err("exposition contains no samples".to_string());
+        }
+        for s in &self.samples {
+            let family = family_name(&s.name);
+            if !self.types.contains_key(&family) {
+                return Err(format!("sample `{}` has no # TYPE declaration", s.name));
+            }
+        }
+        for (family, kind) in &self.types {
+            match kind.as_str() {
+                "counter" => {
+                    if !family.ends_with("_total") {
+                        return Err(format!("counter `{family}` does not end in _total"));
+                    }
+                    for s in self.with_name(family) {
+                        if s.value < 0.0 {
+                            return Err(format!("counter `{family}` has negative sample {}", s.value));
+                        }
+                    }
+                }
+                "histogram" => self.validate_histogram(family)?,
+                "gauge" => {}
+                other => return Err(format!("unknown metric type `{other}` for `{family}`")),
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_histogram(&self, family: &str) -> Result<(), String> {
+        let count = single_value(self, &format!("{family}_count"))?;
+        single_value(self, &format!("{family}_sum"))?;
+        let buckets = self.with_name(&format!("{family}_bucket"));
+        let mut last = f64::NEG_INFINITY;
+        let mut saw_inf = false;
+        for b in &buckets {
+            let le = b
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("histogram `{family}` bucket without le label"))?;
+            if b.value < last {
+                return Err(format!("histogram `{family}` buckets not cumulative at le={le}"));
+            }
+            last = b.value;
+            if le == "+Inf" {
+                saw_inf = true;
+                if (b.value - count).abs() > 0.0 {
+                    return Err(format!("histogram `{family}` +Inf bucket {} != _count {count}", b.value));
+                }
+            }
+        }
+        if !saw_inf {
+            return Err(format!("histogram `{family}` missing +Inf bucket"));
+        }
+        Ok(())
+    }
+}
+
+fn single_value(exp: &Exposition, name: &str) -> Result<f64, String> {
+    match exp.with_name(name).as_slice() {
+        [one] => Ok(one.value),
+        [] => Err(format!("missing sample `{name}`")),
+        _ => Err(format!("duplicate sample `{name}`")),
+    }
+}
+
+/// Map histogram component names back to their declared family.
+fn family_name(sample_name: &str) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = sample_name.strip_suffix(suffix) {
+            return stem.to_string();
+        }
+    }
+    sample_name.to_string()
+}
+
+/// Parse exposition text into samples + types. Fails on any malformed
+/// line with its 1-based line number.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut exp = Exposition::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or(format!("line {lineno}: TYPE without name"))?;
+            let kind = parts.next().ok_or(format!("line {lineno}: TYPE without kind"))?;
+            exp.types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        exp.samples.push(parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?);
+    }
+    Ok(exp)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_and_labels, value) = match line.rfind(' ') {
+        Some(i) => (&line[..i], &line[i + 1..]),
+        None => return Err(format!("no value in `{line}`")),
+    };
+    let value = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v.parse::<f64>().map_err(|_| format!("bad value `{v}`"))?,
+    };
+    let (name, labels) = match name_and_labels.find('{') {
+        None => (name_and_labels.to_string(), Vec::new()),
+        Some(open) => {
+            let name = name_and_labels[..open].to_string();
+            let rest = name_and_labels[open + 1..]
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated labels in `{line}`"))?;
+            (name, parse_labels(rest)?)
+        }
+    };
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        return Err(format!("bad metric name `{name}`"));
+    }
+    Ok(Sample { name, labels, value })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        // Key.
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            return Err(format!("expected key=\"value\" in `{body}`"));
+        }
+        // Quoted value with \\ \" \n escapes.
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in `{body}`")),
+                },
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated label value in `{body}`")),
+            }
+        }
+        labels.push((key.trim().to_string(), value));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(c) => return Err(format!("unexpected `{c}` after label in `{body}`")),
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_validates_real_exporter_output() {
+        // Exercise the actual renderer → parser round trip.
+        let _g = muse_obs::test_lock();
+        muse_obs::reset_metrics();
+        muse_obs::counter("promtest.ticks").add(3);
+        muse_obs::gauge("promtest.depth").set(1.5);
+        let h = muse_obs::histogram("promtest.lat");
+        h.record(3.0);
+        h.record(100.0);
+        muse_obs::kernel("promtest.kernel").calls.add(1);
+        let text = muse_obs::render_prometheus();
+        let exp = parse(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        exp.validate().unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert_eq!(exp.with_name("muse_promtest_ticks_total")[0].value, 3.0);
+        assert_eq!(exp.with_name("muse_promtest_depth")[0].value, 1.5);
+        let kernel_calls = exp.with_name("muse_kernel_calls_total");
+        assert!(kernel_calls
+            .iter()
+            .any(|s| s.labels.iter().any(|(k, v)| k == "kernel" && v == "promtest.kernel")));
+        muse_obs::reset_metrics();
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("no_value_here\n").is_err());
+        assert!(parse("bad name with spaces 1\n").is_err());
+        assert!(parse("x{unterminated=\"v 1\n").is_err());
+    }
+
+    #[test]
+    fn validate_catches_structural_lies() {
+        // Sample without TYPE.
+        let exp = parse("orphan 1\n").unwrap();
+        assert!(exp.validate().is_err());
+        // Counter not ending in _total.
+        let exp = parse("# TYPE c counter\nc 1\n").unwrap();
+        assert!(exp.validate().is_err());
+        // Histogram whose +Inf bucket disagrees with _count.
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 5\nh_count 2\n";
+        let exp = parse(text).unwrap();
+        assert!(exp.validate().unwrap_err().contains("+Inf"));
+        // Non-cumulative buckets.
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n";
+        let exp = parse(text).unwrap();
+        assert!(exp.validate().unwrap_err().contains("cumulative"));
+    }
+
+    #[test]
+    fn labels_with_escapes_round_trip() {
+        let exp = parse("# TYPE m_total counter\nm_total{k=\"a\\\"b\\\\c\"} 2\n").unwrap();
+        assert_eq!(exp.samples[0].labels[0].1, "a\"b\\c");
+        exp.validate().unwrap();
+    }
+}

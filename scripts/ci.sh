@@ -25,6 +25,37 @@ cargo bench --workspace --no-run
 echo "==> perf gate: kernels bench vs committed baseline"
 scripts/perf_gate.sh check
 
+echo "==> muse-trace: record a short training trace and analyze it"
+cargo run -q --release -p muse-eval -- fig4 --epochs 2 --trace target/ci_eval_trace.jsonl >/dev/null
+cargo run -q --release -p muse-trace -- report target/ci_eval_trace.jsonl | tee target/ci_trace_report.txt | grep -q "training runs:"
+cargo run -q --release -p muse-trace -- flame target/ci_eval_trace.jsonl --out target/ci_flame.txt
+grep -q "^train.fit" target/ci_flame.txt
+cargo run -q --release -p muse-trace -- diff target/ci_eval_trace.jsonl target/ci_eval_trace.jsonl >/dev/null
+echo "    report, flame and self-diff OK"
+
+echo "==> live /metrics endpoint: serve, scrape, validate exposition"
+METRICS_ADDR=127.0.0.1:19664
+cargo run -q --release -p muse-eval -- fig4 --epochs 1 \
+    --serve-metrics "$METRICS_ADDR" --linger-ms 30000 >/dev/null 2>&1 &
+EVAL_PID=$!
+trap 'kill $EVAL_PID 2>/dev/null || true' EXIT
+scraped=0
+for _ in $(seq 1 120); do
+    if curl -sf "http://$METRICS_ADDR/metrics" -o target/ci_metrics.txt 2>/dev/null \
+        && grep -q '^muse_kernel_calls_total' target/ci_metrics.txt; then
+        scraped=1
+        break
+    fi
+    sleep 0.25
+done
+[ "$scraped" = 1 ] || { echo "never scraped kernel metrics from $METRICS_ADDR" >&2; exit 1; }
+cargo run -q --release -p muse-trace -- promcheck target/ci_metrics.txt
+curl -sf "http://$METRICS_ADDR/status" | grep -q '"enabled":true'
+kill $EVAL_PID 2>/dev/null || true
+wait $EVAL_PID 2>/dev/null || true
+trap - EXIT
+echo "    /metrics exposition well-formed, /status live"
+
 echo "==> perf gate negative test: doctored baseline must fail"
 cargo run -q --release -p muse-bench --bin perf_gate -- doctor BENCH_kernels.json target/doctored_baseline.json
 if cargo run -q --release -p muse-bench --bin perf_gate -- check target/perf_gate_trace.jsonl target/doctored_baseline.json >/dev/null 2>&1; then
