@@ -10,9 +10,12 @@
 //! builds one tape per step and throws it away afterwards.
 //!
 //! Design notes:
-//! * Backward closures capture *clones* of the tensors they need. At the grid
-//!   sizes of this project the clones are cheap, and the design removes every
-//!   lifetime/borrow subtlety from the hot path.
+//! * Backward closures capture only node ids, scalars, and op specs; operand
+//!   values are read back from the tape during the reverse sweep, so
+//!   recording an op never clones a tensor.
+//! * Tapes are reusable: [`Tape::reset`] keeps node capacity (and, via the
+//!   tensor arena, the value buffers) so a steady-state training step runs
+//!   allocation-free.
 //! * Broadcasting ops fold gradients back with `Tensor::sum_to`, so `[B, D] +
 //!   [D]` bias additions "just work".
 //! * All VAE-specific quantities (reparameterization, Gaussian KLs) are
@@ -32,9 +35,11 @@
 //! assert_eq!(grads.get(x).unwrap().as_slice(), &[4.0]); // dy/dx = 2x
 //! ```
 
+pub mod fused;
 pub mod grad_check;
 pub mod ops;
 pub mod tape;
 pub mod vae_ops;
 
+pub use fused::FusedActivation;
 pub use tape::{Gradients, Tape, Var};

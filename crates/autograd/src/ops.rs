@@ -1,64 +1,93 @@
 //! Differentiable primitive operations on [`Var`].
 //!
-//! Each op computes the forward value eagerly and records a closure that maps
-//! the upstream gradient to contributions for its parents. Broadcasting
-//! binary ops fold gradients back to operand shape with `Tensor::sum_to`.
+//! Each op computes the forward value eagerly and records a closure that
+//! accumulates parent gradient contributions through a
+//! [`crate::tape::GradSink`]. Closures capture only node ids, scalars, and
+//! op specs; operand values are read back from the tape at backward time, so
+//! recording an op never clones a tensor. Broadcasting binary ops fold
+//! gradients back to operand shape with `Tensor::sum_to`.
 
-use crate::tape::Var;
+use crate::tape::{Tape, Var};
 use muse_tensor::conv::{conv2d, conv2d_backward};
 use muse_tensor::{Conv2dSpec, Tensor};
+
+/// Compute a binary forward value from two recorded nodes without cloning
+/// either operand.
+fn binary_forward(tape: &Tape, a: usize, b: usize, f: impl FnOnce(&Tensor, &Tensor) -> Tensor) -> Tensor {
+    let nodes = tape.nodes.borrow();
+    f(&nodes[a].value, &nodes[b].value)
+}
 
 impl<'t> Var<'t> {
     // ------------------------------------------------------------ binary ops
 
     /// Elementwise (broadcasting) addition.
     pub fn add(&self, rhs: &Var<'t>) -> Var<'t> {
-        let (a, b) = (self.value(), rhs.value());
-        let out = a.add(&b);
         let (la, lb) = (self.id(), rhs.id());
-        let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
-        self.tape().push("add", out, Some(Box::new(move |g| vec![(la, g.sum_to(&da)), (lb, g.sum_to(&db))])))
+        let out = binary_forward(self.tape(), la, lb, |a, b| a.add(b));
+        self.tape().push(
+            "add",
+            out,
+            Some(Box::new(move |ctx, sink| {
+                let g = ctx.grad();
+                sink.add_sum_to(la, g, ctx.value(la).dims());
+                sink.add_sum_to(lb, g, ctx.value(lb).dims());
+            })),
+        )
     }
 
     /// Elementwise (broadcasting) subtraction.
     pub fn sub(&self, rhs: &Var<'t>) -> Var<'t> {
-        let (a, b) = (self.value(), rhs.value());
-        let out = a.sub(&b);
         let (la, lb) = (self.id(), rhs.id());
-        let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+        let out = binary_forward(self.tape(), la, lb, |a, b| a.sub(b));
         self.tape().push(
             "sub",
             out,
-            Some(Box::new(move |g| vec![(la, g.sum_to(&da)), (lb, g.neg().sum_to(&db))])),
+            Some(Box::new(move |ctx, sink| {
+                let g = ctx.grad();
+                sink.add_sum_to(la, g, ctx.value(la).dims());
+                sink.add_sum_to_scaled(lb, g, ctx.value(lb).dims(), -1.0);
+            })),
         )
     }
 
     /// Elementwise (broadcasting) multiplication.
     pub fn mul(&self, rhs: &Var<'t>) -> Var<'t> {
-        let (a, b) = (self.value(), rhs.value());
-        let out = a.mul(&b);
         let (la, lb) = (self.id(), rhs.id());
-        let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+        let out = binary_forward(self.tape(), la, lb, |a, b| a.mul(b));
         self.tape().push(
             "mul",
             out,
-            Some(Box::new(move |g| vec![(la, g.mul(&b).sum_to(&da)), (lb, g.mul(&a).sum_to(&db))])),
+            Some(Box::new(move |ctx, sink| {
+                let g = ctx.grad();
+                let (a, b) = (ctx.value(la), ctx.value(lb));
+                if g.dims() == a.dims() && a.dims() == b.dims() {
+                    sink.add_zip(la, g, b, |gi, bi| gi * bi);
+                    sink.add_zip(lb, g, a, |gi, ai| gi * ai);
+                } else {
+                    sink.add_sum_to(la, &g.mul(b), a.dims());
+                    sink.add_sum_to(lb, &g.mul(a), b.dims());
+                }
+            })),
         )
     }
 
     /// Elementwise (broadcasting) division.
     pub fn div(&self, rhs: &Var<'t>) -> Var<'t> {
-        let (a, b) = (self.value(), rhs.value());
-        let out = a.div(&b);
         let (la, lb) = (self.id(), rhs.id());
-        let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+        let out = binary_forward(self.tape(), la, lb, |a, b| a.div(b));
         self.tape().push(
             "div",
             out,
-            Some(Box::new(move |g| {
-                let ga = g.div(&b).sum_to(&da);
-                let gb = g.mul(&a).div(&b.square()).neg().sum_to(&db);
-                vec![(la, ga), (lb, gb)]
+            Some(Box::new(move |ctx, sink| {
+                let g = ctx.grad();
+                let (a, b) = (ctx.value(la), ctx.value(lb));
+                if g.dims() == a.dims() && a.dims() == b.dims() {
+                    sink.add_zip(la, g, b, |gi, bi| gi / bi);
+                } else {
+                    sink.add_sum_to(la, &g.div(b), a.dims());
+                }
+                sink.add_sum_to(lb, &g.mul(a).div(&b.square()).neg(), b.dims());
             })),
         )
     }
@@ -68,71 +97,91 @@ impl<'t> Var<'t> {
     /// Negation.
     pub fn neg(&self) -> Var<'t> {
         let la = self.id();
-        self.tape().push("neg", self.value().neg(), Some(Box::new(move |g| vec![(la, g.neg())])))
+        let out = self.with_value(|x| x.neg());
+        self.tape().push("neg", out, Some(Box::new(move |ctx, sink| sink.add_scaled(la, ctx.grad(), -1.0))))
     }
 
     /// Add a scalar constant.
     pub fn add_scalar(&self, s: f32) -> Var<'t> {
         let la = self.id();
-        self.tape().push(
-            "add_scalar",
-            self.value().add_scalar(s),
-            Some(Box::new(move |g| vec![(la, g.clone())])),
-        )
+        let out = self.with_value(|x| x.add_scalar(s));
+        self.tape().push("add_scalar", out, Some(Box::new(move |ctx, sink| sink.add(la, ctx.grad()))))
     }
 
     /// Multiply by a scalar constant.
     pub fn mul_scalar(&self, s: f32) -> Var<'t> {
         let la = self.id();
+        let out = self.with_value(|x| x.mul_scalar(s));
         self.tape().push(
             "mul_scalar",
-            self.value().mul_scalar(s),
-            Some(Box::new(move |g| vec![(la, g.mul_scalar(s))])),
+            out,
+            Some(Box::new(move |ctx, sink| sink.add_scaled(la, ctx.grad(), s))),
         )
     }
 
     /// Elementwise exponential.
     pub fn exp(&self) -> Var<'t> {
         let la = self.id();
-        let out = self.value().exp();
-        let saved = out.clone();
-        self.tape().push("exp", out, Some(Box::new(move |g| vec![(la, g.mul(&saved))])))
+        let out = self.with_value(|x| x.exp());
+        self.tape().push(
+            "exp",
+            out,
+            Some(Box::new(move |ctx, sink| {
+                // d exp = exp(x), read from the saved output.
+                sink.add_zip(la, ctx.grad(), ctx.out(), |g, y| g * y);
+            })),
+        )
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&self) -> Var<'t> {
         let la = self.id();
-        let x = self.value();
-        self.tape().push("ln", x.ln(), Some(Box::new(move |g| vec![(la, g.div(&x))])))
+        let out = self.with_value(|x| x.ln());
+        self.tape().push(
+            "ln",
+            out,
+            Some(Box::new(move |ctx, sink| {
+                sink.add_zip(la, ctx.grad(), ctx.value(la), |g, x| g / x);
+            })),
+        )
     }
 
     /// Elementwise square.
     pub fn square(&self) -> Var<'t> {
         let la = self.id();
-        let x = self.value();
-        self.tape().push("square", x.square(), Some(Box::new(move |g| vec![(la, g.mul(&x).mul_scalar(2.0))])))
+        let out = self.with_value(|x| x.square());
+        self.tape().push(
+            "square",
+            out,
+            Some(Box::new(move |ctx, sink| {
+                sink.add_zip(la, ctx.grad(), ctx.value(la), |g, x| (g * x) * 2.0);
+            })),
+        )
     }
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Var<'t> {
         let la = self.id();
-        let out = self.value().sqrt();
-        let saved = out.clone();
-        self.tape().push("sqrt", out, Some(Box::new(move |g| vec![(la, g.div(&saved.mul_scalar(2.0)))])))
+        let out = self.with_value(|x| x.sqrt());
+        self.tape().push(
+            "sqrt",
+            out,
+            Some(Box::new(move |ctx, sink| {
+                sink.add_zip(la, ctx.grad(), ctx.out(), |g, y| g / (y * 2.0));
+            })),
+        )
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Var<'t> {
         let la = self.id();
-        let out = self.value().tanh();
-        let saved = out.clone();
+        let out = self.with_value(|x| x.tanh());
         self.tape().push(
             "tanh",
             out,
-            Some(Box::new(move |g| {
+            Some(Box::new(move |ctx, sink| {
                 // d tanh = 1 - tanh^2
-                let one_minus = saved.square().neg().add_scalar(1.0);
-                vec![(la, g.mul(&one_minus))]
+                sink.add_zip(la, ctx.grad(), ctx.out(), |g, y| g * (1.0 - y * y));
             })),
         )
     }
@@ -140,15 +189,13 @@ impl<'t> Var<'t> {
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Var<'t> {
         let la = self.id();
-        let out = self.value().sigmoid();
-        let saved = out.clone();
+        let out = self.with_value(|x| x.sigmoid());
         self.tape().push(
             "sigmoid",
             out,
-            Some(Box::new(move |g| {
+            Some(Box::new(move |ctx, sink| {
                 // d sigmoid = s (1 - s)
-                let ds = saved.mul(&saved.neg().add_scalar(1.0));
-                vec![(la, g.mul(&ds))]
+                sink.add_zip(la, ctx.grad(), ctx.out(), |g, y| g * (y * (1.0 - y)));
             })),
         )
     }
@@ -156,9 +203,14 @@ impl<'t> Var<'t> {
     /// Rectified linear unit.
     pub fn relu(&self) -> Var<'t> {
         let la = self.id();
-        let x = self.value();
-        let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-        self.tape().push("relu", x.relu(), Some(Box::new(move |g| vec![(la, g.mul(&mask))])))
+        let out = self.with_value(|x| x.relu());
+        self.tape().push(
+            "relu",
+            out,
+            Some(Box::new(move |ctx, sink| {
+                sink.add_zip(la, ctx.grad(), ctx.value(la), |g, x| g * if x > 0.0 { 1.0 } else { 0.0 });
+            })),
+        )
     }
 
     /// Leaky rectified linear unit: `x` for `x > 0`, `slope·x` otherwise.
@@ -166,60 +218,76 @@ impl<'t> Var<'t> {
     /// traffic tensors concentrate near −1).
     pub fn leaky_relu(&self, slope: f32) -> Var<'t> {
         let la = self.id();
-        let x = self.value();
-        let mask = x.map(|v| if v > 0.0 { 1.0 } else { slope });
-        let out = x.map(|v| if v > 0.0 { v } else { slope * v });
-        self.tape().push("leaky_relu", out, Some(Box::new(move |g| vec![(la, g.mul(&mask))])))
+        let out = self.with_value(|x| x.map(|v| if v > 0.0 { v } else { slope * v }));
+        self.tape().push(
+            "leaky_relu",
+            out,
+            Some(Box::new(move |ctx, sink| {
+                sink.add_zip(la, ctx.grad(), ctx.value(la), move |g, x| {
+                    g * if x > 0.0 { 1.0 } else { slope }
+                });
+            })),
+        )
     }
 
     /// Softplus `ln(1 + e^x)` — a smooth positive map used to keep standard
     /// deviations positive in some encoders.
     pub fn softplus(&self) -> Var<'t> {
         let la = self.id();
-        let x = self.value();
-        let out = x.map(|v| {
-            // Numerically stable: max(v,0) + ln(1 + e^{-|v|}).
-            v.max(0.0) + (1.0 + (-v.abs()).exp()).ln()
+        let out = self.with_value(|x| {
+            x.map(|v| {
+                // Numerically stable: max(v,0) + ln(1 + e^{-|v|}).
+                v.max(0.0) + (1.0 + (-v.abs()).exp()).ln()
+            })
         });
-        let dsig = x.sigmoid();
-        self.tape().push("softplus", out, Some(Box::new(move |g| vec![(la, g.mul(&dsig))])))
+        self.tape().push(
+            "softplus",
+            out,
+            Some(Box::new(move |ctx, sink| {
+                // d softplus = sigmoid(x), recomputed from the saved input
+                // with the same scalar expression as `Tensor::sigmoid`.
+                sink.add_zip(la, ctx.grad(), ctx.value(la), |g, x| g * (1.0 / (1.0 + (-x).exp())));
+            })),
+        )
     }
 
     // ---------------------------------------------------------------- linalg
 
     /// Matrix product of two rank-2 variables.
     pub fn matmul(&self, rhs: &Var<'t>) -> Var<'t> {
-        let (a, b) = (self.value(), rhs.value());
-        let out = a.matmul(&b);
         let (la, lb) = (self.id(), rhs.id());
+        let out = binary_forward(self.tape(), la, lb, |a, b| a.matmul(b));
         self.tape().push(
             "matmul",
             out,
-            Some(Box::new(move |g| {
+            Some(Box::new(move |ctx, sink| {
                 // dA = G B^T ; dB = A^T G
-                vec![(la, g.matmul_bt(&b)), (lb, a.matmul_at(g))]
+                let g = ctx.grad();
+                sink.add_owned(la, g.matmul_bt(ctx.value(lb)));
+                sink.add_owned(lb, ctx.value(la).matmul_at(g));
             })),
         )
     }
 
     /// 2-D convolution with weight and optional bias variables.
     pub fn conv2d(&self, weight: &Var<'t>, bias: Option<&Var<'t>>, spec: Conv2dSpec) -> Var<'t> {
-        let x = self.value();
-        let w = weight.value();
-        let b = bias.map(|b| b.value());
-        let out = conv2d(&x, &w, b.as_ref(), &spec);
         let (lx, lw) = (self.id(), weight.id());
         let lb = bias.map(|b| b.id());
+        let out = {
+            let nodes = self.tape().nodes.borrow();
+            let b = lb.map(|lb| &nodes[lb].value);
+            conv2d(&nodes[lx].value, &nodes[lw].value, b, &spec)
+        };
         self.tape().push(
             "conv2d",
             out,
-            Some(Box::new(move |g| {
-                let (gx, gw, gb) = conv2d_backward(&x, &w, g, &spec);
-                let mut contrib = vec![(lx, gx), (lw, gw)];
+            Some(Box::new(move |ctx, sink| {
+                let (gx, gw, gb) = conv2d_backward(ctx.value(lx), ctx.value(lw), ctx.grad(), &spec);
+                sink.add_owned(lx, gx);
+                sink.add_owned(lw, gw);
                 if let Some(lb) = lb {
-                    contrib.push((lb, gb));
+                    sink.add_owned(lb, gb);
                 }
-                contrib
             })),
         )
     }
@@ -229,14 +297,12 @@ impl<'t> Var<'t> {
     /// Sum of all elements, as a rank-0 variable.
     pub fn sum(&self) -> Var<'t> {
         let la = self.id();
-        let x = self.value();
-        let dims = x.dims().to_vec();
+        let out = self.with_value(|x| Tensor::scalar(x.sum()));
         self.tape().push(
             "sum",
-            Tensor::scalar(x.sum()),
-            Some(Box::new(move |g| {
-                let s = g.item();
-                vec![(la, Tensor::full(&dims, s))]
+            out,
+            Some(Box::new(move |ctx, sink| {
+                sink.add_splat(la, ctx.value(la).dims(), ctx.grad().item());
             })),
         )
     }
@@ -250,17 +316,15 @@ impl<'t> Var<'t> {
     /// Sum along `axis`, dropping it.
     pub fn sum_axis(&self, axis: usize) -> Var<'t> {
         let la = self.id();
-        let x = self.value();
-        let dims = x.dims().to_vec();
-        let out = x.sum_axis(axis);
+        let out = self.with_value(|x| x.sum_axis(axis));
         self.tape().push(
             "sum_axis",
             out,
-            Some(Box::new(move |g| {
+            Some(Box::new(move |ctx, sink| {
                 // Broadcast the reduced gradient back across `axis`.
-                let expanded = g.unsqueeze(axis);
-                let grad = expanded.add(&Tensor::zeros(&dims));
-                vec![(la, grad)]
+                let dims = ctx.value(la).dims();
+                let grad = ctx.grad().unsqueeze(axis).add(&Tensor::zeros(dims));
+                sink.add_owned(la, grad);
             })),
         )
     }
@@ -274,27 +338,30 @@ impl<'t> Var<'t> {
     /// Softmax along the last axis.
     pub fn softmax_last(&self) -> Var<'t> {
         let la = self.id();
-        let out = self.value().softmax_last();
-        let saved = out.clone();
+        let out = self.with_value(|x| x.softmax_last());
         self.tape().push(
             "softmax_last",
             out,
-            Some(Box::new(move |g| {
+            Some(Box::new(move |ctx, sink| {
                 // dx = y * (g - sum(g * y, last, keepdim))
-                let dims = saved.dims();
+                let y = ctx.out();
+                let g = ctx.grad();
+                let dims = y.dims();
                 let inner = dims[dims.len() - 1];
-                let outer = saved.len() / inner;
-                let gy = g.mul(&saved);
-                let mut grad = vec![0.0f32; saved.len()];
-                let (ys, gys, gs) = (saved.as_slice(), gy.as_slice(), g.as_slice());
-                for o in 0..outer {
-                    let dot: f32 = gys[o * inner..(o + 1) * inner].iter().sum();
-                    for i in 0..inner {
-                        let k = o * inner + i;
-                        grad[k] = ys[k] * (gs[k] - dot);
+                let outer = y.len() / inner.max(1);
+                let mut grad = Tensor::zeros(dims);
+                {
+                    let (ys, gs, out) = (y.as_slice(), g.as_slice(), grad.as_mut_slice());
+                    for o in 0..outer {
+                        let row = o * inner..(o + 1) * inner;
+                        let dot: f32 =
+                            ys[row.clone()].iter().zip(&gs[row.clone()]).map(|(&yi, &gi)| gi * yi).sum();
+                        for k in row {
+                            out[k] = ys[k] * (gs[k] - dot);
+                        }
                     }
                 }
-                vec![(la, Tensor::from_vec(grad, dims))]
+                sink.add_owned(la, grad);
             })),
         )
     }
@@ -304,27 +371,35 @@ impl<'t> Var<'t> {
     /// Reshape to `dims` (element count must match).
     pub fn reshape(&self, dims: &[usize]) -> Var<'t> {
         let la = self.id();
-        let x = self.value();
-        let old = x.dims().to_vec();
-        let out = x.reshape(dims);
-        self.tape().push("reshape", out, Some(Box::new(move |g| vec![(la, g.reshaped(&old))])))
+        let out = self.with_value(|x| x.reshaped(dims));
+        self.tape().push(
+            "reshape",
+            out,
+            Some(Box::new(move |ctx, sink| {
+                sink.add_flat(la, ctx.grad(), ctx.value(la).dims());
+            })),
+        )
     }
 
     /// Concatenate variables along `axis`.
     pub fn concat(parts: &[Var<'t>], axis: usize) -> Var<'t> {
         assert!(!parts.is_empty(), "concat of zero vars");
         let tape = parts[0].tape();
-        let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
-        let refs: Vec<&Tensor> = values.iter().collect();
-        let out = Tensor::concat(&refs, axis);
         let ids: Vec<usize> = parts.iter().map(|p| p.id()).collect();
-        let sizes: Vec<usize> = values.iter().map(|v| v.dims()[axis]).collect();
+        let (out, sizes) = {
+            let nodes = tape.nodes.borrow();
+            let refs: Vec<&Tensor> = ids.iter().map(|&id| &nodes[id].value).collect();
+            let sizes: Vec<usize> = refs.iter().map(|v| v.dims()[axis]).collect();
+            (Tensor::concat(&refs, axis), sizes)
+        };
         tape.push(
             "concat",
             out,
-            Some(Box::new(move |g| {
-                let pieces = g.split(axis, &sizes);
-                ids.iter().copied().zip(pieces).collect()
+            Some(Box::new(move |ctx, sink| {
+                let pieces = ctx.grad().split(axis, &sizes);
+                for (&id, piece) in ids.iter().zip(pieces) {
+                    sink.add_owned(id, piece);
+                }
             })),
         )
     }
@@ -332,17 +407,14 @@ impl<'t> Var<'t> {
     /// Slice `[start, end)` along axis 0.
     pub fn slice_axis0(&self, start: usize, end: usize) -> Var<'t> {
         let la = self.id();
-        let x = self.value();
-        let dims = x.dims().to_vec();
-        let out = x.slice_axis0(start, end);
+        let out = self.with_value(|x| x.slice_axis0(start, end));
         self.tape().push(
             "slice_axis0",
             out,
-            Some(Box::new(move |g| {
-                let mut grad = Tensor::zeros(&dims);
+            Some(Box::new(move |ctx, sink| {
+                let dims = ctx.value(la).dims();
                 let chunk: usize = dims[1..].iter().product();
-                grad.as_mut_slice()[start * chunk..end * chunk].copy_from_slice(g.as_slice());
-                vec![(la, grad)]
+                sink.add_range(la, dims, start * chunk, ctx.grad());
             })),
         )
     }
@@ -484,6 +556,16 @@ mod tests {
     }
 
     #[test]
+    fn slice_axis0_grad_accumulates_into_existing_slot() {
+        // x used both whole and sliced: grad = ones + scatter(ones).
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::arange(0.0, 6.0).reshape(&[3, 2]));
+        let loss = x.sum().add(&x.slice_axis0(1, 2).sum());
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[1.0, 1.0, 2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
     fn softmax_grad_sums_to_zero() {
         // Softmax gradient rows always sum to ~0 (shift invariance).
         let tape = Tape::new();
@@ -515,5 +597,16 @@ mod tests {
         let loss = x.mean();
         let grads = tape.backward(loss);
         assert_eq!(grads.get(x).unwrap().as_slice(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn reshape_grad_accumulates_flat() {
+        // x used directly and through a reshape; both grads accumulate.
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::arange(0.0, 4.0).reshape(&[2, 2]));
+        let loss = x.sum().add(&x.reshape(&[4]).mul_scalar(2.0).sum());
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[3.0; 4]);
+        assert_eq!(grads.get(x).unwrap().dims(), &[2, 2]);
     }
 }

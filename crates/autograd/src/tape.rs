@@ -4,11 +4,11 @@ use muse_obs as obs;
 use muse_tensor::Tensor;
 use std::cell::RefCell;
 
-/// Contribution of a node's backward function: `(parent_id, grad_piece)`.
-pub(crate) type GradContribution = Vec<(usize, Tensor)>;
-
-/// Backward closure: maps upstream gradient to parent contributions.
-pub(crate) type BackwardFn = Box<dyn Fn(&Tensor) -> GradContribution>;
+/// Backward closure: reads operand values through a [`BackwardCtx`] and
+/// accumulates parent contributions into a [`GradSink`]. Closures capture
+/// only node ids, scalars, and op specs — never tensor clones — so recording
+/// a node allocates nothing beyond its forward value.
+pub(crate) type BackwardFn = Box<dyn Fn(&BackwardCtx<'_>, &mut GradSink<'_>)>;
 
 pub(crate) struct Node {
     /// Short op name ("add", "matmul", …) for backward-time attribution.
@@ -18,13 +18,155 @@ pub(crate) struct Node {
     pub(crate) backward: Option<BackwardFn>,
 }
 
+/// Read-only view handed to backward closures: the recorded nodes (for
+/// operand values), the id of the node being differentiated, and its
+/// upstream gradient.
+pub(crate) struct BackwardCtx<'a> {
+    nodes: &'a [Node],
+    id: usize,
+    grad: &'a Tensor,
+}
+
+impl<'a> BackwardCtx<'a> {
+    /// Upstream gradient flowing into this node.
+    pub(crate) fn grad(&self) -> &'a Tensor {
+        self.grad
+    }
+
+    /// Forward value of any node recorded before this one.
+    pub(crate) fn value(&self, id: usize) -> &'a Tensor {
+        debug_assert!(id <= self.id, "backward read of node {id} after {}", self.id);
+        &self.nodes[id].value
+    }
+
+    /// Forward value of the node being differentiated (its saved output).
+    pub(crate) fn out(&self) -> &'a Tensor {
+        &self.nodes[self.id].value
+    }
+}
+
+/// Accumulator for parent gradients during the reverse sweep. Only slots for
+/// nodes recorded *before* the current one are reachable, which enforces the
+/// topological-order invariant structurally.
+///
+/// All helpers accumulate **in place** when a slot already holds a gradient
+/// (no `old + piece` temporary), and all fused forms are bit-identical to
+/// materializing the piece and calling `Tensor::add_assign`.
+pub(crate) struct GradSink<'a> {
+    grads: &'a mut [Option<Tensor>],
+}
+
+impl GradSink<'_> {
+    /// `grads[id] += piece`, cloning only when the slot is empty.
+    pub(crate) fn add(&mut self, id: usize, piece: &Tensor) {
+        match &mut self.grads[id] {
+            Some(acc) => acc.add_assign(piece),
+            slot @ None => *slot = Some(piece.clone()),
+        }
+    }
+
+    /// `grads[id] += piece`, consuming the piece (moved into an empty slot).
+    pub(crate) fn add_owned(&mut self, id: usize, piece: Tensor) {
+        match &mut self.grads[id] {
+            Some(acc) => acc.add_assign(&piece),
+            slot @ None => *slot = Some(piece),
+        }
+    }
+
+    /// `grads[id] += s * piece` without materializing the scaled tensor.
+    pub(crate) fn add_scaled(&mut self, id: usize, piece: &Tensor, s: f32) {
+        match &mut self.grads[id] {
+            Some(acc) => acc.axpy_assign(s, piece),
+            slot @ None => *slot = Some(piece.mul_scalar(s)),
+        }
+    }
+
+    /// `grads[id] += f(a, b)` elementwise (equal shapes) without the
+    /// intermediate `zip_with` tensor when accumulating.
+    pub(crate) fn add_zip(&mut self, id: usize, a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) {
+        match &mut self.grads[id] {
+            Some(acc) => acc.accum_zip(a, b, &f),
+            slot @ None => *slot = Some(a.zip_with(b, &f)),
+        }
+    }
+
+    /// `grads[id] += full(dims, v)` without materializing the constant.
+    pub(crate) fn add_splat(&mut self, id: usize, dims: &[usize], v: f32) {
+        match &mut self.grads[id] {
+            Some(acc) => {
+                debug_assert_eq!(acc.dims(), dims, "add_splat shape mismatch");
+                acc.map_inplace(|x| x + v);
+            }
+            slot @ None => *slot = Some(Tensor::full(dims, v)),
+        }
+    }
+
+    /// Fold a broadcast gradient back to operand shape and accumulate:
+    /// `grads[id] += g.sum_to(dims)`, skipping the fold when shapes match.
+    pub(crate) fn add_sum_to(&mut self, id: usize, g: &Tensor, dims: &[usize]) {
+        if g.dims() == dims {
+            self.add(id, g);
+        } else {
+            self.add_owned(id, g.sum_to(dims));
+        }
+    }
+
+    /// `grads[id] += (s * g).sum_to(dims)` with the same fast path.
+    pub(crate) fn add_sum_to_scaled(&mut self, id: usize, g: &Tensor, dims: &[usize], s: f32) {
+        if g.dims() == dims {
+            self.add_scaled(id, g, s);
+        } else {
+            self.add_owned(id, g.mul_scalar(s).sum_to(dims));
+        }
+    }
+
+    /// Scatter `g` into the flat element range `[start_el, start_el + g.len())`
+    /// of a `dims`-shaped gradient (the inverse of a contiguous slice).
+    pub(crate) fn add_range(&mut self, id: usize, dims: &[usize], start_el: usize, g: &Tensor) {
+        match &mut self.grads[id] {
+            Some(acc) => {
+                debug_assert_eq!(acc.dims(), dims, "add_range shape mismatch");
+                let dst = &mut acc.as_mut_slice()[start_el..start_el + g.len()];
+                for (d, &s) in dst.iter_mut().zip(g.as_slice()) {
+                    *d += s;
+                }
+            }
+            slot @ None => {
+                let mut grad = Tensor::zeros(dims);
+                grad.as_mut_slice()[start_el..start_el + g.len()].copy_from_slice(g.as_slice());
+                *slot = Some(grad);
+            }
+        }
+    }
+
+    /// `grads[id] += g` where `g` has the same element count but a different
+    /// shape (reshape backward); accumulation ignores shape.
+    pub(crate) fn add_flat(&mut self, id: usize, g: &Tensor, dims: &[usize]) {
+        match &mut self.grads[id] {
+            Some(acc) => {
+                debug_assert_eq!(acc.len(), g.len(), "add_flat length mismatch");
+                for (d, &s) in acc.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    *d += s;
+                }
+            }
+            slot @ None => *slot = Some(g.reshaped(dims)),
+        }
+    }
+}
+
 /// A recording of a forward computation, enabling one reverse sweep.
 ///
 /// `Tape` is single-threaded by design (the training loop is too); interior
 /// mutability lets `Var` methods push nodes through a shared reference.
+///
+/// A tape is reusable: [`Tape::reset`] clears the recording while keeping the
+/// node vector's capacity (and, via the tensor arena, the value buffers), so
+/// a steady-state training step records onto warm storage.
 #[derive(Default)]
 pub struct Tape {
     pub(crate) nodes: RefCell<Vec<Node>>,
+    /// Recycled gradient-slot storage, returned by `Gradients::drop`.
+    grads_cache: RefCell<Vec<Option<Tensor>>>,
 }
 
 /// A handle to a value recorded on a [`Tape`].
@@ -37,11 +179,14 @@ pub struct Var<'t> {
 }
 
 /// Gradients produced by [`Tape::backward`], indexed by node id.
-pub struct Gradients {
+///
+/// Dropping this returns the slot storage to the tape for the next sweep.
+pub struct Gradients<'t> {
     grads: Vec<Option<Tensor>>,
+    tape: &'t Tape,
 }
 
-impl Gradients {
+impl Gradients<'_> {
     /// Gradient of the loss w.r.t. `var`, if the node influenced the loss.
     pub fn get(&self, var: Var<'_>) -> Option<&Tensor> {
         self.grads.get(var.id).and_then(|g| g.as_ref())
@@ -53,10 +198,21 @@ impl Gradients {
     }
 }
 
+impl Drop for Gradients<'_> {
+    fn drop(&mut self) {
+        let mut grads = std::mem::take(&mut self.grads);
+        grads.clear(); // tensors recycle into the arena
+        let mut cache = self.tape.grads_cache.borrow_mut();
+        if cache.capacity() < grads.capacity() {
+            *cache = grads;
+        }
+    }
+}
+
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
-        Tape { nodes: RefCell::new(Vec::new()) }
+        Tape::default()
     }
 
     /// Number of recorded nodes.
@@ -67,6 +223,15 @@ impl Tape {
     /// Whether the tape is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Clear the recording, keeping allocated capacity for the next step.
+    ///
+    /// Node values are released to the tensor arena, so the following forward
+    /// pass reuses their buffers. Any [`Var`] handle obtained before the
+    /// reset is invalidated — ids restart from zero — and must not be used.
+    pub fn reset(&self) {
+        self.nodes.borrow_mut().clear();
     }
 
     pub(crate) fn push(&self, op: &'static str, value: Tensor, backward: Option<BackwardFn>) -> Var<'_> {
@@ -95,16 +260,23 @@ impl Tape {
         Var { tape: self, id }
     }
 
-    /// Clone the current value of `var`.
+    /// Clone the current value of `var`. Prefer [`Tape::with_value`] on hot
+    /// paths — it lends the tensor without copying.
     pub fn value(&self, var: Var<'_>) -> Tensor {
         self.nodes.borrow()[var.id].value.clone()
+    }
+
+    /// Borrow the current value of `var` for the duration of `f`, avoiding
+    /// the clone that [`Tape::value`] makes.
+    pub fn with_value<R>(&self, var: Var<'_>, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.nodes.borrow()[var.id].value)
     }
 
     /// Run the reverse sweep from a scalar (or any-shaped) `loss` node.
     ///
     /// The seed gradient is a tensor of ones shaped like the loss, so calling
     /// this on a non-scalar computes the gradient of its element sum.
-    pub fn backward(&self, loss: Var<'_>) -> Gradients {
+    pub fn backward(&self, loss: Var<'_>) -> Gradients<'_> {
         let nodes = self.nodes.borrow();
         assert!(loss.id < nodes.len(), "loss var not on this tape");
         let telemetry = obs::enabled();
@@ -112,30 +284,33 @@ impl Tape {
             obs::gauge("autograd.tape_len").set(nodes.len() as f64);
         }
         let _sweep = obs::span("autograd.backward");
-        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        // Reuse slot storage from the previous sweep when available.
+        let mut grads = std::mem::take(&mut *self.grads_cache.borrow_mut());
+        grads.clear();
+        grads.resize_with(nodes.len(), || None);
         grads[loss.id] = Some(Tensor::ones(nodes[loss.id].value.dims()));
         for id in (0..=loss.id).rev() {
             let Some(grad) = grads[id].take() else { continue };
             if let Some(back) = &nodes[id].backward {
                 let t0 = telemetry.then(std::time::Instant::now);
-                let contributions = back(&grad);
+                {
+                    // Only slots below `id` are writable: backward edges are
+                    // topologically ordered by construction.
+                    let (lower, _) = grads.split_at_mut(id);
+                    let ctx = BackwardCtx { nodes: &nodes, id, grad: &grad };
+                    let mut sink = GradSink { grads: lower };
+                    back(&ctx, &mut sink);
+                }
                 if let Some(t0) = t0 {
                     obs::record_duration(
                         &format!("autograd.backward.{}", nodes[id].op),
                         t0.elapsed().as_nanos() as u64,
                     );
                 }
-                for (pid, piece) in contributions {
-                    debug_assert!(pid < id, "backward edge {pid} -> {id} not topologically ordered");
-                    match &mut grads[pid] {
-                        Some(acc) => acc.add_assign(&piece),
-                        slot @ None => *slot = Some(piece),
-                    }
-                }
             }
             grads[id] = Some(grad);
         }
-        Gradients { grads }
+        Gradients { grads, tape: self }
     }
 }
 
@@ -150,9 +325,14 @@ impl<'t> Var<'t> {
         self.id
     }
 
-    /// Clone the forward value.
+    /// Clone the forward value. Prefer [`Var::with_value`] on hot paths.
     pub fn value(&self) -> Tensor {
         self.tape.value(*self)
+    }
+
+    /// Borrow the forward value for the duration of `f`, without cloning.
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        self.tape.with_value(*self, f)
     }
 
     /// Dimension extents of the forward value.
@@ -188,6 +368,7 @@ mod tests {
         assert_eq!(v.value(), t);
         assert_eq!(v.dims(), vec![2]);
         assert_eq!(tape.len(), 1);
+        v.with_value(|borrowed| assert_eq!(borrowed, &t));
     }
 
     #[test]
@@ -206,5 +387,34 @@ mod tests {
         let grads = tape.backward(b);
         assert!(grads.get(a).is_none());
         assert_eq!(grads.get_or_zeros(a).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn reset_clears_recording_but_keeps_capacity() {
+        let tape = Tape::new();
+        for _ in 0..8 {
+            tape.leaf(Tensor::zeros(&[4]));
+        }
+        assert_eq!(tape.len(), 8);
+        tape.reset();
+        assert_eq!(tape.len(), 0);
+        assert!(tape.nodes.borrow().capacity() >= 8, "reset must retain node capacity");
+        // The tape records fresh nodes with ids restarting from zero.
+        let v = tape.leaf(Tensor::ones(&[2]));
+        assert_eq!(v.id(), 0);
+    }
+
+    #[test]
+    fn gradient_storage_is_recycled_across_sweeps() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let loss = x.square().sum();
+        {
+            let grads = tape.backward(loss);
+            assert_eq!(grads.get(x).unwrap().as_slice(), &[2.0, 4.0]);
+        } // drop returns slot storage to the tape
+        assert!(tape.grads_cache.borrow().capacity() >= tape.len());
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[2.0, 4.0]);
     }
 }

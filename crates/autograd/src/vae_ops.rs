@@ -70,8 +70,9 @@ pub fn mse<'t>(pred: &Var<'t>, target: &Tensor) -> Var<'t> {
 pub fn sse_per_sample<'t>(pred: &Var<'t>, target: &Tensor) -> Var<'t> {
     assert_eq!(pred.dims(), target.dims(), "sse shape mismatch: {:?} vs {:?}", pred.dims(), target.dims());
     let batch = pred.dims()[0] as f32;
-    let t = pred.tape().constant(target.clone());
-    pred.sub(&t).square().sum().mul_scalar(1.0 / batch)
+    // Fused single-node form of `sub → square → sum → mul_scalar`
+    // (bit-identical, see `Var::sse_scaled`).
+    pred.sse_scaled(target, 1.0 / batch)
 }
 
 /// Mean absolute-ish (Huber-free) L2 reconstruction term used by Eq. (28):

@@ -95,7 +95,8 @@ fn gradient_linearity() {
             let f = xv.square().sum().mul_scalar(weight_f);
             let g = xv.tanh().sum().mul_scalar(weight_g);
             let loss = f.add(&g);
-            tape.backward(loss).get(xv).unwrap().clone()
+            let grads = tape.backward(loss);
+            grads.get(xv).unwrap().clone()
         };
         let combined = grad_of(a, b);
         let separate = grad_of(a, 0.0).add(&grad_of(0.0, b));

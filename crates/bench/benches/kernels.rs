@@ -1,6 +1,9 @@
-//! Micro-benchmarks of the hot computational kernels.
+//! Micro-benchmarks of the hot computational kernels, plus an end-to-end
+//! training-step bench whose steady-state arena traffic is recorded as the
+//! `train.steady_alloc` pseudo-kernel (gated by `perf_gate` alongside the
+//! real kernels' bytes-per-call).
 
-use muse_bench::{criterion_group, criterion_main, Criterion};
+use muse_bench::{bench_dataset, bench_profile, criterion_group, criterion_main, Criterion};
 use muse_tensor::conv::{conv2d, conv2d_backward, Conv2dSpec};
 use muse_tensor::init::SeededRng;
 use muse_tensor::Tensor;
@@ -57,9 +60,62 @@ fn bench_backward(c: &mut Criterion) {
     });
 }
 
+fn bench_train_step(c: &mut Criterion) {
+    use muse_autograd::Tape;
+    use muse_nn::{clip_grad_norm, Adam, Optimizer, Session};
+    use muse_tensor::arena;
+    use muse_traffic::subseries::{batch_into, Batch};
+    use musenet::{MuseNet, MuseNetConfig};
+
+    let profile = bench_profile();
+    let prepared = bench_dataset();
+    let mut cfg = MuseNetConfig::cpu_profile(prepared.dataset.grid(), prepared.spec);
+    cfg.d = profile.d;
+    cfg.k = profile.k;
+    let model = MuseNet::new(cfg);
+    let mut opt = Adam::with_defaults(model.params(), 3e-3);
+    let indices: Vec<usize> = prepared.split.train[..8.min(prepared.split.train.len())].to_vec();
+
+    // From here on, every kernel call comes from identical training steps,
+    // so per-kernel bytes-per-call in the final `kernel.summary` is a fixed
+    // per-iteration ratio — invariant to the harness' calibrated iteration
+    // counts. Drop the micro-benches' shape mix (whose averages jitter with
+    // calibration) so the perf gate checks deterministic numbers.
+    muse_obs::reset_metrics();
+
+    // The trainer's reusable context: one tape/session/staging batch, reset
+    // per step so the steady state runs out of the arena.
+    let tape = Tape::new();
+    let s = Session::new(&tape);
+    let mut staging = Batch::staging();
+    let mut step = || {
+        batch_into(&prepared.scaled, &prepared.spec, &indices, &mut staging);
+        tape.reset();
+        s.reset();
+        let pass = model.train_graph(&s, &staging);
+        s.backward(pass.loss);
+        clip_grad_norm(opt.params(), 5.0);
+        opt.step();
+        opt.zero_grad();
+        pass.terms.total
+    };
+
+    c.bench_function("train_step_fig4_batch8", |bch| bch.iter(|| black_box(step())));
+
+    // Steady-state bytes newly allocated per training step (pool misses
+    // only). Recorded as a pseudo-kernel so the perf-gate's bytes-per-call
+    // band fails the build if the hot loop starts allocating again.
+    let before = arena::stats();
+    black_box(step());
+    let after = arena::stats();
+    let stat = muse_obs::kernel("train.steady_alloc");
+    stat.calls.add(1);
+    stat.bytes.add(after.alloc_bytes - before.alloc_bytes);
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_conv2d, bench_simulator, bench_backward
+    targets = bench_matmul, bench_conv2d, bench_simulator, bench_backward, bench_train_step
 }
 criterion_main!(benches);

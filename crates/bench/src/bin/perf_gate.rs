@@ -21,6 +21,10 @@
 //! perf_gate check  <trace.jsonl> <baseline.json> [tol] fail on regressions
 //! perf_gate doctor <baseline.json> <out.json>          corrupt a copy of the
 //!                                                      baseline (CI negative test)
+//! perf_gate doctor-alloc <baseline.json> <out.json>    corrupt the kernel
+//!                                                      bytes-per-call instead
+//!                                                      (allocation-gate
+//!                                                      negative test)
 //! ```
 //!
 //! Exit codes: 0 pass, 1 regression or malformed input, 2 usage error.
@@ -33,6 +37,11 @@ use std::process::ExitCode;
 /// at least this many times slower than "baseline", guaranteeing failure.
 const DOCTOR_SHRINK: f64 = 10.0;
 
+/// What `doctor-alloc` sets every kernel's baseline bytes-per-call to: far
+/// from any honest measurement (including an honest 0), so the two-sided
+/// drift check must flag every kernel.
+const DOCTOR_ALLOC_BYTES: f64 = 1e12;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
@@ -40,11 +49,13 @@ fn main() -> ExitCode {
         [mode, trace, baseline] if mode == "check" => check(trace, baseline, None),
         [mode, trace, baseline, tol] if mode == "check" => check(trace, baseline, Some(tol)),
         [mode, baseline, out] if mode == "doctor" => doctor(baseline, out),
+        [mode, baseline, out] if mode == "doctor-alloc" => doctor_alloc(baseline, out),
         _ => {
             eprintln!(
                 "usage: perf_gate record <trace.jsonl> <baseline.json>\n       \
                  perf_gate check  <trace.jsonl> <baseline.json> [tolerance]\n       \
-                 perf_gate doctor <baseline.json> <doctored.json>"
+                 perf_gate doctor <baseline.json> <doctored.json>\n       \
+                 perf_gate doctor-alloc <baseline.json> <doctored.json>"
             );
             return ExitCode::from(2);
         }
@@ -241,6 +252,55 @@ fn doctor(baseline_path: &str, out: &str) -> Result<(), String> {
         .map_err(|e| format!("cannot write doctored baseline {out}: {e}"))?;
     println!("perf_gate: wrote doctored baseline (timings /{DOCTOR_SHRINK}) to {out}");
     Ok(())
+}
+
+/// Replace every kernel's baseline bytes-per-call with an absurd value so a
+/// subsequent `check` must fail on the allocation band — CI uses this to
+/// prove the allocation gate (including `train.steady_alloc`) has teeth.
+fn doctor_alloc(baseline_path: &str, out: &str) -> Result<(), String> {
+    let baseline = load_baseline(baseline_path)?;
+    let doctored = match baseline {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| if k == "kernels" { (k, inflate_kernels(v)) } else { (k, v) })
+                .collect(),
+        ),
+        other => other,
+    };
+    std::fs::write(out, doctored.render() + "\n")
+        .map_err(|e| format!("cannot write doctored baseline {out}: {e}"))?;
+    println!("perf_gate: wrote alloc-doctored baseline (bytes-per-call = {DOCTOR_ALLOC_BYTES:.0}) to {out}");
+    Ok(())
+}
+
+fn inflate_kernels(kernels: Json) -> Json {
+    match kernels {
+        Json::Obj(entries) => Json::Obj(
+            entries
+                .into_iter()
+                .map(|(name, stat)| {
+                    let inflated = match stat {
+                        Json::Obj(fields) => Json::Obj(
+                            fields
+                                .into_iter()
+                                .map(|(k, v)| {
+                                    if k == "bytes_per_call" {
+                                        (k, Json::Num(DOCTOR_ALLOC_BYTES))
+                                    } else {
+                                        (k, v)
+                                    }
+                                })
+                                .collect(),
+                        ),
+                        other => other,
+                    };
+                    (name, inflated)
+                })
+                .collect(),
+        ),
+        other => other,
+    }
 }
 
 fn shrink_benches(benches: Json) -> Json {

@@ -6,8 +6,8 @@ use muse_autograd::Tape;
 use muse_nn::{clip_grad_norm, Adam, Optimizer, Session};
 use muse_obs::{self as obs, Json, ToJson};
 use muse_tensor::init::SeededRng;
-use muse_tensor::Tensor;
-use muse_traffic::subseries::{batch, SubSeriesSpec};
+use muse_tensor::{arena, Tensor};
+use muse_traffic::subseries::{batch, batch_into, Batch, SubSeriesSpec};
 use muse_traffic::FlowSeries;
 use std::time::Instant;
 
@@ -181,6 +181,15 @@ impl Trainer {
         let fit_start = Instant::now();
         let _fit_span = obs::span("train.fit");
 
+        // Reusable training context: one tape/session pair and one staging
+        // batch for the whole run. Per step, `Tape::reset` + `Session::reset`
+        // keep their capacity (and, through the tensor arena, the value
+        // buffers), so the steady-state batch allocates (almost) nothing.
+        let tape = Tape::new();
+        let s = Session::new(&tape);
+        let mut staging = Batch::staging();
+        let mut indices: Vec<usize> = Vec::new();
+
         for epoch in 0..self.options.epochs {
             let epoch_start = Instant::now();
             let order = shuffle_rng.permutation(train_idx.len());
@@ -196,16 +205,18 @@ impl Trainer {
                     break;
                 }
                 let batch_start = Instant::now();
-                let indices: Vec<usize> = chunk.iter().map(|&i| train_idx[i]).collect();
-                let b = {
+                let alloc0 = arena::stats();
+                indices.clear();
+                indices.extend(chunk.iter().map(|&i| train_idx[i]));
+                {
                     let _span = obs::span("train.data");
-                    batch(flows, spec, &indices)
-                };
-                let tape = Tape::new();
-                let s = Session::new(&tape);
+                    batch_into(flows, spec, &indices, &mut staging);
+                }
+                tape.reset();
+                s.reset();
                 let pass = {
                     let _span = obs::span("train.forward");
-                    self.model.train_graph(&s, &b)
+                    self.model.train_graph(&s, &staging)
                 };
                 if !pass.terms.is_finite() {
                     // Skip a diverged batch rather than poisoning the run:
@@ -244,6 +255,7 @@ impl Trainer {
                 samples += indices.len();
                 obs::emit_with("train.batch", || {
                     let secs = batch_start.elapsed().as_secs_f64().max(1e-9);
+                    let alloc1 = arena::stats();
                     vec![
                         ("run", run.to_json()),
                         ("epoch", epoch.to_json()),
@@ -252,6 +264,8 @@ impl Trainer {
                         ("terms", pass.terms.to_json()),
                         ("duration_ms", (secs * 1e3).to_json()),
                         ("samples_per_sec", (indices.len() as f64 / secs).to_json()),
+                        ("alloc_bytes", (alloc1.alloc_bytes - alloc0.alloc_bytes).to_json()),
+                        ("pool_hits", (alloc1.pool_hits - alloc0.pool_hits).to_json()),
                     ]
                 });
                 batch_count += 1;

@@ -1,7 +1,7 @@
 //! Feed-forward layers: linear, conv2d, activations, and a small MLP helper.
 
 use crate::param::{Param, ParamRef, Session};
-use muse_autograd::Var;
+use muse_autograd::{FusedActivation, Var};
 use muse_tensor::init::SeededRng;
 use muse_tensor::{Conv2dSpec, Tensor};
 
@@ -31,6 +31,18 @@ impl Activation {
             Activation::Softplus => x.softplus(),
         }
     }
+
+    /// The fused bias+activation form, when one exists (softplus needs the
+    /// pre-activation input and stays on the composed path).
+    pub fn fused(&self) -> Option<FusedActivation> {
+        match self {
+            Activation::Identity => Some(FusedActivation::Identity),
+            Activation::Relu => Some(FusedActivation::Relu),
+            Activation::Tanh => Some(FusedActivation::Tanh),
+            Activation::Sigmoid => Some(FusedActivation::Sigmoid),
+            Activation::Softplus => None,
+        }
+    }
 }
 
 /// Fully connected layer `y = x W + b` for inputs `[B, in]`.
@@ -55,11 +67,22 @@ impl Linear {
 
     /// Forward pass on a `[B, in]` variable, producing `[B, out]`.
     pub fn forward<'t>(&self, s: &Session<'t>, x: Var<'t>) -> Var<'t> {
+        self.forward_act(s, x, Activation::Identity)
+    }
+
+    /// Forward pass with the activation folded in: `act(x W + b)`. Records
+    /// the fused bias+activation node when the activation supports it
+    /// (bit-identical to the composed path, fewer nodes and temporaries).
+    pub fn forward_act<'t>(&self, s: &Session<'t>, x: Var<'t>, act: Activation) -> Var<'t> {
         debug_assert_eq!(x.dims().len(), 2, "Linear expects [B, in], got {:?}", x.dims());
         debug_assert_eq!(x.dims()[1], self.in_features, "Linear input width mismatch");
         let w = s.param(&self.weight);
         let b = s.param(&self.bias);
-        x.matmul(&w).add(&b)
+        let h = x.matmul(&w);
+        match act.fused() {
+            Some(f) => h.add_bias_act(&b, f),
+            None => act.apply(h.add(&b)),
+        }
     }
 
     /// The layer's parameters.
@@ -152,8 +175,8 @@ impl Mlp {
     pub fn forward<'t>(&self, s: &Session<'t>, mut x: Var<'t>) -> Var<'t> {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            x = layer.forward(s, x);
-            x = if i == last { self.output_activation.apply(x) } else { self.hidden_activation.apply(x) };
+            let act = if i == last { self.output_activation } else { self.hidden_activation };
+            x = layer.forward_act(s, x, act);
         }
         x
     }

@@ -44,13 +44,13 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self) {
         for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
-            let g = p.grad();
             if self.momentum != 0.0 {
                 v.scale_assign(self.momentum);
-                v.add_assign(&g);
+                p.with_grad(|g| v.add_assign(g));
                 p.apply_update(v, self.lr);
             } else {
-                p.apply_update(&g, self.lr);
+                let lr = self.lr;
+                p.with_grad(|g| p.apply_update(g, lr));
             }
         }
     }
@@ -108,23 +108,25 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self) {
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
         for ((p, m), v) in
             self.params.iter().zip(self.first_moment.iter_mut()).zip(self.second_moment.iter_mut())
         {
-            let g = p.grad();
-            // m = b1 m + (1-b1) g
-            m.scale_assign(self.beta1);
-            m.add_assign(&g.mul_scalar(1.0 - self.beta1));
-            // v = b2 v + (1-b2) g^2
-            v.scale_assign(self.beta2);
-            v.add_assign(&g.square().mul_scalar(1.0 - self.beta2));
+            p.with_grad(|g| {
+                // m = b1 m + (1-b1) g
+                m.scale_assign(b1);
+                m.axpy_assign(1.0 - b1, g);
+                // v = b2 v + (1-b2) g^2
+                v.scale_assign(b2);
+                v.accum_zip(g, g, move |x, y| (x * y) * (1.0 - b2));
+            });
             // update = m_hat / (sqrt(v_hat) + eps)
-            let m_hat = m.mul_scalar(1.0 / bc1);
-            let v_hat = v.mul_scalar(1.0 / bc2);
-            let update = m_hat.div(&v_hat.sqrt().add_scalar(self.eps));
-            p.apply_update(&update, self.lr);
+            let mut denom = v.mul_scalar(1.0 / bc2);
+            denom.map_inplace(move |x| x.sqrt() + eps);
+            let update = m.mul_scalar(1.0 / bc1).div(&denom);
+            p.apply_update(&update, lr);
         }
     }
 
@@ -153,16 +155,13 @@ impl Optimizer for Adam {
 pub fn clip_grad_norm(params: &[ParamRef], max_norm: f32) -> f32 {
     let mut total = 0.0f32;
     for p in params {
-        let g = p.grad();
-        total += g.as_slice().iter().map(|&x| x * x).sum::<f32>();
+        total += p.with_grad(|g| g.as_slice().iter().map(|&x| x * x).sum::<f32>());
     }
     let norm = total.sqrt();
     let clipped_norm = if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params {
-            let clipped = p.grad().mul_scalar(scale);
-            p.zero_grad();
-            p.accumulate_grad(&clipped);
+            p.scale_grad(scale);
         }
         max_norm
     } else {

@@ -41,6 +41,21 @@ impl Param {
         self.grad.borrow().clone()
     }
 
+    /// Run `f` against the current value without cloning it.
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.value.borrow())
+    }
+
+    /// Run `f` against the accumulated gradient without cloning it.
+    pub fn with_grad<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.grad.borrow())
+    }
+
+    /// Scale the accumulated gradient in place (global-norm clipping).
+    pub fn scale_grad(&self, scale: f32) {
+        self.grad.borrow_mut().scale_assign(scale);
+    }
+
     /// Dimension extents of the parameter.
     pub fn dims(&self) -> Vec<usize> {
         self.value.borrow().dims().to_vec()
@@ -67,17 +82,14 @@ impl Param {
         self.grad.borrow_mut().add_assign(delta);
     }
 
-    /// Reset the gradient to zero.
+    /// Reset the gradient to zero, reusing its buffer.
     pub fn zero_grad(&self) {
-        let dims = self.value.borrow().dims().to_vec();
-        *self.grad.borrow_mut() = Tensor::zeros(&dims);
+        self.grad.borrow_mut().as_mut_slice().fill(0.0);
     }
 
     /// In-place SGD-style update: `value -= lr * update`.
     pub fn apply_update(&self, update: &Tensor, lr: f32) {
-        let mut v = self.value.borrow_mut();
-        let scaled = update.mul_scalar(-lr);
-        v.add_assign(&scaled);
+        self.value.borrow_mut().axpy_assign(-lr, update);
     }
 }
 
@@ -103,6 +115,13 @@ impl<'t> Session<'t> {
         self.tape
     }
 
+    /// Drop all parameter bindings, retaining capacity. Pair with
+    /// [`Tape::reset`] to reuse one tape + session across training steps
+    /// without reallocating either.
+    pub fn reset(&self) {
+        self.bindings.borrow_mut().clear();
+    }
+
     /// Bind a parameter into this pass, returning its tape variable.
     pub fn param(&self, p: &ParamRef) -> Var<'t> {
         let var = self.tape.leaf(p.value());
@@ -119,7 +138,7 @@ impl<'t> Session<'t> {
     ///
     /// Returns the raw [`muse_autograd::Gradients`] for callers that also
     /// want gradients of non-parameter nodes.
-    pub fn backward(&self, loss: Var<'t>) -> muse_autograd::Gradients {
+    pub fn backward(&self, loss: Var<'t>) -> muse_autograd::Gradients<'t> {
         let grads = self.tape.backward(loss);
         for (param, id) in self.bindings.borrow().iter() {
             if let Some(g) = grads.get(self.tape.var_by_id(*id)) {

@@ -30,9 +30,11 @@
 //! [`pool::in_worker`]), so per-job work stays sequential and deadlock is
 //! structurally impossible.
 
+pub mod bufpool;
 pub mod pool;
 pub mod scratch;
 
+pub use bufpool::BufferPool;
 pub use pool::ThreadPool;
 pub use scratch::{take_zeroed, Scratch};
 

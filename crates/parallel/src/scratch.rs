@@ -5,16 +5,21 @@
 //! profile. [`take_zeroed`] hands out a recycled buffer (zeroed, resized to
 //! the requested length) and returns it to the pool on drop.
 //!
-//! Buffers are plain `Vec<f32>`s behind one mutex; workers and the main
-//! thread share the pool freely. The pool is bounded — beyond
-//! [`MAX_POOLED`] buffers, drops simply free memory.
+//! Buffers live in a shared [`BufferPool`] (the same structure that backs
+//! the tensor-storage arena in `muse-tensor`); workers and the main thread
+//! share the pool freely. The pool is bounded — beyond [`MAX_POOLED`]
+//! buffers, drops simply free memory.
 
+use crate::bufpool::BufferPool;
 use muse_obs as obs;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
 
 /// Maximum number of buffers retained for reuse.
 const MAX_POOLED: usize = 64;
+
+/// The process-wide scratch pool (unbounded bytes, bounded count — scratch
+/// buffers are few and short-lived, so the count bound is the right one).
+static POOL: BufferPool = BufferPool::new(MAX_POOLED, usize::MAX);
 
 /// Buffers currently checked out of the pool.
 static OUTSTANDING: AtomicU64 = AtomicU64::new(0);
@@ -32,11 +37,6 @@ fn publish(outstanding: u64, bytes: u64) {
         obs::gauge("parallel.scratch_bytes").set(bytes as f64);
         obs::gauge("parallel.scratch_bytes_peak").set(PEAK_BYTES.load(Ordering::Relaxed) as f64);
     }
-}
-
-fn pool() -> &'static Mutex<Vec<Vec<f32>>> {
-    static POOL: OnceLock<Mutex<Vec<Vec<f32>>>> = OnceLock::new();
-    POOL.get_or_init(|| Mutex::new(Vec::new()))
 }
 
 /// A scratch buffer borrowed from the pool; returns itself on drop.
@@ -74,12 +74,7 @@ impl std::ops::DerefMut for Scratch {
 impl Drop for Scratch {
     fn drop(&mut self) {
         let bytes = (self.buf.len() * std::mem::size_of::<f32>()) as u64;
-        {
-            let mut pool = pool().lock().unwrap_or_else(|p| p.into_inner());
-            if pool.len() < MAX_POOLED {
-                pool.push(std::mem::take(&mut self.buf));
-            }
-        }
+        POOL.recycle(std::mem::take(&mut self.buf));
         let outstanding = OUTSTANDING.fetch_sub(1, Ordering::Relaxed) - 1;
         let out_bytes = OUT_BYTES.fetch_sub(bytes, Ordering::Relaxed) - bytes;
         publish(outstanding, out_bytes);
@@ -88,14 +83,8 @@ impl Drop for Scratch {
 
 /// Borrow a zeroed scratch buffer of exactly `len` elements.
 pub fn take_zeroed(len: usize) -> Scratch {
-    let recycled = {
-        let mut pool = pool().lock().unwrap_or_else(|p| p.into_inner());
-        // Prefer a buffer that already has the capacity; otherwise any.
-        match pool.iter().position(|b| b.capacity() >= len) {
-            Some(i) => Some(pool.swap_remove(i)),
-            None => pool.pop(),
-        }
-    };
+    // Prefer a buffer that already has the capacity; otherwise grow any.
+    let recycled = POOL.try_take(len).or_else(|| POOL.take_any());
     if obs::enabled() {
         obs::counter(if recycled.is_some() { "parallel.scratch_hit" } else { "parallel.scratch_miss" })
             .add(1);

@@ -1,0 +1,300 @@
+//! The tensor-storage arena: a process-wide pool that recycles the
+//! `Vec<f32>` backing stores of dropped [`Tensor`](crate::Tensor)s.
+//!
+//! MUSE-Net's training graph has the same shape every batch, so the steady
+//! state re-allocates the same set of buffers over and over. The arena
+//! breaks that cycle: every tensor's storage is returned here on drop (see
+//! `impl Drop for Tensor`) and handed back out by the constructors and
+//! kernels in this crate, making the steady-state batch (nearly)
+//! allocation-free.
+//!
+//! ## Correctness
+//!
+//! Recycled buffers are ordinary initialized `Vec<f32>`s holding stale
+//! values — never uninitialized memory. [`take_zeroed`] always hands out
+//! zeroes; [`take_uninit`] hands out stale values and is only used by
+//! kernels that provably overwrite every element before the buffer becomes
+//! observable. Buffer identity therefore never influences computed values,
+//! which is why pooling preserves the PR 2 determinism contract
+//! (bit-identical results for any `MUSE_THREADS`) — asserted by
+//! `tests/determinism.rs` and the pooled-vs-fresh training test in
+//! `muse-core`.
+//!
+//! ## Knobs
+//!
+//! * `MUSE_ARENA=0` disables pooling at startup (every take is a fresh
+//!   allocation, every recycle a free) — the comparison baseline.
+//! * `MUSE_ARENA_MAX_MB` bounds retained bytes (default 256 MiB).
+//!
+//! Raw counters are always maintained (relaxed atomics); the
+//! `tensor.alloc_bytes` / `tensor.pool_hits` / `tensor.pool_misses`
+//! counters and the `tensor.pool_retained_bytes` gauge are additionally
+//! published to `muse-obs` when telemetry is enabled.
+
+use muse_obs as obs;
+use muse_parallel::BufferPool;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Maximum number of retained buffers. A full MUSE-Net training step drops
+/// every tape node's value plus all gradients at once (a few thousand
+/// tensors); the count bound only backstops pathological churn — the real
+/// memory ceiling is the byte bound below.
+const MAX_BUFFERS: usize = 8192;
+/// Default retained-byte bound (overridable via `MUSE_ARENA_MAX_MB`).
+const DEFAULT_MAX_MB: usize = 256;
+/// Buffers smaller than this many elements are not worth pooling
+/// (scalars and tiny shape-sized tensors churn the shelves for no win).
+const MIN_POOL_LEN: usize = 32;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn pool() -> &'static BufferPool {
+    static POOL: OnceLock<BufferPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        // Environment is read once, at first tensor allocation.
+        if std::env::var("MUSE_ARENA").is_ok_and(|v| {
+            let v = v.trim();
+            v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false")
+        }) {
+            ENABLED.store(false, Ordering::Relaxed);
+        }
+        let max_mb = std::env::var("MUSE_ARENA_MAX_MB")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_MAX_MB);
+        BufferPool::new(MAX_BUFFERS, max_mb.saturating_mul(1 << 20))
+    })
+}
+
+/// Whether pooling is on. When off, takes are fresh allocations and
+/// recycles are frees — the exact pre-arena behavior.
+#[inline]
+pub fn enabled() -> bool {
+    pool(); // ensure the env knob has been applied
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Toggle pooling at runtime. Used by the pooled-vs-fresh bit-identity
+/// tests; production runs configure via `MUSE_ARENA` instead.
+pub fn set_enabled(on: bool) {
+    pool();
+    ENABLED.store(on, Ordering::Relaxed);
+    if !on {
+        pool().clear();
+    }
+}
+
+/// Cached interned obs counters — the registry lookup costs a lock, and
+/// tensor allocation is far hotter than any other instrumented site.
+struct ObsCounters {
+    alloc_bytes: &'static obs::Counter,
+    hits: &'static obs::Counter,
+    misses: &'static obs::Counter,
+    retained: &'static obs::Gauge,
+}
+
+fn obs_counters() -> &'static ObsCounters {
+    static C: OnceLock<ObsCounters> = OnceLock::new();
+    C.get_or_init(|| ObsCounters {
+        alloc_bytes: obs::counter("tensor.alloc_bytes"),
+        hits: obs::counter("tensor.pool_hits"),
+        misses: obs::counter("tensor.pool_misses"),
+        retained: obs::gauge("tensor.pool_retained_bytes"),
+    })
+}
+
+#[inline]
+fn note_hit() {
+    POOL_HITS.fetch_add(1, Ordering::Relaxed);
+    if obs::enabled() {
+        obs_counters().hits.add(1);
+    }
+}
+
+#[inline]
+fn note_miss(len: usize) {
+    let bytes = (len * std::mem::size_of::<f32>()) as u64;
+    POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    if obs::enabled() {
+        let c = obs_counters();
+        c.misses.add(1);
+        c.alloc_bytes.add(bytes);
+    }
+}
+
+/// A buffer of exactly `len` zeroes, recycled when possible.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    if let Some(mut buf) = pooled(len) {
+        buf.clear();
+        buf.resize(len, 0.0);
+        return buf;
+    }
+    vec![0.0; len]
+}
+
+/// A buffer of exactly `len` elements with **unspecified values** (stale
+/// data from a recycled buffer, or zeroes when freshly allocated). Only
+/// for kernels that overwrite every element before the result is read.
+pub fn take_uninit(len: usize) -> Vec<f32> {
+    if let Some(mut buf) = pooled(len) {
+        buf.resize(len, 0.0);
+        return buf;
+    }
+    vec![0.0; len]
+}
+
+/// A buffer of exactly `len` copies of `value`.
+pub fn take_full(len: usize, value: f32) -> Vec<f32> {
+    let mut buf = take_uninit(len);
+    buf.fill(value);
+    buf
+}
+
+/// A recycled (or fresh) copy of `src`.
+pub fn take_copy(src: &[f32]) -> Vec<f32> {
+    if let Some(mut buf) = pooled(src.len()) {
+        buf.clear();
+        buf.extend_from_slice(src);
+        return buf;
+    }
+    src.to_vec()
+}
+
+fn pooled(len: usize) -> Option<Vec<f32>> {
+    if len < MIN_POOL_LEN || !enabled() {
+        note_miss(len);
+        return None;
+    }
+    match pool().try_take(len) {
+        Some(buf) => {
+            note_hit();
+            Some(buf)
+        }
+        None => {
+            note_miss(len);
+            None
+        }
+    }
+}
+
+/// Return a buffer to the arena (no-op free for tiny buffers or when
+/// pooling is disabled). Called by `Tensor`'s `Drop` for every tensor.
+pub fn recycle(buf: Vec<f32>) {
+    if buf.capacity() < MIN_POOL_LEN || !enabled() {
+        return;
+    }
+    pool().recycle(buf);
+    if obs::enabled() {
+        obs_counters().retained.set(pool().retained_bytes() as f64);
+    }
+}
+
+/// Arena counters since process start (raw, always maintained).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Bytes freshly allocated (pool misses × request size).
+    pub alloc_bytes: u64,
+    /// Takes served from the pool.
+    pub pool_hits: u64,
+    /// Takes that fell back to a fresh allocation.
+    pub pool_misses: u64,
+    /// Bytes currently shelved in the pool.
+    pub retained_bytes: u64,
+    /// Buffers currently shelved in the pool.
+    pub retained_buffers: u64,
+}
+
+/// Snapshot the arena counters.
+pub fn stats() -> ArenaStats {
+    ArenaStats {
+        alloc_bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+        pool_hits: POOL_HITS.load(Ordering::Relaxed),
+        pool_misses: POOL_MISSES.load(Ordering::Relaxed),
+        retained_bytes: pool().retained_bytes() as u64,
+        retained_buffers: pool().retained_buffers() as u64,
+    }
+}
+
+/// Drop every retained buffer (tests; frees memory, keeps counters).
+pub fn clear() {
+    pool().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    /// Serializes tests that toggle the global arena switch.
+    pub(crate) fn arena_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn dropped_tensor_storage_is_reused() {
+        let _g = arena_test_lock();
+        set_enabled(true);
+        // Other tests share the global pool, so a specific buffer can be
+        // stolen between drop and take; retry until we observe reuse.
+        let mut reused = false;
+        for _ in 0..32 {
+            let t = Tensor::full(&[61, 67], 3.0); // distinctive size
+            let ptr = t.as_slice().as_ptr();
+            drop(t); // storage recycles into the arena
+            let before = stats();
+            let t2 = Tensor::zeros(&[61, 67]);
+            let after = stats();
+            assert!(t2.as_slice().iter().all(|&v| v == 0.0), "recycled zeros must be zeroed");
+            if t2.as_slice().as_ptr() == ptr {
+                assert!(after.pool_hits > before.pool_hits, "ptr reuse must be counted as a hit");
+                reused = true;
+                break;
+            }
+        }
+        assert!(reused, "dropped storage was never reused across 32 attempts");
+    }
+
+    #[test]
+    fn live_tensors_never_alias() {
+        let _g = arena_test_lock();
+        set_enabled(true);
+        clear();
+        let a = Tensor::full(&[128], 1.0);
+        let b = Tensor::full(&[128], 2.0);
+        assert_ne!(a.as_slice().as_ptr(), b.as_slice().as_ptr(), "live tensors must not share storage");
+        assert!(a.as_slice().iter().all(|&v| v == 1.0));
+        assert!(b.as_slice().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn disabled_arena_always_allocates() {
+        let _g = arena_test_lock();
+        set_enabled(false);
+        let before = stats();
+        drop(Tensor::zeros(&[256]));
+        let t = Tensor::zeros(&[256]);
+        let after = stats();
+        assert!(after.alloc_bytes >= before.alloc_bytes + 2 * 256 * 4, "every take allocates while disabled");
+        drop(t);
+        set_enabled(true);
+    }
+
+    #[test]
+    fn tiny_buffers_are_not_pooled() {
+        // Below MIN_POOL_LEN both take and recycle bypass the pool entirely:
+        // the buffer handed out is always a fresh allocation.
+        let _g = arena_test_lock();
+        set_enabled(true);
+        let before = stats();
+        let v = take_zeroed(2);
+        recycle(v);
+        let after = stats();
+        assert!(after.alloc_bytes >= before.alloc_bytes + 2 * 4, "tiny takes always allocate");
+    }
+}

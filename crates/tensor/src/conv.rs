@@ -196,7 +196,7 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: &Con
     let wmat = weight.as_slice();
     let bias_s = bias.map(|b| b.as_slice());
     let input_s = input.as_slice();
-    let mut out = vec![0.0f32; n * oc * ohw];
+    let mut out = crate::arena::take_zeroed(n * oc * ohw); // gemm_rows accumulates into zeroes
     muse_parallel::parallel_for_rows(&mut out, oc * ohw, 1, |s0, chunk| {
         let mut cols = take_zeroed(ksize * ohw);
         for (ds, so) in chunk.chunks_mut(oc * ohw).enumerate() {
@@ -239,12 +239,13 @@ pub fn conv2d_backward(
     let wmat = weight.as_slice();
     let input_s = input.as_slice();
     let go_all = grad_out.as_slice();
-    let mut grad_input = vec![0.0f32; n * chw];
-    // Per-sample partials: each job owns one slot, the fold below walks the
-    // slots in sample order so the accumulation association never depends
-    // on how jobs were scheduled.
-    let mut dw_all = vec![0.0f32; n * oc * ksize];
-    let mut db_all = vec![0.0f32; n * oc];
+    let mut grad_input = crate::arena::take_zeroed(n * chw); // col2im accumulates into zeroes
+                                                             // Per-sample partials: each job owns one slot, the fold below walks the
+                                                             // slots in sample order so the accumulation association never depends
+                                                             // on how jobs were scheduled. Every slot is fully assigned (gemm_bt
+                                                             // assigns, db is a plain store), so recycled contents are fine.
+    let mut dw_all = crate::arena::take_uninit(n * oc * ksize);
+    let mut db_all = crate::arena::take_uninit(n * oc);
     let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = grad_input
         .chunks_mut(chw)
         .zip(dw_all.chunks_mut(oc * ksize))
@@ -270,18 +271,20 @@ pub fn conv2d_backward(
         })
         .collect();
     muse_parallel::join_all(jobs);
-    let mut grad_wmat = vec![0.0f32; oc * ksize];
+    let mut grad_wmat = crate::arena::take_zeroed(oc * ksize);
     for dw in dw_all.chunks(oc * ksize) {
         for (g, &v) in grad_wmat.iter_mut().zip(dw) {
             *g += v;
         }
     }
-    let mut grad_bias = vec![0.0f32; oc];
+    let mut grad_bias = crate::arena::take_zeroed(oc);
     for db in db_all.chunks(oc) {
         for (g, &v) in grad_bias.iter_mut().zip(db) {
             *g += v;
         }
     }
+    crate::arena::recycle(dw_all);
+    crate::arena::recycle(db_all);
     (
         Tensor::from_vec(grad_input, dims),
         Tensor::from_vec(grad_wmat, &[oc, spec.in_channels, spec.kernel.0, spec.kernel.1]),

@@ -30,6 +30,7 @@
 //! assert_eq!(c.as_slice(), &[11.0, 12.0, 13.0, 14.0]);
 //! ```
 
+pub mod arena;
 pub mod conv;
 pub mod init;
 pub mod linalg;

@@ -204,7 +204,7 @@ impl Tensor {
         let _t = obs::kernel_timer("tensor.matmul", f32_bytes(m * k + k * n + m * n));
         let a = self.as_slice();
         let b = rhs.as_slice();
-        let mut out = vec![0.0f32; m * n];
+        let mut out = crate::arena::take_zeroed(m * n); // gemm_rows accumulates into zeroes
         dispatch_rows(&mut out, n, m * k * n, |i0, chunk| gemm_rows(a, b, chunk, i0, k, n));
         Tensor::from_vec(out, &[m, n])
     }
@@ -219,7 +219,7 @@ impl Tensor {
         let _t = obs::kernel_timer("tensor.matmul_bt", f32_bytes(m * k + k * n + m * n));
         let a = self.as_slice();
         let b = rhs.as_slice();
-        let mut out = vec![0.0f32; m * n];
+        let mut out = crate::arena::take_uninit(m * n); // gemm_bt_rows assigns every element
         dispatch_rows(&mut out, n, m * k * n, |i0, chunk| gemm_bt_rows(a, b, chunk, i0, k, n));
         Tensor::from_vec(out, &[m, n])
     }
@@ -234,7 +234,7 @@ impl Tensor {
         let _t = obs::kernel_timer("tensor.matmul_at", f32_bytes(m * k + k * n + m * n));
         let a = self.as_slice();
         let b = rhs.as_slice();
-        let mut out = vec![0.0f32; m * n];
+        let mut out = crate::arena::take_zeroed(m * n); // gemm_at_rows accumulates into zeroes
         dispatch_rows(&mut out, n, m * k * n, |i0, chunk| gemm_at_rows(a, b, chunk, i0, k, m, n));
         Tensor::from_vec(out, &[m, n])
     }
@@ -248,7 +248,7 @@ impl Tensor {
         let _t = obs::kernel_timer("tensor.matvec", f32_bytes(m * k + k + m));
         let a = self.as_slice();
         let x = v.as_slice();
-        let mut out = vec![0.0f32; m];
+        let mut out = crate::arena::take_uninit(m); // every element assigned below
         for i in 0..m {
             let row = &a[i * k..(i + 1) * k];
             out[i] = row.iter().zip(x).map(|(&r, &xv)| r * xv).sum();

@@ -1,5 +1,6 @@
 //! Elementwise and broadcasting arithmetic.
 
+use crate::arena;
 use crate::shape::{broadcast_shapes, broadcast_strides, Shape};
 use crate::tensor::Tensor;
 use muse_obs as obs;
@@ -23,7 +24,7 @@ impl Tensor {
             let _t =
                 obs::kernel_timer("tensor.zip_same", (3 * self.len() * std::mem::size_of::<f32>()) as u64);
             let (a, b) = (self.as_slice(), other.as_slice());
-            let mut data = vec![0.0f32; self.len()];
+            let mut data = arena::take_uninit(self.len()); // every element written below
             if data.len() >= PAR_MIN_ELEMS {
                 muse_parallel::parallel_for_mut(&mut data, PAR_MIN_CHUNK, |off, chunk| {
                     let (ac, bc) = (&a[off..off + chunk.len()], &b[off..off + chunk.len()]);
@@ -48,14 +49,14 @@ impl Tensor {
         let rs = broadcast_strides(other.dims(), &out_dims);
         let out_shape = Shape::new(&out_dims);
         let n = out_shape.len();
-        let mut data = Vec::with_capacity(n);
+        let mut data = arena::take_uninit(n); // every element written below
         let rank = out_dims.len();
         let mut idx = vec![0usize; rank];
         let (a, b) = (self.as_slice(), other.as_slice());
         let mut loff = 0usize;
         let mut roff = 0usize;
-        for _ in 0..n {
-            data.push(f(a[loff], b[roff]));
+        for slot in data.iter_mut() {
+            *slot = f(a[loff], b[roff]);
             // Increment the multi-index, updating offsets incrementally.
             for axis in (0..rank).rev() {
                 idx[axis] += 1;
@@ -105,7 +106,7 @@ impl Tensor {
     /// Map every element through `f` (in parallel above [`PAR_MIN_ELEMS`]).
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let src = self.as_slice();
-        let mut data = vec![0.0f32; self.len()];
+        let mut data = arena::take_uninit(self.len()); // every element written below
         if data.len() >= PAR_MIN_ELEMS {
             muse_parallel::parallel_for_mut(&mut data, PAR_MIN_CHUNK, |off, chunk| {
                 let sc = &src[off..off + chunk.len()];
@@ -225,6 +226,55 @@ impl Tensor {
     /// Scale in place.
     pub fn scale_assign(&mut self, s: f32) {
         self.map_inplace(|a| a * s);
+    }
+
+    /// Fused scaled accumulate: `self[i] += s * other[i]` in one pass
+    /// (shapes must match exactly). The per-element expression matches
+    /// `add_assign(&other.mul_scalar(s))` bit-for-bit without the temporary.
+    pub fn axpy_assign(&mut self, s: f32, other: &Tensor) {
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "axpy_assign shape mismatch: {:?} vs {:?}",
+            self.dims(),
+            other.dims()
+        );
+        let src = other.as_slice();
+        let dst = self.as_mut_slice();
+        if dst.len() >= PAR_MIN_ELEMS {
+            muse_parallel::parallel_for_mut(dst, PAR_MIN_CHUNK, |off, chunk| {
+                let sc = &src[off..off + chunk.len()];
+                for (a, &b) in chunk.iter_mut().zip(sc) {
+                    *a += s * b;
+                }
+            });
+        } else {
+            for (a, &b) in dst.iter_mut().zip(src) {
+                *a += s * b;
+            }
+        }
+    }
+
+    /// Fused binary accumulate: `self[i] += f(a[i], b[i])` in one pass (all
+    /// three shapes must match exactly). Matches
+    /// `add_assign(&a.zip_with(b, f))` bit-for-bit without the temporary.
+    pub fn accum_zip(&mut self, a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) {
+        assert_eq!(self.dims(), a.dims(), "accum_zip shape mismatch: {:?} vs {:?}", self.dims(), a.dims());
+        assert_eq!(a.dims(), b.dims(), "accum_zip shape mismatch: {:?} vs {:?}", a.dims(), b.dims());
+        let (sa, sb) = (a.as_slice(), b.as_slice());
+        let dst = self.as_mut_slice();
+        if dst.len() >= PAR_MIN_ELEMS {
+            muse_parallel::parallel_for_mut(dst, PAR_MIN_CHUNK, |off, chunk| {
+                let (ac, bc) = (&sa[off..off + chunk.len()], &sb[off..off + chunk.len()]);
+                for ((d, &x), &y) in chunk.iter_mut().zip(ac).zip(bc) {
+                    *d += f(x, y);
+                }
+            });
+        } else {
+            for ((d, &x), &y) in dst.iter_mut().zip(sa).zip(sb) {
+                *d += f(x, y);
+            }
+        }
     }
 
     /// True iff all elements are finite.

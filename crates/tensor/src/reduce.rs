@@ -1,6 +1,7 @@
 //! Reductions: sums, means, extrema, and the `sum_to` used by broadcasting
 //! backward passes.
 
+use crate::arena;
 use crate::ops::PAR_MIN_ELEMS;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
@@ -18,6 +19,33 @@ fn chunked_sum(s: &[f32], f: impl Fn(f32) -> f32 + Sync) -> f32 {
     } else {
         muse_parallel::map_chunks(s, REDUCE_CHUNK, |c| c.iter().map(|&x| f(x)).sum::<f32>()).into_iter().sum()
     }
+}
+
+/// Sum of `f(a, b)` over two equal-length slices with the exact chunk
+/// structure of [`chunked_sum`], so a fused two-operand reduction (e.g.
+/// sum of squared differences) associates bit-identically to materializing
+/// `f(a, b)` and summing it.
+fn chunked_sum2(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() <= REDUCE_CHUNK {
+        return a.iter().zip(b).map(|(&x, &y)| f(x, y)).sum();
+    }
+    // Fixed-size chunk partials, folded in chunk order (thread-count
+    // invariant, same association as `map_chunks` + sequential fold).
+    let nchunks = a.len().div_ceil(REDUCE_CHUNK);
+    let mut partials = vec![0.0f32; nchunks];
+    let fref = &f;
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = partials
+        .iter_mut()
+        .zip(a.chunks(REDUCE_CHUNK).zip(b.chunks(REDUCE_CHUNK)))
+        .map(|(slot, (ac, bc))| {
+            Box::new(move || {
+                *slot = ac.iter().zip(bc).map(|(&x, &y)| fref(x, y)).sum();
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    muse_parallel::join_all(jobs);
+    partials.into_iter().sum()
 }
 
 impl Tensor {
@@ -68,7 +96,7 @@ impl Tensor {
         let outer: usize = dims[..axis].iter().product();
         let mid = dims[axis];
         let inner: usize = dims[axis + 1..].iter().product();
-        let mut out = vec![0.0f32; outer * inner];
+        let mut out = arena::take_zeroed(outer * inner);
         let src = self.as_slice();
         // Each output row `o` accumulates over ascending `m` no matter
         // which job owns it, so partitioning rows cannot change the bits.
@@ -107,7 +135,7 @@ impl Tensor {
         let mid = dims[axis];
         let inner: usize = dims[axis + 1..].iter().product();
         assert!(mid > 0, "max_axis over empty extent");
-        let mut out = vec![f32::NEG_INFINITY; outer * inner];
+        let mut out = arena::take_full(outer * inner, f32::NEG_INFINITY);
         let src = self.as_slice();
         for o in 0..outer {
             for m in 0..mid {
@@ -180,7 +208,8 @@ impl Tensor {
         let dims = self.dims();
         assert!(!dims.is_empty(), "softmax of scalar");
         let inner = dims[dims.len() - 1];
-        let mut out = vec![0.0f32; self.len()];
+        // Every row is fully overwritten; rows of width 0 leave nothing.
+        let mut out = arena::take_uninit(self.len());
         let src = self.as_slice();
         // Rows are independent; parallel partitioning is per whole row.
         let softmax_rows = |o0: usize, chunk: &mut [f32]| {
@@ -216,6 +245,14 @@ impl Tensor {
     /// Euclidean (L2) norm of the flattened tensor.
     pub fn norm(&self) -> f32 {
         chunked_sum(self.as_slice(), |x| x * x).sqrt()
+    }
+
+    /// Fused sum of squared errors against `other` (same shape required):
+    /// `Σ (self[i] - other[i])²` in one pass, bit-identical to
+    /// `self.sub(other).square().sum()` but with no temporaries.
+    pub fn sse(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.dims(), other.dims(), "sse shape mismatch: {:?} vs {:?}", self.dims(), other.dims());
+        chunked_sum2(self.as_slice(), other.as_slice(), |x, y| (x - y) * (x - y))
     }
 
     /// Sum over all axes except axis 0 — handy for per-sample reductions.

@@ -1,12 +1,34 @@
 //! The dense tensor type and its structural operations.
 
+use crate::arena;
 use crate::shape::{Shape, ShapeError};
 
 /// A dense, contiguous, row-major `f32` tensor.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Storage is recycled through the [`arena`] buffer pool: dropping a tensor
+/// shelves its backing `Vec<f32>` for reuse, and the constructors here (and
+/// the kernels throughout the crate) draw from that shelf, so steady-state
+/// workloads with a repeating shape mix run (nearly) allocation-free.
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor { shape: self.shape.clone(), data: arena::take_copy(&self.data) }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        // `into_vec`/`try_reshape` take the data out first, leaving nothing
+        // to recycle here.
+        if self.data.capacity() != 0 {
+            arena::recycle(std::mem::take(&mut self.data));
+        }
+    }
 }
 
 impl Tensor {
@@ -31,7 +53,7 @@ impl Tensor {
     /// A tensor of zeros.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        let data = vec![0.0; shape.len()];
+        let data = arena::take_zeroed(shape.len());
         Tensor { shape, data }
     }
 
@@ -43,7 +65,7 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        let data = vec![value; shape.len()];
+        let data = arena::take_full(shape.len(), value);
         Tensor { shape, data }
     }
 
@@ -112,9 +134,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consume into the flat buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consume into the flat buffer (taken out before `Drop`, so the
+    /// caller now owns the allocation instead of the arena).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Element at a multi-dimensional index.
@@ -146,7 +169,7 @@ impl Tensor {
     }
 
     /// Fallible reshape.
-    pub fn try_reshape(self, dims: &[usize]) -> Result<Self, ShapeError> {
+    pub fn try_reshape(mut self, dims: &[usize]) -> Result<Self, ShapeError> {
         let new_shape = Shape::new(dims);
         if new_shape.len() != self.shape.len() {
             return Err(ShapeError::ElementCountMismatch {
@@ -154,7 +177,8 @@ impl Tensor {
                 to: dims.to_vec(),
             });
         }
-        Ok(Tensor { shape: new_shape, data: self.data })
+        let data = std::mem::take(&mut self.data);
+        Ok(Tensor { shape: new_shape, data })
     }
 
     /// Reshape without consuming (clones the buffer handle).
@@ -182,7 +206,7 @@ impl Tensor {
     pub fn transpose2(&self) -> Self {
         assert_eq!(self.rank(), 2, "transpose2 requires rank-2, got {}", self.shape);
         let (r, c) = (self.dims()[0], self.dims()[1]);
-        let mut out = vec![0.0f32; r * c];
+        let mut out = arena::take_uninit(r * c); // every element written below
         for i in 0..r {
             for j in 0..c {
                 out[j * r + i] = self.data[i * c + j];
@@ -203,7 +227,7 @@ impl Tensor {
         let out_dims: Vec<usize> = perm.iter().map(|&p| in_dims[p]).collect();
         let in_strides = self.shape.strides();
         let out_shape = Shape::new(&out_dims);
-        let mut out = vec![0.0f32; self.len()];
+        let mut out = arena::take_uninit(self.len()); // every element written below
         let mut idx = vec![0usize; out_dims.len()];
         for (flat, slot) in out.iter_mut().enumerate() {
             // Decompose flat into out index, map to input offset.
@@ -227,7 +251,7 @@ impl Tensor {
         let n = self.dims()[0];
         assert!(index < n, "index {index} out of bounds for axis 0 extent {n}");
         let chunk = self.len() / n;
-        let data = self.data[index * chunk..(index + 1) * chunk].to_vec();
+        let data = arena::take_copy(&self.data[index * chunk..(index + 1) * chunk]);
         Tensor::from_vec(data, &self.dims()[1..])
     }
 
@@ -237,7 +261,7 @@ impl Tensor {
         let n = self.dims()[0];
         assert!(start <= end && end <= n, "slice [{start}, {end}) out of bounds for extent {n}");
         let chunk = self.len() / n.max(1);
-        let data = self.data[start * chunk..end * chunk].to_vec();
+        let data = arena::take_copy(&self.data[start * chunk..end * chunk]);
         let mut dims = self.dims().to_vec();
         dims[0] = end - start;
         Tensor::from_vec(data, &dims)
@@ -268,14 +292,17 @@ impl Tensor {
         // outer = product of dims before `axis`; inner = product after.
         let outer: usize = out_dims[..axis].iter().product();
         let inner: usize = out_dims[axis + 1..].iter().product();
-        let mut data = Vec::with_capacity(out_dims.iter().product());
+        let mut data = arena::take_uninit(out_dims.iter().product());
+        let mut at = 0usize;
         for o in 0..outer {
             for p in parts {
                 let pa = p.dims()[axis];
                 let chunk = pa * inner;
-                data.extend_from_slice(&p.data[o * chunk..(o + 1) * chunk]);
+                data[at..at + chunk].copy_from_slice(&p.data[o * chunk..(o + 1) * chunk]);
+                at += chunk;
             }
         }
+        debug_assert_eq!(at, data.len());
         Tensor::from_vec(data, &out_dims)
     }
 
@@ -287,9 +314,10 @@ impl Tensor {
         }
         let mut dims = vec![parts.len()];
         dims.extend_from_slice(parts[0].dims());
-        let mut data = Vec::with_capacity(parts.len() * parts[0].len());
-        for p in parts {
-            data.extend_from_slice(&p.data);
+        let each = parts[0].len();
+        let mut data = arena::take_uninit(parts.len() * each);
+        for (slot, p) in data.chunks_mut(each.max(1)).zip(parts) {
+            slot.copy_from_slice(&p.data);
         }
         Tensor::from_vec(data, &dims)
     }
@@ -312,14 +340,15 @@ impl Tensor {
             .map(|&s| {
                 let mut dims = self.dims().to_vec();
                 dims[axis] = s;
-                Tensor { shape: Shape::new(&dims), data: Vec::with_capacity(outer * s * inner) }
+                Tensor { shape: Shape::new(&dims), data: arena::take_uninit(outer * s * inner) }
             })
             .collect();
         for o in 0..outer {
             let mut off = 0usize;
             for (k, &s) in sizes.iter().enumerate() {
                 let from = o * full + off * inner;
-                outs[k].data.extend_from_slice(&self.data[from..from + s * inner]);
+                let chunk = s * inner;
+                outs[k].data[o * chunk..(o + 1) * chunk].copy_from_slice(&self.data[from..from + chunk]);
                 off += s;
             }
         }
@@ -330,9 +359,10 @@ impl Tensor {
     pub fn repeat_leading(&self, n: usize) -> Self {
         let mut dims = vec![n];
         dims.extend_from_slice(self.dims());
-        let mut data = Vec::with_capacity(n * self.len());
-        for _ in 0..n {
-            data.extend_from_slice(&self.data);
+        let each = self.len();
+        let mut data = arena::take_uninit(n * each);
+        for slot in data.chunks_mut(each.max(1)) {
+            slot.copy_from_slice(&self.data);
         }
         Tensor::from_vec(data, &dims)
     }

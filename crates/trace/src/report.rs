@@ -115,7 +115,9 @@ pub fn render(data: &TraceData) -> String {
         .counters
         .iter()
         .chain(data.gauges.iter())
-        .filter(|(name, _)| name.starts_with("parallel.") || name.starts_with("obs."))
+        .filter(|(name, _)| {
+            name.starts_with("parallel.") || name.starts_with("obs.") || name.starts_with("tensor.")
+        })
         .collect();
     if !interesting.is_empty() {
         out.push_str("pool & runtime metrics:\n");

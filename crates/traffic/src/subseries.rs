@@ -95,6 +95,13 @@ impl Batch {
     pub fn is_empty(&self) -> bool {
         self.indices.is_empty()
     }
+
+    /// An empty staging batch for [`batch_into`] — its tensors are resized
+    /// on first fill and reused afterwards.
+    pub fn staging() -> Self {
+        let zero = || Tensor::zeros(&[0]);
+        Batch { closeness: zero(), period: zero(), trend: zero(), target: zero(), indices: Vec::new() }
+    }
 }
 
 /// A multi-horizon batch: shared inputs, one target frame per horizon
@@ -137,19 +144,61 @@ pub fn sample(flows: &FlowSeries, spec: &SubSeriesSpec, n: usize) -> Sample {
 
 /// Assemble a batch for the given target indices.
 pub fn batch(flows: &FlowSeries, spec: &SubSeriesSpec, indices: &[usize]) -> Batch {
-    assert!(!indices.is_empty(), "empty batch");
-    let samples: Vec<Sample> = indices.iter().map(|&n| sample(flows, spec, n)).collect();
-    let stack = |f: fn(&Sample) -> &Tensor| -> Tensor {
-        let parts: Vec<&Tensor> = samples.iter().map(f).collect();
-        Tensor::stack(&parts)
-    };
-    Batch {
-        closeness: stack(|s| &s.closeness),
-        period: stack(|s| &s.period),
-        trend: stack(|s| &s.trend),
-        target: stack(|s| &s.target),
-        indices: indices.to_vec(),
+    let mut out = Batch::staging();
+    batch_into(flows, spec, indices, &mut out);
+    out
+}
+
+/// Reshape `t` to `dims`, reusing its buffer when the element count already
+/// matches (the caller overwrites every element).
+fn stage_tensor(t: &mut Tensor, dims: &[usize]) {
+    if t.dims() != dims {
+        let total: usize = dims.iter().product();
+        if t.len() == total {
+            *t = std::mem::replace(t, Tensor::zeros(&[0])).reshape(dims);
+        } else {
+            *t = Tensor::zeros(dims);
+        }
     }
+}
+
+/// Assemble a batch for the given target indices **into** `out`, reusing its
+/// tensor buffers when shapes allow. Frames are copied straight from the
+/// series' backing storage — no per-sample staging tensors are created, and
+/// a steady-state training loop reuses one `Batch` allocation-free.
+///
+/// Produces exactly the same batch as [`batch`].
+pub fn batch_into(flows: &FlowSeries, spec: &SubSeriesSpec, indices: &[usize], out: &mut Batch) {
+    assert!(!indices.is_empty(), "empty batch");
+    let min = spec.min_target();
+    for &n in indices {
+        assert!(n >= min, "target {n} lacks history (min {min})");
+        assert!(n < flows.len(), "target {n} beyond series length {}", flows.len());
+    }
+    let b = indices.len();
+    let grid = flows.grid();
+    let (h, w) = (grid.height, grid.width);
+    let frame = 2 * h * w;
+    let src = flows.tensor().as_slice();
+
+    // Copy the frames at `n - lag` (lag order) for every sample, packed
+    // along the channel axis — identical layout to concat + stack.
+    let fill = |t: &mut Tensor, lags: &[usize]| {
+        stage_tensor(t, &[b, 2 * lags.len(), h, w]);
+        let dst = t.as_mut_slice();
+        for (bi, &n) in indices.iter().enumerate() {
+            for (k, &lag) in lags.iter().enumerate() {
+                let at = (bi * lags.len() + k) * frame;
+                dst[at..at + frame].copy_from_slice(&src[(n - lag) * frame..(n - lag + 1) * frame]);
+            }
+        }
+    };
+    fill(&mut out.closeness, &spec.closeness_lags());
+    fill(&mut out.period, &spec.period_lags());
+    fill(&mut out.trend, &spec.trend_lags());
+    fill(&mut out.target, &[0]);
+    out.indices.clear();
+    out.indices.extend_from_slice(indices);
 }
 
 /// Assemble a multi-horizon batch: inputs at base index `n`, targets
@@ -260,6 +309,32 @@ mod tests {
         assert_eq!(b.trend.dims(), &[3, 2, 2, 2]);
         assert_eq!(b.target.dims(), &[3, 2, 2, 2]);
         assert_eq!(b.target.at(&[1, 0, 0, 0]), 30.0);
+    }
+
+    #[test]
+    fn batch_into_matches_batch_and_reuses_buffers() {
+        let s = spec4();
+        let flows = indexed_series(40);
+        let mut staging = Batch::staging();
+        // Two rounds with the same batch size: the second must reuse the
+        // first round's buffers, and both must equal the one-shot `batch`.
+        for indices in [&[28usize, 30, 35][..], &[29, 31, 36][..]] {
+            batch_into(&flows, &s, indices, &mut staging);
+            let ptr_before = staging.closeness.as_slice().as_ptr();
+            let fresh = batch(&flows, &s, indices);
+            for (a, b) in [
+                (&staging.closeness, &fresh.closeness),
+                (&staging.period, &fresh.period),
+                (&staging.trend, &fresh.trend),
+                (&staging.target, &fresh.target),
+            ] {
+                assert_eq!(a.dims(), b.dims());
+                assert_eq!(a.as_slice(), b.as_slice());
+            }
+            assert_eq!(staging.indices, indices);
+            batch_into(&flows, &s, indices, &mut staging);
+            assert_eq!(staging.closeness.as_slice().as_ptr(), ptr_before, "staging buffer was reallocated");
+        }
     }
 
     #[test]

@@ -64,4 +64,16 @@ if cargo run -q --release -p muse-bench --bin perf_gate -- check target/perf_gat
 fi
 echo "    doctored baseline rejected, gate has teeth"
 
+echo "==> allocation gate: steady-state training-step alloc bytes"
+grep -q '"train.steady_alloc"' BENCH_kernels.json || {
+    echo "BENCH_kernels.json does not gate train.steady_alloc (re-record with scripts/perf_gate.sh record)" >&2
+    exit 1
+}
+cargo run -q --release -p muse-bench --bin perf_gate -- doctor-alloc BENCH_kernels.json target/doctored_alloc_baseline.json
+if cargo run -q --release -p muse-bench --bin perf_gate -- check target/perf_gate_trace.jsonl target/doctored_alloc_baseline.json >/dev/null 2>&1; then
+    echo "perf gate FAILED to reject an alloc-doctored baseline" >&2
+    exit 1
+fi
+echo "    train.steady_alloc gated, alloc-doctored baseline rejected"
+
 echo "CI gate passed."
