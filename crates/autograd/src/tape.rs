@@ -167,6 +167,9 @@ pub struct Tape {
     pub(crate) nodes: RefCell<Vec<Node>>,
     /// Recycled gradient-slot storage, returned by `Gradients::drop`.
     grads_cache: RefCell<Vec<Option<Tensor>>>,
+    /// Inference mode: backward closures are dropped at record time and
+    /// [`Tape::backward`] is unavailable.
+    forward_only: bool,
 }
 
 /// A handle to a value recorded on a [`Tape`].
@@ -215,6 +218,20 @@ impl Tape {
         Tape::default()
     }
 
+    /// An empty inference tape: every recorded node discards its backward
+    /// closure, so the graph holds forward values only and
+    /// [`Tape::backward`] panics. Combined with [`Tape::reset`] the same
+    /// tape serves repeated forward passes without the bookkeeping (or the
+    /// closure boxes) the reverse sweep would need.
+    pub fn forward_only() -> Self {
+        Tape { forward_only: true, ..Tape::default() }
+    }
+
+    /// Whether this tape was created with [`Tape::forward_only`].
+    pub fn is_forward_only(&self) -> bool {
+        self.forward_only
+    }
+
     /// Number of recorded nodes.
     pub fn len(&self) -> usize {
         self.nodes.borrow().len()
@@ -235,6 +252,7 @@ impl Tape {
     }
 
     pub(crate) fn push(&self, op: &'static str, value: Tensor, backward: Option<BackwardFn>) -> Var<'_> {
+        let backward = if self.forward_only { None } else { backward };
         let mut nodes = self.nodes.borrow_mut();
         let id = nodes.len();
         nodes.push(Node { op, value, backward });
@@ -277,6 +295,7 @@ impl Tape {
     /// The seed gradient is a tensor of ones shaped like the loss, so calling
     /// this on a non-scalar computes the gradient of its element sum.
     pub fn backward(&self, loss: Var<'_>) -> Gradients<'_> {
+        assert!(!self.forward_only, "backward on a forward-only tape");
         let nodes = self.nodes.borrow();
         assert!(loss.id < nodes.len(), "loss var not on this tape");
         let telemetry = obs::enabled();
@@ -416,5 +435,30 @@ mod tests {
         assert!(tape.grads_cache.borrow().capacity() >= tape.len());
         let grads = tape.backward(loss);
         assert_eq!(grads.get(x).unwrap().as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn forward_only_tape_matches_forward_values_and_stores_no_closures() {
+        let run = |tape: &Tape| {
+            let x = tape.leaf(Tensor::from_vec(vec![0.5, -1.5, 2.0], &[3]));
+            x.tanh().square().sum().value()
+        };
+        let train = Tape::new();
+        let infer = Tape::forward_only();
+        assert_eq!(run(&train).as_slice(), run(&infer).as_slice());
+        assert!(infer.is_forward_only());
+        assert!(infer.nodes.borrow().iter().all(|n| n.backward.is_none()));
+        // And the same inference tape is reusable across requests.
+        infer.reset();
+        assert_eq!(run(&train).as_slice(), run(&infer).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "forward-only")]
+    fn backward_on_forward_only_tape_panics() {
+        let tape = Tape::forward_only();
+        let x = tape.leaf(Tensor::ones(&[2]));
+        let loss = x.sum();
+        let _ = tape.backward(loss);
     }
 }

@@ -1,7 +1,12 @@
-//! Micro-benchmarks of the hot computational kernels, plus an end-to-end
-//! training-step bench whose steady-state arena traffic is recorded as the
-//! `train.steady_alloc` pseudo-kernel (gated by `perf_gate` alongside the
-//! real kernels' bytes-per-call).
+//! Micro-benchmarks of the hot computational kernels, plus two end-to-end
+//! benches: a daemon-path forecast (`serve_forecast_*`, the muse-serve
+//! engine's request latency) and a training step whose steady-state arena
+//! traffic is recorded as the `train.steady_alloc` pseudo-kernel (gated by
+//! `perf_gate` alongside the real kernels' bytes-per-call).
+//!
+//! Order matters: `bench_train_step` runs last and resets the metric
+//! registry first, so the gated per-kernel bytes-per-call ratios come from
+//! identical training steps only.
 
 use muse_bench::{bench_dataset, bench_profile, criterion_group, criterion_main, Criterion};
 use muse_tensor::conv::{conv2d, conv2d_backward, Conv2dSpec};
@@ -60,6 +65,29 @@ fn bench_backward(c: &mut Criterion) {
     });
 }
 
+fn bench_serve_forecast(c: &mut Criterion) {
+    use muse_serve::{Engine, EngineOptions};
+    use musenet::{MuseNet, MuseNetConfig};
+    use std::time::Duration;
+
+    let profile = bench_profile();
+    let prepared = bench_dataset();
+    let mut cfg = MuseNetConfig::cpu_profile(prepared.dataset.grid(), prepared.spec);
+    cfg.d = profile.d;
+    cfg.k = profile.k;
+    // Zero batch window: each forecast call measures pure request latency
+    // (channel round trip + forward-only rollout), not the coalescing stall.
+    let opts = EngineOptions { batch_window: Duration::ZERO, ..EngineOptions::default() };
+    let engine = Engine::start(move || Ok(MuseNet::new(cfg)), opts).expect("engine boots");
+    let frame_len = engine.info().frame_len;
+    let src = prepared.scaled.tensor().as_slice();
+    for i in 0..engine.info().window_capacity {
+        engine.ingest(src[i * frame_len..(i + 1) * frame_len].to_vec()).expect("ingest");
+    }
+    c.bench_function("serve_forecast_h1", |bch| bch.iter(|| black_box(engine.forecast(1).unwrap())));
+    c.bench_function("serve_forecast_h3", |bch| bch.iter(|| black_box(engine.forecast(3).unwrap())));
+}
+
 fn bench_train_step(c: &mut Criterion) {
     use muse_autograd::Tape;
     use muse_nn::{clip_grad_norm, Adam, Optimizer, Session};
@@ -116,6 +144,6 @@ fn bench_train_step(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_conv2d, bench_simulator, bench_backward, bench_train_step
+    targets = bench_matmul, bench_conv2d, bench_simulator, bench_backward, bench_serve_forecast, bench_train_step
 }
 criterion_main!(benches);

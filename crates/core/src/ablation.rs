@@ -48,6 +48,13 @@ impl AblationVariant {
         }
     }
 
+    /// Inverse of [`AblationVariant::name`]: parse a paper column header
+    /// back into a variant (used when reconstructing a model from
+    /// checkpoint metadata).
+    pub fn from_name(name: &str) -> Option<AblationVariant> {
+        AblationVariant::all().into_iter().find(|v| v.name() == name)
+    }
+
     /// Whether this variant trains the simplex/duplex variational encoders.
     pub fn uses_pulling(&self) -> bool {
         matches!(
@@ -100,6 +107,14 @@ mod tests {
 
         assert!(!AblationVariant::WithoutSemanticPulling.uses_pulling());
         assert!(AblationVariant::WithoutSemanticPulling.uses_pushing());
+    }
+
+    #[test]
+    fn name_round_trips_through_from_name() {
+        for v in AblationVariant::all() {
+            assert_eq!(AblationVariant::from_name(v.name()), Some(v));
+        }
+        assert_eq!(AblationVariant::from_name("MUSE-Net-w/o-Gravity"), None);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! MUSE-Net hyper-parameters.
 
 use crate::ablation::AblationVariant;
+use muse_obs::Json;
 use muse_traffic::{GridMap, SubSeriesSpec};
 
 /// Hyper-parameters of MUSE-Net.
@@ -93,6 +94,88 @@ impl MuseNetConfig {
         self.grid.cells()
     }
 
+    /// Serialize the full configuration as JSON — the metadata payload a
+    /// v2 checkpoint embeds so a serving process can rebuild this exact
+    /// architecture (see [`crate::MuseNet::from_checkpoint`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("arch", Json::Str("muse-net".into())),
+            (
+                "grid",
+                Json::obj([
+                    ("height", Json::Num(self.grid.height as f64)),
+                    ("width", Json::Num(self.grid.width as f64)),
+                ]),
+            ),
+            (
+                "spec",
+                Json::obj([
+                    ("lc", Json::Num(self.spec.lc as f64)),
+                    ("lp", Json::Num(self.spec.lp as f64)),
+                    ("lt", Json::Num(self.spec.lt as f64)),
+                    ("intervals_per_day", Json::Num(self.spec.intervals_per_day as f64)),
+                ]),
+            ),
+            ("d", Json::Num(self.d as f64)),
+            ("k", Json::Num(self.k as f64)),
+            ("lambda", Json::Num(self.lambda as f64)),
+            ("resplus_blocks", Json::Num(self.resplus_blocks as f64)),
+            ("plus_channels", Json::Num(self.plus_channels as f64)),
+            ("pull_cap", Json::Num(self.pull_cap as f64)),
+            ("variant", Json::Str(self.variant.name().into())),
+            // Seeds in this repo are small; f64 is exact below 2^53.
+            ("seed", Json::Num(self.seed as f64)),
+        ])
+    }
+
+    /// Inverse of [`MuseNetConfig::to_json`]. Returns a descriptive error
+    /// naming the first missing or ill-typed field.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        fn usize_field(json: &Json, ctx: &str, key: &str) -> Result<usize, String> {
+            json.get(key)
+                .and_then(|v| v.as_f64())
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("config {ctx}field '{key}' missing or not a non-negative integer"))
+        }
+        fn f32_field(json: &Json, key: &str) -> Result<f32, String> {
+            json.get(key)
+                .and_then(|v| v.as_f64())
+                .map(|v| v as f32)
+                .ok_or_else(|| format!("config field '{key}' missing or not a number"))
+        }
+        if let Some(arch) = json.get("arch").and_then(|v| v.as_str()) {
+            if arch != "muse-net" {
+                return Err(format!("config is for arch '{arch}', expected 'muse-net'"));
+            }
+        }
+        let grid = json.get("grid").ok_or("config field 'grid' missing")?;
+        let spec = json.get("spec").ok_or("config field 'spec' missing")?;
+        let variant_name = json
+            .get("variant")
+            .and_then(|v| v.as_str())
+            .ok_or("config field 'variant' missing or not a string")?;
+        let cfg = MuseNetConfig {
+            grid: GridMap::new(usize_field(grid, "grid ", "height")?, usize_field(grid, "grid ", "width")?),
+            spec: SubSeriesSpec {
+                lc: usize_field(spec, "spec ", "lc")?,
+                lp: usize_field(spec, "spec ", "lp")?,
+                lt: usize_field(spec, "spec ", "lt")?,
+                intervals_per_day: usize_field(spec, "spec ", "intervals_per_day")?,
+            },
+            d: usize_field(json, "", "d")?,
+            k: usize_field(json, "", "k")?,
+            lambda: f32_field(json, "lambda")?,
+            resplus_blocks: usize_field(json, "", "resplus_blocks")?,
+            plus_channels: usize_field(json, "", "plus_channels")?,
+            pull_cap: f32_field(json, "pull_cap")?,
+            variant: AblationVariant::from_name(variant_name)
+                .ok_or_else(|| format!("unknown ablation variant '{variant_name}'"))?,
+            seed: usize_field(json, "", "seed")? as u64,
+        };
+        Ok(cfg)
+    }
+
     /// Sanity-check the configuration; panics with a descriptive message on
     /// inconsistency.
     pub fn validate(&self) {
@@ -140,6 +223,41 @@ mod tests {
         let c = MuseNetConfig::cpu_profile(GridMap::new(6, 6), spec());
         assert!(c.d < p.d && c.k < p.k);
         c.validate();
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let mut cfg = MuseNetConfig::cpu_profile(GridMap::new(7, 9), spec());
+        cfg.lambda = 0.5;
+        cfg.pull_cap = 3.25;
+        cfg.variant = crate::ablation::AblationVariant::WithoutSpatial;
+        cfg.resplus_blocks = 0; // legal for w/o-Spatial
+        cfg.seed = 12345;
+        let text = cfg.to_json().render();
+        let back = MuseNetConfig::from_json(&muse_obs::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.grid, cfg.grid);
+        assert_eq!(
+            (back.spec.lc, back.spec.lp, back.spec.lt, back.spec.intervals_per_day),
+            (cfg.spec.lc, cfg.spec.lp, cfg.spec.lt, cfg.spec.intervals_per_day)
+        );
+        assert_eq!(
+            (back.d, back.k, back.resplus_blocks, back.plus_channels),
+            (cfg.d, cfg.k, 0, cfg.plus_channels)
+        );
+        assert_eq!(back.lambda, cfg.lambda);
+        assert_eq!(back.pull_cap, cfg.pull_cap);
+        assert_eq!(back.variant, cfg.variant);
+        assert_eq!(back.seed, cfg.seed);
+    }
+
+    #[test]
+    fn from_json_names_the_missing_field() {
+        let mut json = MuseNetConfig::paper(GridMap::new(4, 4), spec()).to_json();
+        if let muse_obs::Json::Obj(fields) = &mut json {
+            fields.retain(|(k, _)| k != "k");
+        }
+        let err = MuseNetConfig::from_json(&json).unwrap_err();
+        assert!(err.contains("'k'"), "{err}");
     }
 
     #[test]

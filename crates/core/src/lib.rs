@@ -42,5 +42,5 @@ pub mod variational;
 pub use ablation::AblationVariant;
 pub use config::MuseNetConfig;
 pub use loss::LossTerms;
-pub use model::MuseNet;
+pub use model::{InferenceOutput, MuseNet};
 pub use trainer::{TrainReport, Trainer, TrainerOptions};

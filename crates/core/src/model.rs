@@ -86,6 +86,18 @@ pub struct Representations {
     pub interactive_mu: Tensor,
 }
 
+/// Output of a forward-only serving pass ([`MuseNet::infer_raw`]).
+#[derive(Debug, Clone)]
+pub struct InferenceOutput {
+    /// Forecast `[B, 2, H, W]` in scaled units.
+    pub prediction: Tensor,
+    /// L2 norms of the exclusive posterior means, order C, P, T.
+    pub exclusive_mu_norms: [f32; 3],
+    /// L2 norm of the interactive posterior mean (of the concatenated
+    /// pairwise means for the `w/o-MultiDisentangle` variant).
+    pub interactive_mu_norm: f32,
+}
+
 impl MuseNet {
     /// Build a model for the given configuration.
     pub fn new(config: MuseNetConfig) -> Self {
@@ -220,6 +232,35 @@ impl MuseNet {
     /// model with the same configuration.
     pub fn load(&self, path: &std::path::Path) -> Result<(), muse_nn::CheckpointError> {
         muse_nn::load_params(path, &self.params())
+    }
+
+    /// Save parameters with the model's JSON config embedded as checkpoint
+    /// metadata, making the file self-describing: a serving process can
+    /// rebuild the architecture from the file alone
+    /// ([`MuseNet::from_checkpoint`]).
+    pub fn save_with_config(&self, path: &std::path::Path) -> Result<(), muse_nn::CheckpointError> {
+        muse_nn::save_params_with_meta(path, &self.params(), Some(&self.config.to_json().render()))
+    }
+
+    /// Reconstruct a model from a self-describing checkpoint: parse the
+    /// embedded config, build the architecture, load the weights.
+    pub fn from_checkpoint(path: &std::path::Path) -> Result<MuseNet, muse_nn::CheckpointError> {
+        use muse_nn::CheckpointError;
+        let ckpt = muse_nn::load_checkpoint_full(path)?;
+        let meta = ckpt.meta.as_deref().ok_or_else(|| {
+            CheckpointError::Format(
+                "checkpoint has no embedded model config (save it with MuseNet::save_with_config \
+                 or muse-eval --save-checkpoint)"
+                    .into(),
+            )
+        })?;
+        let json = obs::json::parse(meta)
+            .map_err(|e| CheckpointError::Format(format!("checkpoint metadata is not valid JSON: {e}")))?;
+        let config = MuseNetConfig::from_json(&json).map_err(CheckpointError::Format)?;
+        config.validate();
+        let model = MuseNet::new(config);
+        muse_nn::apply_checkpoint(&ckpt.entries, &model.params())?;
+        Ok(model)
     }
 
     // ------------------------------------------------------------- training
@@ -446,10 +487,73 @@ impl MuseNet {
 
     /// Predict from raw sub-series tensors.
     pub fn predict_raw(&self, closeness: &Tensor, period: &Tensor, trend: &Tensor) -> Tensor {
-        let tape = Tape::new();
+        let tape = Tape::forward_only();
         let s = Session::new(&tape);
-        let pass = self.graph(&s, closeness, period, trend, None, false);
-        pass.prediction.value()
+        self.infer_raw(&s, closeness, period, trend).prediction
+    }
+
+    /// Forward-only serving pass: the deterministic prediction plus the
+    /// per-branch posterior-mean norms, skipping the training-only graph
+    /// (decoders, reconstruction, pulling, loss terms). Bit-identical to
+    /// the prediction of [`MuseNet::eval_graph`] — the omitted branches
+    /// never feed the prediction path.
+    ///
+    /// The caller owns the session; a long-lived server hoists one
+    /// [`Tape::forward_only`] tape + session and `reset`s both between
+    /// requests so steady-state inference runs out of the tensor arena.
+    pub fn infer_raw<'t>(
+        &self,
+        s: &Session<'t>,
+        closeness: &Tensor,
+        period: &Tensor,
+        trend: &Tensor,
+    ) -> InferenceOutput {
+        let _span = obs::span("model.infer");
+        let c = s.input(closeness.clone());
+        let p = s.input(period.clone());
+        let t = s.input(trend.clone());
+        let last_frame = |x: &Tensor| -> Tensor {
+            let ch = x.dims()[1];
+            x.split(1, &[ch - 2, 2]).pop().expect("two chunks")
+        };
+        let skips = [s.input(last_frame(closeness)), s.input(last_frame(period)), s.input(last_frame(trend))];
+        let enc = [
+            self.exclusive[0].forward(s, c),
+            self.exclusive[1].forward(s, p),
+            self.exclusive[2].forward(s, t),
+        ];
+        let exclusive_mu_norms = [0, 1, 2].map(|i| enc[i].mu.with_value(|mu: &Tensor| mu.norm()));
+        let (spatial_stack, interactive_mu_norm) = match &self.interactive {
+            InteractivePath::Multivariate { encoder, .. } => {
+                let feats = Var::concat(&[enc[0].feature, enc[1].feature, enc[2].feature], 1);
+                let inter = encoder.forward(s, feats);
+                let stack = Var::concat(&[enc[0].feature, enc[1].feature, enc[2].feature, inter.feature], 1);
+                (stack, inter.mu.with_value(|mu: &Tensor| mu.norm()))
+            }
+            InteractivePath::Pairwise { encoders } => {
+                let mut feats = vec![enc[0].feature, enc[1].feature, enc[2].feature];
+                let mut sq_norm = 0.0f32;
+                for (pair_idx, (bi, bj)) in Branch::pairs().iter().enumerate() {
+                    let pair_feats = Var::concat(&[enc[bi.index()].feature, enc[bj.index()].feature], 1);
+                    let out = encoders[pair_idx].inner.forward(s, pair_feats);
+                    feats.push(out.feature);
+                    // ‖concat(mus)‖ = sqrt(Σ‖mu_i‖²), without the concat.
+                    sq_norm += out.mu.with_value(|mu: &Tensor| {
+                        let n = mu.norm();
+                        n * n
+                    });
+                }
+                (Var::concat(&feats, 1), sq_norm.sqrt())
+            }
+        };
+        let prediction = {
+            let _span = obs::span("model.spatial");
+            match &self.spatial {
+                SpatialHead::ResPlus(r) => r.forward(s, spatial_stack, &skips),
+                SpatialHead::Pointwise(h) => h.forward(s, spatial_stack, &skips),
+            }
+        };
+        InferenceOutput { prediction: prediction.value(), exclusive_mu_norms, interactive_mu_norm }
     }
 
     /// Autoregressive multi-step forecast.
@@ -716,6 +820,64 @@ mod tests {
         // …until the checkpoint is loaded.
         other.load(&path).unwrap();
         assert!(other.predict(&b).approx_eq(&before, 1e-6));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn infer_raw_is_bit_identical_to_eval_graph_prediction() {
+        for variant in AblationVariant::all() {
+            let cfg = tiny_config(variant);
+            let model = MuseNet::new(cfg.clone());
+            let b = tiny_batch(&cfg);
+            let tape = Tape::new();
+            let s = Session::new(&tape);
+            let via_graph = model.eval_graph(&s, &b).prediction.value();
+
+            let infer_tape = Tape::forward_only();
+            let infer_s = Session::new(&infer_tape);
+            let out = model.infer_raw(&infer_s, &b.closeness, &b.period, &b.trend);
+            assert_eq!(out.prediction.as_slice(), via_graph.as_slice(), "{variant:?}");
+            assert!(out.exclusive_mu_norms.iter().all(|n| n.is_finite()), "{variant:?}");
+            assert!(out.interactive_mu_norm.is_finite(), "{variant:?}");
+
+            // And a reused (reset) session reproduces the same bits.
+            infer_tape.reset();
+            infer_s.reset();
+            let again = model.infer_raw(&infer_s, &b.closeness, &b.period, &b.trend);
+            assert_eq!(again.prediction.as_slice(), via_graph.as_slice(), "{variant:?} after reset");
+            assert_eq!(again.exclusive_mu_norms, out.exclusive_mu_norms, "{variant:?} after reset");
+            assert_eq!(again.interactive_mu_norm, out.interactive_mu_norm, "{variant:?} after reset");
+        }
+    }
+
+    #[test]
+    fn from_checkpoint_rebuilds_the_exact_model() {
+        let mut cfg = tiny_config(AblationVariant::Full);
+        cfg.seed = 41;
+        let model = MuseNet::new(cfg.clone());
+        let b = tiny_batch(&cfg);
+        let before = model.predict(&b);
+        let mut path = std::env::temp_dir();
+        path.push(format!("musenet-ckpt-meta-{}.bin", std::process::id()));
+        model.save_with_config(&path).unwrap();
+        let rebuilt = MuseNet::from_checkpoint(&path).unwrap();
+        assert_eq!(rebuilt.config().grid, cfg.grid);
+        assert_eq!(rebuilt.config().seed, cfg.seed);
+        assert_eq!(rebuilt.predict(&b).as_slice(), before.as_slice());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn from_checkpoint_requires_embedded_config() {
+        let cfg = tiny_config(AblationVariant::Full);
+        let model = MuseNet::new(cfg);
+        let mut path = std::env::temp_dir();
+        path.push(format!("musenet-ckpt-nometa-{}.bin", std::process::id()));
+        model.save(&path).unwrap(); // no metadata section
+        let Err(err) = MuseNet::from_checkpoint(&path) else {
+            panic!("config-less checkpoint must not self-construct");
+        };
+        assert!(format!("{err}").contains("no embedded model config"), "{err}");
         std::fs::remove_file(path).ok();
     }
 

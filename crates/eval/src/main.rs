@@ -17,6 +17,12 @@
 //!   --epochs <n>   override training epochs
 //!   --seed <n>     override master seed
 //!   --out <dir>    also write each artifact to <dir>/<experiment>.txt
+//!   --save-checkpoint <p>
+//!                  save each trained MUSE-Net (with its config) to <p>;
+//!                  the most recently trained model wins — pair with a
+//!                  single-model experiment for a muse-serve artifact
+//!   --load-checkpoint <p>
+//!                  warm-start matching MUSE-Net fits from <p>
 //!   --trace <p>    write a JSONL telemetry trace to <p> (same as MUSE_OBS=<p>)
 //!   --serve-metrics <addr>
 //!                  serve /metrics (Prometheus) and /status (JSON) on <addr>
@@ -83,6 +89,14 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--out needs a value")?;
                 out = Some(PathBuf::from(v));
             }
+            "--save-checkpoint" => {
+                let v = argv.next().ok_or("--save-checkpoint needs a path")?;
+                profile.save_checkpoint = Some(PathBuf::from(v));
+            }
+            "--load-checkpoint" => {
+                let v = argv.next().ok_or("--load-checkpoint needs a path")?;
+                profile.load_checkpoint = Some(PathBuf::from(v));
+            }
             "--trace" => {
                 let v = argv.next().ok_or("--trace needs a value")?;
                 trace = Some(PathBuf::from(v));
@@ -107,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: muse-eval <table1|table2|table3|table4|table5|table6|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|all> \
      [--quick|--standard] [--scale f] [--dataset nyc-bike|nyc-taxi|taxibj] [--epochs n] [--seed n] [--out dir] \
+     [--save-checkpoint path.ckpt] [--load-checkpoint path.ckpt] \
      [--trace path.jsonl] [--serve-metrics host:port] [--linger-ms n]"
         .to_string()
 }
@@ -172,6 +187,20 @@ fn main() {
                 ("dataset", args.dataset.map(|p| format!("{p:?}")).as_deref().unwrap_or("all").to_json()),
                 ("threads", Json::Num(muse_parallel::current_threads() as f64)),
                 ("metrics_addr", server.as_ref().map_or(Json::Null, |s| Json::Str(s.addr().to_string()))),
+                (
+                    "save_checkpoint",
+                    args.profile
+                        .save_checkpoint
+                        .as_ref()
+                        .map_or(Json::Null, |p| Json::Str(p.display().to_string())),
+                ),
+                (
+                    "load_checkpoint",
+                    args.profile
+                        .load_checkpoint
+                        .as_ref()
+                        .map_or(Json::Null, |p| Json::Str(p.display().to_string())),
+                ),
             ],
         );
     }

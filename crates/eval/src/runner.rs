@@ -6,11 +6,13 @@ use muse_baselines::{
     SeasonalNaive, Seq2SeqForecaster, StNormLiteForecaster, StgspLiteForecaster,
 };
 use muse_metrics::error::ErrorStats;
+use muse_obs::{self as obs, ToJson};
 use muse_tensor::Tensor;
 use muse_traffic::dataset::{DatasetPreset, Scaler, Split, TrafficDataset};
 use muse_traffic::subseries::SubSeriesSpec;
 use muse_traffic::FlowSeries;
 use musenet::{AblationVariant, MuseNet, MuseNetConfig, Trainer, TrainerOptions};
+use std::path::PathBuf;
 
 /// Compute/scale profile for an experiment run.
 ///
@@ -43,6 +45,14 @@ pub struct Profile {
     pub max_eval: usize,
     /// Master seed.
     pub seed: u64,
+    /// Save each trained MUSE-Net (self-describing, with its config) here —
+    /// the most recently trained model wins, so point single-model
+    /// experiments at it for a deterministic serving artifact.
+    pub save_checkpoint: Option<PathBuf>,
+    /// Warm-start MUSE-Net training from this checkpoint instead of fresh
+    /// weights, when its architecture matches the run (see
+    /// [`fit_model`] for the matching rules).
+    pub load_checkpoint: Option<PathBuf>,
 }
 
 impl Profile {
@@ -61,6 +71,8 @@ impl Profile {
             max_batches: 60,
             max_eval: 120,
             seed: 42,
+            save_checkpoint: None,
+            load_checkpoint: None,
         }
     }
 
@@ -79,6 +91,8 @@ impl Profile {
             max_batches: 80,
             max_eval: 240,
             seed: 42,
+            save_checkpoint: None,
+            load_checkpoint: None,
         }
     }
 
@@ -345,11 +359,68 @@ pub fn fit_model(kind: ModelKind, prepared: &Prepared, profile: &Profile) -> Fit
             cfg.resplus_blocks = 2;
             cfg.variant = variant;
             cfg.seed = profile.seed + 6;
-            let mut trainer = Trainer::new(MuseNet::new(cfg), profile.trainer_options());
+            let model = warm_start(&cfg, profile).unwrap_or_else(|| MuseNet::new(cfg));
+            let mut trainer = Trainer::new(model, profile.trainer_options());
             trainer.fit(scaled, spec, train, val);
+            if let Some(path) = &profile.save_checkpoint {
+                trainer.model().save_with_config(path).unwrap_or_else(|e| {
+                    panic!("saving checkpoint {}: {e}", path.display());
+                });
+                obs::emit_with("eval.checkpoint", || {
+                    vec![
+                        ("path", path.display().to_string().to_json()),
+                        ("variant", trainer.model().config().variant.name().to_json()),
+                        ("param_count", trainer.model().param_count().to_json()),
+                    ]
+                });
+            }
             FittedModel::Muse(Box::new(trainer))
         }
     }
+}
+
+/// Resolve `--load-checkpoint` for a MUSE-Net fit: rebuild the checkpointed
+/// model when its architecture matches what this run would construct
+/// (variant, grid, spec, `d`, `k`), so training continues from the saved
+/// weights. A mismatched or unreadable checkpoint falls back to fresh
+/// weights with a note on stderr — ablation sweeps warm-start only the
+/// variant the checkpoint actually holds.
+fn warm_start(cfg: &MuseNetConfig, profile: &Profile) -> Option<MuseNet> {
+    let path = profile.load_checkpoint.as_ref()?;
+    let model = match MuseNet::from_checkpoint(path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("[warm-start] ignoring {}: {e}", path.display());
+            return None;
+        }
+    };
+    let saved = model.config();
+    let matches = saved.variant == cfg.variant
+        && saved.grid == cfg.grid
+        && saved.spec == cfg.spec
+        && saved.d == cfg.d
+        && saved.k == cfg.k;
+    if !matches {
+        eprintln!(
+            "[warm-start] {} holds {} (d={}, k={}, {}x{}), run wants {} (d={}, k={}, {}x{}); training fresh",
+            path.display(),
+            saved.variant.name(),
+            saved.d,
+            saved.k,
+            saved.grid.height,
+            saved.grid.width,
+            cfg.variant.name(),
+            cfg.d,
+            cfg.k,
+            cfg.grid.height,
+            cfg.grid.width,
+        );
+        return None;
+    }
+    obs::emit_with("eval.warm_start", || {
+        vec![("path", path.display().to_string().to_json()), ("variant", saved.variant.name().to_json())]
+    });
+    Some(model)
 }
 
 /// Generic autoregressive rollout for any [`BatchPredictor`]: predicted

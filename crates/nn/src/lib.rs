@@ -44,4 +44,7 @@ pub use loss::{l1_loss, mse_loss};
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
 pub use param::{restore, snapshot, Param, ParamRef, Session};
 pub use rnn::{GruCell, RnnCell};
-pub use serialize::{load_checkpoint, load_params, save_params, CheckpointError};
+pub use serialize::{
+    apply_checkpoint, load_checkpoint, load_checkpoint_full, load_params, save_params, save_params_with_meta,
+    Checkpoint, CheckpointError,
+};

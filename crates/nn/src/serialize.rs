@@ -5,6 +5,8 @@
 //! ```text
 //! magic  "MUSE"            4 bytes
 //! version u32 LE           4 bytes
+//! v2 only:
+//!   meta_len u32 LE, meta bytes (UTF-8, 0 = no metadata)
 //! count   u32 LE           4 bytes
 //! repeated count times:
 //!   name_len u32 LE, name bytes (UTF-8)
@@ -12,11 +14,21 @@
 //!   data (f32 LE each)
 //! ```
 //!
+//! Version 2 adds an optional metadata section right after the version
+//! field — an opaque UTF-8 string (by convention a JSON model config) that
+//! lets a serving process reconstruct the right architecture before
+//! loading weights. Version 1 files (no metadata section) still load.
+//!
 //! Parameters are matched **positionally** on load, with name and shape
 //! verified entry-by-entry — a checkpoint can only be restored into the
 //! same architecture, constructed in the same order, which is exactly the
 //! safe case. Layer constructors embed shapes into names, so most
 //! architecture drift is caught by the name check too.
+//!
+//! Every [`CheckpointError::Format`] produced by the loader names the
+//! offending entry (index, and name once known) and the absolute byte
+//! offset where decoding failed, so a truncated or bit-flipped file is
+//! diagnosable from the message alone.
 
 use crate::param::ParamRef;
 use muse_tensor::Tensor;
@@ -25,7 +37,13 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"MUSE";
-const VERSION: u32 = 1;
+/// Current write version (v2: optional metadata section).
+const VERSION: u32 = 2;
+/// Caps keeping a corrupt length field from provoking huge allocations.
+const MAX_META_LEN: usize = 1024 * 1024;
+const MAX_NAME_LEN: usize = 4096;
+const MAX_RANK: usize = 8;
+const MAX_ELEMS: usize = 256 * 1024 * 1024;
 
 /// Error type for checkpoint I/O.
 #[derive(Debug)]
@@ -56,11 +74,40 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-/// Save a parameter set to `path`.
+/// A fully decoded checkpoint: optional metadata plus named tensors.
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// The v2 metadata string (by convention a JSON model config); `None`
+    /// for v1 files or v2 files written without metadata.
+    pub meta: Option<String>,
+    /// `(name, tensor)` pairs in save order.
+    pub entries: Vec<(String, Tensor)>,
+}
+
+/// Save a parameter set to `path` (no metadata section).
 pub fn save_params(path: &Path, params: &[ParamRef]) -> Result<(), CheckpointError> {
+    save_params_with_meta(path, params, None)
+}
+
+/// Save a parameter set to `path`, embedding an optional metadata string
+/// (by convention the model's JSON config) in the v2 header.
+pub fn save_params_with_meta(
+    path: &Path,
+    params: &[ParamRef],
+    meta: Option<&str>,
+) -> Result<(), CheckpointError> {
+    let meta = meta.unwrap_or("");
+    if meta.len() > MAX_META_LEN {
+        return Err(CheckpointError::Format(format!(
+            "metadata too large to save: {} bytes (cap {MAX_META_LEN})",
+            meta.len()
+        )));
+    }
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(meta.len() as u32).to_le_bytes())?;
+    w.write_all(meta.as_bytes())?;
     w.write_all(&(params.len() as u32).to_le_bytes())?;
     for p in params {
         let name = p.name().as_bytes();
@@ -80,49 +127,115 @@ pub fn save_params(path: &Path, params: &[ParamRef]) -> Result<(), CheckpointErr
     Ok(())
 }
 
-/// Load a checkpoint into `(name, tensor)` pairs.
-pub fn load_checkpoint(path: &Path) -> Result<Vec<(String, Tensor)>, CheckpointError> {
-    let mut r = BufReader::new(File::open(path)?);
+/// Byte-offset-tracking reader: every decode failure can say exactly where
+/// in the file it happened and what was being read for which entry.
+struct Cursor<R> {
+    r: R,
+    pos: u64,
+}
+
+impl<R: Read> Cursor<R> {
+    fn new(r: R) -> Self {
+        Cursor { r, pos: 0 }
+    }
+
+    /// `read_exact` that turns EOF into a named, positioned `Format` error
+    /// ("truncated reading <what> for <entry> at byte offset <pos>").
+    fn read_exact(&mut self, buf: &mut [u8], what: &str, entry: &str) -> Result<(), CheckpointError> {
+        let at = self.pos;
+        match self.r.read_exact(buf) {
+            Ok(()) => {
+                self.pos += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(CheckpointError::Format(format!(
+                "truncated reading {what} for {entry} at byte offset {at}"
+            ))),
+            Err(e) => Err(CheckpointError::Io(e)),
+        }
+    }
+
+    fn read_u32(&mut self, what: &str, entry: &str) -> Result<u32, CheckpointError> {
+        let mut buf = [0u8; 4];
+        self.read_exact(&mut buf, what, entry)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn bad(&self, field_bytes: u64, msg: String) -> CheckpointError {
+        CheckpointError::Format(format!("{msg} at byte offset {}", self.pos - field_bytes))
+    }
+}
+
+/// Load a checkpoint, including its metadata section.
+pub fn load_checkpoint_full(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let mut r = Cursor::new(BufReader::new(File::open(path)?));
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    r.read_exact(&mut magic, "magic", "header")?;
     if &magic != MAGIC {
-        return Err(CheckpointError::Format("missing MUSE magic".into()));
+        return Err(r.bad(4, "missing MUSE magic".into()));
     }
-    let version = read_u32(&mut r)?;
-    if version != VERSION {
-        return Err(CheckpointError::Format(format!("unsupported version {version}")));
+    let version = r.read_u32("version", "header")?;
+    if version != 1 && version != VERSION {
+        return Err(r.bad(4, format!("unsupported version {version}")));
     }
-    let count = read_u32(&mut r)? as usize;
-    let mut out = Vec::with_capacity(count);
-    for _ in 0..count {
-        let name_len = read_u32(&mut r)? as usize;
-        if name_len > 4096 {
-            return Err(CheckpointError::Format("implausible name length".into()));
+    let meta = if version >= 2 {
+        let meta_len = r.read_u32("metadata length", "header")? as usize;
+        if meta_len > MAX_META_LEN {
+            return Err(r.bad(4, format!("implausible metadata length {meta_len}")));
+        }
+        let mut raw = vec![0u8; meta_len];
+        r.read_exact(&mut raw, "metadata", "header")?;
+        if meta_len == 0 {
+            None
+        } else {
+            Some(
+                String::from_utf8(raw)
+                    .map_err(|e| r.bad(meta_len as u64, format!("non-utf8 metadata ({e})")))?,
+            )
+        }
+    } else {
+        None
+    };
+    let count = r.read_u32("entry count", "header")? as usize;
+    let mut entries = Vec::with_capacity(count.min(1024));
+    for i in 0..count {
+        let entry = format!("entry {i}");
+        let name_len = r.read_u32("name length", &entry)? as usize;
+        if name_len > MAX_NAME_LEN {
+            return Err(r.bad(4, format!("{entry}: implausible name length {name_len}")));
         }
         let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name)?;
-        let name = String::from_utf8(name).map_err(|_| CheckpointError::Format("non-utf8 name".into()))?;
-        let rank = read_u32(&mut r)? as usize;
-        if rank > 8 {
-            return Err(CheckpointError::Format("implausible rank".into()));
+        r.read_exact(&mut name, "name", &entry)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| r.bad(name_len as u64, format!("{entry}: non-utf8 name ({e})")))?;
+        let entry = format!("entry {i} ('{name}')");
+        let rank = r.read_u32("rank", &entry)? as usize;
+        if rank > MAX_RANK {
+            return Err(r.bad(4, format!("{entry}: implausible rank {rank}")));
         }
         let mut dims = Vec::with_capacity(rank);
-        for _ in 0..rank {
-            dims.push(read_u32(&mut r)? as usize);
+        for d in 0..rank {
+            dims.push(r.read_u32(&format!("dim {d}"), &entry)? as usize);
         }
-        let n: usize = dims.iter().product();
-        if n > 256 * 1024 * 1024 {
-            return Err(CheckpointError::Format("implausible tensor size".into()));
-        }
+        let n = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .filter(|&n| n <= MAX_ELEMS)
+            .ok_or_else(|| r.bad(0, format!("{entry}: implausible tensor size (dims {dims:?})")))?;
         let mut data = Vec::with_capacity(n);
         let mut buf = [0u8; 4];
-        for _ in 0..n {
-            r.read_exact(&mut buf)?;
+        for e in 0..n {
+            r.read_exact(&mut buf, &format!("element {e}/{n}"), &entry)?;
             data.push(f32::from_le_bytes(buf));
         }
-        out.push((name, Tensor::from_vec(data, &dims)));
+        entries.push((name, Tensor::from_vec(data, &dims)));
     }
-    Ok(out)
+    Ok(Checkpoint { meta, entries })
+}
+
+/// Load a checkpoint into `(name, tensor)` pairs (metadata discarded).
+pub fn load_checkpoint(path: &Path) -> Result<Vec<(String, Tensor)>, CheckpointError> {
+    Ok(load_checkpoint_full(path)?.entries)
 }
 
 /// Load a checkpoint and write its values into a parameter set.
@@ -131,7 +244,12 @@ pub fn load_checkpoint(path: &Path) -> Result<Vec<(String, Tensor)>, CheckpointE
 /// parameter at the same position (same architecture, same construction
 /// order).
 pub fn load_params(path: &Path, params: &[ParamRef]) -> Result<(), CheckpointError> {
-    let loaded = load_checkpoint(path)?;
+    apply_checkpoint(&load_checkpoint(path)?, params)
+}
+
+/// Write already-decoded checkpoint entries into a parameter set, with the
+/// same positional name/shape verification as [`load_params`].
+pub fn apply_checkpoint(loaded: &[(String, Tensor)], params: &[ParamRef]) -> Result<(), CheckpointError> {
     if loaded.len() != params.len() {
         return Err(CheckpointError::Mismatch(format!(
             "checkpoint has {} parameters, model has {}",
@@ -139,7 +257,7 @@ pub fn load_params(path: &Path, params: &[ParamRef]) -> Result<(), CheckpointErr
             params.len()
         )));
     }
-    for (i, (p, (name, t))) in params.iter().zip(&loaded).enumerate() {
+    for (i, (p, (name, t))) in params.iter().zip(loaded).enumerate() {
         if p.name() != name {
             return Err(CheckpointError::Mismatch(format!(
                 "parameter {i} name mismatch: checkpoint '{name}', model '{}'",
@@ -159,12 +277,6 @@ pub fn load_params(path: &Path, params: &[ParamRef]) -> Result<(), CheckpointErr
     Ok(())
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, CheckpointError> {
-    let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)?;
-    Ok(u32::from_le_bytes(buf))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,13 +289,17 @@ mod tests {
         p
     }
 
+    fn sample_params(rng: &mut SeededRng) -> Vec<ParamRef> {
+        vec![
+            Param::new("layer.w", Tensor::rand_uniform(rng, &[3, 4], -1.0, 1.0)),
+            Param::new("layer.b", Tensor::rand_uniform(rng, &[4], -1.0, 1.0)),
+        ]
+    }
+
     #[test]
     fn save_load_roundtrip() {
         let mut rng = SeededRng::new(1);
-        let params = vec![
-            Param::new("layer.w", Tensor::rand_uniform(&mut rng, &[3, 4], -1.0, 1.0)),
-            Param::new("layer.b", Tensor::rand_uniform(&mut rng, &[4], -1.0, 1.0)),
-        ];
+        let params = sample_params(&mut rng);
         let path = tmp("roundtrip");
         save_params(&path, &params).unwrap();
         let originals: Vec<Tensor> = params.iter().map(|p| p.value()).collect();
@@ -195,6 +311,46 @@ mod tests {
         for (p, orig) in params.iter().zip(&originals) {
             assert_eq!(&p.value(), orig);
         }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn metadata_roundtrip_and_absence() {
+        let mut rng = SeededRng::new(2);
+        let params = sample_params(&mut rng);
+        let path = tmp("meta");
+        let meta = r#"{"d":16,"k":32}"#;
+        save_params_with_meta(&path, &params, Some(meta)).unwrap();
+        let ckpt = load_checkpoint_full(&path).unwrap();
+        assert_eq!(ckpt.meta.as_deref(), Some(meta));
+        assert_eq!(ckpt.entries.len(), 2);
+        // And load_params still restores through the v2 header.
+        load_params(&path, &params).unwrap();
+
+        save_params(&path, &params).unwrap();
+        assert_eq!(load_checkpoint_full(&path).unwrap().meta, None);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn version1_files_still_load() {
+        // Hand-assemble a v1 file: no metadata section.
+        let path = tmp("v1");
+        let mut raw = Vec::new();
+        raw.extend_from_slice(b"MUSE");
+        raw.extend_from_slice(&1u32.to_le_bytes());
+        raw.extend_from_slice(&1u32.to_le_bytes()); // count
+        raw.extend_from_slice(&1u32.to_le_bytes()); // name_len
+        raw.extend_from_slice(b"w");
+        raw.extend_from_slice(&1u32.to_le_bytes()); // rank
+        raw.extend_from_slice(&2u32.to_le_bytes()); // dim
+        raw.extend_from_slice(&1.5f32.to_le_bytes());
+        raw.extend_from_slice(&(-2.0f32).to_le_bytes());
+        std::fs::write(&path, &raw).unwrap();
+        let ckpt = load_checkpoint_full(&path).unwrap();
+        assert_eq!(ckpt.meta, None);
+        assert_eq!(ckpt.entries[0].0, "w");
+        assert_eq!(ckpt.entries[0].1.as_slice(), &[1.5, -2.0]);
         std::fs::remove_file(path).ok();
     }
 
@@ -237,6 +393,84 @@ mod tests {
         std::fs::write(&path, b"not a checkpoint").unwrap();
         let err = load_checkpoint(&path).unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    /// Bytes of a small valid v2 checkpoint, for corruption tests.
+    fn valid_checkpoint_bytes(tag: &str) -> Vec<u8> {
+        let mut rng = SeededRng::new(7);
+        let params = sample_params(&mut rng);
+        let path = tmp(tag);
+        save_params_with_meta(&path, &params, Some(r#"{"arch":"test"}"#)).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::remove_file(path).ok();
+        raw
+    }
+
+    #[test]
+    fn every_truncation_errors_cleanly_with_offset() {
+        let raw = valid_checkpoint_bytes("trunc");
+        let path = tmp("trunc-cut");
+        for cut in 0..raw.len() {
+            std::fs::write(&path, &raw[..cut]).unwrap();
+            let err = load_checkpoint_full(&path).expect_err(&format!("prefix of {cut} bytes must not load"));
+            match err {
+                CheckpointError::Format(msg) => {
+                    assert!(msg.contains("byte offset"), "truncation at {cut}: message lacks offset: {msg}")
+                }
+                other => panic!("truncation at {cut}: expected Format, got {other}"),
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn random_bit_flips_never_panic_and_format_errors_carry_context() {
+        let raw = valid_checkpoint_bytes("bitflip");
+        let path = tmp("bitflip-mut");
+        let mut rng = SeededRng::new(99);
+        let mut format_errors = 0u32;
+        for _ in 0..300 {
+            let mut mutated = raw.clone();
+            let byte = (rng.normal().abs() * mutated.len() as f32) as usize % mutated.len();
+            let bit = (rng.normal().abs() * 8.0) as u32 % 8;
+            mutated[byte] ^= 1 << bit;
+            std::fs::write(&path, &mutated).unwrap();
+            // Must never panic; flips in f32 payload bytes legitimately load.
+            match load_checkpoint_full(&path) {
+                Ok(_) => {}
+                Err(CheckpointError::Format(msg)) => {
+                    format_errors += 1;
+                    assert!(msg.contains("byte offset"), "format error without offset: {msg}");
+                }
+                Err(CheckpointError::Io(e)) => panic!("bit flip at byte {byte} produced io error: {e}"),
+                Err(e) => panic!("unexpected error kind: {e}"),
+            }
+        }
+        assert!(format_errors > 0, "the sweep should hit at least one structural field");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupt_rank_field_names_entry_and_offset() {
+        let raw = valid_checkpoint_bytes("rank");
+        // Locate entry 0's rank field: magic(4) + version(4) + meta_len(4)
+        // + meta + count(4) + name_len(4) + name.
+        let meta_len = u32::from_le_bytes(raw[8..12].try_into().unwrap()) as usize;
+        let name_len_at = 12 + meta_len + 4;
+        let name_len = u32::from_le_bytes(raw[name_len_at..name_len_at + 4].try_into().unwrap()) as usize;
+        let rank_at = name_len_at + 4 + name_len;
+        let mut mutated = raw.clone();
+        mutated[rank_at..rank_at + 4].copy_from_slice(&999u32.to_le_bytes());
+        let path = tmp("rank-mut");
+        std::fs::write(&path, &mutated).unwrap();
+        let err = load_checkpoint_full(&path).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("entry 0 ('layer.w')"), "message should name the entry: {msg}");
+        assert!(
+            msg.contains(&format!("byte offset {rank_at}")),
+            "message should carry the field offset: {msg}"
+        );
         std::fs::remove_file(path).ok();
     }
 }

@@ -1,0 +1,332 @@
+//! Minimal shared HTTP/1.1 plumbing for the in-tree servers.
+//!
+//! Both [`crate::MetricsServer`] and the `muse-serve` forecasting daemon
+//! speak just enough HTTP for `curl` and Prometheus: one request per
+//! connection, no keep-alive, no chunked encoding. This module holds the
+//! request-line/header parsing and response writing they share, so the
+//! protocol corner cases (oversized headers, missing CRLF, garbage method
+//! tokens) are handled — and tested — in exactly one place.
+//!
+//! Parsing is deliberately strict: a syntactically broken request yields
+//! [`RequestError::Bad`] (the server answers `400 Bad Request` with the
+//! reason in the body) and an unrecognised method token yields
+//! [`RequestError::UnknownMethod`] (`405 Method Not Allowed`). Neither
+//! drops the connection without a response.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or single header line, in bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Maximum number of headers per request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, in bytes (a `2×H×W` f32 frame for a
+/// large city grid is well under this; JSON inflates it ~10×).
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// Method tokens we recognise. Anything else on the request line is
+/// answered with `405` rather than `400`, so clients probing with exotic
+/// verbs learn the verb (not the syntax) is the problem.
+const KNOWN_METHODS: [&str; 7] = ["GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH"];
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method token, e.g. `GET`.
+    pub method: String,
+    /// Path with the query string stripped, e.g. `/forecast`.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names are lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter named `key`, if any.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// First header named `key` (case-insensitive), if any.
+    pub fn header(&self, key: &str) -> Option<&str> {
+        let key = key.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Transport error (or the client hung up before sending a full
+    /// request). No response is owed.
+    Io(io::Error),
+    /// Syntactically invalid request; the server should answer `400` with
+    /// this reason.
+    Bad(&'static str),
+    /// The request line parsed but the method token is not a known HTTP
+    /// method; the server should answer `405`.
+    UnknownMethod,
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Io(e) => write!(f, "i/o: {e}"),
+            RequestError::Bad(reason) => write!(f, "bad request: {reason}"),
+            RequestError::UnknownMethod => write!(f, "unknown method"),
+        }
+    }
+}
+
+/// Read one line terminated by `\n`, enforcing [`MAX_LINE`] and requiring
+/// the `\r\n` line ending HTTP/1.1 mandates. Returns the line without its
+/// terminator. A clean EOF before any byte yields `Io(UnexpectedEof)`.
+fn read_line_bounded(reader: &mut impl BufRead) -> Result<String, RequestError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Err(RequestError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            )));
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |i| i + 1);
+        if line.len() + take > MAX_LINE {
+            // Leave the unread tail in the buffer; the caller answers 400
+            // and closes, so there is no protocol state to resynchronise.
+            return Err(RequestError::Bad("header line too long"));
+        }
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
+    }
+    if !line.ends_with(b"\r\n") {
+        return Err(RequestError::Bad("missing CRLF line ending"));
+    }
+    line.truncate(line.len() - 2);
+    String::from_utf8(line).map_err(|_| RequestError::Bad("non-UTF-8 bytes in request head"))
+}
+
+/// Parse one full request (request line, headers, optional
+/// `Content-Length` body) from `reader`.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> {
+    let request_line = read_line_bounded(reader)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/") || parts.next().is_some() {
+        return Err(RequestError::Bad("malformed request line"));
+    }
+    if !KNOWN_METHODS.contains(&method.as_str()) {
+        return Err(RequestError::UnknownMethod);
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_bounded(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(RequestError::Bad("too many headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Bad("header line without colon"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut body = Vec::new();
+    if let Some(len) = headers.iter().find(|(k, _)| k == "content-length").map(|(_, v)| v.as_str()) {
+        let len: usize = len.parse().map_err(|_| RequestError::Bad("unparseable Content-Length"))?;
+        if len > MAX_BODY {
+            return Err(RequestError::Bad("body too large"));
+        }
+        body.resize(len, 0);
+        reader.read_exact(&mut body)?;
+    }
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+
+    Ok(Request { method, path: path.to_string(), query, headers, body })
+}
+
+/// Reason phrase for the handful of status codes the in-tree servers use.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete `HTTP/1.1` response (status line, `Content-Type`,
+/// `Content-Length`, `Connection: close`, body) and flush.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Answer a [`RequestError`] on `stream`: `400` for syntax errors, `405`
+/// for unknown methods. I/O errors get no response (the peer is gone).
+pub fn respond_error(stream: &mut impl Write, err: &RequestError) -> io::Result<()> {
+    match err {
+        RequestError::Io(_) => Ok(()),
+        RequestError::Bad(why) => write_response(
+            stream,
+            400,
+            "text/plain; charset=utf-8",
+            format!("bad request: {why}\n").as_bytes(),
+        ),
+        RequestError::UnknownMethod => {
+            write_response(stream, 405, "text/plain; charset=utf-8", b"method not allowed\n")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let req = parse(b"GET /forecast?horizon=3&debug HTTP/1.1\r\nHost: x\r\nX-Tag: hi\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/forecast");
+        assert_eq!(req.query_param("horizon"), Some("3"));
+        assert_eq!(req.query_param("debug"), Some(""));
+        assert_eq!(req.header("x-tag"), Some("hi"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let req = parse(b"POST /ingest HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn unknown_method_is_405_not_400() {
+        assert!(matches!(parse(b"FROB / HTTP/1.1\r\n\r\n"), Err(RequestError::UnknownMethod)));
+    }
+
+    #[test]
+    fn missing_crlf_is_bad_request() {
+        let err = parse(b"GET / HTTP/1.1\nHost: x\r\n\r\n").unwrap_err();
+        assert!(matches!(err, RequestError::Bad("missing CRLF line ending")), "{err}");
+    }
+
+    #[test]
+    fn oversized_header_is_bad_request() {
+        let mut raw = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_LINE + 1));
+        raw.extend_from_slice(b"\r\n\r\n");
+        let err = parse(&raw).unwrap_err();
+        assert!(matches!(err, RequestError::Bad("header line too long")), "{err}");
+    }
+
+    #[test]
+    fn malformed_request_line_is_bad_request() {
+        assert!(matches!(parse(b"GET /\r\n\r\n"), Err(RequestError::Bad("malformed request line"))));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1 extra\r\n\r\n"),
+            Err(RequestError::Bad("malformed request line"))
+        ));
+    }
+
+    #[test]
+    fn header_without_colon_is_bad_request() {
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nnocolonhere\r\n\r\n"),
+            Err(RequestError::Bad("header line without colon"))
+        ));
+    }
+
+    #[test]
+    fn bad_content_length_is_bad_request() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n"),
+            Err(RequestError::Bad("unparseable Content-Length"))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"),
+            Err(RequestError::Bad("body too large"))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(RequestError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_writer_emits_full_message() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", b"hi").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+    }
+
+    #[test]
+    fn error_responder_maps_statuses() {
+        let mut out = Vec::new();
+        respond_error(&mut out, &RequestError::Bad("nope")).unwrap();
+        assert!(String::from_utf8(out).unwrap().starts_with("HTTP/1.1 400 "));
+        let mut out = Vec::new();
+        respond_error(&mut out, &RequestError::UnknownMethod).unwrap();
+        assert!(String::from_utf8(out).unwrap().starts_with("HTTP/1.1 405 "));
+        let mut out = Vec::new();
+        respond_error(&mut out, &RequestError::Io(io::Error::other("x"))).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -39,6 +39,7 @@
 //! object per line. See the repository README ("Telemetry & tracing") for
 //! the event schema.
 
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod serve;

@@ -15,9 +15,10 @@
 //! `Trainer::fit` without adding a dependency or a runtime. Dropping the
 //! handle (or calling [`MetricsServer::shutdown`]) stops the listener.
 
+use crate::http::{read_request, respond_error, write_response};
 use crate::json::Json;
 use crate::metrics;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -106,39 +107,23 @@ impl Drop for MetricsServer {
 
 fn handle_connection(stream: TcpStream, started: Instant, scrapes: &AtomicU64) -> io::Result<()> {
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain headers; the routes take no body and no parameters.
-    loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
-            break;
-        }
-    }
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = if method != "GET" {
-        ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
+    let request = match read_request(&mut reader) {
+        Ok(request) => request,
+        Err(err) => return respond_error(reader.get_mut(), &err),
+    };
+    let (status, content_type, body) = if request.method != "GET" {
+        (405, "text/plain; charset=utf-8", "method not allowed\n".to_string())
     } else {
-        match path {
+        match request.path.as_str() {
             "/metrics" => {
                 scrapes.fetch_add(1, Ordering::Relaxed);
-                ("200 OK", METRICS_CONTENT_TYPE, render_prometheus())
+                (200, METRICS_CONTENT_TYPE, render_prometheus())
             }
-            "/status" => {
-                ("200 OK", "application/json; charset=utf-8", status_json(started, scrapes).render())
-            }
-            _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+            "/status" => (200, "application/json; charset=utf-8", status_json(started, scrapes).render()),
+            _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
         }
     };
-    let stream = reader.get_mut();
-    write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
-    )?;
-    stream.flush()
+    write_response(reader.get_mut(), status, content_type, body.as_bytes())
 }
 
 fn status_json(started: Instant, scrapes: &AtomicU64) -> Json {
@@ -231,6 +216,7 @@ fn num(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
 
     fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -295,5 +281,25 @@ mod tests {
         // The port is released: a fresh bind to the same address succeeds.
         let rebind = TcpListener::bind(addr);
         assert!(rebind.is_ok());
+    }
+
+    #[test]
+    fn server_answers_malformed_requests_instead_of_dropping() {
+        let _g = crate::test_lock();
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let raw = |payload: &[u8]| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(payload).unwrap();
+            let mut response = String::new();
+            io::Read::read_to_string(&mut stream, &mut response).unwrap();
+            response
+        };
+        // Unknown verb → 405; bare-LF request line → 400; a parseable
+        // non-GET on this server is also 405.
+        assert!(raw(b"FROB /metrics HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405 "));
+        assert!(raw(b"GET /metrics HTTP/1.1\nHost: x\r\n\r\n").starts_with("HTTP/1.1 400 "));
+        assert!(raw(b"POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n").starts_with("HTTP/1.1 405 "));
+        server.shutdown();
     }
 }

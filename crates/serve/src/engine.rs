@@ -1,0 +1,634 @@
+//! The inference engine: a dedicated thread that owns the model and the
+//! flow window, fed through a channel.
+//!
+//! `MuseNet` (like every tape-adjacent structure in this repo) is
+//! single-threaded by construction — parameters are `Rc`-shared and
+//! activations live in a thread-local arena — so the daemon builds the
+//! model *inside* one long-lived engine thread and serializes all access
+//! through message passing. HTTP workers block on a reply channel; the
+//! engine coalesces concurrent forecasts into one batched rollout (see
+//! [`crate::batcher`]).
+//!
+//! Steady-state inference is allocation-free: one [`Tape::forward_only`]
+//! tape and [`Session`] are hoisted for the engine's lifetime and `reset`
+//! between passes (recycling arena buffers), and the closeness / period /
+//! trend staging tensors are filled in place from the ring buffer.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use muse_autograd::Tape;
+use muse_nn::Session;
+use muse_obs as obs;
+use muse_obs::Json;
+use muse_tensor::Tensor;
+use muse_traffic::{GridMap, SubSeriesSpec};
+use musenet::MuseNet;
+
+use crate::api::{ForecastResponse, IngestAck, LatentNorms};
+use crate::batcher::drain_window;
+use crate::window::FlowWindow;
+
+/// Ways a serving request can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The window has not seen enough frames to resolve every lag yet.
+    NotReady {
+        /// Frames currently held.
+        have: usize,
+        /// Frames needed before forecasting.
+        need: usize,
+    },
+    /// The ingested frame was rejected (wrong length, non-finite values…).
+    BadFrame(String),
+    /// Horizon outside `1..=max` (the rollout assumes horizons shorter than
+    /// one day, matching [`MuseNet::predict_multi_step`]).
+    BadHorizon {
+        /// Requested horizon.
+        horizon: usize,
+        /// Largest horizon this engine serves.
+        max: usize,
+    },
+    /// The engine thread is gone (shutdown or startup failure).
+    Stopped,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NotReady { have, need } => {
+                write!(f, "window not ready: {have} of {need} frames ingested")
+            }
+            EngineError::BadFrame(msg) => write!(f, "bad frame: {msg}"),
+            EngineError::BadHorizon { horizon, max } => {
+                write!(f, "horizon {horizon} outside 1..={max}")
+            }
+            EngineError::Stopped => write!(f, "engine stopped"),
+        }
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Kernel threads for the engine thread's forward passes (`None` =
+    /// inherit `MUSE_THREADS` / auto). The engine pins this itself because
+    /// the pool's thread-local override does not cross thread boundaries.
+    pub threads: Option<usize>,
+    /// How long the engine keeps collecting concurrent forecasts after the
+    /// first one before running the batched rollout.
+    pub batch_window: Duration,
+    /// Most messages coalesced into one batch.
+    pub max_batch: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions { threads: None, batch_window: Duration::from_millis(2), max_batch: 64 }
+    }
+}
+
+/// Static facts about the model the engine serves.
+#[derive(Debug, Clone)]
+pub struct EngineInfo {
+    /// Grid the model predicts over.
+    pub grid: GridMap,
+    /// Interception spec (lags + intervals per day).
+    pub spec: SubSeriesSpec,
+    /// Scalars per frame (`2·H·W`).
+    pub frame_len: usize,
+    /// Ring-buffer depth (`spec.min_target()`).
+    pub window_capacity: usize,
+    /// Largest horizon served (`spec.intervals_per_day`).
+    pub max_horizon: usize,
+    /// Trainable parameter count.
+    pub param_count: usize,
+    /// Ablation variant name.
+    pub variant: String,
+    /// Representation dimension `d`.
+    pub d: usize,
+    /// Sampled distribution dimension `k`.
+    pub k: usize,
+}
+
+/// Live counters answered by `GET /stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Frames ingested since boot.
+    pub frames_ingested: u64,
+    /// Frames currently in the window.
+    pub window_frames: usize,
+    /// Window capacity.
+    pub window_capacity: usize,
+    /// Whether forecasts are available.
+    pub ready: bool,
+    /// Absolute index of the next frame / forecast base.
+    pub next_index: u64,
+    /// Forecast requests answered.
+    pub forecasts: u64,
+    /// Batched rollouts run.
+    pub batches: u64,
+    /// Size of the most recent batch.
+    pub last_batch_size: usize,
+    /// Largest batch coalesced so far.
+    pub max_batch_size: usize,
+}
+
+impl StatsSnapshot {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("frames_ingested", Json::Num(self.frames_ingested as f64)),
+            ("window_frames", Json::Num(self.window_frames as f64)),
+            ("window_capacity", Json::Num(self.window_capacity as f64)),
+            ("ready", Json::Bool(self.ready)),
+            ("next_index", Json::Num(self.next_index as f64)),
+            ("forecasts", Json::Num(self.forecasts as f64)),
+            ("batches", Json::Num(self.batches as f64)),
+            ("last_batch_size", Json::Num(self.last_batch_size as f64)),
+            ("max_batch_size", Json::Num(self.max_batch_size as f64)),
+        ])
+    }
+}
+
+enum Request {
+    Ingest { frame: Vec<f32>, reply: Sender<Result<IngestAck, EngineError>> },
+    Forecast { horizon: usize, reply: Sender<Result<ForecastResponse, EngineError>> },
+    Stats { reply: Sender<StatsSnapshot> },
+    Shutdown,
+}
+
+/// Handle to the engine thread. Cheap to share behind an `Arc`; all methods
+/// take `&self` and block until the engine replies.
+pub struct Engine {
+    tx: Sender<Request>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    info: EngineInfo,
+}
+
+impl Engine {
+    /// Boot an engine around the model returned by `build`, which runs *on*
+    /// the engine thread (the model never crosses threads). Blocks until
+    /// the model is constructed; a `build` failure is returned here.
+    pub fn start(
+        build: impl FnOnce() -> Result<MuseNet, String> + Send + 'static,
+        opts: EngineOptions,
+    ) -> Result<Engine, String> {
+        let (tx, rx) = mpsc::channel::<Request>();
+        let (info_tx, info_rx) = mpsc::channel::<Result<EngineInfo, String>>();
+        let threads = opts.threads;
+        let handle = std::thread::Builder::new()
+            .name("muse-serve-engine".to_string())
+            .spawn(move || {
+                let body = move || run_engine(build, opts, rx, info_tx);
+                match threads {
+                    Some(n) => muse_parallel::with_threads(n, body),
+                    None => body(),
+                }
+            })
+            .map_err(|e| format!("failed to spawn engine thread: {e}"))?;
+        match info_rx.recv() {
+            Ok(Ok(info)) => Ok(Engine { tx, handle: Mutex::new(Some(handle)), info }),
+            Ok(Err(e)) => {
+                let _ = handle.join();
+                Err(e)
+            }
+            Err(_) => {
+                let _ = handle.join();
+                Err("engine thread died during startup".to_string())
+            }
+        }
+    }
+
+    /// Boot an engine from a self-describing checkpoint
+    /// (see `MuseNet::save_with_config`).
+    pub fn from_checkpoint(
+        path: impl Into<std::path::PathBuf>,
+        opts: EngineOptions,
+    ) -> Result<Engine, String> {
+        let path = path.into();
+        Engine::start(
+            move || {
+                MuseNet::from_checkpoint(&path)
+                    .map_err(|e| format!("loading checkpoint {}: {e}", path.display()))
+            },
+            opts,
+        )
+    }
+
+    /// Static facts about the served model.
+    pub fn info(&self) -> &EngineInfo {
+        &self.info
+    }
+
+    /// Ingest one `2·H·W` frame (scaled units, matching training).
+    pub fn ingest(&self, frame: Vec<f32>) -> Result<IngestAck, EngineError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx.send(Request::Ingest { frame, reply }).map_err(|_| EngineError::Stopped)?;
+        rx.recv().map_err(|_| EngineError::Stopped)?
+    }
+
+    /// Forecast `horizon` steps past the last ingested frame.
+    pub fn forecast(&self, horizon: usize) -> Result<ForecastResponse, EngineError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx.send(Request::Forecast { horizon, reply }).map_err(|_| EngineError::Stopped)?;
+        rx.recv().map_err(|_| EngineError::Stopped)?
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> Result<StatsSnapshot, EngineError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx.send(Request::Stats { reply }).map_err(|_| EngineError::Stopped)?;
+        rx.recv().map_err(|_| EngineError::Stopped)
+    }
+
+    /// Stop the engine thread and wait for it. Idempotent.
+    pub fn shutdown(&self) {
+        let _ = self.tx.send(Request::Shutdown);
+        if let Some(handle) = self.handle.lock().expect("engine handle lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Hoisted per-pass buffers: the three staging input tensors and the
+/// predicted-frame scratch reused across rollout steps.
+struct Staging {
+    closeness: Tensor,
+    period: Tensor,
+    trend: Tensor,
+    predicted: Vec<Vec<f32>>,
+}
+
+fn run_engine(
+    build: impl FnOnce() -> Result<MuseNet, String>,
+    opts: EngineOptions,
+    rx: Receiver<Request>,
+    info_tx: Sender<Result<EngineInfo, String>>,
+) {
+    let model = match build() {
+        Ok(m) => m,
+        Err(e) => {
+            let _ = info_tx.send(Err(e));
+            return;
+        }
+    };
+    let config = model.config().clone();
+    let spec = config.spec;
+    let grid = config.grid;
+    let frame_len = 2 * grid.cells();
+    let mut window = FlowWindow::for_spec(grid, &spec);
+    let info = EngineInfo {
+        grid,
+        spec,
+        frame_len,
+        window_capacity: window.capacity(),
+        max_horizon: spec.intervals_per_day,
+        param_count: model.param_count(),
+        variant: config.variant.name().to_string(),
+        d: config.d,
+        k: config.k,
+    };
+    if info_tx.send(Ok(info)).is_err() {
+        return;
+    }
+
+    let (h, w) = (grid.height, grid.width);
+    let mut staging = Staging {
+        closeness: Tensor::zeros(&[1, 2 * spec.lc, h, w]),
+        period: Tensor::zeros(&[1, 2 * spec.lp, h, w]),
+        trend: Tensor::zeros(&[1, 2 * spec.lt, h, w]),
+        predicted: Vec::new(),
+    };
+    let tape = Tape::forward_only();
+    let session = Session::new(&tape);
+
+    let mut frames_ingested: u64 = 0;
+    let mut forecasts: u64 = 0;
+    let mut batches: u64 = 0;
+    let mut last_batch_size: usize = 0;
+    let mut max_batch_size: usize = 0;
+
+    let apply_ingest = |window: &mut FlowWindow,
+                        frames_ingested: &mut u64,
+                        frame: Vec<f32>|
+     -> Result<IngestAck, EngineError> {
+        let _span = obs::span("serve.ingest");
+        let index = window.push(&frame).map_err(EngineError::BadFrame)?;
+        *frames_ingested += 1;
+        obs::counter("serve.frames_ingested").add(1);
+        Ok(IngestAck { index, frames: window.len(), ready: window.ready() })
+    };
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Request::Shutdown => break,
+            Request::Stats { reply } => {
+                let _ = reply.send(snapshot(
+                    &window,
+                    frames_ingested,
+                    forecasts,
+                    batches,
+                    last_batch_size,
+                    max_batch_size,
+                ));
+            }
+            Request::Ingest { frame, reply } => {
+                let _ = reply.send(apply_ingest(&mut window, &mut frames_ingested, frame));
+            }
+            Request::Forecast { horizon, reply } => {
+                // Coalesce: sweep whatever arrives within the batch window
+                // into one rollout. Ingests land first so every coalesced
+                // forecast sees the same, freshest window.
+                let mut waiting = vec![(horizon, reply)];
+                let mut stop_after = false;
+                for extra in drain_window(&rx, opts.batch_window, opts.max_batch) {
+                    match extra {
+                        Request::Forecast { horizon, reply } => waiting.push((horizon, reply)),
+                        Request::Ingest { frame, reply } => {
+                            let _ = reply.send(apply_ingest(&mut window, &mut frames_ingested, frame));
+                        }
+                        Request::Stats { reply } => {
+                            let _ = reply.send(snapshot(
+                                &window,
+                                frames_ingested,
+                                forecasts,
+                                batches,
+                                last_batch_size,
+                                max_batch_size,
+                            ));
+                        }
+                        Request::Shutdown => stop_after = true,
+                    }
+                }
+
+                let mut valid: Vec<(usize, Sender<Result<ForecastResponse, EngineError>>)> =
+                    Vec::with_capacity(waiting.len());
+                for (horizon, reply) in waiting {
+                    if horizon == 0 || horizon > info_max_horizon(&spec) {
+                        let _ = reply
+                            .send(Err(EngineError::BadHorizon { horizon, max: info_max_horizon(&spec) }));
+                    } else {
+                        valid.push((horizon, reply));
+                    }
+                }
+                if !valid.is_empty() {
+                    if !window.ready() {
+                        let err = EngineError::NotReady { have: window.len(), need: window.capacity() };
+                        for (_, reply) in valid {
+                            let _ = reply.send(Err(err.clone()));
+                        }
+                    } else {
+                        let batch_size = valid.len();
+                        let max_h = valid.iter().map(|&(h, _)| h).max().expect("non-empty batch");
+                        let started = Instant::now();
+                        let steps = {
+                            let _span = obs::span("serve.forecast.batch");
+                            rollout(&model, &session, &tape, &window, &spec, &mut staging, max_h)
+                        };
+                        obs::histogram("serve.forecast.batch_size").record(batch_size as f64);
+                        obs::histogram("serve.forecast.rollout_ns")
+                            .record(started.elapsed().as_nanos() as f64);
+                        obs::counter("serve.forecasts").add(batch_size as u64);
+                        let base = window.next_index();
+                        for (horizon, reply) in valid {
+                            let (prediction, latent_norms) = &steps[horizon - 1];
+                            let _ = reply.send(Ok(ForecastResponse {
+                                horizon,
+                                target_index: base + horizon as u64 - 1,
+                                shape: [2, grid.height, grid.width],
+                                prediction: prediction.clone(),
+                                latent_norms: *latent_norms,
+                                batch_size,
+                            }));
+                        }
+                        forecasts += batch_size as u64;
+                        batches += 1;
+                        last_batch_size = batch_size;
+                        max_batch_size = max_batch_size.max(batch_size);
+                    }
+                }
+                if stop_after {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn info_max_horizon(spec: &SubSeriesSpec) -> usize {
+    spec.intervals_per_day
+}
+
+fn snapshot(
+    window: &FlowWindow,
+    frames_ingested: u64,
+    forecasts: u64,
+    batches: u64,
+    last_batch_size: usize,
+    max_batch_size: usize,
+) -> StatsSnapshot {
+    StatsSnapshot {
+        frames_ingested,
+        window_frames: window.len(),
+        window_capacity: window.capacity(),
+        ready: window.ready(),
+        next_index: window.next_index(),
+        forecasts,
+        batches,
+        last_batch_size,
+        max_batch_size,
+    }
+}
+
+/// One autoregressive rollout to `max_h` steps. Step `h` forecasts absolute
+/// frame `next_index + h`; closeness lags that reach past the last real
+/// frame are backfilled with earlier predictions, while period/trend lags
+/// (≥ one day > any served horizon) always read ground truth — exactly the
+/// scheme of [`MuseNet::predict_multi_step`], sliced from the ring buffer.
+fn rollout(
+    model: &MuseNet,
+    session: &Session<'_>,
+    tape: &Tape,
+    window: &FlowWindow,
+    spec: &SubSeriesSpec,
+    staging: &mut Staging,
+    max_h: usize,
+) -> Vec<(Vec<f32>, LatentNorms)> {
+    let frame_len = window.frame_len();
+    let next = window.next_index();
+    while staging.predicted.len() < max_h {
+        staging.predicted.push(vec![0.0; frame_len]);
+    }
+    let mut norms = Vec::with_capacity(max_h);
+    for h in 0..max_h {
+        let target = next + h as u64;
+        {
+            let dst = staging.closeness.as_mut_slice();
+            for (k, &lag) in spec.closeness_lags().iter().enumerate() {
+                let idx = target - lag as u64;
+                let src: &[f32] =
+                    if idx >= next { &staging.predicted[(idx - next) as usize] } else { window.frame(idx) };
+                dst[k * frame_len..(k + 1) * frame_len].copy_from_slice(src);
+            }
+        }
+        for (tensor, lags) in
+            [(&mut staging.period, spec.period_lags()), (&mut staging.trend, spec.trend_lags())]
+        {
+            let dst = tensor.as_mut_slice();
+            for (k, &lag) in lags.iter().enumerate() {
+                let idx = target - lag as u64;
+                dst[k * frame_len..(k + 1) * frame_len].copy_from_slice(window.frame(idx));
+            }
+        }
+        tape.reset();
+        session.reset();
+        let out = model.infer_raw(session, &staging.closeness, &staging.period, &staging.trend);
+        // Copy the prediction out before the next reset recycles its arena
+        // buffer; [1, 2, H, W] flattens to one frame.
+        staging.predicted[h].copy_from_slice(out.prediction.as_slice());
+        norms.push(LatentNorms {
+            closeness: out.exclusive_mu_norms[0],
+            period: out.exclusive_mu_norms[1],
+            trend: out.exclusive_mu_norms[2],
+            interactive: out.interactive_mu_norm,
+        });
+    }
+    staging.predicted.iter().take(max_h).cloned().zip(norms).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_traffic::FlowSeries;
+    use musenet::MuseNetConfig;
+
+    fn tiny_config() -> MuseNetConfig {
+        let grid = GridMap::new(3, 4);
+        let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 3 };
+        let mut cfg = MuseNetConfig::cpu_profile(grid, spec);
+        cfg.d = 4;
+        cfg.k = 8;
+        cfg.seed = 7;
+        cfg
+    }
+
+    /// Deterministic frame: every cell distinct, varying over time.
+    fn frame_at(i: u64, frame_len: usize) -> Vec<f32> {
+        (0..frame_len).map(|c| ((i as f32) * 0.05 + c as f32 * 0.01).sin() * 0.5 + 0.5).collect()
+    }
+
+    fn start_tiny(opts: EngineOptions) -> Engine {
+        let cfg = tiny_config();
+        Engine::start(move || Ok(musenet::MuseNet::new(cfg)), opts).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_frames_and_horizons_and_not_ready() {
+        let engine = start_tiny(EngineOptions::default());
+        let info = engine.info().clone();
+        assert!(matches!(engine.ingest(vec![0.0; 3]), Err(EngineError::BadFrame(_))));
+        assert_eq!(engine.forecast(0), Err(EngineError::BadHorizon { horizon: 0, max: info.max_horizon }));
+        assert_eq!(
+            engine.forecast(info.max_horizon + 1),
+            Err(EngineError::BadHorizon { horizon: info.max_horizon + 1, max: info.max_horizon })
+        );
+        let err = engine.forecast(1).unwrap_err();
+        assert_eq!(err, EngineError::NotReady { have: 0, need: info.window_capacity });
+        engine.shutdown();
+        assert_eq!(engine.forecast(1), Err(EngineError::Stopped));
+    }
+
+    #[test]
+    fn forecast_matches_predict_multi_step_reference() {
+        let cfg = tiny_config();
+        let n = cfg.spec.min_target();
+        let frame_len = 2 * cfg.grid.cells();
+
+        // Reference: an identically-seeded model rolled out in-process.
+        let reference_model = musenet::MuseNet::new(cfg.clone());
+        let mut data = Vec::with_capacity(n * frame_len);
+        for i in 0..n {
+            data.extend(frame_at(i as u64, frame_len));
+        }
+        let flows = FlowSeries::from_tensor(
+            cfg.grid,
+            Tensor::from_vec(data, &[n, 2, cfg.grid.height, cfg.grid.width]),
+        );
+        let horizons = 2;
+        let expected = reference_model.predict_multi_step(&flows, &cfg.spec, &[n], horizons);
+
+        let engine = start_tiny(EngineOptions::default());
+        for i in 0..n as u64 {
+            let ack = engine.ingest(frame_at(i, frame_len)).unwrap();
+            assert_eq!(ack.index, i);
+        }
+        let stats = engine.stats().unwrap();
+        assert!(stats.ready);
+        assert_eq!(stats.frames_ingested, n as u64);
+
+        for h in 1..=horizons {
+            let resp = engine.forecast(h).unwrap();
+            assert_eq!(resp.target_index, (n + h - 1) as u64);
+            assert_eq!(resp.shape, [2, cfg.grid.height, cfg.grid.width]);
+            let want = expected[h - 1].as_slice();
+            assert_eq!(resp.prediction.len(), want.len());
+            for (got, want) in resp.prediction.iter().zip(want) {
+                assert_eq!(got.to_bits(), want.to_bits(), "horizon {h} diverged");
+            }
+            assert!(resp.latent_norms.closeness.is_finite());
+            assert!(resp.latent_norms.interactive.is_finite());
+        }
+    }
+
+    #[test]
+    fn forecasts_are_bit_identical_across_thread_counts() {
+        let cfg = tiny_config();
+        let n = cfg.spec.min_target();
+        let frame_len = 2 * cfg.grid.cells();
+        let mut baseline: Option<Vec<u32>> = None;
+        for threads in [1usize, 2, 4] {
+            let engine = start_tiny(EngineOptions { threads: Some(threads), ..Default::default() });
+            for i in 0..n as u64 {
+                engine.ingest(frame_at(i, frame_len)).unwrap();
+            }
+            let bits: Vec<u32> = engine.forecast(2).unwrap().prediction.iter().map(|v| v.to_bits()).collect();
+            match &baseline {
+                None => baseline = Some(bits),
+                Some(want) => assert_eq!(&bits, want, "{threads} threads diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_during_batch_window_lands_before_the_rollout() {
+        let cfg = tiny_config();
+        let n = cfg.spec.min_target();
+        let frame_len = 2 * cfg.grid.cells();
+        let engine = std::sync::Arc::new(start_tiny(EngineOptions {
+            batch_window: Duration::from_millis(300),
+            ..Default::default()
+        }));
+        for i in 0..n as u64 {
+            engine.ingest(frame_at(i, frame_len)).unwrap();
+        }
+        let for_forecast = engine.clone();
+        let forecaster = std::thread::spawn(move || for_forecast.forecast(1).unwrap());
+        // Land one more frame while the engine is still holding the batch
+        // open; the forecast must see it.
+        std::thread::sleep(Duration::from_millis(50));
+        engine.ingest(frame_at(n as u64, frame_len)).unwrap();
+        let resp = forecaster.join().unwrap();
+        // next_index is n+1 after the straggler lands, so horizon 1
+        // targets frame n+1.
+        assert_eq!(resp.target_index, n as u64 + 1, "forecast must target the post-ingest index");
+    }
+}

@@ -1,0 +1,371 @@
+//! The daemon's HTTP front end.
+//!
+//! A dedicated accept thread owns a [`muse_parallel::ThreadPool`] and hands
+//! each connection to a pool worker ([`ThreadPool::spawn`]), so slow clients
+//! never block accept and a panicking handler never kills the server. All
+//! request parsing and response writing goes through [`muse_obs::http`];
+//! malformed requests are answered (`400`/`405`), not dropped.
+//!
+//! Routes:
+//!
+//! | route                  | method | payload                                  |
+//! |------------------------|--------|------------------------------------------|
+//! | `/healthz`             | GET    | liveness + readiness JSON                |
+//! | `/ingest`              | POST   | one frame, JSON or raw little-endian f32 |
+//! | `/forecast?horizon=k`  | GET    | prediction + per-branch latent norms     |
+//! | `/stats`               | GET    | model facts + serving counters           |
+//! | `/metrics`             | GET    | Prometheus text exposition               |
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use muse_obs as obs;
+use muse_obs::http::{read_request, respond_error, write_response, Request};
+use muse_obs::Json;
+use muse_parallel::ThreadPool;
+
+use crate::api::parse_ingest_frame;
+use crate::engine::{Engine, EngineError};
+
+const JSON_CONTENT_TYPE: &str = "application/json; charset=utf-8";
+const TEXT_CONTENT_TYPE: &str = "text/plain; charset=utf-8";
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// HTTP front-end tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address (port `0` picks an ephemeral port).
+    pub addr: String,
+    /// Connection-handler pool size (`1` serves connections sequentially on
+    /// the accept thread).
+    pub workers: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions { addr: "127.0.0.1:0".to_string(), workers: 4 }
+    }
+}
+
+/// A running daemon front end; dropping it stops the listener (the engine
+/// is shared and shuts down when its last handle drops).
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    engine: Arc<Engine>,
+}
+
+impl Server {
+    /// Bind `opts.addr` and serve `engine` from a background accept thread.
+    pub fn start(engine: Arc<Engine>, opts: ServerOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(opts.addr.as_str())?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let pool_engine = Arc::clone(&engine);
+        let workers = opts.workers.max(1);
+        let handle = std::thread::Builder::new()
+            .name("muse-serve-http".to_string())
+            .spawn(move || {
+                let pool = ThreadPool::new(workers);
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                    let engine = Arc::clone(&pool_engine);
+                    pool.spawn(move || {
+                        let _ = handle_connection(stream, &engine);
+                    });
+                }
+            })
+            .map_err(io::Error::other)?;
+        Ok(Server { addr, stop, handle: Some(handle), engine })
+    }
+
+    /// The bound address (port 0 resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stop accepting, finish in-flight connections, and join the accept
+    /// thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        let Some(handle) = self.handle.take() else { return };
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &Engine) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let request = match read_request(&mut reader) {
+        Ok(request) => request,
+        Err(err) => return respond_error(reader.get_mut(), &err),
+    };
+    let started = Instant::now();
+    let (status, content_type, body) = route(&request, engine);
+    let latency = match request.path.as_str() {
+        "/forecast" => Some(obs::histogram("serve.http.forecast_ns")),
+        "/ingest" => Some(obs::histogram("serve.http.ingest_ns")),
+        _ => None,
+    };
+    if let Some(h) = latency {
+        h.record(started.elapsed().as_nanos() as f64);
+    }
+    write_response(reader.get_mut(), status, content_type, body.as_bytes())
+}
+
+fn route(request: &Request, engine: &Engine) -> (u16, &'static str, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(engine),
+        ("GET", "/stats") => stats(engine),
+        ("GET", "/forecast") => forecast(request, engine),
+        ("GET", "/metrics") => (200, METRICS_CONTENT_TYPE, obs::render_prometheus()),
+        ("POST", "/ingest") => ingest(request, engine),
+        (_, "/healthz" | "/stats" | "/forecast" | "/metrics" | "/ingest") => {
+            (405, TEXT_CONTENT_TYPE, "method not allowed\n".to_string())
+        }
+        _ => (404, TEXT_CONTENT_TYPE, "not found\n".to_string()),
+    }
+}
+
+fn healthz(engine: &Engine) -> (u16, &'static str, String) {
+    match engine.stats() {
+        Ok(stats) => (
+            200,
+            JSON_CONTENT_TYPE,
+            Json::obj([
+                ("status", Json::Str("ok".to_string())),
+                ("ready", Json::Bool(stats.ready)),
+                ("frames", Json::Num(stats.window_frames as f64)),
+            ])
+            .render(),
+        ),
+        Err(_) => (
+            503,
+            JSON_CONTENT_TYPE,
+            Json::obj([("status", Json::Str("engine stopped".to_string()))]).render(),
+        ),
+    }
+}
+
+fn stats(engine: &Engine) -> (u16, &'static str, String) {
+    let info = engine.info();
+    let model = Json::obj([
+        ("variant", Json::Str(info.variant.clone())),
+        ("d", Json::Num(info.d as f64)),
+        ("k", Json::Num(info.k as f64)),
+        ("param_count", Json::Num(info.param_count as f64)),
+        (
+            "grid",
+            Json::obj([
+                ("height", Json::Num(info.grid.height as f64)),
+                ("width", Json::Num(info.grid.width as f64)),
+            ]),
+        ),
+        ("frame_len", Json::Num(info.frame_len as f64)),
+        ("max_horizon", Json::Num(info.max_horizon as f64)),
+    ]);
+    match engine.stats() {
+        Ok(snapshot) => {
+            (200, JSON_CONTENT_TYPE, Json::obj([("model", model), ("serving", snapshot.to_json())]).render())
+        }
+        Err(err) => engine_error(err),
+    }
+}
+
+fn forecast(request: &Request, engine: &Engine) -> (u16, &'static str, String) {
+    let horizon = match request.query_param("horizon") {
+        None => 1,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(h) => h,
+            Err(_) => {
+                return (
+                    400,
+                    JSON_CONTENT_TYPE,
+                    Json::obj([("error", Json::Str(format!("unparseable horizon '{raw}'")))]).render(),
+                )
+            }
+        },
+    };
+    match engine.forecast(horizon) {
+        Ok(resp) => (200, JSON_CONTENT_TYPE, resp.to_json().render()),
+        Err(err) => engine_error(err),
+    }
+}
+
+fn ingest(request: &Request, engine: &Engine) -> (u16, &'static str, String) {
+    let content_type = request.header("content-type").unwrap_or("application/octet-stream");
+    let frame = match parse_ingest_frame(content_type, &request.body) {
+        Ok(frame) => frame,
+        Err(msg) => return (400, JSON_CONTENT_TYPE, Json::obj([("error", Json::Str(msg))]).render()),
+    };
+    match engine.ingest(frame) {
+        Ok(ack) => (200, JSON_CONTENT_TYPE, ack.to_json().render()),
+        Err(err) => engine_error(err),
+    }
+}
+
+fn engine_error(err: EngineError) -> (u16, &'static str, String) {
+    let status = match err {
+        EngineError::NotReady { .. } => 503,
+        EngineError::BadFrame(_) | EngineError::BadHorizon { .. } => 400,
+        EngineError::Stopped => 500,
+    };
+    (status, JSON_CONTENT_TYPE, Json::obj([("error", Json::Str(err.to_string()))]).render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use muse_traffic::{GridMap, SubSeriesSpec};
+    use musenet::{MuseNet, MuseNetConfig};
+    use std::io::{Read, Write};
+
+    fn boot() -> Server {
+        let grid = GridMap::new(2, 3);
+        let spec = SubSeriesSpec { lc: 2, lp: 1, lt: 1, intervals_per_day: 2 };
+        let mut cfg = MuseNetConfig::cpu_profile(grid, spec);
+        cfg.d = 4;
+        cfg.k = 8;
+        cfg.seed = 3;
+        let engine =
+            Arc::new(Engine::start(move || Ok(MuseNet::new(cfg)), EngineOptions::default()).unwrap());
+        Server::start(engine, ServerOptions::default()).unwrap()
+    }
+
+    fn raw(addr: SocketAddr, payload: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(payload).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let response = raw(addr, format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes());
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    fn post(addr: SocketAddr, path: &str, content_type: &str, body: &[u8]) -> (String, String) {
+        let mut payload = format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        payload.extend_from_slice(body);
+        let response = raw(addr, &payload);
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn routes_statuses_and_payloads() {
+        let server = boot();
+        let addr = server.addr();
+        let frame_len = server.engine().info().frame_len;
+        let capacity = server.engine().info().window_capacity;
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+        assert!(body.contains("\"ready\":false"), "{body}");
+
+        // Not ready yet: /forecast is 503.
+        let (head, body) = get(addr, "/forecast?horizon=1");
+        assert!(head.starts_with("HTTP/1.1 503 "), "{head}");
+        assert!(body.contains("not ready"), "{body}");
+
+        // Bad horizon values are 400.
+        let (head, _) = get(addr, "/forecast?horizon=banana");
+        assert!(head.starts_with("HTTP/1.1 400 "), "{head}");
+        let (head, body) = get(addr, "/forecast?horizon=99");
+        assert!(head.starts_with("HTTP/1.1 400 "), "{head}");
+        assert!(body.contains("outside"), "{body}");
+
+        // Wrong-size raw frame is 400 with the engine's message.
+        let (head, body) = post(addr, "/ingest", "application/octet-stream", &[0u8; 4]);
+        assert!(head.starts_with("HTTP/1.1 400 "), "{head}");
+        assert!(body.contains("bad frame"), "{body}");
+
+        // Fill the window over HTTP: JSON for the first frame, raw for the rest.
+        let values: Vec<String> = (0..frame_len).map(|i| format!("{}", 0.25 + i as f32 * 0.01)).collect();
+        let json_body = format!("{{\"frame\": [{}]}}", values.join(", "));
+        let (head, body) = post(addr, "/ingest", "application/json", json_body.as_bytes());
+        assert!(head.starts_with("HTTP/1.1 200 "), "{head} {body}");
+        assert!(body.contains("\"index\":0"), "{body}");
+        let mut raw_frame = Vec::with_capacity(frame_len * 4);
+        for i in 0..frame_len {
+            raw_frame.extend_from_slice(&(0.5 + i as f32 * 0.001).to_le_bytes());
+        }
+        for _ in 1..capacity {
+            let (head, _) = post(addr, "/ingest", "application/octet-stream", &raw_frame);
+            assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+        }
+
+        let (head, body) = get(addr, "/forecast?horizon=2");
+        assert!(head.starts_with("HTTP/1.1 200 "), "{head} {body}");
+        let parsed = crate::api::ForecastResponse::from_json(&obs::json::parse(&body).unwrap()).unwrap();
+        assert_eq!(parsed.horizon, 2);
+        assert_eq!(parsed.prediction.len(), frame_len);
+        assert!(parsed.prediction.iter().all(|v| v.is_finite()));
+
+        let (head, body) = get(addr, "/stats");
+        assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+        let stats = obs::json::parse(&body).unwrap();
+        assert_eq!(stats.get("serving").unwrap().get("ready"), Some(&Json::Bool(true)));
+        assert!(stats.get("model").unwrap().get("param_count").unwrap().as_f64().unwrap() > 0.0);
+
+        // Unknown path → 404; wrong method on a real route → 405; malformed
+        // request → 400; unknown verb → 405.
+        assert!(get(addr, "/nope").0.starts_with("HTTP/1.1 404 "));
+        assert!(post(addr, "/forecast", "text/plain", b"").0.starts_with("HTTP/1.1 405 "));
+        assert!(raw(addr, b"GET /healthz HTTP/1.1\nHost: x\r\n\r\n").starts_with("HTTP/1.1 400 "));
+        assert!(raw(addr, b"FROB /healthz HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405 "));
+    }
+
+    #[test]
+    fn metrics_endpoint_exposes_serving_histograms() {
+        let _g = obs::test_lock();
+        obs::enable();
+        obs::reset_metrics();
+        let server = boot();
+        let addr = server.addr();
+        let frame_len = server.engine().info().frame_len;
+        let mut raw_frame = Vec::with_capacity(frame_len * 4);
+        for i in 0..frame_len {
+            raw_frame.extend_from_slice(&(0.1 * i as f32).to_le_bytes());
+        }
+        let (head, _) = post(addr, "/ingest", "application/octet-stream", &raw_frame);
+        assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("muse_serve_frames_ingested_total 1"), "{body}");
+        assert!(body.contains("muse_serve_http_ingest_ns_count 1"), "{body}");
+        obs::reset_metrics();
+        obs::disable();
+    }
+}

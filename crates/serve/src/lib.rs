@@ -1,0 +1,35 @@
+//! `muse-serve` — a long-lived MUSE-Net forecasting daemon.
+//!
+//! The training side of this repo produces self-describing checkpoints
+//! (`muse-eval --save-checkpoint`, `MuseNet::save_with_config`); this crate
+//! is the other half of that contract: boot a model from such a checkpoint,
+//! ingest live flow frames into a rolling window, and answer forecasts over
+//! HTTP — forward-only, allocation-free in steady state, with concurrent
+//! requests coalesced into one batched rollout.
+//!
+//! Layering (each module usable on its own):
+//!
+//! * [`window`] — ring buffer of `2×H×W` frames with absolute indexing;
+//! * [`engine`] — the model-owning thread: checkpoint loading, lag slicing,
+//!   autoregressive rollout, request coalescing;
+//! * [`batcher`] — the bounded queue-draining primitive the engine batches
+//!   with;
+//! * [`api`] — wire types (`/ingest`, `/forecast`) over the repo's own JSON;
+//! * [`http`] — the TCP front end on a [`muse_parallel::ThreadPool`], built
+//!   on [`muse_obs::http`] parsing, exposing `/metrics` for Prometheus.
+//!
+//! The daemon serves *scaled* flow units — whatever normalization the
+//! checkpointed model was trained with, its frames are ingested in kind.
+//! Determinism carries over from the kernels: for a fixed checkpoint and
+//! ingestion sequence, `/forecast` is bit-identical for any `MUSE_THREADS`.
+
+pub mod api;
+pub mod batcher;
+pub mod engine;
+pub mod http;
+pub mod window;
+
+pub use api::{ForecastResponse, IngestAck, LatentNorms};
+pub use engine::{Engine, EngineError, EngineInfo, EngineOptions, StatsSnapshot};
+pub use http::{Server, ServerOptions};
+pub use window::FlowWindow;

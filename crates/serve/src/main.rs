@@ -1,0 +1,153 @@
+//! `muse-serve` — boot a forecasting daemon from a checkpoint.
+//!
+//! ```text
+//! muse-serve --checkpoint <path> [options]
+//!
+//! options:
+//!   --checkpoint <p> self-describing checkpoint (muse-eval --save-checkpoint
+//!                    or MuseNet::save_with_config)  [required]
+//!   --addr <a>       bind address (default 127.0.0.1:9600; port 0 = ephemeral)
+//!   --workers <n>    connection-handler pool size (default 4)
+//!   --threads <n>    kernel threads for inference (default: MUSE_THREADS/auto)
+//!   --batch-ms <n>   forecast coalescing window in ms (default 2)
+//!   --max-batch <n>  most requests coalesced per rollout (default 64)
+//!   --trace <p>      write a JSONL telemetry trace to <p> (same as MUSE_OBS=<p>)
+//! ```
+
+use muse_obs::{self as obs, Json, ToJson};
+use muse_serve::{Engine, EngineOptions, Server, ServerOptions};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    checkpoint: PathBuf,
+    addr: String,
+    workers: usize,
+    threads: Option<usize>,
+    batch_ms: u64,
+    max_batch: usize,
+    trace: Option<PathBuf>,
+}
+
+fn usage() -> String {
+    "usage: muse-serve --checkpoint path.ckpt [--addr host:port] [--workers n] \
+     [--threads n] [--batch-ms n] [--max-batch n] [--trace path.jsonl]"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let mut checkpoint = None;
+    let mut addr = "127.0.0.1:9600".to_string();
+    let mut workers = 4usize;
+    let mut threads = None;
+    let mut batch_ms = 2u64;
+    let mut max_batch = 64usize;
+    let mut trace = None;
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--addr" => addr = value("--addr")?,
+            "--workers" => {
+                let v = value("--workers")?;
+                workers = v.parse().map_err(|_| format!("bad workers {v}"))?;
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                threads = Some(v.parse().map_err(|_| format!("bad threads {v}"))?);
+            }
+            "--batch-ms" => {
+                let v = value("--batch-ms")?;
+                batch_ms = v.parse().map_err(|_| format!("bad batch-ms {v}"))?;
+            }
+            "--max-batch" => {
+                let v = value("--max-batch")?;
+                max_batch = v.parse().map_err(|_| format!("bad max-batch {v}"))?;
+            }
+            "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    let checkpoint = checkpoint.ok_or(format!("--checkpoint is required\n{}", usage()))?;
+    Ok(Args { checkpoint, addr, workers, threads, batch_ms, max_batch, trace })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let tracing = match &args.trace {
+        Some(path) => match obs::open_trace(path) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("cannot open trace {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        },
+        None => obs::init_from_env(),
+    };
+    // The daemon always exposes /metrics itself; make sure there are
+    // numbers behind it even without a trace file.
+    obs::enable();
+
+    let engine_opts = EngineOptions {
+        threads: args.threads,
+        batch_window: Duration::from_millis(args.batch_ms),
+        max_batch: args.max_batch.max(1),
+    };
+    let engine = match Engine::from_checkpoint(&args.checkpoint, engine_opts) {
+        Ok(engine) => Arc::new(engine),
+        Err(e) => {
+            eprintln!("muse-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    let info = engine.info().clone();
+    let server = match Server::start(
+        Arc::clone(&engine),
+        ServerOptions { addr: args.addr.clone(), workers: args.workers },
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("muse-serve: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "muse-serve: listening on http://{} ({} variant, {} params, {}×{} grid, window {} frames, max horizon {})",
+        server.addr(),
+        info.variant,
+        info.param_count,
+        info.grid.height,
+        info.grid.width,
+        info.window_capacity,
+        info.max_horizon,
+    );
+    if tracing {
+        obs::emit(
+            "serve.manifest",
+            vec![
+                ("checkpoint", args.checkpoint.display().to_string().to_json()),
+                ("addr", server.addr().to_string().to_json()),
+                ("variant", info.variant.to_json()),
+                ("param_count", info.param_count.to_json()),
+                ("window_capacity", info.window_capacity.to_json()),
+                ("max_horizon", info.max_horizon.to_json()),
+                ("workers", args.workers.to_json()),
+                ("batch_ms", args.batch_ms.to_json()),
+                ("threads", args.threads.map_or(Json::Null, |t| Json::Num(t as f64))),
+            ],
+        );
+    }
+    // Serve until the process is killed; the accept loop runs on its own
+    // thread and there is no signal handling without a libc dependency.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end: train a tiny MUSE-Net, save a self-describing checkpoint,
+//! boot the daemon on an ephemeral port, ingest frames over HTTP, and
+//! verify `/forecast` is bit-identical to the in-process forward pass —
+//! for every kernel thread count.
+
+use muse_obs as obs;
+use muse_serve::{Engine, EngineOptions, ForecastResponse, Server, ServerOptions};
+use muse_tensor::Tensor;
+use muse_traffic::{FlowSeries, GridMap, SubSeriesSpec};
+use musenet::{MuseNet, MuseNetConfig, Trainer, TrainerOptions};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+fn synthetic_series(grid: GridMap, spec: &SubSeriesSpec, t: usize) -> FlowSeries {
+    let frame_len = 2 * grid.cells();
+    let mut data = Vec::with_capacity(t * frame_len);
+    for i in 0..t {
+        // Periodic + per-cell structure so the model has something to fit.
+        let phase = (i % spec.intervals_per_day) as f32 / spec.intervals_per_day as f32;
+        for c in 0..frame_len {
+            data.push(0.5 + 0.3 * (phase * std::f32::consts::TAU + c as f32 * 0.37).sin());
+        }
+    }
+    FlowSeries::from_tensor(grid, Tensor::from_vec(data, &[t, 2, grid.height, grid.width]))
+}
+
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").unwrap();
+    (head.to_string(), body.to_string())
+}
+
+fn post_raw_frame(addr: SocketAddr, frame: &[f32]) -> (String, String) {
+    let mut body = Vec::with_capacity(frame.len() * 4);
+    for v in frame {
+        body.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut payload = format!(
+        "POST /ingest HTTP/1.1\r\nHost: t\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    payload.extend_from_slice(&body);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&payload).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").unwrap();
+    (head.to_string(), body.to_string())
+}
+
+#[test]
+fn daemon_forecast_is_bit_identical_to_in_process_model() {
+    let grid = GridMap::new(3, 4);
+    let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 3 };
+    let mut cfg = MuseNetConfig::cpu_profile(grid, spec);
+    cfg.d = 4;
+    cfg.k = 8;
+    cfg.seed = 19;
+    let t = spec.min_target() + 16;
+    let flows = synthetic_series(grid, &spec, t);
+
+    // Train for a handful of steps — enough to move the weights off init.
+    let train: Vec<usize> = (spec.min_target()..t - 6).collect();
+    let val: Vec<usize> = (t - 6..t - 3).collect();
+    let mut trainer = Trainer::new(
+        MuseNet::new(cfg),
+        TrainerOptions { epochs: 2, max_batches_per_epoch: 4, learning_rate: 3e-3, ..Default::default() },
+    );
+    let report = trainer.fit(&flows, &spec, &train, &val);
+    assert!(report.last_loss().is_finite());
+
+    let mut ckpt = std::env::temp_dir();
+    ckpt.push(format!("muse-serve-e2e-{}.ckpt", std::process::id()));
+    trainer.model().save_with_config(&ckpt).unwrap();
+
+    // In-process reference: reload the checkpoint exactly as the daemon
+    // will, then roll out from the end of the series.
+    let horizons = 2;
+    let reference_model = MuseNet::from_checkpoint(&ckpt).unwrap();
+    let expected = reference_model.predict_multi_step(&flows, &spec, &[t], horizons);
+    let expected_bits: Vec<Vec<u32>> =
+        expected.iter().map(|p| p.as_slice().iter().map(|v| v.to_bits()).collect()).collect();
+
+    let frame_len = 2 * grid.cells();
+    let mut bodies_by_threads: Vec<String> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let engine = Arc::new(
+            Engine::from_checkpoint(&ckpt, EngineOptions { threads: Some(threads), ..Default::default() })
+                .unwrap(),
+        );
+        let server = Server::start(Arc::clone(&engine), ServerOptions::default()).unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+        assert!(body.contains("\"ready\":false"));
+
+        // Ingest the whole series; the ring keeps the last min_target frames.
+        let src = flows.tensor().as_slice();
+        for i in 0..t {
+            let (head, _) = post_raw_frame(addr, &src[i * frame_len..(i + 1) * frame_len]);
+            assert!(head.starts_with("HTTP/1.1 200 "), "frame {i}: {head}");
+        }
+
+        let mut bodies = String::new();
+        for h in 1..=horizons {
+            let (head, body) = get(addr, &format!("/forecast?horizon={h}"));
+            assert!(head.starts_with("HTTP/1.1 200 "), "{head} {body}");
+            let resp = ForecastResponse::from_json(&obs::json::parse(&body).unwrap()).unwrap();
+            assert_eq!(resp.horizon, h);
+            assert_eq!(resp.target_index, (t + h - 1) as u64);
+            assert_eq!(resp.shape, [2, grid.height, grid.width]);
+            let got: Vec<u32> = resp.prediction.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                got,
+                expected_bits[h - 1],
+                "{threads}-thread daemon diverged from in-process rollout at horizon {h}"
+            );
+            assert!(resp.latent_norms.closeness.is_finite());
+            assert!(resp.latent_norms.interactive.is_finite());
+            bodies.push_str(&body);
+            bodies.push('\n');
+        }
+        match bodies_by_threads.first() {
+            None => bodies_by_threads.push(bodies),
+            Some(first) => assert_eq!(&bodies, first, "{threads}-thread response bytes diverged"),
+        }
+    }
+    std::fs::remove_file(ckpt).ok();
+}

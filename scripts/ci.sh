@@ -56,6 +56,47 @@ wait $EVAL_PID 2>/dev/null || true
 trap - EXIT
 echo "    /metrics exposition well-formed, /status live"
 
+echo "==> muse-serve daemon: train checkpoint, boot, ingest, forecast, promcheck"
+SERVE_CKPT=target/ci_serve.ckpt
+SERVE_ADDR=127.0.0.1:19665
+cargo run -q --release -p muse-eval -- fig4 --epochs 1 --save-checkpoint "$SERVE_CKPT" >/dev/null
+cargo run -q --release -p muse-serve -- --checkpoint "$SERVE_CKPT" --addr "$SERVE_ADDR" >/dev/null 2>&1 &
+SERVE_PID=$!
+trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+up=0
+for _ in $(seq 1 120); do
+    if curl -sf "http://$SERVE_ADDR/healthz" -o target/ci_serve_health.json 2>/dev/null; then
+        up=1
+        break
+    fi
+    sleep 0.25
+done
+[ "$up" = 1 ] || { echo "muse-serve never answered /healthz on $SERVE_ADDR" >&2; exit 1; }
+curl -sf "http://$SERVE_ADDR/stats" -o target/ci_serve_stats.json
+frame_len=$(grep -o '"frame_len":[0-9]*' target/ci_serve_stats.json | head -1 | cut -d: -f2)
+capacity=$(grep -o '"window_capacity":[0-9]*' target/ci_serve_stats.json | head -1 | cut -d: -f2)
+[ -n "$frame_len" ] && [ -n "$capacity" ] || { echo "/stats missing frame_len/window_capacity" >&2; exit 1; }
+awk -v n="$frame_len" 'BEGIN {
+    printf "{\"frame\":[";
+    for (i = 0; i < n; i++) printf "%s%.4f", (i ? "," : ""), 0.3 + 0.2 * sin(i * 0.37);
+    printf "]}";
+}' > target/ci_serve_frame.json
+for _ in $(seq 1 "$capacity"); do
+    curl -sf -X POST -H 'Content-Type: application/json' \
+        --data @target/ci_serve_frame.json "http://$SERVE_ADDR/ingest" -o /dev/null
+done
+curl -sf "http://$SERVE_ADDR/healthz" | grep -q '"ready":true'
+curl -sf "http://$SERVE_ADDR/forecast?horizon=1" -o target/ci_serve_forecast.json
+grep -q '"prediction"' target/ci_serve_forecast.json
+grep -q '"latent_norms"' target/ci_serve_forecast.json
+curl -sf "http://$SERVE_ADDR/metrics" -o target/ci_serve_metrics.txt
+cargo run -q --release -p muse-trace -- promcheck target/ci_serve_metrics.txt
+grep -q '^muse_serve_forecasts_total' target/ci_serve_metrics.txt
+kill $SERVE_PID 2>/dev/null || true
+wait $SERVE_PID 2>/dev/null || true
+trap - EXIT
+echo "    daemon served $capacity ingests + a forecast, /metrics exposition well-formed"
+
 echo "==> perf gate negative test: doctored baseline must fail"
 cargo run -q --release -p muse-bench --bin perf_gate -- doctor BENCH_kernels.json target/doctored_baseline.json
 if cargo run -q --release -p muse-bench --bin perf_gate -- check target/perf_gate_trace.jsonl target/doctored_baseline.json >/dev/null 2>&1; then

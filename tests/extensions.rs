@@ -89,3 +89,43 @@ fn trained_model_checkpoint_roundtrip() {
     assert!(after.approx_eq(&before, 1e-5), "checkpoint did not restore predictions");
     std::fs::remove_file(path).ok();
 }
+
+#[test]
+fn save_and_load_checkpoint_flags_warm_start_fit_model() {
+    let mut ckpt = std::env::temp_dir();
+    ckpt.push(format!("muse-e2e-warmstart-{}.ckpt", std::process::id()));
+    let profile = Profile {
+        scale: 0.45,
+        epochs: 1,
+        max_batches: 4,
+        max_eval: 10,
+        d: 4,
+        k: 8,
+        hidden: 8,
+        channels: 4,
+        save_checkpoint: Some(ckpt.clone()),
+        ..Profile::quick()
+    };
+    let prepared = prepare(DatasetPreset::NycBike, &profile);
+    let trained = fit_model(ModelKind::MuseNet(AblationVariant::Full), &prepared, &profile);
+    assert!(ckpt.exists(), "--save-checkpoint must write {}", ckpt.display());
+    let eval_idx = &prepared.split.test[..6];
+    let want = trained.predict(&prepared, eval_idx);
+
+    // Warm-starting with zero epochs reproduces the trained model exactly.
+    let warm =
+        Profile { epochs: 0, save_checkpoint: None, load_checkpoint: Some(ckpt.clone()), ..profile.clone() };
+    let restored = fit_model(ModelKind::MuseNet(AblationVariant::Full), &prepared, &warm);
+    let got = restored.predict(&prepared, eval_idx);
+    assert_eq!(got.as_slice(), want.as_slice(), "warm start must restore the trained weights");
+
+    // A mismatched architecture falls back to fresh weights, not a panic.
+    let mismatched = Profile { d: 6, epochs: 0, ..warm };
+    let fresh = fit_model(ModelKind::MuseNet(AblationVariant::Full), &prepared, &mismatched);
+    assert_ne!(
+        fresh.predict(&prepared, eval_idx).as_slice(),
+        want.as_slice(),
+        "mismatched checkpoint must not be loaded"
+    );
+    std::fs::remove_file(ckpt).ok();
+}
