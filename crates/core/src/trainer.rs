@@ -163,6 +163,10 @@ impl Trainer {
         let mut best_snapshot: Option<Vec<Tensor>> = None;
 
         let run = obs::next_run_id();
+        // Smoothed live loss, exported as a gauge so a scraper (or the
+        // serve-path quality tooling) can watch training health without
+        // parsing per-batch trace events.
+        let mut loss_ewma = obs::Ewma::new(0.05);
         let opts = &self.options;
         obs::emit_with("train.start", || {
             vec![
@@ -234,6 +238,7 @@ impl Trainer {
                     continue;
                 }
                 losses.push(pass.terms.total);
+                obs::gauge("train.loss_ewma").set(loss_ewma.update(pass.terms.total as f64));
                 regs.push(pass.terms.regression);
                 term_sums[0] += pass.terms.kl_exclusive as f64;
                 term_sums[1] += pass.terms.kl_interactive as f64;

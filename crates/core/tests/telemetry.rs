@@ -108,6 +108,11 @@ fn fit_emits_one_epoch_event_per_epoch() {
     );
     let report = trainer.fit(&flows, &cfg.spec, &train, &val);
 
+    // The smoothed live-loss gauge tracked the run and landed on a finite,
+    // positive value.
+    let loss_ewma = obs::gauge("train.loss_ewma").get();
+    assert!(loss_ewma.is_finite() && loss_ewma > 0.0, "train.loss_ewma gauge: {loss_ewma}");
+
     obs::close_trace();
     obs::disable();
     obs::reset_metrics();

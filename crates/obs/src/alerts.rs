@@ -1,0 +1,692 @@
+//! Declarative alert rules with a three-state `ok/warning/firing`
+//! lifecycle, evaluated over named metric streams.
+//!
+//! An [`AlertEngine`] owns a set of [`AlertRule`]s. Callers feed it scalar
+//! observations via [`AlertEngine::observe`] (or [`AlertEngine::observe_slot`]
+//! for periodic metrics carrying a time-of-day slot); each matching rule
+//! classifies the sample as ok/warning/firing severity and, after `for_n`
+//! consecutive samples at a severity, moves its state there. State changes
+//! are returned as [`AlertTransition`]s so the owner can publish them
+//! (trace events, gauges) — see [`publish`].
+//!
+//! Three rule kinds cover the monitoring shapes the serve path needs:
+//!
+//! * **threshold** — fixed warn/fire levels on the raw value.
+//! * **ewma** — a fast EWMA of the value divided by a slow EWMA; fires
+//!   when the recent level rises a configured ratio above the long-run
+//!   level (classic level-shift / drift detector).
+//! * **periodic** — keeps a per-slot running mean (slot = time-of-day
+//!   index) as a cheap periodic baseline and fires when the relative
+//!   residual `|v - mean[slot]| / |mean[slot]|` blows out. This is the
+//!   PRNet-style expected-value reference: traffic is strongly periodic,
+//!   so "unusual for 3am" matters, not "unusual overall".
+//!
+//! Rules parse from compact spec strings (CLI-friendly):
+//!
+//! ```text
+//! name:threshold:metric=quality.mae:warn=0.1:fire=0.2:for=3
+//! name:ewma:metric=quality.mae:fast=0.3:slow=0.03:warn=1.5:fire=2:warmup=10
+//! name:periodic:metric=serve.flow.mean:slots=24:warn=0.35:fire=0.6:min_periods=2:floor=0.05
+//! ```
+
+use crate::json::Json;
+use crate::rolling::Ewma;
+
+/// Guard against division by a near-zero baseline in ratio rules.
+const BASELINE_EPS: f64 = 1e-9;
+
+/// Lifecycle state of one alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertState {
+    /// Rule is not breached.
+    Ok,
+    /// Warn level breached for `for_n` consecutive samples.
+    Warning,
+    /// Fire level breached for `for_n` consecutive samples.
+    Firing,
+}
+
+impl AlertState {
+    /// Stable lowercase name used in JSON, traces, and gauges.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertState::Ok => "ok",
+            AlertState::Warning => "warning",
+            AlertState::Firing => "firing",
+        }
+    }
+
+    /// Numeric encoding for the `alert.<name>.state` gauge: 0/1/2.
+    pub fn gauge_value(self) -> f64 {
+        match self {
+            AlertState::Ok => 0.0,
+            AlertState::Warning => 1.0,
+            AlertState::Firing => 2.0,
+        }
+    }
+}
+
+impl std::fmt::Display for AlertState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What a rule computes from each sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleKind {
+    /// Breach when the raw value crosses `warn` / `fire`.
+    Threshold {
+        /// Warning level.
+        warn: f64,
+        /// Firing level (must be ≥ `warn`).
+        fire: f64,
+    },
+    /// Breach when `fast_ewma / slow_ewma` crosses `warn_ratio` /
+    /// `fire_ratio` after `warmup` samples have seeded both averages.
+    EwmaShift {
+        /// Smoothing factor of the fast (recent-level) average.
+        fast_alpha: f64,
+        /// Smoothing factor of the slow (long-run baseline) average.
+        slow_alpha: f64,
+        /// Warning ratio of fast over slow.
+        warn_ratio: f64,
+        /// Firing ratio of fast over slow.
+        fire_ratio: f64,
+        /// Samples before the ratio is judged at all.
+        warmup: u64,
+    },
+    /// Breach when the relative residual against the per-slot running mean
+    /// crosses `warn_ratio` / `fire_ratio`; slots are only judged once
+    /// they hold at least `min_periods` baseline samples.
+    Periodic {
+        /// Number of time-of-day slots (e.g. intervals per day).
+        slots: usize,
+        /// Warning relative residual.
+        warn_ratio: f64,
+        /// Firing relative residual.
+        fire_ratio: f64,
+        /// Baseline samples a slot needs before it is judged.
+        min_periods: u64,
+        /// Absolute floor on the residual denominator. Low-volume slots
+        /// (3am traffic near zero) make a pure relative residual explode
+        /// on noise; the floor keeps them from flapping while leaving
+        /// busy slots fully relative. 0 disables.
+        floor: f64,
+    },
+}
+
+impl RuleKind {
+    /// Stable kind name used in specs and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RuleKind::Threshold { .. } => "threshold",
+            RuleKind::EwmaShift { .. } => "ewma",
+            RuleKind::Periodic { .. } => "periodic",
+        }
+    }
+}
+
+/// One declarative rule: which metric it watches and how it judges it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Unique alert name (used in gauges, traces, and APIs).
+    pub name: String,
+    /// Metric stream this rule subscribes to.
+    pub metric: String,
+    /// Judgement function.
+    pub kind: RuleKind,
+    /// Consecutive samples at a severity before the state moves there.
+    pub for_n: u32,
+}
+
+impl AlertRule {
+    /// Parse a colon-separated rule spec, e.g.
+    /// `mae_high:threshold:metric=quality.mae:warn=0.1:fire=0.2:for=3`.
+    pub fn parse(spec: &str) -> Result<AlertRule, String> {
+        let mut parts = spec.split(':');
+        let name = parts.next().unwrap_or("").trim();
+        if name.is_empty() {
+            return Err(format!("alert spec {spec:?}: empty name"));
+        }
+        let kind_name = parts.next().ok_or_else(|| format!("alert spec {spec:?}: missing kind"))?.trim();
+        let mut metric = None;
+        let mut fields: Vec<(String, f64)> = Vec::new();
+        for part in parts {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("alert spec {spec:?}: {part:?} is not key=value"))?;
+            if key == "metric" {
+                metric = Some(value.to_string());
+            } else {
+                let parsed = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("alert spec {spec:?}: {key}={value:?} is not a number"))?;
+                fields.push((key.to_string(), parsed));
+            }
+        }
+        let metric = metric.ok_or_else(|| format!("alert spec {spec:?}: missing metric=<name>"))?;
+        let mut take = |key: &str, default: Option<f64>| -> Result<f64, String> {
+            if let Some(pos) = fields.iter().position(|(k, _)| k == key) {
+                Ok(fields.remove(pos).1)
+            } else {
+                default.ok_or_else(|| format!("alert spec {spec:?}: missing {key}=<value>"))
+            }
+        };
+        let for_n = take("for", Some(3.0))? as u32;
+        let kind = match kind_name {
+            "threshold" => {
+                let warn = take("warn", None)?;
+                let fire = take("fire", None)?;
+                if fire < warn {
+                    return Err(format!("alert spec {spec:?}: fire={fire} below warn={warn}"));
+                }
+                RuleKind::Threshold { warn, fire }
+            }
+            "ewma" => RuleKind::EwmaShift {
+                fast_alpha: take("fast", Some(0.3))?,
+                slow_alpha: take("slow", Some(0.05))?,
+                warn_ratio: take("warn", Some(1.5))?,
+                fire_ratio: take("fire", Some(2.0))?,
+                warmup: take("warmup", Some(10.0))? as u64,
+            },
+            "periodic" => RuleKind::Periodic {
+                slots: take("slots", None)? as usize,
+                warn_ratio: take("warn", Some(0.35))?,
+                fire_ratio: take("fire", Some(0.6))?,
+                min_periods: take("min_periods", Some(2.0))? as u64,
+                floor: take("floor", Some(0.0))?,
+            },
+            other => {
+                return Err(format!(
+                    "alert spec {spec:?}: unknown kind {other:?} (expected threshold, ewma, or periodic)"
+                ))
+            }
+        };
+        if let Some((key, _)) = fields.first() {
+            return Err(format!("alert spec {spec:?}: unknown field {key:?} for kind {kind_name}"));
+        }
+        if let RuleKind::Periodic { slots: 0, .. } = kind {
+            return Err(format!("alert spec {spec:?}: slots must be positive"));
+        }
+        Ok(AlertRule { name: name.to_string(), metric, kind, for_n: for_n.max(1) })
+    }
+}
+
+/// Per-slot running mean for the periodic baseline.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotMean {
+    sum: f64,
+    n: u64,
+}
+
+/// Mutable evaluation state backing one rule kind.
+#[derive(Debug, Clone)]
+enum RuleRuntime {
+    Threshold,
+    EwmaShift { fast: Ewma, slow: Ewma },
+    Periodic { slots: Vec<SlotMean> },
+}
+
+/// One state change, returned from `observe` so the owner can publish it.
+#[derive(Debug, Clone)]
+pub struct AlertTransition {
+    /// Alert name.
+    pub name: String,
+    /// Metric that triggered the change.
+    pub metric: String,
+    /// State before.
+    pub from: AlertState,
+    /// State after.
+    pub to: AlertState,
+    /// The observed value that completed the transition.
+    pub value: f64,
+}
+
+/// A rule plus its lifecycle state.
+#[derive(Debug, Clone)]
+struct Alert {
+    rule: AlertRule,
+    runtime: RuleRuntime,
+    state: AlertState,
+    /// Consecutive samples at >= firing severity.
+    fire_streak: u32,
+    /// Consecutive samples at >= warning severity.
+    warn_streak: u32,
+    /// Consecutive samples at ok severity.
+    ok_streak: u32,
+    last_value: f64,
+    observations: u64,
+    transitions: u64,
+}
+
+impl Alert {
+    fn new(rule: AlertRule) -> Alert {
+        let runtime = match &rule.kind {
+            RuleKind::Threshold { .. } => RuleRuntime::Threshold,
+            RuleKind::EwmaShift { fast_alpha, slow_alpha, .. } => {
+                RuleRuntime::EwmaShift { fast: Ewma::new(*fast_alpha), slow: Ewma::new(*slow_alpha) }
+            }
+            RuleKind::Periodic { slots, .. } => {
+                RuleRuntime::Periodic { slots: vec![SlotMean::default(); *slots] }
+            }
+        };
+        Alert {
+            rule,
+            runtime,
+            state: AlertState::Ok,
+            fire_streak: 0,
+            warn_streak: 0,
+            ok_streak: 0,
+            last_value: 0.0,
+            observations: 0,
+            transitions: 0,
+        }
+    }
+
+    /// Severity of one sample: 0 ok, 1 warning, 2 firing.
+    fn severity(&mut self, slot: Option<usize>, v: f64) -> u8 {
+        match (&self.rule.kind, &mut self.runtime) {
+            (RuleKind::Threshold { warn, fire }, RuleRuntime::Threshold) => {
+                if v >= *fire {
+                    2
+                } else if v >= *warn {
+                    1
+                } else {
+                    0
+                }
+            }
+            (
+                RuleKind::EwmaShift { warn_ratio, fire_ratio, warmup, .. },
+                RuleRuntime::EwmaShift { fast, slow },
+            ) => {
+                fast.update(v);
+                slow.update(v);
+                if fast.count() < *warmup {
+                    return 0;
+                }
+                let ratio = fast.value() / slow.value().abs().max(BASELINE_EPS);
+                if ratio >= *fire_ratio {
+                    2
+                } else if ratio >= *warn_ratio {
+                    1
+                } else {
+                    0
+                }
+            }
+            (
+                RuleKind::Periodic { warn_ratio, fire_ratio, min_periods, floor, .. },
+                RuleRuntime::Periodic { slots },
+            ) => {
+                let idx = slot.unwrap_or(0) % slots.len();
+                let baseline = &mut slots[idx];
+                // Judge against the baseline *before* folding the sample
+                // in, so a regime change cannot vouch for itself.
+                let severity = if baseline.n < *min_periods {
+                    0
+                } else {
+                    let mean = baseline.sum / baseline.n as f64;
+                    let residual = (v - mean).abs() / mean.abs().max(*floor).max(BASELINE_EPS);
+                    if residual >= *fire_ratio {
+                        2
+                    } else if residual >= *warn_ratio {
+                        1
+                    } else {
+                        0
+                    }
+                };
+                baseline.sum += v;
+                baseline.n += 1;
+                severity
+            }
+            _ => unreachable!("rule kind and runtime always match"),
+        }
+    }
+
+    fn observe(&mut self, slot: Option<usize>, v: f64) -> Option<AlertTransition> {
+        self.observations += 1;
+        self.last_value = v;
+        match self.severity(slot, v) {
+            2 => {
+                self.fire_streak += 1;
+                self.warn_streak += 1;
+                self.ok_streak = 0;
+            }
+            1 => {
+                self.warn_streak += 1;
+                self.fire_streak = 0;
+                self.ok_streak = 0;
+            }
+            _ => {
+                self.ok_streak += 1;
+                self.warn_streak = 0;
+                self.fire_streak = 0;
+            }
+        }
+        let for_n = self.rule.for_n;
+        let target = if self.fire_streak >= for_n {
+            AlertState::Firing
+        } else if self.warn_streak >= for_n {
+            AlertState::Warning
+        } else if self.ok_streak >= for_n {
+            AlertState::Ok
+        } else {
+            self.state
+        };
+        if target == self.state {
+            return None;
+        }
+        let from = self.state;
+        self.state = target;
+        self.transitions += 1;
+        Some(AlertTransition {
+            name: self.rule.name.clone(),
+            metric: self.rule.metric.clone(),
+            from,
+            to: target,
+            value: v,
+        })
+    }
+
+    fn status_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.rule.name.clone())),
+            ("metric", Json::Str(self.rule.metric.clone())),
+            ("kind", Json::Str(self.rule.kind.name().to_string())),
+            ("state", Json::Str(self.state.as_str().to_string())),
+            ("for", Json::Num(self.rule.for_n as f64)),
+            ("last_value", Json::Num(self.last_value)),
+            ("observations", Json::Num(self.observations as f64)),
+            ("transitions", Json::Num(self.transitions as f64)),
+        ])
+    }
+}
+
+/// Evaluates a set of alert rules over named metric streams.
+#[derive(Debug, Clone, Default)]
+pub struct AlertEngine {
+    alerts: Vec<Alert>,
+}
+
+impl AlertEngine {
+    /// Empty engine.
+    pub fn new() -> AlertEngine {
+        AlertEngine::default()
+    }
+
+    /// Engine pre-loaded with `rules`.
+    pub fn with_rules(rules: Vec<AlertRule>) -> AlertEngine {
+        let mut engine = AlertEngine::new();
+        for rule in rules {
+            engine.push_rule(rule);
+        }
+        engine
+    }
+
+    /// Add one rule (duplicate names are allowed but make gauges ambiguous;
+    /// callers should keep names unique).
+    pub fn push_rule(&mut self, rule: AlertRule) {
+        self.alerts.push(Alert::new(rule));
+    }
+
+    /// Number of configured rules.
+    pub fn len(&self) -> usize {
+        self.alerts.len()
+    }
+
+    /// True when no rules are configured.
+    pub fn is_empty(&self) -> bool {
+        self.alerts.is_empty()
+    }
+
+    /// Feed one observation of `metric`; returns any state transitions.
+    pub fn observe(&mut self, metric: &str, value: f64) -> Vec<AlertTransition> {
+        self.observe_inner(metric, None, value)
+    }
+
+    /// Feed one observation of a periodic `metric` at time-of-day `slot`.
+    pub fn observe_slot(&mut self, metric: &str, slot: usize, value: f64) -> Vec<AlertTransition> {
+        self.observe_inner(metric, Some(slot), value)
+    }
+
+    fn observe_inner(&mut self, metric: &str, slot: Option<usize>, value: f64) -> Vec<AlertTransition> {
+        let mut transitions = Vec::new();
+        for alert in self.alerts.iter_mut().filter(|a| a.rule.metric == metric) {
+            if let Some(t) = alert.observe(slot, value) {
+                transitions.push(t);
+            }
+        }
+        transitions
+    }
+
+    /// Worst state across all rules (Ok when none are configured).
+    pub fn worst(&self) -> AlertState {
+        self.alerts.iter().map(|a| a.state).max().unwrap_or(AlertState::Ok)
+    }
+
+    /// State of the named alert, if configured.
+    pub fn state_of(&self, name: &str) -> Option<AlertState> {
+        self.alerts.iter().find(|a| a.rule.name == name).map(|a| a.state)
+    }
+
+    /// JSON array of per-alert status objects (for `GET /alerts`).
+    pub fn statuses_json(&self) -> Json {
+        Json::Arr(self.alerts.iter().map(Alert::status_json).collect())
+    }
+}
+
+/// Publish transitions and current states to the global telemetry layer:
+/// each transition becomes an `alert.transition` trace event and bumps the
+/// `alerts.transitions` counter; every rule's state is mirrored to an
+/// `alert.<name>.state` gauge (0 ok / 1 warning / 2 firing).
+pub fn publish(engine: &AlertEngine, transitions: &[AlertTransition]) {
+    for t in transitions {
+        crate::metrics::counter("alerts.transitions").add(1);
+        crate::sink::emit(
+            "alert.transition",
+            vec![
+                ("alert", Json::Str(t.name.clone())),
+                ("metric", Json::Str(t.metric.clone())),
+                ("from", Json::Str(t.from.as_str().to_string())),
+                ("to", Json::Str(t.to.as_str().to_string())),
+                ("value", Json::Num(t.value)),
+            ],
+        );
+    }
+    for alert in &engine.alerts {
+        crate::metrics::gauge_owned(&format!("alert.{}.state", alert.rule.name))
+            .set(alert.state.gauge_value());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(spec: &str) -> AlertRule {
+        AlertRule::parse(spec).unwrap()
+    }
+
+    #[test]
+    fn parse_threshold_roundtrip() {
+        let r = rule("mae_high:threshold:metric=quality.mae:warn=0.1:fire=0.2:for=2");
+        assert_eq!(r.name, "mae_high");
+        assert_eq!(r.metric, "quality.mae");
+        assert_eq!(r.for_n, 2);
+        assert_eq!(r.kind, RuleKind::Threshold { warn: 0.1, fire: 0.2 });
+    }
+
+    #[test]
+    fn parse_defaults_and_errors() {
+        let r = rule("drift:ewma:metric=m");
+        assert_eq!(
+            r.kind,
+            RuleKind::EwmaShift {
+                fast_alpha: 0.3,
+                slow_alpha: 0.05,
+                warn_ratio: 1.5,
+                fire_ratio: 2.0,
+                warmup: 10
+            }
+        );
+        assert_eq!(r.for_n, 3);
+        assert!(AlertRule::parse("").is_err());
+        assert!(AlertRule::parse("x:threshold:metric=m").is_err(), "threshold requires warn/fire");
+        assert!(AlertRule::parse("x:threshold:metric=m:warn=2:fire=1").is_err(), "fire below warn");
+        assert!(AlertRule::parse("x:wibble:metric=m").is_err(), "unknown kind");
+        assert!(AlertRule::parse("x:ewma:metric=m:bogus=1").is_err(), "unknown field");
+        assert!(AlertRule::parse("x:periodic:metric=m:slots=0").is_err(), "zero slots");
+        assert!(AlertRule::parse("x:ewma:metric=m:fast=oops").is_err(), "non-numeric value");
+    }
+
+    #[test]
+    fn threshold_lifecycle_with_hysteresis() {
+        let mut e = AlertEngine::with_rules(vec![rule("t:threshold:metric=m:warn=1:fire=2:for=2")]);
+        assert!(e.observe("m", 1.5).is_empty(), "one warn sample is not enough");
+        let t = e.observe("m", 1.5);
+        assert_eq!(t.len(), 1);
+        assert_eq!((t[0].from, t[0].to), (AlertState::Ok, AlertState::Warning));
+        e.observe("m", 5.0);
+        let t = e.observe("m", 5.0);
+        assert_eq!((t[0].from, t[0].to), (AlertState::Warning, AlertState::Firing));
+        assert_eq!(e.worst(), AlertState::Firing);
+        // Recovery also needs for_n consecutive ok samples.
+        assert!(e.observe("m", 0.0).is_empty());
+        let t = e.observe("m", 0.0);
+        assert_eq!((t[0].from, t[0].to), (AlertState::Firing, AlertState::Ok));
+        assert_eq!(e.state_of("t"), Some(AlertState::Ok));
+    }
+
+    #[test]
+    fn firing_requires_consecutive_breaches() {
+        let mut e = AlertEngine::with_rules(vec![rule("t:threshold:metric=m:warn=1:fire=1:for=3")]);
+        for _ in 0..5 {
+            assert!(e.observe("m", 2.0).is_empty());
+            assert!(e.observe("m", 0.0).is_empty());
+        }
+        assert_eq!(e.worst(), AlertState::Ok, "interleaved breaches never reach for=3");
+    }
+
+    #[test]
+    fn ewma_shift_detects_level_shift() {
+        let mut e = AlertEngine::with_rules(vec![rule(
+            "d:ewma:metric=m:fast=0.4:slow=0.02:warn=1.5:fire=2:warmup=8:for=2",
+        )]);
+        for _ in 0..50 {
+            let t = e.observe("m", 1.0);
+            assert!(t.is_empty(), "stable stream must not alert");
+        }
+        let mut fired = false;
+        for _ in 0..30 {
+            for t in e.observe("m", 4.0) {
+                if t.to == AlertState::Firing {
+                    fired = true;
+                }
+            }
+        }
+        assert!(fired, "4x level shift must fire, state={:?}", e.worst());
+    }
+
+    #[test]
+    fn periodic_residual_ignores_normal_seasonality_but_fires_on_shift() {
+        let mut e = AlertEngine::with_rules(vec![rule(
+            "p:periodic:metric=m:slots=4:warn=0.3:fire=0.5:min_periods=2:for=2",
+        )]);
+        // Strongly periodic signal: slot values 1, 10, 5, 2 repeating.
+        let pattern = [1.0, 10.0, 5.0, 2.0];
+        for day in 0..6 {
+            for (slot, &v) in pattern.iter().enumerate() {
+                let t = e.observe_slot("m", slot, v);
+                assert!(t.is_empty(), "periodic-but-stable stream alerted on day {day}");
+            }
+        }
+        // Level shift: everything doubles. Each slot's residual ratio is
+        // ~1.0 >= fire, so after 2 consecutive samples the alert fires.
+        let mut fired_at = None;
+        for (i, slot) in (0..8).map(|i| (i, i % 4)) {
+            for t in e.observe_slot("m", slot, pattern[slot] * 2.0) {
+                if t.to == AlertState::Firing {
+                    fired_at.get_or_insert(i);
+                }
+            }
+        }
+        assert_eq!(fired_at, Some(1), "fires on the 2nd shifted sample (for=2)");
+    }
+
+    #[test]
+    fn periodic_floor_damps_low_volume_slots() {
+        // A 3am-style slot with a tiny baseline: pure relative residual
+        // would treat 0.001 -> 0.004 as a 3x blowout, the floor does not.
+        let mut floored = AlertEngine::with_rules(vec![rule(
+            "p:periodic:metric=m:slots=1:warn=0.35:fire=0.6:min_periods=2:floor=0.05:for=1",
+        )]);
+        let mut unfloored = AlertEngine::with_rules(vec![rule(
+            "p:periodic:metric=m:slots=1:warn=0.35:fire=0.6:min_periods=2:for=1",
+        )]);
+        for v in [0.001, 0.001, 0.004, 0.002, 0.005] {
+            floored.observe_slot("m", 0, v);
+            unfloored.observe_slot("m", 0, v);
+        }
+        assert_eq!(floored.worst(), AlertState::Ok, "floored rule ignores low-volume noise");
+        assert_eq!(unfloored.worst(), AlertState::Firing, "unfloored rule flaps on it");
+        // The floor still lets a genuine shift through.
+        let t = floored.observe_slot("m", 0, 0.2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, AlertState::Firing);
+    }
+
+    #[test]
+    fn periodic_warmup_respects_min_periods() {
+        let mut e = AlertEngine::with_rules(vec![rule(
+            "p:periodic:metric=m:slots=2:warn=0.1:fire=0.2:min_periods=3:for=1",
+        )]);
+        // Wildly varying samples during warmup never alert: the slot has
+        // fewer than min_periods baseline points.
+        for v in [1.0, 100.0, 1.0] {
+            assert!(e.observe_slot("m", 0, v).is_empty());
+            assert_eq!(e.worst(), AlertState::Ok);
+        }
+        // Baseline established (mean 34): a blown-out sample now fires.
+        let t = e.observe_slot("m", 0, 100.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, AlertState::Firing);
+    }
+
+    #[test]
+    fn engine_routes_by_metric_name() {
+        let mut e = AlertEngine::with_rules(vec![
+            rule("a:threshold:metric=x:warn=1:fire=1:for=1"),
+            rule("b:threshold:metric=y:warn=1:fire=1:for=1"),
+        ]);
+        let t = e.observe("x", 5.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].name, "a");
+        assert_eq!(e.state_of("b"), Some(AlertState::Ok));
+    }
+
+    #[test]
+    fn publish_mirrors_state_gauges_and_counts_transitions() {
+        let _g = crate::test_lock();
+        crate::reset_metrics();
+        let mut e = AlertEngine::with_rules(vec![rule("pub_test:threshold:metric=m:warn=1:fire=2:for=1")]);
+        let transitions = e.observe("m", 9.0);
+        assert_eq!(transitions.len(), 1);
+        publish(&e, &transitions);
+        assert_eq!(crate::metrics::gauge_owned("alert.pub_test.state").get(), 2.0);
+        assert_eq!(crate::metrics::counter("alerts.transitions").get(), 1);
+        crate::reset_metrics();
+    }
+
+    #[test]
+    fn statuses_json_shape() {
+        let mut e = AlertEngine::with_rules(vec![rule("s:threshold:metric=m:warn=1:fire=2:for=1")]);
+        e.observe("m", 1.5);
+        let json = e.statuses_json();
+        let Json::Arr(items) = &json else { panic!("expected array") };
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].get("name").unwrap().as_str(), Some("s"));
+        assert_eq!(items[0].get("state").unwrap().as_str(), Some("warning"));
+        assert_eq!(items[0].get("kind").unwrap().as_str(), Some("threshold"));
+        assert_eq!(items[0].get("last_value").unwrap().as_f64(), Some(1.5));
+    }
+}

@@ -39,19 +39,23 @@
 //! object per line. See the repository README ("Telemetry & tracing") for
 //! the event schema.
 
+pub mod alerts;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod rolling;
 pub mod serve;
 pub mod sink;
 pub mod span;
 
+pub use alerts::{AlertEngine, AlertRule, AlertState, AlertTransition};
 pub use json::{Json, ToJson};
-pub use metrics::{counter, gauge, histogram, kernel, Counter, Gauge, Histogram, KernelStat};
+pub use metrics::{counter, gauge, gauge_owned, histogram, kernel, Counter, Gauge, Histogram, KernelStat};
+pub use rolling::{DecayingHistogram, Ewma, RollingStats};
 pub use serve::{render_prometheus, MetricsServer};
 pub use sink::{
-    close_trace, emit, emit_with, emitted_events, init_from_env, next_run_id, now_ns, open_trace, read_trace,
-    trace_enabled, trace_path,
+    close_trace, emit, emit_with, emitted_events, flush_trace, init_from_env, next_run_id, now_ns,
+    open_trace, read_trace, trace_enabled, trace_path,
 };
 pub use span::{span, span_depth, thread_ordinal, SpanGuard};
 

@@ -236,7 +236,9 @@ impl Drop for KernelTimer {
 
 struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
-    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    /// Gauge names may be composed at runtime (per-horizon quality, alert
+    /// states), so the map owns its keys.
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
     /// Histogram names are composed at runtime (span paths, op names).
     histograms: Mutex<BTreeMap<String, &'static Histogram>>,
     kernels: Mutex<BTreeMap<&'static str, &'static KernelStat>>,
@@ -265,7 +267,18 @@ pub fn counter(name: &'static str) -> &'static Counter {
 
 /// Interned gauge handle.
 pub fn gauge(name: &'static str) -> &'static Gauge {
-    lock(&registry().gauges).entry(name).or_insert_with(|| Box::leak(Box::default()))
+    gauge_owned(name)
+}
+
+/// Interned gauge handle for a runtime-composed name.
+pub fn gauge_owned(name: &str) -> &'static Gauge {
+    let mut map = lock(&registry().gauges);
+    if let Some(g) = map.get(name) {
+        return g;
+    }
+    let g: &'static Gauge = Box::leak(Box::default());
+    map.insert(name.to_string(), g);
+    g
 }
 
 /// Interned histogram handle.
@@ -455,5 +468,9 @@ mod tests {
         let ha = histogram_owned("test.metrics.h") as *const Histogram;
         let hb = histogram_owned("test.metrics.h") as *const Histogram;
         assert_eq!(ha, hb);
+        let dynamic = format!("test.metrics.g{}", 7);
+        let ga = gauge_owned(&dynamic) as *const Gauge;
+        let gb = gauge_owned("test.metrics.g7") as *const Gauge;
+        assert_eq!(ga, gb, "owned and borrowed lookups intern the same gauge");
     }
 }

@@ -1,0 +1,332 @@
+//! Rolling estimators for live model-quality monitoring.
+//!
+//! Three complementary summaries of a scalar stream, each O(1) per update
+//! and allocation-free after construction:
+//!
+//! * [`Ewma`] — exponentially weighted mean and variance. Cheap, adapts at
+//!   a rate set by `alpha`, never forgets completely.
+//! * [`RollingStats`] — exact statistics (mean/min/max/quantiles) over the
+//!   last `capacity` observations in a ring buffer.
+//! * [`DecayingHistogram`] — power-of-two buckets whose mass decays by a
+//!   constant factor per observation, so the distribution tracks the
+//!   recent past with a configurable half-life.
+//!
+//! These are plain single-threaded structs (unlike the atomic handles in
+//! [`crate::metrics`]): they live inside one owner — the serve engine's
+//! quality tracker, the trainer — which publishes derived values to the
+//! global registry.
+
+/// Exponentially weighted moving average with companion variance.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    mean: f64,
+    var: f64,
+    n: u64,
+}
+
+impl Ewma {
+    /// New estimator with smoothing factor `alpha` in `(0, 1]`; larger
+    /// alpha tracks the stream faster.
+    pub fn new(alpha: f64) -> Ewma {
+        assert!(alpha > 0.0 && alpha <= 1.0, "ewma alpha must be in (0,1], got {alpha}");
+        Ewma { alpha, mean: 0.0, var: 0.0, n: 0 }
+    }
+
+    /// Fold in one observation and return the updated mean.
+    pub fn update(&mut self, v: f64) -> f64 {
+        if self.n == 0 {
+            self.mean = v;
+            self.var = 0.0;
+        } else {
+            // West's incremental EW mean/variance.
+            let delta = v - self.mean;
+            let incr = self.alpha * delta;
+            self.mean += incr;
+            self.var = (1.0 - self.alpha) * (self.var + delta * incr);
+        }
+        self.n += 1;
+        self.mean
+    }
+
+    /// Current smoothed mean (0 before any observation).
+    pub fn value(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current smoothed standard deviation.
+    pub fn std(&self) -> f64 {
+        self.var.max(0.0).sqrt()
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Exact statistics over a sliding window of the last `capacity` values.
+#[derive(Debug, Clone)]
+pub struct RollingStats {
+    values: Vec<f64>,
+    capacity: usize,
+    next: usize,
+    len: usize,
+    total: u64,
+}
+
+impl RollingStats {
+    /// New window keeping the most recent `capacity` observations.
+    pub fn new(capacity: usize) -> RollingStats {
+        assert!(capacity > 0, "rolling window capacity must be positive");
+        RollingStats { values: vec![0.0; capacity], capacity, next: 0, len: 0, total: 0 }
+    }
+
+    /// Push one observation, evicting the oldest once full.
+    pub fn push(&mut self, v: f64) {
+        self.values[self.next] = v;
+        self.next = (self.next + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+        self.total += 1;
+    }
+
+    /// Observations currently inside the window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total observations ever pushed (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the window (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        self.values[..self.len].iter().sum::<f64>() / self.len as f64
+    }
+
+    /// Smallest value in the window (+inf if empty).
+    pub fn min(&self) -> f64 {
+        self.values[..self.len].iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest value in the window (-inf if empty).
+    pub fn max(&self) -> f64 {
+        self.values[..self.len].iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Linear-interpolated quantile `q` in `[0, 1]` of the window (0 if
+    /// empty). Sorts a scratch copy: O(n log n), fine for snapshot paths.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.values[..self.len].to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = rank - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+}
+
+/// Number of power-of-two buckets, mirroring [`crate::metrics::Histogram`].
+const BUCKETS: usize = 64;
+
+/// A histogram whose mass decays geometrically per observation, so bucket
+/// counts approximate the distribution over the last ~`half_life` values.
+#[derive(Debug, Clone)]
+pub struct DecayingHistogram {
+    decay: f64,
+    buckets: [f64; BUCKETS],
+    count: f64,
+    sum: f64,
+    total: u64,
+}
+
+impl DecayingHistogram {
+    /// New histogram whose mass halves every `half_life` observations.
+    pub fn with_half_life(half_life: f64) -> DecayingHistogram {
+        assert!(half_life > 0.0, "half life must be positive");
+        DecayingHistogram {
+            decay: 0.5f64.powf(1.0 / half_life),
+            buckets: [0.0; BUCKETS],
+            count: 0.0,
+            sum: 0.0,
+            total: 0,
+        }
+    }
+
+    /// Record one non-negative value; values below 1 land in bucket 0.
+    pub fn record(&mut self, v: f64) {
+        for b in &mut self.buckets {
+            *b *= self.decay;
+        }
+        self.count = self.count * self.decay + 1.0;
+        self.sum = self.sum * self.decay + v;
+        let idx = if v < 1.0 { 0 } else { (v.log2() as usize).min(BUCKETS - 1) };
+        self.buckets[idx] += 1.0;
+        self.total += 1;
+    }
+
+    /// Decayed observation mass (≤ observations recorded, → half-life cap).
+    pub fn count(&self) -> f64 {
+        self.count
+    }
+
+    /// Total observations ever recorded, undecayed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Decay-weighted mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count <= 0.0 {
+            0.0
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Upper edge of the bucket containing quantile `q` of the decayed
+    /// mass: a coarse (power-of-two resolution) but O(buckets) quantile.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count <= 0.0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count;
+        let mut cumulative = 0.0;
+        for (i, mass) in self.buckets.iter().enumerate() {
+            cumulative += mass;
+            if cumulative >= target {
+                return (1u64 << (i as u64 + 1).min(63)) as f64;
+            }
+        }
+        (1u64 << 63) as f64
+    }
+
+    /// Non-empty `(bucket_floor, decayed_mass)` pairs, floor = `2^i`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, f64)> {
+        (0..BUCKETS)
+            .filter_map(|i| {
+                let mass = self.buckets[i];
+                (mass > 1e-12).then(|| (1u64 << i.min(63), mass))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_first_sample_seeds_mean() {
+        let mut e = Ewma::new(0.2);
+        e.update(10.0);
+        assert_eq!(e.value(), 10.0);
+        assert_eq!(e.std(), 0.0);
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_stream() {
+        let mut e = Ewma::new(0.3);
+        for _ in 0..200 {
+            e.update(4.0);
+        }
+        assert!((e.value() - 4.0).abs() < 1e-9);
+        assert!(e.std() < 1e-6);
+    }
+
+    #[test]
+    fn ewma_tracks_level_shift_and_variance() {
+        let mut e = Ewma::new(0.2);
+        for i in 0..100 {
+            e.update(if i % 2 == 0 { 1.0 } else { 3.0 });
+        }
+        assert!((e.value() - 2.0).abs() < 0.5);
+        assert!(e.std() > 0.5, "alternating stream must show spread, std={}", e.std());
+        for _ in 0..100 {
+            e.update(10.0);
+        }
+        assert!((e.value() - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_zero_alpha() {
+        Ewma::new(0.0);
+    }
+
+    #[test]
+    fn rolling_stats_window_evicts_oldest() {
+        let mut r = RollingStats::new(4);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+            r.push(v);
+        }
+        // Window now holds 3,4,5,6.
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total(), 6);
+        assert_eq!(r.mean(), 4.5);
+        assert_eq!(r.min(), 3.0);
+        assert_eq!(r.max(), 6.0);
+    }
+
+    #[test]
+    fn rolling_stats_quantiles_interpolate() {
+        let mut r = RollingStats::new(8);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            r.push(v);
+        }
+        assert_eq!(r.quantile(0.0), 1.0);
+        assert_eq!(r.quantile(1.0), 4.0);
+        assert_eq!(r.quantile(0.5), 2.5);
+    }
+
+    #[test]
+    fn rolling_stats_empty_is_benign() {
+        let r = RollingStats::new(3);
+        assert!(r.is_empty());
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn decaying_histogram_prefers_recent_mass() {
+        let mut h = DecayingHistogram::with_half_life(8.0);
+        for _ in 0..64 {
+            h.record(2.0);
+        }
+        for _ in 0..64 {
+            h.record(1024.0);
+        }
+        // Old small values have decayed through 8 half-lives: the median
+        // of the decayed distribution sits at the new level.
+        assert!(h.quantile(0.5) >= 1024.0, "median {}", h.quantile(0.5));
+        assert!(h.mean() > 900.0, "mean {}", h.mean());
+        assert_eq!(h.total(), 128);
+        // Decayed mass saturates near half_life / ln 2 ≈ 11.5.
+        assert!(h.count() < 13.0);
+    }
+
+    #[test]
+    fn decaying_histogram_empty_quantile_zero() {
+        let h = DecayingHistogram::with_half_life(16.0);
+        assert_eq!(h.quantile(0.9), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

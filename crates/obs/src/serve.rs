@@ -152,38 +152,67 @@ pub fn render_prometheus() -> String {
         out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", num(*value)));
     }
     for (name, count, sum, buckets) in &snap.histograms {
-        let name = format!("muse_{}", sanitize(name));
+        let (name, scale) = histogram_export_name(name);
         out.push_str(&format!("# TYPE {name} histogram\n"));
         let mut cumulative = 0u64;
         for (floor, bucket_count) in buckets {
             cumulative += bucket_count;
             // Bucket with floor 2^i holds values in [2^i, 2^(i+1)), except
             // bucket 0 which also absorbs everything below 1.
-            let le = (*floor as f64) * 2.0;
+            let le = (*floor as f64) * 2.0 * scale;
             out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {cumulative}\n", num(le)));
         }
         out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
-        out.push_str(&format!("{name}_sum {}\n", num(*sum)));
+        out.push_str(&format!("{name}_sum {}\n", num(*sum * scale)));
         out.push_str(&format!("{name}_count {count}\n"));
     }
     if !snap.kernels.is_empty() {
-        for (metric, idx) in [
-            ("muse_kernel_calls_total", 1usize),
-            ("muse_kernel_nanos_total", 2),
-            ("muse_kernel_bytes_total", 3),
-        ] {
-            out.push_str(&format!("# TYPE {metric} counter\n"));
-            for row in &snap.kernels {
-                let value = match idx {
-                    1 => row.1,
-                    2 => row.2,
-                    _ => row.3,
-                };
-                out.push_str(&format!("{metric}{{kernel=\"{}\"}} {value}\n", escape_label(&row.0)));
-            }
+        out.push_str("# TYPE muse_kernel_calls_total counter\n");
+        for row in &snap.kernels {
+            out.push_str(&format!(
+                "muse_kernel_calls_total{{kernel=\"{}\"}} {}\n",
+                escape_label(&row.0),
+                row.1
+            ));
+        }
+        // Kernel time is tracked in integer nanoseconds internally but
+        // exported in the Prometheus base unit (seconds).
+        out.push_str("# TYPE muse_kernel_seconds_total counter\n");
+        for row in &snap.kernels {
+            out.push_str(&format!(
+                "muse_kernel_seconds_total{{kernel=\"{}\"}} {}\n",
+                escape_label(&row.0),
+                num(row.2 as f64 * 1e-9)
+            ));
+        }
+        out.push_str("# TYPE muse_kernel_bytes_total counter\n");
+        for row in &snap.kernels {
+            out.push_str(&format!(
+                "muse_kernel_bytes_total{{kernel=\"{}\"}} {}\n",
+                escape_label(&row.0),
+                row.3
+            ));
         }
     }
     out
+}
+
+/// Exported family name and value scale for one internal histogram.
+///
+/// Duration histograms are recorded in nanoseconds (so the power-of-two
+/// buckets resolve microsecond-scale work), under either a `span.` prefix
+/// or an explicit `_ns` suffix. Prometheus conventions want base units:
+/// those families export as `_seconds` with values scaled by 1e-9.
+/// Everything else (batch sizes, gradient norms, error magnitudes) is
+/// unitless and exports unscaled.
+fn histogram_export_name(name: &str) -> (String, f64) {
+    if let Some(stem) = name.strip_suffix("_ns") {
+        (format!("muse_{}_seconds", sanitize(stem)), 1e-9)
+    } else if name.starts_with("span.") || name.starts_with("autograd.backward.") {
+        (format!("muse_{}_seconds", sanitize(name)), 1e-9)
+    } else {
+        (format!("muse_{}", sanitize(name)), 1.0)
+    }
 }
 
 fn sanitize(name: &str) -> String {
@@ -238,7 +267,7 @@ mod tests {
         h.record(700.0);
         let k = crate::metrics::kernel("serve.test.kernel");
         k.calls.add(2);
-        k.nanos.add(900);
+        k.nanos.add(1024);
         k.bytes.add(4096);
         let text = render_prometheus();
         assert!(text.contains("# TYPE muse_serve_test_counter_total counter"));
@@ -251,8 +280,34 @@ mod tests {
         assert!(text.contains("muse_serve_test_hist_sum 703"));
         assert!(text.contains("muse_serve_test_hist_count 2"));
         assert!(text.contains("muse_kernel_calls_total{kernel=\"serve.test.kernel\"} 2"));
-        assert!(text.contains("muse_kernel_nanos_total{kernel=\"serve.test.kernel\"} 900"));
+        // Kernel time is kept in ns internally but exported in seconds.
+        assert!(text.contains("# TYPE muse_kernel_seconds_total counter"));
+        assert!(text.contains("muse_kernel_seconds_total{kernel=\"serve.test.kernel\"} 0.000001024"));
+        assert!(!text.contains("muse_kernel_nanos_total"));
         assert!(text.contains("muse_kernel_bytes_total{kernel=\"serve.test.kernel\"} 4096"));
+        crate::reset_metrics();
+    }
+
+    #[test]
+    fn duration_histograms_export_in_seconds() {
+        let _g = crate::test_lock();
+        crate::reset_metrics();
+        let lat = crate::metrics::histogram("serve.test.lat_ns");
+        lat.record(3.0);
+        lat.record(5.0);
+        let span = crate::metrics::histogram_owned("span.test.fit");
+        span.record(2_000_000_000.0);
+        let text = render_prometheus();
+        // `_ns`-suffixed histograms drop the suffix, gain `_seconds`, and
+        // scale both bucket edges and the sum by 1e-9.
+        assert!(text.contains("# TYPE muse_serve_test_lat_seconds histogram"), "text: {text}");
+        assert!(text.contains("muse_serve_test_lat_seconds_bucket{le=\"0.000000004\"} 1"));
+        assert!(text.contains("muse_serve_test_lat_seconds_sum 0.000000008"));
+        assert!(text.contains("muse_serve_test_lat_seconds_count 2"));
+        assert!(!text.contains("muse_serve_test_lat_ns"));
+        // Span histograms are implicitly nanoseconds and convert too.
+        assert!(text.contains("# TYPE muse_span_test_fit_seconds histogram"));
+        assert!(text.contains("muse_span_test_fit_seconds_sum 2\n"));
         crate::reset_metrics();
     }
 

@@ -94,6 +94,16 @@ pub fn close_trace() -> Option<PathBuf> {
     })
 }
 
+/// Flush the open trace's buffered lines to disk without closing it.
+/// Long-running daemons call this periodically so a `SIGTERM` (which never
+/// runs `close_trace`) loses at most the events since the last flush.
+pub fn flush_trace() {
+    let mut slot = lock_trace();
+    if let Some(trace) = slot.as_mut() {
+        let _ = trace.writer.flush();
+    }
+}
+
 /// Path of the open trace, if any.
 pub fn trace_path() -> Option<PathBuf> {
     lock_trace().as_ref().map(|t| t.path.clone())

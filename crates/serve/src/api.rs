@@ -11,6 +11,8 @@ use muse_obs::Json;
 /// Acknowledgement returned by `POST /ingest`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IngestAck {
+    /// Request ID assigned by the engine (correlates with trace events).
+    pub request_id: u64,
     /// Absolute index assigned to the ingested frame.
     pub index: u64,
     /// Frames currently held in the window.
@@ -23,6 +25,7 @@ impl IngestAck {
     /// Render as a JSON object.
     pub fn to_json(&self) -> Json {
         Json::obj([
+            ("request_id", Json::Num(self.request_id as f64)),
             ("index", Json::Num(self.index as f64)),
             ("frames", Json::Num(self.frames as f64)),
             ("ready", Json::Bool(self.ready)),
@@ -77,6 +80,9 @@ impl LatentNorms {
 /// produced it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ForecastResponse {
+    /// Request ID assigned by the engine (correlates with trace events and
+    /// later `forecast.scored` quality records).
+    pub request_id: u64,
     /// Requested horizon (`1` = next interval).
     pub horizon: usize,
     /// Absolute index of the forecast target frame (`next_index + horizon - 1`).
@@ -96,6 +102,7 @@ impl ForecastResponse {
     /// Render as a JSON object.
     pub fn to_json(&self) -> Json {
         Json::obj([
+            ("request_id", Json::Num(self.request_id as f64)),
             ("horizon", Json::Num(self.horizon as f64)),
             ("target_index", Json::Num(self.target_index as f64)),
             ("shape", Json::Arr(self.shape.iter().map(|&d| Json::Num(d as f64)).collect())),
@@ -134,6 +141,7 @@ impl ForecastResponse {
             json.get("latent_norms").ok_or_else(|| "forecast missing 'latent_norms'".to_string())?,
         )?;
         Ok(ForecastResponse {
+            request_id: num("request_id")? as u64,
             horizon: num("horizon")? as usize,
             target_index: num("target_index")? as u64,
             shape,
@@ -175,6 +183,7 @@ mod tests {
     #[test]
     fn forecast_round_trips_bit_exactly() {
         let resp = ForecastResponse {
+            request_id: 99,
             horizon: 3,
             target_index: 674,
             shape: [2, 4, 5],

@@ -14,6 +14,7 @@
 //! between passes (recycling arena buffers), and the closeness / period /
 //! trend staging tensors are filled in place from the ring buffer.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
@@ -29,7 +30,18 @@ use musenet::MuseNet;
 
 use crate::api::{ForecastResponse, IngestAck, LatentNorms};
 use crate::batcher::drain_window;
+use crate::quality::{QualityConfig, QualityTracker};
 use crate::window::FlowWindow;
+
+/// Process-wide request ID source. Every `/ingest` and `/forecast` gets a
+/// unique ID minted at the handle, echoed in the response, and threaded
+/// through the `req.ingest` / `req.coalesce` / `req.forecast` trace events
+/// so `muse-trace quality` can reconstruct per-request lifecycles.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Ways a serving request can fail.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,11 +94,18 @@ pub struct EngineOptions {
     pub batch_window: Duration,
     /// Most messages coalesced into one batch.
     pub max_batch: usize,
+    /// Quality-monitoring configuration (journal, estimators, alerts).
+    pub quality: QualityConfig,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        EngineOptions { threads: None, batch_window: Duration::from_millis(2), max_batch: 64 }
+        EngineOptions {
+            threads: None,
+            batch_window: Duration::from_millis(2),
+            max_batch: 64,
+            quality: QualityConfig::default(),
+        }
     }
 }
 
@@ -153,10 +172,14 @@ impl StatsSnapshot {
     }
 }
 
+type ForecastReply = Sender<Result<ForecastResponse, EngineError>>;
+
 enum Request {
-    Ingest { frame: Vec<f32>, reply: Sender<Result<IngestAck, EngineError>> },
-    Forecast { horizon: usize, reply: Sender<Result<ForecastResponse, EngineError>> },
+    Ingest { req: u64, frame: Vec<f32>, reply: Sender<Result<IngestAck, EngineError>> },
+    Forecast { req: u64, horizon: usize, reply: ForecastReply },
     Stats { reply: Sender<StatsSnapshot> },
+    Quality { reply: Sender<Json> },
+    Alerts { reply: Sender<Json> },
     Shutdown,
 }
 
@@ -225,15 +248,17 @@ impl Engine {
 
     /// Ingest one `2·H·W` frame (scaled units, matching training).
     pub fn ingest(&self, frame: Vec<f32>) -> Result<IngestAck, EngineError> {
+        let req = next_request_id();
         let (reply, rx) = mpsc::channel();
-        self.tx.send(Request::Ingest { frame, reply }).map_err(|_| EngineError::Stopped)?;
+        self.tx.send(Request::Ingest { req, frame, reply }).map_err(|_| EngineError::Stopped)?;
         rx.recv().map_err(|_| EngineError::Stopped)?
     }
 
     /// Forecast `horizon` steps past the last ingested frame.
     pub fn forecast(&self, horizon: usize) -> Result<ForecastResponse, EngineError> {
+        let req = next_request_id();
         let (reply, rx) = mpsc::channel();
-        self.tx.send(Request::Forecast { horizon, reply }).map_err(|_| EngineError::Stopped)?;
+        self.tx.send(Request::Forecast { req, horizon, reply }).map_err(|_| EngineError::Stopped)?;
         rx.recv().map_err(|_| EngineError::Stopped)?
     }
 
@@ -241,6 +266,21 @@ impl Engine {
     pub fn stats(&self) -> Result<StatsSnapshot, EngineError> {
         let (reply, rx) = mpsc::channel();
         self.tx.send(Request::Stats { reply }).map_err(|_| EngineError::Stopped)?;
+        rx.recv().map_err(|_| EngineError::Stopped)
+    }
+
+    /// Quality snapshot: scored/dropped counts, rolling MAE/RMSE, alerts
+    /// (the `GET /quality` payload).
+    pub fn quality(&self) -> Result<Json, EngineError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx.send(Request::Quality { reply }).map_err(|_| EngineError::Stopped)?;
+        rx.recv().map_err(|_| EngineError::Stopped)
+    }
+
+    /// Alert rule statuses (the `GET /alerts` payload).
+    pub fn alerts(&self) -> Result<Json, EngineError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx.send(Request::Alerts { reply }).map_err(|_| EngineError::Stopped)?;
         rx.recv().map_err(|_| EngineError::Stopped)
     }
 
@@ -316,16 +356,35 @@ fn run_engine(
     let mut batches: u64 = 0;
     let mut last_batch_size: usize = 0;
     let mut max_batch_size: usize = 0;
+    let mut tracker = QualityTracker::new(spec.intervals_per_day, &opts.quality);
 
     let apply_ingest = |window: &mut FlowWindow,
                         frames_ingested: &mut u64,
+                        tracker: &mut QualityTracker,
+                        req: u64,
                         frame: Vec<f32>|
      -> Result<IngestAck, EngineError> {
         let _span = obs::span("serve.ingest");
-        let index = window.push(&frame).map_err(EngineError::BadFrame)?;
+        let index = match window.push(&frame) {
+            Ok(index) => index,
+            Err(e) => {
+                obs::emit_with("req.reject", || {
+                    vec![
+                        ("request", Json::Num(req as f64)),
+                        ("stage", Json::Str("ingest".to_string())),
+                        ("reason", Json::Str(e.clone())),
+                    ]
+                });
+                return Err(EngineError::BadFrame(e));
+            }
+        };
         *frames_ingested += 1;
         obs::counter("serve.frames_ingested").add(1);
-        Ok(IngestAck { index, frames: window.len(), ready: window.ready() })
+        obs::emit_with("req.ingest", || {
+            vec![("request", Json::Num(req as f64)), ("index", Json::Num(index as f64))]
+        });
+        tracker.on_ingest(window, index, &frame);
+        Ok(IngestAck { request_id: req, index, frames: window.len(), ready: window.ready() })
     };
 
     while let Ok(msg) = rx.recv() {
@@ -341,20 +400,32 @@ fn run_engine(
                     max_batch_size,
                 ));
             }
-            Request::Ingest { frame, reply } => {
-                let _ = reply.send(apply_ingest(&mut window, &mut frames_ingested, frame));
+            Request::Quality { reply } => {
+                let _ = reply.send(tracker.snapshot_json());
             }
-            Request::Forecast { horizon, reply } => {
+            Request::Alerts { reply } => {
+                let _ = reply.send(tracker.alerts_json());
+            }
+            Request::Ingest { req, frame, reply } => {
+                let _ = reply.send(apply_ingest(&mut window, &mut frames_ingested, &mut tracker, req, frame));
+            }
+            Request::Forecast { req, horizon, reply } => {
                 // Coalesce: sweep whatever arrives within the batch window
                 // into one rollout. Ingests land first so every coalesced
                 // forecast sees the same, freshest window.
-                let mut waiting = vec![(horizon, reply)];
+                let mut waiting = vec![(horizon, req, reply)];
                 let mut stop_after = false;
                 for extra in drain_window(&rx, opts.batch_window, opts.max_batch) {
                     match extra {
-                        Request::Forecast { horizon, reply } => waiting.push((horizon, reply)),
-                        Request::Ingest { frame, reply } => {
-                            let _ = reply.send(apply_ingest(&mut window, &mut frames_ingested, frame));
+                        Request::Forecast { req, horizon, reply } => waiting.push((horizon, req, reply)),
+                        Request::Ingest { req, frame, reply } => {
+                            let _ = reply.send(apply_ingest(
+                                &mut window,
+                                &mut frames_ingested,
+                                &mut tracker,
+                                req,
+                                frame,
+                            ));
                         }
                         Request::Stats { reply } => {
                             let _ = reply.send(snapshot(
@@ -366,29 +437,61 @@ fn run_engine(
                                 max_batch_size,
                             ));
                         }
+                        Request::Quality { reply } => {
+                            let _ = reply.send(tracker.snapshot_json());
+                        }
+                        Request::Alerts { reply } => {
+                            let _ = reply.send(tracker.alerts_json());
+                        }
                         Request::Shutdown => stop_after = true,
                     }
                 }
 
-                let mut valid: Vec<(usize, Sender<Result<ForecastResponse, EngineError>>)> =
-                    Vec::with_capacity(waiting.len());
-                for (horizon, reply) in waiting {
+                let mut valid: Vec<(usize, u64, ForecastReply)> = Vec::with_capacity(waiting.len());
+                for (horizon, req, reply) in waiting {
                     if horizon == 0 || horizon > info_max_horizon(&spec) {
+                        obs::emit_with("req.reject", || {
+                            vec![
+                                ("request", Json::Num(req as f64)),
+                                ("stage", Json::Str("forecast".to_string())),
+                                ("reason", Json::Str(format!("bad horizon {horizon}"))),
+                            ]
+                        });
                         let _ = reply
                             .send(Err(EngineError::BadHorizon { horizon, max: info_max_horizon(&spec) }));
                     } else {
-                        valid.push((horizon, reply));
+                        valid.push((horizon, req, reply));
                     }
                 }
                 if !valid.is_empty() {
                     if !window.ready() {
                         let err = EngineError::NotReady { have: window.len(), need: window.capacity() };
-                        for (_, reply) in valid {
+                        for (_, req, reply) in valid {
+                            obs::emit_with("req.reject", || {
+                                vec![
+                                    ("request", Json::Num(req as f64)),
+                                    ("stage", Json::Str("forecast".to_string())),
+                                    ("reason", Json::Str("not_ready".to_string())),
+                                ]
+                            });
                             let _ = reply.send(Err(err.clone()));
                         }
                     } else {
                         let batch_size = valid.len();
-                        let max_h = valid.iter().map(|&(h, _)| h).max().expect("non-empty batch");
+                        let max_h = valid.iter().map(|&(h, _, _)| h).max().expect("non-empty batch");
+                        let rollout_id = batches + 1;
+                        obs::emit_with("req.coalesce", || {
+                            vec![
+                                ("rollout", Json::Num(rollout_id as f64)),
+                                ("batch_size", Json::Num(batch_size as f64)),
+                                (
+                                    "requests",
+                                    Json::Arr(
+                                        valid.iter().map(|&(_, req, _)| Json::Num(req as f64)).collect(),
+                                    ),
+                                ),
+                            ]
+                        });
                         let started = Instant::now();
                         let steps = {
                             let _span = obs::span("serve.forecast.batch");
@@ -399,11 +502,22 @@ fn run_engine(
                             .record(started.elapsed().as_nanos() as f64);
                         obs::counter("serve.forecasts").add(batch_size as u64);
                         let base = window.next_index();
-                        for (horizon, reply) in valid {
+                        for (horizon, req, reply) in valid {
                             let (prediction, latent_norms) = &steps[horizon - 1];
+                            let target = base + horizon as u64 - 1;
+                            tracker.record_forecast(req, rollout_id, horizon, target, prediction);
+                            obs::emit_with("req.forecast", || {
+                                vec![
+                                    ("request", Json::Num(req as f64)),
+                                    ("rollout", Json::Num(rollout_id as f64)),
+                                    ("horizon", Json::Num(horizon as f64)),
+                                    ("target", Json::Num(target as f64)),
+                                ]
+                            });
                             let _ = reply.send(Ok(ForecastResponse {
+                                request_id: req,
                                 horizon,
-                                target_index: base + horizon as u64 - 1,
+                                target_index: target,
                                 shape: [2, grid.height, grid.width],
                                 prediction: prediction.clone(),
                                 latent_norms: *latent_norms,
@@ -606,6 +720,39 @@ mod tests {
                 Some(want) => assert_eq!(&bits, want, "{threads} threads diverged"),
             }
         }
+    }
+
+    #[test]
+    fn quality_endpoint_scores_once_ground_truth_arrives() {
+        let cfg = tiny_config();
+        let n = cfg.spec.min_target();
+        let frame_len = 2 * cfg.grid.cells();
+        let engine = start_tiny(EngineOptions::default());
+        for i in 0..n as u64 {
+            let ack = engine.ingest(frame_at(i, frame_len)).unwrap();
+            assert!(ack.request_id > 0);
+        }
+        let q = engine.quality().unwrap();
+        assert_eq!(q.get("scored").unwrap().as_f64(), Some(0.0));
+
+        let resp = engine.forecast(1).unwrap();
+        assert!(resp.request_id > 0);
+        let q = engine.quality().unwrap();
+        assert_eq!(q.get("pending").unwrap().as_f64(), Some(1.0), "forecast journaled");
+
+        // The target frame arrives: the journal settles and scores it.
+        engine.ingest(frame_at(n as u64, frame_len)).unwrap();
+        let q = engine.quality().unwrap();
+        assert_eq!(q.get("scored").unwrap().as_f64(), Some(1.0));
+        assert_eq!(q.get("pending").unwrap().as_f64(), Some(0.0));
+        assert!(q.get("mae").unwrap().get("ewma").unwrap().as_f64().unwrap() >= 0.0);
+        let horizons = q.get("horizons").unwrap().as_arr().unwrap();
+        assert_eq!(horizons[0].get("horizon").unwrap().as_f64(), Some(1.0));
+
+        let alerts = engine.alerts().unwrap();
+        assert_eq!(alerts.get("worst").unwrap().as_str(), Some("ok"));
+        let rules = alerts.get("alerts").unwrap().as_arr().unwrap();
+        assert!(rules.iter().any(|r| r.get("name").unwrap().as_str() == Some("flow_level_shift")));
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! | `/ingest`              | POST   | one frame, JSON or raw little-endian f32 |
 //! | `/forecast?horizon=k`  | GET    | prediction + per-branch latent norms     |
 //! | `/stats`               | GET    | model facts + serving counters           |
+//! | `/quality`             | GET    | rolling forecast-error estimators        |
+//! | `/alerts`              | GET    | alert rule states                        |
 //! | `/metrics`             | GET    | Prometheus text exposition               |
 
 use std::io::{self, BufReader};
@@ -125,6 +127,8 @@ fn handle_connection(stream: TcpStream, engine: &Engine) -> io::Result<()> {
     };
     let started = Instant::now();
     let (status, content_type, body) = route(&request, engine);
+    // Recorded in nanoseconds internally; `/metrics` exports them as
+    // `_seconds` histograms (see `muse_obs::serve`).
     let latency = match request.path.as_str() {
         "/forecast" => Some(obs::histogram("serve.http.forecast_ns")),
         "/ingest" => Some(obs::histogram("serve.http.ingest_ns")),
@@ -141,9 +145,11 @@ fn route(request: &Request, engine: &Engine) -> (u16, &'static str, String) {
         ("GET", "/healthz") => healthz(engine),
         ("GET", "/stats") => stats(engine),
         ("GET", "/forecast") => forecast(request, engine),
+        ("GET", "/quality") => quality(engine),
+        ("GET", "/alerts") => alerts(engine),
         ("GET", "/metrics") => (200, METRICS_CONTENT_TYPE, obs::render_prometheus()),
         ("POST", "/ingest") => ingest(request, engine),
-        (_, "/healthz" | "/stats" | "/forecast" | "/metrics" | "/ingest") => {
+        (_, "/healthz" | "/stats" | "/forecast" | "/metrics" | "/ingest" | "/quality" | "/alerts") => {
             (405, TEXT_CONTENT_TYPE, "method not allowed\n".to_string())
         }
         _ => (404, TEXT_CONTENT_TYPE, "not found\n".to_string()),
@@ -196,17 +202,15 @@ fn stats(engine: &Engine) -> (u16, &'static str, String) {
 }
 
 fn forecast(request: &Request, engine: &Engine) -> (u16, &'static str, String) {
+    let max = engine.info().max_horizon;
+    // Validate at the HTTP layer so bad requests never reach the engine
+    // thread and the error body names the offending parameter.
     let horizon = match request.query_param("horizon") {
         None => 1,
         Some(raw) => match raw.parse::<usize>() {
-            Ok(h) => h,
-            Err(_) => {
-                return (
-                    400,
-                    JSON_CONTENT_TYPE,
-                    Json::obj([("error", Json::Str(format!("unparseable horizon '{raw}'")))]).render(),
-                )
-            }
+            Ok(h) if (1..=max).contains(&h) => h,
+            Ok(h) => return bad_horizon(format!("horizon {h} outside 1..={max}"), max),
+            Err(_) => return bad_horizon(format!("horizon must be a positive integer, got '{raw}'"), max),
         },
     };
     match engine.forecast(horizon) {
@@ -215,11 +219,44 @@ fn forecast(request: &Request, engine: &Engine) -> (u16, &'static str, String) {
     }
 }
 
+fn bad_horizon(message: String, max: usize) -> (u16, &'static str, String) {
+    (
+        400,
+        JSON_CONTENT_TYPE,
+        Json::obj([
+            ("error", Json::Str(message)),
+            ("param", Json::Str("horizon".to_string())),
+            ("max", Json::Num(max as f64)),
+        ])
+        .render(),
+    )
+}
+
+fn quality(engine: &Engine) -> (u16, &'static str, String) {
+    match engine.quality() {
+        Ok(json) => (200, JSON_CONTENT_TYPE, json.render()),
+        Err(err) => engine_error(err),
+    }
+}
+
+fn alerts(engine: &Engine) -> (u16, &'static str, String) {
+    match engine.alerts() {
+        Ok(json) => (200, JSON_CONTENT_TYPE, json.render()),
+        Err(err) => engine_error(err),
+    }
+}
+
 fn ingest(request: &Request, engine: &Engine) -> (u16, &'static str, String) {
     let content_type = request.header("content-type").unwrap_or("application/octet-stream");
     let frame = match parse_ingest_frame(content_type, &request.body) {
         Ok(frame) => frame,
-        Err(msg) => return (400, JSON_CONTENT_TYPE, Json::obj([("error", Json::Str(msg))]).render()),
+        Err(msg) => {
+            return (
+                400,
+                JSON_CONTENT_TYPE,
+                Json::obj([("error", Json::Str(msg)), ("param", Json::Str("frame".to_string()))]).render(),
+            )
+        }
     };
     match engine.ingest(frame) {
         Ok(ack) => (200, JSON_CONTENT_TYPE, ack.to_json().render()),
@@ -228,12 +265,25 @@ fn ingest(request: &Request, engine: &Engine) -> (u16, &'static str, String) {
 }
 
 fn engine_error(err: EngineError) -> (u16, &'static str, String) {
-    let status = match err {
-        EngineError::NotReady { .. } => 503,
-        EngineError::BadFrame(_) | EngineError::BadHorizon { .. } => 400,
+    let mut fields = vec![("error", Json::Str(err.to_string()))];
+    let status = match &err {
+        EngineError::NotReady { have, need } => {
+            fields.push(("have", Json::Num(*have as f64)));
+            fields.push(("need", Json::Num(*need as f64)));
+            503
+        }
+        EngineError::BadFrame(_) => {
+            fields.push(("param", Json::Str("frame".to_string())));
+            400
+        }
+        EngineError::BadHorizon { max, .. } => {
+            fields.push(("param", Json::Str("horizon".to_string())));
+            fields.push(("max", Json::Num(*max as f64)));
+            400
+        }
         EngineError::Stopped => 500,
     };
-    (status, JSON_CONTENT_TYPE, Json::obj([("error", Json::Str(err.to_string()))]).render())
+    (status, JSON_CONTENT_TYPE, Json::obj(fields).render())
 }
 
 #[cfg(test)]
@@ -293,22 +343,31 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
         assert!(body.contains("\"ready\":false"), "{body}");
 
-        // Not ready yet: /forecast is 503.
+        // Not ready yet: /forecast is 503 and says how many frames remain.
         let (head, body) = get(addr, "/forecast?horizon=1");
         assert!(head.starts_with("HTTP/1.1 503 "), "{head}");
         assert!(body.contains("not ready"), "{body}");
+        assert!(body.contains("\"have\":0"), "{body}");
+        assert!(body.contains("\"need\":"), "{body}");
 
-        // Bad horizon values are 400.
-        let (head, _) = get(addr, "/forecast?horizon=banana");
+        // Bad horizon values are 400 with a body naming the parameter.
+        let (head, body) = get(addr, "/forecast?horizon=banana");
         assert!(head.starts_with("HTTP/1.1 400 "), "{head}");
+        assert!(body.contains("\"param\":\"horizon\""), "{body}");
+        assert!(body.contains("positive integer"), "{body}");
+        let (head, body) = get(addr, "/forecast?horizon=0");
+        assert!(head.starts_with("HTTP/1.1 400 "), "{head}");
+        assert!(body.contains("\"param\":\"horizon\""), "{body}");
         let (head, body) = get(addr, "/forecast?horizon=99");
         assert!(head.starts_with("HTTP/1.1 400 "), "{head}");
         assert!(body.contains("outside"), "{body}");
+        assert!(body.contains("\"max\":2"), "{body}");
 
         // Wrong-size raw frame is 400 with the engine's message.
         let (head, body) = post(addr, "/ingest", "application/octet-stream", &[0u8; 4]);
         assert!(head.starts_with("HTTP/1.1 400 "), "{head}");
         assert!(body.contains("bad frame"), "{body}");
+        assert!(body.contains("\"param\":\"frame\""), "{body}");
 
         // Fill the window over HTTP: JSON for the first frame, raw for the rest.
         let values: Vec<String> = (0..frame_len).map(|i| format!("{}", 0.25 + i as f32 * 0.01)).collect();
@@ -338,10 +397,34 @@ mod tests {
         assert_eq!(stats.get("serving").unwrap().get("ready"), Some(&Json::Bool(true)));
         assert!(stats.get("model").unwrap().get("param_count").unwrap().as_f64().unwrap() > 0.0);
 
+        // Quality: the forecast above is journaled; one more ingest scores it.
+        let (head, body) = get(addr, "/quality");
+        assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+        let quality = obs::json::parse(&body).unwrap();
+        assert_eq!(quality.get("pending").unwrap().as_f64(), Some(1.0), "{body}");
+        // The horizon-2 forecast targets next_index + 1: two more ingests
+        // bring the ground truth past it.
+        for _ in 0..2 {
+            let (head, _) = post(addr, "/ingest", "application/octet-stream", &raw_frame);
+            assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+        }
+        let (_, body) = get(addr, "/quality");
+        let quality = obs::json::parse(&body).unwrap();
+        assert_eq!(quality.get("scored").unwrap().as_f64(), Some(1.0), "{body}");
+        assert!(quality.get("mae").unwrap().get("ewma").unwrap().as_f64().unwrap() >= 0.0);
+
+        let (head, body) = get(addr, "/alerts");
+        assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+        let alerts = obs::json::parse(&body).unwrap();
+        assert_eq!(alerts.get("worst").unwrap().as_str(), Some("ok"), "{body}");
+        assert!(!alerts.get("alerts").unwrap().as_arr().unwrap().is_empty());
+
         // Unknown path → 404; wrong method on a real route → 405; malformed
         // request → 400; unknown verb → 405.
         assert!(get(addr, "/nope").0.starts_with("HTTP/1.1 404 "));
         assert!(post(addr, "/forecast", "text/plain", b"").0.starts_with("HTTP/1.1 405 "));
+        assert!(post(addr, "/quality", "text/plain", b"").0.starts_with("HTTP/1.1 405 "));
+        assert!(post(addr, "/alerts", "text/plain", b"").0.starts_with("HTTP/1.1 405 "));
         assert!(raw(addr, b"GET /healthz HTTP/1.1\nHost: x\r\n\r\n").starts_with("HTTP/1.1 400 "));
         assert!(raw(addr, b"FROB /healthz HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405 "));
     }
@@ -364,7 +447,9 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
         assert!(head.contains("text/plain; version=0.0.4"), "{head}");
         assert!(body.contains("muse_serve_frames_ingested_total 1"), "{body}");
-        assert!(body.contains("muse_serve_http_ingest_ns_count 1"), "{body}");
+        // Latency histograms export in seconds, never raw nanoseconds.
+        assert!(body.contains("muse_serve_http_ingest_seconds_count 1"), "{body}");
+        assert!(!body.contains("_ns_count"), "{body}");
         obs::reset_metrics();
         obs::disable();
     }

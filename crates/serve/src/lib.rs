@@ -14,6 +14,10 @@
 //!   autoregressive rollout, request coalescing;
 //! * [`batcher`] — the bounded queue-draining primitive the engine batches
 //!   with;
+//! * [`journal`] — served forecasts awaiting ground truth, scored when the
+//!   target frame later arrives over `/ingest`;
+//! * [`quality`] — rolling MAE/RMSE estimators and the drift alert engine
+//!   behind `GET /quality` and `GET /alerts`;
 //! * [`api`] — wire types (`/ingest`, `/forecast`) over the repo's own JSON;
 //! * [`http`] — the TCP front end on a [`muse_parallel::ThreadPool`], built
 //!   on [`muse_obs::http`] parsing, exposing `/metrics` for Prometheus.
@@ -27,9 +31,13 @@ pub mod api;
 pub mod batcher;
 pub mod engine;
 pub mod http;
+pub mod journal;
+pub mod quality;
 pub mod window;
 
 pub use api::{ForecastResponse, IngestAck, LatentNorms};
 pub use engine::{Engine, EngineError, EngineInfo, EngineOptions, StatsSnapshot};
 pub use http::{Server, ServerOptions};
+pub use journal::{ForecastJournal, ForecastScore, PendingForecast, Settled};
+pub use quality::{QualityConfig, QualityTracker};
 pub use window::FlowWindow;

@@ -12,10 +12,17 @@
 //!   --batch-ms <n>   forecast coalescing window in ms (default 2)
 //!   --max-batch <n>  most requests coalesced per rollout (default 64)
 //!   --trace <p>      write a JSONL telemetry trace to <p> (same as MUSE_OBS=<p>)
+//!   --alert <spec>   add an alert rule (repeatable); spec syntax:
+//!                    name:kind:metric=<m>:warn=..:fire=..[:for=n] with kinds
+//!                    threshold | ewma | periodic (see muse_obs::alerts)
+//!   --no-default-alerts  drop the built-in mae_drift / flow_level_shift rules
+//!   --journal <n>    pending-forecast journal capacity (default 4096)
+//!   --quality-window <n>  rolling error-window depth (default 256)
 //! ```
 
+use muse_obs::alerts::AlertRule;
 use muse_obs::{self as obs, Json, ToJson};
-use muse_serve::{Engine, EngineOptions, Server, ServerOptions};
+use muse_serve::{Engine, EngineOptions, QualityConfig, Server, ServerOptions};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -28,11 +35,13 @@ struct Args {
     batch_ms: u64,
     max_batch: usize,
     trace: Option<PathBuf>,
+    quality: QualityConfig,
 }
 
 fn usage() -> String {
     "usage: muse-serve --checkpoint path.ckpt [--addr host:port] [--workers n] \
-     [--threads n] [--batch-ms n] [--max-batch n] [--trace path.jsonl]"
+     [--threads n] [--batch-ms n] [--max-batch n] [--trace path.jsonl] \
+     [--alert spec]... [--no-default-alerts] [--journal n] [--quality-window n]"
         .to_string()
 }
 
@@ -45,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
     let mut batch_ms = 2u64;
     let mut max_batch = 64usize;
     let mut trace = None;
+    let mut quality = QualityConfig::default();
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
@@ -67,11 +77,24 @@ fn parse_args() -> Result<Args, String> {
                 max_batch = v.parse().map_err(|_| format!("bad max-batch {v}"))?;
             }
             "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
+            "--alert" => {
+                let spec = value("--alert")?;
+                quality.alerts.push(AlertRule::parse(&spec).map_err(|e| format!("--alert {spec}: {e}"))?);
+            }
+            "--no-default-alerts" => quality.default_alerts = false,
+            "--journal" => {
+                let v = value("--journal")?;
+                quality.journal_capacity = v.parse().map_err(|_| format!("bad journal {v}"))?;
+            }
+            "--quality-window" => {
+                let v = value("--quality-window")?;
+                quality.window = v.parse().map_err(|_| format!("bad quality-window {v}"))?;
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
     let checkpoint = checkpoint.ok_or(format!("--checkpoint is required\n{}", usage()))?;
-    Ok(Args { checkpoint, addr, workers, threads, batch_ms, max_batch, trace })
+    Ok(Args { checkpoint, addr, workers, threads, batch_ms, max_batch, trace, quality })
 }
 
 fn main() {
@@ -100,6 +123,7 @@ fn main() {
         threads: args.threads,
         batch_window: Duration::from_millis(args.batch_ms),
         max_batch: args.max_batch.max(1),
+        quality: args.quality.clone(),
     };
     let engine = match Engine::from_checkpoint(&args.checkpoint, engine_opts) {
         Ok(engine) => Arc::new(engine),
@@ -146,8 +170,13 @@ fn main() {
         );
     }
     // Serve until the process is killed; the accept loop runs on its own
-    // thread and there is no signal handling without a libc dependency.
+    // thread and there is no signal handling without a libc dependency. The
+    // trace is flushed every second so an external `kill` (which never runs
+    // close_trace) still leaves a usable JSONL file for `muse-trace`.
     loop {
-        std::thread::sleep(Duration::from_secs(3600));
+        std::thread::sleep(Duration::from_secs(1));
+        if tracing {
+            obs::flush_trace();
+        }
     }
 }

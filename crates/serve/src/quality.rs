@@ -1,0 +1,424 @@
+//! Live forecast-quality tracking: ground-truth scoring, rolling error
+//! estimators, and drift alerts — the serve path's answer to "is the model
+//! still any good?".
+//!
+//! The engine owns one [`QualityTracker`]. On every `/forecast` it records
+//! the served prediction in a [`ForecastJournal`]; on every `/ingest` it
+//! settles the journal against the newly arrived ground truth, folds the
+//! scores into rolling estimators ([`muse_obs::rolling`]), feeds the alert
+//! engine ([`muse_obs::alerts`]), and publishes everything three ways:
+//!
+//! * gauges/counters on the registry (scraped via `/metrics`),
+//! * `forecast.scored` / `forecast.dropped` / `alert.transition` events in
+//!   the JSONL trace (analyzed by `muse-trace quality`),
+//! * JSON snapshots behind `GET /quality` and `GET /alerts`.
+//!
+//! Two default alert rules watch for the paper's distribution shifts:
+//! `mae_drift` (EWMA level shift on scored MAE — needs the model to be
+//! wrong) and `flow_level_shift` (periodic-mean residual blowout on the
+//! ingested flow level itself — fires on drift even before any forecast is
+//! scored, PRNet-style per-slot expected values as the baseline).
+
+use muse_obs::alerts::{self, AlertEngine, AlertRule, AlertState};
+use muse_obs::rolling::{DecayingHistogram, Ewma, RollingStats};
+use muse_obs::{self as obs, Json};
+use std::collections::BTreeMap;
+
+use crate::journal::{ForecastJournal, PendingForecast, Settled};
+use crate::window::FlowWindow;
+
+/// Errors are tracked in scaled flow units (typically ≪ 1); the decayed
+/// power-of-two histogram needs integer-scale values to resolve them, so
+/// it stores micro-units.
+const ERR_HIST_SCALE: f64 = 1e6;
+
+/// Quality-subsystem tuning knobs (part of the engine options).
+#[derive(Debug, Clone)]
+pub struct QualityConfig {
+    /// Most pending forecasts retained awaiting ground truth.
+    pub journal_capacity: usize,
+    /// Exact rolling-window depth of the error estimators.
+    pub window: usize,
+    /// Smoothing factor of the headline MAE/RMSE EWMAs.
+    pub ewma_alpha: f64,
+    /// Half-life (in scored forecasts) of the decayed error histogram.
+    pub decay_half_life: f64,
+    /// Install the built-in `mae_drift` / `flow_level_shift` rules.
+    pub default_alerts: bool,
+    /// Additional alert rules (see [`AlertRule::parse`]).
+    pub alerts: Vec<AlertRule>,
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        QualityConfig {
+            journal_capacity: 4096,
+            window: 256,
+            ewma_alpha: 0.1,
+            decay_half_life: 128.0,
+            default_alerts: true,
+            alerts: Vec::new(),
+        }
+    }
+}
+
+/// The built-in alert rules, parameterized by the day length (periodic
+/// slots). Kept as specs so the README can document exactly these strings.
+pub fn default_rules(slots: usize) -> Vec<AlertRule> {
+    [
+        "mae_drift:ewma:metric=quality.mae:fast=0.3:slow=0.03:warn=1.6:fire=2.2:warmup=12:for=3".to_string(),
+        format!(
+            "flow_level_shift:periodic:metric=serve.flow.mean:slots={slots}:warn=0.35:fire=0.6:min_periods=2:floor=0.05:for=2"
+        ),
+    ]
+    .iter()
+    .map(|spec| AlertRule::parse(spec).expect("built-in alert specs parse"))
+    .collect()
+}
+
+/// Rolling error estimators for one horizon.
+#[derive(Debug, Clone)]
+struct HorizonStats {
+    mae_win: RollingStats,
+    rmse_win: RollingStats,
+    mae_ewma: Ewma,
+    rmse_ewma: Ewma,
+    scored: u64,
+}
+
+impl HorizonStats {
+    fn new(cfg: &QualityConfig) -> HorizonStats {
+        HorizonStats {
+            mae_win: RollingStats::new(cfg.window),
+            rmse_win: RollingStats::new(cfg.window),
+            mae_ewma: Ewma::new(cfg.ewma_alpha),
+            rmse_ewma: Ewma::new(cfg.ewma_alpha),
+            scored: 0,
+        }
+    }
+}
+
+/// The engine-owned quality state: journal + estimators + alert engine.
+pub struct QualityTracker {
+    journal: ForecastJournal,
+    cfg: QualityConfig,
+    /// Time-of-day slots (intervals per day) for periodic baselines.
+    slots: usize,
+    alerts: AlertEngine,
+    mae_ewma: Ewma,
+    rmse_ewma: Ewma,
+    mae_win: RollingStats,
+    rmse_win: RollingStats,
+    mae_inflow: Ewma,
+    mae_outflow: Ewma,
+    err_hist: DecayingHistogram,
+    per_horizon: BTreeMap<usize, HorizonStats>,
+    scored: u64,
+    dropped: u64,
+    last_flow_mean: f64,
+}
+
+impl QualityTracker {
+    /// Build the tracker for a model with `slots` intervals per day.
+    pub fn new(slots: usize, cfg: &QualityConfig) -> QualityTracker {
+        let mut rules = if cfg.default_alerts { default_rules(slots.max(1)) } else { Vec::new() };
+        rules.extend(cfg.alerts.iter().cloned());
+        QualityTracker {
+            journal: ForecastJournal::new(cfg.journal_capacity),
+            cfg: cfg.clone(),
+            slots: slots.max(1),
+            alerts: AlertEngine::with_rules(rules),
+            mae_ewma: Ewma::new(cfg.ewma_alpha),
+            rmse_ewma: Ewma::new(cfg.ewma_alpha),
+            mae_win: RollingStats::new(cfg.window),
+            rmse_win: RollingStats::new(cfg.window),
+            mae_inflow: Ewma::new(cfg.ewma_alpha),
+            mae_outflow: Ewma::new(cfg.ewma_alpha),
+            err_hist: DecayingHistogram::with_half_life(cfg.decay_half_life),
+            per_horizon: BTreeMap::new(),
+            scored: 0,
+            dropped: 0,
+            last_flow_mean: 0.0,
+        }
+    }
+
+    /// Record one served forecast awaiting ground truth.
+    pub fn record_forecast(
+        &mut self,
+        request: u64,
+        rollout: u64,
+        horizon: usize,
+        target: u64,
+        prediction: &[f32],
+    ) {
+        let evicted = self.journal.record(PendingForecast {
+            request,
+            rollout,
+            horizon,
+            target,
+            prediction: prediction.to_vec(),
+        });
+        if let Some(old) = evicted {
+            self.count_dropped(old.request, old.horizon, old.target, "journal_overflow");
+        }
+    }
+
+    /// Fold in one ingested ground-truth frame: update the flow-level
+    /// signal, settle every now-scorable journal entry, and run alerts.
+    pub fn on_ingest(&mut self, window: &FlowWindow, index: u64, frame: &[f32]) {
+        let mean = if frame.is_empty() {
+            0.0
+        } else {
+            frame.iter().map(|&v| v as f64).sum::<f64>() / frame.len() as f64
+        };
+        self.last_flow_mean = mean;
+        obs::gauge("serve.flow.mean").set(mean);
+        let slot = (index % self.slots as u64) as usize;
+        let mut transitions = self.alerts.observe_slot("serve.flow.mean", slot, mean);
+
+        for settled in self.journal.settle(window) {
+            match settled {
+                Settled::Scored(s) => {
+                    self.scored += 1;
+                    self.mae_ewma.update(s.mae);
+                    self.rmse_ewma.update(s.rmse);
+                    self.mae_win.push(s.mae);
+                    self.rmse_win.push(s.rmse);
+                    self.mae_inflow.update(s.mae_inflow);
+                    self.mae_outflow.update(s.mae_outflow);
+                    self.err_hist.record(s.mae * ERR_HIST_SCALE);
+                    let h = self.per_horizon.entry(s.horizon).or_insert_with(|| HorizonStats::new(&self.cfg));
+                    h.scored += 1;
+                    h.mae_win.push(s.mae);
+                    h.rmse_win.push(s.rmse);
+                    h.mae_ewma.update(s.mae);
+                    h.rmse_ewma.update(s.rmse);
+
+                    obs::counter("serve.forecasts_scored").add(1);
+                    obs::gauge("quality.mae").set(self.mae_ewma.value());
+                    obs::gauge("quality.rmse").set(self.rmse_ewma.value());
+                    obs::gauge_owned(&format!("quality.mae.h{}", s.horizon)).set(h.mae_ewma.value());
+                    obs::gauge_owned(&format!("quality.rmse.h{}", s.horizon)).set(h.rmse_ewma.value());
+                    obs::emit_with("forecast.scored", || {
+                        vec![
+                            ("request", Json::Num(s.request as f64)),
+                            ("rollout", Json::Num(s.rollout as f64)),
+                            ("horizon", Json::Num(s.horizon as f64)),
+                            ("target", Json::Num(s.target as f64)),
+                            ("mae", Json::Num(s.mae)),
+                            ("rmse", Json::Num(s.rmse)),
+                            ("mae_inflow", Json::Num(s.mae_inflow)),
+                            ("mae_outflow", Json::Num(s.mae_outflow)),
+                        ]
+                    });
+                    transitions.extend(self.alerts.observe("quality.mae", s.mae));
+                    transitions.extend(self.alerts.observe("quality.rmse", s.rmse));
+                }
+                Settled::Dropped { request, horizon, target } => {
+                    self.count_dropped(request, horizon, target, "target_evicted");
+                }
+            }
+        }
+        alerts::publish(&self.alerts, &transitions);
+    }
+
+    fn count_dropped(&mut self, request: u64, horizon: usize, target: u64, reason: &'static str) {
+        self.dropped += 1;
+        obs::counter("serve.forecasts_dropped").add(1);
+        obs::emit_with("forecast.dropped", || {
+            vec![
+                ("request", Json::Num(request as f64)),
+                ("horizon", Json::Num(horizon as f64)),
+                ("target", Json::Num(target as f64)),
+                ("reason", Json::Str(reason.to_string())),
+            ]
+        });
+    }
+
+    /// Forecasts scored so far.
+    pub fn scored(&self) -> u64 {
+        self.scored
+    }
+
+    /// Forecasts that could never be scored.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Worst state across the alert rules.
+    pub fn worst_alert(&self) -> AlertState {
+        self.alerts.worst()
+    }
+
+    /// State of one named alert (test/assertion helper).
+    pub fn alert_state(&self, name: &str) -> Option<AlertState> {
+        self.alerts.state_of(name)
+    }
+
+    /// The `GET /quality` payload.
+    pub fn snapshot_json(&self) -> Json {
+        let err_block = |ewma: &Ewma, win: &RollingStats| {
+            Json::obj([
+                ("ewma", Json::Num(ewma.value())),
+                ("ewma_std", Json::Num(ewma.std())),
+                ("window_mean", Json::Num(win.mean())),
+                ("window_p50", Json::Num(win.quantile(0.5))),
+                ("window_p90", Json::Num(win.quantile(0.9))),
+                ("window_max", Json::Num(if win.is_empty() { 0.0 } else { win.max() })),
+                ("window_len", Json::Num(win.len() as f64)),
+            ])
+        };
+        let horizons = Json::Arr(
+            self.per_horizon
+                .iter()
+                .map(|(h, s)| {
+                    Json::obj([
+                        ("horizon", Json::Num(*h as f64)),
+                        ("scored", Json::Num(s.scored as f64)),
+                        ("mae", Json::Num(s.mae_ewma.value())),
+                        ("rmse", Json::Num(s.rmse_ewma.value())),
+                        ("window_mae", Json::Num(s.mae_win.mean())),
+                        ("window_rmse", Json::Num(s.rmse_win.mean())),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("scored", Json::Num(self.scored as f64)),
+            ("dropped", Json::Num(self.dropped as f64)),
+            ("pending", Json::Num(self.journal.pending() as f64)),
+            ("recorded", Json::Num(self.journal.recorded() as f64)),
+            ("mae", err_block(&self.mae_ewma, &self.mae_win)),
+            ("rmse", err_block(&self.rmse_ewma, &self.rmse_win)),
+            (
+                "channels",
+                Json::obj([
+                    ("inflow_mae", Json::Num(self.mae_inflow.value())),
+                    ("outflow_mae", Json::Num(self.mae_outflow.value())),
+                ]),
+            ),
+            (
+                "mae_decayed",
+                Json::obj([
+                    ("p50", Json::Num(self.err_hist.quantile(0.5) / ERR_HIST_SCALE)),
+                    ("p90", Json::Num(self.err_hist.quantile(0.9) / ERR_HIST_SCALE)),
+                    ("mean", Json::Num(self.err_hist.mean() / ERR_HIST_SCALE)),
+                ]),
+            ),
+            ("horizons", horizons),
+            ("flow_mean", Json::Num(self.last_flow_mean)),
+            ("worst_alert", Json::Str(self.alerts.worst().as_str().to_string())),
+        ])
+    }
+
+    /// The `GET /alerts` payload.
+    pub fn alerts_json(&self) -> Json {
+        Json::obj([
+            ("worst", Json::Str(self.alerts.worst().as_str().to_string())),
+            ("alerts", self.alerts.statuses_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_traffic::GridMap;
+
+    fn tracker(slots: usize) -> QualityTracker {
+        QualityTracker::new(slots, &QualityConfig::default())
+    }
+
+    #[test]
+    fn scores_flow_into_estimators_and_snapshot() {
+        let mut w = FlowWindow::new(GridMap::new(1, 1), 8);
+        let mut t = tracker(4);
+        // Forecast frame 0 as [1,3]; truth arrives as [2,1] → mae 1.5.
+        t.record_forecast(11, 1, 1, 0, &[1.0, 3.0]);
+        w.push(&[2.0, 1.0]).unwrap();
+        t.on_ingest(&w, 0, &[2.0, 1.0]);
+        assert_eq!(t.scored(), 1);
+        assert_eq!(t.dropped(), 0);
+        let snap = t.snapshot_json();
+        assert_eq!(snap.get("scored").unwrap().as_f64(), Some(1.0));
+        assert_eq!(snap.get("mae").unwrap().get("ewma").unwrap().as_f64(), Some(1.5));
+        assert_eq!(snap.get("channels").unwrap().get("inflow_mae").unwrap().as_f64(), Some(1.0));
+        assert_eq!(snap.get("channels").unwrap().get("outflow_mae").unwrap().as_f64(), Some(2.0));
+        let horizons = snap.get("horizons").unwrap().as_arr().unwrap();
+        assert_eq!(horizons.len(), 1);
+        assert_eq!(horizons[0].get("horizon").unwrap().as_f64(), Some(1.0));
+        assert_eq!(t.worst_alert(), AlertState::Ok);
+    }
+
+    #[test]
+    fn flow_level_shift_alert_fires_on_injected_drift() {
+        let mut w = FlowWindow::new(GridMap::new(1, 1), 8);
+        let slots = 4;
+        let mut t = tracker(slots);
+        // Periodic flow pattern, 6 clean days.
+        let pattern = [0.1f32, 0.8, 0.5, 0.2];
+        let mut index = 0u64;
+        for _ in 0..6 {
+            for &v in &pattern {
+                w.push(&[v, v]).unwrap();
+                t.on_ingest(&w, index, &[v, v]);
+                index += 1;
+            }
+        }
+        assert_eq!(t.alert_state("flow_level_shift"), Some(AlertState::Ok));
+        // 3x level shift: fires after `for=2` consecutive blown residuals.
+        let mut fired_after = None;
+        for step in 0..(2 * slots) {
+            let v = pattern[(index % slots as u64) as usize] * 3.0;
+            w.push(&[v, v]).unwrap();
+            t.on_ingest(&w, index, &[v, v]);
+            index += 1;
+            if fired_after.is_none() && t.alert_state("flow_level_shift") == Some(AlertState::Firing) {
+                fired_after = Some(step + 1);
+            }
+        }
+        assert_eq!(fired_after, Some(2), "periodic rule fires on the second shifted frame");
+    }
+
+    #[test]
+    fn journal_overflow_and_eviction_count_as_dropped() {
+        let mut cfg = QualityConfig { journal_capacity: 1, ..QualityConfig::default() };
+        cfg.default_alerts = false;
+        let mut w = FlowWindow::new(GridMap::new(1, 1), 2);
+        let mut t = QualityTracker::new(4, &cfg);
+        // Second record evicts the first (journal capacity 1).
+        t.record_forecast(1, 1, 1, 0, &[0.0, 0.0]);
+        t.record_forecast(2, 1, 2, 1, &[0.0, 0.0]);
+        assert_eq!(t.dropped(), 1);
+        // Ring of capacity 2: after frames 0..=3 land, the live range is
+        // [2, 4) — target 1 is gone when settle finally runs.
+        for (i, v) in [0.5f32, 0.6, 0.7, 0.8].iter().enumerate() {
+            w.push(&[*v, *v]).unwrap();
+            if i < 3 {
+                continue;
+            }
+            t.on_ingest(&w, i as u64, &[*v, *v]);
+        }
+        assert_eq!(t.dropped(), 2, "evicted target also drops");
+        assert_eq!(t.scored(), 0);
+    }
+
+    #[test]
+    fn custom_rules_replace_defaults_when_disabled() {
+        let cfg = QualityConfig {
+            default_alerts: false,
+            alerts: vec![
+                AlertRule::parse("mae_cap:threshold:metric=quality.mae:warn=1:fire=2:for=1").unwrap()
+            ],
+            ..QualityConfig::default()
+        };
+        let mut t = QualityTracker::new(4, &cfg);
+        assert_eq!(t.alert_state("flow_level_shift"), None);
+        let mut w = FlowWindow::new(GridMap::new(1, 1), 4);
+        t.record_forecast(1, 1, 1, 0, &[5.0, 5.0]);
+        w.push(&[0.0, 0.0]).unwrap();
+        t.on_ingest(&w, 0, &[0.0, 0.0]);
+        assert_eq!(t.alert_state("mae_cap"), Some(AlertState::Firing));
+        assert_eq!(t.alerts_json().get("worst").unwrap().as_str(), Some("firing"));
+    }
+}

@@ -109,6 +109,19 @@ impl FlowWindow {
         let slot = (abs % self.capacity as u64) as usize * self.frame_len;
         &self.data[slot..slot + self.frame_len]
     }
+
+    /// Borrow the frame at absolute index `abs`, or `None` when it was
+    /// evicted or not ingested yet. The forecast journal settles against
+    /// ground truth with this: a target frame that fell off the ring (the
+    /// daemon outlived the journal's patience) must score as *dropped*,
+    /// never panic the engine thread.
+    pub fn try_frame(&self, abs: u64) -> Option<&[f32]> {
+        if abs >= self.next || self.next - abs > self.capacity as u64 {
+            return None;
+        }
+        let slot = (abs % self.capacity as u64) as usize * self.frame_len;
+        Some(&self.data[slot..slot + self.frame_len])
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +175,39 @@ mod tests {
     fn future_frame_panics() {
         let w = FlowWindow::new(GridMap::new(1, 1), 2);
         let _ = w.frame(0);
+    }
+
+    #[test]
+    fn try_frame_covers_live_evicted_and_future_indices() {
+        let mut w = FlowWindow::new(GridMap::new(2, 3), 4);
+        assert_eq!(w.try_frame(0), None, "nothing ingested yet");
+        for i in 0..6u64 {
+            w.push(&frame(&w, i as f32)).unwrap();
+        }
+        // Live range is [2, 6): absolute indices resolve to their own data.
+        for i in 2..6u64 {
+            let got = w.try_frame(i).expect("live frame");
+            assert!(got.iter().all(|&v| v == i as f32), "frame {i}");
+        }
+        assert_eq!(w.try_frame(0), None, "evicted by wraparound");
+        assert_eq!(w.try_frame(1), None, "evicted by wraparound");
+        assert_eq!(w.try_frame(6), None, "future frame");
+        assert_eq!(w.try_frame(u64::MAX), None, "absurd index is benign");
+    }
+
+    #[test]
+    fn try_frame_exact_boundary_at_capacity() {
+        // With capacity 2 and 2 frames ingested, both are still live.
+        let mut w = FlowWindow::new(GridMap::new(1, 1), 2);
+        w.push(&[10.0, 10.0]).unwrap();
+        w.push(&[11.0, 11.0]).unwrap();
+        assert_eq!(w.try_frame(0), Some(&[10.0, 10.0][..]));
+        assert_eq!(w.try_frame(1), Some(&[11.0, 11.0][..]));
+        // One more push evicts exactly index 0.
+        w.push(&[12.0, 12.0]).unwrap();
+        assert_eq!(w.try_frame(0), None);
+        assert_eq!(w.try_frame(1), Some(&[11.0, 11.0][..]));
+        assert_eq!(w.try_frame(2), Some(&[12.0, 12.0][..]));
     }
 
     #[test]

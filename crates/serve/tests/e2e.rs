@@ -111,7 +111,7 @@ fn daemon_forecast_is_bit_identical_to_in_process_model() {
         for h in 1..=horizons {
             let (head, body) = get(addr, &format!("/forecast?horizon={h}"));
             assert!(head.starts_with("HTTP/1.1 200 "), "{head} {body}");
-            let resp = ForecastResponse::from_json(&obs::json::parse(&body).unwrap()).unwrap();
+            let mut resp = ForecastResponse::from_json(&obs::json::parse(&body).unwrap()).unwrap();
             assert_eq!(resp.horizon, h);
             assert_eq!(resp.target_index, (t + h - 1) as u64);
             assert_eq!(resp.shape, [2, grid.height, grid.width]);
@@ -123,7 +123,10 @@ fn daemon_forecast_is_bit_identical_to_in_process_model() {
             );
             assert!(resp.latent_norms.closeness.is_finite());
             assert!(resp.latent_norms.interactive.is_finite());
-            bodies.push_str(&body);
+            // Request IDs are unique per request by design; normalize them
+            // before comparing the rest of the payload byte-for-byte.
+            resp.request_id = 0;
+            bodies.push_str(&resp.to_json().render());
             bodies.push('\n');
         }
         match bodies_by_threads.first() {

@@ -8,7 +8,10 @@
 //!   totals from `train.end`;
 //! * per-bench results (`bench.result`) and the final `kernel.summary`
 //!   (kernel totals plus counter/gauge snapshots);
-//! * span exit events for flame folding.
+//! * span exit events for flame folding;
+//! * serve-path quality events: scored/dropped forecasts, alert
+//!   transitions, request lifecycles, and rollout coalescing (the input
+//!   to `muse-trace quality`).
 //!
 //! Unknown events are kept in [`TraceData::events`] but otherwise ignored,
 //! so traces from newer writers stay loadable.
@@ -143,6 +146,91 @@ impl KernelRow {
     }
 }
 
+/// One `forecast.scored` event: a served forecast matched against the
+/// ground-truth frame that later arrived for its target index.
+#[derive(Debug, Clone)]
+pub struct QualitySample {
+    /// Request id of the forecast that was scored.
+    pub request: u64,
+    /// Rollout batch the forecast was computed in.
+    pub rollout: u64,
+    /// Forecast horizon in frames.
+    pub horizon: usize,
+    /// Absolute target frame index.
+    pub target: u64,
+    /// Mean absolute error over the frame.
+    pub mae: f64,
+    /// Root-mean-square error over the frame.
+    pub rmse: f64,
+    /// MAE over the inflow half of the frame.
+    pub mae_inflow: f64,
+    /// MAE over the outflow half of the frame.
+    pub mae_outflow: f64,
+}
+
+/// One `forecast.dropped` event: a journaled forecast that could not be
+/// scored (its target frame was evicted, or the journal overflowed).
+#[derive(Debug, Clone)]
+pub struct DroppedForecast {
+    /// Request id of the dropped forecast.
+    pub request: u64,
+    /// Forecast horizon in frames.
+    pub horizon: usize,
+    /// Absolute target frame index it was waiting for.
+    pub target: u64,
+    /// Why it was dropped (`journal_overflow` / `target_evicted`).
+    pub reason: String,
+}
+
+/// One `alert.transition` event: an alert rule changed state.
+#[derive(Debug, Clone)]
+pub struct AlertEvent {
+    /// Alert rule name.
+    pub alert: String,
+    /// The metric the rule watches.
+    pub metric: String,
+    /// State before the transition (`ok`/`warning`/`firing`).
+    pub from: String,
+    /// State after the transition.
+    pub to: String,
+    /// The metric value that caused the transition.
+    pub value: f64,
+}
+
+/// One request-lifecycle event (`req.ingest` / `req.forecast` /
+/// `req.reject`), flattened into a single row keyed by request id.
+#[derive(Debug, Clone)]
+pub struct RequestEvent {
+    /// Which lifecycle stage this row records (`ingest`/`forecast`/`reject`).
+    pub kind: String,
+    /// Request id.
+    pub request: u64,
+    /// Absolute frame index (ingests only).
+    pub index: Option<u64>,
+    /// Rollout batch id (forecasts only).
+    pub rollout: Option<u64>,
+    /// Forecast horizon (forecasts only).
+    pub horizon: Option<usize>,
+    /// Absolute target frame index (forecasts only).
+    pub target: Option<u64>,
+    /// Pipeline stage that rejected the request (rejects only).
+    pub stage: Option<String>,
+    /// Rejection reason (rejects only).
+    pub reason: Option<String>,
+}
+
+/// One `req.coalesce` event: the engine batching several pending forecast
+/// requests into a single model rollout.
+#[derive(Debug, Clone)]
+pub struct CoalesceEvent {
+    /// Rollout batch id assigned to the coalesced work.
+    pub rollout: u64,
+    /// How many requests were folded into the rollout.
+    pub batch_size: usize,
+    /// The request ids, in service order.
+    pub requests: Vec<u64>,
+}
+
 /// One `span.exit` event.
 #[derive(Debug, Clone)]
 pub struct SpanExit {
@@ -180,6 +268,16 @@ pub struct TraceData {
     pub gauges: BTreeMap<String, f64>,
     /// `span.exit` events in order (the input to flame folding).
     pub span_exits: Vec<SpanExit>,
+    /// `forecast.scored` events in order (the serve-path error trajectory).
+    pub quality_samples: Vec<QualitySample>,
+    /// `forecast.dropped` events in order.
+    pub dropped_forecasts: Vec<DroppedForecast>,
+    /// `alert.transition` events in order (the alert chronology).
+    pub alert_events: Vec<AlertEvent>,
+    /// Request lifecycle events (`req.ingest`/`req.forecast`/`req.reject`).
+    pub request_events: Vec<RequestEvent>,
+    /// `req.coalesce` events in order.
+    pub coalesces: Vec<CoalesceEvent>,
 }
 
 fn num(ev: &Json, key: &str) -> f64 {
@@ -303,6 +401,61 @@ impl TraceData {
                         dur_ns: unum(ev, "dur_ns"),
                     });
                 }
+                "forecast.scored" => {
+                    data.quality_samples.push(QualitySample {
+                        request: unum(ev, "request"),
+                        rollout: unum(ev, "rollout"),
+                        horizon: unum(ev, "horizon") as usize,
+                        target: unum(ev, "target"),
+                        mae: num(ev, "mae"),
+                        rmse: num(ev, "rmse"),
+                        mae_inflow: num(ev, "mae_inflow"),
+                        mae_outflow: num(ev, "mae_outflow"),
+                    });
+                }
+                "forecast.dropped" => {
+                    data.dropped_forecasts.push(DroppedForecast {
+                        request: unum(ev, "request"),
+                        horizon: unum(ev, "horizon") as usize,
+                        target: unum(ev, "target"),
+                        reason: ev.get("reason").and_then(Json::as_str).unwrap_or("?").to_string(),
+                    });
+                }
+                "alert.transition" => {
+                    data.alert_events.push(AlertEvent {
+                        alert: ev.get("alert").and_then(Json::as_str).unwrap_or("?").to_string(),
+                        metric: ev.get("metric").and_then(Json::as_str).unwrap_or("?").to_string(),
+                        from: ev.get("from").and_then(Json::as_str).unwrap_or("?").to_string(),
+                        to: ev.get("to").and_then(Json::as_str).unwrap_or("?").to_string(),
+                        value: num(ev, "value"),
+                    });
+                }
+                "req.ingest" | "req.forecast" | "req.reject" => {
+                    let opt_u = |key: &str| ev.get(key).and_then(Json::as_f64).map(|v| v.max(0.0) as u64);
+                    let opt_s = |key: &str| ev.get(key).and_then(Json::as_str).map(|s| s.to_string());
+                    data.request_events.push(RequestEvent {
+                        kind: kind.trim_start_matches("req.").to_string(),
+                        request: unum(ev, "request"),
+                        index: opt_u("index"),
+                        rollout: opt_u("rollout"),
+                        horizon: opt_u("horizon").map(|h| h as usize),
+                        target: opt_u("target"),
+                        stage: opt_s("stage"),
+                        reason: opt_s("reason"),
+                    });
+                }
+                "req.coalesce" => {
+                    let requests = ev
+                        .get("requests")
+                        .and_then(Json::as_arr)
+                        .map(|rs| rs.iter().filter_map(Json::as_f64).map(|v| v.max(0.0) as u64).collect())
+                        .unwrap_or_default();
+                    data.coalesces.push(CoalesceEvent {
+                        rollout: unum(ev, "rollout"),
+                        batch_size: unum(ev, "batch_size") as usize,
+                        requests,
+                    });
+                }
                 _ => {}
             }
         }
@@ -401,6 +554,43 @@ mod tests {
         // The torn train.end never folded: totals stay None.
         assert_eq!(data.runs[0].duration_ms, None);
         assert_eq!(data.runs[0].epochs[0].val_rmse, None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn folds_serve_quality_events() {
+        let path = write_lines(
+            "ingest_quality.jsonl",
+            &[
+                r#"{"ev":"req.ingest","seq":0,"request":1,"index":21}"#,
+                r#"{"ev":"req.coalesce","seq":1,"rollout":1,"batch_size":2,"requests":[2,3]}"#,
+                r#"{"ev":"req.forecast","seq":2,"request":2,"rollout":1,"horizon":1,"target":21}"#,
+                r#"{"ev":"req.forecast","seq":3,"request":3,"rollout":1,"horizon":2,"target":22}"#,
+                r#"{"ev":"req.reject","seq":4,"request":4,"stage":"forecast","reason":"bad_horizon"}"#,
+                r#"{"ev":"forecast.scored","seq":5,"request":2,"rollout":1,"horizon":1,"target":21,"mae":0.125,"rmse":0.25,"mae_inflow":0.1,"mae_outflow":0.15}"#,
+                r#"{"ev":"forecast.dropped","seq":6,"request":3,"horizon":2,"target":22,"reason":"target_evicted"}"#,
+                r#"{"ev":"alert.transition","seq":7,"alert":"flow_level_shift","metric":"serve.flow.mean","from":"ok","to":"firing","value":1.5}"#,
+            ],
+        );
+        let data = TraceData::load(&path).unwrap();
+        assert_eq!(data.quality_samples.len(), 1);
+        let s = &data.quality_samples[0];
+        assert_eq!((s.request, s.rollout, s.horizon, s.target), (2, 1, 1, 21));
+        assert_eq!((s.mae, s.rmse), (0.125, 0.25));
+        assert_eq!(data.dropped_forecasts.len(), 1);
+        assert_eq!(data.dropped_forecasts[0].reason, "target_evicted");
+        assert_eq!(data.alert_events.len(), 1);
+        assert_eq!(data.alert_events[0].alert, "flow_level_shift");
+        assert_eq!(data.alert_events[0].to, "firing");
+        assert_eq!(data.request_events.len(), 4);
+        assert_eq!(data.request_events[0].kind, "ingest");
+        assert_eq!(data.request_events[0].index, Some(21));
+        assert_eq!(data.request_events[1].kind, "forecast");
+        assert_eq!(data.request_events[1].rollout, Some(1));
+        assert_eq!(data.request_events[3].kind, "reject");
+        assert_eq!(data.request_events[3].reason.as_deref(), Some("bad_horizon"));
+        assert_eq!(data.coalesces.len(), 1);
+        assert_eq!(data.coalesces[0].requests, vec![2, 3]);
         let _ = std::fs::remove_file(&path);
     }
 

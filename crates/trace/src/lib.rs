@@ -19,13 +19,20 @@
 //!                                             flamegraph.pl-compatible
 //! muse-trace promcheck <file|->               validate Prometheus text
 //!                                             exposition (CI smoke)
+//! muse-trace quality <trace.jsonl>            serve-path quality story:
+//!                                             error trajectory, alert
+//!                                             chronology, request lifecycles
 //! ```
 
 pub mod diff;
 pub mod flame;
 pub mod ingest;
 pub mod prometheus;
+pub mod quality;
 pub mod report;
 pub mod tolerance;
 
-pub use ingest::{BenchResult, EpochRow, KernelRow, SpanExit, TraceData, TrainRun};
+pub use ingest::{
+    AlertEvent, BenchResult, CoalesceEvent, DroppedForecast, EpochRow, KernelRow, QualitySample,
+    RequestEvent, SpanExit, TraceData, TrainRun,
+};

@@ -5,12 +5,13 @@
 //! muse-trace diff <base.jsonl> <new.jsonl> [tol]    regression diff
 //! muse-trace flame <trace.jsonl> [--out <file>]     collapsed stacks
 //! muse-trace promcheck <file|->                     validate /metrics output
+//! muse-trace quality <trace.jsonl>                  serve-path quality story
 //! ```
 //!
 //! Exit codes: 0 ok, 1 regression/validation failure or unreadable input,
 //! 2 usage error.
 
-use muse_trace::{diff, flame, ingest::TraceData, prometheus, report, tolerance};
+use muse_trace::{diff, flame, ingest::TraceData, prometheus, quality, report, tolerance};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -24,12 +25,14 @@ fn main() -> ExitCode {
         ["flame", trace] => cmd_flame(trace, None),
         ["flame", trace, "--out", out] => cmd_flame(trace, Some(out)),
         ["promcheck", input] => cmd_promcheck(input),
+        ["quality", trace] => cmd_quality(trace),
         _ => {
             eprintln!(
                 "usage: muse-trace report <trace.jsonl>\n       \
                  muse-trace diff <base.jsonl> <new.jsonl> [tolerance]\n       \
                  muse-trace flame <trace.jsonl> [--out <collapsed.txt>]\n       \
-                 muse-trace promcheck <metrics.txt|->"
+                 muse-trace promcheck <metrics.txt|->\n       \
+                 muse-trace quality <trace.jsonl>"
             );
             return ExitCode::from(2);
         }
@@ -95,6 +98,12 @@ fn cmd_flame(trace: &str, out: Option<&str>) -> Result<(), String> {
             span.total_ns as f64 / 1e6
         );
     }
+    Ok(())
+}
+
+fn cmd_quality(trace: &str) -> Result<(), String> {
+    let data = load(trace)?;
+    print!("{}", quality::render(&data));
     Ok(())
 }
 

@@ -6,6 +6,10 @@
 
 use std::collections::BTreeMap;
 
+/// Raw time-unit suffixes that must never appear on an exported family —
+/// Prometheus metrics use base units, so durations are `_seconds`.
+const FORBIDDEN_UNIT_SUFFIXES: [&str; 6] = ["_ns", "_nanos", "_us", "_micros", "_ms", "_millis"];
+
 /// One sample line: `name{label="v",...} value`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
@@ -38,7 +42,10 @@ impl Exposition {
     /// * counters are non-negative and end in `_total`;
     /// * histograms have `_sum`/`_count` and a `+Inf` bucket whose
     ///   cumulative count equals `_count`;
-    /// * bucket counts are monotonically non-decreasing in `le` order.
+    /// * bucket counts are monotonically non-decreasing in `le` order;
+    /// * no family carries a raw time-unit suffix (`_ns`, `_ms`, …) —
+    ///   Prometheus convention is base units, so durations export as
+    ///   `_seconds`.
     pub fn validate(&self) -> Result<(), String> {
         if self.samples.is_empty() {
             return Err("exposition contains no samples".to_string());
@@ -47,6 +54,17 @@ impl Exposition {
             let family = family_name(&s.name);
             if !self.types.contains_key(&family) {
                 return Err(format!("sample `{}` has no # TYPE declaration", s.name));
+            }
+        }
+        for family in self.types.keys() {
+            let stem = family.strip_suffix("_total").unwrap_or(family);
+            for suffix in FORBIDDEN_UNIT_SUFFIXES {
+                if stem.ends_with(suffix) {
+                    return Err(format!(
+                        "metric `{family}` uses the non-base unit suffix `{suffix}`; \
+                         export durations in seconds (`_seconds`)"
+                    ));
+                }
             }
         }
         for (family, kind) in &self.types {
@@ -261,6 +279,21 @@ mod tests {
         let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n";
         let exp = parse(text).unwrap();
         assert!(exp.validate().unwrap_err().contains("cumulative"));
+    }
+
+    #[test]
+    fn validate_rejects_raw_time_unit_suffixes() {
+        // A gauge exported in nanoseconds.
+        let exp = parse("# TYPE lat_ns gauge\nlat_ns 12\n").unwrap();
+        assert!(exp.validate().unwrap_err().contains("_ns"));
+        // A counter in milliseconds — the `_total` must be stripped first.
+        let exp = parse("# TYPE busy_ms_total counter\nbusy_ms_total 3\n").unwrap();
+        assert!(exp.validate().unwrap_err().contains("_ms"));
+        // `_seconds` and unrelated names stay valid.
+        let exp = parse("# TYPE lat_seconds gauge\nlat_seconds 0.5\n").unwrap();
+        exp.validate().unwrap();
+        let exp = parse("# TYPE queue_status gauge\nqueue_status 1\n").unwrap();
+        exp.validate().unwrap();
     }
 
     #[test]

@@ -61,6 +61,8 @@ impl DatasetPreset {
                 incident_prob: 0.06,
                 incident_magnitude: 180,
                 background_rate: 14.0,
+                level_shift_interval: None,
+                level_shift_factor: 1.0,
             },
             DatasetPreset::NycTaxi => CityConfig {
                 grid: GridMap::new(dim(8), dim(10)),
@@ -78,6 +80,8 @@ impl DatasetPreset {
                 incident_prob: 0.15,
                 incident_magnitude: 400,
                 background_rate: 28.0,
+                level_shift_interval: None,
+                level_shift_factor: 1.0,
             },
             DatasetPreset::TaxiBj => CityConfig {
                 grid: GridMap::new(dim(12), dim(12)),
@@ -95,6 +99,8 @@ impl DatasetPreset {
                 incident_prob: 0.10,
                 incident_magnitude: 320,
                 background_rate: 26.0,
+                level_shift_interval: None,
+                level_shift_factor: 1.0,
             },
         }
     }

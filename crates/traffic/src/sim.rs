@@ -55,6 +55,14 @@ pub struct CityConfig {
     pub incident_magnitude: usize,
     /// Background trips per interval per 100 agents at the diurnal peak.
     pub background_rate: f64,
+    /// Inject a persistent level shift: from this interval onward every
+    /// flow volume is scaled by [`CityConfig::level_shift_factor`]. This is
+    /// the drift-injection scenario used to exercise live drift detection —
+    /// unlike rain days (one damped day) the shift never reverts.
+    pub level_shift_interval: Option<usize>,
+    /// Scale factor applied from `level_shift_interval` onward (> 1 ramps
+    /// traffic up, < 1 collapses it; 1.0 is a no-op).
+    pub level_shift_factor: f32,
 }
 
 impl CityConfig {
@@ -76,6 +84,8 @@ impl CityConfig {
             incident_prob: 0.10,
             incident_magnitude: 40,
             background_rate: 2.0,
+            level_shift_interval: None,
+            level_shift_factor: 1.0,
         }
     }
 
@@ -101,6 +111,8 @@ pub struct SimOutput {
     pub incidents: Vec<(usize, Region)>,
     /// Number of generated trips (after weather damping).
     pub trips: usize,
+    /// The injected `(interval, factor)` level shift, when configured.
+    pub level_shift: Option<(usize, f32)>,
 }
 
 /// One commuting agent: home on the periphery, work near the centre.
@@ -212,8 +224,25 @@ impl CitySimulator {
         }
 
         let trips = trajectories.len();
-        let flows = flows_from_trajectories(cfg.grid, &trajectories, t_total);
-        SimOutput { flows, rain_days, incidents, trips }
+        let mut flows = flows_from_trajectories(cfg.grid, &trajectories, t_total);
+
+        // Injected distribution drift: scale every volume from the shift
+        // interval onward. Applied to the reduced flows (not trajectories)
+        // so the factor is exact and fractional factors are expressible.
+        let level_shift = cfg.level_shift_interval.filter(|_| cfg.level_shift_factor != 1.0).map(|start| {
+            for t in start.min(t_total)..t_total {
+                for channel in 0..2 {
+                    for row in 0..cfg.grid.height {
+                        for col in 0..cfg.grid.width {
+                            *flows.volume_mut(t, channel, row, col) *= cfg.level_shift_factor;
+                        }
+                    }
+                }
+            }
+            (start, cfg.level_shift_factor)
+        });
+
+        SimOutput { flows, rain_days, incidents, trips, level_shift }
     }
 
     // ------------------------------------------------------------- internals
@@ -428,6 +457,37 @@ mod tests {
         let dry_total = dry.flows.tensor().sum();
         let wet_total = wet.flows.tensor().sum();
         assert!(wet_total < 0.75 * dry_total, "rain did not damp: {wet_total} vs {dry_total}");
+    }
+
+    #[test]
+    fn level_shift_scales_flows_from_interval_onward() {
+        let mut cfg = CityConfig::small(9);
+        cfg.weather_prob = 0.0;
+        cfg.incident_prob = 0.0;
+        let baseline = CitySimulator::new(cfg.clone()).run();
+        let shift_at = cfg.total_intervals() / 2;
+        cfg.level_shift_interval = Some(shift_at);
+        cfg.level_shift_factor = 3.0;
+        let shifted = CitySimulator::new(cfg.clone()).run();
+        assert_eq!(shifted.level_shift, Some((shift_at, 3.0)));
+        // Same trajectories before the shift, exactly 3x after it.
+        for t in 0..cfg.total_intervals() {
+            let expect = if t >= shift_at { 3.0 } else { 1.0 };
+            for (r, c) in [(0, 0), (2, 3), (5, 5)] {
+                let base = baseline.flows.volume(t, INFLOW, r, c);
+                let got = shifted.flows.volume(t, INFLOW, r, c);
+                assert_eq!(got, base * expect, "t={t} r={r} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_level_shift_factor_is_a_noop() {
+        let mut cfg = CityConfig::small(10);
+        cfg.level_shift_interval = Some(5);
+        cfg.level_shift_factor = 1.0;
+        let out = CitySimulator::new(cfg).run();
+        assert_eq!(out.level_shift, None, "factor 1.0 records no shift");
     }
 
     #[test]

@@ -97,6 +97,50 @@ wait $SERVE_PID 2>/dev/null || true
 trap - EXIT
 echo "    daemon served $capacity ingests + a forecast, /metrics exposition well-formed"
 
+echo "==> serve quality: replay a seeded level-shift stream, assert the drift alert fires"
+QUALITY_ADDR=127.0.0.1:19666
+QUALITY_TRACE=target/ci_quality_trace.jsonl
+rm -f "$QUALITY_TRACE"
+cargo run -q --release -p muse-serve --bin muse-serve -- --checkpoint "$SERVE_CKPT" \
+    --addr "$QUALITY_ADDR" --trace "$QUALITY_TRACE" >/dev/null 2>&1 &
+QUALITY_PID=$!
+trap 'kill $QUALITY_PID 2>/dev/null || true' EXIT
+up=0
+for _ in $(seq 1 120); do
+    if curl -sf "http://$QUALITY_ADDR/healthz" -o /dev/null 2>/dev/null; then
+        up=1
+        break
+    fi
+    sleep 0.25
+done
+[ "$up" = 1 ] || { echo "muse-serve (quality leg) never answered /healthz on $QUALITY_ADDR" >&2; exit 1; }
+# Stream warmup + 48 live frames with a 3x level shift injected a day before
+# the end; muse-replay exits nonzero unless the periodic drift alert reaches
+# firing while it polls /alerts after the shift.
+cargo run -q --release -p muse-serve --bin muse-replay -- --addr "$QUALITY_ADDR" \
+    --steps 48 --shift-at $((capacity + 24)) --expect-firing flow_level_shift \
+    | tee target/ci_replay.txt
+grep -q 'detection_latency_frames=' target/ci_replay.txt
+curl -sf "http://$QUALITY_ADDR/quality" -o target/ci_quality.json
+scored=$(grep -o '"scored":[0-9]*' target/ci_quality.json | head -1 | cut -d: -f2)
+[ "${scored:-0}" -gt 0 ] || { echo "/quality scored no forecasts: $(cat target/ci_quality.json)" >&2; exit 1; }
+curl -sf "http://$QUALITY_ADDR/metrics" -o target/ci_quality_metrics.txt
+cargo run -q --release -p muse-trace -- promcheck target/ci_quality_metrics.txt
+grep -q '^muse_quality_mae ' target/ci_quality_metrics.txt
+grep -q '^muse_quality_rmse ' target/ci_quality_metrics.txt
+grep -q '^muse_serve_forecasts_scored_total' target/ci_quality_metrics.txt
+grep -q '^muse_alert_flow_level_shift_state' target/ci_quality_metrics.txt
+grep -q '^muse_alerts_transitions_total' target/ci_quality_metrics.txt
+sleep 2 # the daemon flushes its trace once a second; let the tail land
+kill $QUALITY_PID 2>/dev/null || true
+wait $QUALITY_PID 2>/dev/null || true
+trap - EXIT
+cargo run -q --release -p muse-trace -- quality "$QUALITY_TRACE" | tee target/ci_quality_report.txt
+grep -q 'alert transitions:' target/ci_quality_report.txt
+grep -q 'flow_level_shift' target/ci_quality_report.txt
+grep -q 'forecast lifecycles' target/ci_quality_report.txt
+echo "    drift alert fired, quality metrics well-formed, trace reconstructs the story"
+
 echo "==> perf gate negative test: doctored baseline must fail"
 cargo run -q --release -p muse-bench --bin perf_gate -- doctor BENCH_kernels.json target/doctored_baseline.json
 if cargo run -q --release -p muse-bench --bin perf_gate -- check target/perf_gate_trace.jsonl target/doctored_baseline.json >/dev/null 2>&1; then
