@@ -12,7 +12,7 @@
 //! chunked SSE of [`Tensor::sse`]).
 
 use crate::tape::Var;
-use muse_tensor::{arena, Tensor};
+use muse_tensor::{arena, simd, Tensor};
 
 /// Activation selector for [`Var::add_bias_act`]. Only activations whose
 /// derivative is recoverable from the *output* are fusable (softplus needs
@@ -67,6 +67,19 @@ impl FusedActivation {
             FusedActivation::Sigmoid => g * (y * (1.0 - y)),
         }
     }
+
+    /// The vectorized kernel equivalent, when one exists. Tanh/Sigmoid are
+    /// transcendental and stay on the scalar path (libm calls don't
+    /// vectorize without changing bits).
+    #[inline]
+    fn simd_kernel(self) -> Option<simd::Activation> {
+        match self {
+            FusedActivation::Identity => Some(simd::Activation::Identity),
+            FusedActivation::Relu => Some(simd::Activation::Relu),
+            FusedActivation::LeakyRelu(s) => Some(simd::Activation::LeakyRelu(s)),
+            FusedActivation::Tanh | FusedActivation::Sigmoid => None,
+        }
+    }
 }
 
 impl<'t> Var<'t> {
@@ -90,9 +103,13 @@ impl<'t> Var<'t> {
             let cols = dims[1];
             let mut data = arena::take_uninit(h.len()); // fully written below
             let (hs, bs) = (h.as_slice(), b.as_slice());
-            for (orow, hrow) in data.chunks_mut(cols.max(1)).zip(hs.chunks(cols.max(1))) {
-                for ((o, &hv), &bv) in orow.iter_mut().zip(hrow).zip(bs) {
-                    *o = act.forward(hv + bv);
+            if let Some(k) = act.simd_kernel() {
+                simd::bias_act_forward(&mut data, hs, bs, k);
+            } else {
+                for (orow, hrow) in data.chunks_mut(cols.max(1)).zip(hs.chunks(cols.max(1))) {
+                    for ((o, &hv), &bv) in orow.iter_mut().zip(hrow).zip(bs) {
+                        *o = act.forward(hv + bv);
+                    }
                 }
             }
             Tensor::from_vec(data, dims)
@@ -107,12 +124,16 @@ impl<'t> Var<'t> {
                 let mut gh = arena::take_uninit(rows * cols); // fully written below
                 let mut gb = arena::take_zeroed(cols);
                 let (gs, ys) = (g.as_slice(), y.as_slice());
-                for r in 0..rows {
-                    let base = r * cols;
-                    for j in 0..cols {
-                        let v = act.backward(gs[base + j], ys[base + j]);
-                        gh[base + j] = v;
-                        gb[j] += v;
+                if let Some(k) = act.simd_kernel() {
+                    simd::bias_act_backward(&mut gh, &mut gb, gs, ys, k);
+                } else {
+                    for r in 0..rows {
+                        let base = r * cols;
+                        for j in 0..cols {
+                            let v = act.backward(gs[base + j], ys[base + j]);
+                            gh[base + j] = v;
+                            gb[j] += v;
+                        }
                     }
                 }
                 sink.add_owned(lh, Tensor::from_vec(gh, dims));

@@ -11,7 +11,7 @@
 
 use crate::tape::Var;
 use muse_tensor::init::SeededRng;
-use muse_tensor::Tensor;
+use muse_tensor::{arena, Tensor};
 
 /// Reparameterization trick: `z = mu + exp(0.5 * logvar) * eps`,
 /// `eps ~ N(0, I)` drawn from `rng` and recorded as a constant.
@@ -51,6 +51,92 @@ pub fn kl_between<'t>(mu1: &Var<'t>, lv1: &Var<'t>, mu2: &Var<'t>, lv2: &Var<'t>
     let ratio = lv1.exp().add(&diff_sq).div(&lv2.exp());
     let inner = lv2.sub(lv1).add(&ratio).add_scalar(-1.0);
     inner.sum().mul_scalar(0.5 / batch)
+}
+
+/// Fused single-node form of [`kl_between`]: same closed form, same bits,
+/// one tape node instead of ten.
+///
+/// The pulling loss (Eqs. 23–25) evaluates this nine times per batch; on
+/// the composed path that is ~90 tape nodes and a dozen full-size
+/// temporaries per call. Here the forward materializes only the `inner`
+/// summand buffer (summed through `Tensor::sum`, so the reduction
+/// association matches the composed graph exactly) and the backward
+/// recomputes the cheap elementwise pieces instead of saving them.
+///
+/// **Bit-identity contract** (covered by `kl_between_fused_matches_composed`
+/// and the fused-kernel tests in `fused.rs`): when the four arguments are
+/// distinct tape nodes, the forward value and all four gradients are
+/// bit-for-bit equal to [`kl_between`]'s. Each gradient is the composed
+/// graph's per-slot contributions combined in sweep order — if one `Var` is
+/// passed in two positions its contributions arrive pre-combined rather
+/// than interleaved, which can differ in the last ulp (same caveat as
+/// `Var::add_bias_act` and not a configuration the model uses).
+// `* -1.0` below is kept literal: it mirrors the composed graph's
+// `mul_scalar(-1.0)` steps the bit-identity contract is written against.
+#[allow(clippy::neg_multiply)]
+pub fn kl_between_fused<'t>(mu1: &Var<'t>, lv1: &Var<'t>, mu2: &Var<'t>, lv2: &Var<'t>) -> Var<'t> {
+    assert_eq!(mu1.dims(), mu2.dims(), "kl_between mu shape mismatch");
+    assert_eq!(lv1.dims(), lv2.dims(), "kl_between logvar shape mismatch");
+    assert_eq!(mu1.dims(), lv1.dims(), "kl_between mu/logvar shape mismatch");
+    let batch = mu1.dims()[0] as f32;
+    let k = 0.5 / batch;
+    let (lm1, ll1, lm2, ll2) = (mu1.id(), lv1.id(), mu2.id(), lv2.id());
+    let tape = mu1.tape();
+    let out = {
+        let nodes = tape.nodes.borrow();
+        let (m1, l1) = (nodes[lm1].value.as_slice(), nodes[ll1].value.as_slice());
+        let (m2, l2) = (nodes[lm2].value.as_slice(), nodes[ll2].value.as_slice());
+        let mut inner = arena::take_uninit(m1.len()); // fully written below
+        for i in 0..m1.len() {
+            // Exact per-element expression sequence of the composed graph:
+            // d = mu1−mu2, t = e^lv1 + d², inner = (lv2−lv1) + t/e^lv2 − 1.
+            let d = m1[i] - m2[i];
+            let t = l1[i].exp() + d * d;
+            inner[i] = ((l2[i] - l1[i]) + (t / l2[i].exp())) + -1.0;
+        }
+        let dims = nodes[lm1].value.dims().to_vec();
+        // Tensor::sum so the reduction association (canonical lane sums,
+        // fixed chunking) is the one the composed `inner.sum()` uses.
+        let total = Tensor::from_vec(inner, &dims).sum();
+        Tensor::scalar(total * k)
+    };
+    tape.push(
+        "kl_between_fused",
+        out,
+        Some(Box::new(move |ctx, sink| {
+            // One scalar multiply upstream, exactly like the composed
+            // mul_scalar → sum chain: u = g·k, splatted over the shape.
+            let u = ctx.grad().item() * k;
+            let (m1t, l1t) = (ctx.value(lm1), ctx.value(ll1));
+            let (m2t, l2t) = (ctx.value(lm2), ctx.value(ll2));
+            let (m1, l1) = (m1t.as_slice(), l1t.as_slice());
+            let (m2, l2) = (m2t.as_slice(), l2t.as_slice());
+            let n = m1.len();
+            let mut g_m1 = arena::take_uninit(n); // all fully written below
+            let mut g_m2 = arena::take_uninit(n);
+            let mut g_l1 = arena::take_uninit(n);
+            let mut g_l2 = arena::take_uninit(n);
+            for i in 0..n {
+                let d = m1[i] - m2[i];
+                let e1 = l1[i].exp();
+                let e2 = l2[i].exp();
+                let t = e1 + d * d;
+                let q = u / e2;
+                // Each line reproduces the composed sweep's contributions to
+                // one slot, combined in the order the sweep adds them.
+                let gm = (q * d) * 2.0;
+                g_m1[i] = gm;
+                g_m2[i] = gm * -1.0;
+                g_l1[i] = (u * -1.0) + (q * e1);
+                g_l2[i] = u + (-((u * t) / (e2 * e2))) * e2;
+            }
+            let dims = m1t.dims();
+            sink.add_owned(lm1, Tensor::from_vec(g_m1, dims));
+            sink.add_owned(lm2, Tensor::from_vec(g_m2, dims));
+            sink.add_owned(ll1, Tensor::from_vec(g_l1, dims));
+            sink.add_owned(ll2, Tensor::from_vec(g_l2, dims));
+        })),
+    )
 }
 
 /// Mean squared error between a prediction and a constant target, averaged
@@ -147,6 +233,50 @@ mod tests {
         let a = kl_to_standard_normal(&mu, &lv).item();
         let b = kl_between(&mu, &lv, &zero_mu, &zero_lv).item();
         assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+
+    #[test]
+    fn kl_between_fused_matches_composed_bitwise() {
+        // Distinct leaves, non-uniform upstream gradient: the fused node
+        // must reproduce the composed graph's loss and all four gradients
+        // bit-for-bit.
+        let mut rng = SeededRng::new(29);
+        let dims = [3usize, 5];
+        let vals: Vec<Tensor> = (0..4).map(|_| Tensor::rand_uniform(&mut rng, &dims, -1.2, 1.2)).collect();
+
+        let run = |fused: bool| -> (f32, Vec<Tensor>) {
+            let tape = Tape::new();
+            let vs: Vec<_> = vals.iter().map(|v| tape.leaf(v.clone())).collect();
+            let kl = if fused {
+                kl_between_fused(&vs[0], &vs[1], &vs[2], &vs[3])
+            } else {
+                kl_between(&vs[0], &vs[1], &vs[2], &vs[3])
+            };
+            let loss = kl.mul_scalar(0.7); // non-unit upstream gradient
+            let item = loss.item();
+            let grads = tape.backward(loss);
+            (item, vs.iter().map(|&v| grads.get_or_zeros(v)).collect())
+        };
+        let (lf, gf) = run(true);
+        let (lc, gc) = run(false);
+        assert_eq!(lf.to_bits(), lc.to_bits(), "loss bits differ: {lf} vs {lc}");
+        let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        for (i, (f, c)) in gf.iter().zip(&gc).enumerate() {
+            assert_eq!(bits(f), bits(c), "grad {i} bits differ");
+        }
+    }
+
+    #[test]
+    fn kl_between_fused_gradcheck() {
+        let mut rng = SeededRng::new(31);
+        let dims = [2usize, 4];
+        let inputs: Vec<Tensor> = (0..4).map(|_| Tensor::rand_uniform(&mut rng, &dims, -0.8, 0.8)).collect();
+        let r = crate::grad_check::check_gradients(
+            |_t, v| kl_between_fused(&v[0], &v[1], &v[2], &v[3]),
+            &inputs,
+            1e-2,
+        );
+        assert!(r.passes(1e-2), "{r:?}");
     }
 
     #[test]

@@ -88,6 +88,58 @@ fn bench_serve_forecast(c: &mut Criterion) {
     c.bench_function("serve_forecast_h3", |bch| bch.iter(|| black_box(engine.forecast(3).unwrap())));
 }
 
+fn bench_pulling_loss(c: &mut Criterion) {
+    use muse_autograd::vae_ops::kl_between_fused;
+    use muse_autograd::Tape;
+
+    // The model's pulling block (Eqs. 23–25): three branch pairs, three
+    // fused KL terms each, summed and differentiated. Batch 8, d=16 mirrors
+    // the fig4 training profile's latent shapes.
+    let mut rng = SeededRng::new(5);
+    let dims = [8usize, 16];
+    let branch: Vec<[Tensor; 4]> = (0..3)
+        .map(|_| {
+            [
+                Tensor::rand_uniform(&mut rng, &dims, -1.0, 1.0),
+                Tensor::rand_uniform(&mut rng, &dims, -0.8, 0.8),
+                Tensor::rand_uniform(&mut rng, &dims, -1.0, 1.0),
+                Tensor::rand_uniform(&mut rng, &dims, -0.8, 0.8),
+            ]
+        })
+        .collect();
+    c.bench_function("pulling_loss_b8", |bch| {
+        bch.iter(|| {
+            let tape = Tape::new();
+            let vars: Vec<_> = branch
+                .iter()
+                .map(|[mu_s, lv_s, mu_g, lv_g]| {
+                    (
+                        tape.leaf(mu_s.clone()),
+                        tape.leaf(lv_s.clone()),
+                        tape.leaf(mu_g.clone()),
+                        tape.leaf(lv_g.clone()),
+                    )
+                })
+                .collect();
+            let mut total = None;
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    let (mu_si, lv_si, mu_gi, lv_gi) = &vars[i];
+                    let (_, _, mu_gj, lv_gj) = &vars[j];
+                    let term = kl_between_fused(mu_si, lv_si, mu_gi, lv_gi)
+                        .add(&kl_between_fused(mu_si, lv_si, mu_gj, lv_gj))
+                        .sub(&kl_between_fused(mu_gi, lv_gi, mu_gj, lv_gj));
+                    total = Some(match total {
+                        None => term,
+                        Some(t) => term.add(&t),
+                    });
+                }
+            }
+            black_box(tape.backward(total.expect("three pairs")));
+        })
+    });
+}
+
 fn bench_train_step(c: &mut Criterion) {
     use muse_autograd::Tape;
     use muse_nn::{clip_grad_norm, Adam, Optimizer, Session};
@@ -144,6 +196,6 @@ fn bench_train_step(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_conv2d, bench_simulator, bench_backward, bench_serve_forecast, bench_train_step
+    targets = bench_matmul, bench_conv2d, bench_simulator, bench_backward, bench_serve_forecast, bench_pulling_loss, bench_train_step
 }
 criterion_main!(benches);

@@ -16,6 +16,11 @@
 //! calibrates iteration counts per run, so totals are not comparable
 //! across runs; only per-iteration statistics are.
 //!
+//! Baselines are stamped with the SIMD level (`simd_level`) they were
+//! recorded under; `check` refuses to compare timings across instruction
+//! sets (an AVX2 baseline would mask a scalar-machine regression, and a
+//! scalar baseline would make AVX2 runs look like free wins).
+//!
 //! ```text
 //! perf_gate record <trace.jsonl> <baseline.json>       write a new baseline
 //! perf_gate check  <trace.jsonl> <baseline.json> [tol] fail on regressions
@@ -25,11 +30,15 @@
 //!                                                      bytes-per-call instead
 //!                                                      (allocation-gate
 //!                                                      negative test)
+//! perf_gate doctor-isa <baseline.json> <out.json>      flip the recorded SIMD
+//!                                                      level (ISA-mismatch
+//!                                                      negative test)
 //! ```
 //!
 //! Exit codes: 0 pass, 1 regression or malformed input, 2 usage error.
 
 use muse_obs::{json, read_trace, Json};
+use muse_tensor::simd;
 use muse_trace::tolerance::{self, DEFAULT_TOLERANCE};
 use std::process::ExitCode;
 
@@ -50,12 +59,14 @@ fn main() -> ExitCode {
         [mode, trace, baseline, tol] if mode == "check" => check(trace, baseline, Some(tol)),
         [mode, baseline, out] if mode == "doctor" => doctor(baseline, out),
         [mode, baseline, out] if mode == "doctor-alloc" => doctor_alloc(baseline, out),
+        [mode, baseline, out] if mode == "doctor-isa" => doctor_isa(baseline, out),
         _ => {
             eprintln!(
                 "usage: perf_gate record <trace.jsonl> <baseline.json>\n       \
                  perf_gate check  <trace.jsonl> <baseline.json> [tolerance]\n       \
                  perf_gate doctor <baseline.json> <doctored.json>\n       \
-                 perf_gate doctor-alloc <baseline.json> <doctored.json>"
+                 perf_gate doctor-alloc <baseline.json> <doctored.json>\n       \
+                 perf_gate doctor-isa <baseline.json> <doctored.json>"
             );
             return ExitCode::from(2);
         }
@@ -119,6 +130,7 @@ fn load_trace(path: &str) -> Result<TraceStats, String> {
 fn baseline_json(stats: &TraceStats, tolerance: f64) -> Json {
     Json::obj([
         ("tolerance", Json::Num(tolerance)),
+        ("simd_level", Json::Str(simd::level_name().to_string())),
         (
             "benches",
             Json::Obj(
@@ -174,6 +186,24 @@ fn check(trace: &str, baseline_path: &str, cli_tolerance: Option<&String>) -> Re
         .unwrap_or_else(|| baseline.get("tolerance").and_then(Json::as_f64).unwrap_or(DEFAULT_TOLERANCE));
     let mut failures = Vec::new();
     println!("perf_gate: tolerance +{:.0}% vs {baseline_path}", tolerance * 100.0);
+
+    // Timings are only comparable within one instruction set: an AVX2
+    // baseline would mask regressions on a scalar machine, and a scalar
+    // baseline would make every AVX2 run look like a free win.
+    let current = simd::level_name();
+    match baseline.get("simd_level").and_then(Json::as_str) {
+        Some(recorded) if recorded != current => {
+            return Err(format!(
+                "baseline {baseline_path} was recorded at SIMD level `{recorded}` but this run \
+                 dispatches `{current}`; timings are not comparable across instruction sets — \
+                 re-record on this machine (scripts/perf_gate.sh record)"
+            ));
+        }
+        Some(_) => {}
+        None => println!(
+            "  note: baseline has no simd_level stamp (recorded pre-SIMD); current level is `{current}`"
+        ),
+    }
 
     let empty = Vec::new();
     let base_benches = match baseline.get("benches") {
@@ -271,6 +301,27 @@ fn doctor_alloc(baseline_path: &str, out: &str) -> Result<(), String> {
     std::fs::write(out, doctored.render() + "\n")
         .map_err(|e| format!("cannot write doctored baseline {out}: {e}"))?;
     println!("perf_gate: wrote alloc-doctored baseline (bytes-per-call = {DOCTOR_ALLOC_BYTES:.0}) to {out}");
+    Ok(())
+}
+
+/// Flip the recorded SIMD level to the *other* one so a subsequent `check`
+/// must fail with the ISA-mismatch error — CI uses this to prove the gate
+/// refuses cross-instruction-set comparisons.
+fn doctor_isa(baseline_path: &str, out: &str) -> Result<(), String> {
+    let baseline = load_baseline(baseline_path)?;
+    let flipped = if simd::level_name() == "scalar" { "avx2+fma" } else { "scalar" };
+    let doctored = match baseline {
+        Json::Obj(fields) => {
+            let mut fields: Vec<(String, Json)> =
+                fields.into_iter().filter(|(k, _)| k != "simd_level").collect();
+            fields.insert(0, ("simd_level".to_string(), Json::Str(flipped.to_string())));
+            Json::Obj(fields)
+        }
+        other => other,
+    };
+    std::fs::write(out, doctored.render() + "\n")
+        .map_err(|e| format!("cannot write doctored baseline {out}: {e}"))?;
+    println!("perf_gate: wrote ISA-doctored baseline (simd_level = `{flipped}`) to {out}");
     Ok(())
 }
 

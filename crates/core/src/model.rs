@@ -7,7 +7,7 @@ use crate::encoders::{EncoderOutput, ExclusiveEncoder, InteractiveEncoder};
 use crate::loss::{saturate, LossTerms, ObjectiveWeights};
 use crate::resplus::{PointwiseHead, ResPlus};
 use crate::variational::{Branch, VariationalEncoder};
-use muse_autograd::vae_ops::{kl_between, kl_to_standard_normal, reparameterize, sse_per_sample};
+use muse_autograd::vae_ops::{kl_between_fused, kl_to_standard_normal, reparameterize, sse_per_sample};
 use muse_autograd::{Tape, Var};
 use muse_nn::{ParamRef, Session};
 use muse_obs as obs;
@@ -360,18 +360,23 @@ impl MuseNet {
                 let _pull_span = obs::span("model.pulling");
                 let pull = match (simplex, duplex) {
                     (Some(sx), Some(dx)) => {
+                        // Each branch's simplex posterior g_τ(z|i) appears in
+                        // two of the three pair terms — run the three simplex
+                        // forwards once instead of six times.
+                        let g: Vec<(Var<'t>, Var<'t>)> =
+                            (0..3).map(|b| sx[b].forward(s, enc[b].feature)).collect();
                         let mut acc: Option<Var<'t>> = None;
                         for (pair_idx, (bi, bj)) in Branch::pairs().iter().enumerate() {
                             let fi = enc[bi.index()].feature;
                             let fj = enc[bj.index()].feature;
                             let (mu_d, lv_d) = dx[pair_idx].forward(s, Var::concat(&[fi, fj], 1));
-                            let (mu_gi, lv_gi) = sx[bi.index()].forward(s, fi);
-                            let (mu_gj, lv_gj) = sx[bj.index()].forward(s, fj);
+                            let (mu_gi, lv_gi) = g[bi.index()];
+                            let (mu_gj, lv_gj) = g[bj.index()];
                             // Minimized: + KL(d‖g_i) + KL(d‖g_j) − sat(KL(r_s‖d)).
-                            let term = kl_between(&mu_d, &lv_d, &mu_gi, &lv_gi)
-                                .add(&kl_between(&mu_d, &lv_d, &mu_gj, &lv_gj))
+                            let term = kl_between_fused(&mu_d, &lv_d, &mu_gi, &lv_gi)
+                                .add(&kl_between_fused(&mu_d, &lv_d, &mu_gj, &lv_gj))
                                 .sub(&saturate(
-                                    kl_between(&inter.mu, &inter.logvar, &mu_d, &lv_d),
+                                    kl_between_fused(&inter.mu, &inter.logvar, &mu_d, &lv_d),
                                     weights.pull_cap,
                                 ));
                             acc = Some(match acc {

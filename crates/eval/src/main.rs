@@ -186,6 +186,7 @@ fn main() {
                 ("profile", profile_json(&args.profile)),
                 ("dataset", args.dataset.map(|p| format!("{p:?}")).as_deref().unwrap_or("all").to_json()),
                 ("threads", Json::Num(muse_parallel::current_threads() as f64)),
+                ("simd", Json::Str(muse_tensor::simd::level_name().to_string())),
                 ("metrics_addr", server.as_ref().map_or(Json::Null, |s| Json::Str(s.addr().to_string()))),
                 (
                     "save_checkpoint",

@@ -36,7 +36,7 @@ pub mod scratch;
 
 pub use bufpool::BufferPool;
 pub use pool::ThreadPool;
-pub use scratch::{take_zeroed, Scratch};
+pub use scratch::{take_uninit, take_zeroed, Scratch};
 
 use muse_obs as obs;
 use std::cell::RefCell;

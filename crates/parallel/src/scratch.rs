@@ -83,6 +83,16 @@ impl Drop for Scratch {
 
 /// Borrow a zeroed scratch buffer of exactly `len` elements.
 pub fn take_zeroed(len: usize) -> Scratch {
+    let mut s = take_uninit(len);
+    s.buf.fill(0.0);
+    s
+}
+
+/// Borrow a scratch buffer of exactly `len` elements with **unspecified
+/// values** (stale data from a recycled buffer, or zeroes when freshly
+/// allocated). Only for kernels that overwrite every element before the
+/// result is read — skips the memset that [`take_zeroed`] pays.
+pub fn take_uninit(len: usize) -> Scratch {
     // Prefer a buffer that already has the capacity; otherwise grow any.
     let recycled = POOL.try_take(len).or_else(|| POOL.take_any());
     if obs::enabled() {
@@ -90,8 +100,8 @@ pub fn take_zeroed(len: usize) -> Scratch {
             .add(1);
     }
     let mut buf = recycled.unwrap_or_default();
-    buf.clear();
     buf.resize(len, 0.0);
+    buf.truncate(len);
     let bytes = (len * std::mem::size_of::<f32>()) as u64;
     let outstanding = OUTSTANDING.fetch_add(1, Ordering::Relaxed) + 1;
     let out_bytes = OUT_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;

@@ -153,6 +153,9 @@ pub struct StatsSnapshot {
     pub last_batch_size: usize,
     /// Largest batch coalesced so far.
     pub max_batch_size: usize,
+    /// Instruction-set level the tensor kernels dispatch to
+    /// (`"avx2+fma"` or `"scalar"`).
+    pub simd_level: &'static str,
 }
 
 impl StatsSnapshot {
@@ -168,6 +171,7 @@ impl StatsSnapshot {
             ("batches", Json::Num(self.batches as f64)),
             ("last_batch_size", Json::Num(self.last_batch_size as f64)),
             ("max_batch_size", Json::Num(self.max_batch_size as f64)),
+            ("simd_level", Json::Str(self.simd_level.to_string())),
         ])
     }
 }
@@ -560,6 +564,7 @@ fn snapshot(
         batches,
         last_batch_size,
         max_batch_size,
+        simd_level: muse_tensor::simd::level_name(),
     }
 }
 

@@ -144,7 +144,8 @@ fn main() {
         }
     };
     eprintln!(
-        "muse-serve: listening on http://{} ({} variant, {} params, {}×{} grid, window {} frames, max horizon {})",
+        "muse-serve: listening on http://{} ({} variant, {} params, {}×{} grid, window {} frames, \
+         max horizon {}, simd {})",
         server.addr(),
         info.variant,
         info.param_count,
@@ -152,6 +153,9 @@ fn main() {
         info.grid.width,
         info.window_capacity,
         info.max_horizon,
+        // Also forces ISA detection at boot, so the `muse_simd_level` gauge
+        // is live on /metrics before the first inference runs.
+        muse_tensor::simd::level_name(),
     );
     if tracing {
         obs::emit(
@@ -166,6 +170,7 @@ fn main() {
                 ("workers", args.workers.to_json()),
                 ("batch_ms", args.batch_ms.to_json()),
                 ("threads", args.threads.map_or(Json::Null, |t| Json::Num(t as f64))),
+                ("simd", Json::Str(muse_tensor::simd::level_name().to_string())),
             ],
         );
     }

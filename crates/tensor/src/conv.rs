@@ -17,9 +17,10 @@
 //! which keeps the accumulation association fixed.
 
 use crate::linalg::{gemm_at_rows, gemm_bt_rows, gemm_rows};
+use crate::simd;
 use crate::tensor::Tensor;
 use muse_obs as obs;
-use muse_parallel::take_zeroed;
+use muse_parallel::{take_uninit, take_zeroed};
 
 /// Static description of a conv2d: geometry only, no parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,12 +147,27 @@ pub fn col2im_into(cols: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec
                         continue;
                     }
                     let dst_row = ch * h * w + ii as usize * w;
-                    for oj in 0..ow {
-                        let jj = (oj * sw + kj) as isize - pw as isize;
-                        if jj < 0 || jj >= w as isize {
-                            continue;
+                    if sw == 1 {
+                        // Mirror of the im2col fast path: the valid oj range
+                        // is contiguous, so the scatter is one vector
+                        // accumulate. Each image element still receives the
+                        // same contributions in the same (ki, kj, oi) order
+                        // as the scalar loop below.
+                        let lo = (pw as isize - kj as isize).clamp(0, ow as isize) as usize;
+                        let hi = ((w + pw) as isize - kj as isize).clamp(lo as isize, ow as isize) as usize;
+                        let off = lo + kj - pw;
+                        simd::add_assign(
+                            &mut img[dst_row + off..dst_row + off + (hi - lo)],
+                            &cols[base + oi * ow + lo..base + oi * ow + hi],
+                        );
+                    } else {
+                        for oj in 0..ow {
+                            let jj = (oj * sw + kj) as isize - pw as isize;
+                            if jj < 0 || jj >= w as isize {
+                                continue;
+                            }
+                            img[dst_row + jj as usize] += cols[base + oi * ow + oj];
                         }
-                        img[dst_row + jj as usize] += cols[base + oi * ow + oj];
                     }
                 }
             }
@@ -198,17 +214,14 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: &Con
     let input_s = input.as_slice();
     let mut out = crate::arena::take_zeroed(n * oc * ohw); // gemm_rows accumulates into zeroes
     muse_parallel::parallel_for_rows(&mut out, oc * ohw, 1, |s0, chunk| {
-        let mut cols = take_zeroed(ksize * ohw);
+        let mut cols = take_uninit(ksize * ohw); // im2col_into writes every element
         for (ds, so) in chunk.chunks_mut(oc * ohw).enumerate() {
             let img = &input_s[(s0 + ds) * chw..][..chw];
             im2col_into(img, c, h, w, spec, &mut cols);
             gemm_rows(wmat, &cols, so, 0, ksize, ohw); // so is zeroed
             if let Some(bs) = bias_s {
                 for (ocx, orow) in so.chunks_mut(ohw).enumerate() {
-                    let bv = bs[ocx];
-                    for v in orow {
-                        *v += bv;
-                    }
+                    simd::add_scalar_assign(orow, bs[ocx]);
                 }
             }
         }
@@ -255,13 +268,13 @@ pub fn conv2d_backward(
             Box::new(move || {
                 let img = &input_s[s * chw..][..chw];
                 let go = &go_all[s * oc * ohw..][..oc * ohw];
-                let mut cols = take_zeroed(ksize * ohw);
+                let mut cols = take_uninit(ksize * ohw); // im2col_into writes every element
                 im2col_into(img, c, h, w, spec, &mut cols);
                 // dW_s = go x cols^T
                 gemm_bt_rows(go, &cols, dw, 0, ohw, ksize);
-                // db_s = rowsum(go)
+                // db_s = rowsum(go), canonical lane reduction per row
                 for (ocx, d) in db.iter_mut().enumerate() {
-                    *d = go[ocx * ohw..][..ohw].iter().sum();
+                    *d = simd::sum(&go[ocx * ohw..][..ohw]);
                 }
                 // dX_s = col2im(W^T x go)
                 let mut dcols = take_zeroed(ksize * ohw);
@@ -273,15 +286,11 @@ pub fn conv2d_backward(
     muse_parallel::join_all(jobs);
     let mut grad_wmat = crate::arena::take_zeroed(oc * ksize);
     for dw in dw_all.chunks(oc * ksize) {
-        for (g, &v) in grad_wmat.iter_mut().zip(dw) {
-            *g += v;
-        }
+        simd::add_assign(&mut grad_wmat, dw);
     }
     let mut grad_bias = crate::arena::take_zeroed(oc);
     for db in db_all.chunks(oc) {
-        for (g, &v) in grad_bias.iter_mut().zip(db) {
-            *g += v;
-        }
+        simd::add_assign(&mut grad_bias, db);
     }
     crate::arena::recycle(dw_all);
     crate::arena::recycle(db_all);

@@ -37,6 +37,7 @@ pub mod linalg;
 pub mod ops;
 pub mod reduce;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use conv::Conv2dSpec;

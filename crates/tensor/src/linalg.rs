@@ -15,6 +15,7 @@
 //! There is no `x == 0.0` skip anywhere: IEEE edge cases (`0.0 * INF` is
 //! `NaN`) propagate exactly as in [`matmul_reference`].
 
+use crate::simd;
 use crate::tensor::Tensor;
 use muse_obs as obs;
 
@@ -41,7 +42,8 @@ const PAR_MIN_FLOPS: usize = 1 << 15;
 ///
 /// Accumulation order over `p` is ascending within each [`KC`] block and
 /// blocks are visited in order, so every element sees the same
-/// left-to-right sum regardless of row tiling.
+/// left-to-right sum regardless of row tiling or SIMD level (the tile
+/// kernels in [`crate::simd`] keep per-element accumulation sequential).
 pub fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, n: usize) {
     if n == 0 {
         return;
@@ -61,40 +63,24 @@ pub fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, n: 
             let a1 = &a[(i0 + r + 1) * k..][..k];
             let a2 = &a[(i0 + r + 2) * k..][..k];
             let a3 = &a[(i0 + r + 3) * k..][..k];
-            for p in p0..p1 {
-                let brow = &b[p * n..][..n];
-                let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
-                for ((((x0, x1), x2), x3), &bv) in
-                    o0.iter_mut().zip(o1.iter_mut()).zip(o2.iter_mut()).zip(o3.iter_mut()).zip(brow)
-                {
-                    *x0 += v0 * bv;
-                    *x1 += v1 * bv;
-                    *x2 += v2 * bv;
-                    *x3 += v3 * bv;
-                }
-            }
+            simd::gemm_tile4([a0, a1, a2, a3], p0, p1, b, n, [o0, o1, o2, o3]);
             r += MR;
         }
-        // Remainder rows run the same ikj loop one row at a time; per
-        // element the accumulation order is identical to the tiled path.
+        // Remainder rows run the same update one row at a time; per element
+        // the accumulation order is identical to the tiled path.
         for rr in r..rows {
             let orow = &mut out[rr * n..(rr + 1) * n];
             let arow = &a[(i0 + rr) * k..][..k];
-            for p in p0..p1 {
-                let v = arow[p];
-                let brow = &b[p * n..][..n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += v * bv;
-                }
-            }
+            simd::gemm_tile1(arow, p0, p1, b, n, orow);
         }
     }
 }
 
 /// Compute output rows `[i0, i0 + out.len()/n)` of `C = A·Bᵀ` into `out`.
 /// `a` is `[m,k]` row-major, `b` is `[n,k]` (so C's column `j` dots A rows
-/// with B row `j`). Four independent dot products run interleaved for
-/// instruction-level parallelism; each is a plain ascending-`p` sum.
+/// with B row `j`). Every element is one [`simd::dot`] — the canonical
+/// lane-structured reduction, bit-identical at every SIMD level and thread
+/// count.
 pub fn gemm_bt_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, n: usize) {
     if n == 0 {
         return;
@@ -104,32 +90,43 @@ pub fn gemm_bt_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, 
     for r in 0..rows {
         let arow = &a[(i0 + r) * k..][..k];
         let orow = &mut out[r * n..(r + 1) * n];
-        let mut j = 0;
-        while j + 4 <= n {
-            let b0 = &b[j * k..][..k];
-            let b1 = &b[(j + 1) * k..][..k];
-            let b2 = &b[(j + 2) * k..][..k];
-            let b3 = &b[(j + 3) * k..][..k];
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            for ((((&av, &v0), &v1), &v2), &v3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
-                s0 += av * v0;
-                s1 += av * v1;
-                s2 += av * v2;
-                s3 += av * v3;
+        if k < simd::LANES {
+            // Inner dimension shorter than the canonical reduction's lane
+            // count: the vector dot would run entirely in its tail. The
+            // four-column interleaved tile (four independent sequential
+            // accumulators) wins here, and both dispatch paths share this
+            // exact code, so SIMD on/off stays bit-identical.
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &b[j * k..][..k];
+                let b1 = &b[(j + 1) * k..][..k];
+                let b2 = &b[(j + 2) * k..][..k];
+                let b3 = &b[(j + 3) * k..][..k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for ((((&av, &v0), &v1), &v2), &v3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+                    s0 += av * v0;
+                    s1 += av * v1;
+                    s2 += av * v2;
+                    s3 += av * v3;
+                }
+                orow[j] = s0;
+                orow[j + 1] = s1;
+                orow[j + 2] = s2;
+                orow[j + 3] = s3;
+                j += 4;
             }
-            orow[j] = s0;
-            orow[j + 1] = s1;
-            orow[j + 2] = s2;
-            orow[j + 3] = s3;
-            j += 4;
-        }
-        for (jj, o) in orow.iter_mut().enumerate().skip(j) {
-            let brow = &b[jj * k..][..k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
+            for (jj, o) in orow.iter_mut().enumerate().skip(j) {
+                let brow = &b[jj * k..][..k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *o = acc;
             }
-            *o = acc;
+        } else {
+            for (jj, o) in orow.iter_mut().enumerate() {
+                *o = simd::dot(arow, &b[jj * k..][..k]);
+            }
         }
     }
 }
@@ -152,30 +149,12 @@ pub fn gemm_at_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, 
             let (o0, rest) = block.split_at_mut(n);
             let (o1, rest) = rest.split_at_mut(n);
             let (o2, o3) = rest.split_at_mut(n);
-            for p in p0..p1 {
-                let acol = &a[p * m + i0 + r..][..MR];
-                let brow = &b[p * n..][..n];
-                let (v0, v1, v2, v3) = (acol[0], acol[1], acol[2], acol[3]);
-                for ((((x0, x1), x2), x3), &bv) in
-                    o0.iter_mut().zip(o1.iter_mut()).zip(o2.iter_mut()).zip(o3.iter_mut()).zip(brow)
-                {
-                    *x0 += v0 * bv;
-                    *x1 += v1 * bv;
-                    *x2 += v2 * bv;
-                    *x3 += v3 * bv;
-                }
-            }
+            simd::gemm_tile4_at(a, m, i0 + r, p0, p1, b, n, [o0, o1, o2, o3]);
             r += MR;
         }
         for rr in r..rows {
             let orow = &mut out[rr * n..(rr + 1) * n];
-            for p in p0..p1 {
-                let v = a[p * m + i0 + rr];
-                let brow = &b[p * n..][..n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += v * bv;
-                }
-            }
+            simd::gemm_tile1_at(a, m, i0 + rr, p0, p1, b, n, orow);
         }
     }
 }
@@ -249,9 +228,22 @@ impl Tensor {
         let a = self.as_slice();
         let x = v.as_slice();
         let mut out = crate::arena::take_uninit(m); // every element assigned below
-        for i in 0..m {
-            let row = &a[i * k..(i + 1) * k];
-            out[i] = row.iter().zip(x).map(|(&r, &xv)| r * xv).sum();
+        if k < simd::LANES {
+            // Shorter than the canonical reduction's lane count: a plain
+            // sequential fold (shared by both dispatch paths) beats a dot
+            // that runs entirely in its tail.
+            for i in 0..m {
+                let row = &a[i * k..(i + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &xv) in row.iter().zip(x) {
+                    acc += av * xv;
+                }
+                out[i] = acc;
+            }
+        } else {
+            for i in 0..m {
+                out[i] = simd::dot(&a[i * k..(i + 1) * k], x);
+            }
         }
         Tensor::from_vec(out, &[m])
     }

@@ -2,6 +2,7 @@
 
 use crate::arena;
 use crate::shape::{broadcast_shapes, broadcast_strides, Shape};
+use crate::simd;
 use crate::tensor::Tensor;
 use muse_obs as obs;
 
@@ -73,24 +74,46 @@ impl Tensor {
         Tensor::from_vec(data, &out_dims)
     }
 
+    /// Same-shape arithmetic through the vectorized [`simd::binary`]
+    /// kernel; broadcasting shapes fall back to the generic stride walk.
+    /// The per-element expression is identical on both routes, so the
+    /// split is invisible in the output bits.
+    fn zip_binop(&self, other: &Tensor, op: simd::BinOp) -> Tensor {
+        if self.dims() != other.dims() {
+            return self.zip_with(other, |a, b| op.apply(a, b));
+        }
+        let _t = obs::kernel_timer("tensor.zip_same", (3 * self.len() * std::mem::size_of::<f32>()) as u64);
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut data = arena::take_uninit(self.len()); // every element written below
+        if data.len() >= PAR_MIN_ELEMS {
+            muse_parallel::parallel_for_mut(&mut data, PAR_MIN_CHUNK, |off, chunk| {
+                let n = chunk.len();
+                simd::binary(op, &a[off..off + n], &b[off..off + n], chunk);
+            });
+        } else {
+            simd::binary(op, a, b, &mut data);
+        }
+        Tensor::from_vec(data, self.dims())
+    }
+
     /// Elementwise (broadcasting) addition.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.zip_with(other, |a, b| a + b)
+        self.zip_binop(other, simd::BinOp::Add)
     }
 
     /// Elementwise (broadcasting) subtraction.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.zip_with(other, |a, b| a - b)
+        self.zip_binop(other, simd::BinOp::Sub)
     }
 
     /// Elementwise (broadcasting) multiplication.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.zip_with(other, |a, b| a * b)
+        self.zip_binop(other, simd::BinOp::Mul)
     }
 
     /// Elementwise (broadcasting) division.
     pub fn div(&self, other: &Tensor) -> Tensor {
-        self.zip_with(other, |a, b| a / b)
+        self.zip_binop(other, simd::BinOp::Div)
     }
 
     /// Elementwise maximum of two tensors.
@@ -211,21 +234,21 @@ impl Tensor {
         let dst = self.as_mut_slice();
         if dst.len() >= PAR_MIN_ELEMS {
             muse_parallel::parallel_for_mut(dst, PAR_MIN_CHUNK, |off, chunk| {
-                let sc = &src[off..off + chunk.len()];
-                for (a, &b) in chunk.iter_mut().zip(sc) {
-                    *a += b;
-                }
+                simd::add_assign(chunk, &src[off..off + chunk.len()]);
             });
         } else {
-            for (a, &b) in dst.iter_mut().zip(src) {
-                *a += b;
-            }
+            simd::add_assign(dst, src);
         }
     }
 
     /// Scale in place.
     pub fn scale_assign(&mut self, s: f32) {
-        self.map_inplace(|a| a * s);
+        let dst = self.as_mut_slice();
+        if dst.len() >= PAR_MIN_ELEMS {
+            muse_parallel::parallel_for_mut(dst, PAR_MIN_CHUNK, |_, chunk| simd::scale(chunk, s));
+        } else {
+            simd::scale(dst, s);
+        }
     }
 
     /// Fused scaled accumulate: `self[i] += s * other[i]` in one pass
@@ -243,15 +266,10 @@ impl Tensor {
         let dst = self.as_mut_slice();
         if dst.len() >= PAR_MIN_ELEMS {
             muse_parallel::parallel_for_mut(dst, PAR_MIN_CHUNK, |off, chunk| {
-                let sc = &src[off..off + chunk.len()];
-                for (a, &b) in chunk.iter_mut().zip(sc) {
-                    *a += s * b;
-                }
+                simd::axpy(chunk, s, &src[off..off + chunk.len()]);
             });
         } else {
-            for (a, &b) in dst.iter_mut().zip(src) {
-                *a += s * b;
-            }
+            simd::axpy(dst, s, src);
         }
     }
 

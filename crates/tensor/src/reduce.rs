@@ -4,43 +4,35 @@
 use crate::arena;
 use crate::ops::PAR_MIN_ELEMS;
 use crate::shape::Shape;
+use crate::simd;
 use crate::tensor::Tensor;
 
-/// Fixed chunk size for parallel reductions. Partials are computed per
-/// chunk and folded **in chunk order**, so the association — and therefore
-/// the result bits — depend only on the data length, never on the thread
-/// count. Slices at or below one chunk take the plain sequential sum.
+/// Fixed chunk size for parallel reductions — a multiple of
+/// [`simd::LANES`], so every full chunk has identical lane structure.
+/// Partials are computed per chunk and folded **in chunk order**, so the
+/// association — and therefore the result bits — depend only on the data
+/// length, never on the thread count or SIMD level (each chunk partial is a
+/// canonical lane-structured reduction from [`simd`]). Slices at or below
+/// one chunk reduce in a single call.
 const REDUCE_CHUNK: usize = 1 << 15;
 
-/// Sum of `f(x)` over a slice, chunk-parallel but thread-count-invariant.
-fn chunked_sum(s: &[f32], f: impl Fn(f32) -> f32 + Sync) -> f32 {
-    if s.len() <= REDUCE_CHUNK {
-        s.iter().map(|&x| f(x)).sum()
-    } else {
-        muse_parallel::map_chunks(s, REDUCE_CHUNK, |c| c.iter().map(|&x| f(x)).sum::<f32>()).into_iter().sum()
+/// Chunk-parallel, thread-count-invariant reduction: `part(range)` computes
+/// the partial for one fixed-size chunk of `0..len`, and the partials are
+/// folded in chunk order.
+fn chunked_reduce(len: usize, part: impl Fn(std::ops::Range<usize>) -> f32 + Sync) -> f32 {
+    if len <= REDUCE_CHUNK {
+        return part(0..len);
     }
-}
-
-/// Sum of `f(a, b)` over two equal-length slices with the exact chunk
-/// structure of [`chunked_sum`], so a fused two-operand reduction (e.g.
-/// sum of squared differences) associates bit-identically to materializing
-/// `f(a, b)` and summing it.
-fn chunked_sum2(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    if a.len() <= REDUCE_CHUNK {
-        return a.iter().zip(b).map(|(&x, &y)| f(x, y)).sum();
-    }
-    // Fixed-size chunk partials, folded in chunk order (thread-count
-    // invariant, same association as `map_chunks` + sequential fold).
-    let nchunks = a.len().div_ceil(REDUCE_CHUNK);
+    let nchunks = len.div_ceil(REDUCE_CHUNK);
     let mut partials = vec![0.0f32; nchunks];
-    let fref = &f;
+    let pref = &part;
     let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = partials
         .iter_mut()
-        .zip(a.chunks(REDUCE_CHUNK).zip(b.chunks(REDUCE_CHUNK)))
-        .map(|(slot, (ac, bc))| {
+        .enumerate()
+        .map(|(ci, slot)| {
             Box::new(move || {
-                *slot = ac.iter().zip(bc).map(|(&x, &y)| fref(x, y)).sum();
+                let lo = ci * REDUCE_CHUNK;
+                *slot = pref(lo..(lo + REDUCE_CHUNK).min(len));
             }) as Box<dyn FnOnce() + Send + '_>
         })
         .collect();
@@ -51,7 +43,8 @@ fn chunked_sum2(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> f32
 impl Tensor {
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        chunked_sum(self.as_slice(), |x| x)
+        let s = self.as_slice();
+        chunked_reduce(s.len(), |r| simd::sum(&s[r]))
     }
 
     /// Mean of all elements (0.0 for empty tensors).
@@ -81,7 +74,8 @@ impl Tensor {
             return 0.0;
         }
         let m = self.mean();
-        chunked_sum(self.as_slice(), |x| (x - m) * (x - m)) / self.len() as f32
+        let s = self.as_slice();
+        chunked_reduce(s.len(), |r| simd::sum_sq_dev(&s[r], m)) / self.len() as f32
     }
 
     /// Population standard deviation of all elements.
@@ -239,12 +233,13 @@ impl Tensor {
         assert_eq!(self.rank(), 1, "dot requires rank-1 lhs");
         assert_eq!(other.rank(), 1, "dot requires rank-1 rhs");
         assert_eq!(self.len(), other.len(), "dot length mismatch");
-        self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| a * b).sum()
+        simd::dot(self.as_slice(), other.as_slice())
     }
 
     /// Euclidean (L2) norm of the flattened tensor.
     pub fn norm(&self) -> f32 {
-        chunked_sum(self.as_slice(), |x| x * x).sqrt()
+        let s = self.as_slice();
+        chunked_reduce(s.len(), |r| simd::sum_squares(&s[r])).sqrt()
     }
 
     /// Fused sum of squared errors against `other` (same shape required):
@@ -252,7 +247,8 @@ impl Tensor {
     /// `self.sub(other).square().sum()` but with no temporaries.
     pub fn sse(&self, other: &Tensor) -> f32 {
         assert_eq!(self.dims(), other.dims(), "sse shape mismatch: {:?} vs {:?}", self.dims(), other.dims());
-        chunked_sum2(self.as_slice(), other.as_slice(), |x, y| (x - y) * (x - y))
+        let (a, b) = (self.as_slice(), other.as_slice());
+        chunked_reduce(a.len(), |r| simd::sse(&a[r.start..r.end], &b[r.start..r.end]))
     }
 
     /// Sum over all axes except axis 0 — handy for per-sample reductions.

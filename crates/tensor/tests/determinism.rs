@@ -1,17 +1,24 @@
-//! Thread-count determinism sweep: every parallel kernel must produce
-//! **bit-identical** results for any pool size. Each case computes a
-//! reference result on a single-threaded pool via
-//! [`muse_parallel::with_threads`], then re-runs on pools of 2, 4, and 7
-//! threads (including a count that does not divide the row counts evenly)
-//! and compares exact f32 bits, swept over deterministic seed families in
-//! the style of `crates/autograd/tests/properties.rs`.
+//! Thread-count × SIMD-level determinism sweep: every parallel kernel must
+//! produce **bit-identical** results for any pool size *and* any
+//! instruction-set level. Each case computes a reference result on a
+//! single-threaded pool with the scalar kernels
+//! ([`muse_parallel::with_threads`] × [`muse_tensor::simd::with_level`]),
+//! then re-runs on pools of 1, 2, 4, and 7 threads crossed with the scalar
+//! and AVX2 paths and compares exact f32 bits, swept over deterministic
+//! seed families in the style of `crates/autograd/tests/properties.rs`.
+//!
+//! On machines without AVX2 the `Level::Avx2Fma` leg silently degrades to
+//! scalar (the override can only lower the detected level), so the sweep
+//! still runs everywhere — it just stops being a cross-ISA comparison.
 
 use muse_parallel::with_threads;
 use muse_tensor::conv::{conv2d, conv2d_backward, Conv2dSpec};
 use muse_tensor::init::SeededRng;
+use muse_tensor::simd::{self, Level};
 use muse_tensor::Tensor;
 
-const THREAD_SWEEP: [usize; 3] = [2, 4, 7];
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 7];
+const LEVEL_SWEEP: [Level; 2] = [Level::Scalar, Level::Avx2Fma];
 
 fn rand_tensor(seed: u64, dims: &[usize], lo: f32, hi: f32) -> Tensor {
     let mut rng = SeededRng::new(seed);
@@ -19,23 +26,23 @@ fn rand_tensor(seed: u64, dims: &[usize], lo: f32, hi: f32) -> Tensor {
 }
 
 /// Assert exact bit equality, with a useful message on first divergence.
-fn assert_bits_eq(got: &Tensor, want: &Tensor, what: &str, threads: usize) {
-    assert_eq!(got.dims(), want.dims(), "{what}: shape drift at {threads} threads");
+fn assert_bits_eq(got: &Tensor, want: &Tensor, what: &str, cfg: &str) {
+    assert_eq!(got.dims(), want.dims(), "{what}: shape drift at {cfg}");
     for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
-        assert_eq!(
-            g.to_bits(),
-            w.to_bits(),
-            "{what}: bit mismatch at element {i} with {threads} threads: {g} vs {w}"
-        );
+        assert_eq!(g.to_bits(), w.to_bits(), "{what}: bit mismatch at element {i} with {cfg}: {g} vs {w}");
     }
 }
 
-/// Run `f` once per pool size and demand bit-identical outputs.
+/// Run `f` on every (SIMD level × pool size) combination and demand
+/// bit-identical outputs against the scalar single-threaded reference.
 fn sweep(what: &str, f: impl Fn() -> Tensor) {
-    let want = with_threads(1, &f);
-    for &t in &THREAD_SWEEP {
-        let got = with_threads(t, &f);
-        assert_bits_eq(&got, &want, what, t);
+    let want = simd::with_level(Level::Scalar, || with_threads(1, &f));
+    for level in LEVEL_SWEEP {
+        for &t in &THREAD_SWEEP {
+            let got = simd::with_level(level, || with_threads(t, &f));
+            let cfg = format!("{} threads / {}", t, level.name());
+            assert_bits_eq(&got, &want, what, &cfg);
+        }
     }
 }
 
@@ -51,6 +58,21 @@ fn matmul_family_is_thread_invariant() {
         sweep("matmul_bt", || a.matmul_bt(&bt));
         let at = rand_tensor(seed + 3, &[96, 48], -1.0, 1.0);
         sweep("matmul_at", || at.matmul_at(&b));
+    }
+}
+
+#[test]
+fn matmul_tail_lanes_are_simd_invariant() {
+    // Output widths that leave 8-wide vector tails of every residue class
+    // (n mod 8 ∈ {1, 5, 7}) plus inner dims that are not lane multiples.
+    for (m, k, n) in [(9usize, 11usize, 17usize), (33, 23, 29), (5, 100, 31)] {
+        let a = rand_tensor(201 + n as u64, &[m, k], -1.0, 1.0);
+        let b = rand_tensor(203 + n as u64, &[k, n], -1.0, 1.0);
+        sweep("matmul_tail", || a.matmul(&b));
+        let bt = rand_tensor(205 + n as u64, &[n, k], -1.0, 1.0);
+        sweep("matmul_bt_tail", || a.matmul_bt(&bt));
+        let at = rand_tensor(207 + n as u64, &[k, m], -1.0, 1.0);
+        sweep("matmul_at_tail", || at.matmul_at(&b));
     }
 }
 
@@ -76,6 +98,31 @@ fn conv2d_backward_is_thread_invariant() {
         for pick in 0..3 {
             sweep("conv2d_backward", || {
                 let (gx, gw, gb) = conv2d_backward(&x, &w, &go, &spec);
+                match pick {
+                    0 => gx,
+                    1 => gw,
+                    _ => gb,
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn conv2d_odd_shapes_are_simd_invariant() {
+    // Channel counts and widths chosen to never be multiples of the 8-wide
+    // AVX2 vector: every im2col row ends in a partial lane, so the tail
+    // handling of the vector kernels is on the critical path.
+    for (ci, co, w) in [(1usize, 3usize, 7usize), (3, 5, 9), (5, 1, 13)] {
+        let spec = Conv2dSpec::same(ci, co, 3);
+        let x = rand_tensor(101 + w as u64, &[3, ci, 5, w], -1.0, 1.0);
+        let wt = rand_tensor(103 + w as u64, &[co, ci, 3, 3], -1.0, 1.0);
+        let b = rand_tensor(107 + w as u64, &[co], -0.5, 0.5);
+        sweep("conv2d_odd", || conv2d(&x, &wt, Some(&b), &spec));
+        let go = rand_tensor(109 + w as u64, &[3, co, 5, w], -1.0, 1.0);
+        for pick in 0..3 {
+            sweep("conv2d_backward_odd", || {
+                let (gx, gw, gb) = conv2d_backward(&x, &wt, &go, &spec);
                 match pick {
                     0 => gx,
                     1 => gw,

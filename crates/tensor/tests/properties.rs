@@ -143,6 +143,32 @@ fn conv_matches_reference_random_geometry() {
 }
 
 #[test]
+fn conv_matches_reference_odd_shapes() {
+    // Odd channel counts and widths: every im2col row length (cin·kh·kw and
+    // oh·ow) is a non-multiple of the 8-wide SIMD vector, so the tail lanes
+    // of the vectorized GEMM are exercised on both the scalar and AVX2
+    // paths. The reference is elementwise, so comparison is approximate.
+    use muse_tensor::simd::{self, Level};
+    for (cin, cout, w) in [(1usize, 3usize, 7usize), (3, 5, 9), (5, 1, 13)] {
+        let mut rng = SeededRng::new(97 + w as u64);
+        let spec = Conv2dSpec::same(cin, cout, 3);
+        let x = Tensor::rand_uniform(&mut rng, &[2, cin, 5, w], -1.0, 1.0);
+        let wt = Tensor::rand_uniform(&mut rng, &[cout, cin, 3, 3], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[cout], -1.0, 1.0);
+        let slow = conv2d_reference(&x, &wt, Some(&b), &spec);
+        for level in [Level::Scalar, Level::Avx2Fma] {
+            let fast = simd::with_level(level, || conv2d(&x, &wt, Some(&b), &spec));
+            assert!(
+                fast.approx_eq(&slow, 1e-3),
+                "{cin}->{cout} w={w} {}: max diff {}",
+                level.name(),
+                fast.max_abs_diff(&slow)
+            );
+        }
+    }
+}
+
+#[test]
 fn concat_split_roundtrip() {
     for seed in 0..64u64 {
         let mut rng = SeededRng::new(seed);

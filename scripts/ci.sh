@@ -19,6 +19,9 @@ cargo test -q
 echo "==> workspace tests, single-threaded pool (MUSE_THREADS=1)"
 MUSE_THREADS=1 cargo test -q --workspace
 
+echo "==> tier-1 tests, SIMD disabled (MUSE_SIMD=0): scalar kernels must stand alone"
+MUSE_SIMD=0 cargo test -q
+
 echo "==> benches compile"
 cargo bench --workspace --no-run
 
@@ -160,5 +163,24 @@ if cargo run -q --release -p muse-bench --bin perf_gate -- check target/perf_gat
     exit 1
 fi
 echo "    train.steady_alloc gated, alloc-doctored baseline rejected"
+
+echo "==> ISA gate: baseline recorded under a different SIMD level must be rejected"
+grep -q '"simd_level"' BENCH_kernels.json || {
+    echo "BENCH_kernels.json has no simd_level stamp (re-record with scripts/perf_gate.sh record)" >&2
+    exit 1
+}
+cargo run -q --release -p muse-bench --bin perf_gate -- doctor-isa BENCH_kernels.json target/doctored_isa_baseline.json
+if cargo run -q --release -p muse-bench --bin perf_gate -- check target/perf_gate_trace.jsonl target/doctored_isa_baseline.json >/dev/null 2>&1; then
+    echo "perf gate FAILED to reject a cross-ISA baseline" >&2
+    exit 1
+fi
+echo "    cross-ISA baseline rejected, simd_level stamp enforced"
+
+echo "==> simd level gauge: /metrics reports the dispatched instruction set"
+grep -q '^muse_simd_level' target/ci_metrics.txt || {
+    echo "muse_simd_level gauge missing from /metrics exposition" >&2
+    exit 1
+}
+echo "    muse_simd_level exported"
 
 echo "CI gate passed."
