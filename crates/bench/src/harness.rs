@@ -39,26 +39,80 @@ impl Criterion {
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
         f(&mut bencher);
-        let stats = Stats::from_nanos(&bencher.samples);
-        println!(
-            "bench {:<40} {:>12} min  {:>12} mean  {:>12} max  ({} samples)",
-            name,
-            format_nanos(stats.min),
-            format_nanos(stats.mean),
-            format_nanos(stats.max),
-            bencher.samples.len(),
-        );
-        obs::emit_with("bench.result", || {
-            vec![
-                ("name", obs::Json::Str(name.to_string())),
-                ("min_ns", obs::Json::Num(stats.min)),
-                ("mean_ns", obs::Json::Num(stats.mean)),
-                ("max_ns", obs::Json::Num(stats.max)),
-                ("samples", obs::Json::Num(bencher.samples.len() as f64)),
-            ]
-        });
+        report(name, &bencher.samples);
         self
     }
+
+    /// Run one routine as two interleaved variants (A, B, A, B, …), where
+    /// `enter_b`/`exit_b` bracket every B sample outside its timed window
+    /// (e.g. attaching a profiler). Back-to-back benchmarks sit in disjoint
+    /// wall-clock windows, so frequency scaling or background load between
+    /// them can shift a min-vs-min comparison by far more than a small true
+    /// difference; interleaving exposes both variants to every machine-speed
+    /// phase, making tight A-vs-B bands (like the sampling-overhead gate)
+    /// meaningful. Emits a `bench.result` per variant like `bench_function`.
+    pub fn bench_pair<O>(
+        &mut self,
+        name_a: &str,
+        name_b: &str,
+        mut routine: impl FnMut() -> O,
+        mut enter_b: impl FnMut(),
+        mut exit_b: impl FnMut(),
+    ) -> &mut Self {
+        // Shared warm-up + calibration so both variants run identical
+        // iteration counts per sample.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (MIN_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut samples_a = Vec::with_capacity(self.sample_size);
+        let mut samples_b = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            // One untimed settle iteration after each enter/exit call, so
+            // neither timed window starts in the wake of that call's side
+            // effects (thread spawn/join for a profiler) — otherwise A
+            // systematically absorbs the previous round's exit_b cost and
+            // the comparison reads biased fast for B.
+            black_box(routine());
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples_a.push((start.elapsed().as_nanos() as u64) / iters);
+            enter_b();
+            black_box(routine());
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples_b.push((start.elapsed().as_nanos() as u64) / iters);
+            exit_b();
+        }
+        report(name_a, &samples_a);
+        report(name_b, &samples_b);
+        self
+    }
+}
+
+fn report(name: &str, samples: &[u64]) {
+    let stats = Stats::from_nanos(samples);
+    println!(
+        "bench {:<40} {:>12} min  {:>12} mean  {:>12} max  ({} samples)",
+        name,
+        format_nanos(stats.min),
+        format_nanos(stats.mean),
+        format_nanos(stats.max),
+        samples.len(),
+    );
+    obs::emit_with("bench.result", || {
+        vec![
+            ("name", obs::Json::Str(name.to_string())),
+            ("min_ns", obs::Json::Num(stats.min)),
+            ("mean_ns", obs::Json::Num(stats.mean)),
+            ("max_ns", obs::Json::Num(stats.max)),
+            ("samples", obs::Json::Num(samples.len() as f64)),
+        ]
+    });
 }
 
 /// Per-benchmark measurement state, mirroring `criterion::Bencher`.
@@ -163,6 +217,30 @@ mod tests {
             })
         });
         assert!(ran >= 3);
+    }
+
+    #[test]
+    fn bench_pair_interleaves_and_brackets_b() {
+        let mut c = Criterion::default().sample_size(4);
+        let phase_b = std::cell::Cell::new(false);
+        let runs = std::cell::Cell::new(0u64);
+        let b_runs = std::cell::Cell::new(0u64);
+        c.bench_pair(
+            "pair_a",
+            "pair_b",
+            || {
+                runs.set(runs.get() + 1);
+                if phase_b.get() {
+                    b_runs.set(b_runs.get() + 1);
+                }
+                runs.get()
+            },
+            || phase_b.set(true),
+            || phase_b.set(false),
+        );
+        assert!(!phase_b.get(), "exit_b must run after the last B sample");
+        assert!(b_runs.get() >= 4, "every B sample must run inside enter/exit");
+        assert!(runs.get() > b_runs.get(), "A samples must run outside the B bracket");
     }
 
     #[test]

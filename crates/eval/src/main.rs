@@ -31,6 +31,9 @@
 //!                  keep the process (and the metrics endpoint) alive for
 //!                  <n> ms after the last experiment — lets scrapers catch
 //!                  the final state
+//!   --prof         sample wall-clock profiles of the run (MUSE_PROF_HZ or
+//!                  97 Hz) and write a collapsed-stack `.folded` artifact
+//!                  next to the trace (feed it to `muse-trace prof`)
 //! ```
 
 use muse_eval::drivers;
@@ -48,6 +51,7 @@ struct Args {
     trace: Option<PathBuf>,
     serve_metrics: Option<String>,
     linger_ms: u64,
+    prof: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
     let mut trace = None;
     let mut serve_metrics = None;
     let mut linger_ms = 0u64;
+    let mut prof = false;
     let mut scale: Option<f32> = None;
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -109,20 +114,21 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--linger-ms needs a value")?;
                 linger_ms = v.parse().map_err(|_| format!("bad linger-ms {v}"))?;
             }
+            "--prof" => prof = true,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
     if let Some(s) = scale {
         profile = profile.scaled(s);
     }
-    Ok(Args { experiment, profile, dataset, out, trace, serve_metrics, linger_ms })
+    Ok(Args { experiment, profile, dataset, out, trace, serve_metrics, linger_ms, prof })
 }
 
 fn usage() -> String {
     "usage: muse-eval <table1|table2|table3|table4|table5|table6|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|all> \
      [--quick|--standard] [--scale f] [--dataset nyc-bike|nyc-taxi|taxibj] [--epochs n] [--seed n] [--out dir] \
      [--save-checkpoint path.ckpt] [--load-checkpoint path.ckpt] \
-     [--trace path.jsonl] [--serve-metrics host:port] [--linger-ms n]"
+     [--trace path.jsonl] [--serve-metrics host:port] [--linger-ms n] [--prof]"
         .to_string()
 }
 
@@ -143,6 +149,29 @@ fn main() {
             }
         },
         None => obs::init_from_env(),
+    };
+    obs::serve::set_build_info(vec![
+        ("version".to_string(), env!("CARGO_PKG_VERSION").to_string()),
+        ("simd_level".to_string(), muse_tensor::simd::level_name().to_string()),
+        ("threads".to_string(), muse_parallel::current_threads().to_string()),
+    ]);
+    muse_prof::install_debug_handler();
+    // --prof forces sampling on (at MUSE_PROF_HZ if set, else the default
+    // rate); without it the profiler still starts when MUSE_PROF_HZ asks.
+    let profiler = if args.prof {
+        let hz = muse_prof::env_hz().unwrap_or(muse_prof::DEFAULT_HZ);
+        match muse_prof::Profiler::start(hz) {
+            Ok(p) => {
+                eprintln!("[prof] sampling at {} Hz", p.hz());
+                Some(p)
+            }
+            Err(e) => {
+                eprintln!("cannot start profiler: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        muse_prof::Profiler::start_from_env()
     };
     // A live exporter implies telemetry: enable collection so /metrics has
     // counters to show even without a trace file.
@@ -202,6 +231,8 @@ fn main() {
                         .as_ref()
                         .map_or(Json::Null, |p| Json::Str(p.display().to_string())),
                 ),
+                ("version", Json::Str(env!("CARGO_PKG_VERSION").to_string())),
+                ("prof_hz", profiler.as_ref().map_or(Json::Null, |p| Json::Num(p.hz()))),
             ],
         );
     }
@@ -225,6 +256,21 @@ fn main() {
             let mut file = std::fs::File::create(&path).expect("create artifact file");
             file.write_all(output.as_bytes()).expect("write artifact");
             eprintln!("[{exp}] wrote {}", path.display());
+        }
+    }
+    if let Some(p) = profiler {
+        p.stop();
+        let samples = obs::counter("prof.samples").get();
+        if args.prof {
+            let folded = muse_prof::collapsed(None);
+            let path = args
+                .trace
+                .as_ref()
+                .map_or_else(|| PathBuf::from("muse-eval.folded"), |t| t.with_extension("folded"));
+            match std::fs::write(&path, folded) {
+                Ok(()) => eprintln!("[prof] wrote {} ({samples} samples)", path.display()),
+                Err(e) => eprintln!("[prof] cannot write {}: {e}", path.display()),
+            }
         }
     }
     if tracing {

@@ -33,8 +33,13 @@ impl Ewma {
         Ewma { alpha, mean: 0.0, var: 0.0, n: 0 }
     }
 
-    /// Fold in one observation and return the updated mean.
+    /// Fold in one observation and return the updated mean. Non-finite
+    /// observations are ignored (one NaN would otherwise poison the mean
+    /// forever) and leave the current mean unchanged.
     pub fn update(&mut self, v: f64) -> f64 {
+        if !v.is_finite() {
+            return self.mean;
+        }
         if self.n == 0 {
             self.mean = v;
             self.var = 0.0;
@@ -82,8 +87,12 @@ impl RollingStats {
         RollingStats { values: vec![0.0; capacity], capacity, next: 0, len: 0, total: 0 }
     }
 
-    /// Push one observation, evicting the oldest once full.
+    /// Push one observation, evicting the oldest once full. Non-finite
+    /// observations are ignored so min/max/quantiles stay meaningful.
     pub fn push(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
         self.values[self.next] = v;
         self.next = (self.next + 1) % self.capacity;
         self.len = (self.len + 1).min(self.capacity);
@@ -171,7 +180,12 @@ impl DecayingHistogram {
     }
 
     /// Record one non-negative value; values below 1 land in bucket 0.
+    /// Non-finite values are ignored (they have no bucket and would skew
+    /// the decayed sum).
     pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
         for b in &mut self.buckets {
             *b *= self.decay;
         }
@@ -303,6 +317,84 @@ mod tests {
         assert!(r.is_empty());
         assert_eq!(r.mean(), 0.0);
         assert_eq!(r.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn rolling_stats_window_of_one_tracks_latest() {
+        let mut r = RollingStats::new(1);
+        for v in [5.0, -2.0, 9.0] {
+            r.push(v);
+            assert_eq!(r.len(), 1);
+            assert_eq!(r.mean(), v);
+            assert_eq!(r.min(), v);
+            assert_eq!(r.max(), v);
+            assert_eq!(r.quantile(0.5), v);
+        }
+        assert_eq!(r.total(), 3);
+    }
+
+    #[test]
+    fn rolling_stats_constant_series_has_zero_spread() {
+        let mut r = RollingStats::new(16);
+        for _ in 0..40 {
+            r.push(7.25);
+        }
+        assert_eq!(r.mean(), 7.25);
+        assert_eq!(r.min(), r.max());
+        assert_eq!(r.quantile(0.01), r.quantile(0.99));
+        let mut e = Ewma::new(0.1);
+        for _ in 0..40 {
+            e.update(7.25);
+        }
+        assert_eq!(e.value(), 7.25);
+        assert_eq!(e.std(), 0.0);
+    }
+
+    #[test]
+    fn rolling_stats_eviction_wraps_exactly_at_capacity() {
+        let mut r = RollingStats::new(3);
+        for v in [1.0, 2.0, 3.0] {
+            r.push(v);
+        }
+        // At exactly capacity nothing is evicted yet.
+        assert_eq!((r.len(), r.min(), r.max()), (3, 1.0, 3.0));
+        // Each further push evicts exactly the oldest survivor, including
+        // across a full second lap of the ring.
+        for (v, expect_min) in [(4.0, 2.0), (5.0, 3.0), (6.0, 4.0), (7.0, 5.0)] {
+            r.push(v);
+            assert_eq!(r.len(), 3);
+            assert_eq!(r.min(), expect_min);
+            assert_eq!(r.max(), v);
+        }
+        assert_eq!(r.total(), 7);
+    }
+
+    #[test]
+    fn non_finite_observations_are_rejected() {
+        let mut r = RollingStats::new(4);
+        r.push(2.0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            r.push(bad);
+        }
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.total(), 1);
+        assert_eq!(r.mean(), 2.0);
+        assert_eq!(r.max(), 2.0);
+
+        let mut e = Ewma::new(0.5);
+        e.update(3.0);
+        assert_eq!(e.update(f64::NAN), 3.0);
+        assert_eq!(e.update(f64::INFINITY), 3.0);
+        assert_eq!(e.count(), 1);
+        assert!(e.value().is_finite());
+
+        let mut h = DecayingHistogram::with_half_life(8.0);
+        h.record(4.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.total(), 1);
+        assert!(h.mean().is_finite());
+        assert_eq!(h.nonzero_buckets().len(), 1);
     }
 
     #[test]

@@ -15,18 +15,59 @@
 //! `Trainer::fit` without adding a dependency or a runtime. Dropping the
 //! handle (or calling [`MetricsServer::shutdown`]) stops the listener.
 
-use crate::http::{read_request, respond_error, write_response};
+use crate::http::{read_request, respond_error, write_response, Request};
 use crate::json::Json;
 use crate::metrics;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Prometheus content type for text exposition format 0.0.4.
 const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// `(status, content type, body)` produced by a [`DebugHandler`].
+pub type DebugResponse = (u16, &'static str, String);
+
+/// Handler for `/debug/*` routes, installed by a diagnostic subsystem
+/// (the `muse-prof` sampler) that `muse-obs` itself must not depend on.
+pub type DebugHandler = dyn Fn(&Request) -> DebugResponse + Send + Sync;
+
+static DEBUG_HANDLER: Mutex<Option<Arc<DebugHandler>>> = Mutex::new(None);
+
+/// Install the process-wide `/debug/*` handler. Both the MetricsServer and
+/// any embedding HTTP server (muse-serve) route `/debug/` requests here, so
+/// profile rendering lives in one place.
+pub fn set_debug_handler(handler: Arc<DebugHandler>) {
+    *DEBUG_HANDLER.lock().unwrap_or_else(|p| p.into_inner()) = Some(handler);
+}
+
+/// Dispatch a `/debug/*` request to the installed handler, if any.
+pub fn debug_request(request: &Request) -> Option<DebugResponse> {
+    let handler = DEBUG_HANDLER.lock().unwrap_or_else(|p| p.into_inner()).clone();
+    handler.map(|h| h(request))
+}
+
+static BUILD_INFO: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+/// Set the label pairs rendered as the `muse_build_info` gauge (and under
+/// `"build"` in status JSON). Call once at process start with e.g. crate
+/// version, SIMD level, and thread-pool size.
+pub fn set_build_info(pairs: Vec<(String, String)>) {
+    *BUILD_INFO.lock().unwrap_or_else(|p| p.into_inner()) = pairs;
+}
+
+/// The currently registered build-info label pairs.
+pub fn build_info() -> Vec<(String, String)> {
+    BUILD_INFO.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// Build info as a JSON object, for embedding in `/stats`-style endpoints.
+pub fn build_info_json() -> Json {
+    Json::Obj(build_info().into_iter().map(|(k, v)| (k, Json::Str(v))).collect())
+}
 
 /// Handle to a running exporter; dropping it shuts the listener down.
 pub struct MetricsServer {
@@ -120,6 +161,14 @@ fn handle_connection(stream: TcpStream, started: Instant, scrapes: &AtomicU64) -
                 (200, METRICS_CONTENT_TYPE, render_prometheus())
             }
             "/status" => (200, "application/json; charset=utf-8", status_json(started, scrapes).render()),
+            p if p.starts_with("/debug/") => match debug_request(&request) {
+                Some(response) => response,
+                None => (
+                    404,
+                    "text/plain; charset=utf-8",
+                    "no debug handler installed (start the muse-prof sampler)\n".to_string(),
+                ),
+            },
             _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
         }
     };
@@ -143,6 +192,14 @@ fn status_json(started: Instant, scrapes: &AtomicU64) -> Json {
 pub fn render_prometheus() -> String {
     let snap = metrics::export_snapshot();
     let mut out = String::new();
+    let info = build_info();
+    if !info.is_empty() {
+        // Info-gauge pattern: constant 1 with the interesting bits as labels.
+        let labels: Vec<String> =
+            info.iter().map(|(k, v)| format!("{}=\"{}\"", sanitize_label_key(k), escape_label(v))).collect();
+        out.push_str("# TYPE muse_build_info gauge\n");
+        out.push_str(&format!("muse_build_info{{{}}} 1\n", labels.join(",")));
+    }
     for (name, value) in &snap.counters {
         let name = format!("muse_{}_total", sanitize(name));
         out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
@@ -217,6 +274,11 @@ fn histogram_export_name(name: &str) -> (String, f64) {
 
 fn sanitize(name: &str) -> String {
     name.chars().map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' }).collect()
+}
+
+/// Label names are stricter than metric names (no `:` allowed).
+fn sanitize_label_key(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
 }
 
 fn escape_label(value: &str) -> String {
@@ -336,6 +398,51 @@ mod tests {
         // The port is released: a fresh bind to the same address succeeds.
         let rebind = TcpListener::bind(addr);
         assert!(rebind.is_ok());
+    }
+
+    #[test]
+    fn build_info_gauge_renders_when_set() {
+        let _g = crate::test_lock();
+        set_build_info(vec![
+            ("version".to_string(), "9.9.9".to_string()),
+            ("simd_level".to_string(), "avx2".to_string()),
+            ("threads".to_string(), "8".to_string()),
+        ]);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE muse_build_info gauge"));
+        assert!(
+            text.contains("muse_build_info{version=\"9.9.9\",simd_level=\"avx2\",threads=\"8\"} 1"),
+            "text: {text}"
+        );
+        let json = build_info_json().render();
+        assert!(json.contains("\"simd_level\":\"avx2\""), "json: {json}");
+        set_build_info(Vec::new());
+        assert!(!render_prometheus().contains("muse_build_info"));
+    }
+
+    #[test]
+    fn debug_routes_dispatch_to_installed_handler() {
+        let _g = crate::test_lock();
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        // Without a handler, /debug/* explains itself instead of a bare 404.
+        let (head, body) = http_get(addr, "/debug/profile");
+        assert!(head.starts_with("HTTP/1.1 404"), "head: {head}");
+        assert!(body.contains("no debug handler"));
+        set_debug_handler(Arc::new(|req: &Request| {
+            if req.path == "/debug/echo" {
+                let n = req.query_param("n").unwrap_or_default();
+                (200, "text/plain; charset=utf-8", format!("echo {n}\n"))
+            } else {
+                (404, "text/plain; charset=utf-8", "not found\n".to_string())
+            }
+        }));
+        let (head, body) = http_get(addr, "/debug/echo?n=42");
+        assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+        assert_eq!(body, "echo 42\n");
+        let (head, _) = http_get(addr, "/debug/unknown");
+        assert!(head.starts_with("HTTP/1.1 404"));
+        server.shutdown();
     }
 
     #[test]

@@ -1,0 +1,479 @@
+#![warn(missing_docs)]
+
+//! # muse-prof
+//!
+//! A zero-dependency wall-clock sampling profiler for any process built on
+//! `muse-obs` spans. A dedicated sampler thread snapshots every registered
+//! thread's published span stack (see [`muse_obs::span::sample_stacks`])
+//! at a fixed rate into a bounded ring of timestamped samples; the ring is
+//! aggregated on demand into collapsed folded stacks
+//! (`frame;frame;frame <nanoseconds>` per line, the format flamegraph
+//! tooling and `muse-trace prof` consume).
+//!
+//! Design constraints:
+//!
+//! * **No signals, no libc.** Publication is a seqlock the workload thread
+//!   writes with a few relaxed stores; the sampler only ever reads. Neither
+//!   side can block the other, and results are bit-identical whether
+//!   sampling is on or off.
+//! * **Bounded memory.** Samples live in a fixed ring (`MUSE_PROF_RING`,
+//!   default 65536 entries); once full, the oldest samples are evicted and
+//!   counted as `prof.dropped`.
+//! * **Honest accounting.** `prof.samples` counts recorded thread stacks,
+//!   `prof.dropped` counts torn reads + ring evictions, `prof.overrun`
+//!   counts sampler ticks that fired late — all exported on `/metrics`.
+//!
+//! ## Knobs
+//!
+//! * `MUSE_PROF_HZ` — sampling rate for [`Profiler::start_from_env`];
+//!   unset or `0` means off. 97 Hz (an odd prime) is the conventional
+//!   choice: it cannot lock step with per-epoch or per-second periodic
+//!   work.
+//! * `MUSE_PROF_RING` — ring capacity in samples.
+//!
+//! ## Endpoints
+//!
+//! Starting a profiler installs a `/debug/*` handler in
+//! [`muse_obs::serve`], so any bound MetricsServer (and muse-serve, which
+//! routes `/debug/*` the same way) immediately answers:
+//!
+//! * `GET /debug/profile?seconds=N` — collapsed folded stacks over the
+//!   trailing N seconds (default 30).
+//! * `GET /debug/profile/status` — JSON: rate, ring occupancy, counters.
+
+use muse_obs::http::Request;
+use muse_obs::span::{frame_name, StackSample, MAX_PUBLISHED_FRAMES};
+use muse_obs::{self as obs, Json};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default sampling rate for `--prof` style flags: an odd prime so the
+/// sampler cannot lock step with periodic workload structure.
+pub const DEFAULT_HZ: f64 = 97.0;
+
+/// Default trailing window for `/debug/profile` when `seconds` is absent.
+pub const DEFAULT_WINDOW_S: f64 = 30.0;
+
+/// Default ring capacity in samples (one sample ≈ 160 bytes → ~10 MB).
+const DEFAULT_RING: usize = 65_536;
+
+/// Upper bound on the requested rate; beyond this the sampler itself would
+/// dominate the process.
+const MAX_HZ: f64 = 10_000.0;
+
+const TEXT: &str = "text/plain; charset=utf-8";
+const JSON_CT: &str = "application/json; charset=utf-8";
+
+/// One recorded sample: a thread's stack at one sampler tick.
+#[derive(Clone)]
+struct Sample {
+    t_ns: u64,
+    depth: u32,
+    truncated: bool,
+    frames: [u32; MAX_PUBLISHED_FRAMES],
+}
+
+/// Fixed-capacity ring of samples; push evicts the oldest once full.
+struct Ring {
+    samples: Vec<Sample>,
+    capacity: usize,
+    next: usize,
+    len: usize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring { samples: Vec::new(), capacity: capacity.max(1), next: 0, len: 0 }
+    }
+
+    /// Append one sample; returns true when an old sample was evicted.
+    fn push(&mut self, sample: Sample) -> bool {
+        if self.samples.len() < self.capacity {
+            self.samples.push(sample);
+            self.next = self.samples.len() % self.capacity;
+            self.len = self.samples.len();
+            false
+        } else {
+            self.samples[self.next] = sample;
+            self.next = (self.next + 1) % self.capacity;
+            true
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+}
+
+static RING: Mutex<Ring> = Mutex::new(Ring { samples: Vec::new(), capacity: 0, next: 0, len: 0 });
+static RUNNING: AtomicBool = AtomicBool::new(false);
+static PERIOD_NS: AtomicU64 = AtomicU64::new(0);
+static HZ_BITS: AtomicU64 = AtomicU64::new(0);
+
+fn lock_ring() -> std::sync::MutexGuard<'static, Ring> {
+    RING.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Handle to a running sampler thread. Dropping it (or calling
+/// [`Profiler::stop`]) halts sampling and turns stack publication back off;
+/// recorded samples stay in the ring for aggregation after the fact.
+pub struct Profiler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    hz: f64,
+}
+
+impl Profiler {
+    /// Start sampling every registered thread at `hz` samples per second.
+    /// Enables `muse-obs` collection and span-stack publication, installs
+    /// the `/debug/profile` handler, and spawns the sampler thread. Errors
+    /// if the rate is unusable or a sampler is already running (the
+    /// sampler is a process-wide singleton — its ring and counters are
+    /// global).
+    pub fn start(hz: f64) -> Result<Profiler, String> {
+        if !hz.is_finite() || hz <= 0.0 || hz > MAX_HZ {
+            return Err(format!("sampling rate must be in (0, {MAX_HZ}] Hz, got {hz}"));
+        }
+        if RUNNING.swap(true, Ordering::SeqCst) {
+            return Err("a sampling profiler is already running in this process".to_string());
+        }
+        obs::enable();
+        // Touch the counters so they exist on /metrics from the first scrape.
+        obs::counter("prof.samples").add(0);
+        obs::counter("prof.dropped").add(0);
+        obs::counter("prof.overrun").add(0);
+        let period = Duration::from_secs_f64(1.0 / hz);
+        PERIOD_NS.store(period.as_nanos() as u64, Ordering::Relaxed);
+        HZ_BITS.store(hz.to_bits(), Ordering::Relaxed);
+        *lock_ring() = Ring::new(env_ring());
+        install_debug_handler();
+        obs::register_thread();
+        obs::set_stack_publish(true);
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("muse-prof-sampler".into())
+            .spawn(move || sampler_loop(&flag, period))
+            .map_err(|e| {
+                obs::set_stack_publish(false);
+                RUNNING.store(false, Ordering::SeqCst);
+                format!("cannot spawn sampler thread: {e}")
+            })?;
+        Ok(Profiler { stop, handle: Some(handle), hz })
+    }
+
+    /// Honour `MUSE_PROF_HZ`: start a sampler at the requested rate, or
+    /// return `None` when the variable is unset/zero (start errors are
+    /// reported to stderr, not fatal — profiling must never take down the
+    /// workload).
+    pub fn start_from_env() -> Option<Profiler> {
+        let hz = env_hz()?;
+        match Profiler::start(hz) {
+            Ok(profiler) => Some(profiler),
+            Err(e) => {
+                eprintln!("muse-prof: {e}");
+                None
+            }
+        }
+    }
+
+    /// The sampling rate this profiler was started with.
+    pub fn hz(&self) -> f64 {
+        self.hz
+    }
+
+    /// Halt the sampler thread and turn stack publication off. The ring
+    /// keeps its samples; [`collapsed`] still aggregates them.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        let Some(handle) = self.handle.take() else { return };
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = handle.join();
+        obs::set_stack_publish(false);
+        RUNNING.store(false, Ordering::SeqCst);
+    }
+}
+
+impl Drop for Profiler {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Sampling rate requested by `MUSE_PROF_HZ`, if any. Unset, empty, or `0`
+/// mean "off"; unparseable values are reported and treated as off.
+pub fn env_hz() -> Option<f64> {
+    let raw = std::env::var("MUSE_PROF_HZ").ok()?;
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    match raw.parse::<f64>() {
+        Ok(0.0) => None,
+        Ok(hz) => Some(hz),
+        Err(_) => {
+            eprintln!("muse-prof: ignoring invalid MUSE_PROF_HZ={raw:?}");
+            None
+        }
+    }
+}
+
+fn env_ring() -> usize {
+    match std::env::var("MUSE_PROF_RING") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("muse-prof: ignoring invalid MUSE_PROF_RING={v:?}");
+                DEFAULT_RING
+            }
+        },
+        Err(_) => DEFAULT_RING,
+    }
+}
+
+fn sampler_loop(stop: &AtomicBool, period: Duration) {
+    let samples_c = obs::counter("prof.samples");
+    let dropped_c = obs::counter("prof.dropped");
+    let overrun_c = obs::counter("prof.overrun");
+    let mut stacks: Vec<StackSample> = Vec::new();
+    let mut next = Instant::now() + period;
+    loop {
+        let now = Instant::now();
+        if next > now {
+            std::thread::sleep(next - now);
+        } else {
+            // Fell behind (scheduler stall, huge registered-thread count):
+            // skip the missed ticks rather than firing a burst, and count
+            // them so the profile's effective rate is auditable.
+            let missed = (now.duration_since(next).as_nanos() / period.as_nanos().max(1)) as u32;
+            if missed > 0 {
+                overrun_c.add(missed as u64);
+                next += period * missed;
+            }
+        }
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let torn = obs::sample_stacks(&mut stacks);
+        if torn > 0 {
+            dropped_c.add(torn as u64);
+        }
+        if !stacks.is_empty() {
+            let t_ns = obs::now_ns();
+            let mut ring = lock_ring();
+            let mut evicted = 0u64;
+            for stack in &stacks {
+                let sample =
+                    Sample { t_ns, depth: stack.depth, truncated: stack.truncated, frames: stack.frames };
+                if ring.push(sample) {
+                    evicted += 1;
+                }
+            }
+            drop(ring);
+            samples_c.add(stacks.len() as u64);
+            if evicted > 0 {
+                dropped_c.add(evicted);
+            }
+        }
+        next += period;
+    }
+}
+
+/// Aggregate the sample ring into collapsed folded stacks: one
+/// `frame;frame;frame <weight>` line per distinct stack, sorted by path.
+/// Each sample is weighted by the sampling period in nanoseconds, so
+/// weights approximate wall-clock nanoseconds and are directly comparable
+/// with the span-event flame output of `muse-trace flame`. `window`
+/// restricts aggregation to samples newer than that trailing duration.
+pub fn collapsed(window: Option<Duration>) -> String {
+    let period_ns = PERIOD_NS.load(Ordering::Relaxed).max(1);
+    let cutoff = window.map(|w| obs::now_ns().saturating_sub(w.as_nanos() as u64));
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    let ring = lock_ring();
+    for sample in ring.iter() {
+        if let Some(cutoff) = cutoff {
+            if sample.t_ns < cutoff {
+                continue;
+            }
+        }
+        let stored = (sample.depth as usize).min(MAX_PUBLISHED_FRAMES);
+        let mut path = String::new();
+        for &frame in &sample.frames[..stored] {
+            if !path.is_empty() {
+                path.push(';');
+            }
+            path.push_str(frame_name(frame).unwrap_or("?"));
+        }
+        if sample.truncated {
+            path.push_str(";[truncated]");
+        }
+        *folded.entry(path).or_insert(0) += 1;
+    }
+    drop(ring);
+    let mut out = String::new();
+    for (path, count) in &folded {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&(count * period_ns).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// JSON status of the sampler: whether it runs, at what rate, ring
+/// occupancy, the time span the ring covers, and the prof.* counters.
+pub fn status() -> Json {
+    let (len, capacity, oldest, newest) = {
+        let ring = lock_ring();
+        let mut oldest = u64::MAX;
+        let mut newest = 0u64;
+        for sample in ring.iter() {
+            oldest = oldest.min(sample.t_ns);
+            newest = newest.max(sample.t_ns);
+        }
+        (ring.len, ring.capacity, oldest, newest)
+    };
+    let window_s = if newest > oldest { (newest - oldest) as f64 * 1e-9 } else { 0.0 };
+    Json::obj([
+        ("running", Json::Bool(RUNNING.load(Ordering::SeqCst))),
+        ("hz", Json::Num(f64::from_bits(HZ_BITS.load(Ordering::Relaxed)))),
+        ("period_ns", Json::Num(PERIOD_NS.load(Ordering::Relaxed) as f64)),
+        ("ring_len", Json::Num(len as f64)),
+        ("ring_capacity", Json::Num(capacity as f64)),
+        ("ring_window_s", Json::Num(window_s)),
+        ("threads_registered", Json::Num(muse_obs::span::registered_threads() as f64)),
+        ("samples", Json::Num(obs::counter("prof.samples").get() as f64)),
+        ("dropped", Json::Num(obs::counter("prof.dropped").get() as f64)),
+        ("overrun", Json::Num(obs::counter("prof.overrun").get() as f64)),
+    ])
+}
+
+/// Answer one `/debug/*` request. `muse-obs`'s MetricsServer and
+/// `muse-serve` both route here via [`muse_obs::serve::debug_request`].
+pub fn handle_debug(request: &Request) -> (u16, &'static str, String) {
+    match request.path.as_str() {
+        "/debug/profile" => {
+            let seconds = match request.query_param("seconds") {
+                None => DEFAULT_WINDOW_S,
+                Some(raw) => match raw.parse::<f64>() {
+                    Ok(s) if s.is_finite() && s > 0.0 => s,
+                    _ => return (400, TEXT, format!("seconds must be a positive number, got {raw:?}\n")),
+                },
+            };
+            (200, TEXT, collapsed(Some(Duration::from_secs_f64(seconds))))
+        }
+        "/debug/profile/status" => (200, JSON_CT, status().render()),
+        _ => (404, TEXT, "not found (try /debug/profile or /debug/profile/status)\n".to_string()),
+    }
+}
+
+/// Install the `/debug/profile` handler into [`muse_obs::serve`]
+/// (idempotent). [`Profiler::start`] calls this; servers that want the
+/// endpoints answering (with `running: false`) even before a sampler
+/// starts can call it directly.
+pub fn install_debug_handler() {
+    static INSTALLED: Once = Once::new();
+    INSTALLED.call_once(|| {
+        obs::serve::set_debug_handler(Arc::new(handle_debug));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin_with_spans(label_outer: &'static str, label_inner: &'static str, for_ms: u64) {
+        let deadline = Instant::now() + Duration::from_millis(for_ms);
+        let _outer = obs::span(label_outer);
+        while Instant::now() < deadline {
+            let _inner = obs::span(label_inner);
+            std::hint::black_box((0..512).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn profiler_samples_spans_into_folded_stacks() {
+        let _g = obs::test_lock();
+        let profiler = Profiler::start(997.0).expect("start sampler");
+        assert_eq!(profiler.hz(), 997.0);
+        // A second sampler must be refused while this one runs.
+        assert!(Profiler::start(97.0).is_err());
+        spin_with_spans("proftest_outer", "proftest_inner", 300);
+        profiler.stop();
+        obs::disable();
+
+        let folded = collapsed(None);
+        assert!(
+            folded
+                .lines()
+                .any(|l| l.starts_with("proftest_outer ") || l.starts_with("proftest_outer;proftest_inner ")),
+            "folded output missing test spans:\n{folded}"
+        );
+        for line in folded.lines() {
+            let (_, weight) = line.rsplit_once(' ').expect("weight separator");
+            assert!(weight.parse::<u64>().is_ok(), "bad weight in {line:?}");
+        }
+        let status = status();
+        assert!(matches!(status.get("running"), Some(Json::Bool(false))));
+        assert!(status.get("samples").unwrap().as_f64().unwrap() >= 1.0);
+        // After stop, publication is off again: new spans leave no stacks.
+        let mut stacks = Vec::new();
+        obs::enable();
+        {
+            let _s = obs::span("proftest_after_stop");
+            obs::sample_stacks(&mut stacks);
+        }
+        obs::disable();
+        assert!(stacks.is_empty());
+    }
+
+    #[test]
+    fn rejects_unusable_rates() {
+        assert!(Profiler::start(0.0).is_err());
+        assert!(Profiler::start(-5.0).is_err());
+        assert!(Profiler::start(f64::NAN).is_err());
+        assert!(Profiler::start(1e9).is_err());
+    }
+
+    #[test]
+    fn debug_endpoints_render() {
+        let _g = obs::test_lock();
+        let get = |path_q: &str| {
+            let raw = format!("GET {path_q} HTTP/1.1\r\nHost: t\r\n\r\n");
+            let mut reader = raw.as_bytes();
+            let request = muse_obs::http::read_request(&mut reader).unwrap();
+            handle_debug(&request)
+        };
+        let (code, _, body) = get("/debug/profile/status");
+        assert_eq!(code, 200);
+        assert!(muse_obs::json::parse(&body).unwrap().get("ring_capacity").is_some());
+        let (code, _, _) = get("/debug/profile?seconds=5");
+        assert_eq!(code, 200);
+        let (code, _, body) = get("/debug/profile?seconds=bogus");
+        assert_eq!(code, 400, "body: {body}");
+        let (code, _, body) = get("/debug/profile?seconds=-1");
+        assert_eq!(code, 400, "body: {body}");
+        let (code, _, _) = get("/debug/unknown");
+        assert_eq!(code, 404);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_reports_eviction() {
+        let mut ring = Ring::new(3);
+        let sample = |t| Sample { t_ns: t, depth: 1, truncated: false, frames: [0; MAX_PUBLISHED_FRAMES] };
+        assert!(!ring.push(sample(1)));
+        assert!(!ring.push(sample(2)));
+        assert!(!ring.push(sample(3)));
+        assert!(ring.push(sample(4)));
+        let times: Vec<u64> = ring.iter().map(|s| s.t_ns).collect();
+        assert_eq!(times.len(), 3);
+        assert!(times.contains(&2) && times.contains(&3) && times.contains(&4));
+        assert!(!times.contains(&1));
+    }
+}

@@ -17,6 +17,7 @@
 //! | `/quality`             | GET    | rolling forecast-error estimators        |
 //! | `/alerts`              | GET    | alert rule states                        |
 //! | `/metrics`             | GET    | Prometheus text exposition               |
+//! | `/debug/*`             | GET    | sampling profiler (muse-prof handler)    |
 
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -149,9 +150,21 @@ fn route(request: &Request, engine: &Engine) -> (u16, &'static str, String) {
         ("GET", "/alerts") => alerts(engine),
         ("GET", "/metrics") => (200, METRICS_CONTENT_TYPE, obs::render_prometheus()),
         ("POST", "/ingest") => ingest(request, engine),
+        // The sampling profiler (muse-prof) owns /debug/*: the handler is
+        // shared with the muse-obs MetricsServer so both expose identical
+        // profile endpoints.
+        ("GET", p) if p.starts_with("/debug/") => match obs::serve::debug_request(request) {
+            Some(response) => response,
+            None => (
+                404,
+                TEXT_CONTENT_TYPE,
+                "profiler not running (set MUSE_PROF_HZ to enable sampling)\n".to_string(),
+            ),
+        },
         (_, "/healthz" | "/stats" | "/forecast" | "/metrics" | "/ingest" | "/quality" | "/alerts") => {
             (405, TEXT_CONTENT_TYPE, "method not allowed\n".to_string())
         }
+        (_, p) if p.starts_with("/debug/") => (405, TEXT_CONTENT_TYPE, "method not allowed\n".to_string()),
         _ => (404, TEXT_CONTENT_TYPE, "not found\n".to_string()),
     }
 }
@@ -194,9 +207,16 @@ fn stats(engine: &Engine) -> (u16, &'static str, String) {
         ("max_horizon", Json::Num(info.max_horizon as f64)),
     ]);
     match engine.stats() {
-        Ok(snapshot) => {
-            (200, JSON_CONTENT_TYPE, Json::obj([("model", model), ("serving", snapshot.to_json())]).render())
-        }
+        Ok(snapshot) => (
+            200,
+            JSON_CONTENT_TYPE,
+            Json::obj([
+                ("model", model),
+                ("serving", snapshot.to_json()),
+                ("build", obs::serve::build_info_json()),
+            ])
+            .render(),
+        ),
         Err(err) => engine_error(err),
     }
 }
@@ -427,6 +447,30 @@ mod tests {
         assert!(post(addr, "/alerts", "text/plain", b"").0.starts_with("HTTP/1.1 405 "));
         assert!(raw(addr, b"GET /healthz HTTP/1.1\nHost: x\r\n\r\n").starts_with("HTTP/1.1 400 "));
         assert!(raw(addr, b"FROB /healthz HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405 "));
+    }
+
+    #[test]
+    fn debug_routes_and_build_info_surface() {
+        let _g = obs::test_lock();
+        let server = boot();
+        let addr = server.addr();
+        // No profiler handler installed in this test binary: /debug/* gets
+        // the self-explanatory 404, wrong methods a 405.
+        let (head, body) = get(addr, "/debug/profile");
+        assert!(head.starts_with("HTTP/1.1 404 "), "{head}");
+        assert!(body.contains("MUSE_PROF_HZ"), "{body}");
+        assert!(post(addr, "/debug/profile", "text/plain", b"").0.starts_with("HTTP/1.1 405 "));
+        // Build info set at boot shows up in /stats under "build".
+        obs::serve::set_build_info(vec![
+            ("version".to_string(), "0.0.0-test".to_string()),
+            ("simd_level".to_string(), "scalar".to_string()),
+        ]);
+        let (head, body) = get(addr, "/stats");
+        assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+        let stats = obs::json::parse(&body).unwrap();
+        let build = stats.get("build").expect("stats carries build info");
+        assert_eq!(build.get("version").unwrap().as_str(), Some("0.0.0-test"));
+        obs::serve::set_build_info(Vec::new());
     }
 
     #[test]

@@ -61,10 +61,15 @@ fn is_direct_child(parent: &str, candidate: &str) -> bool {
 }
 
 /// Render folded spans as collapsed stacks: one `seg;seg;seg self_ns` line
-/// per path with non-zero self time, sorted by path.
+/// per path with non-zero self time, in deterministic flame order — a
+/// depth-first tree walk with siblings sorted hottest (self time) first,
+/// name as tie-break — so flame outputs of the same trace are stable and
+/// profile diffs line up row for row.
 pub fn collapsed(folded: &[FoldedSpan]) -> String {
+    let rows: Vec<(&str, u64)> = folded.iter().map(|f| (f.path.as_str(), f.self_ns)).collect();
     let mut out = String::new();
-    for span in folded {
+    for idx in tree_order_indices(&rows, '/') {
+        let span = &folded[idx];
         if span.self_ns == 0 {
             continue;
         }
@@ -74,6 +79,34 @@ pub fn collapsed(folded: &[FoldedSpan]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Deterministic flame ordering over `(path, self_weight)` rows: indices in
+/// depth-first tree order, siblings sorted by self weight descending then
+/// path. Rows whose parent path is absent are treated as roots. Shared by
+/// the span-event flame ('/'-separated paths) and `muse-trace prof`
+/// (';'-separated folded stacks).
+pub fn tree_order_indices(rows: &[(&str, u64)], sep: char) -> Vec<usize> {
+    let by_path: BTreeMap<&str, usize> = rows.iter().enumerate().map(|(i, r)| (r.0, i)).collect();
+    // parent index (or None for roots) → children indices.
+    let mut children: BTreeMap<Option<usize>, Vec<usize>> = BTreeMap::new();
+    for (i, (path, _)) in rows.iter().enumerate() {
+        let parent = path.rfind(sep).and_then(|cut| by_path.get(&path[..cut]).copied());
+        children.entry(parent).or_default().push(i);
+    }
+    for siblings in children.values_mut() {
+        siblings.sort_by(|&a, &b| rows[b].1.cmp(&rows[a].1).then_with(|| rows[a].0.cmp(rows[b].0)));
+    }
+    let mut order = Vec::with_capacity(rows.len());
+    let mut stack: Vec<usize> = children.get(&None).cloned().unwrap_or_default();
+    stack.reverse();
+    while let Some(idx) = stack.pop() {
+        order.push(idx);
+        if let Some(kids) = children.get(&Some(idx)) {
+            stack.extend(kids.iter().rev());
+        }
+    }
+    order
 }
 
 /// Folded spans ranked by self time, descending (path as tie-break).
@@ -134,6 +167,30 @@ mod tests {
         let text = collapsed(&fold(&exits));
         // "a" has zero self time and is omitted; a/b keeps its 100.
         assert_eq!(text, "a;b 100\n");
+    }
+
+    #[test]
+    fn collapsed_orders_siblings_by_self_time_then_name() {
+        let exits = vec![
+            exit("root", 1000),
+            exit("root/cold", 50),
+            exit("root/hot", 500),
+            exit("root/hot/leaf", 200),
+            exit("root/warm", 250),
+            // Two zero-padded siblings tie on self time → name order.
+            exit("root/bbb", 10),
+            exit("root/aaa", 10),
+        ];
+        let text = collapsed(&fold(&exits));
+        let paths: Vec<&str> = text.lines().map(|l| l.rsplit_once(' ').unwrap().0).collect();
+        // Depth-first: hot subtree (self 300) first, its child inside it,
+        // then warm (250), cold (50), then the 10/10 tie in name order.
+        // root itself has self 1000-820=180... listed first as the root.
+        assert_eq!(
+            paths,
+            vec!["root", "root;hot", "root;hot;leaf", "root;warm", "root;cold", "root;aaa", "root;bbb"],
+            "text:\n{text}"
+        );
     }
 
     #[test]

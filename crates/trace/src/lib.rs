@@ -22,11 +22,15 @@
 //! muse-trace quality <trace.jsonl>            serve-path quality story:
 //!                                             error trajectory, alert
 //!                                             chronology, request lifecycles
+//! muse-trace prof <profile.folded>            sampled-profile report: top-N
+//!                                             self/total tables, flame
+//!                                             re-emission, share diffs
 //! ```
 
 pub mod diff;
 pub mod flame;
 pub mod ingest;
+pub mod prof;
 pub mod prometheus;
 pub mod quality;
 pub mod report;

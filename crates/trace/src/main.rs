@@ -6,12 +6,14 @@
 //! muse-trace flame <trace.jsonl> [--out <file>]     collapsed stacks
 //! muse-trace promcheck <file|->                     validate /metrics output
 //! muse-trace quality <trace.jsonl>                  serve-path quality story
+//! muse-trace prof <p.folded> [--out <file>]         sampled-profile report
+//! muse-trace prof diff <base.folded> <new.folded> [tol]  share diff
 //! ```
 //!
 //! Exit codes: 0 ok, 1 regression/validation failure or unreadable input,
 //! 2 usage error.
 
-use muse_trace::{diff, flame, ingest::TraceData, prometheus, quality, report, tolerance};
+use muse_trace::{diff, flame, ingest::TraceData, prof, prometheus, quality, report, tolerance};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -26,13 +28,19 @@ fn main() -> ExitCode {
         ["flame", trace, "--out", out] => cmd_flame(trace, Some(out)),
         ["promcheck", input] => cmd_promcheck(input),
         ["quality", trace] => cmd_quality(trace),
+        ["prof", "diff", base, current] => cmd_prof_diff(base, current, None),
+        ["prof", "diff", base, current, tol] => cmd_prof_diff(base, current, Some(tol)),
+        ["prof", folded] => cmd_prof(folded, None),
+        ["prof", folded, "--out", out] => cmd_prof(folded, Some(out)),
         _ => {
             eprintln!(
                 "usage: muse-trace report <trace.jsonl>\n       \
                  muse-trace diff <base.jsonl> <new.jsonl> [tolerance]\n       \
                  muse-trace flame <trace.jsonl> [--out <collapsed.txt>]\n       \
                  muse-trace promcheck <metrics.txt|->\n       \
-                 muse-trace quality <trace.jsonl>"
+                 muse-trace quality <trace.jsonl>\n       \
+                 muse-trace prof <profile.folded> [--out <flame.txt>]\n       \
+                 muse-trace prof diff <base.folded> <new.folded> [tolerance]"
             );
             return ExitCode::from(2);
         }
@@ -105,6 +113,36 @@ fn cmd_quality(trace: &str) -> Result<(), String> {
     let data = load(trace)?;
     print!("{}", quality::render(&data));
     Ok(())
+}
+
+fn load_folded(path: &str) -> Result<prof::FoldedProfile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read profile {path}: {e}"))?;
+    prof::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_prof(folded: &str, out: Option<&str>) -> Result<(), String> {
+    let profile = load_folded(folded)?;
+    print!("{}", prof::report(&profile, 10));
+    if let Some(path) = out {
+        let flame_text = prof::flame(&profile);
+        std::fs::write(path, &flame_text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("muse-trace: wrote {} flame-ordered stacks to {path}", flame_text.lines().count());
+    }
+    Ok(())
+}
+
+fn cmd_prof_diff(base: &str, current: &str, tol_arg: Option<&str>) -> Result<(), String> {
+    let baseline = load_folded(base)?;
+    let cur = load_folded(current)?;
+    let tol = tolerance::resolve(tol_arg).unwrap_or(tolerance::DEFAULT_TOLERANCE);
+    let rows = prof::diff(&baseline, &cur, tol);
+    let (text, regressions) = prof::render_diff(&rows, tol);
+    print!("{text}");
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} profile share drift(s)", regressions.len()))
+    }
 }
 
 fn cmd_promcheck(input: &str) -> Result<(), String> {

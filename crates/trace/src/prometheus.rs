@@ -45,7 +45,9 @@ impl Exposition {
     /// * bucket counts are monotonically non-decreasing in `le` order;
     /// * no family carries a raw time-unit suffix (`_ns`, `_ms`, …) —
     ///   Prometheus convention is base units, so durations export as
-    ///   `_seconds`.
+    ///   `_seconds`;
+    /// * `_info` families follow the info-gauge pattern: TYPE gauge with
+    ///   every sample's value exactly 1 (the payload lives in labels).
     pub fn validate(&self) -> Result<(), String> {
         if self.samples.is_empty() {
             return Err("exposition contains no samples".to_string());
@@ -82,6 +84,18 @@ impl Exposition {
                 "histogram" => self.validate_histogram(family)?,
                 "gauge" => {}
                 other => return Err(format!("unknown metric type `{other}` for `{family}`")),
+            }
+            // Apply to the `_total`-stripped stem too, so a counter named
+            // `*_info_total` cannot smuggle the pattern past the check.
+            if family.strip_suffix("_total").unwrap_or(family).ends_with("_info") {
+                if kind != "gauge" {
+                    return Err(format!("info metric `{family}` must be a gauge, found {kind}"));
+                }
+                for s in self.with_name(family) {
+                    if s.value != 1.0 {
+                        return Err(format!("info metric `{family}` must have value 1, found {}", s.value));
+                    }
+                }
             }
         }
         Ok(())
@@ -294,6 +308,23 @@ mod tests {
         exp.validate().unwrap();
         let exp = parse("# TYPE queue_status gauge\nqueue_status 1\n").unwrap();
         exp.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_enforces_info_gauge_pattern() {
+        // The well-formed pattern: gauge, constant 1, payload in labels.
+        let exp = parse(
+            "# TYPE muse_build_info gauge\n\
+             muse_build_info{version=\"0.1.0\",simd_level=\"avx2\",threads=\"8\"} 1\n",
+        )
+        .unwrap();
+        exp.validate().unwrap();
+        // An info gauge with a value other than 1 is lying.
+        let exp = parse("# TYPE muse_build_info gauge\nmuse_build_info{v=\"1\"} 7\n").unwrap();
+        assert!(exp.validate().unwrap_err().contains("value 1"));
+        // `_info` under any non-gauge type violates the pattern.
+        let exp = parse("# TYPE build_info_total counter\nbuild_info_total 1\n").unwrap();
+        assert!(exp.validate().is_err());
     }
 
     #[test]

@@ -36,6 +36,16 @@ grep -q "^train.fit" target/ci_flame.txt
 cargo run -q --release -p muse-trace -- diff target/ci_eval_trace.jsonl target/ci_eval_trace.jsonl >/dev/null
 echo "    report, flame and self-diff OK"
 
+echo "==> muse-prof: sampled profile of quick training, backward pass must dominate"
+MUSE_PROF_HZ=97 cargo run -q --release -p muse-eval -- fig4 --epochs 2 \
+    --trace target/ci_prof_trace.jsonl --prof >/dev/null
+[ -f target/ci_prof_trace.folded ] || { echo "muse-eval --prof wrote no .folded artifact" >&2; exit 1; }
+cargo run -q --release -p muse-trace -- prof target/ci_prof_trace.folded \
+    --out target/ci_prof_flame.txt | tee target/ci_prof_report.txt | grep -q 'dominant: .*backward'
+grep -q '^train.fit' target/ci_prof_flame.txt
+cargo run -q --release -p muse-trace -- prof diff target/ci_prof_trace.folded target/ci_prof_trace.folded >/dev/null
+echo "    folded artifact written, backward pass dominant, prof self-diff clean"
+
 echo "==> live /metrics endpoint: serve, scrape, validate exposition"
 METRICS_ADDR=127.0.0.1:19664
 cargo run -q --release -p muse-eval -- fig4 --epochs 1 \
@@ -53,6 +63,10 @@ for _ in $(seq 1 120); do
 done
 [ "$scraped" = 1 ] || { echo "never scraped kernel metrics from $METRICS_ADDR" >&2; exit 1; }
 cargo run -q --release -p muse-trace -- promcheck target/ci_metrics.txt
+grep -q '^muse_build_info{' target/ci_metrics.txt || {
+    echo "muse_build_info gauge missing from muse-eval /metrics exposition" >&2
+    exit 1
+}
 curl -sf "http://$METRICS_ADDR/status" | grep -q '"enabled":true'
 kill $EVAL_PID 2>/dev/null || true
 wait $EVAL_PID 2>/dev/null || true
@@ -63,7 +77,7 @@ echo "==> muse-serve daemon: train checkpoint, boot, ingest, forecast, promcheck
 SERVE_CKPT=target/ci_serve.ckpt
 SERVE_ADDR=127.0.0.1:19665
 cargo run -q --release -p muse-eval -- fig4 --epochs 1 --save-checkpoint "$SERVE_CKPT" >/dev/null
-cargo run -q --release -p muse-serve -- --checkpoint "$SERVE_CKPT" --addr "$SERVE_ADDR" >/dev/null 2>&1 &
+MUSE_PROF_HZ=97 cargo run -q --release -p muse-serve -- --checkpoint "$SERVE_CKPT" --addr "$SERVE_ADDR" >/dev/null 2>&1 &
 SERVE_PID=$!
 trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
 up=0
@@ -92,13 +106,17 @@ curl -sf "http://$SERVE_ADDR/healthz" | grep -q '"ready":true'
 curl -sf "http://$SERVE_ADDR/forecast?horizon=1" -o target/ci_serve_forecast.json
 grep -q '"prediction"' target/ci_serve_forecast.json
 grep -q '"latent_norms"' target/ci_serve_forecast.json
+curl -sf "http://$SERVE_ADDR/debug/profile/status" | grep -q '"running":true'
+curl -sf "http://$SERVE_ADDR/debug/profile?seconds=30" -o target/ci_serve_profile.folded
 curl -sf "http://$SERVE_ADDR/metrics" -o target/ci_serve_metrics.txt
 cargo run -q --release -p muse-trace -- promcheck target/ci_serve_metrics.txt
 grep -q '^muse_serve_forecasts_total' target/ci_serve_metrics.txt
+grep -q '^muse_prof_samples_total' target/ci_serve_metrics.txt
+grep -q '^muse_build_info{' target/ci_serve_metrics.txt
 kill $SERVE_PID 2>/dev/null || true
 wait $SERVE_PID 2>/dev/null || true
 trap - EXIT
-echo "    daemon served $capacity ingests + a forecast, /metrics exposition well-formed"
+echo "    daemon served $capacity ingests + a forecast, live profile endpoints up, /metrics well-formed"
 
 echo "==> serve quality: replay a seeded level-shift stream, assert the drift alert fires"
 QUALITY_ADDR=127.0.0.1:19666
@@ -175,6 +193,14 @@ if cargo run -q --release -p muse-bench --bin perf_gate -- check target/perf_gat
     exit 1
 fi
 echo "    cross-ISA baseline rejected, simd_level stamp enforced"
+
+echo "==> prof overhead gate: trace with inflated _prof timings must be rejected"
+cargo run -q --release -p muse-bench --bin perf_gate -- doctor-prof target/perf_gate_trace.jsonl target/doctored_prof_trace.jsonl
+if cargo run -q --release -p muse-bench --bin perf_gate -- check target/doctored_prof_trace.jsonl BENCH_kernels.json >/dev/null 2>&1; then
+    echo "perf gate FAILED to reject inflated sampling overhead" >&2
+    exit 1
+fi
+echo "    inflated sampling overhead rejected, overhead gate has teeth"
 
 echo "==> simd level gauge: /metrics reports the dispatched instruction set"
 grep -q '^muse_simd_level' target/ci_metrics.txt || {
