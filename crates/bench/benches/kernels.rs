@@ -140,6 +140,63 @@ fn bench_pulling_loss(c: &mut Criterion) {
     });
 }
 
+fn bench_fleet(c: &mut Criterion) {
+    use muse_eval::runner::{channel_errors, fit_model, prepare, ModelKind, Profile};
+    use muse_parallel::scheduler::{self, JobsOverrideGuard};
+    use muse_parallel::FleetJob;
+    use muse_traffic::dataset::DatasetPreset;
+    use musenet::AblationVariant;
+    use std::cell::RefCell;
+
+    // A fig9-style mini sweep: six full MUSE-Net trainings (distinct seeds,
+    // as the sensitivity driver's repeats are) dispatched through the
+    // inter-op scheduler. The A side runs sequentially (MUSE_JOBS default),
+    // the B side under a jobs=4 fleet — the pair's min-vs-min ratio is the
+    // fleet speedup the perf gate stamps and checks.
+    let profile = Profile {
+        scale: 0.45,
+        epochs: 1,
+        max_batches: 1,
+        max_eval: 8,
+        d: 4,
+        k: 8,
+        hidden: 8,
+        channels: 4,
+        ..Profile::quick()
+    };
+    let prepared = prepare(DatasetPreset::NycBike, &profile);
+    let plan = prepared.eval_plan(&profile);
+
+    let prepared_ref = &prepared;
+    let profile_ref = &profile;
+    let plan_ref = plan.as_ref();
+    let fleet = || {
+        let jobs: Vec<FleetJob<'_, f32>> = (0..6u64)
+            .map(|rep| {
+                Box::new(move || {
+                    let mut p = profile_ref.clone();
+                    p.seed = profile_ref.seed + 100 * rep;
+                    let model = fit_model(ModelKind::MuseNet(AblationVariant::Full), prepared_ref, &p);
+                    let pred = model.predict_unscaled(prepared_ref, &plan_ref.indices);
+                    channel_errors(&pred, &plan_ref.truth).0.rmse
+                }) as FleetJob<'_, f32>
+            })
+            .collect();
+        muse_parallel::run_fleet("fig9.mini_bench", jobs)
+    };
+
+    let guard: RefCell<Option<JobsOverrideGuard>> = RefCell::new(None);
+    c.bench_pair(
+        "fig9_mini_fleet",
+        "fig9_mini_fleet_jobs4",
+        || black_box(fleet()),
+        || *guard.borrow_mut() = Some(scheduler::override_jobs(4)),
+        || {
+            guard.borrow_mut().take();
+        },
+    );
+}
+
 fn bench_train_step(c: &mut Criterion) {
     use muse_autograd::Tape;
     use muse_nn::{clip_grad_norm, Adam, Optimizer, Session};
@@ -215,6 +272,6 @@ fn bench_train_step(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_conv2d, bench_simulator, bench_backward, bench_serve_forecast, bench_pulling_loss, bench_train_step
+    targets = bench_matmul, bench_conv2d, bench_simulator, bench_backward, bench_serve_forecast, bench_pulling_loss, bench_fleet, bench_train_step
 }
 criterion_main!(benches);

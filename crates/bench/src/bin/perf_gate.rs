@@ -27,6 +27,15 @@
 //! *same trace*, so machine speed cancels out — by at most
 //! `MUSE_PROF_OVERHEAD_TOL` (default 2%).
 //!
+//! Bench pairs named `<base>_jobs<n>` / `<base>` (the kernels bench emits
+//! `fig9_mini_fleet_jobs4`) gate the **fleet speedup**: `record` stamps the
+//! measured sequential-over-fleet ratio into the baseline's `fleet` block,
+//! and `check` fails when the current ratio — again from the *same trace*,
+//! so machine speed cancels out — falls below the stamp by more than the
+//! tolerance band. A scheduler change that quietly serializes the fleet
+//! (or oversubscribes it into a slowdown) fails the gate even though each
+//! individual bench still passes its own min_ns band.
+//!
 //! ```text
 //! perf_gate record <trace.jsonl> <baseline.json>       write a new baseline
 //! perf_gate check  <trace.jsonl> <baseline.json> [tol] fail on regressions
@@ -43,6 +52,10 @@
 //!                                                      `_prof<hz>` timings
 //!                                                      (overhead-gate
 //!                                                      negative test)
+//! perf_gate doctor-fleet <baseline.json> <out.json>    inflate the stamped
+//!                                                      fleet speedups
+//!                                                      (fleet-gate negative
+//!                                                      test)
 //! ```
 //!
 //! Exit codes: 0 pass, 1 regression or malformed input, 2 usage error.
@@ -70,6 +83,11 @@ const PROF_OVERHEAD_MAX: f64 = 0.02;
 /// overhead rule trips.
 const DOCTOR_PROF_INFLATE: f64 = 1.5;
 
+/// How much `doctor-fleet` inflates the stamped fleet speedups: no honest
+/// run gets 10x faster than its own recorded ratio, so the fleet rule must
+/// trip while every other rule stays honest.
+const DOCTOR_FLEET_INFLATE: f64 = 10.0;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
@@ -80,6 +98,7 @@ fn main() -> ExitCode {
         [mode, baseline, out] if mode == "doctor-alloc" => doctor_alloc(baseline, out),
         [mode, baseline, out] if mode == "doctor-isa" => doctor_isa(baseline, out),
         [mode, trace, out] if mode == "doctor-prof" => doctor_prof(trace, out),
+        [mode, baseline, out] if mode == "doctor-fleet" => doctor_fleet(baseline, out),
         _ => {
             eprintln!(
                 "usage: perf_gate record <trace.jsonl> <baseline.json>\n       \
@@ -87,7 +106,8 @@ fn main() -> ExitCode {
                  perf_gate doctor <baseline.json> <doctored.json>\n       \
                  perf_gate doctor-alloc <baseline.json> <doctored.json>\n       \
                  perf_gate doctor-isa <baseline.json> <doctored.json>\n       \
-                 perf_gate doctor-prof <trace.jsonl> <doctored.jsonl>"
+                 perf_gate doctor-prof <trace.jsonl> <doctored.jsonl>\n       \
+                 perf_gate doctor-fleet <baseline.json> <doctored.json>"
             );
             return ExitCode::from(2);
         }
@@ -148,10 +168,33 @@ fn load_trace(path: &str) -> Result<TraceStats, String> {
     Ok(TraceStats { benches, kernels })
 }
 
+/// `(fleet bench name, sequential-over-fleet speedup)` for every
+/// `<base>_jobs<n>` bench whose unfleeted sibling is in the same trace.
+fn fleet_speedups(stats: &TraceStats) -> Vec<(String, f64)> {
+    stats
+        .benches
+        .iter()
+        .filter_map(|(name, fleet_min, _)| {
+            let base = fleet_base_name(name)?;
+            let (_, base_min, _) = stats.benches.iter().find(|(n, _, _)| n == base)?;
+            Some((name.clone(), base_min / fleet_min))
+        })
+        .collect()
+}
+
 fn baseline_json(stats: &TraceStats, tolerance: f64) -> Json {
     Json::obj([
         ("tolerance", Json::Num(tolerance)),
         ("simd_level", Json::Str(simd::level_name().to_string())),
+        (
+            "fleet",
+            Json::Obj(
+                fleet_speedups(stats)
+                    .into_iter()
+                    .map(|(name, s)| (name, Json::obj([("speedup", Json::Num(s))])))
+                    .collect(),
+            ),
+        ),
         (
             "benches",
             Json::Obj(
@@ -292,6 +335,46 @@ fn check(trace: &str, baseline_path: &str, cli_tolerance: Option<&String>) -> Re
         }
     }
 
+    // Fleet-speedup rule: every `<base>_jobs<n>` bench is compared to its
+    // sequential sibling within this trace (machine speed cancels out) and
+    // the ratio must not fall below the baseline's stamped speedup by more
+    // than the tolerance band. The stamp is recorded on the gating machine,
+    // so a 1-core runner gates ~1x and a many-core runner gates its real
+    // parallel win — each catches the fleet quietly serializing on its own
+    // hardware.
+    let base_fleet = match baseline.get("fleet") {
+        Some(Json::Obj(fields)) => fields,
+        _ => &empty,
+    };
+    for (name, speedup) in fleet_speedups(&stats) {
+        match base_fleet.iter().find(|(n, _)| n == &name) {
+            None => println!("  new  {name:<40} fleet speedup {speedup:.2}x (not in baseline)"),
+            Some((_, want)) => {
+                let want_speedup = want.get("speedup").and_then(Json::as_f64).unwrap_or(0.0);
+                let floor = want_speedup / (1.0 + tolerance);
+                let fail = speedup < floor;
+                let verdict = if fail { "FAIL" } else { "ok" };
+                println!(
+                    "  {verdict:<4} {name:<40} fleet speedup {speedup:.2}x  baseline {want_speedup:.2}x  (floor {floor:.2}x)"
+                );
+                if fail {
+                    failures.push(format!(
+                        "bench `{name}` fleet speedup fell to {speedup:.2}x vs stamped \
+                         {want_speedup:.2}x (floor {floor:.2}x at tolerance +{:.0}%)",
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    for (name, _, _) in &stats.benches {
+        if fleet_base_name(name).is_some_and(|base| !stats.benches.iter().any(|(n, _, _)| n == base)) {
+            failures.push(format!(
+                "bench `{name}` has no sequential sibling in the trace; cannot gate fleet speedup"
+            ));
+        }
+    }
+
     let base_kernels = match baseline.get("kernels") {
         Some(Json::Obj(fields)) => fields,
         _ => &empty,
@@ -386,6 +469,71 @@ fn prof_base_name(name: &str) -> Option<&str> {
         return None;
     }
     Some(base)
+}
+
+/// `fig9_mini_fleet_jobs4` → `fig9_mini_fleet`; `None` when the name is not
+/// a fleet-sibling bench (suffix must be `_jobs<digits>`).
+fn fleet_base_name(name: &str) -> Option<&str> {
+    let (base, n) = name.rsplit_once("_jobs")?;
+    if base.is_empty() || n.is_empty() || !n.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some(base)
+}
+
+/// Inflate every stamped fleet speedup so a subsequent `check` must fail on
+/// the fleet rule (and only on it: timings and kernels are untouched) — CI
+/// uses this to prove the fleet gate has teeth.
+fn doctor_fleet(baseline_path: &str, out: &str) -> Result<(), String> {
+    let baseline = load_baseline(baseline_path)?;
+    let mut inflated = 0usize;
+    let doctored = match baseline {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| if k == "fleet" { (k, inflate_fleet(v, &mut inflated)) } else { (k, v) })
+                .collect(),
+        ),
+        other => other,
+    };
+    if inflated == 0 {
+        return Err(format!("baseline {baseline_path} has no fleet speedups to inflate"));
+    }
+    std::fs::write(out, doctored.render() + "\n")
+        .map_err(|e| format!("cannot write doctored baseline {out}: {e}"))?;
+    println!(
+        "perf_gate: wrote fleet-doctored baseline ({inflated} speedups x{DOCTOR_FLEET_INFLATE}) to {out}"
+    );
+    Ok(())
+}
+
+fn inflate_fleet(fleet: Json, inflated: &mut usize) -> Json {
+    match fleet {
+        Json::Obj(entries) => Json::Obj(
+            entries
+                .into_iter()
+                .map(|(name, stat)| {
+                    let bumped = match stat {
+                        Json::Obj(fields) => Json::Obj(
+                            fields
+                                .into_iter()
+                                .map(|(k, v)| match v {
+                                    Json::Num(n) if k == "speedup" => {
+                                        *inflated += 1;
+                                        (k, Json::Num(n * DOCTOR_FLEET_INFLATE))
+                                    }
+                                    other => (k, other),
+                                })
+                                .collect(),
+                        ),
+                        other => other,
+                    };
+                    (name, bumped)
+                })
+                .collect(),
+        ),
+        other => other,
+    }
 }
 
 fn prof_overhead_tolerance() -> f64 {

@@ -1,7 +1,8 @@
 //! Fig. 4 — predicted vs ground-truth flow curves over a window of test
 //! intervals, for the multi-periodic methods.
 
-use crate::runner::{fit_model, prepare, ModelKind, Profile};
+use crate::runner::{fit_model, prepare, train_fleet, ModelKind, Profile};
+use muse_parallel::FleetJob;
 use muse_traffic::dataset::DatasetPreset;
 use std::fmt;
 
@@ -47,27 +48,37 @@ pub fn run(preset: DatasetPreset, profile: &Profile, window: usize) -> Fig4Resul
     let take = window.min(prepared.split.test.len());
     let indices: Vec<usize> = prepared.split.test[..take].to_vec();
     let truth_frames = prepared.truth(&indices);
-    let citywide = |frames: &muse_tensor::Tensor| -> Vec<f32> {
-        (0..frames.dims()[0])
-            .map(|i| frames.index_axis0(i).index_axis0(1).sum()) // inflow channel
-            .collect()
-    };
-    let truth = citywide(&truth_frames);
+    let truth = citywide_inflow(&truth_frames);
 
-    let curves = ModelKind::multiperiodic_lineup()
+    // One fleet job per lineup model: the model is built, trained, and
+    // consumed inside its job (models are !Send), returning only the
+    // plain-data curve.
+    let prepared_ref = &prepared;
+    let indices_ref = &indices;
+    let truth_ref = &truth;
+    let jobs: Vec<FleetJob<'_, Curve>> = ModelKind::multiperiodic_lineup()
         .into_iter()
         .map(|kind| {
-            let model = fit_model(kind, &prepared, profile);
-            let pred = model.predict_unscaled(&prepared, &indices);
-            let values = citywide(&pred);
-            let curve_rmse = (values.iter().zip(&truth).map(|(&p, &t)| (p - t) * (p - t)).sum::<f32>()
-                / truth.len() as f32)
-                .sqrt();
-            Curve { name: model.name(), values, curve_rmse, is_ours: kind.is_ours() }
+            Box::new(move || {
+                let model = fit_model(kind, prepared_ref, profile);
+                let pred = model.predict_unscaled(prepared_ref, indices_ref);
+                let values = citywide_inflow(&pred);
+                let curve_rmse =
+                    (values.iter().zip(truth_ref).map(|(&p, &t)| (p - t) * (p - t)).sum::<f32>()
+                        / truth_ref.len() as f32)
+                        .sqrt();
+                Curve { name: model.name(), values, curve_rmse, is_ours: kind.is_ours() }
+            }) as FleetJob<'_, Curve>
         })
         .collect();
+    let curves = train_fleet("fig4.lineup", profile, jobs);
 
     Fig4Result { dataset: preset.name().to_string(), indices, truth, curves }
+}
+
+/// Citywide inflow (channel 1) per frame of a `[N, 2, H, W]` stack.
+fn citywide_inflow(frames: &muse_tensor::Tensor) -> Vec<f32> {
+    (0..frames.dims()[0]).map(|i| frames.index_axis0(i).index_axis0(1).sum()).collect()
 }
 
 impl fmt::Display for Fig4Result {

@@ -1,7 +1,8 @@
 //! Fig. 9 — parameter sensitivity: test RMSE of MUSE-Net as λ, k, and d
 //! sweep, with repeats for the fluctuation band.
 
-use crate::runner::{channel_errors, prepare, Prepared, Profile};
+use crate::runner::{channel_errors, prepare, train_fleet, EvalPlan, Prepared, Profile};
+use muse_parallel::FleetJob;
 use muse_traffic::dataset::DatasetPreset;
 use musenet::{MuseNet, MuseNetConfig, Trainer};
 use std::fmt;
@@ -63,65 +64,101 @@ pub fn default_grids() -> (Vec<f32>, Vec<usize>, Vec<usize>) {
     (vec![1e-3, 1e-1, 1.0, 1e1, 1e3], vec![8, 16, 32, 64], vec![4, 8, 16, 32])
 }
 
+/// Which config field one sweep point perturbs, and to what.
+#[derive(Debug, Clone, Copy)]
+enum Apply {
+    Lambda(f32),
+    K(usize),
+    D(usize),
+}
+
+impl Apply {
+    fn value(self) -> f32 {
+        match self {
+            Apply::Lambda(v) => v,
+            Apply::K(v) => v as f32,
+            Apply::D(v) => v as f32,
+        }
+    }
+
+    fn apply(self, cfg: &mut MuseNetConfig) {
+        match self {
+            Apply::Lambda(v) => cfg.lambda = v,
+            Apply::K(v) => cfg.k = v,
+            Apply::D(v) => cfg.d = v,
+        }
+    }
+}
+
 /// Run the Fig. 9 driver with `repeats` seeds per point.
 ///
 /// The sweep trains `(5 + 4 + 4) × repeats` models, so each inner run uses
 /// a reduced budget (≈ a third of the profile's epochs) — the sweep's
 /// purpose is *relative* sensitivity, not absolute accuracy.
+///
+/// Every `(point, repeat)` training is an independent fleet job: each
+/// model's arithmetic is fixed by its config and seed (`seed + 100·rep`),
+/// so results are bit-identical to the sequential order for any
+/// `MUSE_JOBS` value.
 pub fn run(preset: DatasetPreset, profile: &Profile, repeats: usize) -> Fig9Result {
     let mut profile = profile.clone();
     profile.epochs = (profile.epochs / 3).max(3);
     profile.max_batches = if profile.max_batches == 0 { 40 } else { profile.max_batches.min(40) };
     let profile = &profile;
     let prepared = prepare(preset, profile);
+    let plan = prepared.eval_plan(profile);
     let (lambdas, ks, ds) = default_grids();
 
-    let lambda = lambdas
+    let points: Vec<Apply> = lambdas
         .iter()
-        .map(|&l| sweep_point(&prepared, profile, repeats, l, |cfg, v| cfg.lambda = v))
+        .map(|&l| Apply::Lambda(l))
+        .chain(ks.iter().map(|&k| Apply::K(k)))
+        .chain(ds.iter().map(|&d| Apply::D(d)))
         .collect();
-    let k = ks
+    let repeats = repeats.max(1);
+    let prepared_ref = &prepared;
+    let plan_ref = plan.as_ref();
+    let jobs: Vec<FleetJob<'_, f32>> = points
         .iter()
-        .map(|&kv| sweep_point(&prepared, profile, repeats, kv as f32, |cfg, v| cfg.k = v as usize))
+        .flat_map(|&point| {
+            (0..repeats).map(move |rep| {
+                Box::new(move || train_one(prepared_ref, profile, plan_ref, point, rep)) as FleetJob<'_, f32>
+            })
+        })
         .collect();
-    let d = ds
+    let rmses = train_fleet("fig9.sweep", profile, jobs);
+
+    let stats: Vec<SweepPoint> = points
         .iter()
-        .map(|&dv| sweep_point(&prepared, profile, repeats, dv as f32, |cfg, v| cfg.d = v as usize))
+        .zip(rmses.chunks(repeats))
+        .map(|(point, reps)| SweepPoint {
+            value: point.value(),
+            mean_rmse: reps.iter().sum::<f32>() / reps.len() as f32,
+            min_rmse: reps.iter().copied().fold(f32::INFINITY, f32::min),
+            max_rmse: reps.iter().copied().fold(0.0, f32::max),
+        })
         .collect();
+    let lambda = stats[..lambdas.len()].to_vec();
+    let k = stats[lambdas.len()..lambdas.len() + ks.len()].to_vec();
+    let d = stats[lambdas.len() + ks.len()..].to_vec();
 
     Fig9Result { dataset: prepared.dataset.name.clone(), lambda, k, d }
 }
 
-fn sweep_point(
-    prepared: &Prepared,
-    profile: &Profile,
-    repeats: usize,
-    value: f32,
-    apply: impl Fn(&mut MuseNetConfig, f32),
-) -> SweepPoint {
-    let eval_idx = prepared.eval_indices(profile);
-    let truth = prepared.truth(&eval_idx);
-    let mut rmses = Vec::with_capacity(repeats);
-    for rep in 0..repeats.max(1) {
-        let mut cfg = MuseNetConfig::cpu_profile(prepared.dataset.grid(), prepared.spec);
-        cfg.d = profile.d;
-        cfg.k = profile.k;
-        cfg.seed = profile.seed + 100 * rep as u64;
-        apply(&mut cfg, value);
-        cfg.validate();
-        let mut trainer = Trainer::new(MuseNet::new(cfg), profile.trainer_options());
-        trainer.fit(&prepared.scaled, &prepared.spec, &prepared.split.train, &prepared.split.val);
-        let pred =
-            prepared.scaler.unscale(&trainer.predict_indices(&prepared.scaled, &prepared.spec, &eval_idx));
-        let (out, _) = channel_errors(&pred, &truth);
-        rmses.push(out.rmse);
-    }
-    SweepPoint {
-        value,
-        mean_rmse: rmses.iter().sum::<f32>() / rmses.len() as f32,
-        min_rmse: rmses.iter().copied().fold(f32::INFINITY, f32::min),
-        max_rmse: rmses.iter().copied().fold(0.0, f32::max),
-    }
+/// Train one sweep model and return its outflow RMSE on the shared plan.
+fn train_one(prepared: &Prepared, profile: &Profile, plan: &EvalPlan, point: Apply, rep: usize) -> f32 {
+    let mut cfg = MuseNetConfig::cpu_profile(prepared.dataset.grid(), prepared.spec);
+    cfg.d = profile.d;
+    cfg.k = profile.k;
+    cfg.seed = profile.seed + 100 * rep as u64;
+    point.apply(&mut cfg);
+    cfg.validate();
+    let mut trainer = Trainer::new(MuseNet::new(cfg), profile.trainer_options());
+    trainer.fit(&prepared.scaled, &prepared.spec, &prepared.split.train, &prepared.split.val);
+    let pred =
+        prepared.scaler.unscale(&trainer.predict_indices(&prepared.scaled, &prepared.spec, &plan.indices));
+    let (out, _) = channel_errors(&pred, &plan.truth);
+    out.rmse
 }
 
 impl fmt::Display for Fig9Result {

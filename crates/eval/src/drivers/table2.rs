@@ -1,9 +1,10 @@
 //! Table II — one-step forecasting comparison across the three datasets:
 //! outflow/inflow RMSE, MAE, MAPE for every method plus the improvement row.
 
-use crate::runner::{channel_errors, fit_model, prepare, EvalSet, ModelKind, Profile};
+use crate::runner::{channel_errors, fit_model, prepare, train_fleet, EvalSet, ModelKind, Profile};
 use muse_metrics::error::improvement_percent;
 use muse_metrics::Table;
+use muse_parallel::FleetJob;
 use std::fmt;
 
 /// Per-method metric row: `[out RMSE, out MAE, out MAPE, in RMSE, in MAE, in MAPE]`.
@@ -58,26 +59,31 @@ impl Table2Result {
 }
 
 /// Run one-step evaluation for a model lineup; shared with Tables IV/V.
+/// Each lineup model trains in its own fleet job against the prepared
+/// dataset's cached eval plan; rows come back in lineup order.
 pub fn one_step_rows(
     prepared: &crate::runner::Prepared,
     profile: &Profile,
     lineup: &[ModelKind],
 ) -> Vec<MethodRow> {
-    let eval_idx = prepared.eval_indices(profile);
-    let truth = prepared.truth(&eval_idx);
-    lineup
+    let plan = prepared.eval_plan(profile);
+    let plan_ref = plan.as_ref();
+    let jobs: Vec<FleetJob<'_, MethodRow>> = lineup
         .iter()
         .map(|&kind| {
-            let model = fit_model(kind, prepared, profile);
-            let pred = model.predict_unscaled(prepared, &eval_idx);
-            let (out, inn) = channel_errors(&pred, &truth);
-            MethodRow {
-                name: model.name(),
-                metrics: [out.rmse, out.mae, out.mape, inn.rmse, inn.mae, inn.mape],
-                is_ours: kind.is_ours(),
-            }
+            Box::new(move || {
+                let model = fit_model(kind, prepared, profile);
+                let pred = model.predict_unscaled(prepared, &plan_ref.indices);
+                let (out, inn) = channel_errors(&pred, &plan_ref.truth);
+                MethodRow {
+                    name: model.name(),
+                    metrics: [out.rmse, out.mae, out.mape, inn.rmse, inn.mae, inn.mape],
+                    is_ours: kind.is_ours(),
+                }
+            }) as FleetJob<'_, MethodRow>
         })
-        .collect()
+        .collect();
+    train_fleet("table2.lineup", profile, jobs)
 }
 
 /// Run the full Table II driver.

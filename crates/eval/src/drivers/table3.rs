@@ -1,9 +1,15 @@
 //! Table III — multi-step forecasting (3 horizons) for the multi-periodic
 //! methods, via autoregressive rollout.
 
-use crate::runner::{channel_errors, fit_model, prepare, EvalSet, ModelKind, Profile};
+use crate::runner::{channel_errors, fit_model, prepare, train_fleet, EvalSet, ModelKind, Profile};
 use muse_metrics::Table;
+use muse_parallel::FleetJob;
+use muse_tensor::Tensor;
 use std::fmt;
+
+/// What one fleet job returns: `(model name, is_ours, one metric row per
+/// horizon)`.
+type ModelHorizons = (String, bool, Vec<[f32; 6]>);
 
 /// Metrics of one method at one horizon.
 #[derive(Debug, Clone)]
@@ -70,20 +76,44 @@ pub fn run(set: EvalSet, profile: &Profile, n_horizons: usize) -> Table3Result {
             let prepared = prepare(preset, profile);
             // Multi-step needs n, n+1, n+2 in range — the split reserved them.
             let eval_idx = prepared.eval_indices(profile);
-            let mut horizons: Vec<Vec<HorizonRow>> = vec![Vec::new(); n_horizons];
-            for &kind in &lineup {
-                let model = fit_model(kind, &prepared, profile);
-                let preds = model.predict_multi_step(&prepared, &eval_idx, n_horizons);
-                for (h, pred_scaled) in preds.into_iter().enumerate() {
-                    let pred = prepared.scaler.unscale(&pred_scaled);
+            // Per-horizon truths are identical across models: compute each
+            // stack once per dataset, not once per model.
+            let truths: Vec<Tensor> = (0..n_horizons)
+                .map(|h| {
                     let truth_idx: Vec<usize> = eval_idx.iter().map(|&n| n + h).collect();
-                    let truth = prepared.truth(&truth_idx);
-                    let (out, inn) = channel_errors(&pred, &truth);
-                    horizons[h].push(HorizonRow {
-                        name: model.name(),
-                        metrics: [out.rmse, out.mae, out.mape, inn.rmse, inn.mae, inn.mape],
-                        is_ours: kind.is_ours(),
-                    });
+                    prepared.truth(&truth_idx)
+                })
+                .collect();
+            // One fleet job per lineup model, returning its name plus one
+            // metric row per horizon; rows are reassembled per horizon in
+            // lineup order below.
+            let prepared_ref = &prepared;
+            let eval_ref = &eval_idx;
+            let truths_ref = &truths;
+            let jobs: Vec<FleetJob<'_, ModelHorizons>> = lineup
+                .iter()
+                .map(|&kind| {
+                    Box::new(move || {
+                        let model = fit_model(kind, prepared_ref, profile);
+                        let preds = model.predict_multi_step(prepared_ref, eval_ref, n_horizons);
+                        let metrics = preds
+                            .into_iter()
+                            .enumerate()
+                            .map(|(h, pred_scaled)| {
+                                let pred = prepared_ref.scaler.unscale(&pred_scaled);
+                                let (out, inn) = channel_errors(&pred, &truths_ref[h]);
+                                [out.rmse, out.mae, out.mape, inn.rmse, inn.mae, inn.mape]
+                            })
+                            .collect();
+                        (model.name(), kind.is_ours(), metrics)
+                    }) as FleetJob<'_, ModelHorizons>
+                })
+                .collect();
+            let per_model = train_fleet("table3.lineup", profile, jobs);
+            let mut horizons: Vec<Vec<HorizonRow>> = vec![Vec::new(); n_horizons];
+            for (name, is_ours, metrics) in per_model {
+                for (h, m) in metrics.into_iter().enumerate() {
+                    horizons[h].push(HorizonRow { name: name.clone(), metrics: m, is_ours });
                 }
             }
             DatasetMultiStep { dataset: preset.name().to_string(), horizons }

@@ -1,9 +1,10 @@
 //! Table IV — peak vs non-peak one-step performance (RMSE, MAPE) for the
 //! multi-periodic methods.
 
-use crate::runner::{fit_model, prepare, split_channels, EvalSet, ModelKind, Prepared, Profile};
+use crate::runner::{fit_model, prepare, split_channels, train_fleet, EvalSet, ModelKind, Prepared, Profile};
 use muse_metrics::error::masked_errors;
 use muse_metrics::Table;
+use muse_parallel::FleetJob;
 use muse_traffic::masks::peak_mask;
 use std::fmt;
 
@@ -43,34 +44,42 @@ pub fn masked_comparison(
     labels: (&str, &str),
 ) -> Vec<MaskedRow> {
     let lineup = ModelKind::multiperiodic_lineup();
-    let eval_idx = prepared.eval_indices(profile);
-    assert_eq!(mask.len(), eval_idx.len(), "mask/indices mismatch");
-    let truth = prepared.truth(&eval_idx);
+    let plan = prepared.eval_plan(profile);
+    assert_eq!(mask.len(), plan.indices.len(), "mask/indices mismatch");
+    // The truth split is identical for every model: hoist it out of the
+    // per-model jobs.
+    let (truth_out, truth_in) = split_channels(&plan.truth);
     let inverse: Vec<bool> = mask.iter().map(|&b| !b).collect();
     let _ = labels;
-    lineup
+    let plan_ref = plan.as_ref();
+    let inverse_ref = &inverse;
+    let truth_out_ref = &truth_out;
+    let truth_in_ref = &truth_in;
+    let jobs: Vec<FleetJob<'_, MaskedRow>> = lineup
         .iter()
         .map(|&kind| {
-            let model = fit_model(kind, prepared, profile);
-            let pred = model.predict_unscaled(prepared, &eval_idx);
-            let (po, pi) = split_channels(&pred);
-            let (to, ti) = split_channels(&truth);
-            let stats = |m: &[bool]| -> [f32; 4] {
-                let so = masked_errors(&po, &to, m);
-                let si = masked_errors(&pi, &ti, m);
-                match (so, si) {
-                    (Some(o), Some(i)) => [o.rmse, o.mape, i.rmse, i.mape],
-                    _ => [f32::NAN; 4],
+            Box::new(move || {
+                let model = fit_model(kind, prepared, profile);
+                let pred = model.predict_unscaled(prepared, &plan_ref.indices);
+                let (po, pi) = split_channels(&pred);
+                let stats = |m: &[bool]| -> [f32; 4] {
+                    let so = masked_errors(&po, truth_out_ref, m);
+                    let si = masked_errors(&pi, truth_in_ref, m);
+                    match (so, si) {
+                        (Some(o), Some(i)) => [o.rmse, o.mape, i.rmse, i.mape],
+                        _ => [f32::NAN; 4],
+                    }
+                };
+                MaskedRow {
+                    name: model.name(),
+                    masked: stats(mask),
+                    unmasked: stats(inverse_ref),
+                    is_ours: kind.is_ours(),
                 }
-            };
-            MaskedRow {
-                name: model.name(),
-                masked: stats(mask),
-                unmasked: stats(&inverse),
-                is_ours: kind.is_ours(),
-            }
+            }) as FleetJob<'_, MaskedRow>
         })
-        .collect()
+        .collect();
+    train_fleet("table4.lineup", profile, jobs)
 }
 
 /// Full Table IV result.

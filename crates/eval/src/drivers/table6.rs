@@ -1,8 +1,9 @@
 //! Table VI — ablation study: the four variants of §V-D against the full
 //! model, RMSE and MAE per flow direction.
 
-use crate::runner::{channel_errors, fit_model, prepare, EvalSet, ModelKind, Profile};
+use crate::runner::{channel_errors, fit_model, prepare, train_fleet, EvalSet, ModelKind, Profile};
 use muse_metrics::Table;
+use muse_parallel::FleetJob;
 use musenet::AblationVariant;
 use std::fmt;
 
@@ -74,21 +75,27 @@ pub fn run(set: EvalSet, profile: &Profile) -> Table6Result {
         .into_iter()
         .map(|preset| {
             let prepared = prepare(preset, profile);
-            let eval_idx = prepared.eval_indices(profile);
-            let truth = prepared.truth(&eval_idx);
-            let rows = AblationVariant::all()
+            let plan = prepared.eval_plan(profile);
+            // One fleet job per ablation variant (each trains its own
+            // MUSE-Net against the shared eval plan).
+            let prepared_ref = &prepared;
+            let plan_ref = plan.as_ref();
+            let jobs: Vec<FleetJob<'_, AblationRow>> = AblationVariant::all()
                 .into_iter()
                 .map(|variant| {
-                    let model = fit_model(ModelKind::MuseNet(variant), &prepared, profile);
-                    let pred = model.predict_unscaled(&prepared, &eval_idx);
-                    let (out, inn) = channel_errors(&pred, &truth);
-                    AblationRow {
-                        name: variant.name().to_string(),
-                        metrics: [out.rmse, out.mae, inn.rmse, inn.mae],
-                        variant,
-                    }
+                    Box::new(move || {
+                        let model = fit_model(ModelKind::MuseNet(variant), prepared_ref, profile);
+                        let pred = model.predict_unscaled(prepared_ref, &plan_ref.indices);
+                        let (out, inn) = channel_errors(&pred, &plan_ref.truth);
+                        AblationRow {
+                            name: variant.name().to_string(),
+                            metrics: [out.rmse, out.mae, inn.rmse, inn.mae],
+                            variant,
+                        }
+                    }) as FleetJob<'_, AblationRow>
                 })
                 .collect();
+            let rows = train_fleet("table6.ablation", profile, jobs);
             AblationTable { dataset: preset.name().to_string(), rows }
         })
         .collect();

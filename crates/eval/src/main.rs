@@ -15,6 +15,9 @@
 //!   --dataset <n>  nyc-bike | nyc-taxi | taxibj (default: all for tables,
 //!                  nyc-bike for figures)
 //!   --epochs <n>   override training epochs
+//!   --max-batches <n>
+//!                  override the per-epoch train-batch cap (0 = all)
+//!   --repeats <n>  seeds per fig9 sweep point (default 3)
 //!   --seed <n>     override master seed
 //!   --out <dir>    also write each artifact to <dir>/<experiment>.txt
 //!   --save-checkpoint <p>
@@ -52,6 +55,7 @@ struct Args {
     serve_metrics: Option<String>,
     linger_ms: u64,
     prof: bool,
+    repeats: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
     let mut serve_metrics = None;
     let mut linger_ms = 0u64;
     let mut prof = false;
+    let mut repeats = 3usize;
     let mut scale: Option<f32> = None;
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -85,6 +90,14 @@ fn parse_args() -> Result<Args, String> {
             "--epochs" => {
                 let v = argv.next().ok_or("--epochs needs a value")?;
                 profile.epochs = v.parse().map_err(|_| format!("bad epochs {v}"))?;
+            }
+            "--max-batches" => {
+                let v = argv.next().ok_or("--max-batches needs a value")?;
+                profile.max_batches = v.parse().map_err(|_| format!("bad max-batches {v}"))?;
+            }
+            "--repeats" => {
+                let v = argv.next().ok_or("--repeats needs a value")?;
+                repeats = v.parse().map_err(|_| format!("bad repeats {v}"))?;
             }
             "--seed" => {
                 let v = argv.next().ok_or("--seed needs a value")?;
@@ -121,12 +134,13 @@ fn parse_args() -> Result<Args, String> {
     if let Some(s) = scale {
         profile = profile.scaled(s);
     }
-    Ok(Args { experiment, profile, dataset, out, trace, serve_metrics, linger_ms, prof })
+    Ok(Args { experiment, profile, dataset, out, trace, serve_metrics, linger_ms, prof, repeats })
 }
 
 fn usage() -> String {
     "usage: muse-eval <table1|table2|table3|table4|table5|table6|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|all> \
-     [--quick|--standard] [--scale f] [--dataset nyc-bike|nyc-taxi|taxibj] [--epochs n] [--seed n] [--out dir] \
+     [--quick|--standard] [--scale f] [--dataset nyc-bike|nyc-taxi|taxibj] [--epochs n] [--max-batches n] \
+     [--repeats n] [--seed n] [--out dir] \
      [--save-checkpoint path.ckpt] [--load-checkpoint path.ckpt] \
      [--trace path.jsonl] [--serve-metrics host:port] [--linger-ms n] [--prof]"
         .to_string()
@@ -215,6 +229,7 @@ fn main() {
                 ("profile", profile_json(&args.profile)),
                 ("dataset", args.dataset.map(|p| format!("{p:?}")).as_deref().unwrap_or("all").to_json()),
                 ("threads", Json::Num(muse_parallel::current_threads() as f64)),
+                ("jobs", Json::Num(muse_parallel::current_jobs() as f64)),
                 ("simd", Json::Str(muse_tensor::simd::level_name().to_string())),
                 ("metrics_addr", server.as_ref().map_or(Json::Null, |s| Json::Str(s.addr().to_string()))),
                 (
@@ -325,7 +340,7 @@ fn run_experiment(exp: &str, args: &Args) -> String {
         "fig6" => drivers::fig6::run(fig_preset, profile, 48).to_string(),
         "fig7" => drivers::fig7::run(fig_preset, profile, 48).to_string(),
         "fig8" => drivers::fig8::run(fig_preset, profile, 78).to_string(),
-        "fig9" => drivers::fig9::run(fig_preset, profile, 3).to_string(),
+        "fig9" => drivers::fig9::run(fig_preset, profile, args.repeats).to_string(),
         other => {
             eprintln!("unknown experiment {other}\n{}", usage());
             std::process::exit(2);

@@ -13,6 +13,7 @@ use muse_traffic::subseries::SubSeriesSpec;
 use muse_traffic::FlowSeries;
 use musenet::{AblationVariant, MuseNet, MuseNetConfig, Trainer, TrainerOptions};
 use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
 
 /// Compute/scale profile for an experiment run.
 ///
@@ -143,6 +144,8 @@ pub struct Prepared {
     pub scaler: Scaler,
     /// The full series in scaled `[-1, 1]` units.
     pub scaled: FlowSeries,
+    /// Lazily cached [`EvalPlan`], keyed by the `max_eval` it was built for.
+    plan: OnceLock<(usize, Arc<EvalPlan>)>,
 }
 
 /// Generate and prepare a dataset preset under a profile.
@@ -154,7 +157,19 @@ pub fn prepare(preset: DatasetPreset, profile: &Profile) -> Prepared {
     let split = dataset.split(&spec, 0.30, 0.10, 3);
     let scaler = dataset.fit_scaler(&split);
     let scaled = dataset.scaled_flows(&scaler);
-    Prepared { dataset, spec, split, scaler, scaled }
+    Prepared { dataset, spec, split, scaler, scaled, plan: OnceLock::new() }
+}
+
+/// The shared evaluation plan of one driver run: the subsampled test
+/// indices and their stacked ground truth, computed once per prepared
+/// dataset instead of once per sweep point / lineup entry (they are
+/// identical across a run's models — recomputing them was pure waste,
+/// and the fleet scheduler would have recomputed them per job).
+pub struct EvalPlan {
+    /// Test indices, subsampled evenly to the profile's evaluation cap.
+    pub indices: Vec<usize>,
+    /// Ground-truth frames (original units) for `indices`: `[N, 2, H, W]`.
+    pub truth: Tensor,
 }
 
 impl Prepared {
@@ -168,6 +183,41 @@ impl Prepared {
         let frames: Vec<Tensor> = indices.iter().map(|&n| self.dataset.flows.frame(n)).collect();
         let refs: Vec<&Tensor> = frames.iter().collect();
         Tensor::stack(&refs)
+    }
+
+    /// The cached [`EvalPlan`] for this profile. The cache is keyed by
+    /// `max_eval`; a different cap on the same `Prepared` (which no driver
+    /// does today) computes a fresh uncached plan rather than serving a
+    /// stale one.
+    pub fn eval_plan(&self, profile: &Profile) -> Arc<EvalPlan> {
+        let build = || {
+            let indices = self.eval_indices(profile);
+            let truth = self.truth(&indices);
+            Arc::new(EvalPlan { indices, truth })
+        };
+        let (cap, plan) = self.plan.get_or_init(|| (profile.max_eval, build()));
+        if *cap == profile.max_eval {
+            Arc::clone(plan)
+        } else {
+            build()
+        }
+    }
+}
+
+/// Run per-model training jobs through the inter-op fleet scheduler
+/// ([`muse_parallel::run_fleet`]), with one eval-specific guard: when the
+/// profile saves checkpoints, jobs are forced sequential — concurrent
+/// trainings would race on the checkpoint file, and the documented
+/// "most recently trained wins" contract needs a defined training order.
+pub fn train_fleet<'a, R: Send>(
+    label: &str,
+    profile: &Profile,
+    jobs: Vec<muse_parallel::FleetJob<'a, R>>,
+) -> Vec<R> {
+    if profile.save_checkpoint.is_some() {
+        muse_parallel::with_jobs(1, || muse_parallel::run_fleet(label, jobs))
+    } else {
+        muse_parallel::run_fleet(label, jobs)
     }
 }
 
@@ -584,6 +634,38 @@ mod tests {
         assert_eq!(o.dims(), &[2, 1, 2, 2]);
         assert_eq!(o.at(&[0, 0, 0, 0]), 0.0);
         assert_eq!(i.at(&[0, 0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn eval_plan_caches_per_cap() {
+        let profile = tiny_profile();
+        let prepared = prepare(DatasetPreset::NycBike, &profile);
+        let a = prepared.eval_plan(&profile);
+        let b = prepared.eval_plan(&profile);
+        assert!(Arc::ptr_eq(&a, &b), "same cap must reuse the cached plan");
+        assert_eq!(a.indices, prepared.eval_indices(&profile));
+        let mut other = profile.clone();
+        other.max_eval = 6;
+        let c = prepared.eval_plan(&other);
+        assert!(!Arc::ptr_eq(&a, &c), "different cap must not reuse the cache");
+        assert_eq!(c.indices, prepared.eval_indices(&other));
+    }
+
+    #[test]
+    fn train_fleet_checkpoint_forces_sequential() {
+        let mut profile = tiny_profile();
+        profile.save_checkpoint = Some(std::env::temp_dir().join("muse-fleet-ckpt-test"));
+        let caller = std::thread::current().id();
+        let ids = muse_parallel::with_jobs(4, || {
+            let jobs: Vec<muse_parallel::FleetJob<'_, std::thread::ThreadId>> = (0..3)
+                .map(|_| {
+                    Box::new(|| std::thread::current().id())
+                        as muse_parallel::FleetJob<'_, std::thread::ThreadId>
+                })
+                .collect();
+            train_fleet("test.ckpt_guard", &profile, jobs)
+        });
+        assert!(ids.iter().all(|&id| id == caller), "checkpointing fleets must run on the caller thread");
     }
 
     #[test]

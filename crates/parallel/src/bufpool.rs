@@ -97,6 +97,22 @@ impl BufferPool {
         shelves.entry(cap).or_default().push(buf);
     }
 
+    /// Evict the smallest shelved buffer whose capacity is strictly below
+    /// `cap`, returning the bytes freed (`None` when every shelved buffer
+    /// is at least `cap`, i.e. more valuable than what the caller wants to
+    /// make room for). This is the building block for byte budgets that
+    /// span several pools — the sharded tensor arena keeps each shard's
+    /// own bound slack and drives global eviction through this instead.
+    pub fn evict_smaller_than(&self, cap: usize) -> Option<usize> {
+        let mut shelves = self.lock();
+        let smallest = *shelves.keys().next()?;
+        if smallest >= cap {
+            return None;
+        }
+        self.pop_from(&mut shelves, smallest)?;
+        Some(smallest * std::mem::size_of::<f32>())
+    }
+
     /// Bytes currently retained (capacity of every shelved buffer).
     pub fn retained_bytes(&self) -> usize {
         self.retained_bytes.load(Ordering::Relaxed)
@@ -162,6 +178,21 @@ mod tests {
         pool.recycle(Vec::with_capacity(1024)); // 4096 bytes: evicts the 512
         assert_eq!(pool.retained_buffers(), 1);
         assert!(pool.try_take(1024).is_some());
+    }
+
+    #[test]
+    fn evict_smaller_than_frees_only_less_valuable_buffers() {
+        let pool = BufferPool::new(8, usize::MAX);
+        pool.recycle(Vec::with_capacity(32));
+        pool.recycle(Vec::with_capacity(64));
+        pool.recycle(Vec::with_capacity(1024));
+        // Smallest-first, strictly below the threshold.
+        assert_eq!(pool.evict_smaller_than(128), Some(32 * 4));
+        assert_eq!(pool.evict_smaller_than(128), Some(64 * 4));
+        assert_eq!(pool.evict_smaller_than(128), None, "the 1024 shelf is worth more");
+        assert_eq!(pool.retained_buffers(), 1);
+        assert_eq!(pool.evict_smaller_than(usize::MAX), Some(1024 * 4));
+        assert_eq!(pool.evict_smaller_than(usize::MAX), None, "empty pool");
     }
 
     #[test]

@@ -29,13 +29,20 @@
 //! Nested dispatch from inside a pool job always runs inline (see
 //! [`pool::in_worker`]), so per-job work stays sequential and deadlock is
 //! structurally impossible.
+//!
+//! Above the kernel-level (intra-op) pool sits the inter-op fleet layer
+//! ([`scheduler`]): `MUSE_JOBS` whole trainings run concurrently, each
+//! worker taking `max(1, MUSE_THREADS / MUSE_JOBS)` intra-op threads so
+//! the two layers never oversubscribe the machine.
 
 pub mod bufpool;
 pub mod pool;
+pub mod scheduler;
 pub mod scratch;
 
 pub use bufpool::BufferPool;
 pub use pool::ThreadPool;
+pub use scheduler::{current_jobs, env_jobs, run_fleet, with_jobs, FleetJob};
 pub use scratch::{take_uninit, take_zeroed, Scratch};
 
 use muse_obs as obs;

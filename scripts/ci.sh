@@ -32,7 +32,8 @@ echo "==> muse-trace: record a short training trace and analyze it"
 cargo run -q --release -p muse-eval -- fig4 --epochs 2 --trace target/ci_eval_trace.jsonl >/dev/null
 cargo run -q --release -p muse-trace -- report target/ci_eval_trace.jsonl | tee target/ci_trace_report.txt | grep -q "training runs:"
 cargo run -q --release -p muse-trace -- flame target/ci_eval_trace.jsonl --out target/ci_flame.txt
-grep -q "^train.fit" target/ci_flame.txt
+# training stacks are rooted at the scheduler span since the fleet scheduler landed
+grep -Eq '^(sched\.job;)?train\.fit' target/ci_flame.txt
 cargo run -q --release -p muse-trace -- diff target/ci_eval_trace.jsonl target/ci_eval_trace.jsonl >/dev/null
 echo "    report, flame and self-diff OK"
 
@@ -42,7 +43,7 @@ MUSE_PROF_HZ=97 cargo run -q --release -p muse-eval -- fig4 --epochs 2 \
 [ -f target/ci_prof_trace.folded ] || { echo "muse-eval --prof wrote no .folded artifact" >&2; exit 1; }
 cargo run -q --release -p muse-trace -- prof target/ci_prof_trace.folded \
     --out target/ci_prof_flame.txt | tee target/ci_prof_report.txt | grep -q 'dominant: .*backward'
-grep -q '^train.fit' target/ci_prof_flame.txt
+grep -Eq '^(sched\.job;)?train\.fit' target/ci_prof_flame.txt
 cargo run -q --release -p muse-trace -- prof diff target/ci_prof_trace.folded target/ci_prof_trace.folded >/dev/null
 echo "    folded artifact written, backward pass dominant, prof self-diff clean"
 
@@ -201,6 +202,49 @@ if cargo run -q --release -p muse-bench --bin perf_gate -- check target/doctored
     exit 1
 fi
 echo "    inflated sampling overhead rejected, overhead gate has teeth"
+
+echo "==> fleet gate negative test: baseline with inflated fleet speedups must fail"
+grep -q '"fleet"' BENCH_kernels.json || {
+    echo "BENCH_kernels.json has no fleet speedup stamp (re-record with scripts/perf_gate.sh record)" >&2
+    exit 1
+}
+cargo run -q --release -p muse-bench --bin perf_gate -- doctor-fleet BENCH_kernels.json target/doctored_fleet_baseline.json
+if cargo run -q --release -p muse-bench --bin perf_gate -- check target/perf_gate_trace.jsonl target/doctored_fleet_baseline.json >/dev/null 2>&1; then
+    echo "perf gate FAILED to reject inflated fleet speedups" >&2
+    exit 1
+fi
+echo "    inflated fleet speedups rejected, fleet gate has teeth"
+
+echo "==> fleet scheduler: fig9 mini-sweep under MUSE_JOBS=2, sched metrics live"
+FLEET_ADDR=127.0.0.1:19667
+MUSE_JOBS=2 MUSE_PROF_HZ=97 cargo run -q --release -p muse-eval -- fig9 \
+    --scale 0.45 --epochs 3 --max-batches 4 --repeats 1 \
+    --serve-metrics "$FLEET_ADDR" --linger-ms 30000 >/dev/null 2>&1 &
+FLEET_PID=$!
+trap 'kill $FLEET_PID 2>/dev/null || true' EXIT
+fleet_ok=0
+for _ in $(seq 1 240); do
+    if curl -sf "http://$FLEET_ADDR/metrics" -o target/ci_fleet_metrics.txt 2>/dev/null \
+        && grep -q '^muse_sched_jobs_completed_total' target/ci_fleet_metrics.txt; then
+        fleet_ok=1
+        break
+    fi
+    sleep 0.25
+done
+[ "$fleet_ok" = 1 ] || { echo "never scraped muse_sched_* metrics from $FLEET_ADDR" >&2; exit 1; }
+cargo run -q --release -p muse-trace -- promcheck target/ci_fleet_metrics.txt
+grep -q '^muse_sched_active_jobs' target/ci_fleet_metrics.txt || {
+    echo "muse_sched_active_jobs gauge missing from fleet /metrics exposition" >&2
+    exit 1
+}
+grep -q '^muse_sched_queue_depth' target/ci_fleet_metrics.txt || {
+    echo "muse_sched_queue_depth gauge missing from fleet /metrics exposition" >&2
+    exit 1
+}
+kill $FLEET_PID 2>/dev/null || true
+wait $FLEET_PID 2>/dev/null || true
+trap - EXIT
+echo "    fleet ran under MUSE_JOBS=2, muse_sched_* families well-formed"
 
 echo "==> simd level gauge: /metrics reports the dispatched instruction set"
 grep -q '^muse_simd_level' target/ci_metrics.txt || {
