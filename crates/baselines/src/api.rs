@@ -212,7 +212,7 @@ pub(crate) mod test_support {
             }
         }
         let flows = FlowSeries::from_tensor(grid, Tensor::from_vec(data, &[t, 2, 3, 3]));
-        let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: f };
+        let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: f, trend_days: 7 };
         let first = spec.min_target();
         let train: Vec<usize> = (first..first + 12).collect();
         let val: Vec<usize> = (first + 12..first + 16).collect();

@@ -65,6 +65,36 @@ fn bench_backward(c: &mut Criterion) {
     });
 }
 
+fn bench_fft(c: &mut Criterion) {
+    use muse_fft::{Complex, RealFft, WelchPlan};
+
+    // The spectral sweep's two building blocks at representative sizes: one
+    // 4096-point real-input transform (the detector's largest segment) and a
+    // full Welch-averaged periodogram over a four-week hourly series. Both
+    // reuse their plans across iterations, as the sweep does.
+    let mut rng = SeededRng::new(6);
+    let signal: Vec<f64> = (0..4096)
+        .map(|t| 10.0 + (std::f64::consts::TAU * t as f64 / 24.0).cos() + rng.uniform(-0.1, 0.1) as f64)
+        .collect();
+    let mut fft = RealFft::new(4096);
+    let mut spectrum = vec![Complex::default(); fft.spectrum_len()];
+    c.bench_function("fft_4096", |bch| {
+        bch.iter(|| {
+            fft.forward(&signal, &mut spectrum);
+            black_box(spectrum[0]);
+        })
+    });
+
+    let series = &signal[..672];
+    let mut welch = WelchPlan::new(muse_fft::segment_for(series.len(), 4096));
+    let mut power = Vec::new();
+    c.bench_function("periodogram_welch", |bch| {
+        bch.iter(|| {
+            black_box(welch.periodogram_into(series, &mut power));
+        })
+    });
+}
+
 fn bench_serve_forecast(c: &mut Criterion) {
     use muse_serve::{Engine, EngineOptions};
     use musenet::{MuseNet, MuseNetConfig};
@@ -272,6 +302,6 @@ fn bench_train_step(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_conv2d, bench_simulator, bench_backward, bench_serve_forecast, bench_pulling_loss, bench_fleet, bench_train_step
+    targets = bench_matmul, bench_conv2d, bench_simulator, bench_backward, bench_fft, bench_serve_forecast, bench_pulling_loss, bench_fleet, bench_train_step
 }
 criterion_main!(benches);

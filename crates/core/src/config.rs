@@ -114,6 +114,7 @@ impl MuseNetConfig {
                     ("lp", Json::Num(self.spec.lp as f64)),
                     ("lt", Json::Num(self.spec.lt as f64)),
                     ("intervals_per_day", Json::Num(self.spec.intervals_per_day as f64)),
+                    ("trend_days", Json::Num(self.spec.trend_days as f64)),
                 ]),
             ),
             ("d", Json::Num(self.d as f64)),
@@ -162,6 +163,13 @@ impl MuseNetConfig {
                 lp: usize_field(spec, "spec ", "lp")?,
                 lt: usize_field(spec, "spec ", "lt")?,
                 intervals_per_day: usize_field(spec, "spec ", "intervals_per_day")?,
+                // Absent in checkpoints written before trend_days existed:
+                // those were all weekly.
+                trend_days: if spec.get("trend_days").is_some() {
+                    usize_field(spec, "spec ", "trend_days")?
+                } else {
+                    7
+                },
             },
             d: usize_field(json, "", "d")?,
             k: usize_field(json, "", "k")?,
@@ -186,6 +194,7 @@ impl MuseNetConfig {
             self.spec.lc >= 1 && self.spec.lp >= 1 && self.spec.lt >= 1,
             "sub-series lengths must be >= 1"
         );
+        assert!(self.spec.trend_days >= 1, "trend super-period must be >= 1 day");
         assert!(
             self.resplus_blocks >= 1 || matches!(self.variant, AblationVariant::WithoutSpatial),
             "need at least one ResPlus block unless spatial module is ablated"
@@ -233,13 +242,11 @@ mod tests {
         cfg.variant = crate::ablation::AblationVariant::WithoutSpatial;
         cfg.resplus_blocks = 0; // legal for w/o-Spatial
         cfg.seed = 12345;
+        cfg.spec.trend_days = 3;
         let text = cfg.to_json().render();
         let back = MuseNetConfig::from_json(&muse_obs::json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.grid, cfg.grid);
-        assert_eq!(
-            (back.spec.lc, back.spec.lp, back.spec.lt, back.spec.intervals_per_day),
-            (cfg.spec.lc, cfg.spec.lp, cfg.spec.lt, cfg.spec.intervals_per_day)
-        );
+        assert_eq!(back.spec, cfg.spec);
         assert_eq!(
             (back.d, back.k, back.resplus_blocks, back.plus_channels),
             (cfg.d, cfg.k, 0, cfg.plus_channels)
@@ -248,6 +255,22 @@ mod tests {
         assert_eq!(back.pull_cap, cfg.pull_cap);
         assert_eq!(back.variant, cfg.variant);
         assert_eq!(back.seed, cfg.seed);
+    }
+
+    #[test]
+    fn legacy_spec_without_trend_days_reads_as_weekly() {
+        let mut json = MuseNetConfig::paper(GridMap::new(4, 4), spec()).to_json();
+        if let muse_obs::Json::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "spec" {
+                    if let muse_obs::Json::Obj(spec_fields) = v {
+                        spec_fields.retain(|(k, _)| k != "trend_days");
+                    }
+                }
+            }
+        }
+        let back = MuseNetConfig::from_json(&json).unwrap();
+        assert_eq!(back.spec.trend_days, 7);
     }
 
     #[test]

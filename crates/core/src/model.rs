@@ -683,7 +683,7 @@ mod tests {
     use muse_traffic::{GridMap, SubSeriesSpec};
 
     fn tiny_config(variant: AblationVariant) -> MuseNetConfig {
-        let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 4 };
+        let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 4, trend_days: 7 };
         let mut cfg = MuseNetConfig::cpu_profile(GridMap::new(3, 4), spec);
         cfg.d = 4;
         cfg.k = 8;

@@ -417,7 +417,7 @@ mod tests {
 
     fn tiny_setup() -> (MuseNetConfig, FlowSeries, Vec<usize>, Vec<usize>) {
         let grid = GridMap::new(3, 3);
-        let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 6 };
+        let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 6, trend_days: 7 };
         let mut cfg = MuseNetConfig::cpu_profile(grid, spec);
         cfg.d = 4;
         cfg.k = 8;

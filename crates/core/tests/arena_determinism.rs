@@ -33,7 +33,7 @@ fn patterned_flows(grid: GridMap, days: usize, f: usize) -> FlowSeries {
 /// final parameter bits.
 fn train_once() -> (Vec<u32>, Vec<Vec<u32>>) {
     let grid = GridMap::new(3, 3);
-    let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 6 };
+    let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 6, trend_days: 7 };
     let mut cfg = MuseNetConfig::cpu_profile(grid, spec);
     cfg.d = 4;
     cfg.k = 8;

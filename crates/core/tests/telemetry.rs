@@ -93,7 +93,7 @@ fn fit_emits_one_epoch_event_per_epoch() {
     let shuffle_seed = 0xFEED_u64;
     let epochs = 3;
     let grid = GridMap::new(3, 3);
-    let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 6 };
+    let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 6, trend_days: 7 };
     let mut cfg = MuseNetConfig::cpu_profile(grid, spec);
     cfg.d = 4;
     cfg.k = 8;

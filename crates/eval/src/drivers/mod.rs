@@ -3,6 +3,7 @@
 //! binary, the integration tests, and EXPERIMENTS.md all read the same
 //! numbers.
 
+pub mod detect;
 pub mod fig1;
 pub mod fig2;
 pub mod fig4;

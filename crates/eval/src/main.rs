@@ -6,6 +6,7 @@
 //! experiments:
 //!   table1 table2 table3 table4 table5 table6
 //!   fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig9
+//!   detect         spectral periodicity detection vs. known-period presets
 //!   all            run everything
 //!
 //! options:
@@ -19,6 +20,9 @@
 //!                  override the per-epoch train-batch cap (0 = all)
 //!   --repeats <n>  seeds per fig9 sweep point (default 3)
 //!   --seed <n>     override master seed
+//!   --auto-periods derive the interception spec from spectrally detected
+//!                  periods of the training region instead of the paper
+//!                  default (recorded in the run manifest)
 //!   --out <dir>    also write each artifact to <dir>/<experiment>.txt
 //!   --save-checkpoint <p>
 //!                  save each trained MUSE-Net (with its config) to <p>;
@@ -127,6 +131,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--linger-ms needs a value")?;
                 linger_ms = v.parse().map_err(|_| format!("bad linger-ms {v}"))?;
             }
+            "--auto-periods" => profile.auto_periods = true,
             "--prof" => prof = true,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -138,9 +143,9 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: muse-eval <table1|table2|table3|table4|table5|table6|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|all> \
+    "usage: muse-eval <table1|table2|table3|table4|table5|table6|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|detect|all> \
      [--quick|--standard] [--scale f] [--dataset nyc-bike|nyc-taxi|taxibj] [--epochs n] [--max-batches n] \
-     [--repeats n] [--seed n] [--out dir] \
+     [--repeats n] [--seed n] [--auto-periods] [--out dir] \
      [--save-checkpoint path.ckpt] [--load-checkpoint path.ckpt] \
      [--trace path.jsonl] [--serve-metrics host:port] [--linger-ms n] [--prof]"
         .to_string()
@@ -316,6 +321,7 @@ fn profile_json(p: &Profile) -> Json {
         ("max_batches", p.max_batches.to_json()),
         ("max_eval", p.max_eval.to_json()),
         ("seed", p.seed.to_json()),
+        ("auto_periods", p.auto_periods.to_json()),
     ])
 }
 
@@ -341,6 +347,7 @@ fn run_experiment(exp: &str, args: &Args) -> String {
         "fig7" => drivers::fig7::run(fig_preset, profile, 48).to_string(),
         "fig8" => drivers::fig8::run(fig_preset, profile, 78).to_string(),
         "fig9" => drivers::fig9::run(fig_preset, profile, args.repeats).to_string(),
+        "detect" => drivers::detect::run(profile).to_string(),
         other => {
             eprintln!("unknown experiment {other}\n{}", usage());
             std::process::exit(2);

@@ -46,6 +46,9 @@ pub struct Profile {
     pub max_eval: usize,
     /// Master seed.
     pub seed: u64,
+    /// Derive the interception spec from spectrally detected periods
+    /// instead of the paper default (`--auto-periods`).
+    pub auto_periods: bool,
     /// Save each trained MUSE-Net (self-describing, with its config) here —
     /// the most recently trained model wins, so point single-model
     /// experiments at it for a deterministic serving artifact.
@@ -72,6 +75,7 @@ impl Profile {
             max_batches: 60,
             max_eval: 120,
             seed: 42,
+            auto_periods: false,
             save_checkpoint: None,
             load_checkpoint: None,
         }
@@ -92,6 +96,7 @@ impl Profile {
             max_batches: 80,
             max_eval: 240,
             seed: 42,
+            auto_periods: false,
             save_checkpoint: None,
             load_checkpoint: None,
         }
@@ -151,13 +156,75 @@ pub struct Prepared {
 /// Generate and prepare a dataset preset under a profile.
 pub fn prepare(preset: DatasetPreset, profile: &Profile) -> Prepared {
     let dataset = preset.generate(profile.scale, profile.seed);
-    let spec = SubSeriesSpec::paper_default(dataset.intervals_per_day);
+    let spec = if profile.auto_periods {
+        detect_spec(&dataset)
+    } else {
+        SubSeriesSpec::paper_default(dataset.intervals_per_day)
+    };
     // Paper: last ~1/3 test (20 of 60 days), 10% of the rest validation;
     // reserve 3 horizons for the multi-step experiment.
     let split = dataset.split(&spec, 0.30, 0.10, 3);
     let scaler = dataset.fit_scaler(&split);
     let scaled = dataset.scaled_flows(&scaler);
     Prepared { dataset, spec, split, scaler, scaled, plan: OnceLock::new() }
+}
+
+/// Spectral auto-periodicity (`--auto-periods`): detect the dominant
+/// periods on the **leading 70%** of the raw frame-mean series — the split
+/// itself depends on the spec, so detection runs on the region that can
+/// never become test data — and derive the interception spec from them.
+/// Detection is scalar and single-threaded, so the derived spec (and hence
+/// everything downstream) is a deterministic function of the dataset. When
+/// the detected periods match the paper's daily + weekly structure, the
+/// derived spec equals [`SubSeriesSpec::paper_default`] and training is
+/// bit-identical to the hand-specified run. Falls back to the paper
+/// default when nothing usable is detected.
+fn detect_spec(dataset: &TrafficDataset) -> SubSeriesSpec {
+    let series = dataset.flows.mean_series();
+    let train_region = series.len() * 7 / 10;
+    let detected = muse_fft::detect_periods(&series[..train_region], 4);
+    match SubSeriesSpec::from_detected(&detected, dataset.flows.len()) {
+        Ok(spec) => {
+            obs::emit_with("eval.auto_periods", || {
+                vec![
+                    (
+                        "detected",
+                        obs::Json::Arr(
+                            detected
+                                .iter()
+                                .map(|p| {
+                                    obs::Json::obj([
+                                        ("intervals", p.intervals.to_json()),
+                                        ("power_share", p.power_share.to_json()),
+                                        ("snr", p.snr.to_json()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "spec",
+                        obs::Json::obj([
+                            ("lc", spec.lc.to_json()),
+                            ("lp", spec.lp.to_json()),
+                            ("lt", spec.lt.to_json()),
+                            ("intervals_per_day", spec.intervals_per_day.to_json()),
+                            ("trend_days", spec.trend_days.to_json()),
+                        ]),
+                    ),
+                    (
+                        "matches_paper_default",
+                        (spec == SubSeriesSpec::paper_default(spec.intervals_per_day)).to_json(),
+                    ),
+                ]
+            });
+            spec
+        }
+        Err(e) => {
+            eprintln!("[auto-periods] {e}; falling back to the paper default");
+            SubSeriesSpec::paper_default(dataset.intervals_per_day)
+        }
+    }
 }
 
 /// The shared evaluation plan of one driver run: the subsampled test
@@ -589,6 +656,23 @@ mod tests {
         assert!(prepared.split.test.last().unwrap() + 3 <= prepared.scaled.len());
         // Scaled training data is in [-1, 1].
         assert!(prepared.scaled.tensor().min() >= -1.0 - 1e-5);
+    }
+
+    #[test]
+    fn auto_periods_reproduces_hand_specified_preparation() {
+        // The simulator's diurnal + weekly structure is what the paper
+        // hand-codes; when detection recovers it, `--auto-periods` must be
+        // bit-identical to the default run.
+        let mut profile = tiny_profile();
+        let by_hand = prepare(DatasetPreset::NycBike, &profile);
+        profile.auto_periods = true;
+        let detected = prepare(DatasetPreset::NycBike, &profile);
+        assert_eq!(detected.spec, SubSeriesSpec::paper_default(24));
+        assert_eq!(detected.spec, by_hand.spec);
+        assert_eq!(detected.split.train, by_hand.split.train);
+        assert_eq!(detected.split.test, by_hand.split.test);
+        let (a, b) = (detected.scaled.tensor().as_slice(), by_hand.scaled.tensor().as_slice());
+        assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 
     #[test]

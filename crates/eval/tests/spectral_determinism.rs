@@ -1,0 +1,42 @@
+//! Spectral-detection determinism (ISSUE 10 contract): the detected periods
+//! — and the spec derived from them — must be bit-identical across every
+//! SIMD dispatch level and intra-op thread count. Detection is scalar `f64`
+//! on the calling thread by construction; this sweep pins that down the same
+//! way `fleet_determinism` pins down training.
+
+use muse_parallel::{with_jobs, with_threads};
+use muse_tensor::simd;
+use muse_traffic::{periodic_preset, GridMap, SubSeriesSpec};
+
+type PeriodBits = Vec<(usize, u64, u64)>;
+
+/// Detection signature: every detected field as raw bits, plus the derived
+/// spec — any nondeterminism anywhere in the pipeline flips it.
+fn signature(preset_name: &str) -> (PeriodBits, Result<SubSeriesSpec, String>) {
+    let preset = periodic_preset(preset_name).expect("known preset");
+    let flows = preset.generate(GridMap::new(5, 7), 23);
+    let detected = muse_fft::detect_periods(&flows.mean_series(), 4);
+    let bits = detected.iter().map(|p| (p.intervals, p.power_share.to_bits(), p.snr.to_bits())).collect();
+    (bits, SubSeriesSpec::from_detected(&detected, flows.len()))
+}
+
+#[test]
+fn detection_is_bit_identical_across_simd_and_threads() {
+    let mut levels = vec![simd::detected_level()];
+    if simd::detected_level() != simd::Level::Scalar {
+        levels.push(simd::Level::Scalar);
+    }
+    for name in ["hourly-weekly", "halfhour-weekly", "offcadence-96x3"] {
+        let reference =
+            with_threads(1, || with_jobs(1, || simd::with_level(simd::Level::Scalar, || signature(name))));
+        assert!(!reference.0.is_empty(), "{name}: nothing detected");
+        for &level in &levels {
+            for threads in [1, 2, 4] {
+                let got = simd::with_level(level, || {
+                    with_threads(threads, || with_jobs(threads.min(2), || signature(name)))
+                });
+                assert_eq!(got, reference, "{name}: detection diverged at level={level:?} threads={threads}");
+            }
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Periodicity detection: peak-pick a Welch periodogram, refine each peak
+//! to an exact integer period by phase folding, and fold harmonics into
+//! their fundamentals.
+
+use crate::welch::{segment_for, WelchPlan, MAX_SEGMENT};
+
+/// One detected periodicity, in raw series intervals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectedPeriod {
+    /// Period length in series intervals (exact integer, phase-refined).
+    pub intervals: usize,
+    /// Fraction of non-DC spectral power attributable to this period and
+    /// its folded harmonics.
+    pub power_share: f64,
+    /// Peak power over the median noise floor of the periodogram.
+    pub snr: f64,
+}
+
+/// Detector tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Maximum number of ranked periods to return.
+    pub max_periods: usize,
+    /// Minimum peak-to-noise-floor ratio for a spectral peak to count.
+    pub min_snr: f64,
+    /// Minimum fraction of non-DC spectral power a peak (with its leakage
+    /// shoulders) must carry — rejects statistically sharp but physically
+    /// negligible noise spikes on otherwise clean spectra.
+    pub min_share: f64,
+    /// Minimum phase-folding score of the refined period: the fraction of
+    /// total variance the per-phase means explain. A genuine periodicity
+    /// (or a super-period of one — folding at a multiple preserves the
+    /// structure) scores high, while a spectral-leakage sidelobe of a
+    /// dominant peak refines to a period the signal does not actually
+    /// repeat at and scores near zero. This is what keeps a weak true
+    /// weekly peak while rejecting far stronger daily-leakage sidelobes.
+    pub min_fold: f64,
+    /// Cap on the Welch segment length.
+    pub max_segment: usize,
+    /// Largest harmonic order folded into an accepted fundamental: a
+    /// candidate `q` folds into an accepted `p` when `p ≈ k·q` for
+    /// `k ≤ harmonic_fold`. 6 is the safe maximum for traffic: sharp twin
+    /// commute peaks put real power into intra-day harmonics down to
+    /// `daily/6`, while daily-vs-weekly is a 7th multiple — one order
+    /// beyond the fold — so structurally distinct periods never merge.
+    pub harmonic_fold: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            max_periods: 4,
+            min_snr: 4.0,
+            min_share: 0.005,
+            min_fold: 0.15,
+            max_segment: MAX_SEGMENT,
+            harmonic_fold: 6,
+        }
+    }
+}
+
+/// A reusable periodicity detector. All scratch (periodogram, peak list,
+/// phase-folding accumulators, results) is hoisted, so repeated detection
+/// over same-length series allocates nothing once warm.
+#[derive(Debug)]
+pub struct PeriodDetector {
+    cfg: DetectorConfig,
+    welch: Option<WelchPlan>,
+    power: Vec<f64>,
+    floor_scratch: Vec<f64>,
+    peaks: Vec<(f64, usize)>,
+    sums: Vec<f64>,
+    counts: Vec<u32>,
+    results: Vec<DetectedPeriod>,
+}
+
+impl Default for PeriodDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PeriodDetector {
+    /// A detector with [`DetectorConfig::default`] settings.
+    pub fn new() -> Self {
+        Self::with_config(DetectorConfig::default())
+    }
+
+    /// A detector with explicit settings.
+    pub fn with_config(cfg: DetectorConfig) -> Self {
+        PeriodDetector {
+            cfg,
+            welch: None,
+            power: Vec::new(),
+            floor_scratch: Vec::new(),
+            peaks: Vec::new(),
+            sums: Vec::new(),
+            counts: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Periods found by the last [`detect`](Self::detect) call.
+    pub fn results(&self) -> &[DetectedPeriod] {
+        &self.results
+    }
+
+    /// Detect up to `max_periods` periodicities in `series`, ranked by
+    /// power share (ties broken by shorter period). Series shorter than 16
+    /// samples yield no detections. Purely scalar and single-threaded, so
+    /// the result is a deterministic function of the input.
+    pub fn detect(&mut self, series: &[f64]) -> &[DetectedPeriod] {
+        self.results.clear();
+        let n = series.len();
+        if n < 16 {
+            return &self.results;
+        }
+        let seg = segment_for(n, self.cfg.max_segment);
+        if self.welch.as_ref().map(|w| w.segment_len()) != Some(seg) {
+            self.welch = Some(WelchPlan::new(seg));
+        }
+        let welch = self.welch.as_mut().expect("plan was just installed");
+        welch.periodogram_into(series, &mut self.power);
+
+        // Median non-DC power as the noise floor, with a tiny relative
+        // floor so clean synthetic spectra don't divide by zero.
+        self.floor_scratch.clear();
+        self.floor_scratch.extend_from_slice(&self.power[1..]);
+        self.floor_scratch.sort_unstable_by(f64::total_cmp);
+        let median = self.floor_scratch[self.floor_scratch.len() / 2];
+        let max_power = *self.floor_scratch.last().expect("non-empty spectrum");
+        if max_power <= 0.0 {
+            return &self.results; // constant series: no periodicity
+        }
+        let floor = median.max(max_power * 1e-12).max(f64::MIN_POSITIVE);
+        let total: f64 = self.floor_scratch.iter().sum();
+
+        // Local maxima above the SNR bar, strongest first.
+        self.peaks.clear();
+        for k in 1..self.power.len() - 1 {
+            let p = self.power[k];
+            if p >= self.power[k - 1] && p >= self.power[k + 1] && p / floor >= self.cfg.min_snr {
+                self.peaks.push((p, k));
+            }
+        }
+        self.peaks.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let mean = series.iter().sum::<f64>() / n as f64;
+        let total_var = series.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+
+        for i in 0..self.peaks.len() {
+            let (peak_power, bin) = self.peaks[i];
+            // Power share counts the peak bin and its shoulders (Hann
+            // leakage straddles bins for off-bin periods); peaks carrying
+            // a negligible share are noise, however sharp.
+            let straddle = self.power[bin - 1] + peak_power + self.power[bin + 1];
+            let share = (straddle / total).min(1.0);
+            if share < self.cfg.min_share {
+                continue;
+            }
+            // The FFT bin quantises the period (bin k spans periods
+            // seg/(k+1) .. seg/(k-1)); refine to the exact integer period
+            // in that window by maximising the phase-folding score.
+            let lo = (seg / (bin + 1)).max(2);
+            let hi = if bin > 1 { seg / (bin - 1) } else { n / 2 }.min(n / 2);
+            if lo > hi {
+                continue;
+            }
+            let mut best = (f64::NEG_INFINITY, lo);
+            for p in lo..=hi {
+                let score = fold_score(series, p, mean, total_var, &mut self.sums, &mut self.counts);
+                if score > best.0 {
+                    best = (score, p);
+                }
+            }
+            if best.0 < self.cfg.min_fold {
+                continue; // leakage sidelobe: no period in the bin's window fits
+            }
+            let intervals = best.1;
+            let snr = peak_power / floor;
+
+            // Harmonic folding: a peak whose refined period divides an
+            // already-accepted (stronger) period with a small quotient is
+            // that period's harmonic, not a new periodicity.
+            let folds_into = self.results.iter_mut().find(|r| {
+                (1..=self.cfg.harmonic_fold).any(|k| (r.intervals as i64 - (intervals * k) as i64).abs() <= 1)
+            });
+            if let Some(fundamental) = folds_into {
+                fundamental.power_share = (fundamental.power_share + share).min(1.0);
+            } else if self.results.len() < self.cfg.max_periods {
+                self.results.push(DetectedPeriod { intervals, power_share: share, snr });
+            }
+        }
+        self.results.sort_unstable_by(|a, b| {
+            b.power_share.total_cmp(&a.power_share).then(a.intervals.cmp(&b.intervals))
+        });
+        &self.results
+    }
+}
+
+/// Phase-folding score: fold `series` modulo `p` and measure how much of
+/// the total variance the per-phase means explain. 1.0 means the series is
+/// exactly `p`-periodic; 0.0 means folding at `p` explains nothing.
+fn fold_score(
+    series: &[f64],
+    p: usize,
+    mean: f64,
+    total_var: f64,
+    sums: &mut Vec<f64>,
+    counts: &mut Vec<u32>,
+) -> f64 {
+    if total_var <= 0.0 {
+        return 0.0;
+    }
+    sums.clear();
+    sums.resize(p, 0.0);
+    counts.clear();
+    counts.resize(p, 0);
+    let mut phase = 0usize;
+    for &v in series {
+        sums[phase] += v;
+        counts[phase] += 1;
+        phase += 1;
+        if phase == p {
+            phase = 0;
+        }
+    }
+    let mut between = 0.0;
+    for (&s, &c) in sums.iter().zip(counts.iter()) {
+        if c > 0 {
+            let d = s / c as f64 - mean;
+            between += c as f64 * d * d;
+        }
+    }
+    between / (series.len() as f64 * total_var)
+}
+
+/// One-shot detection with default settings except `max_periods`.
+pub fn detect_periods(series: &[f64], max_periods: usize) -> Vec<DetectedPeriod> {
+    let mut detector =
+        PeriodDetector::with_config(DetectorConfig { max_periods, ..DetectorConfig::default() });
+    detector.detect(series);
+    detector.results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    /// Deterministic small noise in [-amp, amp).
+    fn jitter(i: usize, seed: u64, amp: f64) -> f64 {
+        let mut state = seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) * amp
+    }
+
+    fn tones(n: usize, components: &[(usize, f64)], noise: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let mut v = 10.0;
+                for &(period, amp) in components {
+                    v += amp * (2.0 * PI * i as f64 / period as f64).cos();
+                }
+                v + jitter(i, 42, noise)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_tone_recovered_exactly() {
+        // Period 24 over 28 "days" — off-bin at segment 512 (bin 21.33).
+        let series = tones(672, &[(24, 1.0)], 0.02);
+        let found = detect_periods(&series, 4);
+        assert!(!found.is_empty());
+        assert_eq!(found[0].intervals, 24);
+        assert!(found[0].power_share > 0.5, "share {}", found[0].power_share);
+        assert!(found[0].snr > 10.0, "snr {}", found[0].snr);
+    }
+
+    #[test]
+    fn daily_and_weekly_both_survive() {
+        // Daily 24 + weekly 168: the weekly peak must not swallow the
+        // daily one (7th harmonic is beyond the folding horizon).
+        let series = tones(672, &[(24, 1.0), (168, 0.6)], 0.02);
+        let found = detect_periods(&series, 4);
+        let periods: Vec<usize> = found.iter().map(|p| p.intervals).collect();
+        assert!(periods.contains(&24), "missing daily in {periods:?}");
+        assert!(periods.contains(&168), "missing weekly in {periods:?}");
+        assert_eq!(found[0].intervals, 24, "daily should rank first: {found:?}");
+    }
+
+    #[test]
+    fn leakage_sidelobes_of_a_dominant_peak_are_rejected() {
+        // A dominant off-bin daily tone leaks power into neighbouring bins;
+        // those sidelobes can out-rank a genuinely weak weekly peak, but
+        // they refine to periods the signal never repeats at, so the
+        // phase-folding gate must drop them.
+        let series = tones(1058, &[(24, 1.0), (168, 0.08)], 0.01);
+        let found = detect_periods(&series, 4);
+        let periods: Vec<usize> = found.iter().map(|p| p.intervals).collect();
+        assert!(periods.contains(&24), "missing daily in {periods:?}");
+        assert!(periods.contains(&168), "missing weekly in {periods:?}");
+        for p in &periods {
+            assert!(p % 24 == 0 || 24 % p == 0, "leakage sidelobe {p} survived: {periods:?}");
+        }
+    }
+
+    #[test]
+    fn off_cadence_super_period_recovered() {
+        // 96 intervals/day with a 3-day (288) super-period over 9 days.
+        let series = tones(864, &[(96, 1.0), (288, 0.5)], 0.02);
+        let found = detect_periods(&series, 4);
+        let periods: Vec<usize> = found.iter().map(|p| p.intervals).collect();
+        assert!(periods.contains(&96), "missing daily in {periods:?}");
+        assert!(periods.contains(&288), "missing super-period in {periods:?}");
+        assert_eq!(found[0].intervals, 96, "daily should rank first: {found:?}");
+    }
+
+    #[test]
+    fn harmonics_fold_into_fundamental() {
+        // A non-sinusoidal period-32 wave: harmonics at 16, 8 must fold
+        // into the fundamental instead of appearing as extra periods.
+        let series: Vec<f64> = (0..512)
+            .map(|i| {
+                let t = 2.0 * PI * i as f64 / 32.0;
+                10.0 + t.cos() + 0.5 * (2.0 * t).cos() + 0.3 * (4.0 * t).cos() + jitter(i, 7, 0.01)
+            })
+            .collect();
+        let found = detect_periods(&series, 4);
+        assert_eq!(found.len(), 1, "harmonics leaked: {found:?}");
+        assert_eq!(found[0].intervals, 32);
+    }
+
+    #[test]
+    fn constant_and_short_series_yield_nothing() {
+        assert!(detect_periods(&[5.0; 600], 4).is_empty());
+        assert!(detect_periods(&[1.0, 2.0, 3.0], 4).is_empty());
+    }
+
+    #[test]
+    fn detector_scratch_is_reused() {
+        let series = tones(672, &[(24, 1.0)], 0.02);
+        let mut detector = PeriodDetector::new();
+        detector.detect(&series);
+        let ptr = detector.power.as_ptr();
+        detector.detect(&series);
+        assert_eq!(detector.power.as_ptr(), ptr, "periodogram buffer reallocated");
+        assert_eq!(detector.results()[0].intervals, 24);
+    }
+
+    #[test]
+    fn fold_score_is_one_for_exact_periodicity() {
+        let series: Vec<f64> = (0..480).map(|i| (i % 24) as f64).collect();
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let var = series.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / series.len() as f64;
+        let (mut sums, mut counts) = (Vec::new(), Vec::new());
+        let exact = fold_score(&series, 24, mean, var, &mut sums, &mut counts);
+        assert!((exact - 1.0).abs() < 1e-12);
+        let wrong = fold_score(&series, 23, mean, var, &mut sums, &mut counts);
+        assert!(wrong < 0.1, "folding at the wrong period scored {wrong}");
+    }
+}

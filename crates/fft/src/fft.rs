@@ -1,0 +1,268 @@
+//! Iterative radix-2 FFT over `f64` complex values, plus a real-input
+//! transform that packs `2N` reals into an `N`-point complex FFT.
+
+use std::f64::consts::PI;
+
+/// A double-precision complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Construct from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn from_angle(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scale both parts by `s`.
+    pub fn scale(self, s: f64) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
+    }
+}
+
+/// A precomputed forward FFT of a fixed power-of-two length: twiddle table
+/// plus bit-reversal permutation, applied in place with no allocation.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    rev: Vec<u32>,
+    /// `e^{-2πik/n}` for `k = 0 .. n/2`.
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Plan a forward FFT of length `n` (must be a power of two).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+        let bits = n.trailing_zeros();
+        let rev =
+            (0..n as u32).map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) }).collect();
+        let twiddles = (0..n / 2).map(|k| Complex::from_angle(-2.0 * PI * k as f64 / n as f64)).collect();
+        FftPlan { n, rev, twiddles }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is the degenerate length-0 transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT: `buf[k] = Σ_j buf[j]·e^{-2πijk/n}`.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        let n = self.n;
+        assert_eq!(buf.len(), n, "buffer length does not match plan");
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let w = self.twiddles[k * stride];
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                }
+            }
+            len *= 2;
+        }
+    }
+}
+
+/// Forward FFT of a real signal of even power-of-two length `n`, computed
+/// via an `n/2`-point complex FFT on even/odd packed samples and an
+/// untangling pass. Produces the one-sided spectrum `X[0..=n/2]`.
+#[derive(Debug, Clone)]
+pub struct RealFft {
+    n: usize,
+    half: FftPlan,
+    packed: Vec<Complex>,
+    /// `e^{-2πik/n}` for `k = 0 ..= n/2`.
+    unity: Vec<Complex>,
+}
+
+impl RealFft {
+    /// Plan a real-input FFT of length `n` (power of two, at least 2).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "real FFT length {n} must be a power of two >= 2");
+        let half = FftPlan::new(n / 2);
+        let packed = vec![Complex::ZERO; n / 2];
+        let unity = (0..=n / 2).map(|k| Complex::from_angle(-2.0 * PI * k as f64 / n as f64)).collect();
+        RealFft { n, half, packed, unity }
+    }
+
+    /// Real input length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is the degenerate length-0 transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of one-sided spectrum bins, `n/2 + 1`.
+    pub fn spectrum_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Forward transform: `spectrum[k] = Σ_j input[j]·e^{-2πijk/n}` for
+    /// `k = 0 ..= n/2`. The remaining bins are the conjugate mirror and are
+    /// not produced. Allocation-free.
+    pub fn forward(&mut self, input: &[f64], spectrum: &mut [Complex]) {
+        let n = self.n;
+        let half = n / 2;
+        assert_eq!(input.len(), n, "input length does not match plan");
+        assert_eq!(spectrum.len(), half + 1, "spectrum length must be n/2 + 1");
+        for (k, z) in self.packed.iter_mut().enumerate() {
+            *z = Complex::new(input[2 * k], input[2 * k + 1]);
+        }
+        self.half.forward(&mut self.packed);
+        // Untangle: with Z the packed FFT, E/O the even/odd sub-spectra,
+        //   E[k] = (Z[k] + conj(Z[N-k]))/2,  O[k] = (Z[k] - conj(Z[N-k]))/2i,
+        //   X[k] = E[k] + e^{-2πik/n}·O[k],  where N = n/2 and Z[N] = Z[0].
+        for (k, out) in spectrum.iter_mut().enumerate() {
+            let zk = self.packed[k % half];
+            let zm = self.packed[(half - k) % half].conj();
+            let e = (zk + zm).scale(0.5);
+            let o = (zk - zm).scale(0.5) * Complex::new(0.0, -1.0);
+            *out = e + self.unity[k] * o;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random samples in [-1, 1).
+    fn noise(n: usize, mut state: u64) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn naive_dft(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &x) in input.iter().enumerate() {
+                    acc = acc + x * Complex::from_angle(-2.0 * PI * (j * k) as f64 / n as f64);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn complex_fft_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64, 128] {
+            let re = noise(n, 7 + n as u64);
+            let im = noise(n, 99 + n as u64);
+            let input: Vec<Complex> = (0..n).map(|i| Complex::new(re[i], im[i])).collect();
+            let mut buf = input.clone();
+            FftPlan::new(n).forward(&mut buf);
+            let want = naive_dft(&input);
+            for (got, want) in buf.iter().zip(&want) {
+                assert!((got.re - want.re).abs() < 1e-9 * n as f64, "{got:?} vs {want:?}");
+                assert!((got.im - want.im).abs() < 1e-9 * n as f64, "{got:?} vs {want:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn real_fft_matches_naive_dft() {
+        for n in [2usize, 4, 8, 32, 256] {
+            let input = noise(n, 3 * n as u64 + 1);
+            let complex_in: Vec<Complex> = input.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            let want = naive_dft(&complex_in);
+            let mut plan = RealFft::new(n);
+            let mut spectrum = vec![Complex::ZERO; plan.spectrum_len()];
+            plan.forward(&input, &mut spectrum);
+            for (k, got) in spectrum.iter().enumerate() {
+                assert!((got.re - want[k].re).abs() < 1e-9 * n as f64, "n={n} k={k}");
+                assert!((got.im - want[k].im).abs() < 1e-9 * n as f64, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_one_bin() {
+        let n = 64;
+        let input: Vec<f64> = (0..n).map(|i| (2.0 * PI * 4.0 * i as f64 / n as f64).cos()).collect();
+        let mut plan = RealFft::new(n);
+        let mut spectrum = vec![Complex::ZERO; plan.spectrum_len()];
+        plan.forward(&input, &mut spectrum);
+        for (k, z) in spectrum.iter().enumerate() {
+            let mag = z.norm_sq().sqrt();
+            if k == 4 {
+                assert!((mag - n as f64 / 2.0).abs() < 1e-9, "bin 4 magnitude {mag}");
+            } else {
+                assert!(mag < 1e-9, "leakage at bin {k}: {mag}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = FftPlan::new(12);
+    }
+}

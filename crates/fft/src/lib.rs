@@ -1,0 +1,23 @@
+//! `muse-fft` — zero-dependency spectral analysis for traffic periodicity.
+//!
+//! MUSE-Net's closeness/period/trend interception hard-codes hourly, daily
+//! and weekly lags. This crate discovers those periods instead: an in-tree
+//! iterative radix-2 [`fft`], a Hann-windowed Welch-averaged periodogram
+//! ([`welch`]), and a peak-picking periodicity [`detect`]or with harmonic
+//! folding that returns ranked [`DetectedPeriod`] values in raw series
+//! intervals.
+//!
+//! Everything is scalar `f64` on the calling thread, so detection results
+//! are bit-identical regardless of `MUSE_THREADS` / `MUSE_SIMD`, and every
+//! plan hoists its scratch buffers so repeated detection over a
+//! fixed-length window allocates nothing in steady state.
+
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod fft;
+pub mod welch;
+
+pub use detect::{detect_periods, DetectedPeriod, DetectorConfig, PeriodDetector};
+pub use fft::{Complex, FftPlan, RealFft};
+pub use welch::{hann_window, segment_for, Periodogram, WelchPlan};

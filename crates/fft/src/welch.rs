@@ -1,0 +1,187 @@
+//! Welch-averaged periodogram: Hann-windowed, mean-removed, half-overlapping
+//! segments averaged into a one-sided power spectrum.
+
+use crate::fft::{Complex, RealFft};
+use std::f64::consts::PI;
+
+/// Largest segment a periodogram will use; longer series are averaged over
+/// more segments rather than transformed whole.
+pub const MAX_SEGMENT: usize = 4096;
+
+/// Periodic Hann window `w[i] = ½(1 − cos(2πi/n))`.
+pub fn hann_window(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.5 * (1.0 - (2.0 * PI * i as f64 / n as f64).cos())).collect()
+}
+
+/// Welch segment length for a series of `n` samples: the largest power of
+/// two that fits, capped at `max_segment`. Returns 0 when `n < 2`.
+pub fn segment_for(n: usize, max_segment: usize) -> usize {
+    if n < 2 {
+        return 0;
+    }
+    let mut seg = 1usize;
+    while seg * 2 <= n && seg * 2 <= max_segment {
+        seg *= 2;
+    }
+    seg.max(2)
+}
+
+/// An averaged one-sided power spectrum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Periodogram {
+    /// Segment length the spectrum was computed at.
+    pub segment_len: usize,
+    /// Number of averaged segments.
+    pub segments: usize,
+    /// Power per bin, `segment_len/2 + 1` values; bin `k` corresponds to
+    /// period `segment_len / k` samples.
+    pub power: Vec<f64>,
+}
+
+impl Periodogram {
+    /// The period (in samples) that bin `k` represents.
+    pub fn period_of_bin(&self, k: usize) -> f64 {
+        assert!(k > 0, "bin 0 is the DC component");
+        self.segment_len as f64 / k as f64
+    }
+}
+
+/// A reusable Welch periodogram plan for a fixed segment length. All
+/// scratch is hoisted, so repeated calls allocate nothing.
+#[derive(Debug, Clone)]
+pub struct WelchPlan {
+    seg: usize,
+    fft: RealFft,
+    window: Vec<f64>,
+    /// `Σ w[i]²`, the window normalisation factor.
+    window_norm: f64,
+    buf: Vec<f64>,
+    spectrum: Vec<Complex>,
+}
+
+impl WelchPlan {
+    /// Plan for segments of `seg` samples (power of two, at least 2).
+    pub fn new(seg: usize) -> Self {
+        let fft = RealFft::new(seg);
+        let window = hann_window(seg);
+        let window_norm: f64 = window.iter().map(|w| w * w).sum();
+        let spectrum = vec![Complex::ZERO; fft.spectrum_len()];
+        WelchPlan { seg, fft, window, window_norm, buf: vec![0.0; seg], spectrum }
+    }
+
+    /// Segment length of this plan.
+    pub fn segment_len(&self) -> usize {
+        self.seg
+    }
+
+    /// Number of one-sided spectrum bins, `seg/2 + 1`.
+    pub fn spectrum_len(&self) -> usize {
+        self.seg / 2 + 1
+    }
+
+    /// Average the periodogram of `series` into `power` (resized to
+    /// [`spectrum_len`](Self::spectrum_len)), returning the segment count.
+    /// Segments overlap by half; each has its mean removed (the DC bin
+    /// carries only the residual) and is Hann-windowed before the FFT.
+    /// Power is normalised by segment count and window energy.
+    pub fn periodogram_into(&mut self, series: &[f64], power: &mut Vec<f64>) -> usize {
+        assert!(series.len() >= self.seg, "series shorter than segment");
+        power.clear();
+        power.resize(self.spectrum_len(), 0.0);
+        let hop = (self.seg / 2).max(1);
+        let mut segments = 0usize;
+        let mut offset = 0usize;
+        while offset + self.seg <= series.len() {
+            let chunk = &series[offset..offset + self.seg];
+            let mean = chunk.iter().sum::<f64>() / self.seg as f64;
+            for (dst, (&x, &w)) in self.buf.iter_mut().zip(chunk.iter().zip(&self.window)) {
+                *dst = (x - mean) * w;
+            }
+            self.fft.forward(&self.buf, &mut self.spectrum);
+            for (p, z) in power.iter_mut().zip(&self.spectrum) {
+                *p += z.norm_sq();
+            }
+            segments += 1;
+            offset += hop;
+        }
+        let norm = 1.0 / (segments as f64 * self.window_norm * self.seg as f64);
+        for p in power.iter_mut() {
+            *p *= norm;
+        }
+        segments
+    }
+
+    /// Allocate-and-return convenience wrapper over
+    /// [`periodogram_into`](Self::periodogram_into).
+    pub fn periodogram(&mut self, series: &[f64]) -> Periodogram {
+        let mut power = Vec::new();
+        let segments = self.periodogram_into(series, &mut power);
+        Periodogram { segment_len: self.seg, segments, power }
+    }
+}
+
+/// One-shot Welch periodogram at the automatic segment length for `series`.
+pub fn welch_periodogram(series: &[f64]) -> Periodogram {
+    let seg = segment_for(series.len(), MAX_SEGMENT);
+    assert!(seg >= 2, "series too short for a periodogram");
+    WelchPlan::new(seg).periodogram(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_length_is_clamped_power_of_two() {
+        assert_eq!(segment_for(0, MAX_SEGMENT), 0);
+        assert_eq!(segment_for(1, MAX_SEGMENT), 0);
+        assert_eq!(segment_for(2, MAX_SEGMENT), 2);
+        assert_eq!(segment_for(672, MAX_SEGMENT), 512);
+        assert_eq!(segment_for(1 << 20, MAX_SEGMENT), MAX_SEGMENT);
+        assert_eq!(segment_for(100, 32), 32);
+    }
+
+    #[test]
+    fn hann_is_symmetric_and_zero_at_origin() {
+        let w = hann_window(64);
+        assert!(w[0].abs() < 1e-12);
+        assert!((w[32] - 1.0).abs() < 1e-12);
+        for i in 1..64 {
+            assert!((w[i] - w[64 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tone_period_is_recoverable_from_peak_bin() {
+        // Period 32 over 512 samples -> bin 512/32 = 16 at segment 512.
+        let series: Vec<f64> = (0..512).map(|i| (2.0 * PI * i as f64 / 32.0).cos() + 5.0).collect();
+        let p = welch_periodogram(&series);
+        assert_eq!(p.segment_len, 512);
+        let peak = (1..p.power.len()).max_by(|&a, &b| p.power[a].total_cmp(&p.power[b])).unwrap();
+        assert_eq!(peak, 16);
+        assert_eq!(p.period_of_bin(peak), 32.0);
+        // Mean removal keeps the DC bin far below the tone.
+        assert!(p.power[0] < p.power[peak] * 1e-6);
+    }
+
+    #[test]
+    fn averaging_spans_overlapping_segments() {
+        let series = vec![1.0; 2048 + 1024];
+        let mut plan = WelchPlan::new(1024);
+        let mut power = Vec::new();
+        // Offsets 0, 512, ..., 2048 -> 5 half-overlapping segments.
+        assert_eq!(plan.periodogram_into(&series, &mut power), 5);
+        assert_eq!(power.len(), 513);
+    }
+
+    #[test]
+    fn periodogram_into_reuses_capacity() {
+        let series: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut plan = WelchPlan::new(128);
+        let mut power = Vec::new();
+        plan.periodogram_into(&series, &mut power);
+        let ptr = power.as_ptr();
+        plan.periodogram_into(&series, &mut power);
+        assert_eq!(power.as_ptr(), ptr, "power buffer was reallocated");
+    }
+}

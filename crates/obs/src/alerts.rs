@@ -20,6 +20,12 @@
 //!   residual `|v - mean[slot]| / |mean[slot]|` blows out. This is the
 //!   PRNet-style expected-value reference: traffic is strongly periodic,
 //!   so "unusual for 3am" matters, not "unusual overall".
+//! * **spectral-shift** — freezes the mean of the first `warmup` samples
+//!   as the baseline and fires when a later sample moves a configured
+//!   relative distance from it. Built for slow, sparsely sampled structural
+//!   metrics (the detected dominant period of the ingested flow): the value
+//!   is near-constant while the regime holds, so the frozen early baseline
+//!   is the regime, and any sustained departure *is* the shift.
 //!
 //! Rules parse from compact spec strings (CLI-friendly):
 //!
@@ -27,6 +33,7 @@
 //! name:threshold:metric=quality.mae:warn=0.1:fire=0.2:for=3
 //! name:ewma:metric=quality.mae:fast=0.3:slow=0.03:warn=1.5:fire=2:warmup=10
 //! name:periodic:metric=serve.flow.mean:slots=24:warn=0.35:fire=0.6:min_periods=2:floor=0.05
+//! name:spectral-shift:metric=spectral.period_intervals:warn=0.2:fire=0.4:warmup=3:for=2
 //! ```
 
 use crate::json::Json;
@@ -114,6 +121,17 @@ pub enum RuleKind {
         /// busy slots fully relative. 0 disables.
         floor: f64,
     },
+    /// Breach when the relative departure from a frozen early baseline —
+    /// the mean of the first `warmup` samples — crosses `warn_ratio` /
+    /// `fire_ratio`.
+    SpectralShift {
+        /// Warning relative departure from the baseline.
+        warn_ratio: f64,
+        /// Firing relative departure from the baseline.
+        fire_ratio: f64,
+        /// Samples averaged into the frozen baseline before judging.
+        warmup: u64,
+    },
 }
 
 impl RuleKind {
@@ -123,6 +141,7 @@ impl RuleKind {
             RuleKind::Threshold { .. } => "threshold",
             RuleKind::EwmaShift { .. } => "ewma",
             RuleKind::Periodic { .. } => "periodic",
+            RuleKind::SpectralShift { .. } => "spectral-shift",
         }
     }
 }
@@ -197,9 +216,14 @@ impl AlertRule {
                 min_periods: take("min_periods", Some(2.0))? as u64,
                 floor: take("floor", Some(0.0))?,
             },
+            "spectral-shift" => RuleKind::SpectralShift {
+                warn_ratio: take("warn", Some(0.2))?,
+                fire_ratio: take("fire", Some(0.4))?,
+                warmup: take("warmup", Some(3.0))? as u64,
+            },
             other => {
                 return Err(format!(
-                    "alert spec {spec:?}: unknown kind {other:?} (expected threshold, ewma, or periodic)"
+                    "alert spec {spec:?}: unknown kind {other:?} (expected threshold, ewma, periodic, or spectral-shift)"
                 ))
             }
         };
@@ -226,6 +250,7 @@ enum RuleRuntime {
     Threshold,
     EwmaShift { fast: Ewma, slow: Ewma },
     Periodic { slots: Vec<SlotMean> },
+    SpectralShift { baseline: SlotMean },
 }
 
 /// One state change, returned from `observe` so the owner can publish it.
@@ -270,6 +295,7 @@ impl Alert {
             RuleKind::Periodic { slots, .. } => {
                 RuleRuntime::Periodic { slots: vec![SlotMean::default(); *slots] }
             }
+            RuleKind::SpectralShift { .. } => RuleRuntime::SpectralShift { baseline: SlotMean::default() },
         };
         Alert {
             rule,
@@ -338,6 +364,27 @@ impl Alert {
                 baseline.sum += v;
                 baseline.n += 1;
                 severity
+            }
+            (
+                RuleKind::SpectralShift { warn_ratio, fire_ratio, warmup },
+                RuleRuntime::SpectralShift { baseline },
+            ) => {
+                // The baseline freezes once warm: only warmup samples feed
+                // it, so a drifted regime can never vouch for itself.
+                if baseline.n < *warmup {
+                    baseline.sum += v;
+                    baseline.n += 1;
+                    return 0;
+                }
+                let mean = baseline.sum / baseline.n as f64;
+                let departure = (v - mean).abs() / mean.abs().max(BASELINE_EPS);
+                if departure >= *fire_ratio {
+                    2
+                } else if departure >= *warn_ratio {
+                    1
+                } else {
+                    0
+                }
             }
             _ => unreachable!("rule kind and runtime always match"),
         }
@@ -650,6 +697,41 @@ mod tests {
         let t = e.observe_slot("m", 0, 100.0);
         assert_eq!(t.len(), 1);
         assert_eq!(t[0].to, AlertState::Firing);
+    }
+
+    #[test]
+    fn spectral_shift_freezes_baseline_and_fires_on_departure() {
+        let mut e = AlertEngine::with_rules(vec![rule(
+            "s:spectral-shift:metric=spectral.period_intervals:warn=0.2:fire=0.4:warmup=3:for=2",
+        )]);
+        // Warmup: three sweeps agreeing on a 24-interval dominant period.
+        for _ in 0..3 {
+            assert!(e.observe("spectral.period_intervals", 24.0).is_empty());
+        }
+        // Steady regime: more 24s never alert.
+        for _ in 0..5 {
+            assert!(e.observe("spectral.period_intervals", 24.0).is_empty());
+        }
+        // Mild wobble (24 -> 26 is ~8%) stays ok.
+        e.observe("spectral.period_intervals", 26.0);
+        assert_eq!(e.worst(), AlertState::Ok);
+        // Cadence change: the dominant period halves (24 -> 12, 50% off).
+        assert!(e.observe("spectral.period_intervals", 12.0).is_empty(), "for=2 needs a 2nd");
+        let t = e.observe("spectral.period_intervals", 12.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!((t[0].from, t[0].to), (AlertState::Ok, AlertState::Firing));
+        // The frozen baseline is NOT dragged toward the new regime: going
+        // back to 24 recovers.
+        for _ in 0..2 {
+            e.observe("spectral.period_intervals", 24.0);
+        }
+        assert_eq!(e.state_of("s"), Some(AlertState::Ok));
+    }
+
+    #[test]
+    fn spectral_shift_parse_defaults() {
+        let r = rule("s:spectral-shift:metric=m");
+        assert_eq!(r.kind, RuleKind::SpectralShift { warn_ratio: 0.2, fire_ratio: 0.4, warmup: 3 });
     }
 
     #[test]

@@ -9,8 +9,13 @@
 //!   --addr <a>            daemon address (host:port)  [required]
 //!   --steps <n>           frames streamed after the warmup fill (default 96)
 //!   --seed <n>            simulator seed (default 17)
-//!   --shift-at <n>        inject a persistent level shift at stream frame n
-//!   --shift-factor <f>    level-shift scale factor (default 3.0)
+//!   --preset <name>       stream a known-period preset (see
+//!                         muse_traffic::PERIODIC_PRESETS) instead of the city
+//!                         simulator
+//!   --shift-at <n>        inject a persistent level shift at stream frame n;
+//!                         with --preset, compress the time base instead (a
+//!                         cadence change that moves the dominant period)
+//!   --shift-factor <f>    level-shift scale / time-base compression (default 3.0)
 //!   --horizon <h>         forecast horizon requested each step (default 1)
 //!   --forecast-every <n>  forecast every n-th post-warmup frame (default 1)
 //!   --expect-firing <name>  exit nonzero unless this alert reaches firing
@@ -27,7 +32,7 @@
 //! frames) when the expected alert first reaches `firing`.
 
 use muse_obs::json::{self, Json};
-use muse_traffic::{CityConfig, CitySimulator, GridMap};
+use muse_traffic::{periodic_preset, CityConfig, CitySimulator, GridMap, PERIODIC_PRESETS};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 
@@ -35,6 +40,7 @@ struct Args {
     addr: String,
     steps: usize,
     seed: u64,
+    preset: Option<String>,
     shift_at: Option<usize>,
     shift_factor: f32,
     horizon: usize,
@@ -43,7 +49,7 @@ struct Args {
 }
 
 fn usage() -> String {
-    "usage: muse-replay --addr host:port [--steps n] [--seed n] [--shift-at n] \
+    "usage: muse-replay --addr host:port [--steps n] [--seed n] [--preset name] [--shift-at n] \
      [--shift-factor f] [--horizon h] [--forecast-every n] [--expect-firing name]"
         .to_string()
 }
@@ -53,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
     let mut addr = None;
     let mut steps = 96usize;
     let mut seed = 17u64;
+    let mut preset = None;
     let mut shift_at = None;
     let mut shift_factor = 3.0f32;
     let mut horizon = 1usize;
@@ -64,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
             "--addr" => addr = Some(value("--addr")?),
             "--steps" => steps = parse_num(&value("--steps")?, "--steps")?,
             "--seed" => seed = parse_num(&value("--seed")?, "--seed")?,
+            "--preset" => preset = Some(value("--preset")?),
             "--shift-at" => shift_at = Some(parse_num(&value("--shift-at")?, "--shift-at")?),
             "--shift-factor" => {
                 let v = value("--shift-factor")?;
@@ -78,7 +86,7 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let addr = addr.ok_or(format!("--addr is required\n{}", usage()))?;
-    Ok(Args { addr, steps, seed, shift_at, shift_factor, horizon, forecast_every, expect_firing })
+    Ok(Args { addr, steps, seed, preset, shift_at, shift_factor, horizon, forecast_every, expect_firing })
 }
 
 fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
@@ -158,29 +166,44 @@ fn run(args: &Args) -> Result<bool, String> {
     let intervals_per_day = num_field(&stats, &["model", "max_horizon"])? as usize;
     let total = capacity + args.steps;
 
-    // A calm, daily-stationary city: no weather, no incidents, and no
+    // Frame source: a known-period preset (cadence-change experiments) or a
+    // calm, daily-stationary city — no weather, no incidents, and no
     // weekday/weekend structure (a per-slot daily baseline cannot represent
-    // weekly periodicity) — the injected shift is the only distribution
+    // weekly periodicity) — so the injected shift is the only distribution
     // change in the stream. A large agent pool keeps day-to-day sampling
     // noise of the frame mean small relative to the alert thresholds.
-    let mut cfg = CityConfig::small(args.seed);
-    cfg.grid = GridMap::new(height, width);
-    cfg.intervals_per_day = intervals_per_day;
-    cfg.days = total.div_ceil(intervals_per_day.max(1)).max(1);
-    cfg.agents = 3000;
-    cfg.weather_prob = 0.0;
-    cfg.incident_prob = 0.0;
-    cfg.weekend_commute_prob = cfg.weekday_commute_prob;
-    cfg.leisure_weekend = cfg.leisure_weekday;
-    cfg.level_shift_interval = args.shift_at;
-    cfg.level_shift_factor = args.shift_factor;
-    let sim = CitySimulator::new(cfg).run();
+    let cadence_mode = args.preset.is_some();
+    let flows = match &args.preset {
+        Some(name) => {
+            let preset = periodic_preset(name).ok_or_else(|| {
+                let known: Vec<&str> = PERIODIC_PRESETS.iter().map(|p| p.name).collect();
+                format!("unknown preset '{name}' (known: {})", known.join(", "))
+            })?;
+            preset.generate(GridMap::new(height, width), args.seed)
+        }
+        None => {
+            let mut cfg = CityConfig::small(args.seed);
+            cfg.grid = GridMap::new(height, width);
+            cfg.intervals_per_day = intervals_per_day;
+            cfg.days = total.div_ceil(intervals_per_day.max(1)).max(1);
+            cfg.agents = 3000;
+            cfg.weather_prob = 0.0;
+            cfg.incident_prob = 0.0;
+            cfg.weekend_commute_prob = cfg.weekday_commute_prob;
+            cfg.leisure_weekend = cfg.leisure_weekday;
+            cfg.level_shift_interval = args.shift_at;
+            cfg.level_shift_factor = args.shift_factor;
+            CitySimulator::new(cfg).run().flows
+        }
+    };
 
-    // Scale by the pre-shift maximum so clean frames land in [0, 1].
-    let clean_until = args.shift_at.unwrap_or(total).min(total);
+    // Scale by the pre-shift maximum so clean frames land in [0, 1]. A
+    // cadence change never alters amplitude, so the whole series is clean.
+    let src_len = flows.len();
+    let clean_until = if cadence_mode { src_len } else { args.shift_at.unwrap_or(total).min(total) };
     let mut scale = 0.0f32;
-    for t in 0..clean_until {
-        for &v in sim.flows.frame(t).as_slice() {
+    for t in 0..clean_until.min(src_len) {
+        for &v in flows.frame(t).as_slice() {
             scale = scale.max(v);
         }
     }
@@ -188,20 +211,34 @@ fn run(args: &Args) -> Result<bool, String> {
         scale = 1.0;
     }
 
+    // Stream-position → source-frame mapping. Preset series wrap cleanly
+    // (their length is a multiple of every constructed period); in cadence
+    // mode the post-shift time base is compressed by --shift-factor, which
+    // divides every apparent period by that factor.
+    let source = |t: usize| -> usize {
+        match args.shift_at {
+            Some(at) if cadence_mode && t >= at => {
+                (at + ((t - at) as f64 * args.shift_factor as f64) as usize) % src_len
+            }
+            _ => t % src_len,
+        }
+    };
+
     eprintln!(
         "muse-replay: streaming {total} frames ({capacity} warmup + {} live) of {}x{} flows{}",
         args.steps,
         height,
         width,
-        match args.shift_at {
-            Some(at) => format!(", level shift x{} at frame {at}", args.shift_factor),
-            None => String::new(),
+        match (args.shift_at, cadence_mode) {
+            (Some(at), false) => format!(", level shift x{} at frame {at}", args.shift_factor),
+            (Some(at), true) => format!(", time base compressed x{} at frame {at}", args.shift_factor),
+            (None, _) => String::new(),
         }
     );
 
     let mut detection: Option<usize> = None;
     for t in 0..total {
-        let frame: Vec<f32> = sim.flows.frame(t).as_slice().iter().map(|&v| v / scale).collect();
+        let frame: Vec<f32> = flows.frame(source(t)).as_slice().iter().map(|&v| v / scale).collect();
         assert_eq!(frame.len(), frame_len, "simulator frame does not match the served model");
         post_frame(&args.addr, &frame)?;
 

@@ -31,6 +31,7 @@ use musenet::MuseNet;
 use crate::api::{ForecastResponse, IngestAck, LatentNorms};
 use crate::batcher::drain_window;
 use crate::quality::{QualityConfig, QualityTracker};
+use crate::spectral::SpectralSweeper;
 use crate::window::FlowWindow;
 
 /// Process-wide request ID source. Every `/ingest` and `/forecast` gets a
@@ -96,6 +97,9 @@ pub struct EngineOptions {
     pub max_batch: usize,
     /// Quality-monitoring configuration (journal, estimators, alerts).
     pub quality: QualityConfig,
+    /// Run a spectral periodicity sweep every this many ingested frames
+    /// (0 disables the sweep entirely).
+    pub spectral_every: u64,
 }
 
 impl Default for EngineOptions {
@@ -105,6 +109,7 @@ impl Default for EngineOptions {
             batch_window: Duration::from_millis(2),
             max_batch: 64,
             quality: QualityConfig::default(),
+            spectral_every: 32,
         }
     }
 }
@@ -184,6 +189,7 @@ enum Request {
     Stats { reply: Sender<StatsSnapshot> },
     Quality { reply: Sender<Json> },
     Alerts { reply: Sender<Json> },
+    Spectrum { reply: Sender<Json> },
     Shutdown,
 }
 
@@ -288,6 +294,13 @@ impl Engine {
         rx.recv().map_err(|_| EngineError::Stopped)
     }
 
+    /// Last spectral-sweep result (the `GET /spectrum` payload).
+    pub fn spectrum(&self) -> Result<Json, EngineError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx.send(Request::Spectrum { reply }).map_err(|_| EngineError::Stopped)?;
+        rx.recv().map_err(|_| EngineError::Stopped)
+    }
+
     /// Stop the engine thread and wait for it. Idempotent.
     pub fn shutdown(&self) {
         let _ = self.tx.send(Request::Shutdown);
@@ -361,10 +374,13 @@ fn run_engine(
     let mut last_batch_size: usize = 0;
     let mut max_batch_size: usize = 0;
     let mut tracker = QualityTracker::new(spec.intervals_per_day, &opts.quality);
+    let mut sweeper = SpectralSweeper::new();
+    let spectral_every = opts.spectral_every;
 
     let apply_ingest = |window: &mut FlowWindow,
                         frames_ingested: &mut u64,
                         tracker: &mut QualityTracker,
+                        sweeper: &mut SpectralSweeper,
                         req: u64,
                         frame: Vec<f32>|
      -> Result<IngestAck, EngineError> {
@@ -388,6 +404,12 @@ fn run_engine(
             vec![("request", Json::Num(req as f64)), ("index", Json::Num(index as f64))]
         });
         tracker.on_ingest(window, index, &frame);
+        if spectral_every > 0
+            && (*frames_ingested).is_multiple_of(spectral_every)
+            && sweeper.sweep(window).is_some()
+        {
+            tracker.on_spectral(sweeper.sweeps(), sweeper.last_index(), sweeper.last());
+        }
         Ok(IngestAck { request_id: req, index, frames: window.len(), ready: window.ready() })
     };
 
@@ -410,8 +432,18 @@ fn run_engine(
             Request::Alerts { reply } => {
                 let _ = reply.send(tracker.alerts_json());
             }
+            Request::Spectrum { reply } => {
+                let _ = reply.send(spectrum_json(&sweeper, &tracker));
+            }
             Request::Ingest { req, frame, reply } => {
-                let _ = reply.send(apply_ingest(&mut window, &mut frames_ingested, &mut tracker, req, frame));
+                let _ = reply.send(apply_ingest(
+                    &mut window,
+                    &mut frames_ingested,
+                    &mut tracker,
+                    &mut sweeper,
+                    req,
+                    frame,
+                ));
             }
             Request::Forecast { req, horizon, reply } => {
                 // Coalesce: sweep whatever arrives within the batch window
@@ -427,6 +459,7 @@ fn run_engine(
                                 &mut window,
                                 &mut frames_ingested,
                                 &mut tracker,
+                                &mut sweeper,
                                 req,
                                 frame,
                             ));
@@ -446,6 +479,9 @@ fn run_engine(
                         }
                         Request::Alerts { reply } => {
                             let _ = reply.send(tracker.alerts_json());
+                        }
+                        Request::Spectrum { reply } => {
+                            let _ = reply.send(spectrum_json(&sweeper, &tracker));
                         }
                         Request::Shutdown => stop_after = true,
                     }
@@ -546,6 +582,36 @@ fn info_max_horizon(spec: &SubSeriesSpec) -> usize {
     spec.intervals_per_day
 }
 
+/// The `GET /spectrum` payload: the last sweep's detections plus the
+/// spectral-shift alert state.
+fn spectrum_json(sweeper: &SpectralSweeper, tracker: &QualityTracker) -> Json {
+    Json::obj([
+        ("sweeps", Json::Num(sweeper.sweeps() as f64)),
+        ("last_index", Json::Num(sweeper.last_index() as f64)),
+        (
+            "periods",
+            Json::Arr(
+                sweeper
+                    .last()
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("intervals", Json::Num(p.intervals as f64)),
+                            ("power_share", Json::Num(p.power_share)),
+                            ("snr", Json::Num(p.snr)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("dominant", sweeper.last().first().map_or(Json::Null, |p| Json::Num(p.intervals as f64))),
+        (
+            "alert",
+            Json::Str(tracker.alert_state("spectral_shift").map_or("disabled", |s| s.as_str()).to_string()),
+        ),
+    ])
+}
+
 fn snapshot(
     window: &FlowWindow,
     frames_ingested: u64,
@@ -632,7 +698,7 @@ mod tests {
 
     fn tiny_config() -> MuseNetConfig {
         let grid = GridMap::new(3, 4);
-        let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 3 };
+        let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 3, trend_days: 7 };
         let mut cfg = MuseNetConfig::cpu_profile(grid, spec);
         cfg.d = 4;
         cfg.k = 8;

@@ -16,6 +16,7 @@
 //! | `/stats`               | GET    | model facts + serving counters           |
 //! | `/quality`             | GET    | rolling forecast-error estimators        |
 //! | `/alerts`              | GET    | alert rule states                        |
+//! | `/spectrum`            | GET    | detected periodicities of the window     |
 //! | `/metrics`             | GET    | Prometheus text exposition               |
 //! | `/debug/*`             | GET    | sampling profiler (muse-prof handler)    |
 
@@ -148,6 +149,7 @@ fn route(request: &Request, engine: &Engine) -> (u16, &'static str, String) {
         ("GET", "/forecast") => forecast(request, engine),
         ("GET", "/quality") => quality(engine),
         ("GET", "/alerts") => alerts(engine),
+        ("GET", "/spectrum") => spectrum(engine),
         ("GET", "/metrics") => (200, METRICS_CONTENT_TYPE, obs::render_prometheus()),
         ("POST", "/ingest") => ingest(request, engine),
         // The sampling profiler (muse-prof) owns /debug/*: the handler is
@@ -161,9 +163,11 @@ fn route(request: &Request, engine: &Engine) -> (u16, &'static str, String) {
                 "profiler not running (set MUSE_PROF_HZ to enable sampling)\n".to_string(),
             ),
         },
-        (_, "/healthz" | "/stats" | "/forecast" | "/metrics" | "/ingest" | "/quality" | "/alerts") => {
-            (405, TEXT_CONTENT_TYPE, "method not allowed\n".to_string())
-        }
+        (
+            _,
+            "/healthz" | "/stats" | "/forecast" | "/metrics" | "/ingest" | "/quality" | "/alerts"
+            | "/spectrum",
+        ) => (405, TEXT_CONTENT_TYPE, "method not allowed\n".to_string()),
         (_, p) if p.starts_with("/debug/") => (405, TEXT_CONTENT_TYPE, "method not allowed\n".to_string()),
         _ => (404, TEXT_CONTENT_TYPE, "not found\n".to_string()),
     }
@@ -266,6 +270,13 @@ fn alerts(engine: &Engine) -> (u16, &'static str, String) {
     }
 }
 
+fn spectrum(engine: &Engine) -> (u16, &'static str, String) {
+    match engine.spectrum() {
+        Ok(json) => (200, JSON_CONTENT_TYPE, json.render()),
+        Err(err) => engine_error(err),
+    }
+}
+
 fn ingest(request: &Request, engine: &Engine) -> (u16, &'static str, String) {
     let content_type = request.header("content-type").unwrap_or("application/octet-stream");
     let frame = match parse_ingest_frame(content_type, &request.body) {
@@ -316,7 +327,7 @@ mod tests {
 
     fn boot() -> Server {
         let grid = GridMap::new(2, 3);
-        let spec = SubSeriesSpec { lc: 2, lp: 1, lt: 1, intervals_per_day: 2 };
+        let spec = SubSeriesSpec { lc: 2, lp: 1, lt: 1, intervals_per_day: 2, trend_days: 7 };
         let mut cfg = MuseNetConfig::cpu_profile(grid, spec);
         cfg.d = 4;
         cfg.k = 8;
@@ -439,12 +450,22 @@ mod tests {
         assert_eq!(alerts.get("worst").unwrap().as_str(), Some("ok"), "{body}");
         assert!(!alerts.get("alerts").unwrap().as_arr().unwrap().is_empty());
 
+        // This tiny window (14 frames) never reaches the 32-ingest sweep
+        // cadence, so /spectrum reports zero sweeps — but the shape is live.
+        let (head, body) = get(addr, "/spectrum");
+        assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+        let spectrum = obs::json::parse(&body).unwrap();
+        assert!(spectrum.get("sweeps").unwrap().as_f64().is_some(), "{body}");
+        assert!(spectrum.get("periods").unwrap().as_arr().is_some(), "{body}");
+        assert!(spectrum.get("alert").is_some(), "{body}");
+
         // Unknown path → 404; wrong method on a real route → 405; malformed
         // request → 400; unknown verb → 405.
         assert!(get(addr, "/nope").0.starts_with("HTTP/1.1 404 "));
         assert!(post(addr, "/forecast", "text/plain", b"").0.starts_with("HTTP/1.1 405 "));
         assert!(post(addr, "/quality", "text/plain", b"").0.starts_with("HTTP/1.1 405 "));
         assert!(post(addr, "/alerts", "text/plain", b"").0.starts_with("HTTP/1.1 405 "));
+        assert!(post(addr, "/spectrum", "text/plain", b"").0.starts_with("HTTP/1.1 405 "));
         assert!(raw(addr, b"GET /healthz HTTP/1.1\nHost: x\r\n\r\n").starts_with("HTTP/1.1 400 "));
         assert!(raw(addr, b"FROB /healthz HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405 "));
     }

@@ -18,6 +18,8 @@
 //!   target frame later arrives over `/ingest`;
 //! * [`quality`] — rolling MAE/RMSE estimators and the drift alert engine
 //!   behind `GET /quality` and `GET /alerts`;
+//! * [`spectral`] — the periodic FFT sweep over the live window behind
+//!   `GET /spectrum` and the `spectral_shift` alert;
 //! * [`api`] — wire types (`/ingest`, `/forecast`) over the repo's own JSON;
 //! * [`http`] — the TCP front end on a [`muse_parallel::ThreadPool`], built
 //!   on [`muse_obs::http`] parsing, exposing `/metrics` for Prometheus.
@@ -33,6 +35,7 @@ pub mod engine;
 pub mod http;
 pub mod journal;
 pub mod quality;
+pub mod spectral;
 pub mod window;
 
 pub use api::{ForecastResponse, IngestAck, LatentNorms};
@@ -40,4 +43,5 @@ pub use engine::{Engine, EngineError, EngineInfo, EngineOptions, StatsSnapshot};
 pub use http::{Server, ServerOptions};
 pub use journal::{ForecastJournal, ForecastScore, PendingForecast, Settled};
 pub use quality::{QualityConfig, QualityTracker};
+pub use spectral::SpectralSweeper;
 pub use window::FlowWindow;

@@ -18,6 +18,8 @@
 //!   --no-default-alerts  drop the built-in mae_drift / flow_level_shift rules
 //!   --journal <n>    pending-forecast journal capacity (default 4096)
 //!   --quality-window <n>  rolling error-window depth (default 256)
+//!   --spectral-every <n>  run the spectral sweep every n ingests (default 32)
+//!   --no-spectral    disable the spectral sweep and /spectrum detections
 //! ```
 
 use muse_obs::alerts::AlertRule;
@@ -36,12 +38,14 @@ struct Args {
     max_batch: usize,
     trace: Option<PathBuf>,
     quality: QualityConfig,
+    spectral_every: u64,
 }
 
 fn usage() -> String {
     "usage: muse-serve --checkpoint path.ckpt [--addr host:port] [--workers n] \
      [--threads n] [--batch-ms n] [--max-batch n] [--trace path.jsonl] \
-     [--alert spec]... [--no-default-alerts] [--journal n] [--quality-window n]"
+     [--alert spec]... [--no-default-alerts] [--journal n] [--quality-window n] \
+     [--spectral-every n] [--no-spectral]"
         .to_string()
 }
 
@@ -55,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
     let mut max_batch = 64usize;
     let mut trace = None;
     let mut quality = QualityConfig::default();
+    let mut spectral_every = EngineOptions::default().spectral_every;
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
@@ -90,11 +95,16 @@ fn parse_args() -> Result<Args, String> {
                 let v = value("--quality-window")?;
                 quality.window = v.parse().map_err(|_| format!("bad quality-window {v}"))?;
             }
+            "--spectral-every" => {
+                let v = value("--spectral-every")?;
+                spectral_every = v.parse().map_err(|_| format!("bad spectral-every {v}"))?;
+            }
+            "--no-spectral" => spectral_every = 0,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
     let checkpoint = checkpoint.ok_or(format!("--checkpoint is required\n{}", usage()))?;
-    Ok(Args { checkpoint, addr, workers, threads, batch_ms, max_batch, trace, quality })
+    Ok(Args { checkpoint, addr, workers, threads, batch_ms, max_batch, trace, quality, spectral_every })
 }
 
 fn main() {
@@ -136,6 +146,7 @@ fn main() {
         batch_window: Duration::from_millis(args.batch_ms),
         max_batch: args.max_batch.max(1),
         quality: args.quality.clone(),
+        spectral_every: args.spectral_every,
     };
     let engine = match Engine::from_checkpoint(&args.checkpoint, engine_opts) {
         Ok(engine) => Arc::new(engine),

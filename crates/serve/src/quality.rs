@@ -19,6 +19,7 @@
 //! ingested flow level itself — fires on drift even before any forecast is
 //! scored, PRNet-style per-slot expected values as the baseline).
 
+use muse_fft::DetectedPeriod;
 use muse_obs::alerts::{self, AlertEngine, AlertRule, AlertState};
 use muse_obs::rolling::{DecayingHistogram, Ewma, RollingStats};
 use muse_obs::{self as obs, Json};
@@ -70,6 +71,8 @@ pub fn default_rules(slots: usize) -> Vec<AlertRule> {
         format!(
             "flow_level_shift:periodic:metric=serve.flow.mean:slots={slots}:warn=0.35:fire=0.6:min_periods=2:floor=0.05:for=2"
         ),
+        "spectral_shift:spectral-shift:metric=spectral.period_intervals:warn=0.2:fire=0.4:warmup=3:for=2"
+            .to_string(),
     ]
     .iter()
     .map(|spec| AlertRule::parse(spec).expect("built-in alert specs parse"))
@@ -220,6 +223,42 @@ impl QualityTracker {
             }
         }
         alerts::publish(&self.alerts, &transitions);
+    }
+
+    /// Fold in one spectral-sweep result: publish the dominant-period
+    /// gauges, feed the `spectral_shift` alert, and trace the sweep. Sweeps
+    /// that detected nothing only bump the gauges to zero — an empty
+    /// spectrum is "no information", not a period of zero, so it must not
+    /// feed the shift baseline.
+    pub fn on_spectral(&mut self, sweep: u64, index: u64, periods: &[DetectedPeriod]) {
+        let dominant = periods.first();
+        obs::gauge("spectral.period_intervals").set(dominant.map_or(0.0, |p| p.intervals as f64));
+        obs::gauge("spectral.power_share").set(dominant.map_or(0.0, |p| p.power_share));
+        obs::emit_with("spectral.sweep", || {
+            vec![
+                ("sweep", Json::Num(sweep as f64)),
+                ("index", Json::Num(index as f64)),
+                (
+                    "periods",
+                    Json::Arr(
+                        periods
+                            .iter()
+                            .map(|p| {
+                                Json::obj([
+                                    ("intervals", Json::Num(p.intervals as f64)),
+                                    ("power_share", Json::Num(p.power_share)),
+                                    ("snr", Json::Num(p.snr)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]
+        });
+        if let Some(p) = dominant {
+            let transitions = self.alerts.observe("spectral.period_intervals", p.intervals as f64);
+            alerts::publish(&self.alerts, &transitions);
+        }
     }
 
     fn count_dropped(&mut self, request: u64, horizon: usize, target: u64, reason: &'static str) {
@@ -378,6 +417,27 @@ mod tests {
             }
         }
         assert_eq!(fired_after, Some(2), "periodic rule fires on the second shifted frame");
+    }
+
+    #[test]
+    fn spectral_shift_alert_fires_when_the_dominant_period_moves() {
+        let mut t = tracker(24);
+        assert_eq!(t.alert_state("spectral_shift"), Some(AlertState::Ok));
+        let daily = |p: usize| DetectedPeriod { intervals: p, power_share: 0.7, snr: 50.0 };
+        // Warmup (3) + steady sweeps at a 24-interval dominant period.
+        for sweep in 0..6u64 {
+            t.on_spectral(sweep, sweep * 32, &[daily(24)]);
+        }
+        assert_eq!(t.alert_state("spectral_shift"), Some(AlertState::Ok));
+        // Empty sweeps are "no information" and must not disturb the state.
+        t.on_spectral(6, 6 * 32, &[]);
+        assert_eq!(t.alert_state("spectral_shift"), Some(AlertState::Ok));
+        // Cadence change: dominant period halves; fires after for=2 sweeps.
+        t.on_spectral(7, 7 * 32, &[daily(12)]);
+        assert_eq!(t.alert_state("spectral_shift"), Some(AlertState::Ok), "for=2 needs two");
+        t.on_spectral(8, 8 * 32, &[daily(12)]);
+        assert_eq!(t.alert_state("spectral_shift"), Some(AlertState::Firing));
+        assert_eq!(t.worst_alert(), AlertState::Firing);
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! The periodic spectral sweep over the live flow window.
+//!
+//! Every `spectral_every`-th ingest the engine re-detects the dominant
+//! periodicities of the window's frame-mean series ([`muse_fft`]) — the
+//! live counterpart of `muse-eval --auto-periods`. The sweep is hoisted
+//! end to end: the per-frame mean buffer, the detector's periodogram and
+//! phase-folding scratch, and the retained last-result vector all reuse
+//! their capacity, so steady-state sweeps allocate nothing. The window is
+//! read in place through [`FlowWindow::chrono_runs`] — two borrowed slices,
+//! no snapshot copy.
+
+use muse_fft::{DetectedPeriod, PeriodDetector};
+use muse_obs as obs;
+
+use crate::window::FlowWindow;
+
+/// Fewest frames in the window before a sweep is attempted (matches the
+/// detector's own minimum series length).
+pub const MIN_SWEEP_FRAMES: usize = 16;
+
+/// Hoisted state of the engine's spectral sweep.
+pub struct SpectralSweeper {
+    detector: PeriodDetector,
+    /// Per-frame mean scratch, reused across sweeps.
+    means: Vec<f64>,
+    /// Most recent detections (empty until the first productive sweep).
+    last: Vec<DetectedPeriod>,
+    /// Sweeps run so far.
+    sweeps: u64,
+    /// `FlowWindow::next_index` at the last sweep.
+    last_index: u64,
+}
+
+impl Default for SpectralSweeper {
+    fn default() -> Self {
+        SpectralSweeper::new()
+    }
+}
+
+impl SpectralSweeper {
+    /// A sweeper with default detector configuration.
+    pub fn new() -> SpectralSweeper {
+        SpectralSweeper {
+            detector: PeriodDetector::new(),
+            means: Vec::new(),
+            last: Vec::new(),
+            sweeps: 0,
+            last_index: 0,
+        }
+    }
+
+    /// Sweeps run so far.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Absolute frame index the last sweep observed.
+    pub fn last_index(&self) -> u64 {
+        self.last_index
+    }
+
+    /// Detections of the most recent sweep, strongest first.
+    pub fn last(&self) -> &[DetectedPeriod] {
+        &self.last
+    }
+
+    /// Run one sweep over the window's live frames. Returns the detections
+    /// (also retained for [`SpectralSweeper::last`]), or `None` when the
+    /// window holds fewer than [`MIN_SWEEP_FRAMES`] frames.
+    pub fn sweep(&mut self, window: &FlowWindow) -> Option<&[DetectedPeriod]> {
+        if window.len() < MIN_SWEEP_FRAMES {
+            return None;
+        }
+        let _span = obs::span("spectral.sweep");
+        let frame_len = window.frame_len();
+        let (a, b) = window.chrono_runs();
+        self.means.clear();
+        for run in [a, b] {
+            for frame in run.chunks_exact(frame_len) {
+                let sum: f64 = frame.iter().map(|&v| v as f64).sum();
+                self.means.push(sum / frame_len as f64);
+            }
+        }
+        let detected = self.detector.detect(&self.means);
+        self.last.clear();
+        self.last.extend_from_slice(detected);
+        self.sweeps += 1;
+        self.last_index = window.next_index();
+        Some(&self.last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_traffic::GridMap;
+
+    fn push_tone(w: &mut FlowWindow, n: usize, period: usize) {
+        let frame_len = w.frame_len();
+        let start = w.next_index();
+        for i in 0..n as u64 {
+            let t = (start + i) as f64;
+            let v = 10.0 + (std::f64::consts::TAU * t / period as f64).cos();
+            w.push(&vec![v as f32; frame_len]).unwrap();
+        }
+    }
+
+    #[test]
+    fn sweep_needs_enough_frames_then_detects_the_tone() {
+        let mut w = FlowWindow::new(GridMap::new(2, 2), 256);
+        let mut s = SpectralSweeper::new();
+        push_tone(&mut w, MIN_SWEEP_FRAMES - 1, 8);
+        assert!(s.sweep(&w).is_none());
+        assert_eq!(s.sweeps(), 0);
+        push_tone(&mut w, 256 - (MIN_SWEEP_FRAMES - 1), 8);
+        let detected = s.sweep(&w).expect("window is full");
+        assert_eq!(detected[0].intervals, 8, "{detected:?}");
+        assert_eq!(s.sweeps(), 1);
+        assert_eq!(s.last_index(), 256);
+        assert_eq!(s.last()[0].intervals, 8);
+    }
+
+    #[test]
+    fn sweep_reads_the_wrapped_ring_chronologically() {
+        // Push far past capacity so the ring wraps mid-cycle; the sweep
+        // must still see one coherent tone, not a phase-scrambled one.
+        let mut w = FlowWindow::new(GridMap::new(1, 1), 96);
+        let mut s = SpectralSweeper::new();
+        push_tone(&mut w, 96 + 37, 12);
+        let detected = s.sweep(&w).unwrap();
+        assert_eq!(detected[0].intervals, 12, "{detected:?}");
+        assert!(detected[0].power_share > 0.5);
+    }
+
+    #[test]
+    fn steady_state_sweeps_do_not_grow_scratch() {
+        let mut w = FlowWindow::new(GridMap::new(2, 3), 128);
+        let mut s = SpectralSweeper::new();
+        push_tone(&mut w, 200, 24);
+        s.sweep(&w).unwrap();
+        let (means_ptr, means_cap) = (s.means.as_ptr(), s.means.capacity());
+        let (last_ptr, last_cap) = (s.last.as_ptr(), s.last.capacity());
+        for _ in 0..5 {
+            push_tone(&mut w, 7, 24);
+            s.sweep(&w).unwrap();
+        }
+        assert_eq!((s.means.as_ptr(), s.means.capacity()), (means_ptr, means_cap));
+        assert_eq!((s.last.as_ptr(), s.last.capacity()), (last_ptr, last_cap));
+        assert_eq!(s.sweeps(), 6);
+    }
+}

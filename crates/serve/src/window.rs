@@ -110,6 +110,25 @@ impl FlowWindow {
         &self.data[slot..slot + self.frame_len]
     }
 
+    /// The live frames in chronological order as two borrowed runs — the
+    /// zero-copy snapshot the spectral sweep iterates. The ring stores
+    /// frame `i` at slot `i % capacity`, so the oldest live frame sits
+    /// mid-buffer once wrapped: the first run covers the oldest frames up
+    /// to the physical end of the buffer, the second the wrap-around back
+    /// to the newest. Either run may be empty; concatenated they are
+    /// exactly `len()` frames, oldest first.
+    pub fn chrono_runs(&self) -> (&[f32], &[f32]) {
+        let len = self.len();
+        if len == 0 {
+            return (&[], &[]);
+        }
+        let oldest_slot = ((self.next - len as u64) % self.capacity as u64) as usize;
+        let head = len.min(self.capacity - oldest_slot);
+        let first = &self.data[oldest_slot * self.frame_len..(oldest_slot + head) * self.frame_len];
+        let second = &self.data[..(len - head) * self.frame_len];
+        (first, second)
+    }
+
     /// Borrow the frame at absolute index `abs`, or `None` when it was
     /// evicted or not ingested yet. The forecast journal settles against
     /// ground truth with this: a target frame that fell off the ring (the
@@ -211,8 +230,46 @@ mod tests {
     }
 
     #[test]
+    fn chrono_runs_cover_the_window_oldest_first() {
+        let mut w = FlowWindow::new(GridMap::new(1, 1), 4);
+        assert_eq!(w.chrono_runs(), (&[][..], &[][..]));
+        // Unwrapped: frames 0..3 live in one run.
+        for i in 0..3u64 {
+            w.push(&frame(&w, i as f32)).unwrap();
+        }
+        let (a, b) = w.chrono_runs();
+        assert_eq!(a, &[0.0, 0.0, 1.0, 1.0, 2.0, 2.0][..]);
+        assert!(b.is_empty());
+        // Wrapped: frames 2..6 live, oldest (2) sits at slot 2.
+        for i in 3..6u64 {
+            w.push(&frame(&w, i as f32)).unwrap();
+        }
+        let (a, b) = w.chrono_runs();
+        assert_eq!(a, &[2.0, 2.0, 3.0, 3.0][..]);
+        assert_eq!(b, &[4.0, 4.0, 5.0, 5.0][..]);
+        // Chronological reconstruction matches frame-by-frame reads.
+        let merged: Vec<f32> = a.iter().chain(b).copied().collect();
+        let direct: Vec<f32> = (2..6u64).flat_map(|i| w.frame(i).to_vec()).collect();
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn chrono_runs_zero_copy_at_exact_wrap_boundary() {
+        // After exactly capacity pushes the oldest slot is 0 again: one
+        // contiguous run, no second slice.
+        let mut w = FlowWindow::new(GridMap::new(1, 1), 3);
+        for i in 0..3u64 {
+            w.push(&frame(&w, i as f32)).unwrap();
+        }
+        let (a, b) = w.chrono_runs();
+        assert_eq!(a.len(), 6);
+        assert!(b.is_empty());
+        assert_eq!(a.as_ptr(), w.data.as_ptr(), "first run borrows the ring in place");
+    }
+
+    #[test]
     fn for_spec_sizes_to_deepest_lag() {
-        let spec = SubSeriesSpec { lc: 3, lp: 2, lt: 2, intervals_per_day: 4 };
+        let spec = SubSeriesSpec { lc: 3, lp: 2, lt: 2, intervals_per_day: 4, trend_days: 7 };
         let w = FlowWindow::for_spec(GridMap::new(2, 2), &spec);
         assert_eq!(w.capacity(), spec.min_target());
         assert_eq!(w.capacity(), 2 * 4 * 7);

@@ -56,7 +56,7 @@ fn post_raw_frame(addr: SocketAddr, frame: &[f32]) -> (String, String) {
 #[test]
 fn daemon_forecast_is_bit_identical_to_in_process_model() {
     let grid = GridMap::new(3, 4);
-    let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 3 };
+    let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 3, trend_days: 7 };
     let mut cfg = MuseNetConfig::cpu_profile(grid, spec);
     cfg.d = 4;
     cfg.k = 8;

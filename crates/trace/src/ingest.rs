@@ -231,6 +231,36 @@ pub struct CoalesceEvent {
     pub requests: Vec<u64>,
 }
 
+/// One detected period inside a `spectral.sweep` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPeriod {
+    /// Period length in intervals (frames).
+    pub intervals: usize,
+    /// Share of total spectral power near this period.
+    pub power_share: f64,
+    /// Peak power over the median noise floor.
+    pub snr: f64,
+}
+
+/// One `spectral.sweep` event: the daemon re-detected the dominant
+/// periodicities of its live flow window.
+#[derive(Debug, Clone)]
+pub struct SpectralSweep {
+    /// Monotonic sweep ordinal.
+    pub sweep: u64,
+    /// Absolute frame index the sweep observed.
+    pub index: u64,
+    /// Detected periods, strongest first (empty: nothing passed the gates).
+    pub periods: Vec<SweepPeriod>,
+}
+
+impl SpectralSweep {
+    /// The dominant (strongest) detected period, if any.
+    pub fn dominant(&self) -> Option<&SweepPeriod> {
+        self.periods.first()
+    }
+}
+
 /// One `span.exit` event.
 #[derive(Debug, Clone)]
 pub struct SpanExit {
@@ -278,6 +308,8 @@ pub struct TraceData {
     pub request_events: Vec<RequestEvent>,
     /// `req.coalesce` events in order.
     pub coalesces: Vec<CoalesceEvent>,
+    /// `spectral.sweep` events in order (the period-drift trajectory).
+    pub spectral_sweeps: Vec<SpectralSweep>,
 }
 
 fn num(ev: &Json, key: &str) -> f64 {
@@ -444,6 +476,26 @@ impl TraceData {
                         reason: opt_s("reason"),
                     });
                 }
+                "spectral.sweep" => {
+                    let periods = ev
+                        .get("periods")
+                        .and_then(Json::as_arr)
+                        .map(|ps| {
+                            ps.iter()
+                                .map(|p| SweepPeriod {
+                                    intervals: unum(p, "intervals") as usize,
+                                    power_share: num(p, "power_share"),
+                                    snr: num(p, "snr"),
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    data.spectral_sweeps.push(SpectralSweep {
+                        sweep: unum(ev, "sweep"),
+                        index: unum(ev, "index"),
+                        periods,
+                    });
+                }
                 "req.coalesce" => {
                     let requests = ev
                         .get("requests")
@@ -570,6 +622,8 @@ mod tests {
                 r#"{"ev":"forecast.scored","seq":5,"request":2,"rollout":1,"horizon":1,"target":21,"mae":0.125,"rmse":0.25,"mae_inflow":0.1,"mae_outflow":0.15}"#,
                 r#"{"ev":"forecast.dropped","seq":6,"request":3,"horizon":2,"target":22,"reason":"target_evicted"}"#,
                 r#"{"ev":"alert.transition","seq":7,"alert":"flow_level_shift","metric":"serve.flow.mean","from":"ok","to":"firing","value":1.5}"#,
+                r#"{"ev":"spectral.sweep","seq":8,"sweep":1,"index":64,"periods":[{"intervals":24,"power_share":0.8,"snr":30.0},{"intervals":168,"power_share":0.1,"snr":9.0}]}"#,
+                r#"{"ev":"spectral.sweep","seq":9,"sweep":2,"index":96,"periods":[]}"#,
             ],
         );
         let data = TraceData::load(&path).unwrap();
@@ -591,6 +645,15 @@ mod tests {
         assert_eq!(data.request_events[3].reason.as_deref(), Some("bad_horizon"));
         assert_eq!(data.coalesces.len(), 1);
         assert_eq!(data.coalesces[0].requests, vec![2, 3]);
+        assert_eq!(data.spectral_sweeps.len(), 2);
+        assert_eq!(data.spectral_sweeps[0].sweep, 1);
+        assert_eq!(data.spectral_sweeps[0].index, 64);
+        assert_eq!(
+            data.spectral_sweeps[0].dominant(),
+            Some(&SweepPeriod { intervals: 24, power_share: 0.8, snr: 30.0 })
+        );
+        assert_eq!(data.spectral_sweeps[0].periods.len(), 2);
+        assert!(data.spectral_sweeps[1].dominant().is_none());
         let _ = std::fs::remove_file(&path);
     }
 

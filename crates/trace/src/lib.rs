@@ -22,6 +22,9 @@
 //! muse-trace quality <trace.jsonl>            serve-path quality story:
 //!                                             error trajectory, alert
 //!                                             chronology, request lifecycles
+//! muse-trace spectrum <trace.jsonl>           period-drift story: dominant-
+//!                                             period trajectory across
+//!                                             spectral sweeps + alert moves
 //! muse-trace prof <profile.folded>            sampled-profile report: top-N
 //!                                             self/total tables, flame
 //!                                             re-emission, share diffs
@@ -34,9 +37,10 @@ pub mod prof;
 pub mod prometheus;
 pub mod quality;
 pub mod report;
+pub mod spectrum;
 pub mod tolerance;
 
 pub use ingest::{
     AlertEvent, BenchResult, CoalesceEvent, DroppedForecast, EpochRow, KernelRow, QualitySample,
-    RequestEvent, SpanExit, TraceData, TrainRun,
+    RequestEvent, SpanExit, SpectralSweep, SweepPeriod, TraceData, TrainRun,
 };

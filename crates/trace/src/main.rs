@@ -6,6 +6,7 @@
 //! muse-trace flame <trace.jsonl> [--out <file>]     collapsed stacks
 //! muse-trace promcheck <file|->                     validate /metrics output
 //! muse-trace quality <trace.jsonl>                  serve-path quality story
+//! muse-trace spectrum <trace.jsonl>                 period-drift story
 //! muse-trace prof <p.folded> [--out <file>]         sampled-profile report
 //! muse-trace prof diff <base.folded> <new.folded> [tol]  share diff
 //! ```
@@ -13,7 +14,7 @@
 //! Exit codes: 0 ok, 1 regression/validation failure or unreadable input,
 //! 2 usage error.
 
-use muse_trace::{diff, flame, ingest::TraceData, prof, prometheus, quality, report, tolerance};
+use muse_trace::{diff, flame, ingest::TraceData, prof, prometheus, quality, report, spectrum, tolerance};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         ["flame", trace, "--out", out] => cmd_flame(trace, Some(out)),
         ["promcheck", input] => cmd_promcheck(input),
         ["quality", trace] => cmd_quality(trace),
+        ["spectrum", trace] => cmd_spectrum(trace),
         ["prof", "diff", base, current] => cmd_prof_diff(base, current, None),
         ["prof", "diff", base, current, tol] => cmd_prof_diff(base, current, Some(tol)),
         ["prof", folded] => cmd_prof(folded, None),
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
                  muse-trace flame <trace.jsonl> [--out <collapsed.txt>]\n       \
                  muse-trace promcheck <metrics.txt|->\n       \
                  muse-trace quality <trace.jsonl>\n       \
+                 muse-trace spectrum <trace.jsonl>\n       \
                  muse-trace prof <profile.folded> [--out <flame.txt>]\n       \
                  muse-trace prof diff <base.folded> <new.folded> [tolerance]"
             );
@@ -112,6 +115,12 @@ fn cmd_flame(trace: &str, out: Option<&str>) -> Result<(), String> {
 fn cmd_quality(trace: &str) -> Result<(), String> {
     let data = load(trace)?;
     print!("{}", quality::render(&data));
+    Ok(())
+}
+
+fn cmd_spectrum(trace: &str) -> Result<(), String> {
+    let data = load(trace)?;
+    print!("{}", spectrum::render(&data));
     Ok(())
 }
 

@@ -1,0 +1,208 @@
+//! `muse-trace spectrum` — reconstruct the daemon's period-drift story
+//! from a trace: the dominant-period trajectory across spectral sweeps,
+//! where the dominant period moved, and how the `spectral-shift` alert
+//! chronology lines up with those moves.
+
+use crate::ingest::{SpectralSweep, TraceData};
+use std::collections::BTreeMap;
+
+/// The metric the spectral-shift alert rule watches; transitions on it are
+/// correlated with the sweep trajectory.
+const SPECTRAL_METRIC: &str = "spectral.period_intervals";
+
+/// How many sweep rows are printed in full (the trajectory keeps every
+/// dominant-period move regardless).
+const SWEEP_ROWS: usize = 24;
+
+/// Render the spectrum report for a loaded trace.
+pub fn render(data: &TraceData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("trace: {} ({} events)\n", data.path.display(), data.events.len()));
+
+    if data.spectral_sweeps.is_empty() {
+        out.push_str(
+            "(no spectral.sweep events — run muse-serve with --trace and a nonzero \
+             --spectral-every, and stream enough frames through /ingest)\n",
+        );
+        return out;
+    }
+
+    let productive = data.spectral_sweeps.iter().filter(|s| s.dominant().is_some()).count();
+    out.push_str(&format!(
+        "spectrum: {} sweep(s), {productive} with a dominant period\n",
+        data.spectral_sweeps.len()
+    ));
+
+    render_trajectory(&mut out, &data.spectral_sweeps);
+    render_shifts(&mut out, &data.spectral_sweeps);
+    render_alerts(&mut out, data);
+    out
+}
+
+/// Sweep-by-sweep table: every dominant-period move is always printed;
+/// steady stretches are elided past [`SWEEP_ROWS`] rows.
+fn render_trajectory(out: &mut String, sweeps: &[SpectralSweep]) {
+    out.push_str("sweep trajectory:\n");
+    out.push_str(&format!(
+        "  {:>6} {:>8} {:>9} {:>7} {:>8}  {}\n",
+        "sweep", "index", "dominant", "share", "snr", "all periods"
+    ));
+    let mut previous: Option<usize> = None;
+    let mut printed = 0usize;
+    let mut elided = 0usize;
+    for s in sweeps {
+        let dominant = s.dominant().map(|p| p.intervals);
+        let moved = dominant.is_some() && previous.is_some() && dominant != previous;
+        if printed >= SWEEP_ROWS && !moved {
+            elided += 1;
+            if dominant.is_some() {
+                previous = dominant;
+            }
+            continue;
+        }
+        let all: Vec<String> = s.periods.iter().map(|p| p.intervals.to_string()).collect();
+        let marker = if moved { "  <-- PERIOD SHIFT" } else { "" };
+        match s.dominant() {
+            Some(p) => out.push_str(&format!(
+                "  {:>6} {:>8} {:>9} {:>7.3} {:>8.1}  [{}]{marker}\n",
+                s.sweep,
+                s.index,
+                p.intervals,
+                p.power_share,
+                p.snr,
+                all.join(", "),
+            )),
+            None => out
+                .push_str(&format!("  {:>6} {:>8} {:>9} {:>7} {:>8}  []\n", s.sweep, s.index, "-", "-", "-")),
+        }
+        if dominant.is_some() {
+            previous = dominant;
+        }
+        printed += 1;
+    }
+    if elided > 0 {
+        out.push_str(&format!("  ({elided} steady sweep(s) elided)\n"));
+    }
+}
+
+/// Distinct dominant-period regimes in sweep order, plus each move.
+fn render_shifts(out: &mut String, sweeps: &[SpectralSweep]) {
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut moves: Vec<(u64, u64, usize, usize)> = Vec::new();
+    let mut previous: Option<(u64, usize)> = None;
+    for s in sweeps {
+        let Some(p) = s.dominant() else { continue };
+        *counts.entry(p.intervals).or_default() += 1;
+        if let Some((_, prev)) = previous {
+            if prev != p.intervals {
+                moves.push((s.sweep, s.index, prev, p.intervals));
+            }
+        }
+        previous = Some((s.sweep, p.intervals));
+    }
+    out.push_str("dominant periods (sweeps at each):\n");
+    for (period, n) in &counts {
+        out.push_str(&format!("  {period:>9} intervals  {n} sweep(s)\n"));
+    }
+    if moves.is_empty() {
+        out.push_str("no dominant-period moves\n");
+    } else {
+        out.push_str(&format!("{} dominant-period move(s):\n", moves.len()));
+        for (sweep, index, from, to) in &moves {
+            out.push_str(&format!("  sweep {sweep} (frame {index}): {from} -> {to} intervals\n"));
+        }
+    }
+}
+
+/// The spectral-shift alert chronology, restricted to transitions on the
+/// spectral metric.
+fn render_alerts(out: &mut String, data: &TraceData) {
+    let spectral: Vec<_> = data.alert_events.iter().filter(|a| a.metric == SPECTRAL_METRIC).collect();
+    if spectral.is_empty() {
+        out.push_str("no spectral alert transitions\n");
+        return;
+    }
+    out.push_str("spectral alert transitions:\n");
+    let mut last = "";
+    for a in &spectral {
+        let marker = if a.to == "firing" { "  <-- FIRING" } else { "" };
+        out.push_str(&format!(
+            "  {:<24} {:>8} -> {:<8} (dominant = {} intervals){marker}\n",
+            a.alert, a.from, a.to, a.value
+        ));
+        last = &a.to;
+    }
+    out.push_str(&format!("final spectral alert state: {last}\n"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::{AlertEvent, SweepPeriod};
+
+    fn sweep(n: u64, index: u64, periods: &[(usize, f64)]) -> SpectralSweep {
+        SpectralSweep {
+            sweep: n,
+            index,
+            periods: periods
+                .iter()
+                .map(|&(intervals, power_share)| SweepPeriod { intervals, power_share, snr: 20.0 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn empty_trace_points_at_the_daemon_flags() {
+        let text = render(&TraceData::default());
+        assert!(text.contains("no spectral.sweep events"), "{text}");
+        assert!(text.contains("--spectral-every"), "{text}");
+    }
+
+    #[test]
+    fn period_drift_story_is_reconstructed() {
+        let mut data = TraceData::default();
+        // Three steady sweeps at 24 intervals, one empty sweep (which must
+        // not count as a move), then a cadence change to 8 intervals.
+        for n in 1..=3u64 {
+            data.spectral_sweeps.push(sweep(n, 32 * n, &[(24, 0.8), (168, 0.1)]));
+        }
+        data.spectral_sweeps.push(sweep(4, 128, &[]));
+        data.spectral_sweeps.push(sweep(5, 160, &[(8, 0.7)]));
+        data.spectral_sweeps.push(sweep(6, 192, &[(8, 0.75)]));
+        data.alert_events.push(AlertEvent {
+            alert: "spectral_shift".into(),
+            metric: "spectral.period_intervals".into(),
+            from: "ok".into(),
+            to: "firing".into(),
+            value: 8.0,
+        });
+        // A non-spectral transition must stay out of the spectrum report.
+        data.alert_events.push(AlertEvent {
+            alert: "mae_drift".into(),
+            metric: "quality.mae.ewma".into(),
+            from: "ok".into(),
+            to: "warning".into(),
+            value: 0.4,
+        });
+        let text = render(&data);
+        assert!(text.contains("6 sweep(s), 5 with a dominant period"), "{text}");
+        assert!(text.contains("<-- PERIOD SHIFT"), "{text}");
+        assert!(text.contains("24 -> 8 intervals"), "{text}");
+        assert!(text.contains("1 dominant-period move(s)"), "{text}");
+        assert!(text.contains("<-- FIRING"), "{text}");
+        assert!(text.contains("final spectral alert state: firing"), "{text}");
+        assert!(!text.contains("mae_drift"), "{text}");
+    }
+
+    #[test]
+    fn steady_trajectory_reports_no_moves() {
+        let mut data = TraceData::default();
+        for n in 1..=30u64 {
+            data.spectral_sweeps.push(sweep(n, 32 * n, &[(24, 0.8)]));
+        }
+        let text = render(&data);
+        assert!(text.contains("no dominant-period moves"), "{text}");
+        assert!(text.contains("steady sweep(s) elided"), "{text}");
+        assert!(text.contains("no spectral alert transitions"), "{text}");
+    }
+}

@@ -39,7 +39,7 @@ fn record_training_trace(name: &str) -> PathBuf {
     obs::enable();
 
     let grid = GridMap::new(3, 3);
-    let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 6 };
+    let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: 6, trend_days: 7 };
     let mut cfg = MuseNetConfig::cpu_profile(grid, spec);
     cfg.d = 4;
     cfg.k = 8;

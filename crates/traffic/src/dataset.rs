@@ -344,7 +344,8 @@ mod tests {
     #[test]
     fn split_is_chronological_and_disjoint() {
         let ds = tiny_dataset();
-        let spec = SubSeriesSpec { lc: 3, lp: 4, lt: 2, intervals_per_day: ds.intervals_per_day };
+        let spec =
+            SubSeriesSpec { lc: 3, lp: 4, lt: 2, intervals_per_day: ds.intervals_per_day, trend_days: 7 };
         let split = ds.split(&spec, 0.2, 0.1, 3);
         assert!(!split.train.is_empty() && !split.val.is_empty() && !split.test.is_empty());
         assert!(split.train.last().unwrap() < split.val.first().unwrap());
@@ -357,7 +358,8 @@ mod tests {
     #[test]
     fn fit_scaler_uses_training_region_only() {
         let ds = tiny_dataset();
-        let spec = SubSeriesSpec { lc: 3, lp: 4, lt: 2, intervals_per_day: ds.intervals_per_day };
+        let spec =
+            SubSeriesSpec { lc: 3, lp: 4, lt: 2, intervals_per_day: ds.intervals_per_day, trend_days: 7 };
         let split = ds.split(&spec, 0.2, 0.1, 1);
         let sc = ds.fit_scaler(&split);
         // The fitted max cannot exceed the global max.

@@ -265,7 +265,8 @@ mod tests {
         use crate::subseries::{sample, SubSeriesSpec};
         let cfg = EnergyConfig::small(6);
         let out = generate_energy(&cfg);
-        let spec = SubSeriesSpec { lc: 3, lp: 2, lt: 1, intervals_per_day: cfg.intervals_per_day };
+        let spec =
+            SubSeriesSpec { lc: 3, lp: 2, lt: 1, intervals_per_day: cfg.intervals_per_day, trend_days: 7 };
         let smp = sample(&out.series, &spec, spec.min_target() + 5);
         assert_eq!(smp.closeness.dims()[0], 6);
         let sc = Scaler::fit_sqrt(out.series.tensor());

@@ -84,6 +84,17 @@ impl FlowSeries {
         self.frame(i).index_axis0(OUTFLOW).sum()
     }
 
+    /// Per-interval mean volume over both channels and all cells — the 1-D
+    /// series spectral periodicity detection runs on. Computed in `f64` so
+    /// the result is independent of summation-order optimisations.
+    pub fn mean_series(&self) -> Vec<f64> {
+        let frame = 2 * self.grid.cells();
+        let src = self.data.as_slice();
+        (0..self.len())
+            .map(|i| src[i * frame..(i + 1) * frame].iter().map(|&v| v as f64).sum::<f64>() / frame as f64)
+            .collect()
+    }
+
     /// Per-cell mean over time for a channel — `[H, W]`.
     pub fn temporal_mean(&self, channel: usize) -> Tensor {
         let t = self.len();

@@ -36,6 +36,6 @@ pub use energy::{generate_energy, EnergyConfig, EnergyOutput};
 pub use flow::FlowSeries;
 pub use grid::{GridMap, Region};
 pub use masks::{peak_mask, weekday_mask, DayKind};
-pub use sim::{CityConfig, CitySimulator};
+pub use sim::{periodic_preset, CityConfig, CitySimulator, PeriodicPreset, PERIODIC_PRESETS};
 pub use subseries::{Batch, MultiStepBatch, Sample, SubSeriesSpec};
 pub use trajectory::{Trajectory, TrajectoryPoint};

@@ -339,6 +339,97 @@ impl CitySimulator {
     }
 }
 
+/// A named simulator preset whose periodicities are known by construction:
+/// the generated flows are sums of cosines at the listed periods (plus a
+/// positive base level and small seeded noise), so spectral detection has
+/// exact integer ground truth to recover.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodicPreset {
+    /// Preset name (CLI lookup key).
+    pub name: &'static str,
+    /// Sampling cadence.
+    pub intervals_per_day: usize,
+    /// Simulated days.
+    pub days: usize,
+    /// `(period_in_intervals, amplitude)` components, strongest first —
+    /// the dominant (shortest-ranked) component is the daily cycle.
+    pub components: &'static [(usize, f64)],
+}
+
+/// Registry of known-period presets. `offcadence-96x3` is deliberately
+/// inexpressible with the paper's hard-coded weekly trend: 96 intervals
+/// per day with a 3-day (288-interval) super-period.
+pub const PERIODIC_PRESETS: &[PeriodicPreset] = &[
+    PeriodicPreset {
+        name: "hourly-weekly",
+        intervals_per_day: 24,
+        days: 28,
+        components: &[(24, 1.0), (168, 0.6)],
+    },
+    PeriodicPreset {
+        name: "halfhour-weekly",
+        intervals_per_day: 48,
+        days: 21,
+        components: &[(48, 1.0), (336, 0.5)],
+    },
+    PeriodicPreset {
+        name: "offcadence-96x3",
+        intervals_per_day: 96,
+        days: 9,
+        components: &[(96, 1.0), (288, 0.5)],
+    },
+];
+
+/// Look a [`PeriodicPreset`] up by name.
+pub fn periodic_preset(name: &str) -> Option<&'static PeriodicPreset> {
+    PERIODIC_PRESETS.iter().find(|p| p.name == name)
+}
+
+impl PeriodicPreset {
+    /// Total number of intervals `T = days × f`.
+    pub fn total_intervals(&self) -> usize {
+        self.days * self.intervals_per_day
+    }
+
+    /// The constructed ground-truth periods, in intervals, sorted ascending.
+    pub fn true_periods(&self) -> Vec<usize> {
+        let mut p: Vec<usize> = self.components.iter().map(|&(period, _)| period).collect();
+        p.sort_unstable();
+        p
+    }
+
+    /// Generate the preset's flow series on `grid`: every cell carries the
+    /// same cosine mixture scaled by a per-cell seeded weight, on a
+    /// positive base level with small seeded noise. Deterministic in
+    /// `seed`; the noise is white, so it cannot move a spectral peak.
+    pub fn generate(&self, grid: GridMap, seed: u64) -> FlowSeries {
+        let t_total = self.total_intervals();
+        let mut rng = SeededRng::new(seed);
+        let mut weights = Vec::with_capacity(2 * grid.cells());
+        for _ in 0..2 * grid.cells() {
+            weights.push(rng.uniform(0.6, 1.4));
+        }
+        let mut flows = FlowSeries::zeros(grid, t_total);
+        for t in 0..t_total {
+            let mut signal = 10.0f64;
+            for &(period, amp) in self.components {
+                signal += amp * (2.0 * std::f64::consts::PI * t as f64 / period as f64).cos();
+            }
+            let mut cell = 0usize;
+            for channel in 0..2 {
+                for row in 0..grid.height {
+                    for col in 0..grid.width {
+                        let noise = rng.uniform(-0.05, 0.05);
+                        *flows.volume_mut(t, channel, row, col) = signal as f32 * weights[cell] + noise;
+                        cell += 1;
+                    }
+                }
+            }
+        }
+        flows
+    }
+}
+
 /// Smooth diurnal activity profile in `[0.05, 1.0]`, peaking around 8 am and
 /// 6 pm like the empirical flow plots in the paper's Fig. 2/4.
 pub fn diurnal_weight(hour: f32) -> f32 {
@@ -497,6 +588,47 @@ mod tests {
         for h in 0..24 {
             let v = diurnal_weight(h as f32);
             assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn periodic_preset_lookup_and_geometry() {
+        assert!(periodic_preset("no-such-preset").is_none());
+        let p = periodic_preset("offcadence-96x3").expect("registered");
+        assert_eq!(p.intervals_per_day, 96);
+        assert_eq!(p.true_periods(), vec![96, 288]);
+        assert_eq!(p.total_intervals(), 96 * 9);
+        for preset in PERIODIC_PRESETS {
+            // Enough history for at least three repetitions of the longest
+            // period, so detection has something to average.
+            let longest = *preset.true_periods().last().unwrap();
+            assert!(preset.total_intervals() >= 3 * longest, "{}", preset.name);
+        }
+    }
+
+    #[test]
+    fn periodic_preset_flows_are_positive_and_deterministic() {
+        let p = periodic_preset("hourly-weekly").unwrap();
+        let a = p.generate(GridMap::new(3, 4), 11);
+        let b = p.generate(GridMap::new(3, 4), 11);
+        assert_eq!(a.tensor(), b.tensor());
+        assert!(a.tensor().min() > 0.0, "flows must stay positive");
+        assert_eq!(a.len(), p.total_intervals());
+        let c = p.generate(GridMap::new(3, 4), 12);
+        assert_ne!(a.tensor(), c.tensor(), "seed must matter");
+    }
+
+    #[test]
+    fn periodic_presets_detect_exactly() {
+        // The acceptance criterion at library level: detection on the
+        // frame-mean series recovers each preset's constructed top-2
+        // periods exactly, in intervals.
+        for preset in PERIODIC_PRESETS {
+            let flows = preset.generate(GridMap::new(4, 4), 23);
+            let found = muse_fft::detect_periods(&flows.mean_series(), 4);
+            let mut top: Vec<usize> = found.iter().take(2).map(|p| p.intervals).collect();
+            top.sort_unstable();
+            assert_eq!(top, preset.true_periods(), "preset {}: {found:?}", preset.name);
         }
     }
 

@@ -18,18 +18,22 @@ pub struct SubSeriesSpec {
     pub lt: usize,
     /// Sampling frequency `f`: intervals per day.
     pub intervals_per_day: usize,
+    /// Days per trend step. The paper's trend resolution is weekly (7);
+    /// auto-detected specs may use another super-period, e.g. a 3-day
+    /// cycle discovered spectrally.
+    pub trend_days: usize,
 }
 
 impl SubSeriesSpec {
-    /// Paper defaults: `Lc=3, Lp=4, Lt=4`.
+    /// Paper defaults: `Lc=3, Lp=4, Lt=4` with a weekly trend.
     pub fn paper_default(intervals_per_day: usize) -> Self {
-        SubSeriesSpec { lc: 3, lp: 4, lt: 4, intervals_per_day }
+        SubSeriesSpec { lc: 3, lp: 4, lt: 4, intervals_per_day, trend_days: 7 }
     }
 
     /// Smallest target index `n` with full history available
-    /// (`Lt` weeks back).
+    /// (`Lt` trend steps back).
     pub fn min_target(&self) -> usize {
-        self.lt * self.intervals_per_day * 7
+        self.lt * self.intervals_per_day * self.trend_days
     }
 
     /// Closeness lag offsets (from target `n`): `n-Lc .. n-1`.
@@ -42,14 +46,58 @@ impl SubSeriesSpec {
         (1..=self.lp).rev().map(|k| k * self.intervals_per_day).collect()
     }
 
-    /// Trend lag offsets: `n - k·f·7` for `k = Lt .. 1`.
+    /// Trend lag offsets: `n - k·f·trend_days` for `k = Lt .. 1`.
     pub fn trend_lags(&self) -> Vec<usize> {
-        (1..=self.lt).rev().map(|k| k * self.intervals_per_day * 7).collect()
+        (1..=self.lt).rev().map(|k| k * self.intervals_per_day * self.trend_days).collect()
     }
 
     /// Total sub-series length `L = Lc + Lp + Lt` (used in Table I).
     pub fn total_frames(&self) -> usize {
         self.lc + self.lp + self.lt
+    }
+
+    /// Derive a spec from spectrally detected periods (strongest first, as
+    /// returned by `muse_fft::PeriodDetector`): the shorter of the top two
+    /// periods becomes the daily resolution, the longer sets the trend
+    /// super-period, and the paper's `Lc=3, Lp=4, Lt=4` lengths are shrunk
+    /// until the spec fits a series of `series_len` intervals.
+    ///
+    /// With the paper's own periodicities (daily plus weekly, e.g. periods
+    /// 24 and 168 at hourly cadence) and enough history this reproduces
+    /// [`paper_default`](Self::paper_default) exactly.
+    pub fn from_detected(
+        periods: &[muse_fft::DetectedPeriod],
+        series_len: usize,
+    ) -> Result<SubSeriesSpec, String> {
+        let mut top: Vec<usize> = periods.iter().take(2).map(|p| p.intervals).collect();
+        top.sort_unstable();
+        let &intervals_per_day = top.first().ok_or("no periods detected")?;
+        if intervals_per_day < 2 {
+            return Err(format!("detected period {intervals_per_day} is too short"));
+        }
+        let trend_days = match top.get(1) {
+            Some(&long) if long > intervals_per_day => {
+                ((long as f64 / intervals_per_day as f64).round() as usize).max(2)
+            }
+            _ => 7, // one period detected: keep the paper's weekly trend
+        };
+        let mut spec = SubSeriesSpec { lc: 3, lp: 4, lt: 4, intervals_per_day, trend_days };
+        while spec.lt > 1 && spec.min_target() >= series_len {
+            spec.lt -= 1;
+        }
+        if spec.min_target() >= series_len {
+            return Err(format!(
+                "series of {series_len} intervals cannot cover one trend step of \
+                 {intervals_per_day}x{trend_days} intervals"
+            ));
+        }
+        while spec.lp > 1 && spec.lp * spec.intervals_per_day > spec.min_target() {
+            spec.lp -= 1;
+        }
+        while spec.lc > 1 && spec.lc > spec.min_target() {
+            spec.lc -= 1;
+        }
+        Ok(spec)
     }
 }
 
@@ -247,7 +295,7 @@ mod tests {
     }
 
     fn spec4() -> SubSeriesSpec {
-        SubSeriesSpec { lc: 3, lp: 2, lt: 1, intervals_per_day: 4 }
+        SubSeriesSpec { lc: 3, lp: 2, lt: 1, intervals_per_day: 4, trend_days: 7 }
     }
 
     #[test]
@@ -335,6 +383,53 @@ mod tests {
             batch_into(&flows, &s, indices, &mut staging);
             assert_eq!(staging.closeness.as_slice().as_ptr(), ptr_before, "staging buffer was reallocated");
         }
+    }
+
+    fn dp(intervals: usize, power_share: f64) -> muse_fft::DetectedPeriod {
+        muse_fft::DetectedPeriod { intervals, power_share, snr: 100.0 }
+    }
+
+    #[test]
+    fn from_detected_reproduces_paper_default() {
+        // Daily + weekly at hourly cadence with ample history: the derived
+        // spec must coincide with the hand-written paper default.
+        let spec =
+            SubSeriesSpec::from_detected(&[dp(24, 0.6), dp(168, 0.3)], 24 * 7 * 4 + 100).expect("derivable");
+        assert_eq!(spec, SubSeriesSpec::paper_default(24));
+    }
+
+    #[test]
+    fn from_detected_expresses_off_cadence_super_period() {
+        // 96 intervals/day with a 3-day super-period — inexpressible with
+        // the hard-coded weekly trend.
+        let spec =
+            SubSeriesSpec::from_detected(&[dp(96, 0.6), dp(288, 0.3)], 96 * 3 * 4 + 50).expect("derivable");
+        assert_eq!(spec.intervals_per_day, 96);
+        assert_eq!(spec.trend_days, 3);
+        assert_eq!((spec.lc, spec.lp, spec.lt), (3, 4, 4));
+        assert_eq!(spec.min_target(), 96 * 3 * 4);
+    }
+
+    #[test]
+    fn from_detected_shrinks_to_fit_short_series() {
+        let len = 24 * 7 + 30;
+        let spec = SubSeriesSpec::from_detected(&[dp(24, 0.6), dp(168, 0.3)], len).expect("derivable");
+        assert_eq!(spec.lt, 1);
+        assert!(spec.min_target() < len);
+        assert!(spec.lp * spec.intervals_per_day <= spec.min_target());
+    }
+
+    #[test]
+    fn from_detected_rejects_empty_and_too_short() {
+        assert!(SubSeriesSpec::from_detected(&[], 1000).is_err());
+        assert!(SubSeriesSpec::from_detected(&[dp(24, 0.5), dp(168, 0.2)], 100).is_err());
+    }
+
+    #[test]
+    fn from_detected_single_period_keeps_weekly_trend() {
+        let spec = SubSeriesSpec::from_detected(&[dp(48, 0.8)], 48 * 7 * 4 + 10).expect("derivable");
+        assert_eq!(spec.intervals_per_day, 48);
+        assert_eq!(spec.trend_days, 7);
     }
 
     #[test]

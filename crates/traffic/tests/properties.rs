@@ -70,9 +70,11 @@ fn interception_indices_in_range() {
             lp: 1 + rng.index(3),
             lt: 1 + rng.index(2),
             intervals_per_day: 2 + rng.index(4),
+            // >= 3 keeps every period lag (lp <= 3 here) within min_target.
+            trend_days: 3 + rng.index(6),
         };
         let min = spec.min_target();
-        assert_eq!(min, spec.lt * spec.intervals_per_day * 7, "seed {seed}");
+        assert_eq!(min, spec.lt * spec.intervals_per_day * spec.trend_days, "seed {seed}");
         for lag in
             spec.closeness_lags().iter().chain(spec.period_lags().iter()).chain(spec.trend_lags().iter())
         {
@@ -92,7 +94,7 @@ fn interception_indices_in_range() {
 #[test]
 fn sample_at_min_target_valid() {
     for f in 2usize..5 {
-        let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: f };
+        let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: f, trend_days: 7 };
         let grid = GridMap::new(2, 2);
         let t = spec.min_target() + 4;
         let mut rng = SeededRng::new(f as u64);
@@ -100,6 +102,39 @@ fn sample_at_min_target_valid() {
         let smp = sample(&flows, &spec, spec.min_target());
         assert_eq!(smp.closeness.dims()[0], 2 * spec.lc, "f={f}");
         assert_eq!(smp.index, spec.min_target(), "f={f}");
+    }
+}
+
+/// Non-hourly cadences (`intervals_per_day` ∈ {24, 48, 96}) with weekly
+/// and detected super-period trends: `min_target`, lag offsets, and batch
+/// assembly stay mutually consistent.
+#[test]
+fn non_hourly_cadences_consistent() {
+    use muse_traffic::subseries::batch;
+    for &f in &[24usize, 48, 96] {
+        for &trend_days in &[3usize, 7] {
+            let spec = SubSeriesSpec { lc: 3, lp: 2, lt: 1, intervals_per_day: f, trend_days };
+            assert_eq!(spec.min_target(), f * trend_days, "f={f}");
+            assert_eq!(spec.period_lags(), vec![2 * f, f], "f={f}");
+            assert_eq!(spec.trend_lags(), vec![f * trend_days], "f={f}");
+            // Batch assembly on an index-valued series makes the lag
+            // arithmetic directly observable in the gathered values.
+            let n0 = spec.min_target();
+            let t = n0 + 3;
+            let grid = GridMap::new(2, 2);
+            let mut data = Vec::with_capacity(t * 8);
+            for i in 0..t {
+                data.extend(std::iter::repeat_n(i as f32, 8));
+            }
+            let flows = FlowSeries::from_tensor(grid, Tensor::from_vec(data, &[t, 2, 2, 2]));
+            let b = batch(&flows, &spec, &[n0, n0 + 2]);
+            assert_eq!(b.closeness.dims(), &[2, 6, 2, 2], "f={f}");
+            assert_eq!(b.closeness.at(&[0, 0, 0, 0]) as usize, n0 - 3, "f={f}");
+            assert_eq!(b.period.at(&[0, 0, 0, 0]) as usize, n0 - 2 * f, "f={f}");
+            assert_eq!(b.period.at(&[1, 2, 0, 0]) as usize, n0 + 2 - f, "f={f}");
+            assert_eq!(b.trend.at(&[0, 0, 0, 0]), 0.0, "f={f}");
+            assert_eq!(b.target.at(&[1, 0, 0, 0]) as usize, n0 + 2, "f={f}");
+        }
     }
 }
 

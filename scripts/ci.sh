@@ -163,6 +163,49 @@ grep -q 'flow_level_shift' target/ci_quality_report.txt
 grep -q 'forecast lifecycles' target/ci_quality_report.txt
 echo "    drift alert fired, quality metrics well-formed, trace reconstructs the story"
 
+echo "==> spectral periodicity: detection vs presets, live sweep, cadence-shift alert"
+cargo run -q --release -p muse-eval -- detect | tee target/ci_detect.txt
+grep -q 'detect: PASS (3/3 presets)' target/ci_detect.txt
+SPECTRAL_ADDR=127.0.0.1:19668
+SPECTRAL_TRACE=target/ci_spectral_trace.jsonl
+rm -f "$SPECTRAL_TRACE"
+cargo run -q --release -p muse-serve --bin muse-serve -- --checkpoint "$SERVE_CKPT" \
+    --addr "$SPECTRAL_ADDR" --trace "$SPECTRAL_TRACE" --spectral-every 96 >/dev/null 2>&1 &
+SPECTRAL_PID=$!
+trap 'kill $SPECTRAL_PID 2>/dev/null || true' EXIT
+up=0
+for _ in $(seq 1 120); do
+    if curl -sf "http://$SPECTRAL_ADDR/healthz" -o /dev/null 2>/dev/null; then
+        up=1
+        break
+    fi
+    sleep 0.25
+done
+[ "$up" = 1 ] || { echo "muse-serve (spectral leg) never answered /healthz on $SPECTRAL_ADDR" >&2; exit 1; }
+# Stream the hourly-weekly preset, then compress the time base 3x right at
+# the end of the warmup fill: the window's dominant period moves 24 -> 8
+# intervals and the frozen-baseline spectral-shift rule must reach firing.
+cargo run -q --release -p muse-serve --bin muse-replay -- --addr "$SPECTRAL_ADDR" \
+    --preset hourly-weekly --steps 672 --shift-at "$capacity" --shift-factor 3 \
+    --forecast-every 16 --expect-firing spectral_shift | tee target/ci_spectral_replay.txt
+grep -q 'detection_latency_frames=' target/ci_spectral_replay.txt
+curl -sf "http://$SPECTRAL_ADDR/spectrum" -o target/ci_spectrum.json
+grep -q '"dominant":8' target/ci_spectrum.json
+curl -sf "http://$SPECTRAL_ADDR/metrics" -o target/ci_spectral_metrics.txt
+cargo run -q --release -p muse-trace -- promcheck target/ci_spectral_metrics.txt
+grep -q '^muse_spectral_period_intervals 8' target/ci_spectral_metrics.txt
+grep -q '^muse_spectral_power_share' target/ci_spectral_metrics.txt
+grep -q '^muse_alert_spectral_shift_state 2' target/ci_spectral_metrics.txt
+sleep 2 # the daemon flushes its trace once a second; let the tail land
+kill $SPECTRAL_PID 2>/dev/null || true
+wait $SPECTRAL_PID 2>/dev/null || true
+trap - EXIT
+cargo run -q --release -p muse-trace -- spectrum "$SPECTRAL_TRACE" | tee target/ci_spectrum_report.txt
+grep -q 'PERIOD SHIFT' target/ci_spectrum_report.txt
+grep -q '24 -> 8 intervals' target/ci_spectrum_report.txt
+grep -q 'final spectral alert state: firing' target/ci_spectrum_report.txt
+echo "    presets detected 3/3, cadence shift 24->8 fired spectral_shift, trace tells the story"
+
 echo "==> perf gate negative test: doctored baseline must fail"
 cargo run -q --release -p muse-bench --bin perf_gate -- doctor BENCH_kernels.json target/doctored_baseline.json
 if cargo run -q --release -p muse-bench --bin perf_gate -- check target/perf_gate_trace.jsonl target/doctored_baseline.json >/dev/null 2>&1; then

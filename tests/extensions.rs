@@ -12,7 +12,7 @@ fn energy_generator_feeds_the_full_pipeline() {
     let out = generate_energy(&cfg);
 
     // Intercept with a reduced spec, scale, and train a tiny MUSE-Net.
-    let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: cfg.intervals_per_day };
+    let spec = SubSeriesSpec { lc: 2, lp: 2, lt: 1, intervals_per_day: cfg.intervals_per_day, trend_days: 7 };
     let first = spec.min_target();
     let t = out.series.len();
     let train: Vec<usize> = (first..t - 40).collect();
